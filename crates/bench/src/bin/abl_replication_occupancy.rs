@@ -1,0 +1,28 @@
+//! §4 ablation: why traditional thread-level replication loses to the
+//! single-accumulation variant — doubled accumulator registers cut
+//! occupancy or spill to local memory.
+
+use aiga_bench::{replication_ablation, Table};
+
+fn main() {
+    println!("S4 ablation: replication variants (simulated T4)\n");
+    let mut t = Table::new([
+        "M=N=K",
+        "single-acc %",
+        "traditional %",
+        "base blocks/SM",
+        "trad blocks/SM",
+        "trad spilled regs",
+    ]);
+    for r in replication_ablation() {
+        t.row([
+            r.size.to_string(),
+            format!("{:.2}", r.single_acc_pct),
+            format!("{:.2}", r.traditional_pct),
+            r.baseline_occupancy.blocks_per_sm.to_string(),
+            r.traditional_occupancy.blocks_per_sm.to_string(),
+            r.traditional_occupancy.spilled_regs_per_thread.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

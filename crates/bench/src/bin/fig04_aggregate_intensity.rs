@@ -1,0 +1,28 @@
+//! Figure 4: FP16 aggregate arithmetic intensity of eight CNNs on
+//! 1080×1920 images at batch size one.
+
+use aiga_bench::{fig04_aggregate_intensity, Table};
+
+fn main() {
+    println!("Figure 4: aggregate FP16 arithmetic intensity, HD input, batch 1\n");
+    let mut t = Table::new(["model", "aggregate AI", "paper"]);
+    let paper = [
+        ("SqueezeNet", 71.1),
+        ("ShuffleNet", 76.6),
+        ("DenseNet-161", 79.0),
+        ("ResNet-50", 122.0),
+        ("AlexNet", 125.5),
+        ("VGG-16", 155.5),
+        ("ResNext-50", 220.8),
+        ("Wide-ResNet-50", 220.8),
+    ];
+    for (name, ai) in fig04_aggregate_intensity() {
+        let reference = paper
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| format!("{v:.1}"))
+            .unwrap_or_default();
+        t.row([name, format!("{ai:.1}"), reference]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,20 @@
+//! Figure 5: per-layer FP16 arithmetic intensity of ResNet-50 on HD
+//! images (paper: range 1–511, wide variance across one NN).
+
+use aiga_bench::{fig05_resnet50_layer_intensities, Table};
+
+fn main() {
+    println!("Figure 5: ResNet-50 @1080x1920 per-layer arithmetic intensity\n");
+    let data = fig05_resnet50_layer_intensities();
+    let mut t = Table::new(["idx", "layer", "AI"]);
+    for (i, (name, ai)) in data.iter().enumerate() {
+        t.row([i.to_string(), name.clone(), format!("{ai:.1}")]);
+    }
+    println!("{t}");
+    let (lo, hi) = data
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), (_, ai)| {
+            (lo.min(*ai), hi.max(*ai))
+        });
+    println!("range: {lo:.1} – {hi:.1}   (paper: ~1 – 511)");
+}

@@ -1,0 +1,28 @@
+//! Figure 8: execution-time overhead of global vs intensity-guided ABFT
+//! on all fourteen evaluated NNs (paper: reductions of 1.09–5.3×).
+
+use aiga_bench::{fig08_all_models, Table};
+
+fn main() {
+    println!("Figure 8: execution-time overhead, all NNs (simulated T4)\n");
+    let mut t = Table::new([
+        "model",
+        "AI",
+        "global ABFT %",
+        "intensity-guided %",
+        "reduction",
+        "thread-level layers",
+    ]);
+    for o in fig08_all_models() {
+        t.row([
+            o.model.clone(),
+            format!("{:.1}", o.intensity),
+            format!("{:.2}", o.global_pct),
+            format!("{:.2}", o.intensity_guided_pct),
+            format!("{:.2}x", o.global_pct / o.intensity_guided_pct.max(1e-9)),
+            format!("{}/{}", o.thread_layers, o.layers),
+        ]);
+    }
+    println!("{t}");
+    println!("paper reductions: 4.6x, 3.2x, 3.7x, 5.3x, 2.0x, 1.6x, 2.4x, 2.8x (annotated models)");
+}

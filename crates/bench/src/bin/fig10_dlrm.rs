@@ -1,0 +1,28 @@
+//! Figure 10: DLRM MLPs at batch 1 and 2048 (paper: batch-1 reductions
+//! 4.55× for MLP-Bottom and 3.24× for MLP-Top; at batch 2048 MLP-Bottom
+//! still favors thread-level ABFT while MLP-Top approaches parity).
+
+use aiga_bench::{fig10_dlrm, Table};
+
+fn main() {
+    println!("Figure 10: DLRM MLPs (simulated T4)\n");
+    let mut t = Table::new([
+        "model",
+        "AI",
+        "thread-level %",
+        "global %",
+        "intensity-guided %",
+        "reduction",
+    ]);
+    for o in fig10_dlrm() {
+        t.row([
+            o.model.clone(),
+            format!("{:.1}", o.intensity),
+            format!("{:.2}", o.thread_level_pct),
+            format!("{:.2}", o.global_pct),
+            format!("{:.2}", o.intensity_guided_pct),
+            format!("{:.2}x", o.global_pct / o.intensity_guided_pct.max(1e-9)),
+        ]);
+    }
+    println!("{t}");
+}

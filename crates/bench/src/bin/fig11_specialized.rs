@@ -1,0 +1,27 @@
+//! Figure 11: specialized (NoScope-style) CNNs at batch 64 (paper:
+//! reductions 1.6–5.3×).
+
+use aiga_bench::{fig11_specialized, Table};
+
+fn main() {
+    println!("Figure 11: specialized CNNs, batch 64 (simulated T4)\n");
+    let mut t = Table::new([
+        "model",
+        "AI",
+        "thread-level %",
+        "global %",
+        "intensity-guided %",
+        "reduction",
+    ]);
+    for o in fig11_specialized() {
+        t.row([
+            o.model.clone(),
+            format!("{:.1}", o.intensity),
+            format!("{:.2}", o.thread_level_pct),
+            format!("{:.2}", o.global_pct),
+            format!("{:.2}", o.intensity_guided_pct),
+            format!("{:.2}x", o.global_pct / o.intensity_guided_pct.max(1e-9)),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,32 @@
+//! Figure 12: execution-time overhead of every redundant-execution
+//! scheme on square GEMMs (M = N = K from 32 to 2048). Sizes left of the
+//! CMR line (AI < 203) are bandwidth bound.
+
+use aiga_bench::{fig12_square_sweep, Table};
+
+fn main() {
+    println!("Figure 12: square matrix multiplications (simulated T4, FP16 CMR 203)\n");
+    let mut t = Table::new([
+        "M=N=K",
+        "AI",
+        "one-sided %",
+        "two-sided %",
+        "replication %",
+        "global %",
+        "bound",
+    ]);
+    for r in fig12_square_sweep() {
+        t.row([
+            r.size.to_string(),
+            format!("{:.1}", r.intensity),
+            format!("{:.2}", r.one_sided_pct),
+            format!("{:.2}", r.two_sided_pct),
+            format!("{:.2}", r.replication_pct),
+            format!("{:.2}", r.global_pct),
+            if r.intensity < 203.0 { "memory" } else { "compute" }.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("paper: one-sided up to 6.5x cheaper than global left of the line,");
+    println!("       global up to 14x cheaper right of it; replication >70% at 1024/2048");
+}

@@ -1,0 +1,24 @@
+//! Table 1: additional Tensor Core MMAs and checksum operations per
+//! thread per K-step for each thread-level scheme.
+
+use aiga_bench::{table1, Table};
+
+fn main() {
+    let (tiling, rows) = table1();
+    println!(
+        "Table 1 (instantiated for Mt={}, Nt={}): per-thread per-K-step costs\n",
+        tiling.thread_mt(),
+        tiling.thread_nt()
+    );
+    let mut t = Table::new(["scheme", "extra MMAs", "checksum ops", "extra regs"]);
+    for r in rows {
+        t.row([
+            r.scheme.label().to_string(),
+            r.extra_mmas.to_string(),
+            r.checksum_ops.to_string(),
+            r.extra_regs.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("paper formulas: replication MtNt/2 | two-sided 1 + O(Mt+Nt) | one-sided Mt/2 + O(Nt)");
+}

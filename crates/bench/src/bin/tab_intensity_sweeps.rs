@@ -1,0 +1,29 @@
+//! §3.2 sweeps: DLRM aggregate AI versus batch size, ResNet-50 aggregate
+//! AI versus input resolution, and §3.3 device CMRs.
+
+use aiga_bench::{device_cmrs, intensity_sweeps, Table};
+
+fn main() {
+    let (dlrm, resnet) = intensity_sweeps();
+
+    println!("S3.2: DLRM aggregate AI vs batch size (paper: 7.4/7.7 @1, 70/109 @256, 92/175.8 @2048)\n");
+    let mut t = Table::new(["batch", "MLP-Bottom", "MLP-Top"]);
+    for (b, bot, top) in dlrm {
+        t.row([b.to_string(), format!("{bot:.1}"), format!("{top:.1}")]);
+    }
+    println!("{t}");
+
+    println!("S3.2: ResNet-50 aggregate AI vs resolution (paper: 72 @224x224, 122 @1080x1920)\n");
+    let mut t = Table::new(["resolution", "aggregate AI"]);
+    for ((h, w), ai) in resnet {
+        t.row([format!("{h}x{w}"), format!("{ai:.1}")]);
+    }
+    println!("{t}");
+
+    println!("S3.3: device CMRs (paper: P4 58, T4 203, V100 139, A100 201, Xavier 235)\n");
+    let mut t = Table::new(["device", "CMR (FLOPs/byte)"]);
+    for (name, cmr) in device_cmrs() {
+        t.row([name, format!("{cmr:.1}")]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,13 @@
+//! # aiga-bench — regenerating the paper's evaluation
+//!
+//! Each function in [`figures`] computes the data behind one table or
+//! figure of the paper on the simulated T4; the `src/bin` binaries print
+//! them as text tables, and `benches/` wraps the same pipelines in
+//! Criterion harnesses. `EXPERIMENTS.md` records paper-vs-reproduction
+//! values for every experiment.
+
+pub mod figures;
+pub mod report;
+
+pub use figures::*;
+pub use report::Table;

@@ -1,0 +1,237 @@
+//! Per-scheme kernel cost profiles for the timing model.
+//!
+//! This is where Table 1 meets the `aiga-gpu` timing model: each scheme's
+//! per-thread-per-K-step costs (redundant MMAs on Tensor Cores, checksum
+//! operations on traditional ALUs, extra registers) are scaled by the
+//! grid's total thread-steps and added to the baseline kernel profile.
+//! Global ABFT instead pays a fused epilogue plus a separate
+//! reduce-and-compare kernel (§2.5).
+//!
+//! Unit conventions: one MMA participation is 8 Tensor-Core FLOPs (a
+//! thread's share of one `m16n8k8` per K-step pair); one checksum op is
+//! an `HADD2`-class packed instruction, i.e. 2 ALU FLOPs.
+
+use crate::schemes::Scheme;
+use aiga_gpu::timing::{self, AuxKernel, Calibration, KernelProfile, TimeEstimate};
+use aiga_gpu::{DeviceSpec, GemmShape};
+
+/// Tensor-Core FLOPs represented by one per-thread MMA participation.
+pub const FLOPS_PER_MMA_PARTICIPATION: u64 = 8;
+/// ALU FLOP-equivalents charged per checksum (HADD2-class) operation.
+/// One packed HADD2 is a single issue slot and partially dual-issues into
+/// the gaps of the Tensor-Core pipeline, so it is charged one
+/// flop-equivalent of the packed-math peak rather than two (calibrated —
+/// see EXPERIMENTS.md §Fig. 12).
+pub const FLOPS_PER_CHECKSUM_OP: u64 = 1;
+
+/// Builds the kernel profile of a scheme-protected GEMM.
+pub fn scheme_profile(
+    scheme: Scheme,
+    shape: GemmShape,
+    device: &DeviceSpec,
+    calib: &Calibration,
+) -> KernelProfile {
+    let mut p = KernelProfile::baseline(shape, device, calib);
+    apply_scheme(&mut p, scheme, calib);
+    p
+}
+
+/// Adds a scheme's costs to an existing baseline profile (used by sweeps
+/// that pin the tiling across schemes).
+pub fn apply_scheme(p: &mut KernelProfile, scheme: Scheme, calib: &Calibration) {
+    let tiling = p.tiling;
+    match scheme {
+        Scheme::Unprotected => {}
+        Scheme::GlobalAbft => {
+            let (m, n, k) = (p.shape.m as f64, p.shape.n as f64, p.shape.k as f64);
+            let blocks = tiling.total_blocks(p.shape) as f64;
+            // Fused epilogues (§2.5 steps 2 and 4): the output summation
+            // (one add per output element, M·N) and the activation
+            // checksum over this layer's lowered input (M·K adds — for
+            // convolutions the im2col multiplicity makes this the larger
+            // term; in the NN flow it is produced by the previous layer's
+            // epilogue, which is aggregate-equivalent per layer).
+            p.alu_ops += m * n + m * k;
+            // Stores of the per-block partial sums and the checksum row.
+            p.dram_bytes += 4.0 * (n + blocks);
+            // The separate reduce-and-compare kernel (step 5): dot the
+            // K-length checksums and reduce the per-block partials.
+            p.aux_kernels.push(AuxKernel {
+                name: "global-abft reduce+compare",
+                alu_flops: 2.0 * k + blocks,
+                dram_bytes: 4.0 * (2.0 * k + blocks),
+            });
+        }
+        thread_level => {
+            let steps = p.total_thread_steps();
+            p.tc_flops += steps
+                * (thread_level.extra_mmas_per_step(&tiling) * FLOPS_PER_MMA_PARTICIPATION)
+                    as f64;
+            p.alu_ops += steps
+                * (thread_level.checksum_ops_per_step(&tiling) * FLOPS_PER_CHECKSUM_OP) as f64;
+            p.extra_regs_per_thread = thread_level.extra_regs(&tiling);
+            // The thread-local final comparison lengthens the kernel tail.
+            p.tail_s = calib.thread_check_tail_s;
+        }
+    }
+}
+
+/// Timing of one scheme on one layer, with its overhead over the
+/// unprotected baseline.
+#[derive(Clone, Debug)]
+pub struct SchemeTiming {
+    /// The scheme evaluated.
+    pub scheme: Scheme,
+    /// Its time estimate.
+    pub estimate: TimeEstimate,
+    /// Percentage overhead versus the unprotected baseline (§6.2 metric).
+    pub overhead_pct: f64,
+}
+
+/// Evaluates a set of schemes on one GEMM shape, returning each scheme's
+/// estimated time and overhead (the pre-deployment profiling pass of
+/// §5.3).
+pub fn evaluate_layer(
+    shape: GemmShape,
+    schemes: &[Scheme],
+    device: &DeviceSpec,
+    calib: &Calibration,
+) -> (TimeEstimate, Vec<SchemeTiming>) {
+    let baseline_profile = KernelProfile::baseline(shape, device, calib);
+    let baseline = timing::estimate(&baseline_profile, device, calib);
+    let timings = schemes
+        .iter()
+        .map(|&scheme| {
+            let mut p = baseline_profile.clone();
+            apply_scheme(&mut p, scheme, calib);
+            let estimate = timing::estimate(&p, device, calib);
+            let overhead_pct = timing::overhead_percent(&baseline, &estimate);
+            SchemeTiming {
+                scheme,
+                estimate,
+                overhead_pct,
+            }
+        })
+        .collect();
+    (baseline, timings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4() -> DeviceSpec {
+        DeviceSpec::t4()
+    }
+
+    fn overheads(s: u64) -> Vec<(Scheme, f64)> {
+        let calib = Calibration::default();
+        let (_, ts) = evaluate_layer(
+            GemmShape::square(s),
+            &Scheme::all_protected(),
+            &t4(),
+            &calib,
+        );
+        ts.into_iter().map(|t| (t.scheme, t.overhead_pct)).collect()
+    }
+
+    fn of(list: &[(Scheme, f64)], s: Scheme) -> f64 {
+        list.iter().find(|(sc, _)| *sc == s).unwrap().1
+    }
+
+    #[test]
+    fn bandwidth_bound_sizes_favor_thread_level_abft() {
+        // Fig. 12, left of the CMR line: thread-level ABFT beats global
+        // by a wide margin (the paper reports up to 6.5×).
+        for s in [32u64, 64, 128, 256, 512] {
+            let o = overheads(s);
+            let one = of(&o, Scheme::ThreadLevelOneSided);
+            let glob = of(&o, Scheme::GlobalAbft);
+            assert!(
+                one < glob,
+                "size {s}: one-sided {one:.2}% !< global {glob:.2}%"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_bound_sizes_favor_global_abft() {
+        // Fig. 12, right of the CMR line: global ABFT wins (up to 14×).
+        for s in [1024u64, 2048] {
+            let o = overheads(s);
+            let one = of(&o, Scheme::ThreadLevelOneSided);
+            let glob = of(&o, Scheme::GlobalAbft);
+            assert!(
+                glob < one,
+                "size {s}: global {glob:.2}% !< one-sided {one:.2}%"
+            );
+            assert!(glob < 4.0, "global should be cheap at {s}: {glob:.2}%");
+        }
+    }
+
+    #[test]
+    fn one_sided_beats_two_sided_and_replication_when_compute_bound() {
+        // §6.5: the one-sided "sweet spot".
+        for s in [1024u64, 2048] {
+            let o = overheads(s);
+            let one = of(&o, Scheme::ThreadLevelOneSided);
+            let two = of(&o, Scheme::ThreadLevelTwoSided);
+            let rep = of(&o, Scheme::ReplicationSingleAcc);
+            assert!(one < two, "size {s}: {one:.1} !< {two:.1}");
+            assert!(two < rep, "size {s}: {two:.1} !< {rep:.1}");
+        }
+    }
+
+    #[test]
+    fn replication_overhead_spikes_beyond_70_percent_at_large_sizes() {
+        // Fig. 12: "The overhead for replication is above 70% for the
+        // final two sizes".
+        for s in [1024u64, 2048] {
+            let o = overheads(s);
+            assert!(of(&o, Scheme::ReplicationSingleAcc) > 70.0, "size {s}");
+        }
+    }
+
+    #[test]
+    fn traditional_replication_is_never_faster_than_single_acc() {
+        // §4: the occupancy/register cost of traditional replication.
+        for s in [128u64, 512, 2048] {
+            let o = overheads(s);
+            assert!(
+                of(&o, Scheme::ReplicationTraditional)
+                    >= of(&o, Scheme::ReplicationSingleAcc) - 1e-9,
+                "size {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_overhead_decays_with_size() {
+        let calib = Calibration::default();
+        let mut prev = f64::MAX;
+        for s in [32u64, 128, 512, 2048] {
+            let (_, ts) = evaluate_layer(
+                GemmShape::square(s),
+                &[Scheme::GlobalAbft],
+                &t4(),
+                &calib,
+            );
+            let o = ts[0].overhead_pct;
+            assert!(o < prev, "size {s}: {o} !< {prev}");
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn unprotected_profile_is_the_baseline() {
+        let calib = Calibration::default();
+        let (base, ts) = evaluate_layer(
+            GemmShape::square(256),
+            &[Scheme::Unprotected],
+            &t4(),
+            &calib,
+        );
+        assert_eq!(ts[0].estimate.total_s, base.total_s);
+        assert_eq!(ts[0].overhead_pct, 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # aiga-core — arithmetic-intensity-guided ABFT
+//!
+//! The paper's contribution, rebuilt on the `aiga-gpu` substrate:
+//!
+//! - [`schemes`]: every redundant-execution scheme the paper designs or
+//!   compares against —
+//!   [`schemes::GlobalAbft`] (the state-of-the-art kernel-level baseline
+//!   of Hari et al., §2.5, with offline weight checksums, fused output
+//!   summation, fused next-layer activation checksums, and a separate
+//!   reduce-and-compare kernel);
+//!   [`schemes::OneSidedThreadAbft`] and [`schemes::TwoSidedThreadAbft`]
+//!   (§5.1–5.2, running inside each simulated thread's inner loop and
+//!   sharing the thread's own operand loads);
+//!   [`schemes::ReplicationSingleAcc`] and
+//!   [`schemes::ReplicationTraditional`] (§4's two thread-level
+//!   replication variants).
+//! - [`tolerance`]: floating-point-aware checksum comparison with a
+//!   running analytical error bound, so fault detection never false-
+//!   positives on rounding noise.
+//! - [`cost`]: per-scheme kernel cost profiles (Table 1 scaled by the
+//!   tiling's `Mt × Nt`) feeding the `aiga-gpu` timing model.
+//! - [`selector`]: intensity-guided ABFT itself (§5.3) — per-layer
+//!   selection between global and thread-level ABFT by profiled
+//!   execution-time overhead, plus the §7.2 analytical variant that
+//!   compares arithmetic intensity against the device CMR.
+//! - [`pipeline`]: the §2.5 protected-inference flow across consecutive
+//!   layers (activation checksums fused into the producing layer).
+//! - [`protected`]: a small convenience API for protecting a single GEMM.
+
+pub mod cost;
+pub mod pipeline;
+pub mod protected;
+pub mod schemes;
+pub mod selector;
+pub mod tolerance;
+
+pub use protected::{ProtectedConv, ProtectedGemm, RunReport, Verdict};
+pub use schemes::Scheme;
+pub use selector::{LayerPlan, ModelPlan, SelectionMode};

@@ -1,0 +1,318 @@
+//! The protected inference pipeline (§2.5 flow).
+//!
+//! Runs a chain of fully-connected layers end to end on the functional
+//! engine with a per-layer scheme assignment (from an intensity-guided
+//! [`crate::selector::ModelPlan`] or fixed). Between layers the §2.5
+//! sequence is followed: matrix multiply → fused output summation →
+//! activation function (ReLU) → fused next-layer activation checksum →
+//! deferred reduce-and-compare. Thread-level schemes check inside the
+//! kernel instead and need none of the fused epilogues.
+//!
+//! The functional pipeline requires chainable layers (layer `i+1`'s `K`
+//! equals layer `i`'s `N`, as in DLRM's MLPs); convolutional models are
+//! exercised per-layer by the fault-injection campaigns instead, since
+//! im2col data movement is outside the GEMM kernel being protected.
+
+use crate::schemes::{
+    GlobalAbft, OneSidedThreadAbft, ReplicationSingleAcc, ReplicationTraditional, Scheme,
+    TwoSidedThreadAbft,
+};
+use aiga_fp16::F16;
+use aiga_gpu::engine::{FaultPlan, GemmEngine, GemmOutput, Matrix, NoScheme};
+use aiga_gpu::GemmShape;
+use aiga_nn::Model;
+
+/// A fault targeted at one layer of the pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineFault {
+    /// Index of the layer to corrupt.
+    pub layer: usize,
+    /// The fault to inject there.
+    pub fault: FaultPlan,
+}
+
+/// One detection event during protected inference.
+#[derive(Clone, Debug)]
+pub struct LayerDetection {
+    /// Index of the layer that flagged the fault.
+    pub layer: usize,
+    /// Layer name.
+    pub name: String,
+    /// Scheme that made the detection.
+    pub scheme: Scheme,
+    /// Residual of the failed check.
+    pub residual: f64,
+}
+
+/// Result of one protected inference pass.
+#[derive(Clone, Debug)]
+pub struct InferenceReport {
+    /// FP32 output of the final layer (post-activation of earlier layers
+    /// applied, final layer pre-activation).
+    pub output: Vec<f32>,
+    /// All detections raised along the way.
+    pub detections: Vec<LayerDetection>,
+}
+
+impl InferenceReport {
+    /// True if any layer flagged a fault.
+    pub fn fault_detected(&self) -> bool {
+        !self.detections.is_empty()
+    }
+}
+
+struct PipelineLayer {
+    name: String,
+    scheme: Scheme,
+    weights: Matrix,
+    engine: GemmEngine,
+    global: Option<GlobalAbft>,
+}
+
+/// A protected feed-forward (MLP-style) inference pipeline.
+pub struct ProtectedPipeline {
+    batch: usize,
+    layers: Vec<PipelineLayer>,
+}
+
+impl ProtectedPipeline {
+    /// Builds a pipeline from a model and a per-layer scheme assignment
+    /// (one scheme per layer). Weights are deterministic pseudo-random,
+    /// scaled like normalized NN weights. Panics if the model's layers do
+    /// not chain (`K[i+1] != N[i]`) or `schemes.len() != layers`.
+    pub fn new(model: &Model, schemes: &[Scheme], seed: u64) -> Self {
+        assert_eq!(
+            schemes.len(),
+            model.layers.len(),
+            "one scheme per layer required"
+        );
+        for pair in model.layers.windows(2) {
+            assert_eq!(
+                pair[1].shape.k, pair[0].shape.n,
+                "layers {} -> {} do not chain",
+                pair[0].name, pair[1].name
+            );
+        }
+        let batch = model.layers[0].shape.m as usize;
+        let layers = model
+            .layers
+            .iter()
+            .zip(schemes)
+            .enumerate()
+            .map(|(i, (l, &scheme))| {
+                let k = l.shape.k as usize;
+                let n = l.shape.n as usize;
+                // Weight scale ~ 1/sqrt(K) keeps activations O(1) through
+                // depth, like trained networks.
+                let raw = Matrix::random(k, n, seed.wrapping_add(i as u64 * 7919));
+                let scale = F16::from_f64(1.0 / (k as f64).sqrt());
+                let weights = Matrix::from_fn(k, n, |r, c| raw.get(r, c) * scale);
+                let engine = GemmEngine::with_default_tiling(GemmShape::new(
+                    l.shape.m, l.shape.n, l.shape.k,
+                ));
+                let global =
+                    matches!(scheme, Scheme::GlobalAbft).then(|| GlobalAbft::prepare(&weights));
+                PipelineLayer {
+                    name: l.name.clone(),
+                    scheme,
+                    weights,
+                    engine,
+                    global,
+                }
+            })
+            .collect();
+        ProtectedPipeline { batch, layers }
+    }
+
+    /// Builds a pipeline protecting every layer with one fixed scheme.
+    pub fn uniform(model: &Model, scheme: Scheme, seed: u64) -> Self {
+        Self::new(model, &vec![scheme; model.layers.len()], seed)
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs protected inference on `input` (batch × K₀), optionally
+    /// injecting one fault.
+    pub fn infer(&self, input: &Matrix, fault: Option<PipelineFault>) -> InferenceReport {
+        assert_eq!(input.rows, self.batch, "batch size mismatch");
+        assert_eq!(
+            input.cols, self.layers[0].weights.rows,
+            "input feature width mismatch"
+        );
+        let mut activations = input.clone();
+        let mut detections = Vec::new();
+        let mut final_output = Vec::new();
+
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let layer_fault = fault.and_then(|f| (f.layer == idx).then_some(f.fault));
+            let out: GemmOutput = match layer.scheme {
+                Scheme::Unprotected | Scheme::GlobalAbft => {
+                    layer
+                        .engine
+                        .run(&activations, &layer.weights, || NoScheme, layer_fault)
+                }
+                Scheme::ThreadLevelOneSided => layer.engine.run(
+                    &activations,
+                    &layer.weights,
+                    OneSidedThreadAbft::new,
+                    layer_fault,
+                ),
+                Scheme::ThreadLevelTwoSided => layer.engine.run(
+                    &activations,
+                    &layer.weights,
+                    TwoSidedThreadAbft::new,
+                    layer_fault,
+                ),
+                Scheme::ReplicationSingleAcc => layer.engine.run(
+                    &activations,
+                    &layer.weights,
+                    ReplicationSingleAcc::new,
+                    layer_fault,
+                ),
+                Scheme::ReplicationTraditional => layer.engine.run(
+                    &activations,
+                    &layer.weights,
+                    ReplicationTraditional::new,
+                    layer_fault,
+                ),
+            };
+
+            // Thread-level detections come out of the kernel itself.
+            for d in &out.detections {
+                detections.push(LayerDetection {
+                    layer: idx,
+                    name: layer.name.clone(),
+                    scheme: layer.scheme,
+                    residual: d.residual,
+                });
+            }
+            // Global ABFT's deferred reduce-and-compare (§2.5 step 5).
+            if let Some(global) = &layer.global {
+                let v = global.verify(&activations, &out);
+                if v.fault_detected {
+                    detections.push(LayerDetection {
+                        layer: idx,
+                        name: layer.name.clone(),
+                        scheme: layer.scheme,
+                        residual: v.residual,
+                    });
+                }
+            }
+
+            if idx + 1 == self.layers.len() {
+                final_output = out.c;
+            } else {
+                // ReLU, then down-convert for the next layer's FP16 GEMM.
+                activations = Matrix::from_fn(out.m, out.n, |r, c| {
+                    F16::from_f32(out.get(r, c).max(0.0))
+                });
+            }
+        }
+
+        InferenceReport {
+            output: final_output,
+            detections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::FaultKind;
+    use aiga_nn::zoo;
+
+    fn input(batch: usize, features: usize) -> Matrix {
+        Matrix::random(batch, features, 4242)
+    }
+
+    #[test]
+    fn clean_dlrm_bottom_inference_raises_nothing() {
+        let model = zoo::dlrm_mlp_bottom(16);
+        for scheme in [Scheme::GlobalAbft, Scheme::ThreadLevelOneSided] {
+            let p = ProtectedPipeline::uniform(&model, scheme, 1);
+            let r = p.infer(&input(16, 13), None);
+            assert!(!r.fault_detected(), "{scheme}: {:?}", r.detections.first());
+            assert_eq!(r.output.len(), 16 * 64);
+        }
+    }
+
+    #[test]
+    fn fault_in_a_middle_layer_is_caught_at_that_layer() {
+        let model = zoo::dlrm_mlp_bottom(16);
+        let p = ProtectedPipeline::uniform(&model, Scheme::ThreadLevelOneSided, 2);
+        let fault = PipelineFault {
+            layer: 1,
+            fault: FaultPlan {
+                row: 3,
+                col: 100,
+                after_step: 2,
+                kind: FaultKind::AddValue(40.0),
+            },
+        };
+        let r = p.infer(&input(16, 13), Some(fault));
+        assert!(r.fault_detected());
+        assert_eq!(r.detections[0].layer, 1);
+        assert_eq!(r.detections[0].scheme, Scheme::ThreadLevelOneSided);
+    }
+
+    #[test]
+    fn mixed_assignment_follows_the_plan() {
+        let model = zoo::dlrm_mlp_bottom(16);
+        let schemes = [
+            Scheme::GlobalAbft,
+            Scheme::ThreadLevelOneSided,
+            Scheme::GlobalAbft,
+        ];
+        let p = ProtectedPipeline::new(&model, &schemes, 3);
+        // Fault in layer 0 must be detected by global ABFT.
+        let fault = PipelineFault {
+            layer: 0,
+            fault: FaultPlan {
+                row: 1,
+                col: 1,
+                after_step: u64::MAX,
+                kind: FaultKind::AddValue(30.0),
+            },
+        };
+        let r = p.infer(&input(16, 13), Some(fault));
+        assert!(r.fault_detected());
+        assert_eq!(r.detections[0].scheme, Scheme::GlobalAbft);
+    }
+
+    #[test]
+    fn unprotected_pipeline_silently_corrupts() {
+        let model = zoo::dlrm_mlp_bottom(8);
+        let p = ProtectedPipeline::uniform(&model, Scheme::Unprotected, 4);
+        let clean = p.infer(&input(8, 13), None);
+        let fault = PipelineFault {
+            layer: 0,
+            fault: FaultPlan {
+                row: 0,
+                col: 0,
+                after_step: 0,
+                kind: FaultKind::SetValue(100.0),
+            },
+        };
+        let dirty = p.infer(&input(8, 13), Some(fault));
+        assert!(!dirty.fault_detected());
+        // The corruption propagates through ReLU into downstream layers.
+        assert_ne!(clean.output, dirty.output);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not chain")]
+    fn non_chaining_models_are_rejected() {
+        let model = aiga_nn::Model::new(
+            "broken",
+            vec![
+                aiga_nn::LinearLayer::fc("a", 8, 16, 32),
+                aiga_nn::LinearLayer::fc("b", 8, 64, 32), // K != previous N
+            ],
+        );
+        ProtectedPipeline::uniform(&model, Scheme::GlobalAbft, 0);
+    }
+}

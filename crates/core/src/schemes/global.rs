@@ -1,0 +1,258 @@
+//! Global (kernel-level) ABFT, after Hari et al. (§2.5) — the
+//! state-of-the-art baseline intensity-guided ABFT selects for
+//! compute-bound layers.
+//!
+//! Workflow per protected layer:
+//!
+//! 1. the GEMM runs unmodified;
+//! 2. a fused epilogue produces the **output summation** `Σ C`;
+//! 3. the activation function is applied;
+//! 4. a fused epilogue produces the **next layer's activation checksum**
+//!    (column sums of the next layer's `A` — here, of this layer's
+//!    input, produced by the *previous* layer);
+//! 5. a separate kernel computes the checksum dot product
+//!    `(colsum A) · (rowsum B)` and compares it with `Σ C`.
+//!
+//! The **weight checksum** (`rowsum B`) is computed once offline because
+//! weights never change between inference requests.
+
+use crate::tolerance::Tolerance;
+use aiga_gpu::engine::{GemmOutput, Matrix};
+
+/// Sums a slice of FP32 values pairwise (tree order), as the fused
+/// epilogue + CUB-style reduce kernel would.
+pub fn pairwise_sum_f32(values: &[f32]) -> f32 {
+    match values.len() {
+        0 => 0.0,
+        1 => values[0],
+        n => {
+            let (lo, hi) = values.split_at(n / 2);
+            pairwise_sum_f32(lo) + pairwise_sum_f32(hi)
+        }
+    }
+}
+
+/// Result of the global ABFT reduce-and-compare kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GlobalVerdict {
+    /// Whether the layer is flagged faulty.
+    pub fault_detected: bool,
+    /// `|checksum dot product − output summation|`.
+    pub residual: f64,
+    /// Threshold the residual was compared against.
+    pub threshold: f64,
+}
+
+/// Global ABFT state for one linear layer.
+#[derive(Clone, Debug)]
+pub struct GlobalAbft {
+    /// Offline weight checksum: `rowsum(B)[k] = Σ_j B[k][j]`, FP32.
+    weight_checksum: Vec<f32>,
+    /// `Σ_j |B[k][j]|` per `k`, for the error bound.
+    weight_abs: Vec<f64>,
+    tolerance: Tolerance,
+}
+
+impl GlobalAbft {
+    /// Offline preparation from the layer's weights (§2.5: computed once,
+    /// reused for every inference request).
+    pub fn prepare(b: &Matrix) -> Self {
+        Self::prepare_with_tolerance(b, Tolerance::Analytical)
+    }
+
+    /// Offline preparation with an explicit tolerance policy.
+    pub fn prepare_with_tolerance(b: &Matrix, tolerance: Tolerance) -> Self {
+        let mut weight_checksum = vec![0.0f32; b.rows];
+        let mut weight_abs = vec![0.0f64; b.rows];
+        let mut row = vec![0.0f32; b.cols];
+        for k in 0..b.rows {
+            #[allow(clippy::needless_range_loop)] // row/abs are indexed in lockstep
+            for j in 0..b.cols {
+                let v = b.get(k, j);
+                row[j] = v.to_f32();
+                weight_abs[k] += v.to_f64().abs();
+            }
+            weight_checksum[k] = pairwise_sum_f32(&row);
+        }
+        GlobalAbft {
+            weight_checksum,
+            weight_abs,
+            tolerance,
+        }
+    }
+
+    /// The activation checksum of `a` (column sums, `1 × K`) together
+    /// with the per-column absolute sums. In the §2.5 flow this is fused
+    /// into the epilogue of the layer that *produced* `a`.
+    pub fn activation_checksum(a: &Matrix) -> (Vec<f32>, Vec<f64>) {
+        let mut chk = vec![0.0f32; a.cols];
+        let mut abs = vec![0.0f64; a.cols];
+        let mut col = vec![0.0f32; a.rows];
+        for k in 0..a.cols {
+            #[allow(clippy::needless_range_loop)] // col buffer indexed in lockstep
+            for i in 0..a.rows {
+                let v = a.get(i, k);
+                col[i] = v.to_f32();
+                abs[k] += v.to_f64().abs();
+            }
+            chk[k] = pairwise_sum_f32(&col);
+        }
+        (chk, abs)
+    }
+
+    /// The fused output summation `Σ C` over the kernel's FP32
+    /// accumulators (§2.5 step 2).
+    pub fn output_summation(out: &GemmOutput) -> f32 {
+        pairwise_sum_f32(&out.c)
+    }
+
+    /// The reduce-and-compare kernel (§2.5 step 5): dot the activation
+    /// checksum with the offline weight checksum and compare against the
+    /// output summation.
+    pub fn check(
+        &self,
+        activation_checksum: &[f32],
+        activation_abs: &[f64],
+        output_summation: f32,
+        out_m: usize,
+        out_n: usize,
+    ) -> GlobalVerdict {
+        assert_eq!(
+            activation_checksum.len(),
+            self.weight_checksum.len(),
+            "checksum length mismatch"
+        );
+        let mut dot = 0.0f32;
+        let mut magnitude = 0.0f64;
+        for k in 0..self.weight_checksum.len() {
+            dot += activation_checksum[k] * self.weight_checksum[k];
+            magnitude += activation_abs[k] * self.weight_abs[k];
+        }
+        let residual = (dot as f64 - output_summation as f64).abs();
+        // Tree reductions round O(log) times per stage; charge each of
+        // the four reductions (A-colsum, B-rowsum, dot, ΣC) a log term,
+        // with a 1.5x slack factor over the first-order bound.
+        let logs = (out_m as f64).log2().ceil()
+            + (out_n as f64).log2().ceil()
+            + (self.weight_checksum.len() as f64).log2().ceil()
+            + ((out_m * out_n) as f64).log2().ceil();
+        let threshold = self.tolerance.threshold(0.0, 1.5 * (logs + 8.0), magnitude);
+        GlobalVerdict {
+            fault_detected: residual > threshold,
+            residual,
+            threshold,
+        }
+    }
+
+    /// Convenience wrapper running the whole §2.5 flow for one layer:
+    /// activation checksum over `a`, output summation over `out`, then
+    /// the comparison.
+    pub fn verify(&self, a: &Matrix, out: &GemmOutput) -> GlobalVerdict {
+        let (chk, abs) = Self::activation_checksum(a);
+        let sum = Self::output_summation(out);
+        self.check(&chk, &abs, sum, out.m, out.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, NoScheme};
+    use aiga_gpu::GemmShape;
+
+    fn run(
+        m: usize,
+        n: usize,
+        k: usize,
+        seed: u64,
+        fault: Option<FaultPlan>,
+    ) -> (Matrix, GemmOutput) {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+        let eng = GemmEngine::with_default_tiling(GemmShape::new(m as u64, n as u64, k as u64));
+        let out = eng.run(&a, &b, || NoScheme, fault);
+        (a, out)
+    }
+
+    #[test]
+    fn clean_layer_passes_the_check() {
+        let b = Matrix::random(64, 48, 61);
+        let abft = GlobalAbft::prepare(&b);
+        let a = Matrix::random(56, 64, 60);
+        let eng = GemmEngine::with_default_tiling(GemmShape::new(56, 48, 64));
+        let out = eng.run(&a, &b, || NoScheme, None);
+        let v = abft.verify(&a, &out);
+        assert!(!v.fault_detected, "{v:?}");
+    }
+
+    #[test]
+    fn detects_a_single_corrupted_output() {
+        let b = Matrix::random(64, 48, 63);
+        let abft = GlobalAbft::prepare(&b);
+        let a = Matrix::random(56, 64, 62);
+        let eng = GemmEngine::with_default_tiling(GemmShape::new(56, 48, 64));
+        let fault = FaultPlan {
+            row: 13,
+            col: 21,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(50.0),
+        };
+        let out = eng.run(&a, &b, || NoScheme, Some(fault));
+        let v = abft.verify(&a, &out);
+        assert!(v.fault_detected, "{v:?}");
+        assert!((v.residual - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn detects_exponent_bit_flips_anywhere() {
+        for (r, c) in [(0usize, 0usize), (31, 17), (55, 47)] {
+            let b = Matrix::random(64, 48, 65);
+            let abft = GlobalAbft::prepare(&b);
+            let a = Matrix::random(56, 64, 64);
+            let eng = GemmEngine::with_default_tiling(GemmShape::new(56, 48, 64));
+            let fault = FaultPlan {
+                row: r,
+                col: c,
+                after_step: u64::MAX,
+                kind: FaultKind::BitFlip(29),
+            };
+            let out = eng.run(&a, &b, || NoScheme, Some(fault));
+            assert!(abft.verify(&a, &out).fault_detected, "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn weight_checksum_is_reusable_across_requests() {
+        let b = Matrix::random(32, 32, 67);
+        let abft = GlobalAbft::prepare(&b);
+        for seed in 70..74 {
+            let (a, out) = {
+                let a = Matrix::random(24, 32, seed);
+                let eng = GemmEngine::with_default_tiling(GemmShape::new(24, 32, 32));
+                let out = eng.run(&a, &b, || NoScheme, None);
+                (a, out)
+            };
+            assert!(!abft.verify(&a, &out).fault_detected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pairwise_sum_matches_exact_on_integers() {
+        let vals: Vec<f32> = (1..=1000).map(|v| v as f32).collect();
+        assert_eq!(pairwise_sum_f32(&vals), 500500.0);
+        assert_eq!(pairwise_sum_f32(&[]), 0.0);
+    }
+
+    #[test]
+    fn checksum_lengths_are_validated() {
+        let (a, out) = run(16, 16, 32, 80, None);
+        let b2 = Matrix::random(16, 16, 81); // wrong K
+        let abft = GlobalAbft::prepare(&b2);
+        let (chk, abs) = GlobalAbft::activation_checksum(&a);
+        let sum = GlobalAbft::output_summation(&out);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            abft.check(&chk, &abs, sum, out.m, out.n)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! All redundant-execution schemes the paper designs or compares.
+//!
+//! Table 1 summarizes the per-K-step costs each thread pays:
+//!
+//! | scheme            | extra Tensor Core MMAs | checksum ops    |
+//! |-------------------|------------------------|-----------------|
+//! | replication       | `Mt·Nt / 2`            | 0               |
+//! | two-sided ABFT    | 1                      | `O(Mt + Nt)`    |
+//! | one-sided ABFT    | `Mt / 2`               | `O(Nt)`         |
+//!
+//! Global ABFT pays none of these in the main kernel; its costs are a
+//! fused epilogue plus a separate reduce-and-compare kernel (§2.5).
+
+mod global;
+mod multi;
+mod replication;
+mod thread_one_sided;
+mod thread_two_sided;
+
+pub use global::{GlobalAbft, GlobalVerdict};
+pub use multi::{MultiChecksumAbft, MultiVerdict};
+pub use replication::{ReplicationSingleAcc, ReplicationTraditional};
+pub use thread_one_sided::OneSidedThreadAbft;
+pub use thread_two_sided::TwoSidedThreadAbft;
+
+use aiga_gpu::TilingConfig;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for every scheme the evaluation compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// No redundancy (the `To` baseline of §6.2).
+    Unprotected,
+    /// Kernel-level ABFT per Hari et al. (§2.5).
+    GlobalAbft,
+    /// One-sided thread-level ABFT (§5.2.2) — the variant intensity-
+    /// guided ABFT deploys for bandwidth-bound layers.
+    ThreadLevelOneSided,
+    /// Two-sided thread-level ABFT (§5.2.2).
+    ThreadLevelTwoSided,
+    /// Thread-level replication with a single shared redundant
+    /// accumulator set (§4, "replicated MMA, single accumulation").
+    ReplicationSingleAcc,
+    /// Traditional thread-level replication with fully duplicated
+    /// accumulators (§4) — the occupancy-cliff variant.
+    ReplicationTraditional,
+}
+
+impl Scheme {
+    /// All redundancy schemes (everything but the unprotected baseline).
+    pub fn all_protected() -> [Scheme; 5] {
+        [
+            Scheme::GlobalAbft,
+            Scheme::ThreadLevelOneSided,
+            Scheme::ThreadLevelTwoSided,
+            Scheme::ReplicationSingleAcc,
+            Scheme::ReplicationTraditional,
+        ]
+    }
+
+    /// The two candidates intensity-guided ABFT selects between (§5.3).
+    pub fn intensity_guided_candidates() -> [Scheme; 2] {
+        [Scheme::GlobalAbft, Scheme::ThreadLevelOneSided]
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Unprotected => "Unprotected",
+            Scheme::GlobalAbft => "Global ABFT",
+            Scheme::ThreadLevelOneSided => "Thread-level ABFT (one-sided)",
+            Scheme::ThreadLevelTwoSided => "Thread-level ABFT (two-sided)",
+            Scheme::ReplicationSingleAcc => "Thread-level replication",
+            Scheme::ReplicationTraditional => "Thread-level replication (traditional)",
+        }
+    }
+
+    /// Extra Tensor-Core MMA participations per thread per K-step
+    /// (Table 1, first row) for a tiling.
+    pub fn extra_mmas_per_step(self, tiling: &TilingConfig) -> u64 {
+        let (mt, nt) = (tiling.thread_mt(), tiling.thread_nt());
+        match self {
+            Scheme::Unprotected | Scheme::GlobalAbft => 0,
+            Scheme::ThreadLevelOneSided => mt / 2,
+            Scheme::ThreadLevelTwoSided => 1,
+            Scheme::ReplicationSingleAcc | Scheme::ReplicationTraditional => mt * nt / 2,
+        }
+    }
+
+    /// Checksum-generation ALU operations (HADD2-class, so two FP16 adds
+    /// per op) per thread per K-step (Table 1, second row).
+    pub fn checksum_ops_per_step(self, tiling: &TilingConfig) -> u64 {
+        let (mt, nt) = (tiling.thread_mt(), tiling.thread_nt());
+        match self {
+            Scheme::Unprotected | Scheme::GlobalAbft => 0,
+            // One B-side checksum: Nt/2 packed adds per k-lane pair.
+            Scheme::ThreadLevelOneSided => nt / 2,
+            // Both checksums — the O(Mt + Nt) term motivating §5.2.2.
+            Scheme::ThreadLevelTwoSided => mt + nt,
+            Scheme::ReplicationSingleAcc | Scheme::ReplicationTraditional => 0,
+        }
+    }
+
+    /// Extra registers per thread the scheme holds live.
+    pub fn extra_regs(self, tiling: &TilingConfig) -> u64 {
+        let (mt, nt) = (tiling.thread_mt(), tiling.thread_nt());
+        match self {
+            Scheme::Unprotected | Scheme::GlobalAbft => 0,
+            // Mt ABFT accumulators plus the packed B-checksum register.
+            Scheme::ThreadLevelOneSided => mt + 2,
+            // One ABFT accumulator + two packed checksum registers.
+            Scheme::ThreadLevelTwoSided => 4,
+            // Four shared redundant accumulators (§4's fix).
+            Scheme::ReplicationSingleAcc => 4,
+            // Fully duplicated accumulators — the occupancy cliff.
+            Scheme::ReplicationTraditional => mt * nt,
+        }
+    }
+
+    /// Whether the scheme's redundant work lives inside each thread
+    /// (shares the thread's loads; no extra memory traffic).
+    pub fn is_thread_level(self) -> bool {
+        matches!(
+            self,
+            Scheme::ThreadLevelOneSided
+                | Scheme::ThreadLevelTwoSided
+                | Scheme::ReplicationSingleAcc
+                | Scheme::ReplicationTraditional
+        )
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big() -> TilingConfig {
+        TilingConfig::candidates()[0] // Mt=8, Nt=16
+    }
+
+    #[test]
+    fn table1_ordering_holds() {
+        // One-sided sits between two-sided and replication on MMAs, and
+        // between replication and two-sided on checksum ops (§5.2.2's
+        // "sweet spot").
+        let t = big();
+        let rep = Scheme::ReplicationSingleAcc;
+        let one = Scheme::ThreadLevelOneSided;
+        let two = Scheme::ThreadLevelTwoSided;
+        assert!(two.extra_mmas_per_step(&t) < one.extra_mmas_per_step(&t));
+        assert!(one.extra_mmas_per_step(&t) < rep.extra_mmas_per_step(&t));
+        assert!(rep.checksum_ops_per_step(&t) < one.checksum_ops_per_step(&t));
+        assert!(one.checksum_ops_per_step(&t) < two.checksum_ops_per_step(&t));
+    }
+
+    #[test]
+    fn table1_values_for_the_large_tiling() {
+        let t = big();
+        assert_eq!(Scheme::ReplicationSingleAcc.extra_mmas_per_step(&t), 64); // MtNt/2
+        assert_eq!(Scheme::ThreadLevelTwoSided.extra_mmas_per_step(&t), 1);
+        assert_eq!(Scheme::ThreadLevelOneSided.extra_mmas_per_step(&t), 4); // Mt/2
+        assert_eq!(Scheme::GlobalAbft.extra_mmas_per_step(&t), 0);
+    }
+
+    #[test]
+    fn traditional_replication_doubles_accumulator_registers() {
+        let t = big();
+        assert_eq!(
+            Scheme::ReplicationTraditional.extra_regs(&t),
+            t.accumulators_per_thread()
+        );
+        assert!(Scheme::ReplicationSingleAcc.extra_regs(&t) <= 4);
+    }
+
+    #[test]
+    fn global_abft_adds_no_thread_level_work() {
+        let t = big();
+        assert_eq!(Scheme::GlobalAbft.extra_mmas_per_step(&t), 0);
+        assert_eq!(Scheme::GlobalAbft.checksum_ops_per_step(&t), 0);
+        assert!(!Scheme::GlobalAbft.is_thread_level());
+        assert!(Scheme::ThreadLevelOneSided.is_thread_level());
+    }
+}

@@ -1,0 +1,240 @@
+//! Multi-checksum global ABFT — the §2.4 extension for higher fault
+//! rates.
+//!
+//! Single-checksum ABFT guarantees detection of **one** faulty output
+//! value: two faults whose errors cancel in the plain summation are
+//! invisible to it. §2.4: *"To do so, ABFT generates multiple checksum
+//! columns and rows based on independent linear combinations of
+//! columns/rows."* This module implements that scheme with the classical
+//! Vandermonde-style weights `w_r(i) = (i+1)^r` for rounds `r = 0..R`:
+//!
+//! - round 0 is ordinary global ABFT (all-ones combination);
+//! - round `r` compares `Σ_ij (i+1)^r · C[i][j]` against
+//!   `(Σ_i (i+1)^r · A[i,:]) · (B · 1)`.
+//!
+//! Any `e ≤ R` faults confined to `e` distinct rows produce a nonzero
+//! residual in at least one round, because the errors would otherwise
+//! have to be a nonzero kernel vector of an `R × e` Vandermonde system.
+//! Checksums are carried in FP64 here (the weighted sums grow with `M`,
+//! so a production kernel would use wider accumulation for the weighted
+//! rounds too); the comparison still uses the analytical tolerance
+//! because `C` itself is FP32.
+
+use crate::schemes::GlobalVerdict;
+use crate::tolerance::Tolerance;
+use aiga_gpu::engine::{GemmOutput, Matrix};
+
+/// Multi-round weighted global ABFT state for one layer.
+#[derive(Clone, Debug)]
+pub struct MultiChecksumAbft {
+    /// Offline weight checksum `B · 1` in FP64.
+    weight_checksum: Vec<f64>,
+    /// `Σ_j |B[k][j]|` per `k`.
+    weight_abs: Vec<f64>,
+    /// Number of independent checksum rounds.
+    rounds: usize,
+    tolerance: Tolerance,
+}
+
+/// Verdict of a multi-round check.
+#[derive(Clone, Debug)]
+pub struct MultiVerdict {
+    /// Per-round verdicts, round 0 first.
+    pub rounds: Vec<GlobalVerdict>,
+}
+
+impl MultiVerdict {
+    /// True if any round flagged a fault.
+    pub fn fault_detected(&self) -> bool {
+        self.rounds.iter().any(|r| r.fault_detected)
+    }
+
+    /// Index of the first round that flagged, if any.
+    pub fn first_failing_round(&self) -> Option<usize> {
+        self.rounds.iter().position(|r| r.fault_detected)
+    }
+}
+
+impl MultiChecksumAbft {
+    /// Prepares `rounds ≥ 1` independent checksums from the weights.
+    pub fn prepare(b: &Matrix, rounds: usize) -> Self {
+        assert!(rounds >= 1, "at least one checksum round required");
+        let mut weight_checksum = vec![0.0f64; b.rows];
+        let mut weight_abs = vec![0.0f64; b.rows];
+        for k in 0..b.rows {
+            for j in 0..b.cols {
+                let v = b.get(k, j).to_f64();
+                weight_checksum[k] += v;
+                weight_abs[k] += v.abs();
+            }
+        }
+        MultiChecksumAbft {
+            weight_checksum,
+            weight_abs,
+            rounds,
+            tolerance: Tolerance::Analytical,
+        }
+    }
+
+    /// Number of independent rounds (detects up to this many faults in
+    /// distinct rows).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Weight of row `i` in round `r`: `(i+1)^r`, with `r = 0` the plain
+    /// all-ones checksum.
+    fn weight(i: usize, r: usize) -> f64 {
+        (i as f64 + 1.0).powi(r as i32)
+    }
+
+    /// Runs all checksum rounds for one layer.
+    pub fn verify(&self, a: &Matrix, out: &GemmOutput) -> MultiVerdict {
+        assert_eq!(a.cols, self.weight_checksum.len(), "K mismatch");
+        let rounds = (0..self.rounds)
+            .map(|r| {
+                // Weighted activation checksum: u_k = Σ_i w_r(i)·A[i][k].
+                let mut dot = 0.0f64;
+                let mut magnitude = 0.0f64;
+                for k in 0..a.cols {
+                    let mut u = 0.0f64;
+                    let mut u_abs = 0.0f64;
+                    for i in 0..a.rows {
+                        let w = Self::weight(i, r);
+                        let v = a.get(i, k).to_f64();
+                        u += w * v;
+                        u_abs += w * v.abs();
+                    }
+                    dot += u * self.weight_checksum[k];
+                    magnitude += u_abs * self.weight_abs[k];
+                }
+                // Weighted output summation: Σ_ij w_r(i)·C[i][j].
+                let mut c_sum = 0.0f64;
+                for i in 0..out.m {
+                    let w = Self::weight(i, r);
+                    for j in 0..out.n {
+                        c_sum += w * out.get(i, j) as f64;
+                    }
+                }
+                let residual = (dot - c_sum).abs();
+                // C is FP32: each element carries FP32 accumulation error
+                // scaled by its weight; the FP64 checksum arithmetic adds
+                // nothing material.
+                let rounds32 = (a.cols as f64).log2().ceil() + 24.0;
+                let threshold = self.tolerance.threshold(0.0, rounds32, magnitude);
+                GlobalVerdict {
+                    fault_detected: residual > threshold,
+                    residual,
+                    threshold,
+                }
+            })
+            .collect();
+        MultiVerdict { rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, NoScheme};
+    use aiga_gpu::GemmShape;
+
+    fn setup(seed: u64) -> (Matrix, Matrix, GemmEngine) {
+        let a = Matrix::random(48, 64, seed);
+        let b = Matrix::random(64, 40, seed + 1);
+        let eng = GemmEngine::with_default_tiling(GemmShape::new(48, 40, 64));
+        (a, b, eng)
+    }
+
+    fn fault(row: usize, col: usize, delta: f32) -> FaultPlan {
+        FaultPlan {
+            row,
+            col,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(delta),
+        }
+    }
+
+    #[test]
+    fn clean_runs_pass_every_round() {
+        for seed in [100, 200, 300] {
+            let (a, b, eng) = setup(seed);
+            let abft = MultiChecksumAbft::prepare(&b, 3);
+            let out = eng.run(&a, &b, || NoScheme, None);
+            let v = abft.verify(&a, &out);
+            assert!(!v.fault_detected(), "seed {seed}: {:?}", v.rounds);
+        }
+    }
+
+    #[test]
+    fn cancelling_fault_pair_defeats_single_checksum() {
+        // Two faults of +δ and −δ in different rows cancel in the plain
+        // summation: round 0 alone is blind to them.
+        let (a, b, eng) = setup(400);
+        let out = eng.run_multi(
+            &a,
+            &b,
+            || NoScheme,
+            &[fault(3, 5, 250.0), fault(20, 9, -250.0)],
+        );
+        let single = MultiChecksumAbft::prepare(&b, 1);
+        let v1 = single.verify(&a, &out);
+        assert!(
+            !v1.fault_detected(),
+            "cancelling pair should evade the plain checksum: {:?}",
+            v1.rounds
+        );
+    }
+
+    #[test]
+    fn second_round_catches_the_cancelling_pair() {
+        let (a, b, eng) = setup(500);
+        let out = eng.run_multi(
+            &a,
+            &b,
+            || NoScheme,
+            &[fault(3, 5, 250.0), fault(20, 9, -250.0)],
+        );
+        let dual = MultiChecksumAbft::prepare(&b, 2);
+        let v2 = dual.verify(&a, &out);
+        assert!(v2.fault_detected());
+        // Round 0 stays silent; round 1's row weighting breaks the
+        // cancellation: residual ≈ |w(3) − w(20)|·250 = 17·250.
+        assert_eq!(v2.first_failing_round(), Some(1));
+        assert!((v2.rounds[1].residual - 17.0 * 250.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn single_faults_are_still_caught_by_round_zero() {
+        let (a, b, eng) = setup(600);
+        let out = eng.run(&a, &b, || NoScheme, Some(fault(7, 7, 99.0)));
+        let dual = MultiChecksumAbft::prepare(&b, 2);
+        let v = dual.verify(&a, &out);
+        assert_eq!(v.first_failing_round(), Some(0));
+    }
+
+    #[test]
+    fn three_rounds_catch_two_faults_in_any_distinct_rows() {
+        let (a, b, eng) = setup(700);
+        let triple = MultiChecksumAbft::prepare(&b, 3);
+        for (r1, r2) in [(0usize, 47usize), (1, 2), (10, 40)] {
+            let out = eng.run_multi(
+                &a,
+                &b,
+                || NoScheme,
+                &[fault(r1, 0, 300.0), fault(r2, 39, -300.0)],
+            );
+            assert!(
+                triple.verify(&a, &out).fault_detected(),
+                "rows ({r1},{r2}) escaped"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one checksum round")]
+    fn zero_rounds_is_rejected() {
+        let b = Matrix::zeros(4, 4);
+        MultiChecksumAbft::prepare(&b, 0);
+    }
+}

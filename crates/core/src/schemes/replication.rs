@@ -1,0 +1,228 @@
+//! Thread-level replication (§4): the two variants the paper explored
+//! before settling on ABFT.
+//!
+//! *Traditional* replication duplicates every MMA **and** every
+//! accumulator register, comparing element-wise at the end. Both copies
+//! compute bit-identical sequences, so the comparison is exact — but the
+//! doubled register footprint cuts occupancy (or spills), which is why
+//! the paper discards it.
+//!
+//! *Single-accumulation* replication re-issues every MMA but folds all
+//! redundant results into four shared registers; the invariant is that
+//! the sum of those four equals the sum of the thread's `Mt·Nt` original
+//! accumulators. Register pressure stays flat at the cost of a coarser,
+//! tolerance-based check.
+
+use crate::tolerance::Tolerance;
+use aiga_fp16::F16;
+use aiga_gpu::engine::{SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+
+/// Traditional thread-level replication: full duplicate accumulators,
+/// exact element-wise comparison.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicationTraditional {
+    shadow: Vec<f32>,
+    counters: SchemeCounters,
+}
+
+impl ReplicationTraditional {
+    /// Creates a scheme instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ThreadLocalScheme for ReplicationTraditional {
+    fn begin(&mut self, ctx: &ThreadCtx) {
+        self.shadow = vec![0.0; ctx.rows.len() * ctx.cols.len()];
+        self.counters = SchemeCounters::default();
+    }
+
+    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
+        // Replays the engine's accumulation bit-for-bit.
+        for i in 0..mt {
+            let a0 = a_chunk[i * 2].to_f32();
+            let a1 = a_chunk[i * 2 + 1].to_f32();
+            for j in 0..nt {
+                let partial = a0 * b_chunk[j].to_f32() + a1 * b_chunk[nt + j].to_f32();
+                self.shadow[i * nt + j] += partial;
+            }
+        }
+        self.counters.extra_mmas += (mt * nt / 2) as u64;
+    }
+
+    fn finalize(&mut self, _ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
+        let mut worst = ThreadVerdict::clean();
+        #[allow(clippy::needless_range_loop)] // acc and shadow indexed in lockstep
+        for idx in 0..mt * nt {
+            let residual = (acc[idx] as f64 - self.shadow[idx] as f64).abs();
+            if Tolerance::Exact.flags(residual, 0.0, 0.0, 0.0) && residual >= worst.residual {
+                worst = ThreadVerdict {
+                    fault_detected: true,
+                    residual,
+                    threshold: 0.0,
+                };
+            }
+        }
+        worst
+    }
+
+    fn counters(&self) -> SchemeCounters {
+        self.counters
+    }
+}
+
+/// Replicated-MMA, single-accumulation replication: redundant MMA results
+/// fold into four shared registers (§4).
+#[derive(Clone, Debug)]
+pub struct ReplicationSingleAcc {
+    tolerance: Tolerance,
+    racc: [f32; 4],
+    magnitude: f64,
+    steps: u64,
+    counters: SchemeCounters,
+}
+
+impl ReplicationSingleAcc {
+    /// Creates a scheme instance with the default analytical tolerance.
+    pub fn new() -> Self {
+        Self::with_tolerance(Tolerance::Analytical)
+    }
+
+    /// Creates a scheme instance with an explicit tolerance policy.
+    pub fn with_tolerance(tolerance: Tolerance) -> Self {
+        ReplicationSingleAcc {
+            tolerance,
+            racc: [0.0; 4],
+            magnitude: 0.0,
+            steps: 0,
+            counters: SchemeCounters::default(),
+        }
+    }
+}
+
+impl Default for ReplicationSingleAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadLocalScheme for ReplicationSingleAcc {
+    fn begin(&mut self, _ctx: &ThreadCtx) {
+        self.racc = [0.0; 4];
+        self.magnitude = 0.0;
+        self.steps = 0;
+        self.counters = SchemeCounters::default();
+    }
+
+    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
+        for i in 0..mt {
+            let a0 = a_chunk[i * 2].to_f32();
+            let a1 = a_chunk[i * 2 + 1].to_f32();
+            for j in 0..nt {
+                let partial = a0 * b_chunk[j].to_f32() + a1 * b_chunk[nt + j].to_f32();
+                // All redundant MMA outputs land in the same four regs.
+                self.racc[(i * nt + j) & 3] += partial;
+                self.magnitude += (a0.abs() as f64) * (b_chunk[j].to_f64().abs())
+                    + (a1.abs() as f64) * (b_chunk[nt + j].to_f64().abs());
+            }
+        }
+        self.steps += 1;
+        self.counters.extra_mmas += (mt * nt / 2) as u64;
+    }
+
+    fn finalize(&mut self, _ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
+        let redundant: f64 = self.racc.iter().map(|&v| v as f64).sum();
+        let original: f64 = acc[..mt * nt].iter().map(|&v| v as f64).sum();
+        let residual = (original - redundant).abs();
+        // Both sides are FP32-only; the add orders differ completely, so
+        // charge both accumulation chains.
+        let rounds32 = (2 * self.steps) as f64 * (mt * nt) as f64 / 4.0 + (mt * nt) as f64;
+        let threshold = self.tolerance.threshold(0.0, rounds32, self.magnitude);
+        ThreadVerdict {
+            fault_detected: residual > threshold,
+            residual,
+            threshold,
+        }
+    }
+
+    fn counters(&self) -> SchemeCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix};
+    use aiga_gpu::{GemmShape, TilingConfig};
+
+    fn engine() -> GemmEngine {
+        GemmEngine::new(
+            GemmShape::new(32, 32, 32),
+            TilingConfig {
+                block_m: 32,
+                block_n: 32,
+                block_k: 16,
+                warp_m: 16,
+                warp_n: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn traditional_is_exactly_clean_without_faults() {
+        let a = Matrix::random(32, 32, 41);
+        let b = Matrix::random(32, 32, 42);
+        let out = engine().run(&a, &b, ReplicationTraditional::new, None);
+        assert!(!out.fault_detected());
+    }
+
+    #[test]
+    fn traditional_detects_even_one_ulp_faults() {
+        // Exact comparison catches the smallest possible corruption —
+        // the advantage replication buys with its register cost.
+        let a = Matrix::random(32, 32, 43);
+        let b = Matrix::random(32, 32, 44);
+        let fault = FaultPlan {
+            row: 2,
+            col: 2,
+            after_step: u64::MAX,
+            kind: FaultKind::BitFlip(0), // LSB of the mantissa
+        };
+        let out = engine().run(&a, &b, ReplicationTraditional::new, Some(fault));
+        assert!(out.fault_detected());
+    }
+
+    #[test]
+    fn single_acc_is_clean_without_faults() {
+        let a = Matrix::random(32, 32, 45);
+        let b = Matrix::random(32, 32, 46);
+        let out = engine().run(&a, &b, ReplicationSingleAcc::new, None);
+        assert!(!out.fault_detected(), "{:?}", out.detections.first());
+    }
+
+    #[test]
+    fn single_acc_detects_large_faults_only() {
+        let a = Matrix::random(32, 32, 47);
+        let b = Matrix::random(32, 32, 48);
+        let big = FaultPlan {
+            row: 1,
+            col: 1,
+            after_step: 4,
+            kind: FaultKind::AddValue(500.0),
+        };
+        let out = engine().run(&a, &b, ReplicationSingleAcc::new, Some(big));
+        assert!(out.fault_detected());
+    }
+
+    #[test]
+    fn both_variants_double_the_mma_count() {
+        let a = Matrix::random(32, 32, 49);
+        let b = Matrix::random(32, 32, 50);
+        let out = engine().run(&a, &b, ReplicationTraditional::new, None);
+        assert_eq!(out.counters.scheme.extra_mmas, out.counters.baseline_mmas);
+        let out2 = engine().run(&a, &b, ReplicationSingleAcc::new, None);
+        assert_eq!(out2.counters.scheme.extra_mmas, out2.counters.baseline_mmas);
+    }
+}

@@ -1,0 +1,214 @@
+//! One-sided thread-level ABFT (§5.2.2) — the scheme intensity-guided
+//! ABFT deploys on bandwidth-bound layers.
+//!
+//! Per K-step, the thread generates a checksum only for its `Bt` chunk
+//! (one FP16 row-sum per k-lane, on traditional ALUs) and multiplies the
+//! *entirety* of its `At` chunk by that checksum on Tensor Cores —
+//! `Mt/2` extra MMAs and `O(Nt)` checksum ops per step (Table 1). The
+//! running ABFT results are `Mt` per-row sums; at the end the thread
+//! compares each against the row sum of its own accumulators. Everything
+//! reuses the loads the thread already performed: zero extra memory
+//! traffic (the §3.5 design principle).
+
+use crate::tolerance::Tolerance;
+use aiga_fp16::F16;
+use aiga_gpu::engine::{SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+
+/// Per-thread state of one-sided thread-level ABFT.
+#[derive(Clone, Debug)]
+pub struct OneSidedThreadAbft {
+    tolerance: Tolerance,
+    /// Running ABFT outputs: `abft[i] ≈ Σ_k At[i][k] · (Σ_j Bt[k][j])`.
+    abft: Vec<f32>,
+    /// Running `Σ_k |At[i][k]| · Σ_j |Bt[k][j]|` for the error bound.
+    magnitude: Vec<f64>,
+    steps: u64,
+    counters: SchemeCounters,
+}
+
+impl OneSidedThreadAbft {
+    /// Creates a scheme instance with the default analytical tolerance.
+    pub fn new() -> Self {
+        Self::with_tolerance(Tolerance::Analytical)
+    }
+
+    /// Creates a scheme instance with an explicit tolerance policy.
+    pub fn with_tolerance(tolerance: Tolerance) -> Self {
+        OneSidedThreadAbft {
+            tolerance,
+            abft: Vec::new(),
+            magnitude: Vec::new(),
+            steps: 0,
+            counters: SchemeCounters::default(),
+        }
+    }
+}
+
+impl Default for OneSidedThreadAbft {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadLocalScheme for OneSidedThreadAbft {
+    fn begin(&mut self, ctx: &ThreadCtx) {
+        self.abft = vec![0.0; ctx.rows.len()];
+        self.magnitude = vec![0.0; ctx.rows.len()];
+        self.steps = 0;
+        self.counters = SchemeCounters::default();
+    }
+
+    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
+        // Row checksums of the Bt chunk, one per k-lane, generated with
+        // FP16 sequential adds (the HADD2 path).
+        let mut w = [F16::ZERO; 2];
+        let mut w_abs = [0.0f64; 2];
+        for lane in 0..2 {
+            let row = &b_chunk[lane * nt..(lane + 1) * nt];
+            let mut sum = F16::ZERO;
+            for &v in row {
+                sum = sum + v;
+                w_abs[lane] += v.to_f64().abs();
+            }
+            w[lane] = sum;
+        }
+        // The redundant MMAs: multiply the whole At chunk by the checksum
+        // (FP16 products, FP32 accumulation — same datapath as the MMA).
+        let w0 = w[0].to_f32();
+        let w1 = w[1].to_f32();
+        for i in 0..mt {
+            let a0 = a_chunk[i * 2];
+            let a1 = a_chunk[i * 2 + 1];
+            self.abft[i] += a0.to_f32() * w0 + a1.to_f32() * w1;
+            self.magnitude[i] +=
+                a0.to_f64().abs() * w_abs[0] + a1.to_f64().abs() * w_abs[1];
+        }
+        self.steps += 1;
+        self.counters.extra_mmas += (mt as u64) / 2;
+        self.counters.checksum_ops += (nt as u64) / 2;
+    }
+
+    fn finalize(&mut self, _ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
+        let mut worst = ThreadVerdict::clean();
+        for i in 0..mt {
+            let row_sum: f64 = acc[i * nt..(i + 1) * nt].iter().map(|&v| v as f64).sum();
+            let residual = (row_sum - self.abft[i] as f64).abs();
+            // FP16 rounds: Nt-term B-checksum per step; FP32 rounds: the
+            // two running accumulations plus the final row sum.
+            let rounds16 = nt as f64;
+            let rounds32 = (2 * self.steps) as f64 + nt as f64;
+            let threshold = self
+                .tolerance
+                .threshold(rounds16, rounds32, self.magnitude[i]);
+            if residual > threshold && residual > worst.residual {
+                worst = ThreadVerdict {
+                    fault_detected: true,
+                    residual,
+                    threshold,
+                };
+            } else if !worst.fault_detected && residual > worst.residual {
+                worst = ThreadVerdict {
+                    fault_detected: false,
+                    residual,
+                    threshold,
+                };
+            }
+        }
+        worst
+    }
+
+    fn counters(&self) -> SchemeCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix};
+    use aiga_gpu::{GemmShape, TilingConfig};
+
+    fn engine() -> GemmEngine {
+        GemmEngine::new(
+            GemmShape::new(32, 32, 64),
+            TilingConfig {
+                block_m: 32,
+                block_n: 32,
+                block_k: 16,
+                warp_m: 16,
+                warp_n: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_run_raises_no_detection() {
+        let a = Matrix::random(32, 64, 21);
+        let b = Matrix::random(64, 32, 22);
+        let out = engine().run(&a, &b, OneSidedThreadAbft::new, None);
+        assert!(!out.fault_detected(), "{:?}", out.detections.first());
+    }
+
+    #[test]
+    fn detects_an_injected_additive_fault() {
+        let a = Matrix::random(32, 64, 23);
+        let b = Matrix::random(64, 32, 24);
+        let fault = FaultPlan {
+            row: 10,
+            col: 3,
+            after_step: 7,
+            kind: FaultKind::AddValue(64.0),
+        };
+        let out = engine().run(&a, &b, OneSidedThreadAbft::new, Some(fault));
+        assert!(out.fault_detected());
+        // Exactly one thread owns the element, so exactly one detection.
+        assert_eq!(out.detections.len(), 1);
+        assert!(out.detections[0].residual > out.detections[0].threshold);
+    }
+
+    #[test]
+    fn detects_exponent_bit_flips() {
+        let a = Matrix::random(32, 64, 25);
+        let b = Matrix::random(64, 32, 26);
+        for bit in [23u8, 25, 28, 30] {
+            let fault = FaultPlan {
+                row: 1,
+                col: 1,
+                after_step: u64::MAX,
+                kind: FaultKind::BitFlip(bit),
+            };
+            let out = engine().run(&a, &b, OneSidedThreadAbft::new, Some(fault));
+            assert!(out.fault_detected(), "bit {bit} escaped detection");
+        }
+    }
+
+    #[test]
+    fn counters_match_table_1() {
+        let a = Matrix::random(32, 64, 27);
+        let b = Matrix::random(64, 32, 28);
+        let out = engine().run(&a, &b, OneSidedThreadAbft::new, None);
+        let t = engine().tiling();
+        let steps = out.counters.threads * out.counters.k_steps;
+        assert_eq!(out.counters.scheme.extra_mmas, steps * t.thread_mt() / 2);
+        assert_eq!(out.counters.scheme.checksum_ops, steps * t.thread_nt() / 2);
+    }
+
+    #[test]
+    fn detection_localizes_to_the_owning_thread_rows() {
+        // One-sided ABFT checks per accumulator row: a fault in row r is
+        // flagged by the thread owning row r.
+        let a = Matrix::random(32, 64, 29);
+        let b = Matrix::random(64, 32, 30);
+        let fault = FaultPlan {
+            row: 9,
+            col: 20,
+            after_step: 0,
+            kind: FaultKind::SetValue(1000.0),
+        };
+        let out = engine().run(&a, &b, OneSidedThreadAbft::new, Some(fault));
+        assert_eq!(out.detections.len(), 1);
+        let d = &out.detections[0];
+        // Row 9: group = 9 - 8 = 1 in the upper-half granule => lanes 4..8.
+        assert!(d.lane / 4 == 1, "lane {}", d.lane);
+    }
+}

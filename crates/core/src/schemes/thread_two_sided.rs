@@ -1,0 +1,186 @@
+//! Two-sided thread-level ABFT (§5.2.2).
+//!
+//! Per K-step the thread checksums *both* its `At` chunk (column sums)
+//! and its `Bt` chunk (row sums) and performs a single MMA across the
+//! checksums — the minimum possible redundant Tensor-Core work, but
+//! `O(Mt + Nt)` checksum operations on the traditional ALUs, which is
+//! what makes it lose to one-sided ABFT in practice (§6.5).
+
+use crate::tolerance::Tolerance;
+use aiga_fp16::F16;
+use aiga_gpu::engine::{SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+
+/// Per-thread state of two-sided thread-level ABFT.
+#[derive(Clone, Debug)]
+pub struct TwoSidedThreadAbft {
+    tolerance: Tolerance,
+    /// Running scalar ABFT output: `≈ Σ_k (Σ_i At[i][k]) · (Σ_j Bt[k][j])`.
+    abft: f32,
+    /// Running `Σ_k (Σ_i |At[i][k]|) · (Σ_j |Bt[k][j]|)`.
+    magnitude: f64,
+    steps: u64,
+    mt: usize,
+    nt: usize,
+    counters: SchemeCounters,
+}
+
+impl TwoSidedThreadAbft {
+    /// Creates a scheme instance with the default analytical tolerance.
+    pub fn new() -> Self {
+        Self::with_tolerance(Tolerance::Analytical)
+    }
+
+    /// Creates a scheme instance with an explicit tolerance policy.
+    pub fn with_tolerance(tolerance: Tolerance) -> Self {
+        TwoSidedThreadAbft {
+            tolerance,
+            abft: 0.0,
+            magnitude: 0.0,
+            steps: 0,
+            mt: 0,
+            nt: 0,
+            counters: SchemeCounters::default(),
+        }
+    }
+}
+
+impl Default for TwoSidedThreadAbft {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadLocalScheme for TwoSidedThreadAbft {
+    fn begin(&mut self, _ctx: &ThreadCtx) {
+        self.abft = 0.0;
+        self.magnitude = 0.0;
+        self.steps = 0;
+        self.counters = SchemeCounters::default();
+    }
+
+    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
+        self.mt = mt;
+        self.nt = nt;
+        // Column checksums of At (one per k-lane) in FP16.
+        let mut a_sum = [F16::ZERO; 2];
+        let mut a_abs = [0.0f64; 2];
+        for i in 0..mt {
+            for lane in 0..2 {
+                let v = a_chunk[i * 2 + lane];
+                a_sum[lane] = a_sum[lane] + v;
+                a_abs[lane] += v.to_f64().abs();
+            }
+        }
+        // Row checksums of Bt (one per k-lane) in FP16.
+        let mut b_sum = [F16::ZERO; 2];
+        let mut b_abs = [0.0f64; 2];
+        for lane in 0..2 {
+            for j in 0..nt {
+                let v = b_chunk[lane * nt + j];
+                b_sum[lane] = b_sum[lane] + v;
+                b_abs[lane] += v.to_f64().abs();
+            }
+        }
+        // The single redundant MMA across the checksums.
+        self.abft += a_sum[0].to_f32() * b_sum[0].to_f32()
+            + a_sum[1].to_f32() * b_sum[1].to_f32();
+        self.magnitude += a_abs[0] * b_abs[0] + a_abs[1] * b_abs[1];
+        self.steps += 1;
+        self.counters.extra_mmas += 1;
+        self.counters.checksum_ops += (mt + nt) as u64;
+    }
+
+    fn finalize(&mut self, _ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
+        let total: f64 = acc[..mt * nt].iter().map(|&v| v as f64).sum();
+        let residual = (total - self.abft as f64).abs();
+        // FP16 rounds: both checksum chains (Mt + Nt terms per step);
+        // FP32 rounds: the running ABFT accumulation plus the MtNt-term
+        // output summation.
+        let rounds16 = (mt + nt) as f64;
+        let rounds32 = (2 * self.steps) as f64 + (mt * nt) as f64;
+        let threshold = self.tolerance.threshold(rounds16, rounds32, self.magnitude);
+        ThreadVerdict {
+            fault_detected: residual > threshold,
+            residual,
+            threshold,
+        }
+    }
+
+    fn counters(&self) -> SchemeCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix};
+    use aiga_gpu::{GemmShape, TilingConfig};
+
+    fn engine() -> GemmEngine {
+        GemmEngine::new(
+            GemmShape::new(32, 32, 64),
+            TilingConfig {
+                block_m: 32,
+                block_n: 32,
+                block_k: 16,
+                warp_m: 16,
+                warp_n: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_run_raises_no_detection() {
+        let a = Matrix::random(32, 64, 31);
+        let b = Matrix::random(64, 32, 32);
+        let out = engine().run(&a, &b, TwoSidedThreadAbft::new, None);
+        assert!(!out.fault_detected(), "{:?}", out.detections.first());
+    }
+
+    #[test]
+    fn detects_an_injected_fault() {
+        let a = Matrix::random(32, 64, 33);
+        let b = Matrix::random(64, 32, 34);
+        let fault = FaultPlan {
+            row: 4,
+            col: 4,
+            after_step: 2,
+            kind: FaultKind::AddValue(128.0),
+        };
+        let out = engine().run(&a, &b, TwoSidedThreadAbft::new, Some(fault));
+        assert!(out.fault_detected());
+        assert_eq!(out.detections.len(), 1);
+    }
+
+    #[test]
+    fn single_mma_per_step_in_counters() {
+        let a = Matrix::random(32, 64, 35);
+        let b = Matrix::random(64, 32, 36);
+        let out = engine().run(&a, &b, TwoSidedThreadAbft::new, None);
+        let steps = out.counters.threads * out.counters.k_steps;
+        assert_eq!(out.counters.scheme.extra_mmas, steps);
+        // O(Mt+Nt) checksum ops.
+        let t = engine().tiling();
+        let per_step = t.thread_mt() + t.thread_nt();
+        assert_eq!(out.counters.scheme.checksum_ops, steps * per_step);
+    }
+
+    #[test]
+    fn coarse_scalar_check_still_detects_significant_corruption() {
+        // Two-sided ABFT makes ONE comparison per thread over the sum of
+        // all MtNt accumulators, so its detectability floor is higher
+        // than one-sided's per-row checks — but significant corruption
+        // (e.g. a high-exponent flip driving the value to 1e4) is caught.
+        let a = Matrix::random(32, 64, 37);
+        let b = Matrix::random(64, 32, 38);
+        let fault = FaultPlan {
+            row: 0,
+            col: 0,
+            after_step: u64::MAX,
+            kind: FaultKind::SetValue(1e4),
+        };
+        let out = engine().run(&a, &b, TwoSidedThreadAbft::new, Some(fault));
+        assert!(out.fault_detected());
+    }
+}

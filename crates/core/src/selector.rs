@@ -1,0 +1,369 @@
+//! Intensity-guided ABFT (§5.3): per-layer selection between global and
+//! thread-level ABFT.
+//!
+//! Before deployment, every linear layer is profiled under each candidate
+//! scheme and the cheapest is chosen — exactly how the paper integrates
+//! with pre-deployment optimizers like the CUTLASS profiler. The §7.2
+//! analytical alternative skips profiling and picks by comparing the
+//! layer's arithmetic intensity against the device's CMR; both modes are
+//! implemented and their agreement is itself an experiment.
+
+use crate::cost::{evaluate_layer, SchemeTiming};
+use crate::schemes::Scheme;
+use aiga_gpu::timing::Calibration;
+use aiga_gpu::{Bound, DeviceSpec, GemmShape, Roofline};
+use aiga_nn::Model;
+
+/// How the selector chooses a scheme for a layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionMode {
+    /// Empirical profiling: pick the scheme with the lowest measured
+    /// (here: modeled) execution time — the paper's deployed mode.
+    Profiled,
+    /// Analytical: thread-level ABFT when the layer's arithmetic
+    /// intensity is below the device CMR, global ABFT otherwise (§7.2).
+    Analytical,
+}
+
+/// The per-layer outcome of intensity-guided selection.
+#[derive(Clone, Debug)]
+pub struct LayerPlan {
+    /// Layer name.
+    pub name: String,
+    /// Padded GEMM shape.
+    pub shape: GemmShape,
+    /// FP16 arithmetic intensity of the layer.
+    pub intensity: f64,
+    /// The scheme intensity-guided ABFT chose.
+    pub chosen: Scheme,
+    /// Unprotected execution time (seconds).
+    pub baseline_s: f64,
+    /// Candidate timings (same order as the candidate list).
+    pub candidates: Vec<SchemeTiming>,
+}
+
+impl LayerPlan {
+    /// Time under the chosen scheme.
+    pub fn chosen_s(&self) -> f64 {
+        self.time_under(self.chosen)
+    }
+
+    /// Time under a specific scheme (must be among the candidates).
+    pub fn time_under(&self, scheme: Scheme) -> f64 {
+        self.candidates
+            .iter()
+            .find(|t| t.scheme == scheme)
+            .map(|t| t.estimate.total_s)
+            .unwrap_or_else(|| panic!("{scheme} was not profiled for {}", self.name))
+    }
+}
+
+/// The whole-model plan produced by intensity-guided ABFT.
+#[derive(Clone, Debug)]
+pub struct ModelPlan {
+    /// Model name.
+    pub model: String,
+    /// Device it was planned for.
+    pub device: DeviceSpec,
+    /// Per-layer plans in execution order.
+    pub layers: Vec<LayerPlan>,
+}
+
+impl ModelPlan {
+    /// Plans a model with the paper's default candidates (global +
+    /// one-sided thread-level ABFT) in profiled mode.
+    pub fn build(model: &Model, device: &DeviceSpec, calib: &Calibration) -> Self {
+        Self::build_with(
+            model,
+            device,
+            calib,
+            &Scheme::intensity_guided_candidates(),
+            SelectionMode::Profiled,
+        )
+    }
+
+    /// Plans a model with explicit candidates and selection mode.
+    pub fn build_with(
+        model: &Model,
+        device: &DeviceSpec,
+        calib: &Calibration,
+        candidates: &[Scheme],
+        mode: SelectionMode,
+    ) -> Self {
+        let roofline = Roofline::new(device.clone());
+        let layers = model
+            .layers
+            .iter()
+            .map(|layer| {
+                let shape = layer.shape.padded_to_mma();
+                let (baseline, timings) = evaluate_layer(shape, candidates, device, calib);
+                let intensity = layer.arithmetic_intensity();
+                let chosen = match mode {
+                    SelectionMode::Profiled => {
+                        timings
+                            .iter()
+                            .min_by(|a, b| {
+                                a.estimate.total_s.total_cmp(&b.estimate.total_s)
+                            })
+                            .expect("at least one candidate")
+                            .scheme
+                    }
+                    SelectionMode::Analytical => {
+                        match roofline.classify_intensity(intensity) {
+                            Bound::MemoryBandwidth => *candidates
+                                .iter()
+                                .find(|s| s.is_thread_level())
+                                .unwrap_or(&candidates[0]),
+                            Bound::Compute => *candidates
+                                .iter()
+                                .find(|s| !s.is_thread_level())
+                                .unwrap_or(&candidates[0]),
+                        }
+                    }
+                };
+                LayerPlan {
+                    name: layer.name.clone(),
+                    shape,
+                    intensity,
+                    chosen,
+                    baseline_s: baseline.total_s,
+                    candidates: timings,
+                }
+            })
+            .collect();
+        ModelPlan {
+            model: model.name.clone(),
+            device: device.clone(),
+            layers,
+        }
+    }
+
+    /// Total unprotected time (sum of per-layer times, the §6.2
+    /// aggregation: layers execute sequentially).
+    pub fn baseline_s(&self) -> f64 {
+        self.layers.iter().map(|l| l.baseline_s).sum()
+    }
+
+    /// Total time with one fixed scheme on every layer.
+    pub fn fixed_scheme_s(&self, scheme: Scheme) -> f64 {
+        self.layers.iter().map(|l| l.time_under(scheme)).sum()
+    }
+
+    /// Total time under intensity-guided selection.
+    pub fn intensity_guided_s(&self) -> f64 {
+        self.layers.iter().map(|l| l.chosen_s()).sum()
+    }
+
+    /// Whole-model percentage overhead of a fixed scheme.
+    pub fn fixed_scheme_overhead_pct(&self, scheme: Scheme) -> f64 {
+        (self.fixed_scheme_s(scheme) - self.baseline_s()) / self.baseline_s() * 100.0
+    }
+
+    /// Whole-model percentage overhead of intensity-guided ABFT.
+    pub fn intensity_guided_overhead_pct(&self) -> f64 {
+        (self.intensity_guided_s() - self.baseline_s()) / self.baseline_s() * 100.0
+    }
+
+    /// How many layers chose a thread-level scheme.
+    pub fn thread_level_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.chosen.is_thread_level()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_nn::zoo;
+
+    fn plan(model: &Model) -> ModelPlan {
+        ModelPlan::build(model, &DeviceSpec::t4(), &Calibration::default())
+    }
+
+    #[test]
+    fn intensity_guided_never_loses_to_either_fixed_scheme() {
+        // By construction (§6.2): "intensity-guided ABFT, by design,
+        // always performs at least as well as global ABFT".
+        for model in [
+            zoo::resnet50(1, 224, 224),
+            zoo::dlrm_mlp_bottom(1),
+            zoo::coral(64),
+        ] {
+            let p = plan(&model);
+            let ig = p.intensity_guided_s();
+            assert!(ig <= p.fixed_scheme_s(Scheme::GlobalAbft) + 1e-15, "{}", model.name);
+            assert!(
+                ig <= p.fixed_scheme_s(Scheme::ThreadLevelOneSided) + 1e-15,
+                "{}",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn low_intensity_models_choose_thread_level_everywhere() {
+        let p = plan(&zoo::dlrm_mlp_bottom(1));
+        assert_eq!(p.thread_level_layer_count(), p.layers.len());
+    }
+
+    #[test]
+    fn mixed_models_split_their_choices() {
+        // ResNet-50 contains both bandwidth- and compute-bound layers
+        // (§3.2/Fig. 5), so intensity-guided ABFT should mix schemes.
+        let p = plan(&zoo::resnet50(1, zoo::HD.0, zoo::HD.1));
+        let thread = p.thread_level_layer_count();
+        assert!(thread > 0, "no thread-level layers chosen");
+        assert!(thread < p.layers.len(), "no global layers chosen");
+    }
+
+    #[test]
+    fn profiled_and_analytical_modes_mostly_agree() {
+        // §7.2: intensity relative to CMR predicts the winner; the two
+        // modes should coincide on a large majority of layers.
+        let model = zoo::resnet50(1, zoo::HD.0, zoo::HD.1);
+        let dev = DeviceSpec::t4();
+        let calib = Calibration::default();
+        let profiled = ModelPlan::build(&model, &dev, &calib);
+        let analytical = ModelPlan::build_with(
+            &model,
+            &dev,
+            &calib,
+            &Scheme::intensity_guided_candidates(),
+            SelectionMode::Analytical,
+        );
+        let agree = profiled
+            .layers
+            .iter()
+            .zip(&analytical.layers)
+            .filter(|(a, b)| a.chosen == b.chosen)
+            .count();
+        let frac = agree as f64 / profiled.layers.len() as f64;
+        // Launch-overhead effects make small layers profile differently
+        // than the pure roofline prediction, so agreement is high but not
+        // total — the same reason the paper prefers empirical profiling.
+        assert!(frac >= 0.6, "agreement only {frac:.2}");
+    }
+
+    #[test]
+    fn overhead_percentages_are_consistent() {
+        let p = plan(&zoo::dlrm_mlp_top(1));
+        let ig = p.intensity_guided_overhead_pct();
+        let glob = p.fixed_scheme_overhead_pct(Scheme::GlobalAbft);
+        assert!(ig >= 0.0 && glob >= ig, "ig {ig}%, global {glob}%");
+    }
+}
+
+/// §7.3: input-size-dependent deployment.
+///
+/// Arithmetic intensity — and therefore the per-layer ABFT selection —
+/// depends on the input size (batch, resolution). Deployments that
+/// expect several input sizes build one [`ModelPlan`] per size ahead of
+/// time and dispatch among them at inference time; this is cheap because
+/// planning is a pre-deployment step.
+#[derive(Clone, Debug)]
+pub struct DeploymentPlan {
+    /// `(input-size key, plan)` pairs, e.g. keyed by batch size.
+    variants: Vec<(u64, ModelPlan)>,
+}
+
+impl DeploymentPlan {
+    /// Builds one plan per input-size key using `instantiate` to produce
+    /// the model for that key (e.g. `|b| zoo::dlrm_mlp_bottom(b)`).
+    pub fn build(
+        keys: &[u64],
+        instantiate: impl Fn(u64) -> aiga_nn::Model,
+        device: &DeviceSpec,
+        calib: &Calibration,
+    ) -> Self {
+        assert!(!keys.is_empty(), "at least one input size required");
+        let variants = keys
+            .iter()
+            .map(|&k| (k, ModelPlan::build(&instantiate(k), device, calib)))
+            .collect();
+        DeploymentPlan { variants }
+    }
+
+    /// Number of pre-planned input sizes.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// True if no variants exist (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// The plan for the largest pre-planned key that does not exceed the
+    /// observed input size (inputs are padded up to a planned size, as
+    /// serving systems do with batch buckets); falls back to the smallest
+    /// plan for undersized inputs.
+    pub fn plan_for(&self, observed: u64) -> &ModelPlan {
+        self.variants
+            .iter()
+            .filter(|(k, _)| *k <= observed)
+            .max_by_key(|(k, _)| *k)
+            .map(|(_, p)| p)
+            .unwrap_or(&self.variants[0].1)
+    }
+
+    /// The exact-key plan, if one was built.
+    pub fn plan_exact(&self, key: u64) -> Option<&ModelPlan> {
+        self.variants.iter().find(|(k, _)| *k == key).map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod deployment_tests {
+    use super::*;
+    use aiga_nn::zoo;
+
+    fn plans() -> DeploymentPlan {
+        DeploymentPlan::build(
+            &[1, 256, 2048],
+            zoo::dlrm_mlp_top,
+            &DeviceSpec::t4(),
+            &Calibration::default(),
+        )
+    }
+
+    #[test]
+    fn selection_changes_with_input_size() {
+        // §7.3 / §6.4.2: MLP-Top flips from all-thread-level at batch 1
+        // to (partly) global at batch 2048 as intensity rises past the
+        // crossover.
+        let d = plans();
+        let small = d.plan_exact(1).unwrap();
+        let large = d.plan_exact(2048).unwrap();
+        assert_eq!(small.thread_level_layer_count(), small.layers.len());
+        assert!(
+            large.thread_level_layer_count() < large.layers.len(),
+            "batch 2048 should move some layers to global ABFT"
+        );
+    }
+
+    #[test]
+    fn dispatch_picks_the_bucket_below_the_observed_size() {
+        let d = plans();
+        // Observed batch 300 uses the 256 bucket; 100000 uses 2048;
+        // undersized inputs fall back to the smallest plan.
+        assert_eq!(
+            d.plan_for(300).layers[0].shape.m,
+            d.plan_exact(256).unwrap().layers[0].shape.m
+        );
+        assert_eq!(
+            d.plan_for(100_000).layers[0].shape.m,
+            d.plan_exact(2048).unwrap().layers[0].shape.m
+        );
+        assert_eq!(
+            d.plan_for(0).layers[0].shape.m,
+            d.plan_exact(1).unwrap().layers[0].shape.m
+        );
+    }
+
+    #[test]
+    fn every_variant_remains_optimal_per_layer() {
+        let d = plans();
+        for (_, plan) in &d.variants {
+            assert!(plan.intensity_guided_s() <= plan.fixed_scheme_s(Scheme::GlobalAbft) + 1e-15);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Floating-point-aware checksum comparison.
+//!
+//! ABFT checks compare two differently-rounded computations of the same
+//! exact quantity (a checksum dot product versus an output summation).
+//! In FP16/FP32 they will almost never be bit-equal, so every check needs
+//! a threshold. Too tight → false positives on rounding noise; too loose
+//! → small faults slip through (silent data corruption).
+//!
+//! We provide a running *analytical* bound: schemes accumulate the sum of
+//! absolute products `Σ |a|·|b|` alongside their checksums, and the
+//! threshold is a first-order forward-error bound scaled by that
+//! magnitude. Faults below the bound are undetectable *by construction*
+//! for any threshold-based checker — the fault-coverage experiment
+//! reports them separately.
+
+/// Unit roundoff of binary16 (half of machine epsilon `2^-10`).
+pub const U16: f64 = 4.8828125e-4; // 2^-11
+/// Unit roundoff of binary32.
+pub const U32: f64 = 5.960464477539063e-8; // 2^-24
+
+/// Absolute noise floor added to every threshold, covering subnormal
+/// flushes and the engine's pairwise-step accumulation.
+pub const ABS_FLOOR: f64 = 1e-6;
+
+/// How a checksum comparison decides "faulty".
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Default)]
+pub enum Tolerance {
+    /// First-order analytical bound: `threshold = (n16·u16 + n32·u32) ·
+    /// magnitude + floor`, where `n16`/`n32` count FP16/FP32 rounding
+    /// steps and `magnitude` is the running `Σ|a|·|b|`.
+    #[default]
+    Analytical,
+    /// Fixed relative threshold against the magnitude (what a production
+    /// kernel without magnitude tracking would use; Hari et al. use an
+    /// empirically-chosen constant).
+    Relative(f64),
+    /// Exact comparison (only sound when both sides compute bit-identical
+    /// sequences, e.g. traditional replication).
+    Exact,
+}
+
+impl Tolerance {
+    /// Threshold for a comparison whose two sides involve `rounds16`
+    /// FP16-rounded operations and `rounds32` FP32-rounded operations
+    /// over data of total absolute magnitude `magnitude`.
+    pub fn threshold(self, rounds16: f64, rounds32: f64, magnitude: f64) -> f64 {
+        match self {
+            Tolerance::Analytical => {
+                (rounds16 * U16 + rounds32 * U32) * magnitude + ABS_FLOOR
+            }
+            Tolerance::Relative(rel) => rel * magnitude + ABS_FLOOR,
+            Tolerance::Exact => 0.0,
+        }
+    }
+
+    /// Compares a residual against the bound; `true` means "fault".
+    pub fn flags(self, residual: f64, rounds16: f64, rounds32: f64, magnitude: f64) -> bool {
+        residual > self.threshold(rounds16, rounds32, magnitude)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_threshold_scales_with_magnitude_and_rounds() {
+        let t = Tolerance::Analytical;
+        let a = t.threshold(4.0, 64.0, 100.0);
+        assert!(t.threshold(8.0, 64.0, 100.0) > a);
+        assert!(t.threshold(4.0, 64.0, 200.0) > a);
+        assert!(a > ABS_FLOOR);
+    }
+
+    #[test]
+    fn exact_tolerance_flags_any_difference() {
+        assert!(Tolerance::Exact.flags(f64::MIN_POSITIVE, 0.0, 0.0, 1e9));
+        assert!(!Tolerance::Exact.flags(0.0, 0.0, 0.0, 1e9));
+    }
+
+    #[test]
+    fn relative_tolerance_ignores_round_counts() {
+        let t = Tolerance::Relative(1e-3);
+        assert_eq!(t.threshold(1.0, 1.0, 50.0), t.threshold(999.0, 999.0, 50.0));
+        assert!((t.threshold(0.0, 0.0, 50.0) - (0.05 + ABS_FLOOR)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_roundoffs_are_the_ieee_values() {
+        assert_eq!(U16, 2.0_f64.powi(-11));
+        assert_eq!(U32, 2.0_f64.powi(-24));
+    }
+}

@@ -1,0 +1,246 @@
+//! Injection campaigns: grade a scheme's detection coverage.
+
+use crate::model::FaultModel;
+use aiga_core::{ProtectedGemm, Scheme};
+use aiga_gpu::engine::{FaultPlan, Matrix};
+use aiga_gpu::GemmShape;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Classification of one injection trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Outcome {
+    /// The scheme flagged the fault and the output was indeed corrupted.
+    Detected,
+    /// The output was corrupted but no flag was raised.
+    SilentDataCorruption {
+        /// Largest absolute output deviation from the clean run.
+        max_abs_delta: f64,
+    },
+    /// The corruption was absorbed before the final output (e.g. a
+    /// low-order mantissa flip rounded away); nothing to detect.
+    Masked,
+    /// A flag was raised although the output was unchanged.
+    FalsePositive,
+}
+
+/// Aggregated campaign statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct CampaignStats {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials classified [`Outcome::Detected`].
+    pub detected: usize,
+    /// Trials classified [`Outcome::SilentDataCorruption`].
+    pub sdc: usize,
+    /// Trials classified [`Outcome::Masked`].
+    pub masked: usize,
+    /// Trials classified [`Outcome::FalsePositive`].
+    pub false_positives: usize,
+    /// Largest silent corruption observed.
+    pub worst_sdc: f64,
+}
+
+impl CampaignStats {
+    /// Detection rate over *corrupting* trials (masked trials have
+    /// nothing to detect).
+    pub fn detection_rate(&self) -> f64 {
+        let corrupting = self.detected + self.sdc;
+        if corrupting == 0 {
+            1.0
+        } else {
+            self.detected as f64 / corrupting as f64
+        }
+    }
+
+    /// SDC rate over all trials.
+    pub fn sdc_rate(&self) -> f64 {
+        self.sdc as f64 / self.trials.max(1) as f64
+    }
+
+    fn absorb(&mut self, o: Outcome) {
+        self.trials += 1;
+        match o {
+            Outcome::Detected => self.detected += 1,
+            Outcome::SilentDataCorruption { max_abs_delta } => {
+                self.sdc += 1;
+                self.worst_sdc = self.worst_sdc.max(max_abs_delta);
+            }
+            Outcome::Masked => self.masked += 1,
+            Outcome::FalsePositive => self.false_positives += 1,
+        }
+    }
+}
+
+/// A fault-injection campaign against one scheme on one GEMM shape.
+pub struct Campaign {
+    shape: GemmShape,
+    scheme: Scheme,
+    gemm: ProtectedGemm,
+    clean: Vec<f32>,
+    model: FaultModel,
+}
+
+impl Campaign {
+    /// Prepares a campaign on a deterministic random problem.
+    pub fn new(shape: GemmShape, scheme: Scheme, seed: u64) -> Self {
+        let a = Matrix::random(shape.m as usize, shape.k as usize, seed);
+        let b = Matrix::random(shape.k as usize, shape.n as usize, seed + 1);
+        let gemm = ProtectedGemm::new(a, b, scheme);
+        let clean = gemm.run().output.c.clone();
+        Campaign {
+            shape,
+            scheme,
+            gemm,
+            clean,
+            model: FaultModel::new(shape),
+        }
+    }
+
+    /// The scheme under test.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The GEMM shape under test.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+
+    /// Classifies one injected fault.
+    pub fn classify(&self, fault: FaultPlan) -> Outcome {
+        let report = self.gemm.clone().with_fault(fault).run();
+        let max_abs_delta = report
+            .output
+            .c
+            .iter()
+            .zip(&self.clean)
+            .map(|(&x, &y)| (x as f64 - y as f64).abs())
+            .fold(0.0f64, f64::max);
+        let corrupted = max_abs_delta > 0.0;
+        match (report.verdict.is_detected(), corrupted) {
+            (true, true) => Outcome::Detected,
+            (false, true) => Outcome::SilentDataCorruption { max_abs_delta },
+            (false, false) => Outcome::Masked,
+            (true, false) => Outcome::FalsePositive,
+        }
+    }
+
+    /// Runs `trials` uniformly random bit-flip injections in parallel.
+    pub fn run_bit_flips(&self, trials: usize, seed: u64) -> CampaignStats {
+        let faults: Vec<FaultPlan> = {
+            let mut rng = FaultModel::rng(seed);
+            (0..trials)
+                .map(|_| self.model.random_bit_flip(&mut rng))
+                .collect()
+        };
+        self.run_faults(&faults)
+    }
+
+    /// Runs a per-bit sweep: `trials_per_bit` injections at every FP32
+    /// bit position, returning `(bit, stats)` pairs.
+    pub fn bit_sweep(&self, trials_per_bit: usize, seed: u64) -> Vec<(u8, CampaignStats)> {
+        (0..32u8)
+            .map(|bit| {
+                let faults: Vec<FaultPlan> = {
+                    let mut rng = FaultModel::rng(seed ^ (bit as u64) << 32);
+                    (0..trials_per_bit)
+                        .map(|_| self.model.bit_flip_at(bit, &mut rng))
+                        .collect()
+                };
+                (bit, self.run_faults(&faults))
+            })
+            .collect()
+    }
+
+    /// Runs an explicit fault list in parallel.
+    pub fn run_faults(&self, faults: &[FaultPlan]) -> CampaignStats {
+        faults
+            .par_iter()
+            .map(|&f| self.classify(f))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .fold(CampaignStats::default(), |mut s, o| {
+                s.absorb(o);
+                s
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> GemmShape {
+        GemmShape::new(32, 32, 32)
+    }
+
+    #[test]
+    fn high_exponent_flips_are_always_detected_by_one_sided_abft() {
+        let c = Campaign::new(shape(), Scheme::ThreadLevelOneSided, 11);
+        let stats = {
+            let mut rng = FaultModel::rng(12);
+            let m = FaultModel::new(shape());
+            let faults: Vec<_> = (0..40).map(|_| m.bit_flip_at(30, &mut rng)).collect();
+            c.run_faults(&faults)
+        };
+        assert_eq!(stats.sdc, 0, "{stats:?}");
+        assert!(stats.detected > 0);
+    }
+
+    #[test]
+    fn traditional_replication_has_zero_sdc() {
+        // Exact comparison: every corrupting fault is caught.
+        let c = Campaign::new(shape(), Scheme::ReplicationTraditional, 13);
+        let stats = c.run_bit_flips(120, 14);
+        assert_eq!(stats.sdc, 0, "{stats:?}");
+        assert_eq!(stats.false_positives, 0);
+        assert!(stats.detection_rate() == 1.0);
+    }
+
+    #[test]
+    fn unprotected_detects_nothing() {
+        let c = Campaign::new(shape(), Scheme::Unprotected, 15);
+        let stats = c.run_bit_flips(60, 16);
+        assert_eq!(stats.detected, 0);
+        assert_eq!(stats.false_positives, 0);
+        assert!(stats.sdc > 0, "some flips must corrupt: {stats:?}");
+    }
+
+    #[test]
+    fn abft_sdc_is_bounded_by_the_tolerance_floor() {
+        // Any SDC a tolerance-based checker misses must be smaller than
+        // the detection threshold's scale — low-order mantissa noise.
+        let c = Campaign::new(shape(), Scheme::GlobalAbft, 17);
+        let stats = c.run_bit_flips(150, 18);
+        assert!(stats.detected > 0);
+        // The worst silent corruption is tiny relative to output scale
+        // (outputs are O(10) for K=32 inputs in [-2,2]).
+        assert!(stats.worst_sdc < 1.0, "{stats:?}");
+    }
+
+    #[test]
+    fn mantissa_lsb_flips_are_mostly_masked_or_tiny() {
+        let c = Campaign::new(shape(), Scheme::ThreadLevelOneSided, 19);
+        let sweep = c.bit_sweep(10, 20);
+        let (bit0, stats0) = sweep[0];
+        assert_eq!(bit0, 0);
+        assert_eq!(stats0.detected, 0, "LSB flips shouldn't trip ABFT: {stats0:?}");
+        assert!(stats0.worst_sdc < 1e-2);
+        // High exponent bits, by contrast, are caught whenever they land.
+        let (_, stats30) = sweep[30];
+        assert_eq!(stats30.sdc, 0, "{stats30:?}");
+    }
+
+    #[test]
+    fn stats_rates_are_consistent() {
+        let mut s = CampaignStats::default();
+        s.absorb(Outcome::Detected);
+        s.absorb(Outcome::SilentDataCorruption { max_abs_delta: 0.5 });
+        s.absorb(Outcome::Masked);
+        assert_eq!(s.trials, 3);
+        assert!((s.detection_rate() - 0.5).abs() < 1e-12);
+        assert!((s.sdc_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.worst_sdc, 0.5);
+    }
+}

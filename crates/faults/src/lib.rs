@@ -1,0 +1,23 @@
+//! # aiga-faults — soft-error injection and coverage measurement
+//!
+//! Implements the paper's fault model (§2.3): a single fault in the
+//! processing logic of the GPU corrupts one output value of `C`; memory
+//! is ECC-protected and control logic is assumed correct. Faults are
+//! injected into the simulated datapath of `aiga-gpu`'s functional engine
+//! and the ABFT schemes of `aiga-core` are graded on what they catch:
+//!
+//! - [`model`]: distributions over fault sites and corruption kinds
+//!   (uniform bit flips in FP32 accumulators, additive errors of chosen
+//!   magnitude, stuck values), targeting any output element at any
+//!   K-step.
+//! - [`campaign`]: parallel injection campaigns that classify every trial
+//!   as **detected**, **silent data corruption** (output changed, no
+//!   flag), **masked** (corruption rounded away before the output), or
+//!   **false positive** (flag without output change), and aggregate
+//!   coverage statistics per scheme.
+
+pub mod campaign;
+pub mod model;
+
+pub use campaign::{Campaign, CampaignStats, Outcome};
+pub use model::FaultModel;

@@ -1,0 +1,143 @@
+//! Fault-site and corruption distributions.
+
+use aiga_gpu::engine::{FaultKind, FaultPlan};
+use aiga_gpu::GemmShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A distribution over single faults for a GEMM of a given shape,
+/// following the §2.3 fault model: one corrupted output value of `C`,
+/// struck at a uniformly random point of the kernel's K-walk (or in the
+/// epilogue).
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    shape: GemmShape,
+    k_steps: u64,
+}
+
+impl FaultModel {
+    /// Builds a fault model for an (unpadded) output of `shape`.
+    pub fn new(shape: GemmShape) -> Self {
+        FaultModel {
+            shape,
+            k_steps: shape.padded_to_mma().k / 2,
+        }
+    }
+
+    /// Uniformly random output coordinate.
+    fn site(&self, rng: &mut StdRng) -> (usize, usize) {
+        (
+            rng.gen_range(0..self.shape.m) as usize,
+            rng.gen_range(0..self.shape.n) as usize,
+        )
+    }
+
+    /// Uniformly random strike time: any K-step, or the epilogue.
+    fn strike(&self, rng: &mut StdRng) -> u64 {
+        let s = rng.gen_range(0..=self.k_steps);
+        if s == self.k_steps {
+            u64::MAX
+        } else {
+            s
+        }
+    }
+
+    /// A uniformly random single-bit flip in the FP32 accumulator — the
+    /// canonical soft-error model used by fault-injection studies.
+    pub fn random_bit_flip(&self, rng: &mut StdRng) -> FaultPlan {
+        let (row, col) = self.site(rng);
+        FaultPlan {
+            row,
+            col,
+            after_step: self.strike(rng),
+            kind: FaultKind::BitFlip(rng.gen_range(0..32)),
+        }
+    }
+
+    /// A bit flip restricted to the given bit position (for per-bit
+    /// vulnerability sweeps).
+    pub fn bit_flip_at(&self, bit: u8, rng: &mut StdRng) -> FaultPlan {
+        let (row, col) = self.site(rng);
+        FaultPlan {
+            row,
+            col,
+            after_step: self.strike(rng),
+            kind: FaultKind::BitFlip(bit),
+        }
+    }
+
+    /// An additive error of fixed magnitude with random sign (models a
+    /// wrong partial product of known size).
+    pub fn additive(&self, magnitude: f32, rng: &mut StdRng) -> FaultPlan {
+        let (row, col) = self.site(rng);
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        FaultPlan {
+            row,
+            col,
+            after_step: self.strike(rng),
+            kind: FaultKind::AddValue(sign * magnitude),
+        }
+    }
+
+    /// A deterministic RNG for reproducible campaigns.
+    pub fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_stay_inside_the_unpadded_output() {
+        let m = FaultModel::new(GemmShape::new(17, 9, 33));
+        let mut rng = FaultModel::rng(1);
+        for _ in 0..200 {
+            let f = m.random_bit_flip(&mut rng);
+            assert!(f.row < 17 && f.col < 9);
+            assert!(f.after_step == u64::MAX || f.after_step < 20); // padded K = 40 => 20 steps
+            if let FaultKind::BitFlip(b) = f.kind {
+                assert!(b < 32);
+            } else {
+                panic!("wrong kind");
+            }
+        }
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let m = FaultModel::new(GemmShape::new(32, 32, 32));
+        let a: Vec<FaultPlan> = {
+            let mut rng = FaultModel::rng(7);
+            (0..16).map(|_| m.random_bit_flip(&mut rng)).collect()
+        };
+        let b: Vec<FaultPlan> = {
+            let mut rng = FaultModel::rng(7);
+            (0..16).map(|_| m.random_bit_flip(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn additive_faults_have_requested_magnitude() {
+        let m = FaultModel::new(GemmShape::new(8, 8, 8));
+        let mut rng = FaultModel::rng(3);
+        for _ in 0..20 {
+            let f = m.additive(2.5, &mut rng);
+            match f.kind {
+                FaultKind::AddValue(v) => assert_eq!(v.abs(), 2.5),
+                _ => panic!("wrong kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn strikes_cover_epilogue_and_loop() {
+        let m = FaultModel::new(GemmShape::new(16, 16, 64));
+        let mut rng = FaultModel::rng(5);
+        let strikes: Vec<u64> = (0..300).map(|_| m.random_bit_flip(&mut rng).after_step).collect();
+        assert!(strikes.contains(&u64::MAX));
+        assert!(strikes.iter().any(|&s| s != u64::MAX));
+    }
+}

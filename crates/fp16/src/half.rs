@@ -1,0 +1,457 @@
+//! IEEE 754 binary16 ("half precision", FP16) implemented in software.
+//!
+//! The representation is the raw 16-bit pattern: 1 sign bit, 5 exponent
+//! bits (bias 15), 10 significand bits. Conversions implement
+//! round-to-nearest-even exactly, including subnormals, signed zeros,
+//! infinities, and NaN (canonicalized to a quiet NaN on conversion).
+//!
+//! Arithmetic is performed by widening to `f64`, computing, and rounding
+//! back. A single `f64` operation on two exactly-representable `F16`
+//! inputs is exact or correctly rounded to 53 bits, and rounding a
+//! 53-bit-rounded value again to 11 bits equals rounding the exact value
+//! directly whenever the intermediate precision is at least `2p + 2 = 24`
+//! bits (the classical innocuous-double-rounding bound), so `+ - * /`
+//! here are correctly rounded binary16 operations.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An IEEE 754 binary16 value stored as its raw bit pattern.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+const EXP_MASK: u16 = 0x7c00;
+const FRAC_MASK: u16 = 0x03ff;
+const SIGN_MASK: u16 = 0x8000;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: F16 = F16(0x8000);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Negative one.
+    pub const NEG_ONE: F16 = F16(0xbc00);
+    /// Largest finite value, `65504.0`.
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest positive normal value, `2^-14`.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value, `2^-24`.
+    pub const MIN_SUBNORMAL: F16 = F16(0x0001);
+    /// Machine epsilon, `2^-10`.
+    pub const EPSILON: F16 = F16(0x1400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xfc00);
+    /// Canonical quiet NaN.
+    pub const NAN: F16 = F16(0x7e00);
+
+    /// Builds a value from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        // f32 -> f64 is exact, so this single rounding step is correct.
+        Self::from_f64(x as f64)
+    }
+
+    /// Converts from `f64` with round-to-nearest-even.
+    pub fn from_f64(x: f64) -> Self {
+        F16(f64_to_f16_bits(x))
+    }
+
+    /// Widens to `f32` (exact).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Widens to `f64` (exact).
+    pub fn to_f64(self) -> f64 {
+        let bits = self.0;
+        let sign = if bits & SIGN_MASK != 0 { -1.0 } else { 1.0 };
+        let exp = ((bits & EXP_MASK) >> 10) as i32;
+        let frac = (bits & FRAC_MASK) as f64;
+        match exp {
+            0 => sign * frac * 2.0_f64.powi(-24),
+            31 => {
+                if frac == 0.0 {
+                    sign * f64::INFINITY
+                } else {
+                    f64::NAN
+                }
+            }
+            _ => sign * (1024.0 + frac) * 2.0_f64.powi(exp - 25),
+        }
+    }
+
+    /// True for either NaN bit pattern class.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & FRAC_MASK) != 0
+    }
+
+    /// True for ±∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// True for anything that is neither NaN nor ±∞.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True for subnormal values (nonzero with a zero exponent field).
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & FRAC_MASK) != 0
+    }
+
+    /// True for ±0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        (self.0 & !SIGN_MASK) == 0
+    }
+
+    /// True if the sign bit is set (including -0.0 and negative NaN).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & SIGN_MASK != 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        F16(self.0 & !SIGN_MASK)
+    }
+
+    /// Negation (flips the sign bit, as IEEE negate does — including NaN).
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // also exposed via std::ops::Neg below
+    pub fn neg(self) -> Self {
+        F16(self.0 ^ SIGN_MASK)
+    }
+
+    /// Correctly-rounded fused multiply-add: `self * b + c` with a single
+    /// rounding, as a Tensor Core's FP16 multiplier feeding an FP32
+    /// accumulator would before the final down-conversion.
+    pub fn fma(self, b: F16, c: F16) -> F16 {
+        // The product of two 11-bit significands is exact in f64 (<= 22
+        // bits) and the subsequent add is a single f64 rounding; 53 >= 24
+        // makes the final rounding to f16 innocuous.
+        F16::from_f64(self.to_f64() * b.to_f64() + c.to_f64())
+    }
+}
+
+/// Rounds `sig >> shift` to nearest, ties to even. `sig` holds an exact
+/// nonnegative significand; `shift` may exceed the bit width (the result
+/// is then 0, since `sig < 2^53 <= 2^(shift-1)` for `shift >= 54`).
+#[inline]
+fn rne_shift(sig: u64, shift: u32) -> u64 {
+    if shift == 0 {
+        return sig;
+    }
+    let shift = shift.min(63);
+    let floor = sig >> shift;
+    let rem = sig & ((1u64 << shift) - 1);
+    let half = 1u64 << (shift - 1);
+    if rem > half || (rem == half && floor & 1 == 1) {
+        floor + 1
+    } else {
+        floor
+    }
+}
+
+/// Converts an `f64` to binary16 bits with round-to-nearest-even.
+pub fn f64_to_f16_bits(x: f64) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 48) as u16) & SIGN_MASK;
+    let e = ((b >> 52) & 0x7ff) as i32;
+    let m = b & 0x000f_ffff_ffff_ffff;
+
+    if e == 0x7ff {
+        // Infinity or NaN; NaN payloads are canonicalized.
+        return if m == 0 { sign | EXP_MASK } else { sign | 0x7e00 };
+    }
+    if e == 0 && m == 0 {
+        return sign; // signed zero
+    }
+
+    // Express |x| = sig * 2^exp with sig in [2^52, 2^53) for normals.
+    // f64 subnormals are below 2^-1022, vastly below the f16 underflow
+    // threshold 2^-25, so they flush to (signed) zero via the same path.
+    let (sig, exp) = if e == 0 {
+        (m, -1022 - 52)
+    } else {
+        (m | (1u64 << 52), e - 1023 - 52)
+    };
+    // Unbiased magnitude exponent: |x| in [2^emag, 2^(emag+1)).
+    let emag = exp + 52;
+
+    if emag >= 16 {
+        // |x| >= 2^16 = 65536 > 65519.99..., the rounding boundary to MAX.
+        return sign | EXP_MASK;
+    }
+    if emag >= -14 {
+        // Normal f16 candidate: quantum 2^(emag-10); sig's leading bit sits
+        // at position 52, so we drop 42 bits.
+        let q = rne_shift(sig, 42); // q in [2^10, 2^11]
+        // Encode with the implicit bit folded into the exponent field;
+        // q == 2^11 (mantissa overflow) carries into the exponent
+        // automatically, and an exponent of 31 means overflow to infinity.
+        let bits = (((emag + 14) as u32) << 10) + q as u32;
+        if bits >= 0x7c00 {
+            return sign | EXP_MASK;
+        }
+        return sign | bits as u16;
+    }
+    // Subnormal or underflow-to-zero: quantum is 2^-24.
+    // shift = (quantum exponent) - exp = -24 - exp.
+    let shift = (-24 - exp) as u32;
+    let q = rne_shift(sig, shift); // q in [0, 2^10]; 2^10 is MIN_POSITIVE
+    sign | q as u16
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<f64> for F16 {
+    fn from(x: f64) -> Self {
+        F16::from_f64(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl From<F16> for f64 {
+    fn from(x: F16) -> Self {
+        x.to_f64()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({} = {:#06x})", self.to_f64(), self.0)
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl std::ops::Add for F16 {
+    type Output = F16;
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() + rhs.to_f64())
+    }
+}
+
+impl std::ops::Sub for F16 {
+    type Output = F16;
+    fn sub(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() - rhs.to_f64())
+    }
+}
+
+impl std::ops::Mul for F16 {
+    type Output = F16;
+    fn mul(self, rhs: F16) -> F16 {
+        // The exact product fits in 22 significand bits, so the f64
+        // intermediate is exact and only one rounding happens.
+        F16::from_f64(self.to_f64() * rhs.to_f64())
+    }
+}
+
+impl std::ops::Div for F16 {
+    type Output = F16;
+    fn div(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() / rhs.to_f64())
+    }
+}
+
+impl std::ops::Neg for F16 {
+    type Output = F16;
+    fn neg(self) -> F16 {
+        F16::neg(self)
+    }
+}
+
+impl std::iter::Sum for F16 {
+    /// Sequential left-to-right FP16 summation (each partial sum rounded),
+    /// matching what a chain of HADD instructions computes.
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_decode_to_expected_values() {
+        assert_eq!(F16::ZERO.to_f64(), 0.0);
+        assert_eq!(F16::ONE.to_f64(), 1.0);
+        assert_eq!(F16::NEG_ONE.to_f64(), -1.0);
+        assert_eq!(F16::MAX.to_f64(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f64(), 2.0_f64.powi(-14));
+        assert_eq!(F16::MIN_SUBNORMAL.to_f64(), 2.0_f64.powi(-24));
+        assert_eq!(F16::EPSILON.to_f64(), 2.0_f64.powi(-10));
+        assert!(F16::INFINITY.is_infinite());
+        assert!(F16::NAN.is_nan());
+    }
+
+    #[test]
+    fn roundtrip_all_finite_bit_patterns() {
+        // Every finite f16 must survive f16 -> f64 -> f16 unchanged.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f64(h.to_f64()).is_nan());
+            } else {
+                assert_eq!(F16::from_f64(h.to_f64()).0, bits, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_ties_to_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10; even
+        // mantissa (1.0) wins.
+        assert_eq!(F16::from_f64(1.0 + 2.0_f64.powi(-11)), F16::ONE);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; ties to the
+        // even mantissa 1+2^-9.
+        assert_eq!(
+            F16::from_f64(1.0 + 3.0 * 2.0_f64.powi(-11)).to_f64(),
+            1.0 + 2.0 * 2.0_f64.powi(-10)
+        );
+        // Just above the tie rounds up.
+        assert_eq!(
+            F16::from_f64(1.0 + 2.0_f64.powi(-11) + 2.0_f64.powi(-30)).to_f64(),
+            1.0 + 2.0_f64.powi(-10)
+        );
+    }
+
+    #[test]
+    fn overflow_boundary_matches_ieee() {
+        // 65520 is the midpoint between MAX (65504) and 2^16; ties-to-even
+        // sends it to infinity (the "even" successor).
+        assert_eq!(F16::from_f64(65519.999), F16::MAX);
+        assert_eq!(F16::from_f64(65520.0), F16::INFINITY);
+        assert_eq!(F16::from_f64(-65520.0), F16::NEG_INFINITY);
+        assert_eq!(F16::from_f64(1e300), F16::INFINITY);
+    }
+
+    #[test]
+    fn underflow_boundary_matches_ieee() {
+        let tiny = 2.0_f64.powi(-24);
+        assert_eq!(F16::from_f64(tiny), F16::MIN_SUBNORMAL);
+        // Exactly half the smallest subnormal ties to even => zero.
+        assert_eq!(F16::from_f64(tiny / 2.0), F16::ZERO);
+        assert_eq!(F16::from_f64(tiny / 2.0 * 1.0001), F16::MIN_SUBNORMAL);
+        assert_eq!(F16::from_f64(-tiny / 2.0), F16::NEG_ZERO);
+        // f64 subnormals flush to zero.
+        assert_eq!(F16::from_f64(f64::MIN_POSITIVE / 4.0), F16::ZERO);
+    }
+
+    #[test]
+    fn subnormal_arithmetic() {
+        let a = F16::MIN_SUBNORMAL;
+        assert_eq!((a + a).to_f64(), 2.0_f64.powi(-23));
+        // 1024 subnormal quanta is the smallest normal.
+        let sum: F16 = std::iter::repeat_n(a, 1024).sum();
+        assert_eq!(sum, F16::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn signed_zero_semantics() {
+        assert_eq!((F16::NEG_ZERO + F16::ZERO), F16::ZERO);
+        assert!(F16::NEG_ZERO.is_zero());
+        assert!(F16::NEG_ZERO.is_sign_negative());
+        assert_eq!(F16::from_f64(-0.0).0, 0x8000);
+    }
+
+    #[test]
+    fn nan_and_inf_propagate() {
+        assert!((F16::NAN + F16::ONE).is_nan());
+        assert!((F16::INFINITY - F16::INFINITY).is_nan());
+        assert_eq!(F16::INFINITY + F16::ONE, F16::INFINITY);
+        assert!((F16::ZERO * F16::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn basic_arithmetic_is_exact_for_small_integers() {
+        let three = F16::from_f32(3.0);
+        let four = F16::from_f32(4.0);
+        assert_eq!((three + four).to_f32(), 7.0);
+        assert_eq!((three * four).to_f32(), 12.0);
+        assert_eq!((four - three).to_f32(), 1.0);
+        assert_eq!((four / F16::from_f32(2.0)).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn addition_rounds_large_plus_small() {
+        // 2048 has quantum 2; adding 0.5 must round back to 2048 and 1.0
+        // must tie to even (2048).
+        let big = F16::from_f32(2048.0);
+        assert_eq!(big + F16::from_f32(0.5), big);
+        assert_eq!(big + F16::ONE, big);
+        assert_eq!((big + F16::from_f32(1.5)).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn fma_single_rounding_differs_from_two_roundings() {
+        // Pick a, b, c where a*b rounds in f16 but the fused version keeps
+        // the exact product: a = 1+2^-10, b = 1+2^-10 => a*b = 1 + 2^-9 +
+        // 2^-20. Plain mul rounds to 1+2^-9; fma(a, b, -1-2^-9) recovers
+        // the residual 2^-20 instead of 0.
+        let a = F16::from_f64(1.0 + 2.0_f64.powi(-10));
+        let c = F16::from_f64(-(1.0 + 2.0_f64.powi(-9)));
+        let fused = a.fma(a, c);
+        let unfused = a * a + c;
+        assert_eq!(fused.to_f64(), 2.0_f64.powi(-20));
+        assert_eq!(unfused.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn sum_is_sequential_and_order_sensitive() {
+        // 1 + 2^-11 repeated: each add individually rounds away, so the
+        // sequential sum stays at 1.0 no matter how many tiny terms.
+        let tiny = F16::from_f64(2.0_f64.powi(-11) * 0.99);
+        let mut acc = F16::ONE;
+        for _ in 0..100 {
+            acc = acc + tiny;
+        }
+        assert_eq!(acc, F16::ONE);
+    }
+}

@@ -1,0 +1,268 @@
+//! The `m16n8k8` Tensor Core matrix-multiply-accumulate (MMA).
+//!
+//! One MMA is a warp-wide operation: the 32 lanes of a warp collectively
+//! multiply a 16×8 FP16 tile `A` by an 8×8 FP16 tile `B` and accumulate
+//! into a 16×8 FP32 tile `C` (§2.1 of the paper, PTX
+//! `mma.sync.aligned.m16n8k8`). Each lane contributes 4 elements of `A`,
+//! 2 elements of `B`, and owns 4 accumulator registers of `C`.
+//!
+//! The simulator uses two views of the operation:
+//!
+//! - [`mma_m16n8k8`] computes the math on whole tiles (products exact in
+//!   FP32, sequential FP32 accumulation along `k` — deterministic, like a
+//!   fixed-order hardware reduction tree).
+//! - [`FragmentLane`] exposes the PTX register-to-matrix-element mapping,
+//!   which fault injection uses to translate "a bit flipped in lane 13's
+//!   accumulator register 2" into a coordinate of `C`.
+
+use crate::half::F16;
+
+/// Number of lanes in a warp.
+pub const LANES_PER_WARP: usize = 32;
+
+/// Rows of the `A`/`C` tiles of one MMA.
+pub const MMA_M: usize = 16;
+/// Columns of the `B`/`C` tiles of one MMA.
+pub const MMA_N: usize = 8;
+/// Depth of one MMA.
+pub const MMA_K: usize = 8;
+
+/// A borrowed 16×8 / 8×8 tile view used by [`mma_m16n8k8`].
+///
+/// `data` is row-major with the given leading dimension, so tiles can point
+/// directly into larger operand matrices without copying.
+#[derive(Clone, Copy)]
+pub struct MmaTile<'a> {
+    /// Row-major backing storage.
+    pub data: &'a [F16],
+    /// Leading dimension (elements per row in the backing storage).
+    pub ld: usize,
+}
+
+impl<'a> MmaTile<'a> {
+    /// Creates a tile view; `data` must hold at least `rows * ld` elements
+    /// for the tile dimensions it will be used with.
+    pub fn new(data: &'a [F16], ld: usize) -> Self {
+        MmaTile { data, ld }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> F16 {
+        self.data[r * self.ld + c]
+    }
+}
+
+/// Performs one `m16n8k8` MMA: `C += A * B`.
+///
+/// Products are formed exactly (an FP16×FP16 product has ≤ 22 significand
+/// bits, exact in FP32) and accumulated into FP32 sequentially along `k`,
+/// matching the deterministic fixed-order accumulation of the hardware's
+/// dot-product units closely enough for checksum semantics: the same
+/// inputs always produce bit-identical outputs.
+///
+/// `c` is a row-major 16×8 FP32 accumulator tile with leading dimension
+/// `ldc`.
+pub fn mma_m16n8k8(a: MmaTile<'_>, b: MmaTile<'_>, c: &mut [f32], ldc: usize) {
+    for i in 0..MMA_M {
+        for j in 0..MMA_N {
+            let mut acc = c[i * ldc + j];
+            for k in 0..MMA_K {
+                acc += a.at(i, k).to_f32() * b.at(k, j).to_f32();
+            }
+            c[i * ldc + j] = acc;
+        }
+    }
+}
+
+/// Computes one output element of an `m16n8k8` MMA without the tile walk —
+/// used by targeted fault-injection replays.
+pub fn mma_element(a: MmaTile<'_>, b: MmaTile<'_>, c: f32, i: usize, j: usize) -> f32 {
+    let mut acc = c;
+    for k in 0..MMA_K {
+        acc += a.at(i, k).to_f32() * b.at(k, j).to_f32();
+    }
+    acc
+}
+
+/// The PTX `m16n8k8` fragment layout for one lane of a warp.
+///
+/// With `lane` ∈ 0..32, `group = lane / 4` and `quad = lane % 4`:
+///
+/// - `A` fragment (4 FP16 registers): `a0,a1` at row `group`, columns
+///   `2*quad, 2*quad+1`; `a2,a3` at row `group + 8`, same columns.
+/// - `B` fragment (2 FP16 registers): `b0,b1` at rows `2*quad, 2*quad+1`,
+///   column `group`.
+/// - `C`/`D` fragment (4 FP32 registers): `c0,c1` at row `group`, columns
+///   `2*quad, 2*quad+1`; `c2,c3` at row `group + 8`, same columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragmentLane {
+    /// Lane index within the warp, 0..32.
+    pub lane: usize,
+}
+
+impl FragmentLane {
+    /// Creates the fragment view for `lane`; panics if `lane >= 32`.
+    pub fn new(lane: usize) -> Self {
+        assert!(lane < LANES_PER_WARP, "lane {lane} out of range");
+        FragmentLane { lane }
+    }
+
+    #[inline]
+    fn group(self) -> usize {
+        self.lane / 4
+    }
+
+    #[inline]
+    fn quad(self) -> usize {
+        self.lane % 4
+    }
+
+    /// (row, col) of `A`-fragment register `r` (0..4) within the 16×8 tile.
+    pub fn a_coord(self, r: usize) -> (usize, usize) {
+        assert!(r < 4, "A fragment has 4 registers");
+        let row = self.group() + if r >= 2 { 8 } else { 0 };
+        let col = 2 * self.quad() + (r & 1);
+        (row, col)
+    }
+
+    /// (row, col) of `B`-fragment register `r` (0..2) within the 8×8 tile.
+    pub fn b_coord(self, r: usize) -> (usize, usize) {
+        assert!(r < 2, "B fragment has 2 registers");
+        (2 * self.quad() + r, self.group())
+    }
+
+    /// (row, col) of `C`-fragment register `r` (0..4) within the 16×8 tile.
+    pub fn c_coord(self, r: usize) -> (usize, usize) {
+        // Same mapping as the A fragment: 2 registers in the top half, 2 in
+        // the bottom half.
+        self.a_coord(r)
+    }
+
+    /// Inverse of [`Self::c_coord`]: which lane and register hold `C[i][j]`.
+    pub fn owner_of_c(i: usize, j: usize) -> (FragmentLane, usize) {
+        assert!(i < MMA_M && j < MMA_N, "({i},{j}) outside 16x8");
+        let group = i % 8;
+        let quad = j / 2;
+        let reg = (j & 1) + if i >= 8 { 2 } else { 0 };
+        (FragmentLane::new(group * 4 + quad), reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_from_f32(vals: &[f32]) -> Vec<F16> {
+        vals.iter().copied().map(F16::from_f32).collect()
+    }
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        // A = 16x8 with a 8x8 identity stacked on zeros; B arbitrary.
+        let mut a = vec![F16::ZERO; 16 * 8];
+        for i in 0..8 {
+            a[i * 8 + i] = F16::ONE;
+        }
+        let b: Vec<F16> = (0..64).map(|v| F16::from_f32(v as f32)).collect();
+        let mut c = vec![0.0f32; 16 * 8];
+        mma_m16n8k8(MmaTile::new(&a, 8), MmaTile::new(&b, 8), &mut c, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(c[i * 8 + j], (i * 8 + j) as f32);
+            }
+        }
+        for i in 8..16 {
+            for j in 0..8 {
+                assert_eq!(c[i * 8 + j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = tile_from_f32(&[1.0; 16 * 8]);
+        let b = tile_from_f32(&[1.0; 8 * 8]);
+        let mut c = vec![5.0f32; 16 * 8];
+        mma_m16n8k8(MmaTile::new(&a, 8), MmaTile::new(&b, 8), &mut c, 8);
+        // Each output is 5 + sum of 8 ones.
+        assert!(c.iter().all(|&v| v == 13.0));
+    }
+
+    #[test]
+    fn matches_f64_reference_within_fp32_accumulation() {
+        // Pseudo-random but deterministic small values; FP32 accumulation
+        // over k=8 of exact products is itself exact when magnitudes are
+        // moderate powers of two.
+        let a: Vec<F16> = (0..128)
+            .map(|v| F16::from_f32(((v * 37 + 11) % 17) as f32 - 8.0))
+            .collect();
+        let b: Vec<F16> = (0..64)
+            .map(|v| F16::from_f32(((v * 53 + 5) % 13) as f32 - 6.0))
+            .collect();
+        let mut c = vec![0.0f32; 128];
+        mma_m16n8k8(MmaTile::new(&a, 8), MmaTile::new(&b, 8), &mut c, 8);
+        for i in 0..16 {
+            for j in 0..8 {
+                let mut reference = 0.0f64;
+                for k in 0..8 {
+                    reference += a[i * 8 + k].to_f64() * b[k * 8 + j].to_f64();
+                }
+                assert_eq!(c[i * 8 + j] as f64, reference, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mma_element_agrees_with_full_tile() {
+        let a: Vec<F16> = (0..128).map(|v| F16::from_f32((v % 7) as f32)).collect();
+        let b: Vec<F16> = (0..64).map(|v| F16::from_f32((v % 5) as f32)).collect();
+        let mut c = vec![1.0f32; 128];
+        let at = MmaTile::new(&a, 8);
+        let bt = MmaTile::new(&b, 8);
+        let mut full = c.clone();
+        mma_m16n8k8(at, bt, &mut full, 8);
+        for i in 0..16 {
+            for j in 0..8 {
+                assert_eq!(full[i * 8 + j], mma_element(at, bt, c[i * 8 + j], i, j));
+            }
+        }
+        c[0] = 0.0; // silence unused-assignment lint paranoia
+    }
+
+    #[test]
+    fn fragment_layout_covers_every_element_exactly_once() {
+        let mut a_seen = [[false; 8]; 16];
+        let mut b_seen = [[false; 8]; 8];
+        let mut c_seen = [[false; 8]; 16];
+        for lane in 0..LANES_PER_WARP {
+            let f = FragmentLane::new(lane);
+            for r in 0..4 {
+                let (i, j) = f.a_coord(r);
+                assert!(!a_seen[i][j], "A ({i},{j}) owned twice");
+                a_seen[i][j] = true;
+                let (i, j) = f.c_coord(r);
+                assert!(!c_seen[i][j], "C ({i},{j}) owned twice");
+                c_seen[i][j] = true;
+            }
+            for r in 0..2 {
+                let (i, j) = f.b_coord(r);
+                assert!(!b_seen[i][j], "B ({i},{j}) owned twice");
+                b_seen[i][j] = true;
+            }
+        }
+        assert!(a_seen.iter().flatten().all(|&s| s));
+        assert!(b_seen.iter().flatten().all(|&s| s));
+        assert!(c_seen.iter().flatten().all(|&s| s));
+    }
+
+    #[test]
+    fn owner_of_c_inverts_c_coord() {
+        for lane in 0..LANES_PER_WARP {
+            let f = FragmentLane::new(lane);
+            for r in 0..4 {
+                let (i, j) = f.c_coord(r);
+                assert_eq!(FragmentLane::owner_of_c(i, j), (f, r));
+            }
+        }
+    }
+}

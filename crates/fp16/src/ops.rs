@@ -1,0 +1,119 @@
+//! Non-MMA arithmetic idioms used by ABFT checksum generation.
+//!
+//! Checksum generation executes on the GPU's traditional arithmetic units
+//! rather than on Tensor Cores (§5.2.2). The dominant instruction is
+//! `HADD2` — a packed add of two independent FP16 lanes per instruction —
+//! which is how CUTLASS-style kernels sum pairs of FP16 values held in one
+//! 32-bit register. We model it here so both the functional engine and the
+//! instruction counters agree on what "one checksum op" means.
+
+use crate::half::F16;
+
+/// Packed FP16 add: `(a.0 + b.0, a.1 + b.1)` in one instruction, the PTX
+/// `HADD2` idiom used by thread-level checksum generation.
+#[inline]
+pub fn hadd2(a: (F16, F16), b: (F16, F16)) -> (F16, F16) {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+/// Sums a slice of FP16 values sequentially in FP16 (every partial sum is
+/// rounded), the behaviour of a chain of `HADD` instructions.
+pub fn hsum(values: &[F16]) -> F16 {
+    values.iter().copied().sum()
+}
+
+/// Sums a slice of FP16 values into an FP32 accumulator — the higher-
+/// precision reduction global ABFT's fused epilogue performs on the FP32
+/// accumulator tiles before they are down-converted.
+pub fn hsum_f32(values: &[F16]) -> f32 {
+    values.iter().map(|v| v.to_f32()).sum()
+}
+
+/// Pairwise (tree) FP16 reduction. Global ABFT's separate reduce kernel
+/// combines per-threadblock partial checksums with a tree; the tree order
+/// changes rounding relative to [`hsum`], which is why the comparison step
+/// needs a tolerance rather than exact equality.
+pub fn hsum_pairwise(values: &[F16]) -> F16 {
+    match values.len() {
+        0 => F16::ZERO,
+        1 => values[0],
+        n => {
+            let (lo, hi) = values.split_at(n / 2);
+            hsum_pairwise(lo) + hsum_pairwise(hi)
+        }
+    }
+}
+
+/// Dot product of two FP16 vectors with FP32 accumulation (the ABFT
+/// checksum dot product of §2.4, executed on regular FMA units).
+pub fn hdot_f32(a: &[F16], b: &[F16]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.to_f32() * y.to_f32())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadd2_adds_both_lanes() {
+        let a = (F16::from_f32(1.5), F16::from_f32(-2.0));
+        let b = (F16::from_f32(0.5), F16::from_f32(4.0));
+        let (lo, hi) = hadd2(a, b);
+        assert_eq!(lo.to_f32(), 2.0);
+        assert_eq!(hi.to_f32(), 2.0);
+    }
+
+    #[test]
+    fn hsum_matches_manual_fold() {
+        let vals: Vec<F16> = (1..=10).map(|v| F16::from_f32(v as f32)).collect();
+        assert_eq!(hsum(&vals).to_f32(), 55.0);
+    }
+
+    #[test]
+    fn hsum_f32_avoids_fp16_saturation() {
+        // 40 copies of 2048 overflow FP16 (max 65504) but not FP32.
+        let vals = vec![F16::from_f32(2048.0); 40];
+        assert!(hsum(&vals).is_infinite() || hsum(&vals).to_f32() >= 65504.0);
+        assert_eq!(hsum_f32(&vals), 40.0 * 2048.0);
+    }
+
+    #[test]
+    fn pairwise_equals_sequential_on_exact_inputs() {
+        let vals: Vec<F16> = (0..64).map(|v| F16::from_f32(v as f32)).collect();
+        assert_eq!(hsum_pairwise(&vals).to_f32(), hsum(&vals).to_f32());
+    }
+
+    #[test]
+    fn pairwise_can_differ_from_sequential_under_rounding() {
+        // One large value followed by many small ones: sequential absorbs
+        // the small ones; the tree adds them together first.
+        let mut vals = vec![F16::from_f32(1024.0)];
+        vals.extend(std::iter::repeat_n(F16::from_f32(0.25), 63));
+        let seq = hsum(&vals).to_f32();
+        let tree = hsum_pairwise(&vals).to_f32();
+        assert!(
+            (seq - tree).abs() > 0.0,
+            "expected rounding divergence, got {seq} vs {tree}"
+        );
+    }
+
+    #[test]
+    fn hdot_f32_matches_reference() {
+        let a: Vec<F16> = (0..16).map(|v| F16::from_f32(v as f32)).collect();
+        let b: Vec<F16> = (0..16).map(|v| F16::from_f32((v % 4) as f32)).collect();
+        let expected: f32 = (0..16).map(|v| (v * (v % 4)) as f32).sum();
+        assert_eq!(hdot_f32(&a, &b), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hdot_rejects_mismatched_lengths() {
+        let a = vec![F16::ONE; 3];
+        let b = vec![F16::ONE; 4];
+        hdot_f32(&a, &b);
+    }
+}

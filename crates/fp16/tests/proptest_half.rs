@@ -1,0 +1,150 @@
+//! Property-based tests for the software FP16 implementation.
+
+use aiga_fp16::ops::{hdot_f32, hsum, hsum_pairwise};
+use aiga_fp16::{mma_m16n8k8, F16, MmaTile};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary finite F16 values through their bit
+/// patterns (covers normals, subnormals, and signed zeros).
+fn finite_f16() -> impl Strategy<Value = F16> {
+    any::<u16>()
+        .prop_map(F16::from_bits)
+        .prop_filter("finite", |h| h.is_finite())
+}
+
+/// Strategy for "moderate" values where FP32 accumulation of 8-term dot
+/// products is exact enough to compare against f64.
+fn moderate_f16() -> impl Strategy<Value = F16> {
+    (-240i32..=240).prop_map(|v| F16::from_f32(v as f32 / 8.0))
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_through_f64_is_identity(h in finite_f16()) {
+        prop_assert_eq!(F16::from_f64(h.to_f64()).to_bits(), h.to_bits());
+    }
+
+    #[test]
+    fn conversion_is_monotone(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(a.is_finite() && b.is_finite());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (hlo, hhi) = (F16::from_f64(lo), F16::from_f64(hi));
+        // Rounding is monotone: lo <= hi implies f16(lo) <= f16(hi).
+        prop_assert!(hlo.to_f64() <= hhi.to_f64());
+    }
+
+    #[test]
+    fn conversion_error_is_within_half_ulp(x in -60000.0f64..60000.0) {
+        let h = F16::from_f64(x);
+        let back = h.to_f64();
+        // ulp at |x|: 2^(floor(log2|x|) - 10), min quantum 2^-24.
+        let ulp = if x == 0.0 {
+            2.0_f64.powi(-24)
+        } else {
+            2.0_f64.powi((x.abs().log2().floor() as i32 - 10).max(-24))
+        };
+        prop_assert!((back - x).abs() <= ulp / 2.0 + f64::EPSILON,
+            "x={x} back={back} ulp={ulp}");
+    }
+
+    #[test]
+    fn addition_is_commutative(a in finite_f16(), b in finite_f16()) {
+        let ab = a + b;
+        let ba = b + a;
+        prop_assert!(ab == ba || (ab.is_nan() && ba.is_nan()));
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in finite_f16(), b in finite_f16()) {
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!(ab == ba || (ab.is_nan() && ba.is_nan()));
+    }
+
+    #[test]
+    fn add_is_correctly_rounded(a in finite_f16(), b in finite_f16()) {
+        // The exact sum of two f16 values is representable in f64, so
+        // rounding it once is the correctly-rounded answer.
+        let exact = a.to_f64() + b.to_f64();
+        prop_assert_eq!((a + b).to_bits(), F16::from_f64(exact).to_bits());
+    }
+
+    #[test]
+    fn mul_is_correctly_rounded(a in finite_f16(), b in finite_f16()) {
+        let exact = a.to_f64() * b.to_f64();
+        prop_assert_eq!((a * b).to_bits(), F16::from_f64(exact).to_bits());
+    }
+
+    #[test]
+    fn neg_is_involutive_and_sign_flipping(a in finite_f16()) {
+        prop_assert_eq!((-(-a)).to_bits(), a.to_bits());
+        if !a.is_zero() {
+            prop_assert!((-a).to_f64() == -(a.to_f64()));
+        }
+    }
+
+    #[test]
+    fn hsum_of_nonnegative_is_monotone_in_length(
+        vals in proptest::collection::vec(0u16..0x3c00, 1..40)
+    ) {
+        // All values in [0, 1); appending more nonnegative terms never
+        // decreases the FP16 running sum.
+        let vals: Vec<F16> = vals.into_iter().map(F16::from_bits).collect();
+        let mut prev = F16::ZERO;
+        for n in 1..=vals.len() {
+            let s = hsum(&vals[..n]);
+            prop_assert!(s.to_f64() >= prev.to_f64());
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn pairwise_sum_is_at_least_as_accurate(
+        vals in proptest::collection::vec(moderate_f16(), 1..64)
+    ) {
+        let exact: f64 = vals.iter().map(|v| v.to_f64()).sum();
+        let seq = hsum(&vals).to_f64();
+        let tree = hsum_pairwise(&vals).to_f64();
+        // Not asserting tree <= seq error pointwise (not a theorem), just
+        // that both stay within the coarse FP16 error envelope.
+        let bound = vals.len() as f64 * 0.5 * 2.0_f64.powi(-10)
+            * vals.iter().map(|v| v.to_f64().abs()).sum::<f64>().max(1.0);
+        prop_assert!((seq - exact).abs() <= bound + 1.0);
+        prop_assert!((tree - exact).abs() <= bound + 1.0);
+    }
+
+    #[test]
+    fn mma_matches_f64_reference(
+        a in proptest::collection::vec(moderate_f16(), 128),
+        b in proptest::collection::vec(moderate_f16(), 64),
+    ) {
+        let mut c = vec![0.0f32; 128];
+        mma_m16n8k8(MmaTile::new(&a, 8), MmaTile::new(&b, 8), &mut c, 8);
+        for i in 0..16 {
+            for j in 0..8 {
+                let mut exact = 0.0f64;
+                let mut f32ref = 0.0f32;
+                for k in 0..8 {
+                    exact += a[i * 8 + k].to_f64() * b[k * 8 + j].to_f64();
+                    f32ref += a[i * 8 + k].to_f32() * b[k * 8 + j].to_f32();
+                }
+                // Bit-identical to the sequential FP32 reference and close
+                // to the exact value.
+                prop_assert_eq!(c[i * 8 + j], f32ref);
+                prop_assert!((c[i * 8 + j] as f64 - exact).abs() < 1e-1);
+            }
+        }
+    }
+
+    #[test]
+    fn hdot_is_bilinear_in_scaling_by_powers_of_two(
+        a in proptest::collection::vec(moderate_f16(), 8),
+        b in proptest::collection::vec(moderate_f16(), 8),
+    ) {
+        // Scaling by 2 is exact in FP16, so the dot product must scale
+        // exactly too.
+        let two = F16::from_f32(2.0);
+        let a2: Vec<F16> = a.iter().map(|&x| x * two).collect();
+        prop_assert_eq!(hdot_f32(&a2, &b), 2.0 * hdot_f32(&a, &b));
+    }
+}

@@ -1,0 +1,191 @@
+//! GPU device models.
+//!
+//! Published hardware parameters for the devices the paper discusses
+//! (§3.3, §6.2). The compute-to-memory-bandwidth ratio (CMR) these
+//! specifications produce is the right-hand side of the paper's Eq. 1 and
+//! is what intensity-guided ABFT compares a layer's arithmetic intensity
+//! against.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of one GPU.
+///
+/// Throughputs are *peak* device-wide numbers (the same figures the paper
+/// quotes from vendor datasheets); the timing model derates them through
+/// utilization and occupancy factors.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"NVIDIA T4"`.
+    pub name: &'static str,
+    /// Peak matrix-unit (Tensor Core) throughput in FLOP/s for the
+    /// precision being modeled (FP16 unless stated otherwise).
+    pub tensor_flops: f64,
+    /// Peak traditional-ALU throughput in FLOP/s for FP16-class packed
+    /// math (`HADD2`/`HFMA2`); checksum generation runs here (§5.2.2).
+    pub alu_flops: f64,
+    /// Peak DRAM bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum threads per threadblock.
+    pub max_threads_per_block: u32,
+    /// Last-level (L2) cache capacity in bytes.
+    pub l2_bytes: u64,
+}
+
+impl DeviceSpec {
+    /// Compute-to-memory-bandwidth ratio (FLOPs per byte), the right-hand
+    /// side of the paper's Eq. 1.
+    pub fn cmr(&self) -> f64 {
+        self.tensor_flops / self.mem_bw
+    }
+
+    /// Peak Tensor-Core throughput available to a single SM.
+    pub fn tensor_flops_per_sm(&self) -> f64 {
+        self.tensor_flops / self.sm_count as f64
+    }
+
+    /// Peak ALU throughput available to a single SM.
+    pub fn alu_flops_per_sm(&self) -> f64 {
+        self.alu_flops / self.sm_count as f64
+    }
+
+    /// The inference-optimized NVIDIA T4 (Turing), the paper's evaluation
+    /// platform: 65 FP16 TFLOP/s via Tensor Cores, 320 GB/s GDDR6,
+    /// CMR = 203 (§3.3, §6.2).
+    pub fn t4() -> Self {
+        DeviceSpec {
+            name: "NVIDIA T4",
+            tensor_flops: 65e12,
+            // Turing SM: 64 FP32 cores/SM; FP16 packed math doubles it.
+            alu_flops: 16.3e12,
+            mem_bw: 320e9,
+            sm_count: 40,
+            regs_per_sm: 65_536,
+            max_warps_per_sm: 32,
+            max_threads_per_block: 1024,
+            l2_bytes: 4 << 20,
+        }
+    }
+
+    /// The T4's predecessor, the P4 (Pascal): 11 FP16 TFLOP/s (no Tensor
+    /// Cores), 192 GB/s, CMR = 57 (§3.3).
+    pub fn p4() -> Self {
+        DeviceSpec {
+            name: "NVIDIA P4",
+            tensor_flops: 11e12,
+            alu_flops: 11e12,
+            mem_bw: 192e9,
+            sm_count: 20,
+            regs_per_sm: 65_536,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            l2_bytes: 2 << 20,
+        }
+    }
+
+    /// NVIDIA V100 (Volta): 125 FP16 TFLOP/s, 900 GB/s HBM2, CMR = 139.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "NVIDIA V100",
+            tensor_flops: 125e12,
+            alu_flops: 31.3e12,
+            mem_bw: 900e9,
+            sm_count: 80,
+            regs_per_sm: 65_536,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            l2_bytes: 6 << 20,
+        }
+    }
+
+    /// NVIDIA A100 (Ampere): 312 FP16 TFLOP/s, 1555 GB/s, CMR = 201.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "NVIDIA A100",
+            tensor_flops: 312e12,
+            alu_flops: 78e12,
+            mem_bw: 1555e9,
+            sm_count: 108,
+            regs_per_sm: 65_536,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            l2_bytes: 40 << 20,
+        }
+    }
+
+    /// NVIDIA Jetson AGX Xavier at INT8: 32 TOP/s via Tensor Cores,
+    /// 137 GB/s, CMR = 234 (§3.3 quotes 235).
+    pub fn jetson_agx_xavier_int8() -> Self {
+        DeviceSpec {
+            name: "NVIDIA Jetson AGX Xavier (INT8)",
+            tensor_flops: 32e12,
+            alu_flops: 11e12,
+            mem_bw: 137e9,
+            sm_count: 8,
+            regs_per_sm: 65_536,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            l2_bytes: 512 << 10,
+        }
+    }
+
+    /// All modeled devices, in the order the paper introduces them.
+    pub fn all() -> Vec<DeviceSpec> {
+        vec![
+            Self::p4(),
+            Self::t4(),
+            Self::v100(),
+            Self::a100(),
+            Self::jetson_agx_xavier_int8(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmr_values_match_the_paper() {
+        // §3.3: "the FP16 CMR of the T4 GPU is 203, while that of the P4
+        // was 58", V100 139, A100 201, Xavier 235 (INT8).
+        assert!((DeviceSpec::t4().cmr() - 203.0).abs() < 1.0);
+        assert!((DeviceSpec::p4().cmr() - 57.3).abs() < 1.0);
+        assert!((DeviceSpec::v100().cmr() - 138.9).abs() < 1.0);
+        assert!((DeviceSpec::a100().cmr() - 200.6).abs() < 1.0);
+        assert!((DeviceSpec::jetson_agx_xavier_int8().cmr() - 233.6).abs() < 2.0);
+    }
+
+    #[test]
+    fn t4_to_p4_generational_ratios_match_section_3_3() {
+        // "the T4 GPU increases FP16 FLOPs/sec by 5.9x compared to the P4
+        // GPU, it offers only a 1.7x increase in memory bandwidth".
+        let t4 = DeviceSpec::t4();
+        let p4 = DeviceSpec::p4();
+        let flops_ratio = t4.tensor_flops / p4.tensor_flops;
+        let bw_ratio = t4.mem_bw / p4.mem_bw;
+        assert!((flops_ratio - 5.9).abs() < 0.05, "flops ratio {flops_ratio}");
+        assert!((bw_ratio - 1.67).abs() < 0.05, "bw ratio {bw_ratio}");
+    }
+
+    #[test]
+    fn per_sm_throughput_sums_back_to_device() {
+        let t4 = DeviceSpec::t4();
+        let total = t4.tensor_flops_per_sm() * t4.sm_count as f64;
+        assert!((total - t4.tensor_flops).abs() < 1.0);
+    }
+
+    #[test]
+    fn all_devices_have_sane_parameters() {
+        for d in DeviceSpec::all() {
+            assert!(d.tensor_flops >= d.alu_flops, "{}", d.name);
+            assert!(d.mem_bw > 0.0 && d.sm_count > 0, "{}", d.name);
+            assert!(d.cmr() > 10.0 && d.cmr() < 1000.0, "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,747 @@
+//! The functional GEMM engine: a software model of a CUTLASS-style FP16
+//! Tensor Core kernel.
+//!
+//! The engine executes `C = A · B` through the full hierarchy of Figure 2:
+//! the grid is split into threadblock tiles, threadblocks into warp tiles,
+//! and warp tiles into per-thread fragments following the `m16n8k8` PTX
+//! layout (each lane owns 2 rows per 16-row MMA granule and 2 columns per
+//! 8-column granule). Each simulated thread walks the K dimension in
+//! steps of 2, loading an `Mt × 2` chunk of `At` and a `2 × Nt` chunk of
+//! `Bt` exactly as Figure 3 describes, accumulating into FP32 registers.
+//!
+//! Redundancy schemes plug in through [`ThreadLocalScheme`]: the engine
+//! calls the scheme with the very fragments the thread loaded (sharing
+//! loads, never adding memory traffic — the §3.5 design principle) and
+//! hands it the final accumulators for the thread-local check. This is
+//! the seam where the paper modified CUTLASS's thread-level inner loops.
+//!
+//! Faults are injected into the accumulator datapath ([`FaultPlan`]),
+//! modeling a soft error in processing logic per the fault model of §2.3:
+//! operands are assumed correct (ECC-protected memory), control flow is
+//! assumed correct, and a single output value of `C` is corrupted.
+
+use crate::shape::GemmShape;
+use crate::tiling::{TilingConfig, STEP_K};
+use aiga_fp16::F16;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// A row-major FP16 matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` elements.
+    pub data: Vec<F16>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F16::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix element-wise from `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> F16) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Deterministic pseudo-random matrix with entries in `[-2, 2]`
+    /// quantized to FP16 — the magnitude regime of normalized NN
+    /// activations and weights.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::from_fn(rows, cols, |_, _| {
+            F16::from_f32(rng.gen_range(-2.0f32..2.0))
+        })
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> F16 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: F16) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Copies into a larger zero-padded matrix.
+    pub fn padded(&self, rows: usize, cols: usize) -> Matrix {
+        assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(src);
+        }
+        out
+    }
+}
+
+/// Identity of a simulated thread and the global rows/columns of `C` its
+/// fragments own.
+#[derive(Clone, Debug)]
+pub struct ThreadCtx {
+    /// Threadblock coordinates in the grid.
+    pub block: (u64, u64),
+    /// Warp index within the block.
+    pub warp: u64,
+    /// Lane within the warp, 0..32.
+    pub lane: usize,
+    /// Global row indices of the thread's `Mt` accumulator rows.
+    pub rows: Vec<usize>,
+    /// Global column indices of the thread's `Nt` accumulator columns.
+    pub cols: Vec<usize>,
+}
+
+/// Result of one thread's local redundancy check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThreadVerdict {
+    /// Whether the thread flagged a fault.
+    pub fault_detected: bool,
+    /// Largest check residual observed.
+    pub residual: f64,
+    /// Threshold the residual was compared against.
+    pub threshold: f64,
+}
+
+impl ThreadVerdict {
+    /// A clean (no-fault) verdict.
+    pub fn clean() -> Self {
+        ThreadVerdict {
+            fault_detected: false,
+            residual: 0.0,
+            threshold: 0.0,
+        }
+    }
+}
+
+/// Per-thread cost counters a scheme self-reports, in the units of
+/// Table 1 (per-K-step MMAs and checksum operations are accumulated over
+/// all steps).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchemeCounters {
+    /// Redundant Tensor-Core MMA participations.
+    pub extra_mmas: u64,
+    /// Checksum-generation ALU operations (HADD2-class).
+    pub checksum_ops: u64,
+}
+
+impl SchemeCounters {
+    fn merge(&mut self, other: SchemeCounters) {
+        self.extra_mmas += other.extra_mmas;
+        self.checksum_ops += other.checksum_ops;
+    }
+}
+
+/// A redundancy scheme living inside the thread-level inner loop.
+///
+/// One instance protects one simulated thread; the engine constructs an
+/// instance per thread via the factory passed to [`GemmEngine::run`].
+pub trait ThreadLocalScheme: Send {
+    /// Called once before the K-walk with the thread's identity.
+    fn begin(&mut self, ctx: &ThreadCtx);
+
+    /// Called for every K-step with the fragments the thread just loaded:
+    /// `a_chunk` is `Mt × 2` row-major (rows ordered as `ctx.rows`),
+    /// `b_chunk` is `2 × Nt` row-major (columns ordered as `ctx.cols`).
+    /// Sharing these loads is what keeps thread-level ABFT free of extra
+    /// memory traffic (§5.1).
+    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize);
+
+    /// Called once after the K-walk with the thread's final `Mt × Nt`
+    /// FP32 accumulators (row-major); performs the thread-local check.
+    fn finalize(&mut self, ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict;
+
+    /// Cost counters accumulated by this thread's instance.
+    fn counters(&self) -> SchemeCounters {
+        SchemeCounters::default()
+    }
+}
+
+/// The unprotected baseline: no redundant work, always-clean verdicts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoScheme;
+
+impl ThreadLocalScheme for NoScheme {
+    fn begin(&mut self, _ctx: &ThreadCtx) {}
+    fn on_k_step(&mut self, _a: &[F16], _b: &[F16], _mt: usize, _nt: usize) {}
+    fn finalize(&mut self, _ctx: &ThreadCtx, _acc: &[f32], _mt: usize, _nt: usize) -> ThreadVerdict {
+        ThreadVerdict::clean()
+    }
+}
+
+/// How an injected soft error corrupts an accumulator register.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Flip one bit (0..32) of the FP32 accumulator.
+    BitFlip(u8),
+    /// Add a value to the accumulator (models a wrong partial product).
+    AddValue(f32),
+    /// Overwrite the accumulator entirely (models a mux/select error).
+    SetValue(f32),
+}
+
+/// A single injected fault targeting output element `(row, col)` of `C`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Global row of the corrupted output element.
+    pub row: usize,
+    /// Global column of the corrupted output element.
+    pub col: usize,
+    /// K-step after which the corruption strikes; `u64::MAX` means after
+    /// the final step (a fault in the epilogue datapath).
+    pub after_step: u64,
+    /// Corruption applied.
+    pub kind: FaultKind,
+}
+
+impl FaultKind {
+    /// Applies the corruption to an accumulator value.
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            FaultKind::BitFlip(bit) => f32::from_bits(v.to_bits() ^ (1 << (bit as u32 % 32))),
+            FaultKind::AddValue(d) => v + d,
+            FaultKind::SetValue(x) => x,
+        }
+    }
+}
+
+/// One thread's positive detection, with provenance.
+#[derive(Clone, Debug)]
+pub struct Detection {
+    /// Threadblock coordinates.
+    pub block: (u64, u64),
+    /// Warp index within the block.
+    pub warp: u64,
+    /// Lane within the warp.
+    pub lane: usize,
+    /// Check residual that tripped the detection.
+    pub residual: f64,
+    /// Threshold it exceeded.
+    pub threshold: f64,
+}
+
+/// Aggregated execution statistics of one engine run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineCounters {
+    /// Simulated threads executed.
+    pub threads: u64,
+    /// K-steps per thread.
+    pub k_steps: u64,
+    /// Baseline MMA participations (Table 1: `Mt·Nt/2` per thread-step).
+    pub baseline_mmas: u64,
+    /// Scheme-reported extras, summed over threads.
+    pub scheme: SchemeCounters,
+}
+
+/// Output of one simulated GEMM kernel.
+#[derive(Clone, Debug)]
+pub struct GemmOutput {
+    /// Row-major FP32 pre-activation output, `m × n` (unpadded).
+    pub c: Vec<f32>,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Threads that flagged a fault.
+    pub detections: Vec<Detection>,
+    /// Execution statistics.
+    pub counters: EngineCounters,
+}
+
+impl GemmOutput {
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.c[r * self.n + c]
+    }
+
+    /// True if any thread flagged a fault.
+    pub fn fault_detected(&self) -> bool {
+        !self.detections.is_empty()
+    }
+}
+
+/// The functional GEMM engine for one problem shape and tiling.
+#[derive(Clone, Debug)]
+pub struct GemmEngine {
+    shape: GemmShape,
+    tiling: TilingConfig,
+}
+
+impl GemmEngine {
+    /// Creates an engine with an explicit tiling.
+    pub fn new(shape: GemmShape, tiling: TilingConfig) -> Self {
+        tiling.validate();
+        GemmEngine {
+            shape: shape.padded_to_mma(),
+            tiling,
+        }
+    }
+
+    /// Creates an engine with the default tiling for the shape on a T4.
+    pub fn with_default_tiling(shape: GemmShape) -> Self {
+        let tiling = TilingConfig::select(shape, &crate::device::DeviceSpec::t4());
+        Self::new(shape, tiling)
+    }
+
+    /// The padded shape this engine executes.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+
+    /// The tiling in use.
+    pub fn tiling(&self) -> TilingConfig {
+        self.tiling
+    }
+
+    /// Runs the kernel: multiplies `a` (`m × k`) by `b` (`k × n`),
+    /// executing `make_scheme()` inside every simulated thread and
+    /// applying `fault` if given. Returns the unpadded `m × n` output.
+    pub fn run<S, F>(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        make_scheme: F,
+        fault: Option<FaultPlan>,
+    ) -> GemmOutput
+    where
+        S: ThreadLocalScheme,
+        F: Fn() -> S + Sync,
+    {
+        let faults: Vec<FaultPlan> = fault.into_iter().collect();
+        self.run_multi(a, b, make_scheme, &faults)
+    }
+
+    /// Like [`Self::run`] but injecting any number of simultaneous faults
+    /// — used to exercise the multi-checksum extension of §2.4 (single-
+    /// checksum ABFT only guarantees detection of one fault).
+    pub fn run_multi<S, F>(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        make_scheme: F,
+        faults: &[FaultPlan],
+    ) -> GemmOutput
+    where
+        S: ThreadLocalScheme,
+        F: Fn() -> S + Sync,
+    {
+        assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+        let out_m = a.rows;
+        let out_n = b.cols;
+        let (gm, gn) = self.tiling.grid(self.shape);
+        let cov_m = (gm * self.tiling.block_m) as usize;
+        let cov_n = (gn * self.tiling.block_n) as usize;
+        let k = self.shape.k as usize;
+        let ap = a.padded(cov_m, k);
+        let bp = b.padded(k, cov_n);
+
+        let blocks: Vec<(u64, u64)> = (0..gm)
+            .flat_map(|br| (0..gn).map(move |bc| (br, bc)))
+            .collect();
+
+        struct BlockResult {
+            br: u64,
+            bc: u64,
+            tile: Vec<f32>,
+            detections: Vec<Detection>,
+            counters: EngineCounters,
+        }
+
+        let results: Vec<BlockResult> = blocks
+            .par_iter()
+            .map(|&(br, bc)| {
+                let mut tile =
+                    vec![0.0f32; (self.tiling.block_m * self.tiling.block_n) as usize];
+                let mut detections = Vec::new();
+                let mut counters = EngineCounters::default();
+                self.run_block(
+                    br,
+                    bc,
+                    &ap,
+                    &bp,
+                    &make_scheme,
+                    faults,
+                    &mut tile,
+                    &mut detections,
+                    &mut counters,
+                );
+                BlockResult {
+                    br,
+                    bc,
+                    tile,
+                    detections,
+                    counters,
+                }
+            })
+            .collect();
+
+        let mut c = vec![0.0f32; out_m * out_n];
+        let mut detections = Vec::new();
+        let mut counters = EngineCounters::default();
+        for r in results {
+            let row0 = (r.br * self.tiling.block_m) as usize;
+            let col0 = (r.bc * self.tiling.block_n) as usize;
+            for lr in 0..self.tiling.block_m as usize {
+                let gr = row0 + lr;
+                if gr >= out_m {
+                    break;
+                }
+                for lc in 0..self.tiling.block_n as usize {
+                    let gc = col0 + lc;
+                    if gc >= out_n {
+                        break;
+                    }
+                    c[gr * out_n + gc] = r.tile[lr * self.tiling.block_n as usize + lc];
+                }
+            }
+            detections.extend(r.detections);
+            counters.threads += r.counters.threads;
+            counters.baseline_mmas += r.counters.baseline_mmas;
+            counters.scheme.merge(r.counters.scheme);
+            counters.k_steps = r.counters.k_steps;
+        }
+
+        GemmOutput {
+            c,
+            m: out_m,
+            n: out_n,
+            detections,
+            counters,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_block<S, F>(
+        &self,
+        br: u64,
+        bc: u64,
+        ap: &Matrix,
+        bp: &Matrix,
+        make_scheme: &F,
+        faults: &[FaultPlan],
+        tile: &mut [f32],
+        detections: &mut Vec<Detection>,
+        counters: &mut EngineCounters,
+    ) where
+        S: ThreadLocalScheme,
+        F: Fn() -> S + Sync,
+    {
+        let t = &self.tiling;
+        let warps_m = t.block_m / t.warp_m;
+        let warps_n = t.block_n / t.warp_n;
+        let mt = t.thread_mt() as usize;
+        let nt = t.thread_nt() as usize;
+        let k_steps = t.k_steps(self.shape);
+        counters.k_steps = k_steps;
+
+        let mut a_chunk = vec![F16::ZERO; mt * 2];
+        let mut b_chunk = vec![F16::ZERO; 2 * nt];
+        let mut acc = vec![0.0f32; mt * nt];
+
+        for wr in 0..warps_m {
+            for wc in 0..warps_n {
+                let warp = wr * warps_n + wc;
+                for lane in 0..32usize {
+                    let group = lane / 4;
+                    let quad = lane % 4;
+                    // Global rows/cols owned by this lane (PTX m16n8k8
+                    // fragment layout tiled across the warp tile).
+                    let mut rows = Vec::with_capacity(mt);
+                    for gran in 0..(t.warp_m / 16) {
+                        let base =
+                            (br * t.block_m + wr * t.warp_m + gran * 16) as usize + group;
+                        rows.push(base);
+                        rows.push(base + 8);
+                    }
+                    let mut cols = Vec::with_capacity(nt);
+                    for gran in 0..(t.warp_n / 8) {
+                        let base =
+                            (bc * t.block_n + wc * t.warp_n + gran * 8) as usize + 2 * quad;
+                        cols.push(base);
+                        cols.push(base + 1);
+                    }
+                    let ctx = ThreadCtx {
+                        block: (br, bc),
+                        warp,
+                        lane,
+                        rows,
+                        cols,
+                    };
+
+                    // Which accumulators (if any) the fault plans target.
+                    let fault_targets: Vec<(usize, u64, FaultKind)> = faults
+                        .iter()
+                        .filter_map(|f| {
+                            let ri = ctx.rows.iter().position(|&r| r == f.row)?;
+                            let ci = ctx.cols.iter().position(|&c| c == f.col)?;
+                            Some((ri * nt + ci, f.after_step, f.kind))
+                        })
+                        .collect();
+
+                    let mut scheme = make_scheme();
+                    scheme.begin(&ctx);
+                    acc.iter_mut().for_each(|v| *v = 0.0);
+
+                    for step in 0..k_steps {
+                        let k0 = (step * STEP_K) as usize;
+                        for (ri, &r) in ctx.rows.iter().enumerate() {
+                            a_chunk[ri * 2] = ap.get(r, k0);
+                            a_chunk[ri * 2 + 1] = ap.get(r, k0 + 1);
+                        }
+                        for (ci, &c) in ctx.cols.iter().enumerate() {
+                            b_chunk[ci] = bp.get(k0, c);
+                            b_chunk[nt + ci] = bp.get(k0 + 1, c);
+                        }
+                        // The MMA math: FP16 products are exact in FP32;
+                        // the two k-lanes of the step are reduced first
+                        // (dot-product unit), then accumulated.
+                        for ri in 0..mt {
+                            let a0 = a_chunk[ri * 2].to_f32();
+                            let a1 = a_chunk[ri * 2 + 1].to_f32();
+                            for ci in 0..nt {
+                                let partial =
+                                    a0 * b_chunk[ci].to_f32() + a1 * b_chunk[nt + ci].to_f32();
+                                acc[ri * nt + ci] += partial;
+                            }
+                        }
+                        scheme.on_k_step(&a_chunk, &b_chunk, mt, nt);
+                        for &(idx, after, kind) in &fault_targets {
+                            if after == step {
+                                acc[idx] = kind.apply(acc[idx]);
+                            }
+                        }
+                    }
+                    for &(idx, after, kind) in &fault_targets {
+                        if after == u64::MAX {
+                            acc[idx] = kind.apply(acc[idx]);
+                        }
+                    }
+
+                    let verdict = scheme.finalize(&ctx, &acc, mt, nt);
+                    if verdict.fault_detected {
+                        detections.push(Detection {
+                            block: (br, bc),
+                            warp,
+                            lane,
+                            residual: verdict.residual,
+                            threshold: verdict.threshold,
+                        });
+                    }
+                    counters.threads += 1;
+                    counters.baseline_mmas += k_steps * t.mmas_per_thread_step();
+                    counters.scheme.merge(scheme.counters());
+
+                    // Write the thread's accumulators into the block tile.
+                    let row0 = (br * t.block_m) as usize;
+                    let col0 = (bc * t.block_n) as usize;
+                    for (ri, &r) in ctx.rows.iter().enumerate() {
+                        for (ci, &c) in ctx.cols.iter().enumerate() {
+                            tile[(r - row0) * t.block_n as usize + (c - col0)] =
+                                acc[ri * nt + ci];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference GEMM in FP64 (exact for FP16 inputs up to K ≈ 2^40 terms).
+pub fn gemm_reference_f64(a: &Matrix, b: &Matrix) -> Vec<f64> {
+    assert_eq!(a.cols, b.rows);
+    let mut c = vec![0.0f64; a.rows * b.cols];
+    for i in 0..a.rows {
+        for kk in 0..a.cols {
+            let av = a.get(i, kk).to_f64();
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols {
+                c[i * b.cols + j] += av * b.get(kk, j).to_f64();
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_for(m: u64, n: u64, k: u64) -> GemmEngine {
+        GemmEngine::new(
+            GemmShape::new(m, n, k),
+            TilingConfig {
+                block_m: 32,
+                block_n: 32,
+                block_k: 16,
+                warp_m: 16,
+                warp_n: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn matches_f64_reference_within_fp32_accumulation_error() {
+        let (m, n, k) = (48, 40, 64);
+        let a = Matrix::random(m, k, 1);
+        let b = Matrix::random(k, n, 2);
+        let out = engine_for(m as u64, n as u64, k as u64).run(&a, &b, || NoScheme, None);
+        let reference = gemm_reference_f64(&a, &b);
+        for (i, (&got, &want)) in out.c.iter().zip(&reference).enumerate() {
+            let err = (got as f64 - want).abs();
+            // K=64 FP32 accumulations of exact products: error well under
+            // K * eps32 * |terms|.
+            assert!(err < 1e-3, "element {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn identity_multiplication_is_exact() {
+        let n = 32;
+        let ident = Matrix::from_fn(n, n, |r, c| if r == c { F16::ONE } else { F16::ZERO });
+        let b = Matrix::random(n, n, 3);
+        let out = engine_for(n as u64, n as u64, n as u64).run(&ident, &b, || NoScheme, None);
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(out.get(r, c), b.get(r, c).to_f32());
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_shapes_are_padded_and_cropped() {
+        let (m, n, k) = (17, 9, 11);
+        let a = Matrix::random(m, k, 4);
+        let b = Matrix::random(k, n, 5);
+        let out = engine_for(m as u64, n as u64, k as u64).run(&a, &b, || NoScheme, None);
+        assert_eq!((out.m, out.n), (m, n));
+        let reference = gemm_reference_f64(&a, &b);
+        for (&got, &want) in out.c.iter().zip(&reference) {
+            assert!((got as f64 - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn every_output_element_is_written_exactly_once() {
+        // A product of all-ones matrices has every element equal to K —
+        // if fragment ownership double-wrote or missed elements the
+        // block-tile assembly would show it.
+        let (m, n, k) = (64, 64, 32);
+        let ones = Matrix::from_fn(m, k, |_, _| F16::ONE);
+        let ones_b = Matrix::from_fn(k, n, |_, _| F16::ONE);
+        let out = engine_for(m as u64, n as u64, k as u64).run(&ones, &ones_b, || NoScheme, None);
+        assert!(out.c.iter().all(|&v| v == k as f32));
+    }
+
+    #[test]
+    fn counters_match_tiling_formulas() {
+        let eng = engine_for(64, 64, 64);
+        let a = Matrix::random(64, 64, 6);
+        let b = Matrix::random(64, 64, 7);
+        let out = eng.run(&a, &b, || NoScheme, None);
+        let t = eng.tiling();
+        let threads = t.total_blocks(eng.shape()) * t.threads_per_block();
+        assert_eq!(out.counters.threads, threads);
+        assert_eq!(out.counters.k_steps, 32);
+        assert_eq!(
+            out.counters.baseline_mmas,
+            threads * 32 * t.mmas_per_thread_step()
+        );
+    }
+
+    #[test]
+    fn injected_fault_corrupts_exactly_one_element() {
+        let (m, n, k) = (32, 32, 32);
+        let a = Matrix::random(m, k, 8);
+        let b = Matrix::random(k, n, 9);
+        let eng = engine_for(m as u64, n as u64, k as u64);
+        let clean = eng.run(&a, &b, || NoScheme, None);
+        let fault = FaultPlan {
+            row: 5,
+            col: 7,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(100.0),
+        };
+        let dirty = eng.run(&a, &b, || NoScheme, Some(fault));
+        let mut diffs = 0;
+        for i in 0..m * n {
+            if clean.c[i] != dirty.c[i] {
+                diffs += 1;
+                assert_eq!(i, 5 * n + 7);
+                assert!((dirty.c[i] - clean.c[i] - 100.0).abs() < 1e-3);
+            }
+        }
+        assert_eq!(diffs, 1);
+        // NoScheme never detects anything.
+        assert!(!dirty.fault_detected());
+    }
+
+    #[test]
+    fn mid_kernel_fault_still_lands() {
+        let (m, n, k) = (16, 16, 64);
+        let a = Matrix::random(m, k, 10);
+        let b = Matrix::random(k, n, 11);
+        let eng = engine_for(m as u64, n as u64, k as u64);
+        let clean = eng.run(&a, &b, || NoScheme, None);
+        let fault = FaultPlan {
+            row: 0,
+            col: 0,
+            after_step: 3,
+            kind: FaultKind::SetValue(1e4),
+        };
+        let dirty = eng.run(&a, &b, || NoScheme, Some(fault));
+        // The corrupted accumulator keeps accumulating afterwards, so the
+        // output differs from clean but is not exactly 1e4.
+        assert_ne!(clean.get(0, 0), dirty.get(0, 0));
+        assert!(dirty.get(0, 0) > 5e3);
+    }
+
+    #[test]
+    fn bitflip_fault_kind_flips_the_requested_bit() {
+        let v = 1.5f32;
+        let flipped = FaultKind::BitFlip(30).apply(v);
+        assert_eq!(flipped.to_bits(), v.to_bits() ^ (1 << 30));
+        // Applying twice restores the value.
+        assert_eq!(FaultKind::BitFlip(30).apply(flipped), v);
+    }
+
+    #[test]
+    fn larger_tiling_produces_identical_results() {
+        let (m, n, k) = (128, 128, 32);
+        let a = Matrix::random(m, k, 12);
+        let b = Matrix::random(k, n, 13);
+        let small = engine_for(m as u64, n as u64, k as u64).run(&a, &b, || NoScheme, None);
+        let big = GemmEngine::new(
+            GemmShape::new(m as u64, n as u64, k as u64),
+            TilingConfig {
+                block_m: 128,
+                block_n: 128,
+                block_k: 32,
+                warp_m: 64,
+                warp_n: 64,
+            },
+        )
+        .run(&a, &b, || NoScheme, None);
+        // Same K-walk order per element => bit-identical FP32 outputs.
+        assert_eq!(small.c, big.c);
+    }
+}

@@ -1,0 +1,45 @@
+//! # aiga-gpu — the simulated GPU substrate
+//!
+//! The paper evaluates ABFT schemes inside CUTLASS matrix-multiplication
+//! kernels on an NVIDIA T4. This crate rebuilds everything those kernels
+//! depend on, in Rust, so the ABFT schemes in `aiga-core` can be exercised
+//! without a GPU:
+//!
+//! - [`device`]: published hardware parameters for the GPUs the paper
+//!   discusses (T4, P4, V100, A100, Jetson AGX Xavier) including the
+//!   compute-to-memory-bandwidth ratio (CMR) of §3.3.
+//! - [`shape`]: padded GEMM problem shapes and the FLOPs/bytes/arithmetic-
+//!   intensity accounting of §3.1 (Eq. 1).
+//! - [`roofline`]: the roofline classification (compute vs. bandwidth
+//!   bound) that drives intensity-guided selection.
+//! - [`tiling`]: the kernel → threadblock → warp → thread decomposition of
+//!   §2.1 (Figure 2), including per-thread tile sizes `Mt × Nt` and the
+//!   per-K-step MMA/fragment accounting of Figure 3.
+//! - [`engine`]: a functional simulator that executes a GEMM through that
+//!   hierarchy with `m16n8k8` Tensor Core semantics, calling back into a
+//!   pluggable [`engine::ThreadLocalScheme`] exactly where CUTLASS's
+//!   thread-level inner loop was modified by the paper — this is where
+//!   `aiga-core`'s thread-level ABFT schemes run.
+//! - [`occupancy`]: the register-pressure / resident-warp model that
+//!   explains why traditional thread-level replication is slow (§4).
+//! - [`traffic`]: a DRAM traffic model with tile reuse and an L2 term.
+//! - [`timing`]: the calibrated analytical kernel timing model that maps a
+//!   [`timing::KernelProfile`] (Tensor-Core FLOPs, ALU ops, DRAM bytes,
+//!   register pressure, extra kernel launches) to an execution-time
+//!   estimate. All calibration constants are documented in one place.
+
+pub mod device;
+pub mod engine;
+pub mod occupancy;
+pub mod roofline;
+pub mod shape;
+pub mod tiling;
+pub mod timing;
+pub mod traffic;
+
+pub use device::DeviceSpec;
+pub use engine::{GemmEngine, GemmOutput, Matrix, ThreadLocalScheme, ThreadVerdict};
+pub use roofline::{Bound, Roofline};
+pub use shape::GemmShape;
+pub use tiling::TilingConfig;
+pub use timing::{Calibration, KernelProfile, TimeEstimate};

@@ -1,0 +1,144 @@
+//! Occupancy: how many threadblocks co-reside on an SM.
+//!
+//! Occupancy is limited by register-file capacity and resident-warp slots.
+//! It matters to the paper twice: (1) traditional thread-level replication
+//! doubles accumulator registers per thread, cutting occupancy and causing
+//! "significant slowdowns" (§4); (2) low occupancy reduces a kernel's
+//! ability to hide memory latency, derating achievable bandwidth in the
+//! timing model.
+
+use crate::device::DeviceSpec;
+use crate::tiling::TilingConfig;
+use serde::{Deserialize, Serialize};
+
+/// Architectural per-thread register ceiling; allocations beyond this spill
+/// to local memory (extra DRAM traffic).
+pub const MAX_REGS_PER_THREAD: u64 = 255;
+
+/// Resident warps per SM needed to reach full memory bandwidth; below
+/// this, achievable bandwidth degrades roughly linearly (a standard
+/// little's-law-style approximation).
+pub const WARPS_FOR_PEAK_BW: f64 = 8.0;
+
+/// Occupancy analysis for one kernel configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Threadblocks co-resident per SM.
+    pub blocks_per_sm: u64,
+    /// Warps co-resident per SM.
+    pub warps_per_sm: u64,
+    /// Fraction of the device's warp slots occupied (0..=1).
+    pub fraction: f64,
+    /// Registers the compiler would allocate per thread (clamped to the
+    /// ISA ceiling).
+    pub regs_per_thread: u64,
+    /// Registers that did not fit and spill to local memory, per thread.
+    pub spilled_regs_per_thread: u64,
+}
+
+impl Occupancy {
+    /// Computes occupancy for a tiling with `extra_regs` additional
+    /// registers per thread on top of the baseline GEMM allocation
+    /// (redundancy schemes pass their own register footprint here).
+    pub fn compute(device: &DeviceSpec, tiling: &TilingConfig, extra_regs: u64) -> Self {
+        let wanted = tiling.base_regs_per_thread() + extra_regs;
+        let regs_per_thread = wanted.min(MAX_REGS_PER_THREAD);
+        let spilled = wanted - regs_per_thread;
+
+        let threads_per_block = tiling.threads_per_block();
+        let regs_per_block = regs_per_thread * threads_per_block;
+        let by_regs = (device.regs_per_sm as u64) / regs_per_block.max(1);
+        let by_warps = (device.max_warps_per_sm as u64) / tiling.warps_per_block().max(1);
+        let by_threads = (device.max_threads_per_block as u64).max(threads_per_block)
+            / threads_per_block; // blocks aren't limited below 1 by thread count
+        let blocks_per_sm = by_regs.min(by_warps).min(by_threads).max(
+            // A kernel that fits at all always gets one block resident.
+            u64::from(by_regs >= 1),
+        );
+        let warps_per_sm = blocks_per_sm * tiling.warps_per_block();
+        Occupancy {
+            blocks_per_sm,
+            warps_per_sm,
+            fraction: warps_per_sm as f64 / device.max_warps_per_sm as f64,
+            regs_per_thread,
+            spilled_regs_per_thread: spilled,
+        }
+    }
+
+    /// Memory-latency-hiding efficiency: the fraction of peak DRAM
+    /// bandwidth sustainable with this many resident warps per SM.
+    pub fn bandwidth_efficiency(&self) -> f64 {
+        (self.warps_per_sm as f64 / WARPS_FOR_PEAK_BW).clamp(0.05, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big() -> TilingConfig {
+        TilingConfig::candidates()[0]
+    }
+
+    #[test]
+    fn baseline_large_tile_achieves_moderate_occupancy() {
+        let occ = Occupancy::compute(&DeviceSpec::t4(), &big(), 0);
+        assert!(occ.blocks_per_sm >= 2, "got {occ:?}");
+        assert!(occ.spilled_regs_per_thread == 0);
+        assert!(occ.fraction > 0.2 && occ.fraction <= 1.0);
+    }
+
+    #[test]
+    fn doubling_accumulators_cuts_occupancy() {
+        // Traditional replication (§4) doubles the MtNt accumulator
+        // registers. On the medium tile this fits under the ISA register
+        // ceiling, so the cost shows up purely as an occupancy drop.
+        let t4 = DeviceSpec::t4();
+        let medium = TilingConfig::candidates()[1];
+        let base = Occupancy::compute(&t4, &medium, 0);
+        let repl = Occupancy::compute(&t4, &medium, medium.accumulators_per_thread());
+        assert_eq!(repl.spilled_regs_per_thread, 0);
+        assert!(repl.blocks_per_sm < base.blocks_per_sm, "{base:?} vs {repl:?}");
+        assert!(repl.fraction < base.fraction);
+    }
+
+    #[test]
+    fn doubling_accumulators_spills_on_the_large_tile() {
+        // On the large tile the doubled accumulators blow past the 255-
+        // register ISA ceiling: the compiler spills instead (which the
+        // timing model charges as extra DRAM traffic).
+        let t4 = DeviceSpec::t4();
+        let repl = Occupancy::compute(&t4, &big(), big().accumulators_per_thread());
+        assert_eq!(repl.regs_per_thread, MAX_REGS_PER_THREAD);
+        assert!(repl.spilled_regs_per_thread > 0);
+    }
+
+    #[test]
+    fn register_ceiling_forces_spills() {
+        let occ = Occupancy::compute(&DeviceSpec::t4(), &big(), 300);
+        assert_eq!(occ.regs_per_thread, MAX_REGS_PER_THREAD);
+        assert!(occ.spilled_regs_per_thread > 0);
+    }
+
+    #[test]
+    fn small_tiles_reach_high_occupancy() {
+        let small = TilingConfig::candidates()[2];
+        let occ = Occupancy::compute(&DeviceSpec::t4(), &small, 0);
+        assert!(occ.fraction >= 0.5, "{occ:?}");
+    }
+
+    #[test]
+    fn bandwidth_efficiency_saturates_at_one() {
+        let small = TilingConfig::candidates()[2];
+        let occ = Occupancy::compute(&DeviceSpec::t4(), &small, 0);
+        assert!(occ.bandwidth_efficiency() <= 1.0);
+        let starved = Occupancy {
+            blocks_per_sm: 1,
+            warps_per_sm: 2,
+            fraction: 0.06,
+            regs_per_thread: 255,
+            spilled_regs_per_thread: 0,
+        };
+        assert!((starved.bandwidth_efficiency() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! The roofline performance model (§3.1, Eq. 1).
+//!
+//! A kernel is compute bound when its arithmetic intensity exceeds the
+//! device's compute-to-memory-bandwidth ratio (CMR), and memory-bandwidth
+//! bound otherwise. This classification is the heart of the paper's
+//! argument: bandwidth-bound layers leave Tensor Cores idle, and
+//! thread-level ABFT can spend those idle cycles for free.
+
+use crate::device::DeviceSpec;
+use crate::shape::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// Which resource limits a kernel under the roofline model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Arithmetic intensity above the CMR: Tensor Cores are the
+    /// bottleneck; global ABFT's minimal redundant computation wins.
+    Compute,
+    /// Arithmetic intensity below the CMR: DRAM bandwidth is the
+    /// bottleneck; Tensor Cores idle and thread-level ABFT is near-free.
+    MemoryBandwidth,
+}
+
+/// Roofline analysis for one device.
+#[derive(Clone, Debug)]
+pub struct Roofline {
+    device: DeviceSpec,
+}
+
+impl Roofline {
+    /// Builds a roofline for `device`.
+    pub fn new(device: DeviceSpec) -> Self {
+        Roofline { device }
+    }
+
+    /// The device this roofline describes.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Classifies an arithmetic intensity against the device CMR (Eq. 1).
+    pub fn classify_intensity(&self, intensity: f64) -> Bound {
+        if intensity > self.device.cmr() {
+            Bound::Compute
+        } else {
+            Bound::MemoryBandwidth
+        }
+    }
+
+    /// Classifies a GEMM shape by its padded FP16 arithmetic intensity.
+    pub fn classify(&self, shape: GemmShape) -> Bound {
+        self.classify_intensity(shape.arithmetic_intensity_fp16())
+    }
+
+    /// Attainable FLOP/s at a given arithmetic intensity — the classic
+    /// roofline curve `min(peak, intensity × bandwidth)`.
+    pub fn attainable_flops(&self, intensity: f64) -> f64 {
+        (intensity * self.device.mem_bw).min(self.device.tensor_flops)
+    }
+
+    /// Fraction of peak Tensor-Core throughput attainable at a given
+    /// intensity; `1.0` exactly at and beyond the ridge point.
+    pub fn tensor_core_utilization(&self, intensity: f64) -> f64 {
+        self.attainable_flops(intensity) / self.device.tensor_flops
+    }
+
+    /// Idle Tensor-Core headroom (fraction of peak) at a given intensity —
+    /// the "free" compute budget thread-level ABFT can consume (§3.5).
+    pub fn idle_compute_fraction(&self, intensity: f64) -> f64 {
+        1.0 - self.tensor_core_utilization(intensity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4() -> Roofline {
+        Roofline::new(DeviceSpec::t4())
+    }
+
+    #[test]
+    fn figure_12_dashed_line_sits_between_512_and_1024() {
+        // §6.5: "Sizes left of the dashed line have arithmetic intensity
+        // below the T4's FP16 CMR" — 512 (AI 170.7) is bandwidth bound,
+        // 1024 (AI 341.3) is compute bound.
+        let r = t4();
+        for s in [32u64, 64, 128, 256, 512] {
+            assert_eq!(r.classify(GemmShape::square(s)), Bound::MemoryBandwidth);
+        }
+        for s in [1024u64, 2048] {
+            assert_eq!(r.classify(GemmShape::square(s)), Bound::Compute);
+        }
+    }
+
+    #[test]
+    fn attainable_flops_is_min_of_rooflines() {
+        let r = t4();
+        let cmr = r.device().cmr();
+        // Below the ridge: bandwidth-limited, linear in intensity.
+        assert!((r.attainable_flops(cmr / 2.0) - 0.5 * 65e12).abs() / 65e12 < 1e-9);
+        // At and beyond the ridge: flat at peak.
+        assert_eq!(r.attainable_flops(cmr), 65e12);
+        assert_eq!(r.attainable_flops(cmr * 10.0), 65e12);
+    }
+
+    #[test]
+    fn idle_fraction_complements_utilization() {
+        let r = t4();
+        for ai in [1.0, 50.0, 203.0, 500.0] {
+            let u = r.tensor_core_utilization(ai);
+            let idle = r.idle_compute_fraction(ai);
+            assert!((u + idle - 1.0).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn low_intensity_layers_leave_most_compute_idle() {
+        // A batch-1 DLRM layer (AI ≈ 8) on a T4 leaves > 95% of Tensor
+        // Core throughput idle — the §3 opportunity.
+        let r = t4();
+        assert!(r.idle_compute_fraction(8.0) > 0.95);
+    }
+
+    #[test]
+    fn classification_depends_on_device() {
+        // ResNet-50 @HD aggregate AI ≈ 122: bandwidth bound on a T4
+        // (CMR 203) but compute bound on a P4 (CMR 57).
+        let ai = 122.0;
+        assert_eq!(
+            Roofline::new(DeviceSpec::t4()).classify_intensity(ai),
+            Bound::MemoryBandwidth
+        );
+        assert_eq!(
+            Roofline::new(DeviceSpec::p4()).classify_intensity(ai),
+            Bound::Compute
+        );
+    }
+}

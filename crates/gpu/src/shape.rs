@@ -1,0 +1,154 @@
+//! GEMM problem shapes and the FLOPs / bytes / arithmetic-intensity
+//! accounting of §3.1.
+//!
+//! A linear layer is the multiplication of an `M × K` activation matrix
+//! `A` by a `K × N` weight matrix `B` (§2.1). The paper pads all three
+//! dimensions to multiples of eight to fit the `m16n8k8` Tensor Core
+//! operation (§6.2); padding is what makes a batch-1 MLP layer's
+//! arithmetic intensity come out near 8 rather than near 1, so it matters
+//! for reproducing the DLRM numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per FP16 element.
+pub const FP16_BYTES: u64 = 2;
+
+/// A (possibly unpadded) GEMM problem size: `C[M×N] = A[M×K] · B[K×N]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of `A` and `C` (activations / batch-spatial extent).
+    pub m: u64,
+    /// Columns of `B` and `C` (output features).
+    pub n: u64,
+    /// Inner dimension (input features).
+    pub k: u64,
+}
+
+impl GemmShape {
+    /// Creates a shape; all dimensions must be nonzero.
+    pub fn new(m: u64, n: u64, k: u64) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "GEMM dims must be nonzero");
+        GemmShape { m, n, k }
+    }
+
+    /// Square shape `M = N = K = s` (the §6.5 microbenchmark sweep).
+    pub fn square(s: u64) -> Self {
+        Self::new(s, s, s)
+    }
+
+    /// Pads every dimension up to a multiple of eight, as required by the
+    /// `m16n8k8` operation (§6.2).
+    pub fn padded_to_mma(self) -> Self {
+        fn pad8(x: u64) -> u64 {
+            x.div_ceil(8) * 8
+        }
+        GemmShape {
+            m: pad8(self.m),
+            n: pad8(self.n),
+            k: pad8(self.k),
+        }
+    }
+
+    /// True if all dimensions are already multiples of eight.
+    pub fn is_mma_aligned(self) -> bool {
+        self.m.is_multiple_of(8) && self.n.is_multiple_of(8) && self.k.is_multiple_of(8)
+    }
+
+    /// Arithmetic operations performed: `2·M·N·K` (one multiply and one
+    /// add per MAC).
+    pub fn flops(self) -> u64 {
+        2 * self.m * self.n * self.k
+    }
+
+    /// Minimum data transferred to/from memory in FP16: read `A` and `B`
+    /// once, write `C` once — the numerator the paper uses when reporting
+    /// arithmetic intensities.
+    pub fn min_bytes_fp16(self) -> u64 {
+        FP16_BYTES * (self.m * self.k + self.k * self.n + self.m * self.n)
+    }
+
+    /// FP16 arithmetic intensity (FLOPs per byte), the left-hand side of
+    /// Eq. 1, computed on the padded shape exactly as the paper reports it.
+    pub fn arithmetic_intensity_fp16(self) -> f64 {
+        let p = self.padded_to_mma();
+        p.flops() as f64 / p.min_bytes_fp16() as f64
+    }
+
+    /// Number of `m16n8k8` MMA instructions a kernel issues for this
+    /// (padded) problem.
+    pub fn mma_count(self) -> u64 {
+        let p = self.padded_to_mma();
+        // Each MMA covers a 16×8 output tile over k-depth 8; M is padded
+        // to 8, so a 16-row MMA granule may be half-empty — count granules.
+        p.m.div_ceil(16) * (p.n / 8) * (p.k / 8)
+    }
+}
+
+impl std::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_intensity_matches_figure_12_labels() {
+        // Figure 12 annotates M=N=K sweeps with their FP16 arithmetic
+        // intensities: 32→10.7, 64→21.3, ..., 2048→682.7 (= s/3).
+        let expected = [
+            (32, 10.7),
+            (64, 21.3),
+            (128, 42.7),
+            (256, 85.3),
+            (512, 170.7),
+            (1024, 341.3),
+            (2048, 682.7),
+        ];
+        for (s, ai) in expected {
+            let got = GemmShape::square(s).arithmetic_intensity_fp16();
+            assert!((got - ai).abs() < 0.05, "size {s}: got {got}, want {ai}");
+        }
+    }
+
+    #[test]
+    fn padding_rounds_up_to_multiples_of_eight() {
+        let s = GemmShape::new(1, 13, 511).padded_to_mma();
+        assert_eq!((s.m, s.n, s.k), (8, 16, 512));
+        assert!(s.is_mma_aligned());
+        // Already-aligned shapes are unchanged.
+        let t = GemmShape::new(64, 64, 64);
+        assert_eq!(t.padded_to_mma(), t);
+    }
+
+    #[test]
+    fn padding_is_what_lifts_batch_1_mlp_intensity() {
+        // Unpadded, a batch-1 FC layer has AI ≈ 1 in FP16 (2 FLOPs per 2
+        // bytes of weight); padding M to 8 lifts it to ≈ 8 — this is the
+        // §3.2/§6.2 effect behind DLRM's aggregate AI of ~7.4.
+        let layer = GemmShape::new(1, 512, 512);
+        let unpadded = layer.flops() as f64 / layer.min_bytes_fp16() as f64;
+        assert!(unpadded < 1.1, "unpadded AI {unpadded}");
+        let padded = layer.arithmetic_intensity_fp16();
+        assert!((padded - 7.8).abs() < 0.3, "padded AI {padded}");
+    }
+
+    #[test]
+    fn flops_and_bytes_formulas() {
+        let s = GemmShape::new(16, 8, 8);
+        assert_eq!(s.flops(), 2 * 16 * 8 * 8);
+        assert_eq!(s.min_bytes_fp16(), 2 * (16 * 8 + 8 * 8 + 16 * 8));
+        assert_eq!(s.mma_count(), 1);
+        assert_eq!(GemmShape::new(32, 16, 24).mma_count(), 2 * 2 * 3);
+        // An 8-row problem still occupies one 16-row MMA granule.
+        assert_eq!(GemmShape::new(8, 8, 8).mma_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_are_rejected() {
+        GemmShape::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! The analytical kernel timing model.
+//!
+//! This replaces the paper's wall-clock measurements on a physical T4.
+//! A kernel is summarized as a [`KernelProfile`] — Tensor-Core FLOPs, ALU
+//! operations, DRAM bytes, register pressure, in-kernel tail latency, and
+//! any auxiliary kernels (global ABFT's reduce-and-compare launch). The
+//! estimate combines:
+//!
+//! - a roofline split: execution time is the maximum of the compute-side
+//!   time and the memory-side time (§3.1);
+//! - serial issue *within* the compute side: Tensor-Core time and ALU
+//!   (checksum) time add, reflecting the paper's observation that
+//!   checksum generation competes with the kernel's own control-flow and
+//!   addressing work for traditional arithmetic units (§5.2.2);
+//! - occupancy-derived bandwidth efficiency (register pressure lowers
+//!   resident warps, which lowers achievable bandwidth — the §4
+//!   replication cliff);
+//! - a fixed kernel launch overhead, which dominates tiny
+//!   bandwidth-bound layers and is what makes global ABFT's extra kernel
+//!   expensive exactly where thread-level ABFT is free.
+//!
+//! Every constant lives in [`Calibration`] and is documented there.
+//! Absolute times are *estimates*; the reproduction targets the paper's
+//! shapes (orderings, crossovers, ratios), recorded in `EXPERIMENTS.md`.
+
+use crate::device::DeviceSpec;
+use crate::occupancy::Occupancy;
+use crate::roofline::Bound;
+use crate::shape::GemmShape;
+use crate::tiling::TilingConfig;
+use crate::traffic;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the timing model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Fixed cost of launching a kernel and draining its tail
+    /// (driver + hardware pipeline), seconds. T4-era CUDA launches
+    /// measure 2–4 µs; we use the low end since the paper streams 1000
+    /// back-to-back runs.
+    pub launch_s: f64,
+    /// Base cost of an auxiliary kernel (global ABFT's reduce + compare,
+    /// §2.5 step 5): a launch plus a device-wide reduction of
+    /// per-threadblock partials. Its work terms are added on top.
+    pub aux_kernel_base_s: f64,
+    /// In-kernel tail added by a thread-local final checksum comparison
+    /// (thread-level ABFT's epilogue check), seconds. A handful of
+    /// dependent FP16/FP32 instructions after the last MMA.
+    pub thread_check_tail_s: f64,
+    /// Baseline ALU operations per thread per K-step (loop bookkeeping,
+    /// address generation, predicate updates) that checksum ops contend
+    /// with.
+    pub baseline_alu_per_step: f64,
+    /// Derating applied to peak ALU throughput for dependent checksum
+    /// chains (bank conflicts, issue pressure); 1.0 = no derate.
+    pub alu_derate: f64,
+    /// Per-threadblock scheduling/dispatch cost, seconds (work
+    /// distribution by the GigaThread engine).
+    pub block_dispatch_s: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            launch_s: 2.5e-6,
+            aux_kernel_base_s: 1.0e-6,
+            thread_check_tail_s: 0.15e-6,
+            baseline_alu_per_step: 2.0,
+            alu_derate: 1.0,
+            // Kept below the per-block C-tile store time on every modeled
+            // device so more work can never be estimated as faster merely
+            // through a tile-size reselection.
+            block_dispatch_s: 1e-9,
+        }
+    }
+}
+
+/// An auxiliary kernel launched alongside the main GEMM (e.g. the global
+/// ABFT reduce-and-compare kernel).
+#[derive(Clone, Debug, Default)]
+pub struct AuxKernel {
+    /// Human-readable label for reports.
+    pub name: &'static str,
+    /// ALU FLOPs it performs.
+    pub alu_flops: f64,
+    /// DRAM bytes it moves.
+    pub dram_bytes: f64,
+}
+
+/// Work summary of one (possibly redundancy-augmented) GEMM kernel.
+#[derive(Clone, Debug)]
+pub struct KernelProfile {
+    /// Problem shape (will be padded internally).
+    pub shape: GemmShape,
+    /// Tiling configuration executing it.
+    pub tiling: TilingConfig,
+    /// Tensor-Core FLOPs issued by the main kernel.
+    pub tc_flops: f64,
+    /// Traditional-ALU operations issued by the main kernel (baseline
+    /// bookkeeping + any checksum generation).
+    pub alu_ops: f64,
+    /// DRAM bytes moved by the main kernel.
+    pub dram_bytes: f64,
+    /// Extra registers per thread demanded by the redundancy scheme.
+    pub extra_regs_per_thread: u64,
+    /// Fixed in-kernel tail latency (e.g. thread-local final checks).
+    pub tail_s: f64,
+    /// Auxiliary kernels measured as part of this layer's time.
+    pub aux_kernels: Vec<AuxKernel>,
+}
+
+impl KernelProfile {
+    /// Profile of the unprotected baseline GEMM for a shape: full
+    /// Tensor-Core math, bookkeeping ALU work, minimum-plus-reuse DRAM
+    /// traffic, no extras.
+    pub fn baseline(shape: GemmShape, device: &DeviceSpec, calib: &Calibration) -> Self {
+        let tiling = TilingConfig::select(shape, device);
+        Self::baseline_with_tiling(shape, tiling, device, calib)
+    }
+
+    /// Baseline profile with an explicit tiling (used by sweeps that hold
+    /// tiling fixed across schemes).
+    pub fn baseline_with_tiling(
+        shape: GemmShape,
+        tiling: TilingConfig,
+        device: &DeviceSpec,
+        calib: &Calibration,
+    ) -> Self {
+        let p = shape.padded_to_mma();
+        // Tensor cores execute the padded/tiled problem: count whole MMA
+        // granules actually issued by the grid.
+        let (gm, gn) = tiling.grid(p);
+        let covered_m = gm * tiling.block_m;
+        let covered_n = gn * tiling.block_n;
+        let tc_flops = (2 * covered_m * covered_n * p.k) as f64;
+        let total_threads = (tiling.total_blocks(p) * tiling.threads_per_block()) as f64;
+        let alu_ops = total_threads * tiling.k_steps(p) as f64 * calib.baseline_alu_per_step;
+        KernelProfile {
+            shape: p,
+            tiling,
+            tc_flops,
+            alu_ops,
+            dram_bytes: traffic::gemm_dram_bytes(p, &tiling, device),
+            extra_regs_per_thread: 0,
+            tail_s: 0.0,
+            aux_kernels: Vec::new(),
+        }
+    }
+
+    /// Total thread-K-steps executed by the grid — the unit redundancy
+    /// schemes use to scale their per-step costs from Table 1.
+    pub fn total_thread_steps(&self) -> f64 {
+        (self.tiling.total_blocks(self.shape) * self.tiling.threads_per_block()) as f64
+            * self.tiling.k_steps(self.shape) as f64
+    }
+}
+
+/// Timing estimate with its breakdown.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeEstimate {
+    /// Total estimated execution time, seconds.
+    pub total_s: f64,
+    /// Main-kernel memory-side time.
+    pub t_mem_s: f64,
+    /// Main-kernel Tensor-Core time.
+    pub t_tc_s: f64,
+    /// Main-kernel traditional-ALU time.
+    pub t_alu_s: f64,
+    /// Auxiliary kernels' total time.
+    pub t_aux_s: f64,
+    /// Which side of the roofline bound the main kernel.
+    pub bound: Bound,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+}
+
+/// Estimates execution time for a kernel profile on a device.
+pub fn estimate(profile: &KernelProfile, device: &DeviceSpec, calib: &Calibration) -> TimeEstimate {
+    let occ = Occupancy::compute(device, &profile.tiling, profile.extra_regs_per_thread);
+    let blocks = profile.tiling.total_blocks(profile.shape);
+
+    // SMs that actually receive work (tail-aware only via the min).
+    let active_sms = (blocks.min(device.sm_count as u64)) as f64;
+    let t_tc = profile.tc_flops / (device.tensor_flops_per_sm() * active_sms);
+    // Spilled registers that live in the inner loop (accumulators) incur
+    // local-memory round trips on every K-step — the §4 cost of
+    // traditional replication once the 255-register ceiling is hit.
+    let spill_ops = occ.spilled_regs_per_thread as f64 * profile.total_thread_steps();
+    let t_alu = (profile.alu_ops + spill_ops)
+        / (device.alu_flops_per_sm() * calib.alu_derate * active_sms);
+    let t_comp = t_tc + t_alu;
+
+    // Bandwidth achievable given per-SM occupancy: latency hiding is a
+    // local property of each active SM (grid size already shows up in the
+    // compute terms through `active_sms`), so register pressure — not
+    // grid extent — is what degrades it.
+    let bw_eff = occ.bandwidth_efficiency();
+    // Register spills add round trips to local memory.
+    let spill_bytes =
+        (occ.spilled_regs_per_thread * 8 * blocks * profile.tiling.threads_per_block()) as f64;
+    let t_mem = (profile.dram_bytes + spill_bytes) / traffic::effective_bandwidth(device, bw_eff);
+
+    let bound = if t_comp > t_mem {
+        Bound::Compute
+    } else {
+        Bound::MemoryBandwidth
+    };
+    let t_main = t_comp.max(t_mem)
+        + calib.launch_s
+        + profile.tail_s
+        + blocks as f64 * calib.block_dispatch_s;
+
+    let mut t_aux = 0.0;
+    for aux in &profile.aux_kernels {
+        t_aux += calib.aux_kernel_base_s
+            + aux.alu_flops / device.alu_flops
+            + aux.dram_bytes / device.mem_bw;
+    }
+
+    TimeEstimate {
+        total_s: t_main + t_aux,
+        t_mem_s: t_mem,
+        t_tc_s: t_tc,
+        t_alu_s: t_alu,
+        t_aux_s: t_aux,
+        bound,
+        occupancy: occ,
+    }
+}
+
+/// Percentage execution-time overhead of `protected` relative to
+/// `baseline` — the paper's primary metric ((Tr − To)/To × 100, §6.2).
+pub fn overhead_percent(baseline: &TimeEstimate, protected: &TimeEstimate) -> f64 {
+    (protected.total_s - baseline.total_s) / baseline.total_s * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4() -> DeviceSpec {
+        DeviceSpec::t4()
+    }
+
+    fn baseline(s: u64) -> (KernelProfile, TimeEstimate) {
+        let calib = Calibration::default();
+        let p = KernelProfile::baseline(GemmShape::square(s), &t4(), &calib);
+        let e = estimate(&p, &t4(), &calib);
+        (p, e)
+    }
+
+    #[test]
+    fn large_gemm_is_compute_bound_and_near_peak() {
+        let (_, e) = baseline(2048);
+        assert_eq!(e.bound, Bound::Compute);
+        // 2·2048³ / 65e12 ≈ 264 µs of pure TC time; total within 2x.
+        assert!(e.total_s > 264e-6 && e.total_s < 530e-6, "{}", e.total_s);
+    }
+
+    #[test]
+    fn small_gemm_is_launch_dominated() {
+        let (_, e) = baseline(32);
+        // Launch overhead is most of the time; the compute/memory split
+        // underneath is in the noise (both are tens of nanoseconds).
+        assert!(e.total_s < 5e-6 && e.total_s >= 2.5e-6, "{}", e.total_s);
+        assert!(e.t_mem_s.max(e.t_tc_s + e.t_alu_s) < 0.2 * e.total_s);
+    }
+
+    #[test]
+    fn time_is_monotone_in_size() {
+        let mut prev = 0.0;
+        for s in [32u64, 64, 128, 256, 512, 1024, 2048] {
+            let (_, e) = baseline(s);
+            assert!(e.total_s > prev, "size {s}: {} <= {prev}", e.total_s);
+            prev = e.total_s;
+        }
+    }
+
+    #[test]
+    fn roofline_crossover_matches_cmr_neighborhood() {
+        // Bandwidth bound at 512 (AI 171 < 203), compute bound at 1024
+        // (AI 341 > 203) — mirrors Figure 12's dashed line.
+        let (_, e512) = baseline(512);
+        let (_, e1024) = baseline(1024);
+        assert_eq!(e512.bound, Bound::MemoryBandwidth);
+        assert_eq!(e1024.bound, Bound::Compute);
+    }
+
+    #[test]
+    fn extra_tc_flops_are_free_when_bandwidth_bound() {
+        let calib = Calibration::default();
+        let dev = t4();
+        let mut p = KernelProfile::baseline(GemmShape::square(256), &dev, &calib);
+        let base = estimate(&p, &dev, &calib);
+        // +25% Tensor-Core work hides under the memory time.
+        p.tc_flops *= 1.25;
+        let more = estimate(&p, &dev, &calib);
+        assert!(overhead_percent(&base, &more) < 1.0);
+    }
+
+    #[test]
+    fn extra_tc_flops_cost_linearly_when_compute_bound() {
+        let calib = Calibration::default();
+        let dev = t4();
+        let mut p = KernelProfile::baseline(GemmShape::square(2048), &dev, &calib);
+        let base = estimate(&p, &dev, &calib);
+        p.tc_flops *= 2.0; // replication
+        let repl = estimate(&p, &dev, &calib);
+        let ovh = overhead_percent(&base, &repl);
+        assert!(ovh > 70.0, "replication overhead {ovh}%"); // §6.5: cut off above 70%
+    }
+
+    #[test]
+    fn aux_kernel_dominates_overhead_only_for_tiny_layers() {
+        let calib = Calibration::default();
+        let dev = t4();
+        for (s, lo, hi) in [(32u64, 10.0, 40.0), (2048u64, 0.0, 2.0)] {
+            let mut p = KernelProfile::baseline(GemmShape::square(s), &dev, &calib);
+            let base = estimate(&p, &dev, &calib);
+            p.aux_kernels.push(AuxKernel {
+                name: "reduce",
+                alu_flops: 2.0 * s as f64,
+                dram_bytes: 1024.0,
+            });
+            let with_aux = estimate(&p, &dev, &calib);
+            let ovh = overhead_percent(&base, &with_aux);
+            assert!(ovh >= lo && ovh <= hi, "size {s}: overhead {ovh}%");
+        }
+    }
+
+    #[test]
+    fn register_pressure_slows_bandwidth_bound_kernels() {
+        let calib = Calibration::default();
+        let dev = t4();
+        let shape = GemmShape::new(4096, 128, 128);
+        let base_p = KernelProfile::baseline(shape, &dev, &calib);
+        let base = estimate(&base_p, &dev, &calib);
+        let mut pressured = base_p.clone();
+        pressured.extra_regs_per_thread = pressured.tiling.accumulators_per_thread();
+        let slow = estimate(&pressured, &dev, &calib);
+        assert!(
+            slow.total_s >= base.total_s,
+            "register pressure must never speed things up"
+        );
+    }
+
+    #[test]
+    fn overhead_percent_matches_definition() {
+        let a = TimeEstimate {
+            total_s: 10e-6,
+            t_mem_s: 0.0,
+            t_tc_s: 0.0,
+            t_alu_s: 0.0,
+            t_aux_s: 0.0,
+            bound: Bound::Compute,
+            occupancy: Occupancy {
+                blocks_per_sm: 1,
+                warps_per_sm: 4,
+                fraction: 0.125,
+                regs_per_thread: 100,
+                spilled_regs_per_thread: 0,
+            },
+        };
+        let mut b = a.clone();
+        b.total_s = 12e-6;
+        assert!((overhead_percent(&a, &b) - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,308 @@
+//! Functional convolution via im2col lowering.
+//!
+//! The paper protects convolutions *as matrix multiplications* (§2.1):
+//! the input feature map is unrolled into the `M × K` activation matrix
+//! (one row per output position, one column per `(channel, ky, kx)` tap)
+//! and the filters form the `K × N` weight matrix. This module performs
+//! that lowering concretely so convolutional layers can be executed —
+//! and fault-injected — on the functional GEMM engine, not just costed
+//! analytically.
+
+use crate::layer::conv_out;
+use aiga_fp16::F16;
+use aiga_gpu::engine::Matrix;
+
+/// A batched FP16 feature map in NCHW layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    /// Batch size.
+    pub batch: usize,
+    /// Channels.
+    pub channels: usize,
+    /// Height.
+    pub height: usize,
+    /// Width.
+    pub width: usize,
+    /// NCHW storage.
+    pub data: Vec<F16>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(batch: usize, channels: usize, height: usize, width: usize) -> Self {
+        Tensor {
+            batch,
+            channels,
+            height,
+            width,
+            data: vec![F16::ZERO; batch * channels * height * width],
+        }
+    }
+
+    /// Element-wise construction from `f(n, c, y, x)`.
+    pub fn from_fn(
+        batch: usize,
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> F16,
+    ) -> Self {
+        let mut data = Vec::with_capacity(batch * channels * height * width);
+        for n in 0..batch {
+            for c in 0..channels {
+                for y in 0..height {
+                    for x in 0..width {
+                        data.push(f(n, c, y, x));
+                    }
+                }
+            }
+        }
+        Tensor {
+            batch,
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Deterministic pseudo-random tensor (activation-scale values).
+    pub fn random(batch: usize, channels: usize, height: usize, width: usize, seed: u64) -> Self {
+        let m = Matrix::random(batch * channels, height * width, seed);
+        Tensor {
+            batch,
+            channels,
+            height,
+            width,
+            data: m.data,
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, y: usize, x: usize) -> F16 {
+        self.data[((n * self.channels + c) * self.height + y) * self.width + x]
+    }
+}
+
+/// Convolution hyperparameters (square kernels, as all zoo models use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvParams {
+    /// Output channels.
+    pub c_out: usize,
+    /// Kernel side length.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub padding: usize,
+}
+
+impl ConvParams {
+    /// Output spatial dims for an input of `h × w`.
+    pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out(h as u64, self.kernel as u64, self.stride as u64, self.padding as u64)
+                as usize,
+            conv_out(w as u64, self.kernel as u64, self.stride as u64, self.padding as u64)
+                as usize,
+        )
+    }
+}
+
+/// Unrolls `input` into the implicit-GEMM activation matrix: row
+/// `(n, oy, ox)`, column `(c, ky, kx)` — `M = B·Ho·Wo`, `K = Cin·k²`.
+pub fn im2col(input: &Tensor, p: ConvParams) -> Matrix {
+    let (ho, wo) = p.out_dims(input.height, input.width);
+    let k_dim = input.channels * p.kernel * p.kernel;
+    let mut out = Matrix::zeros(input.batch * ho * wo, k_dim);
+    for n in 0..input.batch {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = (n * ho + oy) * wo + ox;
+                let mut col = 0usize;
+                for c in 0..input.channels {
+                    for ky in 0..p.kernel {
+                        for kx in 0..p.kernel {
+                            let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                            if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < input.height
+                                && (ix as usize) < input.width
+                            {
+                                out.set(row, col, input.get(n, c, iy as usize, ix as usize));
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reshapes OIHW filters into the `K × N` weight matrix (column per
+/// output channel, row per `(c, ky, kx)` tap — matching [`im2col`]).
+pub fn filters_to_matrix(filters: &Tensor) -> Matrix {
+    // Interpret the tensor as O×I×kh×kw.
+    let (o, i, kh, kw) = (
+        filters.batch,
+        filters.channels,
+        filters.height,
+        filters.width,
+    );
+    Matrix::from_fn(i * kh * kw, o, |row, col| {
+        let c = row / (kh * kw);
+        let ky = (row / kw) % kh;
+        let kx = row % kw;
+        filters.get(col, c, ky, kx)
+    })
+}
+
+/// Direct (sliding-window) convolution reference in FP64, NCHW in/out.
+pub fn conv_reference_f64(input: &Tensor, filters: &Tensor, p: ConvParams) -> Vec<f64> {
+    assert_eq!(filters.channels, input.channels, "channel mismatch");
+    assert_eq!(filters.batch, p.c_out, "filter count mismatch");
+    let (ho, wo) = p.out_dims(input.height, input.width);
+    let mut out = vec![0.0f64; input.batch * p.c_out * ho * wo];
+    for n in 0..input.batch {
+        for co in 0..p.c_out {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0f64;
+                    for c in 0..input.channels {
+                        for ky in 0..p.kernel {
+                            for kx in 0..p.kernel {
+                                let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                                let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                                if iy >= 0
+                                    && ix >= 0
+                                    && (iy as usize) < input.height
+                                    && (ix as usize) < input.width
+                                {
+                                    acc += input.get(n, c, iy as usize, ix as usize).to_f64()
+                                        * filters.get(co, c, ky, kx).to_f64();
+                                }
+                            }
+                        }
+                    }
+                    out[((n * p.c_out + co) * ho + oy) * wo + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Maps a GEMM output element `(row, col)` of the lowered convolution
+/// back to its `(n, c_out, oy, ox)` coordinate.
+pub fn gemm_to_nchw(row: usize, col: usize, ho: usize, wo: usize) -> (usize, usize, usize, usize) {
+    (row / (ho * wo), col, (row / wo) % ho, row % wo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::{gemm_reference_f64, GemmEngine, NoScheme};
+    use aiga_gpu::GemmShape;
+
+    fn params(c_out: usize, kernel: usize, stride: usize, padding: usize) -> ConvParams {
+        ConvParams {
+            c_out,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    #[test]
+    fn im2col_dims_match_the_layer_lowering() {
+        let input = Tensor::random(2, 3, 10, 12, 1);
+        let p = params(8, 3, 1, 1);
+        let a = im2col(&input, p);
+        assert_eq!(a.rows, 2 * 10 * 12);
+        assert_eq!(a.cols, 3 * 9);
+    }
+
+    #[test]
+    fn lowered_gemm_equals_direct_convolution() {
+        let input = Tensor::random(2, 3, 8, 9, 2);
+        let filters = Tensor::random(6, 3, 3, 3, 3); // O=6,I=3,3x3
+        let p = params(6, 3, 1, 1);
+        let a = im2col(&input, p);
+        let b = filters_to_matrix(&filters);
+        let gemm = gemm_reference_f64(&a, &b);
+        let direct = conv_reference_f64(&input, &filters, p);
+        let (ho, wo) = p.out_dims(8, 9);
+        for row in 0..a.rows {
+            for col in 0..b.cols {
+                let (n, co, oy, ox) = gemm_to_nchw(row, col, ho, wo);
+                let d = direct[((n * 6 + co) * ho + oy) * wo + ox];
+                let g = gemm[row * b.cols + col];
+                assert!((d - g).abs() < 1e-9, "({row},{col}): {g} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_and_padded_windows_agree_with_reference() {
+        for (kernel, stride, padding) in [(3, 2, 1), (5, 2, 2), (1, 1, 0), (7, 4, 3)] {
+            let input = Tensor::random(1, 2, 13, 11, 40 + kernel as u64);
+            let filters = Tensor::random(4, 2, kernel, kernel, 50 + stride as u64);
+            let p = params(4, kernel, stride, padding);
+            let a = im2col(&input, p);
+            let b = filters_to_matrix(&filters);
+            let gemm = gemm_reference_f64(&a, &b);
+            let direct = conv_reference_f64(&input, &filters, p);
+            let (ho, wo) = p.out_dims(13, 11);
+            let mut max_err = 0.0f64;
+            for row in 0..a.rows {
+                for col in 0..4 {
+                    let (n, co, oy, ox) = gemm_to_nchw(row, col, ho, wo);
+                    let d = direct[((n * 4 + co) * ho + oy) * wo + ox];
+                    max_err = max_err.max((d - gemm[row * 4 + col]).abs());
+                }
+            }
+            assert!(max_err < 1e-9, "k{kernel}s{stride}p{padding}: {max_err}");
+        }
+    }
+
+    #[test]
+    fn functional_engine_runs_the_lowered_convolution() {
+        // The whole path the paper protects: im2col -> Tensor Core GEMM.
+        let input = Tensor::random(1, 3, 12, 12, 7);
+        let filters = Tensor::random(16, 3, 3, 3, 8);
+        let p = params(16, 3, 1, 1);
+        let a = im2col(&input, p);
+        let b = filters_to_matrix(&filters);
+        let eng = GemmEngine::with_default_tiling(GemmShape::new(
+            a.rows as u64,
+            b.cols as u64,
+            a.cols as u64,
+        ));
+        let out = eng.run(&a, &b, || NoScheme, None);
+        let direct = conv_reference_f64(&input, &filters, p);
+        for (i, &d) in direct.iter().enumerate() {
+            // NCHW index i maps to (row, col) with n=0: i = (co*ho+oy)*wo+ox.
+            let co = i / (12 * 12);
+            let spatial = i % (12 * 12);
+            let got = out.get(spatial, co) as f64;
+            assert!((got - d).abs() < 2e-2, "elem {i}: {got} vs {d}");
+        }
+    }
+
+    #[test]
+    fn gemm_to_nchw_is_a_bijection_on_the_grid() {
+        let (ho, wo) = (5, 7);
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..2 * ho * wo {
+            for col in 0..4 {
+                let coord = gemm_to_nchw(row, col, ho, wo);
+                assert!(seen.insert(coord), "duplicate {coord:?}");
+                assert!(coord.0 < 2 && coord.2 < ho && coord.3 < wo);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Linear layers and their lowering to GEMM problem shapes.
+
+use aiga_gpu::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// What kind of linear layer a GEMM came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// A convolution lowered by implicit GEMM.
+    Conv,
+    /// A fully-connected (dense / MLP) layer.
+    FullyConnected,
+}
+
+/// One linear layer of a network, lowered to its GEMM shape.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinearLayer {
+    /// Human-readable name (e.g. `"layer2.0.conv1"`).
+    pub name: String,
+    /// Layer kind.
+    pub kind: LayerKind,
+    /// The lowered (unpadded) GEMM shape.
+    pub shape: GemmShape,
+}
+
+impl LinearLayer {
+    /// Lowers a convolution to its implicit-GEMM shape and output spatial
+    /// dimensions. Returns `(layer, h_out, w_out)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: impl Into<String>,
+        batch: u64,
+        c_in: u64,
+        h: u64,
+        w: u64,
+        c_out: u64,
+        kernel: u64,
+        stride: u64,
+        padding: u64,
+    ) -> (Self, u64, u64) {
+        let h_out = conv_out(h, kernel, stride, padding);
+        let w_out = conv_out(w, kernel, stride, padding);
+        let layer = LinearLayer {
+            name: name.into(),
+            kind: LayerKind::Conv,
+            shape: GemmShape::new(batch * h_out * w_out, c_out, c_in * kernel * kernel),
+        };
+        (layer, h_out, w_out)
+    }
+
+    /// Lowers a fully-connected layer.
+    pub fn fc(name: impl Into<String>, batch: u64, in_features: u64, out_features: u64) -> Self {
+        LinearLayer {
+            name: name.into(),
+            kind: LayerKind::FullyConnected,
+            shape: GemmShape::new(batch, out_features, in_features),
+        }
+    }
+
+    /// FP16 arithmetic intensity of this layer on its padded shape.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.shape.arithmetic_intensity_fp16()
+    }
+}
+
+/// Spatial output extent of a convolution/pooling window (floor mode, as
+/// torchvision's defaults).
+pub fn conv_out(input: u64, kernel: u64, stride: u64, padding: u64) -> u64 {
+    assert!(
+        input + 2 * padding >= kernel,
+        "window larger than padded input"
+    );
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+/// Incrementally builds a feed-forward CNN, tracking spatial dimensions
+/// through convolutions and pooling so each conv lowers to the right GEMM.
+#[derive(Clone, Debug)]
+pub struct NetBuilder {
+    batch: u64,
+    channels: u64,
+    h: u64,
+    w: u64,
+    layers: Vec<LinearLayer>,
+}
+
+impl NetBuilder {
+    /// Starts a network on `batch` inputs of `channels × h × w`.
+    pub fn new(batch: u64, channels: u64, h: u64, w: u64) -> Self {
+        NetBuilder {
+            batch,
+            channels,
+            h,
+            w,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Current `(channels, h, w)` feature-map dimensions.
+    pub fn dims(&self) -> (u64, u64, u64) {
+        (self.channels, self.h, self.w)
+    }
+
+    /// Batch size the network was built for.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Appends a square convolution and updates the feature-map dims.
+    pub fn conv(
+        &mut self,
+        name: impl Into<String>,
+        c_out: u64,
+        kernel: u64,
+        stride: u64,
+        padding: u64,
+    ) -> &mut Self {
+        let (layer, h, w) = LinearLayer::conv(
+            name, self.batch, self.channels, self.h, self.w, c_out, kernel, stride, padding,
+        );
+        self.layers.push(layer);
+        self.channels = c_out;
+        self.h = h;
+        self.w = w;
+        self
+    }
+
+    /// Appends a convolution that consumes an explicit input channel
+    /// count (for concatenation/split topologies like DenseNet and
+    /// ShuffleNet, where the tensor fed to a conv is not simply the
+    /// previous conv's output).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_from(
+        &mut self,
+        name: impl Into<String>,
+        c_in: u64,
+        c_out: u64,
+        kernel: u64,
+        stride: u64,
+        padding: u64,
+    ) -> &mut Self {
+        let (layer, h, w) = LinearLayer::conv(
+            name, self.batch, c_in, self.h, self.w, c_out, kernel, stride, padding,
+        );
+        self.layers.push(layer);
+        self.channels = c_out;
+        self.h = h;
+        self.w = w;
+        self
+    }
+
+    /// Overrides the tracked channel count without emitting a layer
+    /// (models concatenations and channel splits).
+    pub fn set_channels(&mut self, channels: u64) -> &mut Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Max/avg pooling: updates spatial dims, emits no GEMM.
+    pub fn pool(&mut self, kernel: u64, stride: u64, padding: u64) -> &mut Self {
+        self.h = conv_out(self.h, kernel, stride, padding);
+        self.w = conv_out(self.w, kernel, stride, padding);
+        self
+    }
+
+    /// Pooling with ceil-mode output extent (SqueezeNet's max pools).
+    pub fn pool_ceil(&mut self, kernel: u64, stride: u64, padding: u64) -> &mut Self {
+        let ceil = |input: u64| (input + 2 * padding - kernel).div_ceil(stride) + 1;
+        self.h = ceil(self.h);
+        self.w = ceil(self.w);
+        self
+    }
+
+    /// Appends an externally-constructed layer without touching the
+    /// tracked dims (residual downsamples, parallel branches).
+    pub fn push_raw(&mut self, layer: LinearLayer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adaptive average pooling to a fixed spatial size (torchvision
+    /// classifier heads), emits no GEMM.
+    pub fn adaptive_pool(&mut self, h: u64, w: u64) -> &mut Self {
+        self.h = h;
+        self.w = w;
+        self
+    }
+
+    /// Global average pooling to 1×1.
+    pub fn global_pool(&mut self) -> &mut Self {
+        self.adaptive_pool(1, 1)
+    }
+
+    /// Fully-connected layer consuming the flattened feature map.
+    pub fn fc(&mut self, name: impl Into<String>, out_features: u64) -> &mut Self {
+        let in_features = self.channels * self.h * self.w;
+        self.layers
+            .push(LinearLayer::fc(name, self.batch, in_features, out_features));
+        self.channels = out_features;
+        self.h = 1;
+        self.w = 1;
+        self
+    }
+
+    /// Finishes the network.
+    pub fn build(self, name: impl Into<String>) -> crate::model::Model {
+        crate::model::Model::new(name, self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_extent_matches_floor_formula() {
+        // ResNet-50 conv1 on 1080x1920: 7x7 stride 2 pad 3 -> 540x960.
+        assert_eq!(conv_out(1080, 7, 2, 3), 540);
+        assert_eq!(conv_out(1920, 7, 2, 3), 960);
+        // AlexNet conv1: 11x11 stride 4 pad 2 on 224 -> 55.
+        assert_eq!(conv_out(224, 11, 4, 2), 55);
+        // Pooling with floor: 3x3 stride 2 on 55 -> 27.
+        assert_eq!(conv_out(55, 3, 2, 0), 27);
+    }
+
+    #[test]
+    fn conv_lowering_produces_implicit_gemm_dims() {
+        let (layer, ho, wo) = LinearLayer::conv("c", 2, 3, 224, 224, 64, 7, 2, 3);
+        assert_eq!((ho, wo), (112, 112));
+        assert_eq!(layer.shape, GemmShape::new(2 * 112 * 112, 64, 3 * 49));
+        assert_eq!(layer.kind, LayerKind::Conv);
+    }
+
+    #[test]
+    fn fc_lowering_is_batch_by_features() {
+        let layer = LinearLayer::fc("fc", 32, 2048, 1000);
+        assert_eq!(layer.shape, GemmShape::new(32, 1000, 2048));
+        assert_eq!(layer.kind, LayerKind::FullyConnected);
+    }
+
+    #[test]
+    fn builder_threads_dims_through_a_small_net() {
+        let mut b = NetBuilder::new(1, 3, 32, 32);
+        b.conv("c1", 16, 3, 1, 1).pool(2, 2, 0).conv("c2", 32, 3, 1, 1);
+        assert_eq!(b.dims(), (32, 16, 16));
+        b.global_pool().fc("fc", 10);
+        let model = b.build("tiny");
+        assert_eq!(model.layers.len(), 3);
+        assert_eq!(model.layers[1].shape, GemmShape::new(256, 32, 144));
+        assert_eq!(model.layers[2].shape, GemmShape::new(1, 10, 32));
+    }
+
+    #[test]
+    fn conv_from_supports_concatenated_inputs() {
+        let mut b = NetBuilder::new(1, 64, 56, 56);
+        // A DenseNet-style layer reads 256 concatenated channels even
+        // though the previous conv produced 64.
+        b.conv_from("dense", 256, 48, 3, 1, 1);
+        let model = b.build("concat");
+        assert_eq!(model.layers[0].shape.k, 256 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger")]
+    fn oversized_window_is_rejected() {
+        conv_out(2, 7, 1, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # aiga-nn — neural networks as sequences of GEMMs
+//!
+//! The paper treats the "linear layers" of a NN — convolutional and
+//! fully-connected layers — as matrix multiplications (§2.1): a
+//! convolution over a `B × Cin × H × W` input with `Cout` filters of size
+//! `Kh × Kw` lowers (implicit GEMM / im2col) to `M = B·Ho·Wo`,
+//! `N = Cout`, `K = Cin·Kh·Kw`; a fully-connected layer is the direct
+//! `M = B`, `N = out_features`, `K = in_features`. All dimensions are
+//! padded to multiples of eight for the `m16n8k8` Tensor Core operation
+//! (§6.2) — which is exactly what lifts batch-1 MLPs to the arithmetic
+//! intensities the paper reports for DLRM.
+//!
+//! [`zoo`] reconstructs all fourteen evaluated networks:
+//!
+//! - eight torchvision CNNs (Fig. 4/8/9): ResNet-50, VGG-16, AlexNet,
+//!   SqueezeNet, ShuffleNet-V2, DenseNet-161, ResNeXt-50 and
+//!   Wide-ResNet-50 (grouped convolutions replaced by non-grouped ones,
+//!   as the paper itself does — §3.2 footnote 3);
+//! - the two DLRM MLPs (Fig. 10);
+//! - four NoScope-style specialized CNNs (Fig. 11), reconstructed from
+//!   the paper's description and tuned to its reported aggregate
+//!   intensities (see `DESIGN.md` §5).
+
+pub mod conv;
+pub mod layer;
+pub mod model;
+pub mod zoo;
+
+pub use conv::{im2col, ConvParams, Tensor};
+pub use layer::{LayerKind, LinearLayer, NetBuilder};
+pub use model::Model;

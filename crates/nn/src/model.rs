@@ -1,0 +1,109 @@
+//! Whole-network aggregation: the paper's "aggregate arithmetic
+//! intensity" metric (§3.2) and layer bookkeeping.
+
+use crate::layer::LinearLayer;
+use aiga_gpu::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// A network as an ordered list of linear layers (the only layers that
+/// matter for execution time and ABFT — §3.2: activation functions etc.
+/// are fused and contribute far less).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Model {
+    /// Display name.
+    pub name: String,
+    /// Linear layers in execution order.
+    pub layers: Vec<LinearLayer>,
+}
+
+impl Model {
+    /// Creates a model; at least one layer is required.
+    pub fn new(name: impl Into<String>, layers: Vec<LinearLayer>) -> Self {
+        let name = name.into();
+        assert!(!layers.is_empty(), "model {name} has no linear layers");
+        Model { name, layers }
+    }
+
+    /// Aggregate FP16 arithmetic intensity (§3.2): total FLOPs across all
+    /// linear layers divided by total bytes, on padded shapes.
+    pub fn aggregate_intensity(&self) -> f64 {
+        let (flops, bytes) = self.layers.iter().fold((0u64, 0u64), |(f, b), l| {
+            let p = l.shape.padded_to_mma();
+            (f + p.flops(), b + p.min_bytes_fp16())
+        });
+        flops as f64 / bytes as f64
+    }
+
+    /// Total FLOPs across linear layers (padded shapes).
+    pub fn total_flops(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.shape.padded_to_mma().flops())
+            .sum()
+    }
+
+    /// Per-layer padded GEMM shapes, in execution order.
+    pub fn shapes(&self) -> Vec<GemmShape> {
+        self.layers.iter().map(|l| l.shape.padded_to_mma()).collect()
+    }
+
+    /// Per-layer arithmetic intensities, in execution order (Fig. 5).
+    pub fn layer_intensities(&self) -> Vec<f64> {
+        self.layers
+            .iter()
+            .map(|l| l.arithmetic_intensity())
+            .collect()
+    }
+
+    /// Minimum and maximum per-layer arithmetic intensity.
+    pub fn intensity_range(&self) -> (f64, f64) {
+        self.layer_intensities()
+            .into_iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), ai| (lo.min(ai), hi.max(ai)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LinearLayer;
+
+    fn toy() -> Model {
+        Model::new(
+            "toy",
+            vec![
+                LinearLayer::fc("fc1", 8, 64, 128),
+                LinearLayer::fc("fc2", 8, 128, 64),
+            ],
+        )
+    }
+
+    #[test]
+    fn aggregate_is_flops_over_bytes() {
+        let m = toy();
+        let f: u64 = m.layers.iter().map(|l| l.shape.flops()).sum();
+        let b: u64 = m.layers.iter().map(|l| l.shape.min_bytes_fp16()).sum();
+        // Shapes already aligned, so padding changes nothing.
+        assert!((m.aggregate_intensity() - f as f64 / b as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_lies_between_layer_extremes() {
+        let m = toy();
+        let (lo, hi) = m.intensity_range();
+        let agg = m.aggregate_intensity();
+        assert!(agg >= lo && agg <= hi, "{lo} <= {agg} <= {hi}");
+    }
+
+    #[test]
+    fn shapes_are_padded() {
+        let m = Model::new("pad", vec![LinearLayer::fc("fc", 1, 13, 500)]);
+        assert_eq!(m.shapes()[0], GemmShape::new(8, 504, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "no linear layers")]
+    fn empty_models_are_rejected() {
+        Model::new("empty", vec![]);
+    }
+}

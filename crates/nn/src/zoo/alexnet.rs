@@ -1,0 +1,43 @@
+//! AlexNet (torchvision `alexnet`): five convolutions, adaptive-pooled to
+//! 6×6, three-layer classifier.
+
+use crate::layer::NetBuilder;
+use crate::model::Model;
+
+/// AlexNet as GEMMs.
+pub fn alexnet(batch: u64, h: u64, w: u64) -> Model {
+    let mut b = NetBuilder::new(batch, 3, h, w);
+    b.conv("features.0", 64, 11, 4, 2).pool(3, 2, 0);
+    b.conv("features.3", 192, 5, 1, 2).pool(3, 2, 0);
+    b.conv("features.6", 384, 3, 1, 1);
+    b.conv("features.8", 256, 3, 1, 1);
+    b.conv("features.10", 256, 3, 1, 1).pool(3, 2, 0);
+    b.adaptive_pool(6, 6);
+    b.fc("classifier.1", 4096);
+    b.fc("classifier.4", 4096);
+    b.fc("classifier.6", 1000);
+    b.build("AlexNet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::HD;
+
+    #[test]
+    fn imagenet_dims_match_torchvision() {
+        let m = alexnet(1, 224, 224);
+        // conv1 -> 55x55, conv2 -> 27x27, conv3..5 -> 13x13.
+        assert_eq!(m.layers[0].shape.m, 55 * 55);
+        assert_eq!(m.layers[1].shape.m, 27 * 27);
+        assert_eq!(m.layers[2].shape.m, 13 * 13);
+        assert_eq!(m.layers[5].shape.k, 256 * 36);
+    }
+
+    #[test]
+    fn hd_aggregate_intensity_matches_paper() {
+        // Fig. 8: AlexNet @HD has aggregate AI 125.5.
+        let ai = alexnet(1, HD.0, HD.1).aggregate_intensity();
+        assert!((ai - 125.5).abs() < 7.0, "got {ai}");
+    }
+}

@@ -1,0 +1,95 @@
+//! DenseNet-161 (torchvision `densenet161`): growth rate 48, 96-channel
+//! stem, dense blocks of [6, 12, 36, 24] layers with bottleneck factor 4,
+//! and channel-halving transitions.
+
+use crate::layer::NetBuilder;
+use crate::model::Model;
+
+const GROWTH: u64 = 48;
+const BN_SIZE: u64 = 4;
+
+/// DenseNet-161 as GEMMs.
+pub fn densenet161(batch: u64, h: u64, w: u64) -> Model {
+    let mut b = NetBuilder::new(batch, 3, h, w);
+    b.conv("features.conv0", 96, 7, 2, 3).pool(3, 2, 1);
+
+    let mut channels = 96u64;
+    for (bi, layers) in [6u64, 12, 36, 24].iter().enumerate() {
+        for li in 0..*layers {
+            // Each dense layer reads the concatenation of everything the
+            // block has produced so far.
+            let c_in = channels + li * GROWTH;
+            let bottleneck = BN_SIZE * GROWTH;
+            b.conv_from(
+                format!("denseblock{}.denselayer{}.conv1", bi + 1, li + 1),
+                c_in,
+                bottleneck,
+                1,
+                1,
+                0,
+            );
+            b.conv(
+                format!("denseblock{}.denselayer{}.conv2", bi + 1, li + 1),
+                GROWTH,
+                3,
+                1,
+                1,
+            );
+        }
+        channels += layers * GROWTH;
+        if bi < 3 {
+            // Transition: 1×1 conv halving channels, then 2×2 avg pool.
+            channels /= 2;
+            b.conv_from(format!("transition{}.conv", bi + 1), channels * 2, channels, 1, 1, 0);
+            b.pool(2, 2, 0);
+        }
+    }
+    b.set_channels(channels);
+    b.global_pool().fc("classifier", 1000);
+    b.build("DenseNet-161")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::HD;
+
+    #[test]
+    fn layer_count_explains_the_161_name() {
+        // 1 stem + 2×(6+12+36+24) dense convs + 3 transitions + 1 fc = 161.
+        let m = densenet161(1, 224, 224);
+        assert_eq!(m.layers.len(), 161);
+    }
+
+    #[test]
+    fn final_features_are_2208_channels() {
+        let m = densenet161(1, 224, 224);
+        let fc = m.layers.last().unwrap();
+        // 1056 + 24*48 = 2208.
+        assert_eq!(fc.shape.k, 2208);
+    }
+
+    #[test]
+    fn dense_layers_read_growing_concatenations() {
+        let m = densenet161(1, 224, 224);
+        let l1 = m
+            .layers
+            .iter()
+            .find(|l| l.name == "denseblock1.denselayer1.conv1")
+            .unwrap();
+        let l6 = m
+            .layers
+            .iter()
+            .find(|l| l.name == "denseblock1.denselayer6.conv1")
+            .unwrap();
+        assert_eq!(l1.shape.k, 96);
+        assert_eq!(l6.shape.k, 96 + 5 * GROWTH);
+    }
+
+    #[test]
+    fn hd_aggregate_intensity_matches_paper() {
+        // Fig. 8: DenseNet-161 @HD has aggregate AI 79.0.
+        let ai = densenet161(1, HD.0, HD.1).aggregate_intensity();
+        assert!((ai - 79.0).abs() < 4.0, "got {ai}");
+    }
+}

@@ -1,0 +1,83 @@
+//! The two MLPs of Facebook's DLRM recommendation model (§6.4.2):
+//! MLP-Bottom processes 13 dense features through hidden layers of
+//! 512/256/64; MLP-Top consumes the 512-wide interaction vector through
+//! 512/256 and produces one output.
+//!
+//! The paper does not state MLP-Top's input width; 512 reproduces its
+//! reported aggregate intensities exactly (7.7 at batch 1, 175.8 at batch
+//! 2048 — see tests), so that is what we use (documented in DESIGN.md).
+
+use crate::layer::LinearLayer;
+use crate::model::Model;
+
+/// DLRM MLP-Bottom at a given batch size: 13 → 512 → 256 → 64.
+pub fn dlrm_mlp_bottom(batch: u64) -> Model {
+    Model::new(
+        "MLP-Bottom",
+        vec![
+            LinearLayer::fc("bot.0", batch, 13, 512),
+            LinearLayer::fc("bot.1", batch, 512, 256),
+            LinearLayer::fc("bot.2", batch, 256, 64),
+        ],
+    )
+}
+
+/// DLRM MLP-Top at a given batch size: 512 → 512 → 256 → 1.
+pub fn dlrm_mlp_top(batch: u64) -> Model {
+    Model::new(
+        "MLP-Top",
+        vec![
+            LinearLayer::fc("top.0", batch, 512, 512),
+            LinearLayer::fc("top.1", batch, 512, 256),
+            LinearLayer::fc("top.2", batch, 256, 1),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_1_intensities_match_figure_8() {
+        // Fig. 8 labels: MLP-Bottom (7.4), MLP-Top (7.7).
+        let bot = dlrm_mlp_bottom(1).aggregate_intensity();
+        let top = dlrm_mlp_top(1).aggregate_intensity();
+        assert!((bot - 7.4).abs() < 0.1, "bottom {bot}");
+        assert!((top - 7.7).abs() < 0.1, "top {top}");
+    }
+
+    #[test]
+    fn batch_2048_intensities_match_figure_10() {
+        // Fig. 10 labels: MLP-Bottom @2048 (92.0), MLP-Top @2048 (175.8).
+        let bot = dlrm_mlp_bottom(2048).aggregate_intensity();
+        let top = dlrm_mlp_top(2048).aggregate_intensity();
+        assert!((bot - 92.0).abs() < 1.0, "bottom {bot}");
+        assert!((top - 175.8).abs() < 1.0, "top {top}");
+    }
+
+    #[test]
+    fn batch_256_intensities_match_section_3_2() {
+        // §3.2: "aggregate arithmetic intensities of the NNs used in DLRM
+        // increase from 7 at batch size of 1 to 70–109 at batch size 256".
+        let bot = dlrm_mlp_bottom(256).aggregate_intensity();
+        let top = dlrm_mlp_top(256).aggregate_intensity();
+        assert!((bot - 70.0).abs() < 2.0, "bottom {bot}");
+        assert!((top - 109.0).abs() < 2.5, "top {top}");
+    }
+
+    #[test]
+    fn intensity_grows_monotonically_with_batch() {
+        // Batches 1 and 8 pad to the same M = 8, so start at 8.
+        assert_eq!(
+            dlrm_mlp_bottom(1).aggregate_intensity(),
+            dlrm_mlp_bottom(8).aggregate_intensity()
+        );
+        let mut prev = 0.0;
+        for batch in [8u64, 64, 256, 1024, 2048] {
+            let ai = dlrm_mlp_bottom(batch).aggregate_intensity();
+            assert!(ai > prev, "batch {batch}");
+            prev = ai;
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The model zoo: every network the paper evaluates.
+//!
+//! All CNN constructors take `(batch, height, width)` so the §6.4.1
+//! resolution sweep and the batch-size sweeps come for free. Aggregate
+//! arithmetic intensities of these reconstructions are validated against
+//! the values printed in the paper's figures (see each module's tests and
+//! `tests/zoo_intensities.rs`).
+
+mod alexnet;
+mod densenet;
+mod dlrm;
+mod noscope;
+mod resnet;
+mod shufflenet;
+mod squeezenet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use densenet::densenet161;
+pub use dlrm::{dlrm_mlp_bottom, dlrm_mlp_top};
+pub use noscope::{amsterdam, coral, roundabout, taipei};
+pub use resnet::{resnet50, resnext50_nogroup, wide_resnet50};
+pub use shufflenet::shufflenet_v2;
+pub use squeezenet::squeezenet;
+pub use vgg::vgg16;
+
+use crate::model::Model;
+
+/// HD resolution used for the paper's main CNN results (1080 × 1920).
+pub const HD: (u64, u64) = (1080, 1920);
+/// ImageNet resolution used in the §6.4.1 sweep (224 × 224).
+pub const IMAGENET: (u64, u64) = (224, 224);
+
+/// The eight general-purpose CNNs of Figures 4/8/9, at a given input.
+pub fn general_cnns(batch: u64, h: u64, w: u64) -> Vec<Model> {
+    vec![
+        squeezenet(batch, h, w),
+        shufflenet_v2(batch, h, w),
+        densenet161(batch, h, w),
+        resnet50(batch, h, w),
+        alexnet(batch, h, w),
+        vgg16(batch, h, w),
+        resnext50_nogroup(batch, h, w),
+        wide_resnet50(batch, h, w),
+    ]
+}
+
+/// The four NoScope-style specialized CNNs of Figure 11 (batch 64 in the
+/// paper).
+pub fn specialized_cnns(batch: u64) -> Vec<Model> {
+    vec![
+        coral(batch),
+        roundabout(batch),
+        taipei(batch),
+        amsterdam(batch),
+    ]
+}
+
+/// All fourteen evaluated NNs in Figure 8's order (increasing aggregate
+/// arithmetic intensity), with the paper's workload settings: CNNs at HD
+/// batch 1, DLRM at batch 1, specialized CNNs at batch 64.
+pub fn figure8_models() -> Vec<Model> {
+    let (h, w) = HD;
+    vec![
+        dlrm_mlp_bottom(1),
+        dlrm_mlp_top(1),
+        coral(64),
+        roundabout(64),
+        taipei(64),
+        amsterdam(64),
+        squeezenet(1, h, w),
+        shufflenet_v2(1, h, w),
+        densenet161(1, h, w),
+        resnet50(1, h, w),
+        alexnet(1, h, w),
+        vgg16(1, h, w),
+        resnext50_nogroup(1, h, w),
+        wide_resnet50(1, h, w),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_models_are_ordered_by_aggregate_intensity() {
+        let models = figure8_models();
+        let ais: Vec<f64> = models.iter().map(|m| m.aggregate_intensity()).collect();
+        for pair in ais.windows(2) {
+            assert!(
+                pair[0] <= pair[1] * 1.02, // allow tiny reconstruction slack
+                "figure 8 ordering violated: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_have_nonempty_layer_lists() {
+        for m in figure8_models() {
+            assert!(!m.layers.is_empty(), "{}", m.name);
+            for l in &m.layers {
+                assert!(l.shape.flops() > 0);
+            }
+        }
+    }
+}

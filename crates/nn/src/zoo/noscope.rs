@@ -1,0 +1,110 @@
+//! NoScope-style specialized CNNs (§6.4.3): lightweight binary
+//! classifiers placed in front of a large general-purpose CNN for offline
+//! video analytics.
+//!
+//! The paper describes them as having "2–4 convolutional layers, each
+//! with 16–64 channels, at most two fully-connected layers", operating
+//! over 50×50-pixel regions of video frames at batch size 64, but does
+//! not publish the exact per-model configurations. These reconstructions
+//! follow that recipe with channel counts tuned so each model's aggregate
+//! arithmetic intensity matches the value printed in Figures 8/11
+//! (Coral 15.1, Roundabout 37.9, Taipei 51.9, Amsterdam 52.7); see
+//! DESIGN.md §5.
+
+use crate::layer::NetBuilder;
+use crate::model::Model;
+
+/// Input region side length (pixels).
+pub const REGION: u64 = 50;
+
+fn specialized(name: &str, batch: u64, convs: &[(u64, bool)], fc_hidden: u64) -> Model {
+    let mut b = NetBuilder::new(batch, 3, REGION, REGION);
+    for (i, &(c_out, pool)) in convs.iter().enumerate() {
+        b.conv(format!("conv{}", i + 1), c_out, 3, 1, 1);
+        if pool {
+            b.pool(2, 2, 0);
+        }
+    }
+    b.fc("fc1", fc_hidden);
+    b.fc("fc2", 2); // binary query: object present / absent
+    b.build(name)
+}
+
+/// The "Coral" video query CNN (aggregate AI ≈ 15.1 at batch 64).
+pub fn coral(batch: u64) -> Model {
+    specialized("Coral", batch, &[(32, true), (16, true)], 32)
+}
+
+/// The "Roundabout" video query CNN (aggregate AI ≈ 37.9 at batch 64).
+pub fn roundabout(batch: u64) -> Model {
+    specialized(
+        "Roundabout",
+        batch,
+        &[(48, true), (64, true), (16, true)],
+        64,
+    )
+}
+
+/// The "Taipei" video query CNN (aggregate AI ≈ 51.9 at batch 64).
+pub fn taipei(batch: u64) -> Model {
+    specialized(
+        "Taipei",
+        batch,
+        &[(48, false), (64, true), (64, true)],
+        64,
+    )
+}
+
+/// The "Amsterdam" video query CNN (aggregate AI ≈ 52.7 at batch 64).
+pub fn amsterdam(batch: u64) -> Model {
+    specialized(
+        "Amsterdam",
+        batch,
+        &[(64, false), (64, true), (64, true)],
+        64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_intensities_match_figure_11_labels() {
+        for (model, target) in [
+            (coral(64), 15.1),
+            (roundabout(64), 37.9),
+            (taipei(64), 51.9),
+            (amsterdam(64), 52.7),
+        ] {
+            let ai = model.aggregate_intensity();
+            assert!(
+                (ai - target).abs() / target < 0.08,
+                "{}: got {ai}, want {target}",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_respect_the_paper_recipe() {
+        for m in [coral(64), roundabout(64), taipei(64), amsterdam(64)] {
+            let convs = m
+                .layers
+                .iter()
+                .filter(|l| matches!(l.kind, crate::layer::LayerKind::Conv))
+                .count();
+            let fcs = m.layers.len() - convs;
+            assert!((2..=4).contains(&convs), "{}: {convs} convs", m.name);
+            assert!(fcs <= 2, "{}: {fcs} fcs", m.name);
+            for l in m.layers.iter().take(convs) {
+                assert!(l.shape.n >= 2 && l.shape.n <= 64, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_scales_with_batch_through_fc_layers() {
+        assert!(coral(1).aggregate_intensity() < coral(64).aggregate_intensity());
+    }
+}

@@ -1,0 +1,148 @@
+//! The ResNet-50 family: ResNet-50, ResNeXt-50 (non-grouped, per the
+//! paper's §3.2 footnote 3), and Wide-ResNet-50-2.
+//!
+//! All three share the same skeleton: a 7×7 stem, four stages of
+//! bottleneck blocks ([3, 4, 6, 3] of them), and a 1000-way classifier.
+//! They differ only in the bottleneck's inner width: 64/128/256/512 for
+//! ResNet-50, doubled for Wide-ResNet-50-2 — and ResNeXt-50-32x4d with
+//! its 32 groups of width 4 replaced by a single non-grouped convolution
+//! is architecturally identical to the wide variant, which is why the
+//! paper reports the same aggregate intensity (220.8) for both.
+
+use crate::layer::{conv_out, LinearLayer, NetBuilder};
+use crate::model::Model;
+
+fn bottleneck_resnet(name: &str, batch: u64, h: u64, w: u64, width_mult: u64) -> Model {
+    let mut b = NetBuilder::new(batch, 3, h, w);
+    b.conv("conv1", 64, 7, 2, 3).pool(3, 2, 1);
+
+    let stages: [(u64, u64); 4] = [(3, 64), (4, 128), (6, 256), (3, 512)];
+    let mut c_in = 64u64;
+    for (si, (blocks, base)) in stages.iter().enumerate() {
+        let inner = base * width_mult;
+        let c_out = base * 4;
+        for bi in 0..*blocks {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            let prefix = format!("layer{}.{}", si + 1, bi);
+            let (bh, bw) = {
+                let (_, h, w) = b.dims();
+                (h, w)
+            };
+            b.conv_from(format!("{prefix}.conv1"), c_in, inner, 1, 1, 0);
+            // torchvision's ResNet v1.5 places the stride on the 3x3.
+            b.conv(format!("{prefix}.conv2"), inner, 3, stride, 1);
+            b.conv(format!("{prefix}.conv3"), c_out, 1, 1, 0);
+            if bi == 0 {
+                // Projection shortcut on the block's input dimensions.
+                let (ds, dh, dw) = LinearLayer::conv(
+                    format!("{prefix}.downsample"),
+                    batch,
+                    c_in,
+                    bh,
+                    bw,
+                    c_out,
+                    1,
+                    stride,
+                    0,
+                );
+                debug_assert_eq!((dh, dw), (conv_out(bh, 1, stride, 0), conv_out(bw, 1, stride, 0)));
+                b.push_raw(ds);
+            }
+            c_in = c_out;
+        }
+    }
+    b.global_pool().fc("fc", 1000);
+    b.build(name)
+}
+
+/// ResNet-50 (torchvision) as GEMMs.
+pub fn resnet50(batch: u64, h: u64, w: u64) -> Model {
+    bottleneck_resnet("ResNet-50", batch, h, w, 1)
+}
+
+/// ResNeXt-50 32×4d with grouped convolutions replaced by non-grouped
+/// ones (the paper's own simplification).
+pub fn resnext50_nogroup(batch: u64, h: u64, w: u64) -> Model {
+    bottleneck_resnet("ResNext-50", batch, h, w, 2)
+}
+
+/// Wide-ResNet-50-2.
+pub fn wide_resnet50(batch: u64, h: u64, w: u64) -> Model {
+    bottleneck_resnet("Wide-ResNet-50", batch, h, w, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{HD, IMAGENET};
+
+    #[test]
+    fn resnet50_has_53_convs_and_one_fc() {
+        let m = resnet50(1, IMAGENET.0, IMAGENET.1);
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::layer::LayerKind::Conv))
+            .count();
+        assert_eq!(convs, 53);
+        assert_eq!(m.layers.len(), 54);
+    }
+
+    #[test]
+    fn resnext_and_wide_resnet_have_identical_shapes() {
+        // §3.2/Fig. 4: both report aggregate AI 220.8 — de-grouped
+        // ResNeXt-50 is architecturally Wide-ResNet-50-2.
+        let a = resnext50_nogroup(1, HD.0, HD.1);
+        let b = wide_resnet50(1, HD.0, HD.1);
+        let sa: Vec<_> = a.layers.iter().map(|l| l.shape).collect();
+        let sb: Vec<_> = b.layers.iter().map(|l| l.shape).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn hd_stem_produces_540x960_feature_map() {
+        let m = resnet50(1, HD.0, HD.1);
+        // conv1: M = 540*960, N = 64, K = 147.
+        assert_eq!(m.layers[0].shape.m, 540 * 960);
+        assert_eq!(m.layers[0].shape.n, 64);
+        assert_eq!(m.layers[0].shape.k, 147);
+    }
+
+    #[test]
+    fn classifier_is_2048_to_1000() {
+        let m = resnet50(2, IMAGENET.0, IMAGENET.1);
+        let fc = m.layers.last().unwrap();
+        assert_eq!(fc.shape.m, 2);
+        assert_eq!(fc.shape.k, 2048);
+        assert_eq!(fc.shape.n, 1000);
+    }
+
+    #[test]
+    fn imagenet_aggregate_intensity_matches_paper() {
+        // §3.2: ResNet-50 at 224×224 has aggregate AI ≈ 72.
+        let ai = resnet50(1, IMAGENET.0, IMAGENET.1).aggregate_intensity();
+        assert!((ai - 72.0).abs() < 4.0, "got {ai}");
+    }
+
+    #[test]
+    fn hd_aggregate_intensity_matches_paper() {
+        // Fig. 8: ResNet-50 at 1080×1920 has aggregate AI 122.0.
+        let ai = resnet50(1, HD.0, HD.1).aggregate_intensity();
+        assert!((ai - 122.0).abs() < 6.0, "got {ai}");
+    }
+
+    #[test]
+    fn wide_variant_hd_intensity_matches_paper() {
+        let ai = wide_resnet50(1, HD.0, HD.1).aggregate_intensity();
+        assert!((ai - 220.8).abs() < 11.0, "got {ai}");
+    }
+
+    #[test]
+    fn layer_intensities_span_the_figure_5_range() {
+        // Fig. 5: ResNet-50 @HD layer intensities span roughly 1–511.
+        let m = resnet50(1, HD.0, HD.1);
+        let (lo, hi) = m.intensity_range();
+        assert!(lo < 10.0, "min {lo}");
+        assert!(hi > 400.0 && hi < 600.0, "max {hi}");
+    }
+}

@@ -1,0 +1,142 @@
+//! ShuffleNet V2 ×1.0 (torchvision `shufflenet_v2_x1_0`) with its
+//! depthwise (grouped) convolutions replaced by ordinary convolutions, as
+//! the paper does to ease lowering to GEMMs (§3.2 footnote 3).
+
+use crate::layer::{conv_out, LinearLayer, NetBuilder};
+use crate::model::Model;
+
+/// Emits one stride-2 inverted-residual unit (both branches downsample);
+/// output has `c_out` channels at half resolution.
+fn unit_stride2(b: &mut NetBuilder, name: &str, c_in: u64, c_out: u64) {
+    let branch = c_out / 2;
+    let (_, h, w) = b.dims();
+    let batch = b.batch();
+    // Branch 1: (de-grouped) 3×3 s2 on the input, then 1×1.
+    let (dw1, h2, w2) = LinearLayer::conv(
+        format!("{name}.branch1.dw"),
+        batch,
+        c_in,
+        h,
+        w,
+        c_in,
+        3,
+        2,
+        1,
+    );
+    b.push_raw(dw1);
+    let (pw1, _, _) = LinearLayer::conv(
+        format!("{name}.branch1.pw"),
+        batch,
+        c_in,
+        h2,
+        w2,
+        branch,
+        1,
+        1,
+        0,
+    );
+    b.push_raw(pw1);
+    // Branch 2: 1×1, (de-grouped) 3×3 s2, 1×1.
+    let (pw2a, _, _) = LinearLayer::conv(
+        format!("{name}.branch2.pw1"),
+        batch,
+        c_in,
+        h,
+        w,
+        branch,
+        1,
+        1,
+        0,
+    );
+    b.push_raw(pw2a);
+    let (dw2, _, _) = LinearLayer::conv(
+        format!("{name}.branch2.dw"),
+        batch,
+        branch,
+        h,
+        w,
+        branch,
+        3,
+        2,
+        1,
+    );
+    b.push_raw(dw2);
+    let (pw2b, _, _) = LinearLayer::conv(
+        format!("{name}.branch2.pw2"),
+        batch,
+        branch,
+        h2,
+        w2,
+        branch,
+        1,
+        1,
+        0,
+    );
+    b.push_raw(pw2b);
+    debug_assert_eq!(h2, conv_out(h, 3, 2, 1));
+    // Concat of the two halves at the downsampled resolution.
+    b.set_channels(c_out);
+    b.pool(3, 2, 1); // advance tracked dims to the strided resolution
+}
+
+/// Emits one stride-1 unit: half the channels pass through, the other
+/// half go through 1×1 → 3×3 → 1×1.
+fn unit_stride1(b: &mut NetBuilder, name: &str, c: u64) {
+    let half = c / 2;
+    b.conv_from(format!("{name}.branch2.pw1"), half, half, 1, 1, 0);
+    b.conv(format!("{name}.branch2.dw"), half, 3, 1, 1);
+    b.conv(format!("{name}.branch2.pw2"), half, 1, 1, 0);
+    b.set_channels(c);
+}
+
+/// ShuffleNet V2 ×1.0 as GEMMs.
+pub fn shufflenet_v2(batch: u64, h: u64, w: u64) -> Model {
+    let mut b = NetBuilder::new(batch, 3, h, w);
+    b.conv("conv1", 24, 3, 2, 1).pool(3, 2, 1);
+
+    let stages: [(u64, u64); 3] = [(4, 116), (8, 232), (4, 464)];
+    let mut c_in = 24u64;
+    for (si, (repeats, c_out)) in stages.iter().enumerate() {
+        unit_stride2(&mut b, &format!("stage{}.0", si + 2), c_in, *c_out);
+        for r in 1..*repeats {
+            unit_stride1(&mut b, &format!("stage{}.{r}", si + 2), *c_out);
+        }
+        c_in = *c_out;
+    }
+    b.conv("conv5", 1024, 1, 1, 0);
+    b.global_pool().fc("fc", 1000);
+    b.build("ShuffleNet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::HD;
+
+    #[test]
+    fn layer_count_matches_architecture() {
+        // conv1 + 3 stages: stride-2 unit = 5 convs, stride-1 = 3 convs:
+        // (5+3*3) + (5+7*3) + (5+3*3) = 54; + conv5 + fc = 57.
+        let m = shufflenet_v2(1, 224, 224);
+        assert_eq!(m.layers.len(), 57);
+    }
+
+    #[test]
+    fn stride1_units_process_half_the_channels() {
+        let m = shufflenet_v2(1, 224, 224);
+        let u = m
+            .layers
+            .iter()
+            .find(|l| l.name == "stage2.1.branch2.pw1")
+            .unwrap();
+        assert_eq!(u.shape.k, 58);
+        assert_eq!(u.shape.n, 58);
+    }
+
+    #[test]
+    fn hd_aggregate_intensity_matches_paper() {
+        // Fig. 8: ShuffleNet @HD has aggregate AI 76.6.
+        let ai = shufflenet_v2(1, HD.0, HD.1).aggregate_intensity();
+        assert!((ai - 76.6).abs() < 4.0, "got {ai}");
+    }
+}

@@ -1,0 +1,62 @@
+//! SqueezeNet 1.0 (torchvision `squeezenet1_0`): a 7×7 stem, eight Fire
+//! modules, and a 1×1 convolutional classifier. Its max pools use
+//! ceil-mode extents.
+
+use crate::layer::NetBuilder;
+use crate::model::Model;
+
+/// Emits one Fire module: squeeze 1×1, expand 1×1 and expand 3×3 reading
+/// the squeezed tensor, outputs concatenated.
+fn fire(b: &mut NetBuilder, idx: usize, c_in: u64, squeeze: u64, expand: u64) {
+    b.conv_from(format!("fire{idx}.squeeze"), c_in, squeeze, 1, 1, 0);
+    b.conv_from(format!("fire{idx}.expand1x1"), squeeze, expand, 1, 1, 0);
+    b.conv_from(format!("fire{idx}.expand3x3"), squeeze, expand, 3, 1, 1);
+    b.set_channels(2 * expand);
+}
+
+/// SqueezeNet 1.0 as GEMMs.
+pub fn squeezenet(batch: u64, h: u64, w: u64) -> Model {
+    let mut b = NetBuilder::new(batch, 3, h, w);
+    b.conv("features.0", 96, 7, 2, 0).pool_ceil(3, 2, 0);
+    fire(&mut b, 2, 96, 16, 64);
+    fire(&mut b, 3, 128, 16, 64);
+    fire(&mut b, 4, 128, 32, 128);
+    b.pool_ceil(3, 2, 0);
+    fire(&mut b, 5, 256, 32, 128);
+    fire(&mut b, 6, 256, 48, 192);
+    fire(&mut b, 7, 384, 48, 192);
+    fire(&mut b, 8, 384, 64, 256);
+    b.pool_ceil(3, 2, 0);
+    fire(&mut b, 9, 512, 64, 256);
+    // The classifier is itself a 1×1 convolution over the feature map.
+    b.conv("classifier.1", 1000, 1, 1, 0);
+    b.build("SqueezeNet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::HD;
+
+    #[test]
+    fn has_26_linear_layers() {
+        // 1 stem + 8 fires × 3 + 1 classifier conv.
+        let m = squeezenet(1, 224, 224);
+        assert_eq!(m.layers.len(), 26);
+    }
+
+    #[test]
+    fn fire_concat_feeds_next_squeeze() {
+        let m = squeezenet(1, 224, 224);
+        // fire3.squeeze reads fire2's concatenated 128 channels.
+        let f3 = m.layers.iter().find(|l| l.name == "fire3.squeeze").unwrap();
+        assert_eq!(f3.shape.k, 128);
+    }
+
+    #[test]
+    fn hd_aggregate_intensity_matches_paper() {
+        // Fig. 8: SqueezeNet @HD has aggregate AI 71.1.
+        let ai = squeezenet(1, HD.0, HD.1).aggregate_intensity();
+        assert!((ai - 71.1).abs() < 4.0, "got {ai}");
+    }
+}

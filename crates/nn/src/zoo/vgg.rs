@@ -1,0 +1,50 @@
+//! VGG-16 (torchvision `vgg16`): thirteen 3×3 convolutions in five
+//! blocks, adaptive-pooled to 7×7, then a three-layer classifier.
+
+use crate::layer::NetBuilder;
+use crate::model::Model;
+
+/// VGG-16 as GEMMs.
+pub fn vgg16(batch: u64, h: u64, w: u64) -> Model {
+    let mut b = NetBuilder::new(batch, 3, h, w);
+    let blocks: [&[u64]; 5] = [&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    for (bi, widths) in blocks.iter().enumerate() {
+        for (ci, &cout) in widths.iter().enumerate() {
+            b.conv(format!("features.{}.{}", bi, ci), cout, 3, 1, 1);
+        }
+        b.pool(2, 2, 0);
+    }
+    b.adaptive_pool(7, 7);
+    b.fc("classifier.0", 4096);
+    b.fc("classifier.3", 4096);
+    b.fc("classifier.6", 1000);
+    b.build("VGG-16")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::HD;
+
+    #[test]
+    fn has_thirteen_convs_and_three_fcs() {
+        let m = vgg16(1, 224, 224);
+        assert_eq!(m.layers.len(), 16);
+        assert_eq!(m.layers[13].shape.k, 512 * 49);
+        assert_eq!(m.layers[13].shape.n, 4096);
+    }
+
+    #[test]
+    fn first_conv_runs_at_full_resolution() {
+        let m = vgg16(1, HD.0, HD.1);
+        assert_eq!(m.layers[0].shape.m, 1080 * 1920);
+        assert_eq!(m.layers[0].shape.k, 27);
+    }
+
+    #[test]
+    fn hd_aggregate_intensity_matches_paper() {
+        // Fig. 8: VGG-16 @HD has aggregate AI 155.5.
+        let ai = vgg16(1, HD.0, HD.1).aggregate_intensity();
+        assert!((ai - 155.5).abs() < 8.0, "got {ai}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Fault-injection campaign: measure each scheme's detection coverage
+//! under random FP32 bit flips (the §2.3 soft-error model).
+//!
+//! ```sh
+//! cargo run --release --example fault_campaign -- 500
+//! ```
+
+use aiga::core::Scheme;
+use aiga::faults::Campaign;
+use aiga::gpu::GemmShape;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let shape = GemmShape::new(64, 64, 64);
+    println!("{trials} random bit flips per scheme on a {shape} GEMM\n");
+    println!(
+        "{:<42} {:>9} {:>6} {:>7} {:>7} {:>10} {:>11}",
+        "scheme", "detected", "SDC", "masked", "false+", "det. rate", "worst SDC"
+    );
+    for scheme in Scheme::all_protected() {
+        let campaign = Campaign::new(shape, scheme, 42 + scheme as u64);
+        let s = campaign.run_bit_flips(trials, 7);
+        println!(
+            "{:<42} {:>9} {:>6} {:>7} {:>7} {:>9.1}% {:>11.2e}",
+            scheme.label(),
+            s.detected,
+            s.sdc,
+            s.masked,
+            s.false_positives,
+            s.detection_rate() * 100.0,
+            s.worst_sdc
+        );
+    }
+    println!(
+        "\nnotes: tolerance-based ABFT cannot see corruptions below its rounding\n\
+         threshold (they are bounded and benign); traditional replication\n\
+         compares bit-exactly and catches everything, at the §4 occupancy cost."
+    );
+
+    // Per-bit vulnerability sweep for one-sided thread-level ABFT.
+    println!("\nper-bit detection profile, one-sided thread-level ABFT (20 flips/bit):");
+    let campaign = Campaign::new(shape, Scheme::ThreadLevelOneSided, 77);
+    for (bit, s) in campaign.bit_sweep(20, 11) {
+        let bar = "#".repeat((s.detection_rate() * 30.0) as usize);
+        println!(
+            "  bit {bit:>2}: detected {:>2}, SDC {:>2}, masked {:>2}  |{bar}",
+            s.detected, s.sdc, s.masked
+        );
+    }
+}

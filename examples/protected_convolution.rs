@@ -1,0 +1,47 @@
+//! Protecting a convolution end to end: im2col lowering, Tensor Core
+//! GEMM on the simulated kernel, and fault detection in feature-map
+//! coordinates.
+//!
+//! ```sh
+//! cargo run --release --example protected_convolution
+//! ```
+
+use aiga::core::{ProtectedConv, Scheme};
+use aiga::gpu::engine::FaultKind;
+use aiga::nn::{ConvParams, Tensor};
+
+fn main() {
+    // A 3x3, stride-1 convolution over a 32x32 RGB region — the shape of
+    // an early specialized-CNN layer.
+    let input = Tensor::random(1, 3, 32, 32, 11);
+    let filters = Tensor::random(16, 3, 3, 3, 12);
+    let params = ConvParams {
+        c_out: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+
+    let conv = ProtectedConv::new(&input, &filters, params, Scheme::ThreadLevelOneSided);
+    let clean = conv.run();
+    let (ho, wo) = conv.out_dims();
+    println!(
+        "conv 3->16, 3x3/s1/p1 over 32x32: output {ho}x{wo}, lowered GEMM \
+         M={} N=16 K=27, verdict {:?}",
+        ho * wo,
+        clean.verdict
+    );
+    assert!(clean.verdict.is_clean());
+    println!(
+        "activation (0, 5, 10, 10) = {:.3}",
+        conv.output_at(&clean, 0, 5, 10, 10)
+    );
+
+    // A soft error striking the accumulator of output pixel (channel 5,
+    // y=10, x=10) mid-kernel is caught by the thread-local check.
+    let faulty = ProtectedConv::new(&input, &filters, params, Scheme::ThreadLevelOneSided)
+        .with_fault_at(0, 5, 10, 10, 4, FaultKind::BitFlip(29))
+        .run();
+    println!("after injected bit flip: verdict {:?}", faulty.verdict);
+    assert!(faulty.verdict.is_detected());
+}

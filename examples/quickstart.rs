@@ -1,0 +1,61 @@
+//! Quickstart: protect a matrix multiplication with ABFT, inject a soft
+//! error, and watch it get caught.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aiga::core::{ProtectedGemm, Scheme, Verdict};
+use aiga::gpu::engine::{FaultKind, FaultPlan};
+use aiga::gpu::{DeviceSpec, GemmShape, Roofline};
+
+fn main() {
+    // A bandwidth-bound layer-sized GEMM (arithmetic intensity well
+    // below the T4's CMR of 203).
+    let shape = GemmShape::new(128, 64, 256);
+    let roofline = Roofline::new(DeviceSpec::t4());
+    println!(
+        "shape {shape}: arithmetic intensity {:.1}, {:?} bound on a {}",
+        shape.arithmetic_intensity_fp16(),
+        roofline.classify(shape),
+        roofline.device().name,
+    );
+
+    // 1. Clean run under one-sided thread-level ABFT: no detection.
+    let gemm = ProtectedGemm::random(shape, Scheme::ThreadLevelOneSided, 7);
+    let clean = gemm.run();
+    assert!(clean.verdict.is_clean());
+    println!("clean run: verdict = {:?}", clean.verdict);
+
+    // 2. Corrupt one FP32 accumulator mid-kernel (a wrong partial
+    //    product, the §2.3 single-fault model) — the thread-local
+    //    checksum check trips. Random *bit-flip* campaigns, including
+    //    the sub-threshold flips no tolerance-based checker can see,
+    //    live in `examples/fault_campaign.rs`.
+    let fault = FaultPlan {
+        row: 17,
+        col: 42,
+        after_step: 31,
+        kind: FaultKind::AddValue(25.0),
+    };
+    let faulty = ProtectedGemm::random(shape, Scheme::ThreadLevelOneSided, 7)
+        .with_fault(fault)
+        .run();
+    match faulty.verdict {
+        Verdict::Detected {
+            residual,
+            threshold,
+        } => println!(
+            "injected bit flip detected: residual {residual:.3} > threshold {threshold:.3}"
+        ),
+        Verdict::Clean => unreachable!("the fault must be detected"),
+    }
+
+    // 3. The same fault under global ABFT is caught by the kernel-level
+    //    checksum comparison instead.
+    let global = ProtectedGemm::random(shape, Scheme::GlobalAbft, 7)
+        .with_fault(fault)
+        .run();
+    println!("global ABFT verdict: {:?}", global.verdict);
+    assert!(global.verdict.is_detected());
+}

@@ -1,0 +1,55 @@
+//! Protecting NoScope-style specialized video-analytics CNNs (§6.4.3).
+//!
+//! These small binary classifiers run in front of a heavyweight CNN at
+//! batch 64 and are heavily bandwidth bound, which is exactly where
+//! thread-level ABFT shines. The example plans each specialized CNN,
+//! shows the per-layer roofline classification, and compares the three
+//! protection strategies.
+//!
+//! ```sh
+//! cargo run --release --example video_analytics
+//! ```
+
+use aiga::core::{ModelPlan, Scheme};
+use aiga::gpu::timing::Calibration;
+use aiga::gpu::{DeviceSpec, Roofline};
+use aiga::nn::zoo;
+
+fn main() {
+    let device = DeviceSpec::t4();
+    let calib = Calibration::default();
+    let roofline = Roofline::new(device.clone());
+    println!(
+        "device: {} (FP16 CMR {:.0})\n",
+        device.name,
+        device.cmr()
+    );
+
+    for model in zoo::specialized_cnns(64) {
+        let plan = ModelPlan::build(&model, &device, &calib);
+        println!(
+            "{} — aggregate AI {:.1}, {} layers:",
+            model.name,
+            model.aggregate_intensity(),
+            model.layers.len()
+        );
+        for l in &plan.layers {
+            println!(
+                "  {:7} {:>18}  AI {:>6.1}  [{:?} bound]  -> {}",
+                l.name,
+                l.shape.to_string(),
+                l.intensity,
+                roofline.classify_intensity(l.intensity),
+                l.chosen.label()
+            );
+        }
+        let thread = plan.fixed_scheme_overhead_pct(Scheme::ThreadLevelOneSided);
+        let global = plan.fixed_scheme_overhead_pct(Scheme::GlobalAbft);
+        let guided = plan.intensity_guided_overhead_pct();
+        println!(
+            "  overheads: thread-level {thread:.2}% | global {global:.2}% | \
+             intensity-guided {guided:.2}%\n"
+        );
+        assert!(guided <= thread.min(global) + 1e-12);
+    }
+}

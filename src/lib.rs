@@ -1,0 +1,42 @@
+//! # aiga — Arithmetic-Intensity-Guided ABFT
+//!
+//! A from-scratch Rust reproduction of *"Arithmetic-Intensity-Guided Fault
+//! Tolerance for Neural Network Inference on GPUs"* (Kosaian & Rashmi,
+//! SC '21). The paper's CUDA/CUTLASS system is rebuilt on a simulated GPU
+//! substrate: a functional hierarchical-GEMM engine with Tensor-Core MMA
+//! semantics plus a calibrated analytical timing model.
+//!
+//! This facade crate re-exports the workspace sub-crates:
+//!
+//! - [`fp16`] — software half-precision arithmetic and `m16n8k8` MMA
+//!   semantics (FP16 inputs, FP32 accumulation).
+//! - [`gpu`] — device specifications (T4, P4, V100, A100, Jetson AGX
+//!   Xavier), roofline/CMR analysis, hierarchical tiling, the functional
+//!   GEMM engine, occupancy and kernel timing models.
+//! - [`nn`] — layer descriptors, conv→implicit-GEMM lowering, arithmetic
+//!   intensity, and the model zoo of all fourteen evaluated networks.
+//! - [`core`] — the paper's contribution: global ABFT, thread-level
+//!   one-/two-sided ABFT, thread-level replication, and the
+//!   intensity-guided per-layer selector plus the protected inference
+//!   pipeline.
+//! - [`faults`] — soft-error fault models, injection campaigns, and
+//!   detection-coverage statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aiga::core::{ProtectedGemm, Scheme};
+//! use aiga::gpu::GemmShape;
+//!
+//! // Protect a small matrix multiplication with one-sided thread-level
+//! // ABFT and verify that it detects an injected fault.
+//! let shape = GemmShape::new(64, 64, 64);
+//! let gemm = ProtectedGemm::random(shape, Scheme::ThreadLevelOneSided, 7);
+//! let clean = gemm.run();
+//! assert!(clean.verdict.is_clean());
+//! ```
+pub use aiga_core as core;
+pub use aiga_faults as faults;
+pub use aiga_fp16 as fp16;
+pub use aiga_gpu as gpu;
+pub use aiga_nn as nn;

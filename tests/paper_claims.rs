@@ -1,0 +1,148 @@
+//! Integration tests pinning the paper's headline quantitative claims on
+//! the simulated substrate (shape claims, not absolute microseconds —
+//! see EXPERIMENTS.md).
+
+use aiga::core::cost::evaluate_layer;
+use aiga::core::{ModelPlan, Scheme};
+use aiga::gpu::timing::Calibration;
+use aiga::gpu::{DeviceSpec, GemmShape};
+use aiga::nn::zoo;
+
+fn setup() -> (DeviceSpec, Calibration) {
+    (DeviceSpec::t4(), Calibration::default())
+}
+
+/// §1/§6: intensity-guided ABFT reduces execution-time overhead versus
+/// global ABFT on *every* evaluated NN, with the biggest wins on
+/// low-intensity models.
+#[test]
+fn intensity_guided_beats_global_on_all_fourteen_nns() {
+    let (dev, calib) = setup();
+    let mut reductions = Vec::new();
+    for model in zoo::figure8_models() {
+        let plan = ModelPlan::build(&model, &dev, &calib);
+        let global = plan.fixed_scheme_overhead_pct(Scheme::GlobalAbft);
+        let guided = plan.intensity_guided_overhead_pct();
+        assert!(
+            guided <= global + 1e-12,
+            "{}: guided {guided:.2}% > global {global:.2}%",
+            model.name
+        );
+        reductions.push((model.aggregate_intensity(), global / guided.max(1e-9)));
+    }
+    // The largest reductions come from the low-intensity half (median —
+    // robust against single-model outliers like AlexNet, whose batch-1
+    // FC layers are launch-dominated).
+    reductions.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let median = |rs: &[(f64, f64)]| {
+        let mut v: Vec<f64> = rs.iter().map(|r| r.1).collect();
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let low = median(&reductions[..7]);
+    let high = median(&reductions[7..]);
+    assert!(
+        low > high,
+        "low-AI models should benefit more: median {low:.2}x vs {high:.2}x"
+    );
+}
+
+/// §6.4.1: smaller input resolution lowers intensity and increases the
+/// benefit of intensity-guided ABFT for CNNs.
+#[test]
+fn lower_resolution_increases_the_reduction() {
+    let (dev, calib) = setup();
+    let mut hd_red = 0.0;
+    let mut small_red = 0.0;
+    for (h, w, acc) in [(1080u64, 1920u64, &mut hd_red), (224, 224, &mut small_red)] {
+        let model = zoo::resnet50(1, h, w);
+        let plan = ModelPlan::build(&model, &dev, &calib);
+        *acc = plan.fixed_scheme_overhead_pct(Scheme::GlobalAbft)
+            / plan.intensity_guided_overhead_pct().max(1e-9);
+    }
+    assert!(
+        small_red > hd_red,
+        "224x224 reduction {small_red:.2}x should exceed HD {hd_red:.2}x"
+    );
+}
+
+/// Fig. 12 banner claims: thread-level wins left of the CMR (paper: up
+/// to 6.5× lower), global wins right of it (paper: up to 14× lower),
+/// and replication blows past 70% at the largest sizes.
+#[test]
+fn figure12_banner_ratios_hold() {
+    let (dev, calib) = setup();
+    let mut best_left = 0.0f64;
+    let mut best_right = 0.0f64;
+    for s in [32u64, 64, 128, 256, 512, 1024, 2048] {
+        let shape = GemmShape::square(s);
+        let (_, ts) = evaluate_layer(
+            shape,
+            &[
+                Scheme::ThreadLevelOneSided,
+                Scheme::GlobalAbft,
+                Scheme::ReplicationSingleAcc,
+            ],
+            &dev,
+            &calib,
+        );
+        let one = ts[0].overhead_pct;
+        let glob = ts[1].overhead_pct;
+        if shape.arithmetic_intensity_fp16() < dev.cmr() {
+            best_left = best_left.max(glob / one.max(1e-9));
+        } else {
+            best_right = best_right.max(one / glob.max(1e-9));
+            assert!(ts[2].overhead_pct > 70.0, "replication at {s}");
+        }
+    }
+    assert!(best_left > 3.0, "thread-level advantage only {best_left:.1}x");
+    assert!(best_right > 5.0, "global advantage only {best_right:.1}x");
+}
+
+/// §5.3: intensity-guided ABFT is exactly the per-layer minimum of its
+/// candidates — it can never lose to either.
+#[test]
+fn intensity_guided_is_the_per_layer_minimum() {
+    let (dev, calib) = setup();
+    let model = zoo::resnet50(1, 224, 224);
+    let plan = ModelPlan::build(&model, &dev, &calib);
+    for l in &plan.layers {
+        let min = l
+            .candidates
+            .iter()
+            .map(|c| c.estimate.total_s)
+            .fold(f64::MAX, f64::min);
+        assert_eq!(l.chosen_s(), min, "layer {}", l.name);
+    }
+}
+
+/// §7.1: the adaptation is device-aware — on a low-CMR device (P4) more
+/// square sizes choose global ABFT than on the high-CMR T4.
+#[test]
+fn selection_shifts_with_device_cmr() {
+    let calib = Calibration::default();
+    let count_thread_wins = |dev: &DeviceSpec| {
+        [64u64, 128, 256, 512, 1024, 2048]
+            .into_iter()
+            .filter(|&s| {
+                let (_, ts) = evaluate_layer(
+                    GemmShape::square(s),
+                    &Scheme::intensity_guided_candidates(),
+                    dev,
+                    &calib,
+                );
+                ts.iter()
+                    .min_by(|a, b| a.estimate.total_s.total_cmp(&b.estimate.total_s))
+                    .unwrap()
+                    .scheme
+                    == Scheme::ThreadLevelOneSided
+            })
+            .count()
+    };
+    let t4_wins = count_thread_wins(&DeviceSpec::t4());
+    let p4_wins = count_thread_wins(&DeviceSpec::p4());
+    assert!(
+        t4_wins >= p4_wins,
+        "higher CMR should favor thread-level at more sizes: T4 {t4_wins} vs P4 {p4_wins}"
+    );
+}
