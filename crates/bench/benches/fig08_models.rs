@@ -1,27 +1,24 @@
-//! Criterion bench regenerating the per-model overhead pipelines behind
+//! Bench regenerating the per-model overhead pipelines behind
 //! Figures 8–11 (intensity-guided planning over whole models).
 
+use aiga_bench::harness::bench;
 use aiga_bench::{fig10_dlrm, fig11_specialized, model_overheads};
 use aiga_nn::zoo;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("fig08/plan_resnet50_hd", |b| {
-        let model = zoo::resnet50(1, zoo::HD.0, zoo::HD.1);
-        b.iter(|| black_box(model_overheads(&model)))
+fn main() {
+    let resnet = zoo::resnet50(1, zoo::HD.0, zoo::HD.1);
+    bench("fig08/plan_resnet50_hd", || {
+        black_box(model_overheads(&resnet));
     });
-    c.bench_function("fig08/plan_densenet161_hd", |b| {
-        let model = zoo::densenet161(1, zoo::HD.0, zoo::HD.1);
-        b.iter(|| black_box(model_overheads(&model)))
+    let densenet = zoo::densenet161(1, zoo::HD.0, zoo::HD.1);
+    bench("fig08/plan_densenet161_hd", || {
+        black_box(model_overheads(&densenet));
     });
-    c.bench_function("fig10/dlrm_both_batches", |b| {
-        b.iter(|| black_box(fig10_dlrm()))
+    bench("fig10/dlrm_both_batches", || {
+        black_box(fig10_dlrm());
     });
-    c.bench_function("fig11/specialized_cnns", |b| {
-        b.iter(|| black_box(fig11_specialized()))
+    bench("fig11/specialized_cnns", || {
+        black_box(fig11_specialized());
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,13 @@
-//! Criterion bench regenerating Figure 12's square-GEMM scheme sweep.
-//! Measures the cost of the full sweep pipeline (tiling selection, cost
-//! profiling, timing estimation for four schemes × seven sizes).
+//! Bench regenerating Figure 12's square-GEMM scheme sweep. Measures the
+//! cost of the full sweep pipeline (tiling selection, cost profiling,
+//! timing estimation for four schemes × seven sizes).
 
 use aiga_bench::fig12_square_sweep;
-use criterion::{criterion_group, criterion_main, Criterion};
+use aiga_bench::harness::bench;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("fig12/square_sweep_pipeline", |b| {
-        b.iter(|| {
-            let rows = fig12_square_sweep();
-            black_box(rows)
-        })
+fn main() {
+    bench("fig12/square_sweep_pipeline", || {
+        black_box(fig12_square_sweep());
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

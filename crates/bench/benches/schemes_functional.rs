@@ -1,16 +1,15 @@
-//! Criterion benches of the functional ABFT schemes: the *simulator's*
-//! cost of each redundancy scheme relative to the unprotected engine —
-//! an honest measured analog of "extra work per scheme" (the redundant
-//! arithmetic really executes here, on the CPU).
+//! Benches of the functional ABFT schemes: the *simulator's* cost of
+//! each redundancy scheme relative to the unprotected engine — an honest
+//! measured analog of "extra work per scheme" (the redundant arithmetic
+//! really executes here, on the CPU).
 
+use aiga_bench::harness::bench;
 use aiga_core::{ProtectedGemm, Scheme};
 use aiga_gpu::GemmShape;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let shape = GemmShape::new(96, 96, 96);
-    let mut g = c.benchmark_group("schemes_functional_96cubed");
     for scheme in [
         Scheme::Unprotected,
         Scheme::GlobalAbft,
@@ -18,12 +17,11 @@ fn bench(c: &mut Criterion) {
         Scheme::ThreadLevelTwoSided,
         Scheme::ReplicationSingleAcc,
         Scheme::ReplicationTraditional,
+        Scheme::MultiChecksum(2),
     ] {
         let gemm = ProtectedGemm::random(shape, scheme, 5);
-        g.bench_function(scheme.label(), |b| b.iter(|| black_box(gemm.run())));
+        bench(&format!("schemes_functional_96cubed/{scheme}"), || {
+            black_box(gemm.run());
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,61 +1,44 @@
-//! Criterion microbenches of the simulated substrate itself: FP16
+//! Microbenches of the simulated substrate itself: FP16
 //! conversion/arithmetic, the functional GEMM engine, and the timing
 //! model. These quantify the simulator, not the paper's GPU numbers.
 
+use aiga_bench::harness::bench;
 use aiga_fp16::F16;
 use aiga_gpu::engine::{GemmEngine, Matrix, NoScheme};
 use aiga_gpu::timing::{estimate, Calibration, KernelProfile};
 use aiga_gpu::{DeviceSpec, GemmShape};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-fn fp16_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fp16");
-    g.throughput(Throughput::Elements(1024));
+fn main() {
     let values: Vec<f32> = (0..1024).map(|v| v as f32 * 0.37 - 200.0).collect();
-    g.bench_function("from_f32_x1024", |b| {
-        b.iter(|| {
-            for &v in &values {
-                black_box(F16::from_f32(v));
-            }
-        })
+    bench("fp16/from_f32_x1024", || {
+        for &v in &values {
+            black_box(F16::from_f32(v));
+        }
     });
     let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
-    g.bench_function("add_chain_x1024", |b| {
-        b.iter(|| {
-            let mut acc = F16::ZERO;
-            for &h in &halves {
-                acc = acc + h;
-            }
-            black_box(acc)
-        })
+    bench("fp16/add_chain_x1024", || {
+        let mut acc = F16::ZERO;
+        for &h in &halves {
+            acc = acc + h;
+        }
+        black_box(acc);
     });
-    g.finish();
-}
 
-fn engine_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    for size in [64u64, 128] {
-        let shape = GemmShape::square(size);
-        let a = Matrix::random(size as usize, size as usize, 1);
-        let b = Matrix::random(size as usize, size as usize, 2);
+    for size in [64usize, 128] {
+        let shape = GemmShape::square(size as u64);
+        let a = Matrix::random(size, size, 1);
+        let b = Matrix::random(size, size, 2);
         let eng = GemmEngine::with_default_tiling(shape);
-        g.throughput(Throughput::Elements(shape.flops()));
-        g.bench_function(format!("functional_gemm_{size}"), |bch| {
-            bch.iter(|| black_box(eng.run(&a, &b, || NoScheme, None)))
+        bench(&format!("engine/functional_gemm_{size}"), || {
+            black_box(eng.run(&a, &b, || NoScheme, None));
         });
     }
-    g.finish();
-}
 
-fn timing_benches(c: &mut Criterion) {
     let dev = DeviceSpec::t4();
     let calib = Calibration::default();
-    c.bench_function("timing/estimate_2048_cubed", |b| {
-        let p = KernelProfile::baseline(GemmShape::square(2048), &dev, &calib);
-        b.iter(|| black_box(estimate(&p, &dev, &calib)))
+    let p = KernelProfile::baseline(GemmShape::square(2048), &dev, &calib);
+    bench("timing/estimate_2048_cubed", || {
+        black_box(estimate(&p, &dev, &calib));
     });
 }
-
-criterion_group!(benches, fp16_benches, engine_benches, timing_benches);
-criterion_main!(benches);

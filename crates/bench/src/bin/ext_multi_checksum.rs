@@ -8,8 +8,7 @@ use aiga_bench::Table;
 use aiga_core::schemes::MultiChecksumAbft;
 use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme};
 use aiga_gpu::GemmShape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aiga_util::rng::Rng64;
 
 fn main() {
     let trials: usize = std::env::args()
@@ -20,7 +19,7 @@ fn main() {
     let a = Matrix::random(m, k, 1);
     let b = Matrix::random(k, n, 2);
     let eng = GemmEngine::with_default_tiling(GemmShape::new(m as u64, n as u64, k as u64));
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng64::seed_from_u64(99);
 
     println!(
         "S2.4 extension: double-fault detection, {trials} trials of cancelling \
@@ -31,22 +30,22 @@ fn main() {
         let abft = MultiChecksumAbft::prepare(&b, rounds);
         let mut detected = 0usize;
         for _ in 0..trials {
-            let delta: f32 = rng.gen_range(50.0..500.0);
-            let r1 = rng.gen_range(0..m);
-            let mut r2 = rng.gen_range(0..m);
+            let delta: f32 = rng.range_f32(50.0, 500.0);
+            let r1 = rng.range_usize(0, m);
+            let mut r2 = rng.range_usize(0, m);
             while r2 == r1 {
-                r2 = rng.gen_range(0..m);
+                r2 = rng.range_usize(0, m);
             }
             let faults = [
                 FaultPlan {
                     row: r1,
-                    col: rng.gen_range(0..n),
+                    col: rng.range_usize(0, n),
                     after_step: u64::MAX,
                     kind: FaultKind::AddValue(delta),
                 },
                 FaultPlan {
                     row: r2,
-                    col: rng.gen_range(0..n),
+                    col: rng.range_usize(0, n),
                     after_step: u64::MAX,
                     kind: FaultKind::AddValue(-delta),
                 },

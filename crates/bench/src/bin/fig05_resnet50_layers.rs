@@ -11,10 +11,8 @@ fn main() {
         t.row([i.to_string(), name.clone(), format!("{ai:.1}")]);
     }
     println!("{t}");
-    let (lo, hi) = data
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), (_, ai)| {
-            (lo.min(*ai), hi.max(*ai))
-        });
+    let (lo, hi) = data.iter().fold((f64::MAX, f64::MIN), |(lo, hi), (_, ai)| {
+        (lo.min(*ai), hi.max(*ai))
+    });
     println!("range: {lo:.1} – {hi:.1}   (paper: ~1 – 511)");
 }

@@ -23,7 +23,12 @@ fn main() {
             format!("{:.2}", r.two_sided_pct),
             format!("{:.2}", r.replication_pct),
             format!("{:.2}", r.global_pct),
-            if r.intensity < 203.0 { "memory" } else { "compute" }.to_string(),
+            if r.intensity < 203.0 {
+                "memory"
+            } else {
+                "compute"
+            }
+            .to_string(),
         ]);
     }
     println!("{t}");

@@ -20,5 +20,7 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("paper formulas: replication MtNt/2 | two-sided 1 + O(Mt+Nt) | one-sided Mt/2 + O(Nt)");
+    println!(
+        "paper formulas: replication MtNt/2 | two-sided 1 + O(Mt+Nt) | one-sided Mt/2 + O(Nt)"
+    );
 }

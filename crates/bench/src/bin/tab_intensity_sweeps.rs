@@ -6,7 +6,9 @@ use aiga_bench::{device_cmrs, intensity_sweeps, Table};
 fn main() {
     let (dlrm, resnet) = intensity_sweeps();
 
-    println!("S3.2: DLRM aggregate AI vs batch size (paper: 7.4/7.7 @1, 70/109 @256, 92/175.8 @2048)\n");
+    println!(
+        "S3.2: DLRM aggregate AI vs batch size (paper: 7.4/7.7 @1, 70/109 @256, 92/175.8 @2048)\n"
+    );
     let mut t = Table::new(["batch", "MLP-Bottom", "MLP-Top"]);
     for (b, bot, top) in dlrm {
         t.row([b.to_string(), format!("{bot:.1}"), format!("{top:.1}")]);

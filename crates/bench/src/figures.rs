@@ -4,7 +4,7 @@
 //! tabulates paper-vs-reproduction side by side.
 
 use aiga_core::cost::evaluate_layer;
-use aiga_core::{ModelPlan, Scheme};
+use aiga_core::{Planner, Scheme};
 use aiga_faults::Campaign;
 use aiga_gpu::occupancy::Occupancy;
 use aiga_gpu::timing::Calibration;
@@ -138,7 +138,7 @@ pub struct ModelOverheads {
 /// ABFT on the evaluation device.
 pub fn model_overheads(model: &Model) -> ModelOverheads {
     let (dev, calib) = evaluation_setup();
-    let plan = ModelPlan::build(model, &dev, &calib);
+    let plan = Planner::new(dev).calibration(calib).plan(model);
     ModelOverheads {
         model: model.name.clone(),
         intensity: model.aggregate_intensity(),
@@ -159,7 +159,10 @@ pub fn fig08_all_models() -> Vec<ModelOverheads> {
 /// Figure 9: the eight general-purpose CNNs at a given resolution
 /// (paper: HD reductions 1.09–2.75×; 224×224 reductions 1.3–3.3×).
 pub fn fig09_general_cnns(h: u64, w: u64) -> Vec<ModelOverheads> {
-    zoo::general_cnns(1, h, w).iter().map(model_overheads).collect()
+    zoo::general_cnns(1, h, w)
+        .iter()
+        .map(model_overheads)
+        .collect()
 }
 
 /// Figure 10: the DLRM MLPs at batch 1 and batch 2048 (paper: batch-1
@@ -174,11 +177,7 @@ pub fn fig10_dlrm() -> Vec<ModelOverheads> {
     .iter()
     .map(|m| {
         let mut o = model_overheads(m);
-        o.model = format!(
-            "{} Batch {}",
-            m.name,
-            m.layers[0].shape.m
-        );
+        o.model = format!("{} Batch {}", m.name, m.layers[0].shape.m);
         o
     })
     .collect()
@@ -187,7 +186,10 @@ pub fn fig10_dlrm() -> Vec<ModelOverheads> {
 /// Figure 11: the four specialized CNNs at batch 64 (paper: reductions
 /// 1.6–5.3×).
 pub fn fig11_specialized() -> Vec<ModelOverheads> {
-    zoo::specialized_cnns(64).iter().map(model_overheads).collect()
+    zoo::specialized_cnns(64)
+        .iter()
+        .map(model_overheads)
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -306,7 +308,7 @@ pub fn fault_coverage(trials: usize) -> Vec<CoverageRow> {
     Scheme::all_protected()
         .into_iter()
         .map(|scheme| {
-            let c = Campaign::new(shape, scheme, 1000 + scheme as u64);
+            let c = Campaign::new(shape, scheme, 1000 + scheme.ordinal());
             CoverageRow {
                 scheme,
                 stats: c.run_bit_flips(trials, 77),
@@ -354,12 +356,15 @@ mod tests {
         let rows = fig10_dlrm();
         let top1 = &rows[1]; // MLP-Top batch 1 (AI 7.7)
         let top2048 = &rows[3]; // MLP-Top batch 2048 (AI 175.8)
-        // §6.4.2: MLP-Top's intensity rises from 7.7 to 175.8, so "the
-        // difference between global and thread-level ABFT decreases" —
-        // the reduction shrinks with batch.
+                                // §6.4.2: MLP-Top's intensity rises from 7.7 to 175.8, so "the
+                                // difference between global and thread-level ABFT decreases" —
+                                // the reduction shrinks with batch.
         let red1 = top1.global_pct / top1.intensity_guided_pct.max(1e-9);
         let red2048 = top2048.global_pct / top2048.intensity_guided_pct.max(1e-9);
-        assert!(red1 > red2048, "batch 1 should benefit more: {red1} vs {red2048}");
+        assert!(
+            red1 > red2048,
+            "batch 1 should benefit more: {red1} vs {red2048}"
+        );
         assert!(red1 > 2.0, "batch-1 reduction {red1}");
         // MLP-Bottom only reaches AI 92 (< CMR), so "thread-level ABFT
         // continu[es] to have lower overhead" even at batch 2048.
@@ -369,8 +374,7 @@ mod tests {
         // overhead."
         for r in &rows {
             assert!(
-                r.intensity_guided_pct
-                    <= r.thread_level_pct.min(r.global_pct) + 1e-12,
+                r.intensity_guided_pct <= r.thread_level_pct.min(r.global_pct) + 1e-12,
                 "{}",
                 r.model
             );
@@ -382,17 +386,9 @@ mod tests {
         let rows = fig12_square_sweep();
         for r in &rows {
             if r.intensity < 203.0 {
-                assert!(
-                    r.one_sided_pct <= r.global_pct,
-                    "size {}: {r:?}",
-                    r.size
-                );
+                assert!(r.one_sided_pct <= r.global_pct, "size {}: {r:?}", r.size);
             } else {
-                assert!(
-                    r.global_pct <= r.one_sided_pct,
-                    "size {}: {r:?}",
-                    r.size
-                );
+                assert!(r.global_pct <= r.one_sided_pct, "size {}: {r:?}", r.size);
             }
         }
         // Replication above 70% at the two largest sizes (Fig. 12).

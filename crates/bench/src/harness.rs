@@ -1,0 +1,45 @@
+//! A tiny wall-clock bench harness for the `harness = false` bench
+//! targets (the build environment has no Criterion; this preserves
+//! `cargo bench` with zero dependencies).
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` repeatedly and prints median/mean per-iteration time.
+///
+/// Auto-calibrates the iteration count to target ~0.5 s of measurement
+/// (bounded to [5, 10_000] iterations) after one warm-up call.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm-up + calibration.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(500).as_nanos() / once.as_nanos()).clamp(5, 10_000) as usize;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<44} {:>12} iters   median {:>12}   mean {:>12}",
+        iters,
+        format_time(median),
+        format_time(mean)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}

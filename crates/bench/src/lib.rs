@@ -7,6 +7,7 @@
 //! values for every experiment.
 
 pub mod figures;
+pub mod harness;
 pub mod report;
 
 pub use figures::*;

@@ -1,28 +1,25 @@
 //! Per-scheme kernel cost profiles for the timing model.
 //!
-//! This is where Table 1 meets the `aiga-gpu` timing model: each scheme's
-//! per-thread-per-K-step costs (redundant MMAs on Tensor Cores, checksum
-//! operations on traditional ALUs, extra registers) are scaled by the
-//! grid's total thread-steps and added to the baseline kernel profile.
-//! Global ABFT instead pays a fused epilogue plus a separate
-//! reduce-and-compare kernel (§2.5).
+//! This is where Table 1 meets the `aiga-gpu` timing model — but the
+//! per-scheme arithmetic itself lives with each scheme's
+//! [`crate::kernel::SchemeKernel`] implementation. The functions here are
+//! the evaluation loop: take a baseline profile, ask the registry's
+//! kernel for a scheme to add its costs, and estimate the result.
 //!
 //! Unit conventions: one MMA participation is 8 Tensor-Core FLOPs (a
 //! thread's share of one `m16n8k8` per K-step pair); one checksum op is
-//! an `HADD2`-class packed instruction, i.e. 2 ALU FLOPs.
+//! an `HADD2`-class packed instruction — two FP16 adds, but charged one
+//! flop-equivalent of the packed-math peak because it partially
+//! dual-issues into Tensor-Core pipeline gaps (calibrated). See
+//! [`crate::kernel::FLOPS_PER_MMA_PARTICIPATION`] and
+//! [`crate::kernel::FLOPS_PER_CHECKSUM_OP`].
 
+use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
-use aiga_gpu::timing::{self, AuxKernel, Calibration, KernelProfile, TimeEstimate};
+use aiga_gpu::timing::{self, Calibration, KernelProfile, TimeEstimate};
 use aiga_gpu::{DeviceSpec, GemmShape};
 
-/// Tensor-Core FLOPs represented by one per-thread MMA participation.
-pub const FLOPS_PER_MMA_PARTICIPATION: u64 = 8;
-/// ALU FLOP-equivalents charged per checksum (HADD2-class) operation.
-/// One packed HADD2 is a single issue slot and partially dual-issues into
-/// the gaps of the Tensor-Core pipeline, so it is charged one
-/// flop-equivalent of the packed-math peak rather than two (calibrated —
-/// see EXPERIMENTS.md §Fig. 12).
-pub const FLOPS_PER_CHECKSUM_OP: u64 = 1;
+pub use crate::kernel::{FLOPS_PER_CHECKSUM_OP, FLOPS_PER_MMA_PARTICIPATION};
 
 /// Builds the kernel profile of a scheme-protected GEMM.
 pub fn scheme_profile(
@@ -37,43 +34,20 @@ pub fn scheme_profile(
 }
 
 /// Adds a scheme's costs to an existing baseline profile (used by sweeps
-/// that pin the tiling across schemes).
+/// that pin the tiling across schemes), resolving the scheme through the
+/// shared built-in registry.
 pub fn apply_scheme(p: &mut KernelProfile, scheme: Scheme, calib: &Calibration) {
-    let tiling = p.tiling;
-    match scheme {
-        Scheme::Unprotected => {}
-        Scheme::GlobalAbft => {
-            let (m, n, k) = (p.shape.m as f64, p.shape.n as f64, p.shape.k as f64);
-            let blocks = tiling.total_blocks(p.shape) as f64;
-            // Fused epilogues (§2.5 steps 2 and 4): the output summation
-            // (one add per output element, M·N) and the activation
-            // checksum over this layer's lowered input (M·K adds — for
-            // convolutions the im2col multiplicity makes this the larger
-            // term; in the NN flow it is produced by the previous layer's
-            // epilogue, which is aggregate-equivalent per layer).
-            p.alu_ops += m * n + m * k;
-            // Stores of the per-block partial sums and the checksum row.
-            p.dram_bytes += 4.0 * (n + blocks);
-            // The separate reduce-and-compare kernel (step 5): dot the
-            // K-length checksums and reduce the per-block partials.
-            p.aux_kernels.push(AuxKernel {
-                name: "global-abft reduce+compare",
-                alu_flops: 2.0 * k + blocks,
-                dram_bytes: 4.0 * (2.0 * k + blocks),
-            });
-        }
-        thread_level => {
-            let steps = p.total_thread_steps();
-            p.tc_flops += steps
-                * (thread_level.extra_mmas_per_step(&tiling) * FLOPS_PER_MMA_PARTICIPATION)
-                    as f64;
-            p.alu_ops += steps
-                * (thread_level.checksum_ops_per_step(&tiling) * FLOPS_PER_CHECKSUM_OP) as f64;
-            p.extra_regs_per_thread = thread_level.extra_regs(&tiling);
-            // The thread-local final comparison lengthens the kernel tail.
-            p.tail_s = calib.thread_check_tail_s;
-        }
-    }
+    apply_scheme_with(registry::shared(), p, scheme, calib);
+}
+
+/// [`apply_scheme`] against an explicit registry (custom scheme sets).
+pub fn apply_scheme_with(
+    registry: &SchemeRegistry,
+    p: &mut KernelProfile,
+    scheme: Scheme,
+    calib: &Calibration,
+) {
+    registry.resolve(scheme).apply_cost(p, calib);
 }
 
 /// Timing of one scheme on one layer, with its overhead over the
@@ -90,8 +64,19 @@ pub struct SchemeTiming {
 
 /// Evaluates a set of schemes on one GEMM shape, returning each scheme's
 /// estimated time and overhead (the pre-deployment profiling pass of
-/// §5.3).
+/// §5.3), using the shared built-in registry.
 pub fn evaluate_layer(
+    shape: GemmShape,
+    schemes: &[Scheme],
+    device: &DeviceSpec,
+    calib: &Calibration,
+) -> (TimeEstimate, Vec<SchemeTiming>) {
+    evaluate_layer_with(registry::shared(), shape, schemes, device, calib)
+}
+
+/// [`evaluate_layer`] against an explicit registry.
+pub fn evaluate_layer_with(
+    registry: &SchemeRegistry,
     shape: GemmShape,
     schemes: &[Scheme],
     device: &DeviceSpec,
@@ -103,7 +88,7 @@ pub fn evaluate_layer(
         .iter()
         .map(|&scheme| {
             let mut p = baseline_profile.clone();
-            apply_scheme(&mut p, scheme, calib);
+            apply_scheme_with(registry, &mut p, scheme, calib);
             let estimate = timing::estimate(&p, device, calib);
             let overhead_pct = timing::overhead_percent(&baseline, &estimate);
             SchemeTiming {
@@ -210,12 +195,8 @@ mod tests {
         let calib = Calibration::default();
         let mut prev = f64::MAX;
         for s in [32u64, 128, 512, 2048] {
-            let (_, ts) = evaluate_layer(
-                GemmShape::square(s),
-                &[Scheme::GlobalAbft],
-                &t4(),
-                &calib,
-            );
+            let (_, ts) =
+                evaluate_layer(GemmShape::square(s), &[Scheme::GlobalAbft], &t4(), &calib);
             let o = ts[0].overhead_pct;
             assert!(o < prev, "size {s}: {o} !< {prev}");
             prev = o;
@@ -233,5 +214,22 @@ mod tests {
         );
         assert_eq!(ts[0].estimate.total_s, base.total_s);
         assert_eq!(ts[0].overhead_pct, 0.0);
+    }
+
+    #[test]
+    fn custom_registry_is_honored_by_evaluate_layer_with() {
+        use crate::kernel::MultiChecksumKernel;
+        use crate::registry::SchemeRegistry;
+        use std::sync::Arc;
+        let registry = SchemeRegistry::builtin().with(Arc::new(MultiChecksumKernel::new(4)));
+        let calib = Calibration::default();
+        let (_, ts) = evaluate_layer_with(
+            &registry,
+            GemmShape::square(256),
+            &[Scheme::GlobalAbft, Scheme::MultiChecksum(4)],
+            &t4(),
+            &calib,
+        );
+        assert!(ts[1].overhead_pct > ts[0].overhead_pct);
     }
 }

@@ -1,0 +1,500 @@
+//! The `SchemeKernel` trait: one object per redundancy scheme that owns
+//! *both* things a scheme must provide.
+//!
+//! Every scheme the paper evaluates has two faces:
+//!
+//! 1. an **analytical cost profile** — how Table 1's per-thread work
+//!    (redundant MMAs, checksum ops, registers) or §2.5's fused epilogue
+//!    and reduce-and-compare kernel land on a [`KernelProfile`] for the
+//!    timing model, and
+//! 2. a **functional protected execution** — how the scheme actually runs
+//!    a GEMM on the simulated engine and reaches a fault [`Verdict`].
+//!
+//! The seed code dispatched both faces through per-scheme `match` blocks
+//! duplicated across `cost.rs`, `protected.rs`, and `pipeline.rs`. Here
+//! they are unified: a [`SchemeKernel`] supplies the cost side directly
+//! and [`SchemeKernel::bind`]s the layer's weights once (the offline step
+//! — global ABFT's weight checksums are computed here and reused for
+//! every request) to produce a [`BoundKernel`] that serves requests.
+//! New schemes implement this trait and register with
+//! [`crate::registry::SchemeRegistry`]; the selector, pipeline, and
+//! serving session never enumerate schemes again.
+
+use crate::schemes::{
+    GlobalAbft, MultiChecksumAbft, OneSidedThreadAbft, ReplicationSingleAcc,
+    ReplicationTraditional, Scheme, TwoSidedThreadAbft,
+};
+use aiga_gpu::engine::{FaultPlan, GemmEngine, GemmOutput, Matrix, NoScheme, ThreadLocalScheme};
+use aiga_gpu::timing::{AuxKernel, Calibration, KernelProfile};
+
+/// Tensor-Core FLOPs represented by one per-thread MMA participation.
+pub const FLOPS_PER_MMA_PARTICIPATION: u64 = 8;
+/// ALU FLOP-equivalents charged per checksum (HADD2-class) operation.
+/// One packed HADD2 is a single issue slot and partially dual-issues into
+/// the gaps of the Tensor-Core pipeline, so it is charged one
+/// flop-equivalent of the packed-math peak rather than two (calibrated —
+/// see EXPERIMENTS.md §Fig. 12).
+pub const FLOPS_PER_CHECKSUM_OP: u64 = 1;
+
+/// Outcome of a protected GEMM.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Verdict {
+    /// No fault flagged.
+    Clean,
+    /// A fault was flagged with the given residual and threshold.
+    Detected {
+        /// Check residual.
+        residual: f64,
+        /// Threshold it exceeded.
+        threshold: f64,
+    },
+}
+
+impl Verdict {
+    /// True if no fault was flagged.
+    pub fn is_clean(self) -> bool {
+        matches!(self, Verdict::Clean)
+    }
+
+    /// True if a fault was flagged.
+    pub fn is_detected(self) -> bool {
+        !self.is_clean()
+    }
+}
+
+/// Report of one protected GEMM run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The detection verdict.
+    pub verdict: Verdict,
+    /// The (possibly corrupted) FP32 output. Thread-level schemes also
+    /// leave their per-thread detections in `output.detections`.
+    pub output: GemmOutput,
+}
+
+/// One redundancy scheme, unifying its analytical cost profile and its
+/// functional protected execution.
+pub trait SchemeKernel: Send + Sync {
+    /// The scheme id this kernel implements.
+    fn scheme(&self) -> Scheme;
+
+    /// Adds the scheme's costs to a baseline kernel profile (Table 1
+    /// scaled by the tiling, or §2.5's epilogue + auxiliary kernel).
+    fn apply_cost(&self, profile: &mut KernelProfile, calib: &Calibration);
+
+    /// Performs the scheme's offline preparation against a layer's
+    /// weights (`B` of `C = A·B`) — e.g. global ABFT's weight checksums —
+    /// and returns an executor bound to those weights.
+    fn bind(&self, weights: &Matrix) -> Box<dyn BoundKernel>;
+}
+
+/// A scheme bound to one layer's weights, ready to serve requests.
+pub trait BoundKernel: Send + Sync {
+    /// The scheme id.
+    fn scheme(&self) -> Scheme;
+
+    /// The weights this kernel was bound to.
+    fn weights(&self) -> &Matrix;
+
+    /// Runs `activations · weights` on `engine` under this scheme,
+    /// injecting `faults`, and returns output plus verdict.
+    fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport;
+}
+
+/// Table-1 cost application shared by every thread-level scheme.
+fn apply_thread_level_cost(scheme: Scheme, p: &mut KernelProfile, calib: &Calibration) {
+    let tiling = p.tiling;
+    let steps = p.total_thread_steps();
+    p.tc_flops +=
+        steps * (scheme.extra_mmas_per_step(&tiling) * FLOPS_PER_MMA_PARTICIPATION) as f64;
+    p.alu_ops += steps * (scheme.checksum_ops_per_step(&tiling) * FLOPS_PER_CHECKSUM_OP) as f64;
+    p.extra_regs_per_thread = scheme.extra_regs(&tiling);
+    // The thread-local final comparison lengthens the kernel tail.
+    p.tail_s = calib.thread_check_tail_s;
+}
+
+/// §2.5 epilogue + reduce-and-compare cost shared by global ABFT and its
+/// multi-checksum extension (`rounds` independent checksum rounds; plain
+/// global ABFT is `rounds = 1`).
+fn apply_global_cost(rounds: u64, p: &mut KernelProfile) {
+    let (m, n, k) = (p.shape.m as f64, p.shape.n as f64, p.shape.k as f64);
+    let blocks = p.tiling.total_blocks(p.shape) as f64;
+    let r = rounds as f64;
+    // Fused epilogues (§2.5 steps 2 and 4): the output summation (one add
+    // per output element, M·N) and the activation checksum over this
+    // layer's lowered input (M·K adds — for convolutions the im2col
+    // multiplicity makes this the larger term; in the NN flow it is
+    // produced by the previous layer's epilogue, which is
+    // aggregate-equivalent per layer). Each extra checksum round repeats
+    // both with different row weights.
+    p.alu_ops += r * (m * n + m * k);
+    // Stores of the per-block partial sums and the checksum row(s).
+    p.dram_bytes += r * 4.0 * (n + blocks);
+    // The separate reduce-and-compare kernel (step 5): dot the K-length
+    // checksums and reduce the per-block partials, once per round (the
+    // rounds share one launch, as a production kernel would batch them).
+    p.aux_kernels.push(AuxKernel {
+        name: if rounds == 1 {
+            "global-abft reduce+compare"
+        } else {
+            "multi-checksum reduce+compare"
+        },
+        alu_flops: r * (2.0 * k + blocks),
+        dram_bytes: r * 4.0 * (2.0 * k + blocks),
+    });
+}
+
+fn verdict_from_detections(output: &GemmOutput) -> Verdict {
+    match output.detections.first() {
+        Some(d) => Verdict::Detected {
+            residual: d.residual,
+            threshold: d.threshold,
+        },
+        None => Verdict::Clean,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unprotected baseline
+// ---------------------------------------------------------------------
+
+/// The `To` baseline of §6.2: no redundancy, always-clean verdicts.
+pub struct UnprotectedKernel;
+
+impl SchemeKernel for UnprotectedKernel {
+    fn scheme(&self) -> Scheme {
+        Scheme::Unprotected
+    }
+
+    fn apply_cost(&self, _profile: &mut KernelProfile, _calib: &Calibration) {}
+
+    fn bind(&self, weights: &Matrix) -> Box<dyn BoundKernel> {
+        Box::new(UnprotectedBound {
+            weights: weights.clone(),
+        })
+    }
+}
+
+struct UnprotectedBound {
+    weights: Matrix,
+}
+
+impl BoundKernel for UnprotectedBound {
+    fn scheme(&self) -> Scheme {
+        Scheme::Unprotected
+    }
+
+    fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {
+        let output = engine.run_multi(activations, &self.weights, || NoScheme, faults);
+        RunReport {
+            verdict: Verdict::Clean,
+            output,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global (kernel-level) ABFT
+// ---------------------------------------------------------------------
+
+/// Kernel-level ABFT per Hari et al. (§2.5).
+pub struct GlobalKernel;
+
+impl SchemeKernel for GlobalKernel {
+    fn scheme(&self) -> Scheme {
+        Scheme::GlobalAbft
+    }
+
+    fn apply_cost(&self, profile: &mut KernelProfile, _calib: &Calibration) {
+        apply_global_cost(1, profile);
+    }
+
+    fn bind(&self, weights: &Matrix) -> Box<dyn BoundKernel> {
+        Box::new(GlobalBound {
+            abft: GlobalAbft::prepare(weights),
+            weights: weights.clone(),
+        })
+    }
+}
+
+struct GlobalBound {
+    abft: GlobalAbft,
+    weights: Matrix,
+}
+
+impl BoundKernel for GlobalBound {
+    fn scheme(&self) -> Scheme {
+        Scheme::GlobalAbft
+    }
+
+    fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {
+        let output = engine.run_multi(activations, &self.weights, || NoScheme, faults);
+        let v = self.abft.verify(activations, &output);
+        let verdict = if v.fault_detected {
+            Verdict::Detected {
+                residual: v.residual,
+                threshold: v.threshold,
+            }
+        } else {
+            Verdict::Clean
+        };
+        RunReport { verdict, output }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-level schemes (one generic kernel over `ThreadLocalScheme`)
+// ---------------------------------------------------------------------
+
+/// Adapter turning any [`ThreadLocalScheme`] factory into a
+/// [`SchemeKernel`]: the engine runs the scheme inside every simulated
+/// thread and the verdict comes from the threads' own final checks.
+pub struct ThreadKernel<S: ThreadLocalScheme + 'static> {
+    scheme: Scheme,
+    make: fn() -> S,
+}
+
+impl<S: ThreadLocalScheme + 'static> ThreadKernel<S> {
+    /// Wraps a thread-local scheme constructor under a scheme id.
+    pub fn new(scheme: Scheme, make: fn() -> S) -> Self {
+        ThreadKernel { scheme, make }
+    }
+}
+
+impl<S: ThreadLocalScheme + 'static> SchemeKernel for ThreadKernel<S> {
+    fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    fn apply_cost(&self, profile: &mut KernelProfile, calib: &Calibration) {
+        apply_thread_level_cost(self.scheme, profile, calib);
+    }
+
+    fn bind(&self, weights: &Matrix) -> Box<dyn BoundKernel> {
+        Box::new(ThreadBound {
+            scheme: self.scheme,
+            make: self.make,
+            weights: weights.clone(),
+        })
+    }
+}
+
+struct ThreadBound<S: ThreadLocalScheme + 'static> {
+    scheme: Scheme,
+    make: fn() -> S,
+    weights: Matrix,
+}
+
+impl<S: ThreadLocalScheme + 'static> BoundKernel for ThreadBound<S> {
+    fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {
+        let output = engine.run_multi(activations, &self.weights, self.make, faults);
+        RunReport {
+            verdict: verdict_from_detections(&output),
+            output,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-checksum extension (§2.4)
+// ---------------------------------------------------------------------
+
+/// The §2.4 multi-checksum extension as a pluggable kernel: `rounds`
+/// independent Vandermonde-weighted checksum rounds, detecting up to
+/// `rounds` faults in distinct rows. Registering this kernel is all it
+/// takes to make `Scheme::MultiChecksum(rounds)` selectable — the
+/// planner, pipeline, and session need no changes.
+pub struct MultiChecksumKernel {
+    rounds: u8,
+}
+
+impl MultiChecksumKernel {
+    /// Creates a kernel with `rounds ≥ 1` checksum rounds.
+    pub fn new(rounds: u8) -> Self {
+        assert!(rounds >= 1, "at least one checksum round required");
+        MultiChecksumKernel { rounds }
+    }
+}
+
+impl SchemeKernel for MultiChecksumKernel {
+    fn scheme(&self) -> Scheme {
+        Scheme::MultiChecksum(self.rounds)
+    }
+
+    fn apply_cost(&self, profile: &mut KernelProfile, _calib: &Calibration) {
+        apply_global_cost(self.rounds as u64, profile);
+    }
+
+    fn bind(&self, weights: &Matrix) -> Box<dyn BoundKernel> {
+        Box::new(MultiChecksumBound {
+            rounds: self.rounds,
+            abft: MultiChecksumAbft::prepare(weights, self.rounds as usize),
+            weights: weights.clone(),
+        })
+    }
+}
+
+struct MultiChecksumBound {
+    rounds: u8,
+    abft: MultiChecksumAbft,
+    weights: Matrix,
+}
+
+impl BoundKernel for MultiChecksumBound {
+    fn scheme(&self) -> Scheme {
+        Scheme::MultiChecksum(self.rounds)
+    }
+
+    fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {
+        let output = engine.run_multi(activations, &self.weights, || NoScheme, faults);
+        let v = self.abft.verify(activations, &output);
+        let verdict = match v.first_failing_round() {
+            Some(round) => Verdict::Detected {
+                residual: v.rounds[round].residual,
+                threshold: v.rounds[round].threshold,
+            },
+            None => Verdict::Clean,
+        };
+        RunReport { verdict, output }
+    }
+}
+
+/// The standard kernels for the paper's five schemes plus the baseline,
+/// in registry order.
+pub fn builtin_kernels() -> Vec<std::sync::Arc<dyn SchemeKernel>> {
+    vec![
+        std::sync::Arc::new(UnprotectedKernel),
+        std::sync::Arc::new(GlobalKernel),
+        std::sync::Arc::new(ThreadKernel::new(
+            Scheme::ThreadLevelOneSided,
+            OneSidedThreadAbft::new,
+        )),
+        std::sync::Arc::new(ThreadKernel::new(
+            Scheme::ThreadLevelTwoSided,
+            TwoSidedThreadAbft::new,
+        )),
+        std::sync::Arc::new(ThreadKernel::new(
+            Scheme::ReplicationSingleAcc,
+            ReplicationSingleAcc::new,
+        )),
+        std::sync::Arc::new(ThreadKernel::new(
+            Scheme::ReplicationTraditional,
+            ReplicationTraditional::new,
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::FaultKind;
+    use aiga_gpu::GemmShape;
+
+    fn run_scheme(kernel: &dyn SchemeKernel, fault: Option<FaultPlan>) -> RunReport {
+        let shape = GemmShape::new(48, 40, 56);
+        let a = Matrix::random(48, 56, 11);
+        let b = Matrix::random(56, 40, 12);
+        let engine = GemmEngine::with_default_tiling(shape);
+        let bound = kernel.bind(&b);
+        let faults: Vec<FaultPlan> = fault.into_iter().collect();
+        bound.run(&engine, &a, &faults)
+    }
+
+    #[test]
+    fn every_builtin_kernel_reports_its_scheme() {
+        for kernel in builtin_kernels() {
+            let bound = kernel.bind(&Matrix::random(16, 16, 1));
+            assert_eq!(bound.scheme(), kernel.scheme());
+            assert_eq!(bound.weights().rows, 16);
+        }
+    }
+
+    #[test]
+    fn builtin_kernels_are_clean_without_faults_and_detect_large_ones() {
+        let fault = FaultPlan {
+            row: 3,
+            col: 5,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(1e3),
+        };
+        for kernel in builtin_kernels() {
+            let clean = run_scheme(kernel.as_ref(), None);
+            assert!(clean.verdict.is_clean(), "{}", kernel.scheme());
+            let dirty = run_scheme(kernel.as_ref(), Some(fault));
+            if kernel.scheme() == Scheme::Unprotected {
+                assert!(dirty.verdict.is_clean());
+            } else {
+                assert!(dirty.verdict.is_detected(), "{}", kernel.scheme());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_checksum_kernel_detects_cancelling_pairs() {
+        let kernel = MultiChecksumKernel::new(2);
+        let shape = GemmShape::new(48, 40, 64);
+        let a = Matrix::random(48, 64, 21);
+        let b = Matrix::random(64, 40, 22);
+        let engine = GemmEngine::with_default_tiling(shape);
+        let bound = kernel.bind(&b);
+        let pair = [
+            FaultPlan {
+                row: 3,
+                col: 5,
+                after_step: u64::MAX,
+                kind: FaultKind::AddValue(250.0),
+            },
+            FaultPlan {
+                row: 20,
+                col: 9,
+                after_step: u64::MAX,
+                kind: FaultKind::AddValue(-250.0),
+            },
+        ];
+        assert!(bound.run(&engine, &a, &pair).verdict.is_detected());
+        // Plain global ABFT is blind to the same pair.
+        let global = GlobalKernel.bind(&b);
+        assert!(global.run(&engine, &a, &pair).verdict.is_clean());
+    }
+
+    #[test]
+    fn multi_checksum_cost_scales_with_rounds() {
+        let calib = Calibration::default();
+        let dev = aiga_gpu::DeviceSpec::t4();
+        let base = KernelProfile::baseline(GemmShape::square(256), &dev, &calib);
+        let cost_of = |kernel: &dyn SchemeKernel| {
+            let mut p = base.clone();
+            kernel.apply_cost(&mut p, &calib);
+            aiga_gpu::timing::estimate(&p, &dev, &calib).total_s
+        };
+        let one = cost_of(&GlobalKernel);
+        let three = cost_of(&MultiChecksumKernel::new(3));
+        assert!(three > one, "more rounds must cost more: {three} vs {one}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one checksum round")]
+    fn zero_round_kernel_is_rejected() {
+        MultiChecksumKernel::new(0);
+    }
+}

@@ -1,39 +1,59 @@
 //! # aiga-core — arithmetic-intensity-guided ABFT
 //!
-//! The paper's contribution, rebuilt on the `aiga-gpu` substrate:
+//! The paper's contribution, rebuilt on the `aiga-gpu` substrate and
+//! organized around three layers:
 //!
-//! - [`schemes`]: every redundant-execution scheme the paper designs or
-//!   compares against —
-//!   [`schemes::GlobalAbft`] (the state-of-the-art kernel-level baseline
-//!   of Hari et al., §2.5, with offline weight checksums, fused output
-//!   summation, fused next-layer activation checksums, and a separate
-//!   reduce-and-compare kernel);
-//!   [`schemes::OneSidedThreadAbft`] and [`schemes::TwoSidedThreadAbft`]
-//!   (§5.1–5.2, running inside each simulated thread's inner loop and
-//!   sharing the thread's own operand loads);
-//!   [`schemes::ReplicationSingleAcc`] and
-//!   [`schemes::ReplicationTraditional`] (§4's two thread-level
-//!   replication variants).
+//! **Scheme kernels** — every redundancy scheme implements
+//! [`kernel::SchemeKernel`], which unifies the two things a scheme must
+//! provide: its analytical cost profile (Table 1 per-thread work or the
+//! §2.5 epilogue + reduce-and-compare kernel, feeding the timing model)
+//! and its functional protected execution (run + verdict on the
+//! simulated engine). Kernels live in a [`registry::SchemeRegistry`];
+//! new schemes plug in by registering — the selector, pipeline, and
+//! session never enumerate schemes.
+//!
+//! - [`schemes`]: the scheme *mechanisms* — [`schemes::GlobalAbft`]
+//!   (kernel-level baseline of Hari et al., §2.5),
+//!   [`schemes::OneSidedThreadAbft`] / [`schemes::TwoSidedThreadAbft`]
+//!   (§5.1–5.2), [`schemes::ReplicationSingleAcc`] /
+//!   [`schemes::ReplicationTraditional`] (§4), and the §2.4
+//!   [`schemes::MultiChecksumAbft`] extension.
 //! - [`tolerance`]: floating-point-aware checksum comparison with a
 //!   running analytical error bound, so fault detection never false-
 //!   positives on rounding noise.
-//! - [`cost`]: per-scheme kernel cost profiles (Table 1 scaled by the
-//!   tiling's `Mt × Nt`) feeding the `aiga-gpu` timing model.
-//! - [`selector`]: intensity-guided ABFT itself (§5.3) — per-layer
-//!   selection between global and thread-level ABFT by profiled
-//!   execution-time overhead, plus the §7.2 analytical variant that
-//!   compares arithmetic intensity against the device CMR.
-//! - [`pipeline`]: the §2.5 protected-inference flow across consecutive
-//!   layers (activation checksums fused into the producing layer).
-//! - [`protected`]: a small convenience API for protecting a single GEMM.
+//! - [`cost`]: the evaluation loop that turns registry kernels plus the
+//!   `aiga-gpu` timing model into per-scheme [`cost::SchemeTiming`]s.
+//!
+//! **Planning** — [`Planner`] is the builder-style front-end for
+//! intensity-guided ABFT (§5.3): configure device, calibration,
+//! candidates, and mode; call [`Planner::plan`] for a [`ModelPlan`] or
+//! [`Planner::deployment`] for the §7.3 multi-input-size
+//! [`DeploymentPlan`].
+//!
+//! **Serving** — [`Session`] turns a planner plus a model family into a
+//! request-serving front-end: per-request batch-bucket dispatch, lazy
+//! plan + pipeline caching keyed by `(model, device, bucket)`, and
+//! aggregated detection statistics. [`protected::ProtectedGemm`] and
+//! [`pipeline::ProtectedPipeline`] are the single-GEMM and single-model
+//! execution layers underneath.
 
 pub mod cost;
+pub mod kernel;
 pub mod pipeline;
+pub mod plan_io;
+pub mod planner;
 pub mod protected;
+pub mod registry;
 pub mod schemes;
 pub mod selector;
+pub mod session;
 pub mod tolerance;
 
-pub use protected::{ProtectedConv, ProtectedGemm, RunReport, Verdict};
+pub use kernel::{BoundKernel, RunReport, SchemeKernel, Verdict};
+pub use pipeline::{InferenceReport, PipelineFault, ProtectedPipeline};
+pub use planner::Planner;
+pub use protected::{ProtectedConv, ProtectedGemm};
+pub use registry::SchemeRegistry;
 pub use schemes::Scheme;
-pub use selector::{LayerPlan, ModelPlan, SelectionMode};
+pub use selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
+pub use session::{ServeReport, Session, SessionBuilder, SessionError, SessionStats};

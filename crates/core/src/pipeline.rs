@@ -2,23 +2,27 @@
 //!
 //! Runs a chain of fully-connected layers end to end on the functional
 //! engine with a per-layer scheme assignment (from an intensity-guided
-//! [`crate::selector::ModelPlan`] or fixed). Between layers the §2.5
-//! sequence is followed: matrix multiply → fused output summation →
-//! activation function (ReLU) → fused next-layer activation checksum →
-//! deferred reduce-and-compare. Thread-level schemes check inside the
-//! kernel instead and need none of the fused epilogues.
+//! plan or fixed). Between layers the §2.5 sequence is followed: matrix
+//! multiply → fused output summation → activation function (ReLU) →
+//! fused next-layer activation checksum → deferred reduce-and-compare.
+//! Thread-level schemes check inside the kernel instead and need none of
+//! the fused epilogues.
+//!
+//! Every layer executes through its scheme's [`crate::kernel::BoundKernel`]
+//! (weights bound once at construction — global ABFT's offline checksums
+//! included), so the pipeline contains no per-scheme dispatch and serves
+//! extension schemes like `Scheme::MultiChecksum` unchanged.
 //!
 //! The functional pipeline requires chainable layers (layer `i+1`'s `K`
 //! equals layer `i`'s `N`, as in DLRM's MLPs); convolutional models are
 //! exercised per-layer by the fault-injection campaigns instead, since
 //! im2col data movement is outside the GEMM kernel being protected.
 
-use crate::schemes::{
-    GlobalAbft, OneSidedThreadAbft, ReplicationSingleAcc, ReplicationTraditional, Scheme,
-    TwoSidedThreadAbft,
-};
+use crate::kernel::{BoundKernel, Verdict};
+use crate::registry::{self, SchemeRegistry};
+use crate::schemes::Scheme;
 use aiga_fp16::F16;
-use aiga_gpu::engine::{FaultPlan, GemmEngine, GemmOutput, Matrix, NoScheme};
+use aiga_gpu::engine::{FaultPlan, GemmEngine, Matrix};
 use aiga_gpu::GemmShape;
 use aiga_nn::Model;
 
@@ -63,10 +67,8 @@ impl InferenceReport {
 
 struct PipelineLayer {
     name: String,
-    scheme: Scheme,
-    weights: Matrix,
+    bound: Box<dyn BoundKernel>,
     engine: GemmEngine,
-    global: Option<GlobalAbft>,
 }
 
 /// A protected feed-forward (MLP-style) inference pipeline.
@@ -77,10 +79,21 @@ pub struct ProtectedPipeline {
 
 impl ProtectedPipeline {
     /// Builds a pipeline from a model and a per-layer scheme assignment
-    /// (one scheme per layer). Weights are deterministic pseudo-random,
-    /// scaled like normalized NN weights. Panics if the model's layers do
-    /// not chain (`K[i+1] != N[i]`) or `schemes.len() != layers`.
+    /// (one scheme per layer), resolving schemes through the shared
+    /// built-in registry. Weights are deterministic pseudo-random, scaled
+    /// like normalized NN weights. Panics if the model's layers do not
+    /// chain (`K[i+1] != N[i]`) or `schemes.len() != layers`.
     pub fn new(model: &Model, schemes: &[Scheme], seed: u64) -> Self {
+        Self::with_registry(registry::shared(), model, schemes, seed)
+    }
+
+    /// [`Self::new`] with an explicit scheme registry.
+    pub fn with_registry(
+        registry: &SchemeRegistry,
+        model: &Model,
+        schemes: &[Scheme],
+        seed: u64,
+    ) -> Self {
         assert_eq!(
             schemes.len(),
             model.layers.len(),
@@ -110,14 +123,10 @@ impl ProtectedPipeline {
                 let engine = GemmEngine::with_default_tiling(GemmShape::new(
                     l.shape.m, l.shape.n, l.shape.k,
                 ));
-                let global =
-                    matches!(scheme, Scheme::GlobalAbft).then(|| GlobalAbft::prepare(&weights));
                 PipelineLayer {
                     name: l.name.clone(),
-                    scheme,
-                    weights,
+                    bound: registry.resolve(scheme).bind(&weights),
                     engine,
-                    global,
                 }
             })
             .collect();
@@ -134,12 +143,33 @@ impl ProtectedPipeline {
         self.layers.len()
     }
 
+    /// Batch size (rows of the input this pipeline expects).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Input feature width (`K` of the first layer).
+    pub fn input_features(&self) -> usize {
+        self.layers[0].bound.weights().rows
+    }
+
+    /// Output feature width (`N` of the final layer).
+    pub fn output_features(&self) -> usize {
+        self.layers[self.layers.len() - 1].bound.weights().cols
+    }
+
+    /// Per-layer scheme assignment, in execution order.
+    pub fn schemes(&self) -> Vec<Scheme> {
+        self.layers.iter().map(|l| l.bound.scheme()).collect()
+    }
+
     /// Runs protected inference on `input` (batch × K₀), optionally
     /// injecting one fault.
     pub fn infer(&self, input: &Matrix, fault: Option<PipelineFault>) -> InferenceReport {
         assert_eq!(input.rows, self.batch, "batch size mismatch");
         assert_eq!(
-            input.cols, self.layers[0].weights.rows,
+            input.cols,
+            self.input_features(),
             "input feature width mismatch"
         );
         let mut activations = input.clone();
@@ -147,68 +177,44 @@ impl ProtectedPipeline {
         let mut final_output = Vec::new();
 
         for (idx, layer) in self.layers.iter().enumerate() {
-            let layer_fault = fault.and_then(|f| (f.layer == idx).then_some(f.fault));
-            let out: GemmOutput = match layer.scheme {
-                Scheme::Unprotected | Scheme::GlobalAbft => {
-                    layer
-                        .engine
-                        .run(&activations, &layer.weights, || NoScheme, layer_fault)
-                }
-                Scheme::ThreadLevelOneSided => layer.engine.run(
-                    &activations,
-                    &layer.weights,
-                    OneSidedThreadAbft::new,
-                    layer_fault,
-                ),
-                Scheme::ThreadLevelTwoSided => layer.engine.run(
-                    &activations,
-                    &layer.weights,
-                    TwoSidedThreadAbft::new,
-                    layer_fault,
-                ),
-                Scheme::ReplicationSingleAcc => layer.engine.run(
-                    &activations,
-                    &layer.weights,
-                    ReplicationSingleAcc::new,
-                    layer_fault,
-                ),
-                Scheme::ReplicationTraditional => layer.engine.run(
-                    &activations,
-                    &layer.weights,
-                    ReplicationTraditional::new,
-                    layer_fault,
-                ),
-            };
+            let layer_faults: Vec<FaultPlan> = fault
+                .and_then(|f| (f.layer == idx).then_some(f.fault))
+                .into_iter()
+                .collect();
+            let report = layer.bound.run(&layer.engine, &activations, &layer_faults);
+            let scheme = layer.bound.scheme();
 
-            // Thread-level detections come out of the kernel itself.
-            for d in &out.detections {
+            // Thread-level detections come out of the kernel itself, with
+            // per-thread provenance.
+            for d in &report.output.detections {
                 detections.push(LayerDetection {
                     layer: idx,
                     name: layer.name.clone(),
-                    scheme: layer.scheme,
+                    scheme,
                     residual: d.residual,
                 });
             }
-            // Global ABFT's deferred reduce-and-compare (§2.5 step 5).
-            if let Some(global) = &layer.global {
-                let v = global.verify(&activations, &out);
-                if v.fault_detected {
+            // Kernel-level verdicts (global ABFT's deferred
+            // reduce-and-compare, §2.5 step 5) have no thread provenance;
+            // record them once.
+            if report.output.detections.is_empty() {
+                if let Verdict::Detected { residual, .. } = report.verdict {
                     detections.push(LayerDetection {
                         layer: idx,
                         name: layer.name.clone(),
-                        scheme: layer.scheme,
-                        residual: v.residual,
+                        scheme,
+                        residual,
                     });
                 }
             }
 
+            let out = report.output;
             if idx + 1 == self.layers.len() {
                 final_output = out.c;
             } else {
                 // ReLU, then down-convert for the next layer's FP16 GEMM.
-                activations = Matrix::from_fn(out.m, out.n, |r, c| {
-                    F16::from_f32(out.get(r, c).max(0.0))
-                });
+                activations =
+                    Matrix::from_fn(out.m, out.n, |r, c| F16::from_f32(out.get(r, c).max(0.0)));
             }
         }
 
@@ -268,6 +274,7 @@ mod tests {
             Scheme::GlobalAbft,
         ];
         let p = ProtectedPipeline::new(&model, &schemes, 3);
+        assert_eq!(p.schemes(), schemes);
         // Fault in layer 0 must be detected by global ABFT.
         let fault = PipelineFault {
             layer: 0,
@@ -301,6 +308,26 @@ mod tests {
         assert!(!dirty.fault_detected());
         // The corruption propagates through ReLU into downstream layers.
         assert_ne!(clean.output, dirty.output);
+    }
+
+    #[test]
+    fn multi_checksum_extension_serves_through_the_pipeline() {
+        let model = zoo::dlrm_mlp_bottom(8);
+        let p = ProtectedPipeline::uniform(&model, Scheme::MultiChecksum(2), 6);
+        let clean = p.infer(&input(8, 13), None);
+        assert!(!clean.fault_detected());
+        let fault = PipelineFault {
+            layer: 1,
+            fault: FaultPlan {
+                row: 2,
+                col: 7,
+                after_step: u64::MAX,
+                kind: FaultKind::AddValue(60.0),
+            },
+        };
+        let dirty = p.infer(&input(8, 13), Some(fault));
+        assert!(dirty.fault_detected());
+        assert_eq!(dirty.detections[0].scheme, Scheme::MultiChecksum(2));
     }
 
     #[test]

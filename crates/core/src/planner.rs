@@ -1,0 +1,344 @@
+//! The builder-style planning front-end.
+//!
+//! `Planner` owns everything intensity-guided ABFT needs to decide a
+//! deployment — device, calibration, candidate schemes, selection mode,
+//! and the scheme registry — and produces [`ModelPlan`]s /
+//! [`DeploymentPlan`]s. It replaces the old `ModelPlan::build` /
+//! `ModelPlan::build_with` pair:
+//!
+//! ```
+//! use aiga_core::{Planner, SelectionMode, Scheme};
+//! use aiga_gpu::DeviceSpec;
+//! use aiga_nn::zoo;
+//!
+//! let plan = Planner::new(DeviceSpec::t4())
+//!     .candidates([Scheme::GlobalAbft, Scheme::ThreadLevelOneSided])
+//!     .mode(SelectionMode::Profiled)
+//!     .plan(&zoo::dlrm_mlp_bottom(32));
+//! assert_eq!(plan.layers.len(), 3);
+//! ```
+
+use crate::cost::evaluate_layer_with;
+use crate::registry::{self, SchemeRegistry};
+use crate::schemes::Scheme;
+use crate::selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
+use aiga_gpu::timing::Calibration;
+use aiga_gpu::{Bound, DeviceSpec, Roofline};
+use aiga_nn::Model;
+use std::sync::Arc;
+
+/// Builder for intensity-guided deployment plans.
+#[derive(Clone)]
+pub struct Planner {
+    device: DeviceSpec,
+    calib: Calibration,
+    candidates: Vec<Scheme>,
+    mode: SelectionMode,
+    registry: Arc<SchemeRegistry>,
+}
+
+impl Planner {
+    /// A planner for `device` with the paper's defaults: default
+    /// calibration, the §5.3 candidate pair (global + one-sided
+    /// thread-level ABFT), profiled selection, and the shared built-in
+    /// scheme registry.
+    pub fn new(device: DeviceSpec) -> Self {
+        Planner {
+            device,
+            calib: Calibration::default(),
+            candidates: Scheme::intensity_guided_candidates().to_vec(),
+            mode: SelectionMode::Profiled,
+            registry: registry::shared().clone(),
+        }
+    }
+
+    /// Replaces the timing-model calibration.
+    pub fn calibration(mut self, calib: Calibration) -> Self {
+        self.calib = calib;
+        self
+    }
+
+    /// Replaces the candidate scheme set the selector chooses among.
+    pub fn candidates(mut self, candidates: impl IntoIterator<Item = Scheme>) -> Self {
+        self.candidates = candidates.into_iter().collect();
+        assert!(
+            !self.candidates.is_empty(),
+            "at least one candidate scheme required"
+        );
+        self
+    }
+
+    /// Replaces the selection mode (profiled vs. §7.2 analytical).
+    pub fn mode(mut self, mode: SelectionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the scheme registry (to plan over custom scheme sets).
+    pub fn registry(mut self, registry: Arc<SchemeRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The device this planner targets.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The calibration in use.
+    pub fn calib(&self) -> &Calibration {
+        &self.calib
+    }
+
+    /// The candidate schemes, in priority order.
+    pub fn candidate_schemes(&self) -> &[Scheme] {
+        &self.candidates
+    }
+
+    /// The scheme registry in use.
+    pub fn scheme_registry(&self) -> &Arc<SchemeRegistry> {
+        &self.registry
+    }
+
+    /// Plans one model: profiles every layer under every candidate and
+    /// selects per layer (§5.3). Panics early with a clear message if a
+    /// candidate has no registered kernel.
+    pub fn plan(&self, model: &Model) -> ModelPlan {
+        for &candidate in &self.candidates {
+            self.registry.resolve(candidate);
+        }
+        let roofline = Roofline::new(self.device.clone());
+        let layers = model
+            .layers
+            .iter()
+            .map(|layer| {
+                let shape = layer.shape.padded_to_mma();
+                let (baseline, timings) = evaluate_layer_with(
+                    &self.registry,
+                    shape,
+                    &self.candidates,
+                    &self.device,
+                    &self.calib,
+                );
+                let intensity = layer.arithmetic_intensity();
+                let chosen = match self.mode {
+                    SelectionMode::Profiled => {
+                        timings
+                            .iter()
+                            .min_by(|a, b| a.estimate.total_s.total_cmp(&b.estimate.total_s))
+                            .expect("at least one candidate")
+                            .scheme
+                    }
+                    SelectionMode::Analytical => match roofline.classify_intensity(intensity) {
+                        Bound::MemoryBandwidth => *self
+                            .candidates
+                            .iter()
+                            .find(|s| s.is_thread_level())
+                            .unwrap_or(&self.candidates[0]),
+                        Bound::Compute => *self
+                            .candidates
+                            .iter()
+                            .find(|s| !s.is_thread_level())
+                            .unwrap_or(&self.candidates[0]),
+                    },
+                };
+                LayerPlan {
+                    name: layer.name.clone(),
+                    shape,
+                    intensity,
+                    chosen,
+                    baseline_s: baseline.total_s,
+                    candidates: timings,
+                }
+            })
+            .collect();
+        ModelPlan {
+            model: model.name.clone(),
+            device: self.device.clone(),
+            layers,
+        }
+    }
+
+    /// Builds the §7.3 multi-input-size deployment: one plan per key,
+    /// with `instantiate` producing the model for each key (e.g.
+    /// `|b| zoo::dlrm_mlp_bottom(b)`).
+    pub fn deployment(&self, keys: &[u64], instantiate: impl Fn(u64) -> Model) -> DeploymentPlan {
+        assert!(!keys.is_empty(), "at least one input size required");
+        DeploymentPlan::from_variants(
+            keys.iter()
+                .map(|&k| (k, self.plan(&instantiate(k))))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_nn::zoo;
+
+    fn plan(model: &Model) -> ModelPlan {
+        Planner::new(DeviceSpec::t4()).plan(model)
+    }
+
+    #[test]
+    fn intensity_guided_never_loses_to_either_fixed_scheme() {
+        // By construction (§6.2): "intensity-guided ABFT, by design,
+        // always performs at least as well as global ABFT".
+        for model in [
+            zoo::resnet50(1, 224, 224),
+            zoo::dlrm_mlp_bottom(1),
+            zoo::coral(64),
+        ] {
+            let p = plan(&model);
+            let ig = p.intensity_guided_s();
+            assert!(
+                ig <= p.fixed_scheme_s(Scheme::GlobalAbft) + 1e-15,
+                "{}",
+                model.name
+            );
+            assert!(
+                ig <= p.fixed_scheme_s(Scheme::ThreadLevelOneSided) + 1e-15,
+                "{}",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn low_intensity_models_choose_thread_level_everywhere() {
+        let p = plan(&zoo::dlrm_mlp_bottom(1));
+        assert_eq!(p.thread_level_layer_count(), p.layers.len());
+    }
+
+    #[test]
+    fn mixed_models_split_their_choices() {
+        // ResNet-50 contains both bandwidth- and compute-bound layers
+        // (§3.2/Fig. 5), so intensity-guided ABFT should mix schemes.
+        let p = plan(&zoo::resnet50(1, zoo::HD.0, zoo::HD.1));
+        let thread = p.thread_level_layer_count();
+        assert!(thread > 0, "no thread-level layers chosen");
+        assert!(thread < p.layers.len(), "no global layers chosen");
+    }
+
+    #[test]
+    fn profiled_and_analytical_modes_mostly_agree() {
+        // §7.2: intensity relative to CMR predicts the winner; the two
+        // modes should coincide on a large majority of layers.
+        let model = zoo::resnet50(1, zoo::HD.0, zoo::HD.1);
+        let profiled = Planner::new(DeviceSpec::t4()).plan(&model);
+        let analytical = Planner::new(DeviceSpec::t4())
+            .mode(SelectionMode::Analytical)
+            .plan(&model);
+        let agree = profiled
+            .layers
+            .iter()
+            .zip(&analytical.layers)
+            .filter(|(a, b)| a.chosen == b.chosen)
+            .count();
+        let frac = agree as f64 / profiled.layers.len() as f64;
+        // Launch-overhead effects make small layers profile differently
+        // than the pure roofline prediction, so agreement is high but not
+        // total — the same reason the paper prefers empirical profiling.
+        assert!(frac >= 0.6, "agreement only {frac:.2}");
+    }
+
+    #[test]
+    fn overhead_percentages_are_consistent() {
+        let p = plan(&zoo::dlrm_mlp_top(1));
+        let ig = p.intensity_guided_overhead_pct();
+        let glob = p.fixed_scheme_overhead_pct(Scheme::GlobalAbft);
+        assert!(ig >= 0.0 && glob >= ig, "ig {ig}%, global {glob}%");
+    }
+
+    #[test]
+    fn extension_candidates_plan_without_selector_changes() {
+        // The §2.4 multi-checksum kernel participates in planning purely
+        // through its registry entry.
+        let p = Planner::new(DeviceSpec::t4())
+            .candidates([
+                Scheme::GlobalAbft,
+                Scheme::ThreadLevelOneSided,
+                Scheme::MultiChecksum(2),
+            ])
+            .plan(&zoo::dlrm_mlp_top(64));
+        for layer in &p.layers {
+            assert_eq!(layer.candidates.len(), 3);
+            // Extra checksum rounds cost at least as much as one round.
+            assert!(
+                layer.time_under(Scheme::MultiChecksum(2))
+                    >= layer.time_under(Scheme::GlobalAbft) - 1e-15
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no kernel registered")]
+    fn unregistered_candidates_fail_fast() {
+        Planner::new(DeviceSpec::t4())
+            .candidates([Scheme::MultiChecksum(9)])
+            .plan(&zoo::dlrm_mlp_bottom(1));
+    }
+
+    mod deployment {
+        use super::*;
+
+        fn plans() -> DeploymentPlan {
+            Planner::new(DeviceSpec::t4()).deployment(&[1, 256, 2048], zoo::dlrm_mlp_top)
+        }
+
+        #[test]
+        fn selection_changes_with_input_size() {
+            // §7.3 / §6.4.2: MLP-Top flips from all-thread-level at batch
+            // 1 to (partly) global at batch 2048 as intensity rises past
+            // the crossover.
+            let d = plans();
+            let small = d.plan_exact(1).unwrap();
+            let large = d.plan_exact(2048).unwrap();
+            assert_eq!(small.thread_level_layer_count(), small.layers.len());
+            assert!(
+                large.thread_level_layer_count() < large.layers.len(),
+                "batch 2048 should move some layers to global ABFT"
+            );
+        }
+
+        #[test]
+        fn dispatch_pads_up_to_the_smallest_fitting_bucket() {
+            let d = plans();
+            // Observed batch 300 pads up to the 2048 bucket (same rule
+            // as Session::bucket_for); 100 pads up to 256; oversized
+            // inputs fall back to the largest plan; 0 and exact keys use
+            // the smallest bucket that fits.
+            assert_eq!(
+                d.plan_for(300).layers[0].shape.m,
+                d.plan_exact(2048).unwrap().layers[0].shape.m
+            );
+            assert_eq!(
+                d.plan_for(100).layers[0].shape.m,
+                d.plan_exact(256).unwrap().layers[0].shape.m
+            );
+            assert_eq!(
+                d.plan_for(100_000).layers[0].shape.m,
+                d.plan_exact(2048).unwrap().layers[0].shape.m
+            );
+            assert_eq!(
+                d.plan_for(0).layers[0].shape.m,
+                d.plan_exact(1).unwrap().layers[0].shape.m
+            );
+            assert_eq!(
+                d.plan_for(256).layers[0].shape.m,
+                d.plan_exact(256).unwrap().layers[0].shape.m
+            );
+        }
+
+        #[test]
+        fn every_variant_remains_optimal_per_layer() {
+            let d = plans();
+            for (_, plan) in d.variants() {
+                assert!(
+                    plan.intensity_guided_s() <= plan.fixed_scheme_s(Scheme::GlobalAbft) + 1e-15
+                );
+            }
+        }
+    }
+}

@@ -1,71 +1,44 @@
 //! Convenience API for protecting a single matrix multiplication.
+//!
+//! [`ProtectedGemm`] resolves its scheme through the
+//! [`crate::registry::SchemeRegistry`] (the shared built-in one by
+//! default), binds the weights once, and serves any number of runs —
+//! there is no per-scheme dispatch here at all.
 
-use crate::schemes::{
-    GlobalAbft, OneSidedThreadAbft, ReplicationSingleAcc, ReplicationTraditional, Scheme,
-    TwoSidedThreadAbft,
-};
-use aiga_gpu::engine::{FaultPlan, GemmEngine, GemmOutput, Matrix, NoScheme};
+use crate::kernel::BoundKernel;
+use crate::registry::{self, SchemeRegistry};
+use crate::schemes::Scheme;
+use aiga_gpu::engine::{FaultPlan, GemmEngine, Matrix};
 use aiga_gpu::GemmShape;
 
-/// Outcome of a protected GEMM.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum Verdict {
-    /// No fault flagged.
-    Clean,
-    /// A fault was flagged with the given residual and threshold.
-    Detected {
-        /// Check residual.
-        residual: f64,
-        /// Threshold it exceeded.
-        threshold: f64,
-    },
-}
-
-impl Verdict {
-    /// True if no fault was flagged.
-    pub fn is_clean(self) -> bool {
-        matches!(self, Verdict::Clean)
-    }
-
-    /// True if a fault was flagged.
-    pub fn is_detected(self) -> bool {
-        !self.is_clean()
-    }
-}
-
-/// Report of one protected GEMM run.
-#[derive(Clone, Debug)]
-pub struct RunReport {
-    /// The detection verdict.
-    pub verdict: Verdict,
-    /// The (possibly corrupted) FP32 output.
-    pub output: GemmOutput,
-}
+pub use crate::kernel::{RunReport, Verdict};
 
 /// A matrix multiplication protected by one redundancy scheme.
-#[derive(Clone, Debug)]
 pub struct ProtectedGemm {
     a: Matrix,
-    b: Matrix,
-    scheme: Scheme,
     engine: GemmEngine,
-    global: Option<GlobalAbft>,
+    bound: Box<dyn BoundKernel>,
     fault: Option<FaultPlan>,
 }
 
 impl ProtectedGemm {
-    /// Protects `a · b` with `scheme`.
+    /// Protects `a · b` with `scheme`, resolved through the shared
+    /// built-in registry.
     pub fn new(a: Matrix, b: Matrix, scheme: Scheme) -> Self {
+        Self::with_registry(registry::shared(), a, b, scheme)
+    }
+
+    /// Protects `a · b` with `scheme` resolved through an explicit
+    /// registry (custom or extended scheme sets).
+    pub fn with_registry(registry: &SchemeRegistry, a: Matrix, b: Matrix, scheme: Scheme) -> Self {
         assert_eq!(a.cols, b.rows, "inner dimensions must agree");
         let shape = GemmShape::new(a.rows as u64, b.cols as u64, a.cols as u64);
         let engine = GemmEngine::with_default_tiling(shape);
-        let global = matches!(scheme, Scheme::GlobalAbft).then(|| GlobalAbft::prepare(&b));
+        let bound = registry.resolve(scheme).bind(&b);
         ProtectedGemm {
             a,
-            b,
-            scheme,
             engine,
-            global,
+            bound,
             fault: None,
         }
     }
@@ -78,7 +51,7 @@ impl ProtectedGemm {
         Self::new(a, b, scheme)
     }
 
-    /// Injects a fault into the next run.
+    /// Injects a fault into subsequent [`Self::run`] calls.
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
         self
@@ -86,59 +59,20 @@ impl ProtectedGemm {
 
     /// The scheme in use.
     pub fn scheme(&self) -> Scheme {
-        self.scheme
+        self.bound.scheme()
     }
 
     /// Runs the protected GEMM and returns the verdict and output.
     pub fn run(&self) -> RunReport {
-        let fault = self.fault;
-        let output = match self.scheme {
-            Scheme::Unprotected | Scheme::GlobalAbft => {
-                self.engine.run(&self.a, &self.b, || NoScheme, fault)
-            }
-            Scheme::ThreadLevelOneSided => {
-                self.engine
-                    .run(&self.a, &self.b, OneSidedThreadAbft::new, fault)
-            }
-            Scheme::ThreadLevelTwoSided => {
-                self.engine
-                    .run(&self.a, &self.b, TwoSidedThreadAbft::new, fault)
-            }
-            Scheme::ReplicationSingleAcc => {
-                self.engine
-                    .run(&self.a, &self.b, ReplicationSingleAcc::new, fault)
-            }
-            Scheme::ReplicationTraditional => {
-                self.engine
-                    .run(&self.a, &self.b, ReplicationTraditional::new, fault)
-            }
-        };
-        let verdict = match self.scheme {
-            Scheme::Unprotected => Verdict::Clean,
-            Scheme::GlobalAbft => {
-                let v = self
-                    .global
-                    .as_ref()
-                    .expect("global state prepared in new()")
-                    .verify(&self.a, &output);
-                if v.fault_detected {
-                    Verdict::Detected {
-                        residual: v.residual,
-                        threshold: v.threshold,
-                    }
-                } else {
-                    Verdict::Clean
-                }
-            }
-            _ => match output.detections.first() {
-                Some(d) => Verdict::Detected {
-                    residual: d.residual,
-                    threshold: d.threshold,
-                },
-                None => Verdict::Clean,
-            },
-        };
-        RunReport { verdict, output }
+        let faults: Vec<FaultPlan> = self.fault.into_iter().collect();
+        self.run_with(&faults)
+    }
+
+    /// Runs with an explicit fault list (ignoring any stored fault) —
+    /// the entry point injection campaigns use, so one prepared GEMM can
+    /// serve thousands of trials without re-binding.
+    pub fn run_with(&self, faults: &[FaultPlan]) -> RunReport {
+        self.bound.run(&self.engine, &self.a, faults)
     }
 }
 
@@ -164,8 +98,8 @@ mod tests {
             kind: FaultKind::AddValue(1e3),
         };
         for scheme in Scheme::all_protected() {
-            let g = ProtectedGemm::random(GemmShape::new(48, 40, 56), scheme, 123)
-                .with_fault(fault);
+            let g =
+                ProtectedGemm::random(GemmShape::new(48, 40, 56), scheme, 123).with_fault(fault);
             assert!(g.run().verdict.is_detected(), "{scheme}");
         }
     }
@@ -178,8 +112,8 @@ mod tests {
             after_step: u64::MAX,
             kind: FaultKind::SetValue(f32::MAX),
         };
-        let g =
-            ProtectedGemm::random(GemmShape::new(16, 16, 16), Scheme::Unprotected, 7).with_fault(fault);
+        let g = ProtectedGemm::random(GemmShape::new(16, 16, 16), Scheme::Unprotected, 7)
+            .with_fault(fault);
         let r = g.run();
         assert!(r.verdict.is_clean());
         assert_eq!(r.output.get(0, 0), f32::MAX);
@@ -196,6 +130,27 @@ mod tests {
     }
 
     #[test]
+    fn run_with_overrides_the_stored_fault() {
+        let shape = GemmShape::new(32, 32, 32);
+        let g =
+            ProtectedGemm::random(shape, Scheme::ThreadLevelOneSided, 9).with_fault(FaultPlan {
+                row: 1,
+                col: 1,
+                after_step: u64::MAX,
+                kind: FaultKind::AddValue(1e3),
+            });
+        assert!(g.run().verdict.is_detected());
+        assert!(g.run_with(&[]).verdict.is_clean());
+    }
+
+    #[test]
+    fn extension_schemes_work_through_the_same_api() {
+        let g = ProtectedGemm::random(GemmShape::new(32, 32, 32), Scheme::MultiChecksum(2), 15);
+        assert!(g.run().verdict.is_clean());
+        assert_eq!(g.scheme(), Scheme::MultiChecksum(2));
+    }
+
+    #[test]
     #[should_panic(expected = "inner dimensions")]
     fn dimension_mismatch_is_rejected() {
         let a = Matrix::zeros(4, 5);
@@ -208,7 +163,6 @@ mod tests {
 /// the exact path the paper protects (§2.1): im2col the input, multiply
 /// by the reshaped filters on the simulated Tensor Core kernel, check
 /// with the chosen scheme.
-#[derive(Clone, Debug)]
 pub struct ProtectedConv {
     gemm: ProtectedGemm,
     out_dims: (usize, usize),
@@ -315,8 +269,14 @@ mod conv_tests {
     fn faults_in_feature_map_coordinates_are_detected() {
         let (input, filters, params) = setup();
         for scheme in [Scheme::GlobalAbft, Scheme::ThreadLevelOneSided] {
-            let conv = ProtectedConv::new(&input, &filters, params, scheme)
-                .with_fault_at(0, 5, 9, 12, 3, FaultKind::AddValue(80.0));
+            let conv = ProtectedConv::new(&input, &filters, params, scheme).with_fault_at(
+                0,
+                5,
+                9,
+                12,
+                3,
+                FaultKind::AddValue(80.0),
+            );
             assert!(conv.run().verdict.is_detected(), "{scheme}");
         }
     }

@@ -24,10 +24,15 @@ pub use thread_one_sided::OneSidedThreadAbft;
 pub use thread_two_sided::TwoSidedThreadAbft;
 
 use aiga_gpu::TilingConfig;
-use serde::{Deserialize, Serialize};
 
 /// Identifier for every scheme the evaluation compares.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The closed set below covers the paper's schemes plus the §2.4
+/// multi-checksum extension; execution and cost behavior attach to these
+/// ids through [`crate::kernel::SchemeKernel`] implementations held in a
+/// [`crate::registry::SchemeRegistry`], so new behaviors plug in without
+/// touching the selector or the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// No redundancy (the `To` baseline of §6.2).
     Unprotected,
@@ -44,6 +49,58 @@ pub enum Scheme {
     /// Traditional thread-level replication with fully duplicated
     /// accumulators (§4) — the occupancy-cliff variant.
     ReplicationTraditional,
+    /// Multi-checksum global ABFT with the given number of independent
+    /// checksum rounds (§2.4 extension; detects up to `rounds` faults in
+    /// distinct rows).
+    MultiChecksum(u8),
+}
+
+/// Error returned when parsing a scheme id fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scheme `{}` (expected one of: unprotected, global-abft, \
+             thread-level-one-sided, thread-level-two-sided, replication-single-acc, \
+             replication-traditional, multi-checksum-<rounds>)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl std::str::FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    /// Parses the stable kebab-case id produced by [`Scheme`]'s `Display`
+    /// implementation (round-trip safe), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        if let Some(rounds) = norm.strip_prefix("multi-checksum-") {
+            return rounds
+                .parse::<u8>()
+                .ok()
+                .filter(|&r| r >= 1)
+                .map(Scheme::MultiChecksum)
+                .ok_or_else(|| ParseSchemeError { input: s.into() });
+        }
+        match norm.as_str() {
+            "unprotected" => Ok(Scheme::Unprotected),
+            "global-abft" => Ok(Scheme::GlobalAbft),
+            "thread-level-one-sided" => Ok(Scheme::ThreadLevelOneSided),
+            "thread-level-two-sided" => Ok(Scheme::ThreadLevelTwoSided),
+            "replication-single-acc" => Ok(Scheme::ReplicationSingleAcc),
+            "replication-traditional" => Ok(Scheme::ReplicationTraditional),
+            _ => Err(ParseSchemeError { input: s.into() }),
+        }
+    }
 }
 
 impl Scheme {
@@ -72,6 +129,22 @@ impl Scheme {
             Scheme::ThreadLevelTwoSided => "Thread-level ABFT (two-sided)",
             Scheme::ReplicationSingleAcc => "Thread-level replication",
             Scheme::ReplicationTraditional => "Thread-level replication (traditional)",
+            Scheme::MultiChecksum(_) => "Global ABFT (multi-checksum)",
+        }
+    }
+
+    /// A stable small integer distinguishing schemes — useful for
+    /// deriving per-scheme seeds (`Scheme` carries data, so a plain `as`
+    /// cast is unavailable).
+    pub fn ordinal(self) -> u64 {
+        match self {
+            Scheme::Unprotected => 0,
+            Scheme::GlobalAbft => 1,
+            Scheme::ThreadLevelOneSided => 2,
+            Scheme::ThreadLevelTwoSided => 3,
+            Scheme::ReplicationSingleAcc => 4,
+            Scheme::ReplicationTraditional => 5,
+            Scheme::MultiChecksum(rounds) => 6 + rounds as u64,
         }
     }
 
@@ -80,7 +153,7 @@ impl Scheme {
     pub fn extra_mmas_per_step(self, tiling: &TilingConfig) -> u64 {
         let (mt, nt) = (tiling.thread_mt(), tiling.thread_nt());
         match self {
-            Scheme::Unprotected | Scheme::GlobalAbft => 0,
+            Scheme::Unprotected | Scheme::GlobalAbft | Scheme::MultiChecksum(_) => 0,
             Scheme::ThreadLevelOneSided => mt / 2,
             Scheme::ThreadLevelTwoSided => 1,
             Scheme::ReplicationSingleAcc | Scheme::ReplicationTraditional => mt * nt / 2,
@@ -92,7 +165,7 @@ impl Scheme {
     pub fn checksum_ops_per_step(self, tiling: &TilingConfig) -> u64 {
         let (mt, nt) = (tiling.thread_mt(), tiling.thread_nt());
         match self {
-            Scheme::Unprotected | Scheme::GlobalAbft => 0,
+            Scheme::Unprotected | Scheme::GlobalAbft | Scheme::MultiChecksum(_) => 0,
             // One B-side checksum: Nt/2 packed adds per k-lane pair.
             Scheme::ThreadLevelOneSided => nt / 2,
             // Both checksums — the O(Mt + Nt) term motivating §5.2.2.
@@ -105,7 +178,7 @@ impl Scheme {
     pub fn extra_regs(self, tiling: &TilingConfig) -> u64 {
         let (mt, nt) = (tiling.thread_mt(), tiling.thread_nt());
         match self {
-            Scheme::Unprotected | Scheme::GlobalAbft => 0,
+            Scheme::Unprotected | Scheme::GlobalAbft | Scheme::MultiChecksum(_) => 0,
             // Mt ABFT accumulators plus the packed B-checksum register.
             Scheme::ThreadLevelOneSided => mt + 2,
             // One ABFT accumulator + two packed checksum registers.
@@ -131,8 +204,18 @@ impl Scheme {
 }
 
 impl std::fmt::Display for Scheme {
+    /// Prints the stable kebab-case id; round-trips through `FromStr`.
+    /// Figure-style labels remain available via [`Scheme::label`].
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
+        match self {
+            Scheme::Unprotected => f.write_str("unprotected"),
+            Scheme::GlobalAbft => f.write_str("global-abft"),
+            Scheme::ThreadLevelOneSided => f.write_str("thread-level-one-sided"),
+            Scheme::ThreadLevelTwoSided => f.write_str("thread-level-two-sided"),
+            Scheme::ReplicationSingleAcc => f.write_str("replication-single-acc"),
+            Scheme::ReplicationTraditional => f.write_str("replication-traditional"),
+            Scheme::MultiChecksum(rounds) => write!(f, "multi-checksum-{rounds}"),
+        }
     }
 }
 

@@ -80,8 +80,7 @@ impl ThreadLocalScheme for OneSidedThreadAbft {
             let a0 = a_chunk[i * 2];
             let a1 = a_chunk[i * 2 + 1];
             self.abft[i] += a0.to_f32() * w0 + a1.to_f32() * w1;
-            self.magnitude[i] +=
-                a0.to_f64().abs() * w_abs[0] + a1.to_f64().abs() * w_abs[1];
+            self.magnitude[i] += a0.to_f64().abs() * w_abs[0] + a1.to_f64().abs() * w_abs[1];
         }
         self.steps += 1;
         self.counters.extra_mmas += (mt as u64) / 2;

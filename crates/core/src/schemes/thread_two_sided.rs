@@ -82,8 +82,7 @@ impl ThreadLocalScheme for TwoSidedThreadAbft {
             }
         }
         // The single redundant MMA across the checksums.
-        self.abft += a_sum[0].to_f32() * b_sum[0].to_f32()
-            + a_sum[1].to_f32() * b_sum[1].to_f32();
+        self.abft += a_sum[0].to_f32() * b_sum[0].to_f32() + a_sum[1].to_f32() * b_sum[1].to_f32();
         self.magnitude += a_abs[0] * b_abs[0] + a_abs[1] * b_abs[1];
         self.steps += 1;
         self.counters.extra_mmas += 1;

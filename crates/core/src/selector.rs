@@ -1,18 +1,15 @@
-//! Intensity-guided ABFT (§5.3): per-layer selection between global and
-//! thread-level ABFT.
+//! Intensity-guided ABFT plans (§5.3): the per-layer and whole-model
+//! outcome of selection between global and thread-level ABFT.
 //!
-//! Before deployment, every linear layer is profiled under each candidate
-//! scheme and the cheapest is chosen — exactly how the paper integrates
-//! with pre-deployment optimizers like the CUTLASS profiler. The §7.2
-//! analytical alternative skips profiling and picks by comparing the
-//! layer's arithmetic intensity against the device's CMR; both modes are
-//! implemented and their agreement is itself an experiment.
+//! Planning itself lives in [`crate::planner::Planner`] — a builder that
+//! replaces the old `ModelPlan::build`/`build_with` pair. This module
+//! holds the plan data structures, their aggregation metrics (the §6.2
+//! whole-model overheads), and the §7.3 multi-input-size
+//! [`DeploymentPlan`].
 
-use crate::cost::{evaluate_layer, SchemeTiming};
+use crate::cost::SchemeTiming;
 use crate::schemes::Scheme;
-use aiga_gpu::timing::Calibration;
-use aiga_gpu::{Bound, DeviceSpec, GemmShape, Roofline};
-use aiga_nn::Model;
+use aiga_gpu::{DeviceSpec, GemmShape};
 
 /// How the selector chooses a scheme for a layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,6 +21,37 @@ pub enum SelectionMode {
     /// intensity is below the device CMR, global ABFT otherwise (§7.2).
     Analytical,
 }
+
+/// Error returned when a plan is asked about a scheme that was never
+/// profiled as a candidate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemeNotProfiled {
+    /// The scheme asked about.
+    pub scheme: Scheme,
+    /// The layer the question was about.
+    pub layer: String,
+    /// The schemes that *were* profiled for that layer.
+    pub profiled: Vec<Scheme>,
+}
+
+impl std::fmt::Display for SchemeNotProfiled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheme `{}` was not profiled for layer `{}` (profiled candidates: {}); \
+             add it to Planner::candidates before planning",
+            self.scheme,
+            self.layer,
+            self.profiled
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for SchemeNotProfiled {}
 
 /// The per-layer outcome of intensity-guided selection.
 #[derive(Clone, Debug)]
@@ -48,13 +76,28 @@ impl LayerPlan {
         self.time_under(self.chosen)
     }
 
-    /// Time under a specific scheme (must be among the candidates).
-    pub fn time_under(&self, scheme: Scheme) -> f64 {
+    /// Time under a specific scheme, if it was among the candidates.
+    pub fn try_time_under(&self, scheme: Scheme) -> Option<f64> {
         self.candidates
             .iter()
             .find(|t| t.scheme == scheme)
             .map(|t| t.estimate.total_s)
-            .unwrap_or_else(|| panic!("{scheme} was not profiled for {}", self.name))
+    }
+
+    /// Time under a specific scheme; panics with the full candidate list
+    /// if the scheme was not profiled (use [`Self::try_time_under`] for a
+    /// non-panicking variant).
+    pub fn time_under(&self, scheme: Scheme) -> f64 {
+        self.try_time_under(scheme)
+            .unwrap_or_else(|| panic!("{}", self.not_profiled(scheme)))
+    }
+
+    fn not_profiled(&self, scheme: Scheme) -> SchemeNotProfiled {
+        SchemeNotProfiled {
+            scheme,
+            layer: self.name.clone(),
+            profiled: self.candidates.iter().map(|t| t.scheme).collect(),
+        }
     }
 }
 
@@ -70,83 +113,30 @@ pub struct ModelPlan {
 }
 
 impl ModelPlan {
-    /// Plans a model with the paper's default candidates (global +
-    /// one-sided thread-level ABFT) in profiled mode.
-    pub fn build(model: &Model, device: &DeviceSpec, calib: &Calibration) -> Self {
-        Self::build_with(
-            model,
-            device,
-            calib,
-            &Scheme::intensity_guided_candidates(),
-            SelectionMode::Profiled,
-        )
-    }
-
-    /// Plans a model with explicit candidates and selection mode.
-    pub fn build_with(
-        model: &Model,
-        device: &DeviceSpec,
-        calib: &Calibration,
-        candidates: &[Scheme],
-        mode: SelectionMode,
-    ) -> Self {
-        let roofline = Roofline::new(device.clone());
-        let layers = model
-            .layers
-            .iter()
-            .map(|layer| {
-                let shape = layer.shape.padded_to_mma();
-                let (baseline, timings) = evaluate_layer(shape, candidates, device, calib);
-                let intensity = layer.arithmetic_intensity();
-                let chosen = match mode {
-                    SelectionMode::Profiled => {
-                        timings
-                            .iter()
-                            .min_by(|a, b| {
-                                a.estimate.total_s.total_cmp(&b.estimate.total_s)
-                            })
-                            .expect("at least one candidate")
-                            .scheme
-                    }
-                    SelectionMode::Analytical => {
-                        match roofline.classify_intensity(intensity) {
-                            Bound::MemoryBandwidth => *candidates
-                                .iter()
-                                .find(|s| s.is_thread_level())
-                                .unwrap_or(&candidates[0]),
-                            Bound::Compute => *candidates
-                                .iter()
-                                .find(|s| !s.is_thread_level())
-                                .unwrap_or(&candidates[0]),
-                        }
-                    }
-                };
-                LayerPlan {
-                    name: layer.name.clone(),
-                    shape,
-                    intensity,
-                    chosen,
-                    baseline_s: baseline.total_s,
-                    candidates: timings,
-                }
-            })
-            .collect();
-        ModelPlan {
-            model: model.name.clone(),
-            device: device.clone(),
-            layers,
-        }
-    }
-
     /// Total unprotected time (sum of per-layer times, the §6.2
     /// aggregation: layers execute sequentially).
     pub fn baseline_s(&self) -> f64 {
         self.layers.iter().map(|l| l.baseline_s).sum()
     }
 
-    /// Total time with one fixed scheme on every layer.
+    /// Total time with one fixed scheme on every layer, or an error
+    /// naming the first layer where that scheme was never profiled.
+    pub fn try_fixed_scheme_s(&self, scheme: Scheme) -> Result<f64, SchemeNotProfiled> {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.try_time_under(scheme)
+                    .ok_or_else(|| l.not_profiled(scheme))
+            })
+            .sum()
+    }
+
+    /// Total time with one fixed scheme on every layer; panics with the
+    /// candidate list if the scheme was not profiled (use
+    /// [`Self::try_fixed_scheme_s`] for a non-panicking variant).
     pub fn fixed_scheme_s(&self, scheme: Scheme) -> f64 {
-        self.layers.iter().map(|l| l.time_under(scheme)).sum()
+        self.try_fixed_scheme_s(scheme)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Total time under intensity-guided selection.
@@ -166,89 +156,15 @@ impl ModelPlan {
 
     /// How many layers chose a thread-level scheme.
     pub fn thread_level_layer_count(&self) -> usize {
-        self.layers.iter().filter(|l| l.chosen.is_thread_level()).count()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use aiga_nn::zoo;
-
-    fn plan(model: &Model) -> ModelPlan {
-        ModelPlan::build(model, &DeviceSpec::t4(), &Calibration::default())
-    }
-
-    #[test]
-    fn intensity_guided_never_loses_to_either_fixed_scheme() {
-        // By construction (§6.2): "intensity-guided ABFT, by design,
-        // always performs at least as well as global ABFT".
-        for model in [
-            zoo::resnet50(1, 224, 224),
-            zoo::dlrm_mlp_bottom(1),
-            zoo::coral(64),
-        ] {
-            let p = plan(&model);
-            let ig = p.intensity_guided_s();
-            assert!(ig <= p.fixed_scheme_s(Scheme::GlobalAbft) + 1e-15, "{}", model.name);
-            assert!(
-                ig <= p.fixed_scheme_s(Scheme::ThreadLevelOneSided) + 1e-15,
-                "{}",
-                model.name
-            );
-        }
-    }
-
-    #[test]
-    fn low_intensity_models_choose_thread_level_everywhere() {
-        let p = plan(&zoo::dlrm_mlp_bottom(1));
-        assert_eq!(p.thread_level_layer_count(), p.layers.len());
-    }
-
-    #[test]
-    fn mixed_models_split_their_choices() {
-        // ResNet-50 contains both bandwidth- and compute-bound layers
-        // (§3.2/Fig. 5), so intensity-guided ABFT should mix schemes.
-        let p = plan(&zoo::resnet50(1, zoo::HD.0, zoo::HD.1));
-        let thread = p.thread_level_layer_count();
-        assert!(thread > 0, "no thread-level layers chosen");
-        assert!(thread < p.layers.len(), "no global layers chosen");
-    }
-
-    #[test]
-    fn profiled_and_analytical_modes_mostly_agree() {
-        // §7.2: intensity relative to CMR predicts the winner; the two
-        // modes should coincide on a large majority of layers.
-        let model = zoo::resnet50(1, zoo::HD.0, zoo::HD.1);
-        let dev = DeviceSpec::t4();
-        let calib = Calibration::default();
-        let profiled = ModelPlan::build(&model, &dev, &calib);
-        let analytical = ModelPlan::build_with(
-            &model,
-            &dev,
-            &calib,
-            &Scheme::intensity_guided_candidates(),
-            SelectionMode::Analytical,
-        );
-        let agree = profiled
-            .layers
+        self.layers
             .iter()
-            .zip(&analytical.layers)
-            .filter(|(a, b)| a.chosen == b.chosen)
-            .count();
-        let frac = agree as f64 / profiled.layers.len() as f64;
-        // Launch-overhead effects make small layers profile differently
-        // than the pure roofline prediction, so agreement is high but not
-        // total — the same reason the paper prefers empirical profiling.
-        assert!(frac >= 0.6, "agreement only {frac:.2}");
+            .filter(|l| l.chosen.is_thread_level())
+            .count()
     }
 
-    #[test]
-    fn overhead_percentages_are_consistent() {
-        let p = plan(&zoo::dlrm_mlp_top(1));
-        let ig = p.intensity_guided_overhead_pct();
-        let glob = p.fixed_scheme_overhead_pct(Scheme::GlobalAbft);
-        assert!(ig >= 0.0 && glob >= ig, "ig {ig}%, global {glob}%");
+    /// Per-layer chosen schemes, in execution order.
+    pub fn chosen_schemes(&self) -> Vec<Scheme> {
+        self.layers.iter().map(|l| l.chosen).collect()
     }
 }
 
@@ -257,8 +173,10 @@ mod tests {
 /// Arithmetic intensity — and therefore the per-layer ABFT selection —
 /// depends on the input size (batch, resolution). Deployments that
 /// expect several input sizes build one [`ModelPlan`] per size ahead of
-/// time and dispatch among them at inference time; this is cheap because
-/// planning is a pre-deployment step.
+/// time (via [`crate::planner::Planner::deployment`]) and dispatch among
+/// them at inference time; this is cheap because planning is a
+/// pre-deployment step. [`crate::Session`] wraps this with caching and
+/// per-request dispatch.
 #[derive(Clone, Debug)]
 pub struct DeploymentPlan {
     /// `(input-size key, plan)` pairs, e.g. keyed by batch size.
@@ -266,19 +184,9 @@ pub struct DeploymentPlan {
 }
 
 impl DeploymentPlan {
-    /// Builds one plan per input-size key using `instantiate` to produce
-    /// the model for that key (e.g. `|b| zoo::dlrm_mlp_bottom(b)`).
-    pub fn build(
-        keys: &[u64],
-        instantiate: impl Fn(u64) -> aiga_nn::Model,
-        device: &DeviceSpec,
-        calib: &Calibration,
-    ) -> Self {
-        assert!(!keys.is_empty(), "at least one input size required");
-        let variants = keys
-            .iter()
-            .map(|&k| (k, ModelPlan::build(&instantiate(k), device, calib)))
-            .collect();
+    /// Assembles a deployment from pre-built `(key, plan)` variants.
+    pub fn from_variants(variants: Vec<(u64, ModelPlan)>) -> Self {
+        assert!(!variants.is_empty(), "at least one input size required");
         DeploymentPlan { variants }
     }
 
@@ -292,78 +200,64 @@ impl DeploymentPlan {
         self.variants.is_empty()
     }
 
-    /// The plan for the largest pre-planned key that does not exceed the
-    /// observed input size (inputs are padded up to a planned size, as
-    /// serving systems do with batch buckets); falls back to the smallest
-    /// plan for undersized inputs.
+    /// The pre-planned `(key, plan)` variants.
+    pub fn variants(&self) -> &[(u64, ModelPlan)] {
+        &self.variants
+    }
+
+    /// The plan for the smallest pre-planned key that can hold the
+    /// observed input size — inputs are padded *up* to a planned size,
+    /// as serving systems do with batch buckets (the same dispatch rule
+    /// [`crate::Session`] uses). Oversized inputs fall back to the
+    /// largest plan (a server would split such a request).
     pub fn plan_for(&self, observed: u64) -> &ModelPlan {
         self.variants
             .iter()
-            .filter(|(k, _)| *k <= observed)
-            .max_by_key(|(k, _)| *k)
+            .filter(|(k, _)| *k >= observed)
+            .min_by_key(|(k, _)| *k)
+            .or_else(|| self.variants.iter().max_by_key(|(k, _)| *k))
             .map(|(_, p)| p)
-            .unwrap_or(&self.variants[0].1)
+            .expect("at least one variant by construction")
     }
 
     /// The exact-key plan, if one was built.
     pub fn plan_exact(&self, key: u64) -> Option<&ModelPlan> {
-        self.variants.iter().find(|(k, _)| *k == key).map(|(_, p)| p)
+        self.variants
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, p)| p)
     }
 }
 
 #[cfg(test)]
-mod deployment_tests {
-    use super::*;
+mod tests {
+    use crate::planner::Planner;
+    use crate::schemes::Scheme;
+    use aiga_gpu::DeviceSpec;
     use aiga_nn::zoo;
 
-    fn plans() -> DeploymentPlan {
-        DeploymentPlan::build(
-            &[1, 256, 2048],
-            zoo::dlrm_mlp_top,
-            &DeviceSpec::t4(),
-            &Calibration::default(),
-        )
+    #[test]
+    fn try_time_under_reports_unprofiled_schemes_as_none() {
+        let plan = Planner::new(DeviceSpec::t4()).plan(&zoo::dlrm_mlp_bottom(1));
+        let layer = &plan.layers[0];
+        assert!(layer.try_time_under(Scheme::GlobalAbft).is_some());
+        assert!(layer
+            .try_time_under(Scheme::ReplicationTraditional)
+            .is_none());
+        let err = plan
+            .try_fixed_scheme_s(Scheme::ReplicationTraditional)
+            .unwrap_err();
+        assert_eq!(err.scheme, Scheme::ReplicationTraditional);
+        assert!(err.profiled.contains(&Scheme::GlobalAbft));
+        let msg = err.to_string();
+        assert!(msg.contains("replication-traditional"), "{msg}");
+        assert!(msg.contains("Planner::candidates"), "{msg}");
     }
 
     #[test]
-    fn selection_changes_with_input_size() {
-        // §7.3 / §6.4.2: MLP-Top flips from all-thread-level at batch 1
-        // to (partly) global at batch 2048 as intensity rises past the
-        // crossover.
-        let d = plans();
-        let small = d.plan_exact(1).unwrap();
-        let large = d.plan_exact(2048).unwrap();
-        assert_eq!(small.thread_level_layer_count(), small.layers.len());
-        assert!(
-            large.thread_level_layer_count() < large.layers.len(),
-            "batch 2048 should move some layers to global ABFT"
-        );
-    }
-
-    #[test]
-    fn dispatch_picks_the_bucket_below_the_observed_size() {
-        let d = plans();
-        // Observed batch 300 uses the 256 bucket; 100000 uses 2048;
-        // undersized inputs fall back to the smallest plan.
-        assert_eq!(
-            d.plan_for(300).layers[0].shape.m,
-            d.plan_exact(256).unwrap().layers[0].shape.m
-        );
-        assert_eq!(
-            d.plan_for(100_000).layers[0].shape.m,
-            d.plan_exact(2048).unwrap().layers[0].shape.m
-        );
-        assert_eq!(
-            d.plan_for(0).layers[0].shape.m,
-            d.plan_exact(1).unwrap().layers[0].shape.m
-        );
-    }
-
-    #[test]
-    fn every_variant_remains_optimal_per_layer() {
-        let d = plans();
-        for (_, plan) in &d.variants {
-            assert!(plan.intensity_guided_s() <= plan.fixed_scheme_s(Scheme::GlobalAbft) + 1e-15);
-        }
+    #[should_panic(expected = "was not profiled")]
+    fn time_under_panics_with_a_clear_message() {
+        let plan = Planner::new(DeviceSpec::t4()).plan(&zoo::dlrm_mlp_bottom(1));
+        plan.layers[0].time_under(Scheme::ThreadLevelTwoSided);
     }
 }

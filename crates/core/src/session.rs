@@ -1,0 +1,427 @@
+//! The serving front-end: §7.3's multi-input-size deployment as a
+//! first-class API.
+//!
+//! A [`Session`] wraps a [`Planner`] and a model *family* (a constructor
+//! from input-size key to [`Model`], e.g. `|b| zoo::dlrm_mlp_top(b)`).
+//! Requests arrive as activation matrices of any batch size; the session
+//!
+//! 1. dispatches the request to the nearest pre-declared batch bucket
+//!    (padding the batch up with zero rows, as batching serving systems
+//!    do),
+//! 2. lazily builds — and caches, keyed by `(model, device, bucket)` —
+//!    the intensity-guided [`ModelPlan`] and the functional
+//!    [`ProtectedPipeline`] for that bucket (weights bound once: global
+//!    ABFT's offline checksums are computed on the first request and
+//!    reused forever),
+//! 3. runs protected inference and returns the per-request
+//!    [`InferenceReport`] with the padding cropped away, while
+//!    aggregating serving statistics across requests.
+
+use crate::pipeline::{InferenceReport, PipelineFault, ProtectedPipeline};
+use crate::planner::Planner;
+use crate::schemes::Scheme;
+use crate::selector::ModelPlan;
+use aiga_gpu::engine::Matrix;
+use aiga_nn::Model;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Why a request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The request batch exceeds the largest declared bucket.
+    BatchTooLarge {
+        /// Observed request rows.
+        observed: usize,
+        /// Largest declared bucket.
+        largest_bucket: u64,
+    },
+    /// The request feature width does not match the model family.
+    FeatureMismatch {
+        /// Observed request columns.
+        observed: usize,
+        /// Expected input features.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::BatchTooLarge {
+                observed,
+                largest_bucket,
+            } => write!(
+                f,
+                "request batch {observed} exceeds the largest declared bucket \
+                 {largest_bucket}; declare a larger bucket or split the request"
+            ),
+            SessionError::FeatureMismatch { observed, expected } => write!(
+                f,
+                "request has {observed} features but the model family expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Aggregate statistics over a session's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests served successfully.
+    pub requests: u64,
+    /// Requests answered from an already-built plan/pipeline.
+    pub cache_hits: u64,
+    /// Requests that triggered a plan + pipeline build (cache misses).
+    pub plan_builds: u64,
+    /// Requests on which at least one fault was detected.
+    pub faulty_requests: u64,
+    /// Total detection events across all requests.
+    pub detections: u64,
+}
+
+/// The outcome of serving one request.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// The bucket the request was dispatched to.
+    pub bucket: u64,
+    /// Rows of the original request (the report is cropped back to it).
+    pub rows: usize,
+    /// Per-layer schemes that protected this request.
+    pub schemes: Vec<Scheme>,
+    /// The inference result (output is `rows × output_features`).
+    pub report: InferenceReport,
+}
+
+struct BucketEntry {
+    plan: ModelPlan,
+    pipeline: ProtectedPipeline,
+}
+
+/// Builder for [`Session`]s.
+pub struct SessionBuilder {
+    planner: Planner,
+    family_name: String,
+    family: Box<dyn Fn(u64) -> Model + Send + Sync>,
+    buckets: Vec<u64>,
+    seed: u64,
+}
+
+impl SessionBuilder {
+    /// Declares the batch buckets plans are built for (sorted and
+    /// deduplicated). Defaults to `[1]`.
+    pub fn buckets(mut self, buckets: impl IntoIterator<Item = u64>) -> Self {
+        self.buckets = buckets.into_iter().collect();
+        self.buckets.sort_unstable();
+        self.buckets.dedup();
+        assert!(!self.buckets.is_empty(), "at least one bucket required");
+        assert!(self.buckets[0] >= 1, "buckets must be >= 1");
+        self
+    }
+
+    /// Seed for the deterministic pipeline weights.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the session.
+    pub fn build(self) -> Session {
+        Session {
+            planner: self.planner,
+            family_name: self.family_name,
+            family: self.family,
+            buckets: self.buckets,
+            seed: self.seed,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(SessionStats::default()),
+        }
+    }
+}
+
+/// A long-lived serving session: plan once per bucket, serve many
+/// requests.
+pub struct Session {
+    planner: Planner,
+    family_name: String,
+    family: Box<dyn Fn(u64) -> Model + Send + Sync>,
+    buckets: Vec<u64>,
+    seed: u64,
+    cache: Mutex<HashMap<(String, String, u64), Arc<BucketEntry>>>,
+    stats: Mutex<SessionStats>,
+}
+
+impl Session {
+    /// Starts building a session for a model family. `family_name` keys
+    /// the plan cache together with the device and bucket; `family` maps
+    /// a batch-size key to the model served at that size.
+    pub fn builder(
+        planner: Planner,
+        family_name: impl Into<String>,
+        family: impl Fn(u64) -> Model + Send + Sync + 'static,
+    ) -> SessionBuilder {
+        SessionBuilder {
+            planner,
+            family_name: family_name.into(),
+            family: Box::new(family),
+            buckets: vec![1],
+            seed: 0,
+        }
+    }
+
+    /// The declared batch buckets, ascending.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The bucket a request with `rows` rows dispatches to: the smallest
+    /// declared bucket that fits it (requests are padded *up*).
+    pub fn bucket_for(&self, rows: usize) -> Result<u64, SessionError> {
+        self.buckets
+            .iter()
+            .copied()
+            .find(|&b| b >= rows as u64)
+            .ok_or(SessionError::BatchTooLarge {
+                observed: rows,
+                largest_bucket: *self.buckets.last().unwrap(),
+            })
+    }
+
+    /// The intensity-guided plan serving a given bucket (builds and
+    /// caches it if needed). Mostly useful for inspection and tests;
+    /// does not touch the request-oriented [`SessionStats`] counters.
+    pub fn plan_for_bucket(&self, bucket: u64) -> Arc<ModelPlan> {
+        let (entry, _) = self.entry(bucket);
+        Arc::new(entry.plan.clone())
+    }
+
+    /// Serves one request (rows ≤ some declared bucket, columns equal to
+    /// the family's input features).
+    pub fn serve(&self, input: &Matrix) -> Result<ServeReport, SessionError> {
+        self.serve_with_fault(input, None)
+    }
+
+    /// Serves one request with an optional injected fault (the §2.3
+    /// single-fault model, aimed at one layer of this request).
+    pub fn serve_with_fault(
+        &self,
+        input: &Matrix,
+        fault: Option<PipelineFault>,
+    ) -> Result<ServeReport, SessionError> {
+        let bucket = self.bucket_for(input.rows)?;
+        let (entry, built) = self.entry(bucket);
+        let expected = entry.pipeline.input_features();
+        if input.cols != expected {
+            return Err(SessionError::FeatureMismatch {
+                observed: input.cols,
+                expected,
+            });
+        }
+
+        // Pad the batch up to the bucket with zero rows, run, crop back.
+        let padded = if input.rows == bucket as usize {
+            input.clone()
+        } else {
+            input.padded(bucket as usize, input.cols)
+        };
+        let mut report = entry.pipeline.infer(&padded, fault);
+        let n_out = entry.pipeline.output_features();
+        report.output.truncate(input.rows * n_out);
+
+        let mut stats = self.stats.lock().unwrap();
+        stats.requests += 1;
+        if built {
+            stats.plan_builds += 1;
+        } else {
+            stats.cache_hits += 1;
+        }
+        stats.detections += report.detections.len() as u64;
+        if report.fault_detected() {
+            stats.faulty_requests += 1;
+        }
+        drop(stats);
+
+        Ok(ServeReport {
+            bucket,
+            rows: input.rows,
+            schemes: entry.pipeline.schemes(),
+            report,
+        })
+    }
+
+    /// A snapshot of the aggregate serving statistics.
+    pub fn stats(&self) -> SessionStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Fetches (building if needed) the bucket's plan + pipeline.
+    /// Returns `(entry, built)` where `built` is true when this call
+    /// won the build; stats accounting is the caller's concern so that
+    /// inspection paths don't skew request counters.
+    fn entry(&self, bucket: u64) -> (Arc<BucketEntry>, bool) {
+        let key = (
+            self.family_name.clone(),
+            self.planner.device().name.to_string(),
+            bucket,
+        );
+        // Fast path under the lock; build outside it so concurrent
+        // requests for *different* buckets don't serialize on planning.
+        if let Some(entry) = self.cache.lock().unwrap().get(&key) {
+            return (entry.clone(), false);
+        }
+        let model = (self.family)(bucket);
+        let plan = self.planner.plan(&model);
+        let pipeline = ProtectedPipeline::with_registry(
+            self.planner.scheme_registry(),
+            &model,
+            &plan.chosen_schemes(),
+            self.seed,
+        );
+        let entry = Arc::new(BucketEntry { plan, pipeline });
+        let mut cache = self.cache.lock().unwrap();
+        let winner = cache.entry(key).or_insert_with(|| entry.clone()).clone();
+        drop(cache);
+        let built = Arc::ptr_eq(&winner, &entry);
+        (winner, built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::engine::{FaultKind, FaultPlan};
+    use aiga_gpu::DeviceSpec;
+    use aiga_nn::zoo;
+
+    fn session() -> Session {
+        Session::builder(
+            Planner::new(DeviceSpec::t4()),
+            "dlrm-mlp-bottom",
+            zoo::dlrm_mlp_bottom,
+        )
+        .buckets([8, 32])
+        .seed(7)
+        .build()
+    }
+
+    #[test]
+    fn requests_dispatch_to_the_smallest_fitting_bucket() {
+        let s = session();
+        assert_eq!(s.bucket_for(1).unwrap(), 8);
+        assert_eq!(s.bucket_for(8).unwrap(), 8);
+        assert_eq!(s.bucket_for(9).unwrap(), 32);
+        assert_eq!(
+            s.bucket_for(33),
+            Err(SessionError::BatchTooLarge {
+                observed: 33,
+                largest_bucket: 32
+            })
+        );
+    }
+
+    #[test]
+    fn serving_pads_and_crops_to_the_request_batch() {
+        let s = session();
+        let small = Matrix::random(3, 13, 100);
+        let r = s.serve(&small).unwrap();
+        assert_eq!(r.bucket, 8);
+        assert_eq!(r.rows, 3);
+        assert_eq!(r.report.output.len(), 3 * 64);
+        assert!(!r.report.fault_detected());
+        // The padded rows must not perturb the real rows: an exact-batch
+        // request computes the identical leading outputs.
+        let full = Matrix::random(8, 13, 100);
+        let rf = s.serve(&full).unwrap();
+        let shared = Matrix::from_fn(3, 13, |r, c| full.get(r, c));
+        let rs = s.serve(&shared).unwrap();
+        assert_eq!(rs.report.output[..], rf.report.output[..3 * 64]);
+    }
+
+    #[test]
+    fn plans_are_cached_per_bucket() {
+        let s = session();
+        for _ in 0..3 {
+            s.serve(&Matrix::random(5, 13, 1)).unwrap();
+        }
+        s.serve(&Matrix::random(20, 13, 2)).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.plan_builds, 2, "{stats:?}"); // one per touched bucket
+        assert_eq!(stats.cache_hits, 2, "{stats:?}");
+        assert_eq!(stats.faulty_requests, 0);
+    }
+
+    #[test]
+    fn served_schemes_match_the_bucket_plan() {
+        let s = session();
+        let r = s.serve(&Matrix::random(8, 13, 3)).unwrap();
+        let plan = s.plan_for_bucket(8);
+        assert_eq!(r.schemes, plan.chosen_schemes());
+    }
+
+    #[test]
+    fn plan_inspection_does_not_skew_request_stats() {
+        let s = session();
+        s.plan_for_bucket(8);
+        s.plan_for_bucket(8);
+        assert_eq!(s.stats(), SessionStats::default());
+        // The first real request reuses the inspected entry: it is a
+        // cache hit, and requests == plan_builds + cache_hits holds.
+        s.serve(&Matrix::random(4, 13, 1)).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.plan_builds, 0);
+    }
+
+    #[test]
+    fn faults_are_detected_and_counted() {
+        let s = session();
+        let fault = PipelineFault {
+            layer: 1,
+            fault: FaultPlan {
+                row: 2,
+                col: 50,
+                after_step: 4,
+                kind: FaultKind::AddValue(50.0),
+            },
+        };
+        let r = s
+            .serve_with_fault(&Matrix::random(8, 13, 4), Some(fault))
+            .unwrap();
+        assert!(r.report.fault_detected());
+        let stats = s.stats();
+        assert_eq!(stats.faulty_requests, 1);
+        assert!(stats.detections >= 1);
+    }
+
+    #[test]
+    fn feature_mismatch_is_rejected() {
+        let s = session();
+        let err = s.serve(&Matrix::random(4, 9, 5)).unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::FeatureMismatch {
+                observed: 9,
+                expected: 13
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_share_the_cache() {
+        let s = std::sync::Arc::new(session());
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    s.serve(&Matrix::random(6, 13, 10 + i)).unwrap();
+                });
+            }
+        });
+        let stats = s.stats();
+        assert_eq!(stats.requests, 4);
+        assert!(stats.plan_builds >= 1 && stats.plan_builds <= 4);
+    }
+}

@@ -23,8 +23,7 @@ pub const U32: f64 = 5.960464477539063e-8; // 2^-24
 pub const ABS_FLOOR: f64 = 1e-6;
 
 /// How a checksum comparison decides "faulty".
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Tolerance {
     /// First-order analytical bound: `threshold = (n16·u16 + n32·u32) ·
     /// magnitude + floor`, where `n16`/`n32` count FP16/FP32 rounding
@@ -46,9 +45,7 @@ impl Tolerance {
     /// over data of total absolute magnitude `magnitude`.
     pub fn threshold(self, rounds16: f64, rounds32: f64, magnitude: f64) -> f64 {
         match self {
-            Tolerance::Analytical => {
-                (rounds16 * U16 + rounds32 * U32) * magnitude + ABS_FLOOR
-            }
+            Tolerance::Analytical => (rounds16 * U16 + rounds32 * U32) * magnitude + ABS_FLOOR,
             Tolerance::Relative(rel) => rel * magnitude + ABS_FLOOR,
             Tolerance::Exact => 0.0,
         }
@@ -59,7 +56,6 @@ impl Tolerance {
         residual > self.threshold(rounds16, rounds32, magnitude)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

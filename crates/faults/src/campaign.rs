@@ -4,8 +4,6 @@ use crate::model::FaultModel;
 use aiga_core::{ProtectedGemm, Scheme};
 use aiga_gpu::engine::{FaultPlan, Matrix};
 use aiga_gpu::GemmShape;
-use rayon::prelude::*;
-use serde::Serialize;
 
 /// Classification of one injection trial.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -25,7 +23,7 @@ pub enum Outcome {
 }
 
 /// Aggregated campaign statistics.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CampaignStats {
     /// Trials run.
     pub trials: usize,
@@ -109,7 +107,7 @@ impl Campaign {
 
     /// Classifies one injected fault.
     pub fn classify(&self, fault: FaultPlan) -> Outcome {
-        let report = self.gemm.clone().with_fault(fault).run();
+        let report = self.gemm.run_with(&[fault]);
         let max_abs_delta = report
             .output
             .c
@@ -155,10 +153,7 @@ impl Campaign {
 
     /// Runs an explicit fault list in parallel.
     pub fn run_faults(&self, faults: &[FaultPlan]) -> CampaignStats {
-        faults
-            .par_iter()
-            .map(|&f| self.classify(f))
-            .collect::<Vec<_>>()
+        aiga_util::par_map(faults, |&f| self.classify(f))
             .into_iter()
             .fold(CampaignStats::default(), |mut s, o| {
                 s.absorb(o);
@@ -225,7 +220,10 @@ mod tests {
         let sweep = c.bit_sweep(10, 20);
         let (bit0, stats0) = sweep[0];
         assert_eq!(bit0, 0);
-        assert_eq!(stats0.detected, 0, "LSB flips shouldn't trip ABFT: {stats0:?}");
+        assert_eq!(
+            stats0.detected, 0,
+            "LSB flips shouldn't trip ABFT: {stats0:?}"
+        );
         assert!(stats0.worst_sdc < 1e-2);
         // High exponent bits, by contrast, are caught whenever they land.
         let (_, stats30) = sweep[30];

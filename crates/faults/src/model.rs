@@ -2,8 +2,7 @@
 
 use aiga_gpu::engine::{FaultKind, FaultPlan};
 use aiga_gpu::GemmShape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aiga_util::rng::Rng64;
 
 /// A distribution over single faults for a GEMM of a given shape,
 /// following the §2.3 fault model: one corrupted output value of `C`,
@@ -25,16 +24,16 @@ impl FaultModel {
     }
 
     /// Uniformly random output coordinate.
-    fn site(&self, rng: &mut StdRng) -> (usize, usize) {
+    fn site(&self, rng: &mut Rng64) -> (usize, usize) {
         (
-            rng.gen_range(0..self.shape.m) as usize,
-            rng.gen_range(0..self.shape.n) as usize,
+            rng.range_u64(0, self.shape.m) as usize,
+            rng.range_u64(0, self.shape.n) as usize,
         )
     }
 
     /// Uniformly random strike time: any K-step, or the epilogue.
-    fn strike(&self, rng: &mut StdRng) -> u64 {
-        let s = rng.gen_range(0..=self.k_steps);
+    fn strike(&self, rng: &mut Rng64) -> u64 {
+        let s = rng.range_u64_inclusive(0, self.k_steps);
         if s == self.k_steps {
             u64::MAX
         } else {
@@ -44,19 +43,19 @@ impl FaultModel {
 
     /// A uniformly random single-bit flip in the FP32 accumulator — the
     /// canonical soft-error model used by fault-injection studies.
-    pub fn random_bit_flip(&self, rng: &mut StdRng) -> FaultPlan {
+    pub fn random_bit_flip(&self, rng: &mut Rng64) -> FaultPlan {
         let (row, col) = self.site(rng);
         FaultPlan {
             row,
             col,
             after_step: self.strike(rng),
-            kind: FaultKind::BitFlip(rng.gen_range(0..32)),
+            kind: FaultKind::BitFlip(rng.range_u64(0, 32) as u8),
         }
     }
 
     /// A bit flip restricted to the given bit position (for per-bit
     /// vulnerability sweeps).
-    pub fn bit_flip_at(&self, bit: u8, rng: &mut StdRng) -> FaultPlan {
+    pub fn bit_flip_at(&self, bit: u8, rng: &mut Rng64) -> FaultPlan {
         let (row, col) = self.site(rng);
         FaultPlan {
             row,
@@ -68,7 +67,7 @@ impl FaultModel {
 
     /// An additive error of fixed magnitude with random sign (models a
     /// wrong partial product of known size).
-    pub fn additive(&self, magnitude: f32, rng: &mut StdRng) -> FaultPlan {
+    pub fn additive(&self, magnitude: f32, rng: &mut Rng64) -> FaultPlan {
         let (row, col) = self.site(rng);
         let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
         FaultPlan {
@@ -80,8 +79,8 @@ impl FaultModel {
     }
 
     /// A deterministic RNG for reproducible campaigns.
-    pub fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    pub fn rng(seed: u64) -> Rng64 {
+        Rng64::seed_from_u64(seed)
     }
 }
 
@@ -136,7 +135,9 @@ mod tests {
     fn strikes_cover_epilogue_and_loop() {
         let m = FaultModel::new(GemmShape::new(16, 16, 64));
         let mut rng = FaultModel::rng(5);
-        let strikes: Vec<u64> = (0..300).map(|_| m.random_bit_flip(&mut rng).after_step).collect();
+        let strikes: Vec<u64> = (0..300)
+            .map(|_| m.random_bit_flip(&mut rng).after_step)
+            .collect();
         assert!(strikes.contains(&u64::MAX));
         assert!(strikes.iter().any(|&s| s != u64::MAX));
     }

@@ -186,7 +186,11 @@ pub fn f64_to_f16_bits(x: f64) -> u16 {
 
     if e == 0x7ff {
         // Infinity or NaN; NaN payloads are canonicalized.
-        return if m == 0 { sign | EXP_MASK } else { sign | 0x7e00 };
+        return if m == 0 {
+            sign | EXP_MASK
+        } else {
+            sign | 0x7e00
+        };
     }
     if e == 0 && m == 0 {
         return sign; // signed zero
@@ -211,9 +215,9 @@ pub fn f64_to_f16_bits(x: f64) -> u16 {
         // Normal f16 candidate: quantum 2^(emag-10); sig's leading bit sits
         // at position 52, so we drop 42 bits.
         let q = rne_shift(sig, 42); // q in [2^10, 2^11]
-        // Encode with the implicit bit folded into the exponent field;
-        // q == 2^11 (mantissa overflow) carries into the exponent
-        // automatically, and an exponent of 31 means overflow to infinity.
+                                    // Encode with the implicit bit folded into the exponent field;
+                                    // q == 2^11 (mantissa overflow) carries into the exponent
+                                    // automatically, and an exponent of 31 means overflow to infinity.
         let bits = (((emag + 14) as u32) << 10) + q as u32;
         if bits >= 0x7c00 {
             return sign | EXP_MASK;

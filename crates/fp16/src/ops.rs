@@ -48,10 +48,7 @@ pub fn hsum_pairwise(values: &[F16]) -> F16 {
 /// checksum dot product of §2.4, executed on regular FMA units).
 pub fn hdot_f32(a: &[F16], b: &[F16]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| x.to_f32() * y.to_f32())
-        .sum()
+    a.iter().zip(b).map(|(x, y)| x.to_f32() * y.to_f32()).sum()
 }
 
 #[cfg(test)]

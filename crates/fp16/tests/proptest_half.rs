@@ -1,123 +1,162 @@
-//! Property-based tests for the software FP16 implementation.
+//! Randomized property tests for the software FP16 implementation
+//! (seeded deterministic case loops; no external crates).
 
 use aiga_fp16::ops::{hdot_f32, hsum, hsum_pairwise};
-use aiga_fp16::{mma_m16n8k8, F16, MmaTile};
-use proptest::prelude::*;
+use aiga_fp16::{mma_m16n8k8, MmaTile, F16};
+use aiga_util::Rng64;
 
-/// Strategy producing arbitrary finite F16 values through their bit
-/// patterns (covers normals, subnormals, and signed zeros).
-fn finite_f16() -> impl Strategy<Value = F16> {
-    any::<u16>()
-        .prop_map(F16::from_bits)
-        .prop_filter("finite", |h| h.is_finite())
-}
-
-/// Strategy for "moderate" values where FP32 accumulation of 8-term dot
-/// products is exact enough to compare against f64.
-fn moderate_f16() -> impl Strategy<Value = F16> {
-    (-240i32..=240).prop_map(|v| F16::from_f32(v as f32 / 8.0))
-}
-
-proptest! {
-    #[test]
-    fn roundtrip_through_f64_is_identity(h in finite_f16()) {
-        prop_assert_eq!(F16::from_f64(h.to_f64()).to_bits(), h.to_bits());
+/// Arbitrary finite F16 values through their bit patterns (covers
+/// normals, subnormals, and signed zeros).
+fn finite_f16(rng: &mut Rng64) -> F16 {
+    loop {
+        let h = F16::from_bits(rng.next_u16());
+        if h.is_finite() {
+            return h;
+        }
     }
+}
 
-    #[test]
-    fn conversion_is_monotone(a in any::<f64>(), b in any::<f64>()) {
-        prop_assume!(a.is_finite() && b.is_finite());
+/// "Moderate" values where FP32 accumulation of 8-term dot products is
+/// exact enough to compare against f64.
+fn moderate_f16(rng: &mut Rng64) -> F16 {
+    let v = rng.range_u64(0, 481) as i32 - 240;
+    F16::from_f32(v as f32 / 8.0)
+}
+
+fn moderate_vec(rng: &mut Rng64, len: usize) -> Vec<F16> {
+    (0..len).map(|_| moderate_f16(rng)).collect()
+}
+
+#[test]
+fn roundtrip_through_f64_is_identity() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0001);
+    for _ in 0..4000 {
+        let h = finite_f16(&mut rng);
+        assert_eq!(F16::from_f64(h.to_f64()).to_bits(), h.to_bits());
+    }
+}
+
+#[test]
+fn conversion_is_monotone() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0002);
+    for _ in 0..4000 {
+        let a = rng.range_f64(-1e6, 1e6);
+        let b = rng.range_f64(-1e6, 1e6);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let (hlo, hhi) = (F16::from_f64(lo), F16::from_f64(hi));
         // Rounding is monotone: lo <= hi implies f16(lo) <= f16(hi).
-        prop_assert!(hlo.to_f64() <= hhi.to_f64());
+        assert!(hlo.to_f64() <= hhi.to_f64(), "{lo} {hi}");
     }
+}
 
-    #[test]
-    fn conversion_error_is_within_half_ulp(x in -60000.0f64..60000.0) {
-        let h = F16::from_f64(x);
-        let back = h.to_f64();
+#[test]
+fn conversion_error_is_within_half_ulp() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0003);
+    for _ in 0..4000 {
+        let x = rng.range_f64(-60000.0, 60000.0);
+        let back = F16::from_f64(x).to_f64();
         // ulp at |x|: 2^(floor(log2|x|) - 10), min quantum 2^-24.
         let ulp = if x == 0.0 {
             2.0_f64.powi(-24)
         } else {
             2.0_f64.powi((x.abs().log2().floor() as i32 - 10).max(-24))
         };
-        prop_assert!((back - x).abs() <= ulp / 2.0 + f64::EPSILON,
-            "x={x} back={back} ulp={ulp}");
+        assert!(
+            (back - x).abs() <= ulp / 2.0 + f64::EPSILON,
+            "x={x} back={back} ulp={ulp}"
+        );
     }
+}
 
-    #[test]
-    fn addition_is_commutative(a in finite_f16(), b in finite_f16()) {
-        let ab = a + b;
-        let ba = b + a;
-        prop_assert!(ab == ba || (ab.is_nan() && ba.is_nan()));
+#[test]
+fn addition_and_multiplication_are_commutative() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0004);
+    for _ in 0..4000 {
+        let a = finite_f16(&mut rng);
+        let b = finite_f16(&mut rng);
+        let (ab, ba) = (a + b, b + a);
+        assert!(ab == ba || (ab.is_nan() && ba.is_nan()));
+        let (ab, ba) = (a * b, b * a);
+        assert!(ab == ba || (ab.is_nan() && ba.is_nan()));
     }
+}
 
-    #[test]
-    fn multiplication_is_commutative(a in finite_f16(), b in finite_f16()) {
-        let ab = a * b;
-        let ba = b * a;
-        prop_assert!(ab == ba || (ab.is_nan() && ba.is_nan()));
+#[test]
+fn add_and_mul_are_correctly_rounded() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0005);
+    for _ in 0..4000 {
+        let a = finite_f16(&mut rng);
+        let b = finite_f16(&mut rng);
+        // The exact sum/product of two f16 values is representable in
+        // f64, so rounding it once is the correctly-rounded answer.
+        assert_eq!(
+            (a + b).to_bits(),
+            F16::from_f64(a.to_f64() + b.to_f64()).to_bits()
+        );
+        assert_eq!(
+            (a * b).to_bits(),
+            F16::from_f64(a.to_f64() * b.to_f64()).to_bits()
+        );
     }
+}
 
-    #[test]
-    fn add_is_correctly_rounded(a in finite_f16(), b in finite_f16()) {
-        // The exact sum of two f16 values is representable in f64, so
-        // rounding it once is the correctly-rounded answer.
-        let exact = a.to_f64() + b.to_f64();
-        prop_assert_eq!((a + b).to_bits(), F16::from_f64(exact).to_bits());
-    }
-
-    #[test]
-    fn mul_is_correctly_rounded(a in finite_f16(), b in finite_f16()) {
-        let exact = a.to_f64() * b.to_f64();
-        prop_assert_eq!((a * b).to_bits(), F16::from_f64(exact).to_bits());
-    }
-
-    #[test]
-    fn neg_is_involutive_and_sign_flipping(a in finite_f16()) {
-        prop_assert_eq!((-(-a)).to_bits(), a.to_bits());
+#[test]
+fn neg_is_involutive_and_sign_flipping() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0006);
+    for _ in 0..2000 {
+        let a = finite_f16(&mut rng);
+        assert_eq!((-(-a)).to_bits(), a.to_bits());
         if !a.is_zero() {
-            prop_assert!((-a).to_f64() == -(a.to_f64()));
+            assert!((-a).to_f64() == -(a.to_f64()));
         }
     }
+}
 
-    #[test]
-    fn hsum_of_nonnegative_is_monotone_in_length(
-        vals in proptest::collection::vec(0u16..0x3c00, 1..40)
-    ) {
+#[test]
+fn hsum_of_nonnegative_is_monotone_in_length() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0007);
+    for _ in 0..200 {
         // All values in [0, 1); appending more nonnegative terms never
         // decreases the FP16 running sum.
-        let vals: Vec<F16> = vals.into_iter().map(F16::from_bits).collect();
+        let len = rng.range_usize(1, 40);
+        let vals: Vec<F16> = (0..len)
+            .map(|_| F16::from_bits(rng.range_u64(0, 0x3c00) as u16))
+            .collect();
         let mut prev = F16::ZERO;
         for n in 1..=vals.len() {
             let s = hsum(&vals[..n]);
-            prop_assert!(s.to_f64() >= prev.to_f64());
+            assert!(s.to_f64() >= prev.to_f64());
             prev = s;
         }
     }
+}
 
-    #[test]
-    fn pairwise_sum_is_at_least_as_accurate(
-        vals in proptest::collection::vec(moderate_f16(), 1..64)
-    ) {
+#[test]
+fn pairwise_sum_is_at_least_as_accurate() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0008);
+    for _ in 0..400 {
+        let len = rng.range_usize(1, 64);
+        let vals = moderate_vec(&mut rng, len);
         let exact: f64 = vals.iter().map(|v| v.to_f64()).sum();
         let seq = hsum(&vals).to_f64();
         let tree = hsum_pairwise(&vals).to_f64();
         // Not asserting tree <= seq error pointwise (not a theorem), just
         // that both stay within the coarse FP16 error envelope.
-        let bound = vals.len() as f64 * 0.5 * 2.0_f64.powi(-10)
+        let bound = vals.len() as f64
+            * 0.5
+            * 2.0_f64.powi(-10)
             * vals.iter().map(|v| v.to_f64().abs()).sum::<f64>().max(1.0);
-        prop_assert!((seq - exact).abs() <= bound + 1.0);
-        prop_assert!((tree - exact).abs() <= bound + 1.0);
+        assert!((seq - exact).abs() <= bound + 1.0);
+        assert!((tree - exact).abs() <= bound + 1.0);
     }
+}
 
-    #[test]
-    fn mma_matches_f64_reference(
-        a in proptest::collection::vec(moderate_f16(), 128),
-        b in proptest::collection::vec(moderate_f16(), 64),
-    ) {
+#[test]
+fn mma_matches_f64_reference() {
+    let mut rng = Rng64::seed_from_u64(0xF16_0009);
+    for _ in 0..200 {
+        let a = moderate_vec(&mut rng, 128);
+        let b = moderate_vec(&mut rng, 64);
         let mut c = vec![0.0f32; 128];
         mma_m16n8k8(MmaTile::new(&a, 8), MmaTile::new(&b, 8), &mut c, 8);
         for i in 0..16 {
@@ -130,21 +169,23 @@ proptest! {
                 }
                 // Bit-identical to the sequential FP32 reference and close
                 // to the exact value.
-                prop_assert_eq!(c[i * 8 + j], f32ref);
-                prop_assert!((c[i * 8 + j] as f64 - exact).abs() < 1e-1);
+                assert_eq!(c[i * 8 + j], f32ref);
+                assert!((c[i * 8 + j] as f64 - exact).abs() < 1e-1);
             }
         }
     }
+}
 
-    #[test]
-    fn hdot_is_bilinear_in_scaling_by_powers_of_two(
-        a in proptest::collection::vec(moderate_f16(), 8),
-        b in proptest::collection::vec(moderate_f16(), 8),
-    ) {
+#[test]
+fn hdot_is_bilinear_in_scaling_by_powers_of_two() {
+    let mut rng = Rng64::seed_from_u64(0xF16_000A);
+    for _ in 0..1000 {
+        let a = moderate_vec(&mut rng, 8);
+        let b = moderate_vec(&mut rng, 8);
         // Scaling by 2 is exact in FP16, so the dot product must scale
         // exactly too.
         let two = F16::from_f32(2.0);
         let a2: Vec<F16> = a.iter().map(|&x| x * two).collect();
-        prop_assert_eq!(hdot_f32(&a2, &b), 2.0 * hdot_f32(&a, &b));
+        assert_eq!(hdot_f32(&a2, &b), 2.0 * hdot_f32(&a, &b));
     }
 }

@@ -6,14 +6,12 @@
 //! is what intensity-guided ABFT compares a layer's arithmetic intensity
 //! against.
 
-use serde::{Deserialize, Serialize};
-
 /// Hardware parameters of one GPU.
 ///
 /// Throughputs are *peak* device-wide numbers (the same figures the paper
 /// quotes from vendor datasheets); the timing model derates them through
 /// utilization and occupancy factors.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DeviceSpec {
     /// Marketing name, e.g. `"NVIDIA T4"`.
     pub name: &'static str,
@@ -169,7 +167,10 @@ mod tests {
         let p4 = DeviceSpec::p4();
         let flops_ratio = t4.tensor_flops / p4.tensor_flops;
         let bw_ratio = t4.mem_bw / p4.mem_bw;
-        assert!((flops_ratio - 5.9).abs() < 0.05, "flops ratio {flops_ratio}");
+        assert!(
+            (flops_ratio - 5.9).abs() < 0.05,
+            "flops ratio {flops_ratio}"
+        );
         assert!((bw_ratio - 1.67).abs() < 0.05, "bw ratio {bw_ratio}");
     }
 

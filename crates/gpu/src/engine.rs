@@ -23,9 +23,7 @@
 use crate::shape::GemmShape;
 use crate::tiling::{TilingConfig, STEP_K};
 use aiga_fp16::F16;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
+use aiga_util::rng::Rng64;
 
 /// A row-major FP16 matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,10 +61,8 @@ impl Matrix {
     /// quantized to FP16 — the magnitude regime of normalized NN
     /// activations and weights.
     pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Self::from_fn(rows, cols, |_, _| {
-            F16::from_f32(rng.gen_range(-2.0f32..2.0))
-        })
+        let mut rng = Rng64::seed_from_u64(seed);
+        Self::from_fn(rows, cols, |_, _| F16::from_f32(rng.range_f32(-2.0, 2.0)))
     }
 
     /// Element accessor.
@@ -174,6 +170,24 @@ pub trait ThreadLocalScheme: Send {
     }
 }
 
+/// Boxed schemes forward to the inner implementation, so heterogeneous
+/// scheme kernels (`aiga-core`'s `SchemeKernel` trait objects) can drive
+/// the generic engine without monomorphizing per scheme.
+impl ThreadLocalScheme for Box<dyn ThreadLocalScheme> {
+    fn begin(&mut self, ctx: &ThreadCtx) {
+        (**self).begin(ctx)
+    }
+    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
+        (**self).on_k_step(a_chunk, b_chunk, mt, nt)
+    }
+    fn finalize(&mut self, ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
+        (**self).finalize(ctx, acc, mt, nt)
+    }
+    fn counters(&self) -> SchemeCounters {
+        (**self).counters()
+    }
+}
+
 /// The unprotected baseline: no redundant work, always-clean verdicts.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoScheme;
@@ -181,7 +195,13 @@ pub struct NoScheme;
 impl ThreadLocalScheme for NoScheme {
     fn begin(&mut self, _ctx: &ThreadCtx) {}
     fn on_k_step(&mut self, _a: &[F16], _b: &[F16], _mt: usize, _nt: usize) {}
-    fn finalize(&mut self, _ctx: &ThreadCtx, _acc: &[f32], _mt: usize, _nt: usize) -> ThreadVerdict {
+    fn finalize(
+        &mut self,
+        _ctx: &ThreadCtx,
+        _acc: &[f32],
+        _mt: usize,
+        _nt: usize,
+    ) -> ThreadVerdict {
         ThreadVerdict::clean()
     }
 }
@@ -365,33 +385,29 @@ impl GemmEngine {
             counters: EngineCounters,
         }
 
-        let results: Vec<BlockResult> = blocks
-            .par_iter()
-            .map(|&(br, bc)| {
-                let mut tile =
-                    vec![0.0f32; (self.tiling.block_m * self.tiling.block_n) as usize];
-                let mut detections = Vec::new();
-                let mut counters = EngineCounters::default();
-                self.run_block(
-                    br,
-                    bc,
-                    &ap,
-                    &bp,
-                    &make_scheme,
-                    faults,
-                    &mut tile,
-                    &mut detections,
-                    &mut counters,
-                );
-                BlockResult {
-                    br,
-                    bc,
-                    tile,
-                    detections,
-                    counters,
-                }
-            })
-            .collect();
+        let results: Vec<BlockResult> = aiga_util::par_map(&blocks, |&(br, bc)| {
+            let mut tile = vec![0.0f32; (self.tiling.block_m * self.tiling.block_n) as usize];
+            let mut detections = Vec::new();
+            let mut counters = EngineCounters::default();
+            self.run_block(
+                br,
+                bc,
+                &ap,
+                &bp,
+                &make_scheme,
+                faults,
+                &mut tile,
+                &mut detections,
+                &mut counters,
+            );
+            BlockResult {
+                br,
+                bc,
+                tile,
+                detections,
+                counters,
+            }
+        });
 
         let mut c = vec![0.0f32; out_m * out_n];
         let mut detections = Vec::new();
@@ -466,15 +482,13 @@ impl GemmEngine {
                     // fragment layout tiled across the warp tile).
                     let mut rows = Vec::with_capacity(mt);
                     for gran in 0..(t.warp_m / 16) {
-                        let base =
-                            (br * t.block_m + wr * t.warp_m + gran * 16) as usize + group;
+                        let base = (br * t.block_m + wr * t.warp_m + gran * 16) as usize + group;
                         rows.push(base);
                         rows.push(base + 8);
                     }
                     let mut cols = Vec::with_capacity(nt);
                     for gran in 0..(t.warp_n / 8) {
-                        let base =
-                            (bc * t.block_n + wc * t.warp_n + gran * 8) as usize + 2 * quad;
+                        let base = (bc * t.block_n + wc * t.warp_n + gran * 8) as usize + 2 * quad;
                         cols.push(base);
                         cols.push(base + 1);
                     }
@@ -554,8 +568,7 @@ impl GemmEngine {
                     let col0 = (bc * t.block_n) as usize;
                     for (ri, &r) in ctx.rows.iter().enumerate() {
                         for (ci, &c) in ctx.cols.iter().enumerate() {
-                            tile[(r - row0) * t.block_n as usize + (c - col0)] =
-                                acc[ri * nt + ci];
+                            tile[(r - row0) * t.block_n as usize + (c - col0)] = acc[ri * nt + ci];
                         }
                     }
                 }

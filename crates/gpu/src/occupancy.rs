@@ -9,7 +9,6 @@
 
 use crate::device::DeviceSpec;
 use crate::tiling::TilingConfig;
-use serde::{Deserialize, Serialize};
 
 /// Architectural per-thread register ceiling; allocations beyond this spill
 /// to local memory (extra DRAM traffic).
@@ -21,7 +20,7 @@ pub const MAX_REGS_PER_THREAD: u64 = 255;
 pub const WARPS_FOR_PEAK_BW: f64 = 8.0;
 
 /// Occupancy analysis for one kernel configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Occupancy {
     /// Threadblocks co-resident per SM.
     pub blocks_per_sm: u64,
@@ -49,8 +48,8 @@ impl Occupancy {
         let regs_per_block = regs_per_thread * threads_per_block;
         let by_regs = (device.regs_per_sm as u64) / regs_per_block.max(1);
         let by_warps = (device.max_warps_per_sm as u64) / tiling.warps_per_block().max(1);
-        let by_threads = (device.max_threads_per_block as u64).max(threads_per_block)
-            / threads_per_block; // blocks aren't limited below 1 by thread count
+        let by_threads =
+            (device.max_threads_per_block as u64).max(threads_per_block) / threads_per_block; // blocks aren't limited below 1 by thread count
         let blocks_per_sm = by_regs.min(by_warps).min(by_threads).max(
             // A kernel that fits at all always gets one block resident.
             u64::from(by_regs >= 1),
@@ -98,7 +97,10 @@ mod tests {
         let base = Occupancy::compute(&t4, &medium, 0);
         let repl = Occupancy::compute(&t4, &medium, medium.accumulators_per_thread());
         assert_eq!(repl.spilled_regs_per_thread, 0);
-        assert!(repl.blocks_per_sm < base.blocks_per_sm, "{base:?} vs {repl:?}");
+        assert!(
+            repl.blocks_per_sm < base.blocks_per_sm,
+            "{base:?} vs {repl:?}"
+        );
         assert!(repl.fraction < base.fraction);
     }
 

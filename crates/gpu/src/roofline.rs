@@ -8,10 +8,9 @@
 
 use crate::device::DeviceSpec;
 use crate::shape::GemmShape;
-use serde::{Deserialize, Serialize};
 
 /// Which resource limits a kernel under the roofline model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Bound {
     /// Arithmetic intensity above the CMR: Tensor Cores are the
     /// bottleneck; global ABFT's minimal redundant computation wins.

@@ -8,13 +8,11 @@
 //! arithmetic intensity come out near 8 rather than near 1, so it matters
 //! for reproducing the DLRM numbers.
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per FP16 element.
 pub const FP16_BYTES: u64 = 2;
 
 /// A (possibly unpadded) GEMM problem size: `C[M×N] = A[M×K] · B[K×N]`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GemmShape {
     /// Rows of `A` and `C` (activations / batch-spatial extent).
     pub m: u64,

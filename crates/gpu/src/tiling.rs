@@ -13,13 +13,12 @@
 
 use crate::device::DeviceSpec;
 use crate::shape::GemmShape;
-use serde::{Deserialize, Serialize};
 
 /// K-extent of one thread step (Figure 3).
 pub const STEP_K: u64 = 2;
 
 /// One tiling configuration for the hierarchy of Figure 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TilingConfig {
     /// Threadblock tile rows (`Mb`).
     pub block_m: u64,
@@ -44,7 +43,10 @@ impl TilingConfig {
             self.warp_m.is_multiple_of(16) && self.warp_n.is_multiple_of(8),
             "warp tile must be a whole number of m16n8k8 tiles"
         );
-        assert!(self.block_k.is_multiple_of(8), "block K-slice must cover whole MMAs");
+        assert!(
+            self.block_k.is_multiple_of(8),
+            "block K-slice must cover whole MMAs"
+        );
     }
 
     /// Warps per threadblock.

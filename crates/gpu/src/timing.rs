@@ -29,10 +29,9 @@ use crate::roofline::Bound;
 use crate::shape::GemmShape;
 use crate::tiling::TilingConfig;
 use crate::traffic;
-use serde::{Deserialize, Serialize};
 
 /// Tunable constants of the timing model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Calibration {
     /// Fixed cost of launching a kernel and draining its tail
     /// (driver + hardware pipeline), seconds. T4-era CUDA launches
@@ -156,7 +155,7 @@ impl KernelProfile {
 }
 
 /// Timing estimate with its breakdown.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TimeEstimate {
     /// Total estimated execution time, seconds.
     pub total_s: f64,
@@ -186,8 +185,8 @@ pub fn estimate(profile: &KernelProfile, device: &DeviceSpec, calib: &Calibratio
     // local-memory round trips on every K-step — the §4 cost of
     // traditional replication once the 255-register ceiling is hit.
     let spill_ops = occ.spilled_regs_per_thread as f64 * profile.total_thread_steps();
-    let t_alu = (profile.alu_ops + spill_ops)
-        / (device.alu_flops_per_sm() * calib.alu_derate * active_sms);
+    let t_alu =
+        (profile.alu_ops + spill_ops) / (device.alu_flops_per_sm() * calib.alu_derate * active_sms);
     let t_comp = t_tc + t_alu;
 
     // Bandwidth achievable given per-SM occupancy: latency hiding is a

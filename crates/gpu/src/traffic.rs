@@ -71,7 +71,8 @@ mod tests {
         assert!(bytes > shape.min_bytes_fp16() as f64);
         // But never more than the no-cache-at-all bound.
         let (gm, gn) = tiling.grid(shape);
-        let worst = (shape.m * shape.k * 2 * gn + shape.k * shape.n * 2 * gm
+        let worst = (shape.m * shape.k * 2 * gn
+            + shape.k * shape.n * 2 * gm
             + shape.m * shape.n * 2) as f64;
         assert!(bytes <= worst);
     }

@@ -1,112 +1,154 @@
-//! Property-based tests on the performance-model invariants of the GPU
-//! substrate.
+//! Randomized property tests on the performance-model invariants of the
+//! GPU substrate (seeded deterministic case loops; no external crates).
 
 use aiga_gpu::timing::{estimate, Calibration, KernelProfile};
 use aiga_gpu::traffic::gemm_dram_bytes;
 use aiga_gpu::{DeviceSpec, GemmShape, Roofline, TilingConfig};
-use proptest::prelude::*;
+use aiga_util::Rng64;
 
-fn shapes() -> impl Strategy<Value = GemmShape> {
-    (1u64..=4096, 1u64..=4096, 1u64..=4096).prop_map(|(m, n, k)| GemmShape::new(m, n, k))
+fn random_shape(rng: &mut Rng64) -> GemmShape {
+    GemmShape::new(
+        rng.range_u64(1, 4097),
+        rng.range_u64(1, 4097),
+        rng.range_u64(1, 4097),
+    )
 }
 
-fn devices() -> impl Strategy<Value = DeviceSpec> {
-    prop_oneof![
-        Just(DeviceSpec::t4()),
-        Just(DeviceSpec::p4()),
-        Just(DeviceSpec::v100()),
-        Just(DeviceSpec::a100()),
-    ]
+fn random_device(rng: &mut Rng64) -> DeviceSpec {
+    match rng.range_usize(0, 4) {
+        0 => DeviceSpec::t4(),
+        1 => DeviceSpec::p4(),
+        2 => DeviceSpec::v100(),
+        _ => DeviceSpec::a100(),
+    }
 }
 
-proptest! {
-    /// Arithmetic intensity is invariant under padding (it is defined on
-    /// the padded shape) and bounded by min(M,N,K)-ish harmonic limits.
-    #[test]
-    fn intensity_is_well_behaved(shape in shapes()) {
+/// Arithmetic intensity is invariant under padding (it is defined on the
+/// padded shape) and bounded by min(M,N,K)-ish harmonic limits.
+#[test]
+fn intensity_is_well_behaved() {
+    let mut rng = Rng64::seed_from_u64(0x6B0_0001);
+    for _ in 0..500 {
+        let shape = random_shape(&mut rng);
         let ai = shape.arithmetic_intensity_fp16();
-        prop_assert!(ai > 0.0 && ai.is_finite());
+        assert!(ai > 0.0 && ai.is_finite());
         let p = shape.padded_to_mma();
-        prop_assert_eq!(ai, p.arithmetic_intensity_fp16());
+        assert_eq!(ai, p.arithmetic_intensity_fp16());
         // AI = MNK/(MK+KN+MN) <= min(M,N,K) on padded dims.
         let cap = p.m.min(p.n).min(p.k) as f64;
-        prop_assert!(ai <= cap + 1e-9);
+        assert!(ai <= cap + 1e-9);
     }
+}
 
-    /// Padding never shrinks a dimension and adds at most 7.
-    #[test]
-    fn padding_is_tight(shape in shapes()) {
+/// Padding never shrinks a dimension and adds at most 7.
+#[test]
+fn padding_is_tight() {
+    let mut rng = Rng64::seed_from_u64(0x6B0_0002);
+    for _ in 0..500 {
+        let shape = random_shape(&mut rng);
         let p = shape.padded_to_mma();
         for (orig, padded) in [(shape.m, p.m), (shape.n, p.n), (shape.k, p.k)] {
-            prop_assert!(padded >= orig && padded - orig < 8);
-            prop_assert!(padded.is_multiple_of(8));
+            assert!(padded >= orig && padded - orig < 8);
+            assert!(padded.is_multiple_of(8));
         }
     }
+}
 
-    /// Any selected tiling fully covers the padded problem, and its grid
-    /// never over-covers by more than one block tile per dimension.
-    #[test]
-    fn selected_tiling_covers_the_problem(shape in shapes(), dev in devices()) {
+/// Any selected tiling fully covers the padded problem, and its grid
+/// never over-covers by more than one block tile per dimension.
+#[test]
+fn selected_tiling_covers_the_problem() {
+    let mut rng = Rng64::seed_from_u64(0x6B0_0003);
+    for _ in 0..300 {
+        let shape = random_shape(&mut rng);
+        let dev = random_device(&mut rng);
         let t = TilingConfig::select(shape, &dev);
         let p = shape.padded_to_mma();
         let (gm, gn) = t.grid(p);
-        prop_assert!(gm * t.block_m >= p.m);
-        prop_assert!(gn * t.block_n >= p.n);
-        prop_assert!((gm - 1) * t.block_m < p.m);
-        prop_assert!((gn - 1) * t.block_n < p.n);
+        assert!(gm * t.block_m >= p.m);
+        assert!(gn * t.block_n >= p.n);
+        assert!((gm - 1) * t.block_m < p.m);
+        assert!((gn - 1) * t.block_n < p.n);
     }
+}
 
-    /// DRAM traffic is at least the compulsory minimum and at most the
-    /// documented 2x reuse cap plus the store.
-    #[test]
-    fn traffic_is_bounded(shape in shapes(), dev in devices()) {
+/// DRAM traffic is at least the compulsory minimum and at most the
+/// documented 2x reuse cap plus the store.
+#[test]
+fn traffic_is_bounded() {
+    let mut rng = Rng64::seed_from_u64(0x6B0_0004);
+    for _ in 0..300 {
+        let shape = random_shape(&mut rng);
+        let dev = random_device(&mut rng);
         let t = TilingConfig::select(shape, &dev);
         let bytes = gemm_dram_bytes(shape, &t, &dev);
         let p = shape.padded_to_mma();
         let min = p.min_bytes_fp16() as f64;
-        prop_assert!(bytes >= min * 0.999, "{bytes} < {min}");
-        prop_assert!(bytes <= min * 2.0 + 1.0, "{bytes} > 2x{min}");
+        assert!(bytes >= min * 0.999, "{bytes} < {min}");
+        assert!(bytes <= min * 2.0 + 1.0, "{bytes} > 2x{min}");
     }
+}
 
-    /// Estimated time is positive, finite, and at least the launch
-    /// overhead plus the pure roofline lower bound.
-    #[test]
-    fn time_respects_the_roofline_lower_bound(shape in shapes(), dev in devices()) {
-        let calib = Calibration::default();
+/// Estimated time is positive, finite, and at least the launch overhead
+/// plus the pure roofline lower bound.
+#[test]
+fn time_respects_the_roofline_lower_bound() {
+    let mut rng = Rng64::seed_from_u64(0x6B0_0005);
+    let calib = Calibration::default();
+    for _ in 0..300 {
+        let shape = random_shape(&mut rng);
+        let dev = random_device(&mut rng);
         let profile = KernelProfile::baseline(shape, &dev, &calib);
         let e = estimate(&profile, &dev, &calib);
-        prop_assert!(e.total_s.is_finite() && e.total_s > 0.0);
+        assert!(e.total_s.is_finite() && e.total_s > 0.0);
         let p = shape.padded_to_mma();
-        let roofline_floor = (p.flops() as f64 / dev.tensor_flops)
-            .max(p.min_bytes_fp16() as f64 / dev.mem_bw);
-        prop_assert!(e.total_s + 1e-12 >= roofline_floor + calib.launch_s,
-            "{} < {}", e.total_s, roofline_floor + calib.launch_s);
+        let roofline_floor =
+            (p.flops() as f64 / dev.tensor_flops).max(p.min_bytes_fp16() as f64 / dev.mem_bw);
+        assert!(
+            e.total_s + 1e-12 >= roofline_floor + calib.launch_s,
+            "{} < {}",
+            e.total_s,
+            roofline_floor + calib.launch_s
+        );
     }
+}
 
-    /// Growing any dimension never makes the kernel faster.
-    #[test]
-    fn time_is_monotone_in_each_dimension(
-        m in 8u64..1024, n in 8u64..1024, k in 8u64..1024, dev in devices()
-    ) {
-        let calib = Calibration::default();
+/// Growing any dimension never makes the kernel faster.
+#[test]
+fn time_is_monotone_in_each_dimension() {
+    let mut rng = Rng64::seed_from_u64(0x6B0_0006);
+    let calib = Calibration::default();
+    for _ in 0..200 {
+        let (m, n, k) = (
+            rng.range_u64(8, 1024),
+            rng.range_u64(8, 1024),
+            rng.range_u64(8, 1024),
+        );
+        let dev = random_device(&mut rng);
         let time = |s: GemmShape| {
             estimate(&KernelProfile::baseline(s, &dev, &calib), &dev, &calib).total_s
         };
         let base = time(GemmShape::new(m, n, k));
-        prop_assert!(time(GemmShape::new(2 * m, n, k)) >= base * 0.999);
-        prop_assert!(time(GemmShape::new(m, 2 * n, k)) >= base * 0.999);
-        prop_assert!(time(GemmShape::new(m, n, 2 * k)) >= base * 0.999);
+        assert!(time(GemmShape::new(2 * m, n, k)) >= base * 0.999);
+        assert!(time(GemmShape::new(m, 2 * n, k)) >= base * 0.999);
+        assert!(time(GemmShape::new(m, n, 2 * k)) >= base * 0.999);
     }
+}
 
-    /// Roofline classification agrees with attainable-FLOPs saturation.
-    #[test]
-    fn classification_is_consistent_with_attainable(ai in 0.1f64..2000.0, dev in devices()) {
-        let r = Roofline::new(dev);
+/// Roofline classification agrees with attainable-FLOPs saturation.
+#[test]
+fn classification_is_consistent_with_attainable() {
+    let mut rng = Rng64::seed_from_u64(0x6B0_0007);
+    for _ in 0..500 {
+        let ai = rng.range_f64(0.1, 2000.0);
+        let r = Roofline::new(random_device(&mut rng));
         let attainable = r.attainable_flops(ai);
         match r.classify_intensity(ai) {
-            aiga_gpu::Bound::Compute => prop_assert!(attainable >= r.device().tensor_flops * 0.999),
+            aiga_gpu::Bound::Compute => {
+                assert!(attainable >= r.device().tensor_flops * 0.999)
+            }
             aiga_gpu::Bound::MemoryBandwidth => {
-                prop_assert!(attainable <= r.device().tensor_flops * 1.001)
+                assert!(attainable <= r.device().tensor_flops * 1.001)
             }
         }
     }

@@ -102,10 +102,18 @@ impl ConvParams {
     /// Output spatial dims for an input of `h × w`.
     pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
         (
-            conv_out(h as u64, self.kernel as u64, self.stride as u64, self.padding as u64)
-                as usize,
-            conv_out(w as u64, self.kernel as u64, self.stride as u64, self.padding as u64)
-                as usize,
+            conv_out(
+                h as u64,
+                self.kernel as u64,
+                self.stride as u64,
+                self.padding as u64,
+            ) as usize,
+            conv_out(
+                w as u64,
+                self.kernel as u64,
+                self.stride as u64,
+                self.padding as u64,
+            ) as usize,
         )
     }
 }

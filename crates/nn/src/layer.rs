@@ -1,10 +1,9 @@
 //! Linear layers and their lowering to GEMM problem shapes.
 
 use aiga_gpu::GemmShape;
-use serde::{Deserialize, Serialize};
 
 /// What kind of linear layer a GEMM came from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LayerKind {
     /// A convolution lowered by implicit GEMM.
     Conv,
@@ -13,7 +12,7 @@ pub enum LayerKind {
 }
 
 /// One linear layer of a network, lowered to its GEMM shape.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LinearLayer {
     /// Human-readable name (e.g. `"layer2.0.conv1"`).
     pub name: String,
@@ -116,7 +115,15 @@ impl NetBuilder {
         padding: u64,
     ) -> &mut Self {
         let (layer, h, w) = LinearLayer::conv(
-            name, self.batch, self.channels, self.h, self.w, c_out, kernel, stride, padding,
+            name,
+            self.batch,
+            self.channels,
+            self.h,
+            self.w,
+            c_out,
+            kernel,
+            stride,
+            padding,
         );
         self.layers.push(layer);
         self.channels = c_out;
@@ -241,7 +248,9 @@ mod tests {
     #[test]
     fn builder_threads_dims_through_a_small_net() {
         let mut b = NetBuilder::new(1, 3, 32, 32);
-        b.conv("c1", 16, 3, 1, 1).pool(2, 2, 0).conv("c2", 32, 3, 1, 1);
+        b.conv("c1", 16, 3, 1, 1)
+            .pool(2, 2, 0)
+            .conv("c2", 32, 3, 1, 1);
         assert_eq!(b.dims(), (32, 16, 16));
         b.global_pool().fc("fc", 10);
         let model = b.build("tiny");

@@ -3,12 +3,11 @@
 
 use crate::layer::LinearLayer;
 use aiga_gpu::GemmShape;
-use serde::{Deserialize, Serialize};
 
 /// A network as an ordered list of linear layers (the only layers that
 /// matter for execution time and ABFT — §3.2: activation functions etc.
 /// are fused and contribute far less).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Model {
     /// Display name.
     pub name: String,
@@ -44,7 +43,10 @@ impl Model {
 
     /// Per-layer padded GEMM shapes, in execution order.
     pub fn shapes(&self) -> Vec<GemmShape> {
-        self.layers.iter().map(|l| l.shape.padded_to_mma()).collect()
+        self.layers
+            .iter()
+            .map(|l| l.shape.padded_to_mma())
+            .collect()
     }
 
     /// Per-layer arithmetic intensities, in execution order (Fig. 5).
@@ -59,7 +61,9 @@ impl Model {
     pub fn intensity_range(&self) -> (f64, f64) {
         self.layer_intensities()
             .into_iter()
-            .fold((f64::MAX, f64::MIN), |(lo, hi), ai| (lo.min(ai), hi.max(ai)))
+            .fold((f64::MAX, f64::MIN), |(lo, hi), ai| {
+                (lo.min(ai), hi.max(ai))
+            })
     }
 }
 

@@ -40,7 +40,14 @@ pub fn densenet161(batch: u64, h: u64, w: u64) -> Model {
         if bi < 3 {
             // Transition: 1×1 conv halving channels, then 2×2 avg pool.
             channels /= 2;
-            b.conv_from(format!("transition{}.conv", bi + 1), channels * 2, channels, 1, 1, 0);
+            b.conv_from(
+                format!("transition{}.conv", bi + 1),
+                channels * 2,
+                channels,
+                1,
+                1,
+                0,
+            );
             b.pool(2, 2, 0);
         }
     }

@@ -47,12 +47,7 @@ pub fn roundabout(batch: u64) -> Model {
 
 /// The "Taipei" video query CNN (aggregate AI ≈ 51.9 at batch 64).
 pub fn taipei(batch: u64) -> Model {
-    specialized(
-        "Taipei",
-        batch,
-        &[(48, false), (64, true), (64, true)],
-        64,
-    )
+    specialized("Taipei", batch, &[(48, false), (64, true), (64, true)], 64)
 }
 
 /// The "Amsterdam" video query CNN (aggregate AI ≈ 52.7 at batch 64).

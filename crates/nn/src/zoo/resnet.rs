@@ -45,7 +45,10 @@ fn bottleneck_resnet(name: &str, batch: u64, h: u64, w: u64, width_mult: u64) ->
                     stride,
                     0,
                 );
-                debug_assert_eq!((dh, dw), (conv_out(bh, 1, stride, 0), conv_out(bw, 1, stride, 0)));
+                debug_assert_eq!(
+                    (dh, dw),
+                    (conv_out(bh, 1, stride, 0), conv_out(bw, 1, stride, 0))
+                );
                 b.push_raw(ds);
             }
             c_in = c_out;

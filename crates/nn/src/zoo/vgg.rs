@@ -7,7 +7,13 @@ use crate::model::Model;
 /// VGG-16 as GEMMs.
 pub fn vgg16(batch: u64, h: u64, w: u64) -> Model {
     let mut b = NetBuilder::new(batch, 3, h, w);
-    let blocks: [&[u64]; 5] = [&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    let blocks: [&[u64]; 5] = [
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
     for (bi, widths) in blocks.iter().enumerate() {
         for (ci, &cout) in widths.iter().enumerate() {
             b.conv(format!("features.{}.{}", bi, ci), cout, 3, 1, 1);

@@ -1,0 +1,23 @@
+//! # aiga-util — dependency-free workspace utilities
+//!
+//! The build environment has no access to crates.io, so the handful of
+//! external crates the reproduction would normally lean on are replaced
+//! by small, self-contained implementations:
+//!
+//! - [`rng`]: a deterministic SplitMix64-based pseudo-random generator
+//!   (replaces `rand`). Everything that draws random matrices, fault
+//!   sites, or property-test cases seeds one of these, so every run is
+//!   reproducible.
+//! - [`par`]: a scoped-thread parallel map over slices (replaces
+//!   `rayon`'s `par_iter().map().collect()` pattern).
+//! - [`json`]: a minimal JSON value type with a recursive-descent parser
+//!   and a round-trip-safe writer (replaces `serde`/`serde_json` for the
+//!   plan-serialization API).
+
+pub mod json;
+pub mod par;
+pub mod rng;
+
+pub use json::Json;
+pub use par::par_map;
+pub use rng::Rng64;

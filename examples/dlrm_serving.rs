@@ -1,28 +1,26 @@
-//! DLRM recommendation serving under intensity-guided ABFT (§6.4.2).
+//! DLRM recommendation serving under intensity-guided ABFT (§6.4.2 +
+//! §7.3).
 //!
-//! Plans Facebook-DLRM's two MLPs with intensity-guided ABFT, prints the
-//! per-layer choices and the overhead comparison against fixed global
-//! ABFT, then runs a protected end-to-end inference with a fault
-//! injected into the middle layer.
+//! Plans Facebook-DLRM's MLPs with the builder-style `Planner`, prints
+//! the per-layer choices and the overhead comparison against fixed
+//! global ABFT, then stands up a `Session` — the multi-input-size
+//! serving front-end — and pushes a stream of mixed-batch requests
+//! through it, including one with an injected soft error.
 //!
 //! ```sh
 //! cargo run --release --example dlrm_serving
 //! ```
 
-use aiga::core::pipeline::{PipelineFault, ProtectedPipeline};
-use aiga::core::{ModelPlan, Scheme};
-use aiga::gpu::engine::{FaultKind, FaultPlan, Matrix};
-use aiga::gpu::timing::Calibration;
-use aiga::gpu::DeviceSpec;
-use aiga::nn::zoo;
+use aiga::prelude::*;
 
 fn main() {
-    let device = DeviceSpec::t4();
-    let calib = Calibration::default();
+    let planner = Planner::new(DeviceSpec::t4());
 
+    // Pre-deployment planning: the per-layer selection flips with batch
+    // size because arithmetic intensity does (§7.3).
     for batch in [1u64, 2048] {
         for model in [zoo::dlrm_mlp_bottom(batch), zoo::dlrm_mlp_top(batch)] {
-            let plan = ModelPlan::build(&model, &device, &calib);
+            let plan = planner.plan(&model);
             println!(
                 "{} @batch {batch} (aggregate AI {:.1}):",
                 model.name,
@@ -47,41 +45,61 @@ fn main() {
         }
     }
 
-    // Functional end-to-end: serve a batch of 32 requests with the
-    // per-layer plan, then corrupt one accumulator in layer 1.
-    let model = zoo::dlrm_mlp_bottom(32);
-    let plan = ModelPlan::build(&model, &device, &calib);
-    let schemes: Vec<Scheme> = plan.layers.iter().map(|l| l.chosen).collect();
-    let pipeline = ProtectedPipeline::new(&model, &schemes, 99);
-    let requests = Matrix::random(32, 13, 2024);
+    // Serving: one session, three batch buckets, mixed request sizes.
+    // Plans and bound pipelines (incl. global ABFT's offline weight
+    // checksums) are built lazily on first use of each bucket and cached.
+    let session = Session::builder(planner, "dlrm-mlp-bottom", zoo::dlrm_mlp_bottom)
+        .buckets([8, 32, 128])
+        .seed(99)
+        .build();
 
-    let clean = pipeline.infer(&requests, None);
-    println!(
-        "clean inference: {} outputs, detections: {}",
-        clean.output.len(),
-        clean.detections.len()
-    );
-    assert!(!clean.fault_detected());
+    for (i, rows) in [3usize, 8, 20, 32, 100, 7].into_iter().enumerate() {
+        let request = Matrix::random(rows, 13, 2024 + i as u64);
+        let reply = session.serve(&request).expect("within declared buckets");
+        println!(
+            "request {i}: batch {rows:>3} -> bucket {:>3}, schemes [{}], detections {}",
+            reply.bucket,
+            reply
+                .schemes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            reply.report.detections.len()
+        );
+        assert!(!reply.report.fault_detected());
+        assert_eq!(reply.report.output.len(), rows * 64);
+    }
 
-    let report = pipeline.infer(
-        &requests,
-        Some(PipelineFault {
-            layer: 1,
-            fault: FaultPlan {
-                row: 5,
-                col: 77,
-                after_step: 10,
-                kind: FaultKind::AddValue(12.0),
-            },
-        }),
-    );
-    assert!(report.fault_detected());
-    let d = &report.detections[0];
+    // A soft error strikes one request; the per-layer plan catches it.
+    let faulty = session
+        .serve_with_fault(
+            &Matrix::random(32, 13, 7777),
+            Some(PipelineFault {
+                layer: 1,
+                fault: FaultPlan {
+                    row: 5,
+                    col: 77,
+                    after_step: 10,
+                    kind: FaultKind::AddValue(12.0),
+                },
+            }),
+        )
+        .unwrap();
+    assert!(faulty.report.fault_detected());
+    let d = &faulty.report.detections[0];
     println!(
-        "fault in layer 1 caught by {} at layer {} ({}), residual {:.3}",
+        "\nfault in layer 1 caught by {} at layer {} ({}), residual {:.3}",
         d.scheme.label(),
         d.layer,
         d.name,
         d.residual
     );
+
+    let stats = session.stats();
+    println!(
+        "session stats: {} requests, {} plan builds, {} cache hits, {} faulty",
+        stats.requests, stats.plan_builds, stats.cache_hits, stats.faulty_requests
+    );
+    assert_eq!(stats.plan_builds, 3); // one per touched bucket
 }

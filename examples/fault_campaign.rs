@@ -5,9 +5,7 @@
 //! cargo run --release --example fault_campaign -- 500
 //! ```
 
-use aiga::core::Scheme;
-use aiga::faults::Campaign;
-use aiga::gpu::GemmShape;
+use aiga::prelude::*;
 
 fn main() {
     let trials: usize = std::env::args()
@@ -21,7 +19,7 @@ fn main() {
         "scheme", "detected", "SDC", "masked", "false+", "det. rate", "worst SDC"
     );
     for scheme in Scheme::all_protected() {
-        let campaign = Campaign::new(shape, scheme, 42 + scheme as u64);
+        let campaign = Campaign::new(shape, scheme, 42 + scheme.ordinal());
         let s = campaign.run_bit_flips(trials, 7);
         println!(
             "{:<42} {:>9} {:>6} {:>7} {:>7} {:>9.1}% {:>11.2e}",

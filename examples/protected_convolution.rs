@@ -6,9 +6,7 @@
 //! cargo run --release --example protected_convolution
 //! ```
 
-use aiga::core::{ProtectedConv, Scheme};
-use aiga::gpu::engine::FaultKind;
-use aiga::nn::{ConvParams, Tensor};
+use aiga::prelude::*;
 
 fn main() {
     // A 3x3, stride-1 convolution over a 32x32 RGB region — the shape of

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use aiga::core::{ProtectedGemm, Scheme, Verdict};
-use aiga::gpu::engine::{FaultKind, FaultPlan};
-use aiga::gpu::{DeviceSpec, GemmShape, Roofline};
+use aiga::prelude::*;
 
 fn main() {
     // A bandwidth-bound layer-sized GEMM (arithmetic intensity well
@@ -52,7 +50,8 @@ fn main() {
     }
 
     // 3. The same fault under global ABFT is caught by the kernel-level
-    //    checksum comparison instead.
+    //    checksum comparison instead. Schemes are interchangeable ids —
+    //    dispatch happens through the scheme registry.
     let global = ProtectedGemm::random(shape, Scheme::GlobalAbft, 7)
         .with_fault(fault)
         .run();

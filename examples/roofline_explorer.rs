@@ -10,10 +10,7 @@
 //! cargo run --release --example roofline_explorer
 //! ```
 
-use aiga::core::cost::evaluate_layer;
-use aiga::core::Scheme;
-use aiga::gpu::timing::Calibration;
-use aiga::gpu::{DeviceSpec, GemmShape};
+use aiga::prelude::*;
 
 fn main() {
     let calib = Calibration::default();
@@ -27,7 +24,11 @@ fn main() {
     println!("{:-<34}{:->7}{}", "", "", "-".repeat(7 * sizes.len()));
 
     for device in DeviceSpec::all() {
-        print!("{:<34} {:>7}", format!("{} ({:.0})", device.name, device.cmr()), "");
+        print!(
+            "{:<34} {:>7}",
+            format!("{} ({:.0})", device.name, device.cmr()),
+            ""
+        );
         for &s in &sizes {
             let shape = GemmShape::square(s);
             let (_, ts) = evaluate_layer(

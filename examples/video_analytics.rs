@@ -2,31 +2,27 @@
 //!
 //! These small binary classifiers run in front of a heavyweight CNN at
 //! batch 64 and are heavily bandwidth bound, which is exactly where
-//! thread-level ABFT shines. The example plans each specialized CNN,
-//! shows the per-layer roofline classification, and compares the three
-//! protection strategies.
+//! thread-level ABFT shines. The example plans each specialized CNN with
+//! the builder-style `Planner`, shows the per-layer roofline
+//! classification, and compares the three protection strategies.
 //!
 //! ```sh
 //! cargo run --release --example video_analytics
 //! ```
 
-use aiga::core::{ModelPlan, Scheme};
-use aiga::gpu::timing::Calibration;
-use aiga::gpu::{DeviceSpec, Roofline};
-use aiga::nn::zoo;
+use aiga::prelude::*;
 
 fn main() {
-    let device = DeviceSpec::t4();
-    let calib = Calibration::default();
-    let roofline = Roofline::new(device.clone());
+    let planner = Planner::new(DeviceSpec::t4());
+    let roofline = Roofline::new(planner.device().clone());
     println!(
         "device: {} (FP16 CMR {:.0})\n",
-        device.name,
-        device.cmr()
+        planner.device().name,
+        planner.device().cmr()
     );
 
     for model in zoo::specialized_cnns(64) {
-        let plan = ModelPlan::build(&model, &device, &calib);
+        let plan = planner.plan(&model);
         println!(
             "{} — aggregate AI {:.1}, {} layers:",
             model.name,

@@ -1,42 +1,99 @@
 //! # aiga — Arithmetic-Intensity-Guided ABFT
 //!
-//! A from-scratch Rust reproduction of *"Arithmetic-Intensity-Guided Fault
-//! Tolerance for Neural Network Inference on GPUs"* (Kosaian & Rashmi,
-//! SC '21). The paper's CUDA/CUTLASS system is rebuilt on a simulated GPU
-//! substrate: a functional hierarchical-GEMM engine with Tensor-Core MMA
-//! semantics plus a calibrated analytical timing model.
+//! A from-scratch Rust reproduction of *"Arithmetic-Intensity-Guided
+//! Fault Tolerance for Neural Network Inference on GPUs"* (Kosaian &
+//! Rashmi, SC '21). The paper's CUDA/CUTLASS system is rebuilt on a
+//! simulated GPU substrate: a functional hierarchical-GEMM engine with
+//! Tensor-Core MMA semantics plus a calibrated analytical timing model.
 //!
-//! This facade crate re-exports the workspace sub-crates:
+//! The public API is organized in three layers (see `ARCHITECTURE.md`):
 //!
-//! - [`fp16`] — software half-precision arithmetic and `m16n8k8` MMA
-//!   semantics (FP16 inputs, FP32 accumulation).
-//! - [`gpu`] — device specifications (T4, P4, V100, A100, Jetson AGX
-//!   Xavier), roofline/CMR analysis, hierarchical tiling, the functional
-//!   GEMM engine, occupancy and kernel timing models.
-//! - [`nn`] — layer descriptors, conv→implicit-GEMM lowering, arithmetic
-//!   intensity, and the model zoo of all fourteen evaluated networks.
-//! - [`core`] — the paper's contribution: global ABFT, thread-level
-//!   one-/two-sided ABFT, thread-level replication, and the
-//!   intensity-guided per-layer selector plus the protected inference
-//!   pipeline.
-//! - [`faults`] — soft-error fault models, injection campaigns, and
-//!   detection-coverage statistics.
+//! 1. **Scheme kernels** — every redundancy scheme (global ABFT,
+//!    one-/two-sided thread-level ABFT, the two replication variants,
+//!    the multi-checksum extension) implements
+//!    [`core::SchemeKernel`], which unifies its analytical cost profile
+//!    and its functional protected execution. Kernels live in a
+//!    [`core::SchemeRegistry`]; new schemes plug in by registering.
+//! 2. **Planning** — [`core::Planner`] is the builder-style front-end
+//!    for intensity-guided ABFT (§5.3): per-layer selection among the
+//!    candidate schemes by profiled execution time (or the §7.2
+//!    analytical rule).
+//! 3. **Serving** — [`core::Session`] dispatches requests to batch
+//!    buckets, caches plans and bound pipelines per
+//!    `(model, device, bucket)`, and aggregates detection statistics —
+//!    the §7.3 multi-input-size deployment as a first-class API.
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use aiga::core::{ProtectedGemm, Scheme};
-//! use aiga::gpu::GemmShape;
+//! Protect a single matrix multiplication and watch an injected soft
+//! error get caught:
 //!
-//! // Protect a small matrix multiplication with one-sided thread-level
-//! // ABFT and verify that it detects an injected fault.
+//! ```
+//! use aiga::prelude::*;
+//!
 //! let shape = GemmShape::new(64, 64, 64);
 //! let gemm = ProtectedGemm::random(shape, Scheme::ThreadLevelOneSided, 7);
-//! let clean = gemm.run();
-//! assert!(clean.verdict.is_clean());
+//! assert!(gemm.run().verdict.is_clean());
+//!
+//! let fault = FaultPlan { row: 3, col: 5, after_step: 10, kind: FaultKind::AddValue(50.0) };
+//! assert!(gemm.with_fault(fault).run().verdict.is_detected());
 //! ```
+//!
+//! Plan a model and serve requests through a session:
+//!
+//! ```
+//! use aiga::prelude::*;
+//!
+//! // Plan once per device: per-layer selection between global and
+//! // thread-level ABFT by modeled execution time.
+//! let planner = Planner::new(DeviceSpec::t4());
+//! let plan = planner.plan(&zoo::dlrm_mlp_bottom(32));
+//! assert!(plan.intensity_guided_s() <= plan.fixed_scheme_s(Scheme::GlobalAbft));
+//!
+//! // Serve many requests: batch-bucket dispatch + plan caching.
+//! let session = Session::builder(planner, "dlrm-bottom", zoo::dlrm_mlp_bottom)
+//!     .buckets([8, 32])
+//!     .build();
+//! let reply = session.serve(&Matrix::random(5, 13, 42)).unwrap();
+//! assert_eq!(reply.bucket, 8);
+//! assert!(!reply.report.fault_detected());
+//! ```
+//!
+//! The facade re-exports the workspace sub-crates: [`fp16`] (software
+//! half precision and `m16n8k8` MMA semantics), [`gpu`] (devices,
+//! roofline, tiling, functional engine, timing), [`nn`] (layer lowering
+//! and the model zoo), [`core`] (the paper's contribution), [`faults`]
+//! (injection campaigns), and [`util`] (RNG/JSON/parallel helpers).
+
 pub use aiga_core as core;
 pub use aiga_faults as faults;
 pub use aiga_fp16 as fp16;
 pub use aiga_gpu as gpu;
 pub use aiga_nn as nn;
+pub use aiga_util as util;
+
+/// One-stop imports for the common API surface.
+///
+/// ```
+/// use aiga::prelude::*;
+/// ```
+pub mod prelude {
+    pub use aiga_core::cost::{evaluate_layer, SchemeTiming};
+    pub use aiga_core::kernel::{
+        BoundKernel, MultiChecksumKernel, RunReport, SchemeKernel, Verdict,
+    };
+    pub use aiga_core::pipeline::{
+        InferenceReport, LayerDetection, PipelineFault, ProtectedPipeline,
+    };
+    pub use aiga_core::planner::Planner;
+    pub use aiga_core::protected::{ProtectedConv, ProtectedGemm};
+    pub use aiga_core::registry::SchemeRegistry;
+    pub use aiga_core::schemes::Scheme;
+    pub use aiga_core::selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
+    pub use aiga_core::session::{ServeReport, Session, SessionError, SessionStats};
+    pub use aiga_faults::{Campaign, CampaignStats, FaultModel};
+    pub use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme};
+    pub use aiga_gpu::timing::Calibration;
+    pub use aiga_gpu::{Bound, DeviceSpec, GemmShape, Roofline, TilingConfig};
+    pub use aiga_nn::{zoo, ConvParams, LinearLayer, Model, Tensor};
+}

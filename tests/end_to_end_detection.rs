@@ -2,9 +2,8 @@
 //! model through the engine, the schemes, and the pipeline.
 
 use aiga::core::pipeline::{PipelineFault, ProtectedPipeline};
-use aiga::core::{ModelPlan, ProtectedGemm, Scheme};
+use aiga::core::{Planner, ProtectedGemm, Scheme};
 use aiga::gpu::engine::{FaultKind, FaultPlan, Matrix};
-use aiga::gpu::timing::Calibration;
 use aiga::gpu::{DeviceSpec, GemmShape};
 use aiga::nn::zoo;
 
@@ -60,8 +59,8 @@ fn no_false_positives_across_shapes_and_seeds() {
 #[test]
 fn intensity_guided_pipeline_catches_faults_in_every_layer() {
     let model = zoo::dlrm_mlp_bottom(32);
-    let plan = ModelPlan::build(&model, &DeviceSpec::t4(), &Calibration::default());
-    let schemes: Vec<Scheme> = plan.layers.iter().map(|l| l.chosen).collect();
+    let plan = Planner::new(DeviceSpec::t4()).plan(&model);
+    let schemes: Vec<Scheme> = plan.chosen_schemes();
     let pipeline = ProtectedPipeline::new(&model, &schemes, 5);
     let input = Matrix::random(32, 13, 555);
 
@@ -93,8 +92,8 @@ fn intensity_guided_pipeline_catches_faults_in_every_layer() {
 fn protection_is_transparent_to_the_computed_result() {
     let model = zoo::dlrm_mlp_top(16);
     let input = Matrix::random(16, 512, 777);
-    let unprotected = ProtectedPipeline::uniform(&model, Scheme::Unprotected, 9)
-        .infer(&input, None);
+    let unprotected =
+        ProtectedPipeline::uniform(&model, Scheme::Unprotected, 9).infer(&input, None);
     for scheme in [Scheme::GlobalAbft, Scheme::ThreadLevelOneSided] {
         let protected = ProtectedPipeline::uniform(&model, scheme, 9).infer(&input, None);
         assert_eq!(

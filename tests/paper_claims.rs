@@ -3,7 +3,7 @@
 //! see EXPERIMENTS.md).
 
 use aiga::core::cost::evaluate_layer;
-use aiga::core::{ModelPlan, Scheme};
+use aiga::core::{Planner, Scheme};
 use aiga::gpu::timing::Calibration;
 use aiga::gpu::{DeviceSpec, GemmShape};
 use aiga::nn::zoo;
@@ -20,7 +20,7 @@ fn intensity_guided_beats_global_on_all_fourteen_nns() {
     let (dev, calib) = setup();
     let mut reductions = Vec::new();
     for model in zoo::figure8_models() {
-        let plan = ModelPlan::build(&model, &dev, &calib);
+        let plan = Planner::new(dev.clone()).calibration(calib).plan(&model);
         let global = plan.fixed_scheme_overhead_pct(Scheme::GlobalAbft);
         let guided = plan.intensity_guided_overhead_pct();
         assert!(
@@ -56,7 +56,7 @@ fn lower_resolution_increases_the_reduction() {
     let mut small_red = 0.0;
     for (h, w, acc) in [(1080u64, 1920u64, &mut hd_red), (224, 224, &mut small_red)] {
         let model = zoo::resnet50(1, h, w);
-        let plan = ModelPlan::build(&model, &dev, &calib);
+        let plan = Planner::new(dev.clone()).calibration(calib).plan(&model);
         *acc = plan.fixed_scheme_overhead_pct(Scheme::GlobalAbft)
             / plan.intensity_guided_overhead_pct().max(1e-9);
     }
@@ -95,7 +95,10 @@ fn figure12_banner_ratios_hold() {
             assert!(ts[2].overhead_pct > 70.0, "replication at {s}");
         }
     }
-    assert!(best_left > 3.0, "thread-level advantage only {best_left:.1}x");
+    assert!(
+        best_left > 3.0,
+        "thread-level advantage only {best_left:.1}x"
+    );
     assert!(best_right > 5.0, "global advantage only {best_right:.1}x");
 }
 
@@ -105,7 +108,7 @@ fn figure12_banner_ratios_hold() {
 fn intensity_guided_is_the_per_layer_minimum() {
     let (dev, calib) = setup();
     let model = zoo::resnet50(1, 224, 224);
-    let plan = ModelPlan::build(&model, &dev, &calib);
+    let plan = Planner::new(dev.clone()).calibration(calib).plan(&model);
     for l in &plan.layers {
         let min = l
             .candidates

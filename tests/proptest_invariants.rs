@@ -1,80 +1,101 @@
-//! Property-based integration tests on the core ABFT invariants.
+//! Randomized property tests on the core ABFT invariants.
+//!
+//! Formerly written with `proptest`; the build environment has no
+//! crates.io access, so the same properties are exercised as seeded
+//! deterministic case loops drawn from `aiga_util::Rng64` — every
+//! failure reproduces exactly.
 
-use aiga::core::{ProtectedGemm, Scheme, Verdict};
-use aiga::gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme};
-use aiga::gpu::{GemmShape, TilingConfig};
-use proptest::prelude::*;
+use aiga::prelude::*;
+use aiga::util::Rng64;
 
 /// Small-but-varied GEMM shapes (kept modest: the functional engine
 /// executes every MAC).
-fn shapes() -> impl Strategy<Value = GemmShape> {
-    (1u64..=48, 1u64..=48, 1u64..=48).prop_map(|(m, n, k)| GemmShape::new(m, n, k))
+fn random_shape(rng: &mut Rng64) -> GemmShape {
+    GemmShape::new(
+        rng.range_u64(1, 49),
+        rng.range_u64(1, 49),
+        rng.range_u64(1, 49),
+    )
 }
 
-fn protected_schemes() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::GlobalAbft),
-        Just(Scheme::ThreadLevelOneSided),
-        Just(Scheme::ThreadLevelTwoSided),
-        Just(Scheme::ReplicationSingleAcc),
-        Just(Scheme::ReplicationTraditional),
-    ]
+fn random_protected_scheme(rng: &mut Rng64) -> Scheme {
+    Scheme::all_protected()[rng.range_usize(0, 5)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Soundness: on fault-free data, no scheme ever raises a flag, for
-    /// any shape and any seed. (The tolerance analysis is doing its job.)
-    #[test]
-    fn no_scheme_false_positives(shape in shapes(), scheme in protected_schemes(), seed in 0u64..1000) {
+/// Soundness: on fault-free data, no scheme ever raises a flag, for any
+/// shape and any seed. (The tolerance analysis is doing its job.)
+#[test]
+fn no_scheme_false_positives() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0001);
+    for _ in 0..48 {
+        let shape = random_shape(&mut rng);
+        let scheme = random_protected_scheme(&mut rng);
+        let seed = rng.range_u64(0, 1000);
         let report = ProtectedGemm::random(shape, scheme, seed).run();
-        prop_assert!(report.verdict.is_clean(),
-            "{scheme} flagged clean data on {shape} (seed {seed}): {:?}", report.verdict);
+        assert!(
+            report.verdict.is_clean(),
+            "{scheme} flagged clean data on {shape} (seed {seed}): {:?}",
+            report.verdict
+        );
     }
+}
 
-    /// Completeness floor: a large additive corruption is detected by
-    /// every scheme wherever and whenever it strikes.
-    #[test]
-    fn large_faults_never_escape(
-        shape in shapes(),
-        scheme in protected_schemes(),
-        seed in 0u64..200,
-        frac_r in 0.0f64..1.0,
-        frac_c in 0.0f64..1.0,
-        epilogue in any::<bool>(),
-    ) {
-        let row = ((shape.m - 1) as f64 * frac_r) as usize;
-        let col = ((shape.n - 1) as f64 * frac_c) as usize;
+/// Completeness floor: a large additive corruption is detected by every
+/// scheme wherever and whenever it strikes.
+#[test]
+fn large_faults_never_escape() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0002);
+    for _ in 0..48 {
+        let shape = random_shape(&mut rng);
+        let scheme = random_protected_scheme(&mut rng);
+        let seed = rng.range_u64(0, 200);
+        let row = rng.range_u64(0, shape.m) as usize;
+        let col = rng.range_u64(0, shape.n) as usize;
+        let epilogue = rng.gen_bool(0.5);
         let fault = FaultPlan {
             row,
             col,
             after_step: if epilogue { u64::MAX } else { 0 },
             kind: FaultKind::AddValue(1.0e4),
         };
-        let report = ProtectedGemm::random(shape, scheme, seed).with_fault(fault).run();
-        prop_assert!(report.verdict.is_detected(),
-            "{scheme} missed a 1e4 corruption at ({row},{col}) on {shape}");
+        let report = ProtectedGemm::random(shape, scheme, seed)
+            .with_fault(fault)
+            .run();
+        assert!(
+            report.verdict.is_detected(),
+            "{scheme} missed a 1e4 corruption at ({row},{col}) on {shape}"
+        );
     }
+}
 
-    /// Protection never changes the computed product.
-    #[test]
-    fn schemes_do_not_perturb_results(shape in shapes(), scheme in protected_schemes(), seed in 0u64..100) {
+/// Protection never changes the computed product.
+#[test]
+fn schemes_do_not_perturb_results() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0003);
+    for _ in 0..24 {
+        let shape = random_shape(&mut rng);
+        let scheme = random_protected_scheme(&mut rng);
+        let seed = rng.range_u64(0, 100);
         let clean = ProtectedGemm::random(shape, Scheme::Unprotected, seed).run();
         let protected = ProtectedGemm::random(shape, scheme, seed).run();
-        prop_assert_eq!(&clean.output.c, &protected.output.c);
+        assert_eq!(clean.output.c, protected.output.c, "{scheme} on {shape}");
     }
+}
 
-    /// The functional engine agrees with the FP64 reference within FP32
-    /// accumulation error for arbitrary shapes and tilings.
-    #[test]
-    fn engine_matches_reference(
-        m in 1u64..40, n in 1u64..40, k in 1u64..64,
-        tiling_idx in 0usize..3,
-        seed in 0u64..100,
-    ) {
+/// The functional engine agrees with the FP64 reference within FP32
+/// accumulation error for arbitrary shapes and tilings.
+#[test]
+fn engine_matches_reference() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0004);
+    for _ in 0..24 {
+        let (m, n, k) = (
+            rng.range_u64(1, 40),
+            rng.range_u64(1, 40),
+            rng.range_u64(1, 64),
+        );
         let shape = GemmShape::new(m, n, k);
-        let tiling = TilingConfig::candidates()[tiling_idx];
+        let tiling = TilingConfig::candidates()[rng.range_usize(0, 3)];
+        let seed = rng.range_u64(0, 100);
         let a = Matrix::random(m as usize, k as usize, seed);
         let b = Matrix::random(k as usize, n as usize, seed + 1);
         let out = GemmEngine::new(shape, tiling).run(&a, &b, || NoScheme, None);
@@ -82,23 +103,36 @@ proptest! {
         for (i, (&got, &want)) in out.c.iter().zip(&reference).enumerate() {
             let err = (got as f64 - want).abs();
             let bound = 1e-5 * (k as f64) * 4.0 + 1e-6;
-            prop_assert!(err < bound, "elem {i}: {got} vs {want} (k={k})");
+            assert!(err < bound, "elem {i}: {got} vs {want} (k={k})");
         }
     }
+}
 
-    /// Verdict classification is exhaustive and consistent: a detected
-    /// verdict always carries residual > threshold.
-    #[test]
-    fn detected_verdicts_carry_consistent_evidence(
-        shape in shapes(),
-        scheme in protected_schemes(),
-        bit in 24u8..31,
-    ) {
-        let fault = FaultPlan { row: 0, col: 0, after_step: u64::MAX, kind: FaultKind::BitFlip(bit) };
-        let report = ProtectedGemm::random(shape, scheme, 17).with_fault(fault).run();
-        if let Verdict::Detected { residual, threshold } = report.verdict {
-            prop_assert!(residual > threshold);
-            prop_assert!(residual.is_finite() || matches!(scheme, Scheme::ReplicationTraditional));
+/// Verdict classification is consistent: a detected verdict always
+/// carries residual > threshold.
+#[test]
+fn detected_verdicts_carry_consistent_evidence() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0005);
+    for _ in 0..32 {
+        let shape = random_shape(&mut rng);
+        let scheme = random_protected_scheme(&mut rng);
+        let bit = rng.range_u64(24, 31) as u8;
+        let fault = FaultPlan {
+            row: 0,
+            col: 0,
+            after_step: u64::MAX,
+            kind: FaultKind::BitFlip(bit),
+        };
+        let report = ProtectedGemm::random(shape, scheme, 17)
+            .with_fault(fault)
+            .run();
+        if let Verdict::Detected {
+            residual,
+            threshold,
+        } = report.verdict
+        {
+            assert!(residual > threshold);
+            assert!(residual.is_finite() || matches!(scheme, Scheme::ReplicationTraditional));
         }
     }
 }
