@@ -1,10 +1,18 @@
 //! Microbenches of the simulated substrate itself: FP16
-//! conversion/arithmetic, the functional GEMM engine, and the timing
-//! model. These quantify the simulator, not the paper's GPU numbers.
+//! conversion/arithmetic, the functional GEMM engine (clean, faulted,
+//! and under every protected scheme), and the timing model. These
+//! quantify the simulator, not the paper's GPU numbers.
+//!
+//! Engine results are also written to `BENCH_engine.json` (median/mean
+//! ns, iteration counts, git rev) so the perf trajectory of the hot
+//! path is tracked as data, not just console text.
 
-use aiga_bench::harness::bench;
+use aiga_bench::harness::{bench, Recorder};
+use aiga_core::schemes::{
+    OneSidedThreadAbft, ReplicationSingleAcc, ReplicationTraditional, TwoSidedThreadAbft,
+};
 use aiga_fp16::F16;
-use aiga_gpu::engine::{GemmEngine, Matrix, NoScheme};
+use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme};
 use aiga_gpu::timing::{estimate, Calibration, KernelProfile};
 use aiga_gpu::{DeviceSpec, GemmShape};
 use std::hint::black_box;
@@ -17,6 +25,11 @@ fn main() {
         }
     });
     let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
+    bench("fp16/to_f32_x1024", || {
+        for &h in &halves {
+            black_box(h.to_f32());
+        }
+    });
     bench("fp16/add_chain_x1024", || {
         let mut acc = F16::ZERO;
         for &h in &halves {
@@ -25,15 +38,55 @@ fn main() {
         black_box(acc);
     });
 
+    // The engine-throughput suite: the numbers that gate every figure
+    // reproduction, fault campaign, and serving benchmark.
+    let mut rec = Recorder::new("engine");
     for size in [64usize, 128] {
         let shape = GemmShape::square(size as u64);
         let a = Matrix::random(size, size, 1);
         let b = Matrix::random(size, size, 2);
         let eng = GemmEngine::with_default_tiling(shape);
-        bench(&format!("engine/functional_gemm_{size}"), || {
+        rec.bench(&format!("engine/functional_gemm_{size}"), || {
             black_box(eng.run(&a, &b, || NoScheme, None));
         });
     }
+    {
+        let size = 64usize;
+        let shape = GemmShape::square(size as u64);
+        let a = Matrix::random(size, size, 1);
+        let b = Matrix::random(size, size, 2);
+        let eng = GemmEngine::with_default_tiling(shape);
+        let fault = FaultPlan {
+            row: 17,
+            col: 23,
+            after_step: 5,
+            kind: FaultKind::AddValue(100.0),
+        };
+        rec.bench("engine/functional_gemm_64_faulted", || {
+            black_box(eng.run(&a, &b, || NoScheme, Some(fault)));
+        });
+        rec.bench("engine/gemm_64_one_sided", || {
+            black_box(eng.run(&a, &b, OneSidedThreadAbft::new, None));
+        });
+        rec.bench("engine/gemm_64_two_sided", || {
+            black_box(eng.run(&a, &b, TwoSidedThreadAbft::new, None));
+        });
+        rec.bench("engine/gemm_64_replication_single_acc", || {
+            black_box(eng.run(&a, &b, ReplicationSingleAcc::new, None));
+        });
+        rec.bench("engine/gemm_64_replication_traditional", || {
+            black_box(eng.run(&a, &b, ReplicationTraditional::new, None));
+        });
+        // Global ABFT runs the unmodified kernel plus its epilogue +
+        // reduce-and-compare; bench it through its bound kernel.
+        let global = aiga_core::registry::shared()
+            .resolve(aiga_core::schemes::Scheme::GlobalAbft)
+            .bind(&b);
+        rec.bench("engine/gemm_64_global_abft", || {
+            black_box(global.run(&eng, &a, &[]));
+        });
+    }
+    rec.write().expect("write BENCH_engine.json");
 
     let dev = DeviceSpec::t4();
     let calib = Calibration::default();

@@ -1,19 +1,50 @@
 //! A tiny wall-clock bench harness for the `harness = false` bench
 //! targets (the build environment has no Criterion; this preserves
 //! `cargo bench` with zero dependencies).
+//!
+//! Besides the human-readable stdout table, a [`Recorder`] collects
+//! results and writes them as machine-readable JSON (`BENCH_<suite>.json`
+//! at the workspace root), seeding the repo's performance trajectory:
+//! each run records
+//! per-bench median/mean nanoseconds, iteration counts, and the git
+//! revision, so before/after comparisons are a `diff` away.
+//!
+//! The `AIGA_BENCH_MAX_ITERS` environment variable caps the calibrated
+//! iteration count — CI's smoke run sets it low so every bench target
+//! executes end to end (catching panics) without burning minutes.
 
 use std::time::{Duration, Instant};
+
+use aiga_util::json::Json;
+
+/// One bench's measurements, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Bench name as printed.
+    pub name: String,
+    /// Measured iterations (after one warm-up call).
+    pub iters: usize,
+    /// Median per-iteration time, ns.
+    pub median_ns: f64,
+    /// Mean per-iteration time, ns.
+    pub mean_ns: f64,
+}
 
 /// Runs `f` repeatedly and prints median/mean per-iteration time.
 ///
 /// Auto-calibrates the iteration count to target ~0.5 s of measurement
-/// (bounded to [5, 10_000] iterations) after one warm-up call.
-pub fn bench(name: &str, mut f: impl FnMut()) {
+/// (bounded to [5, 10_000] iterations, further capped by
+/// `AIGA_BENCH_MAX_ITERS`) after one warm-up call.
+pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
     // Warm-up + calibration.
     let t0 = Instant::now();
     f();
     let once = t0.elapsed().max(Duration::from_nanos(1));
-    let iters = (Duration::from_millis(500).as_nanos() / once.as_nanos()).clamp(5, 10_000) as usize;
+    let mut iters =
+        (Duration::from_millis(500).as_nanos() / once.as_nanos()).clamp(5, 10_000) as usize;
+    if let Some(cap) = max_iters_from_env() {
+        iters = iters.min(cap);
+    }
 
     let mut samples: Vec<f64> = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -30,6 +61,111 @@ pub fn bench(name: &str, mut f: impl FnMut()) {
         format_time(median),
         format_time(mean)
     );
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        median_ns: median * 1e9,
+        mean_ns: mean * 1e9,
+    }
+}
+
+fn max_iters_from_env() -> Option<usize> {
+    std::env::var("AIGA_BENCH_MAX_ITERS")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+/// Collects [`bench`] results for one suite and writes them as
+/// `BENCH_<suite>.json`.
+pub struct Recorder {
+    suite: String,
+    results: Vec<BenchResult>,
+}
+
+impl Recorder {
+    /// Creates a recorder for a named suite (e.g. `"engine"`).
+    pub fn new(suite: &str) -> Self {
+        Recorder {
+            suite: suite.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs and records one bench.
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        self.results.push(bench(name, f));
+    }
+
+    /// Results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The JSON document [`Self::write`] persists.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("suite", Json::str(self.suite.clone())),
+            ("git_rev", Json::str(git_rev())),
+            (
+                "results",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::str(r.name.clone())),
+                                ("iters", Json::num(r.iters as f64)),
+                                ("median_ns", Json::num(r.median_ns)),
+                                ("mean_ns", Json::num(r.mean_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<suite>.json` to the workspace root (falling back
+    /// to the working directory outside cargo) and returns its path.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = output_dir().join(format!("BENCH_{}.json", self.suite));
+        std::fs::write(&path, self.to_json().render())?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Under `cargo bench` the process cwd is the *package* directory;
+/// results belong at the workspace root: the innermost ancestor of
+/// `CARGO_MANIFEST_DIR` whose `Cargo.toml` declares a `[workspace]`
+/// (never walking past it into unrelated outer projects).
+fn output_dir() -> std::path::PathBuf {
+    let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") else {
+        return std::path::PathBuf::from(".");
+    };
+    for dir in std::path::Path::new(&manifest).ancestors() {
+        let toml = dir.join("Cargo.toml");
+        if std::fs::read_to_string(&toml)
+            .map(|t| t.contains("[workspace]"))
+            .unwrap_or(false)
+        {
+            return dir.to_path_buf();
+        }
+    }
+    std::path::PathBuf::from(manifest)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn format_time(seconds: f64) -> String {
@@ -41,5 +177,36 @@ fn format_time(seconds: f64) -> String {
         format!("{:.3} us", seconds * 1e6)
     } else {
         format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let r = bench("harness/self_test", || {
+            std::hint::black_box(1 + 1);
+        });
+        // >= 1, not >= 5: AIGA_BENCH_MAX_ITERS (the CI smoke cap) may be
+        // set in the environment running this test.
+        assert!(r.iters >= 1);
+        assert!(r.median_ns >= 0.0 && r.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn recorder_renders_parseable_json() {
+        let mut rec = Recorder::new("selftest");
+        rec.bench("a", || {
+            std::hint::black_box(2 * 2);
+        });
+        let text = rec.to_json().render();
+        let parsed = Json::parse(&text).expect("round-trips");
+        assert_eq!(parsed.field("suite").unwrap().as_str().unwrap(), "selftest");
+        let results = parsed.field("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].field("name").unwrap().as_str().unwrap(), "a");
+        assert!(results[0].field("median_ns").unwrap().as_f64().unwrap() >= 0.0);
     }
 }

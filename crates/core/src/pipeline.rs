@@ -177,11 +177,13 @@ impl ProtectedPipeline {
         let mut final_output = Vec::new();
 
         for (idx, layer) in self.layers.iter().enumerate() {
-            let layer_faults: Vec<FaultPlan> = fault
-                .and_then(|f| (f.layer == idx).then_some(f.fault))
-                .into_iter()
-                .collect();
-            let report = layer.bound.run(&layer.engine, &activations, &layer_faults);
+            // Borrow the (at most one) fault aimed at this layer as a
+            // slice; no per-layer allocation.
+            let layer_fault: Option<FaultPlan> =
+                fault.and_then(|f| (f.layer == idx).then_some(f.fault));
+            let report = layer
+                .bound
+                .run(&layer.engine, &activations, layer_fault.as_slice());
             let scheme = layer.bound.scheme();
 
             // Thread-level detections come out of the kernel itself, with

@@ -64,8 +64,9 @@ impl ProtectedGemm {
 
     /// Runs the protected GEMM and returns the verdict and output.
     pub fn run(&self) -> RunReport {
-        let faults: Vec<FaultPlan> = self.fault.into_iter().collect();
-        self.run_with(&faults)
+        // A stored fault is borrowed as a 0-or-1-element slice; no
+        // per-call allocation.
+        self.run_with(self.fault.as_slice())
     }
 
     /// Runs with an explicit fault list (ignoring any stored fault) —

@@ -14,8 +14,7 @@
 //! tolerance-based check.
 
 use crate::tolerance::Tolerance;
-use aiga_fp16::F16;
-use aiga_gpu::engine::{SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+use aiga_gpu::engine::{KStep, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
 
 /// Traditional thread-level replication: full duplicate accumulators,
 /// exact element-wise comparison.
@@ -38,13 +37,16 @@ impl ThreadLocalScheme for ReplicationTraditional {
         self.counters = SchemeCounters::default();
     }
 
-    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
-        // Replays the engine's accumulation bit-for-bit.
+    fn on_k_step(&mut self, step: &KStep<'_>) {
+        let (mt, nt) = (step.mt, step.nt);
+        // Replays the engine's accumulation bit-for-bit, straight off
+        // the pre-decoded fragments (decoding is exact, so the shadow
+        // sequence is unchanged).
         for i in 0..mt {
-            let a0 = a_chunk[i * 2].to_f32();
-            let a1 = a_chunk[i * 2 + 1].to_f32();
+            let a0 = step.a_f32[i * 2];
+            let a1 = step.a_f32[i * 2 + 1];
             for j in 0..nt {
-                let partial = a0 * b_chunk[j].to_f32() + a1 * b_chunk[nt + j].to_f32();
+                let partial = a0 * step.b_f32[j] + a1 * step.b_f32[nt + j];
                 self.shadow[i * nt + j] += partial;
             }
         }
@@ -115,16 +117,17 @@ impl ThreadLocalScheme for ReplicationSingleAcc {
         self.counters = SchemeCounters::default();
     }
 
-    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
+    fn on_k_step(&mut self, step: &KStep<'_>) {
+        let (mt, nt) = (step.mt, step.nt);
         for i in 0..mt {
-            let a0 = a_chunk[i * 2].to_f32();
-            let a1 = a_chunk[i * 2 + 1].to_f32();
+            let a0 = step.a_f32[i * 2];
+            let a1 = step.a_f32[i * 2 + 1];
             for j in 0..nt {
-                let partial = a0 * b_chunk[j].to_f32() + a1 * b_chunk[nt + j].to_f32();
+                let partial = a0 * step.b_f32[j] + a1 * step.b_f32[nt + j];
                 // All redundant MMA outputs land in the same four regs.
                 self.racc[(i * nt + j) & 3] += partial;
-                self.magnitude += (a0.abs() as f64) * (b_chunk[j].to_f64().abs())
-                    + (a1.abs() as f64) * (b_chunk[nt + j].to_f64().abs());
+                self.magnitude += (a0.abs() as f64) * (step.b_f32[j].abs() as f64)
+                    + (a1.abs() as f64) * (step.b_f32[nt + j].abs() as f64);
             }
         }
         self.steps += 1;

@@ -12,7 +12,7 @@
 
 use crate::tolerance::Tolerance;
 use aiga_fp16::F16;
-use aiga_gpu::engine::{SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+use aiga_gpu::engine::{KStep, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
 
 /// Per-thread state of one-sided thread-level ABFT.
 #[derive(Clone, Debug)]
@@ -58,17 +58,23 @@ impl ThreadLocalScheme for OneSidedThreadAbft {
         self.counters = SchemeCounters::default();
     }
 
-    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
+    fn on_k_step(&mut self, step: &KStep<'_>) {
+        let (mt, nt) = (step.mt, step.nt);
         // Row checksums of the Bt chunk, one per k-lane, generated with
-        // FP16 sequential adds (the HADD2 path).
+        // FP16 sequential adds (the HADD2 path) — this models FP16
+        // arithmetic, so it consumes the raw fragments; the magnitude
+        // bound reads the engine's pre-decoded values.
         let mut w = [F16::ZERO; 2];
         let mut w_abs = [0.0f64; 2];
         for lane in 0..2 {
-            let row = &b_chunk[lane * nt..(lane + 1) * nt];
+            let row = &step.b[lane * nt..(lane + 1) * nt];
+            let row_f32 = &step.b_f32[lane * nt..(lane + 1) * nt];
             let mut sum = F16::ZERO;
             for &v in row {
                 sum = sum + v;
-                w_abs[lane] += v.to_f64().abs();
+            }
+            for &v in row_f32 {
+                w_abs[lane] += (v as f64).abs();
             }
             w[lane] = sum;
         }
@@ -77,10 +83,10 @@ impl ThreadLocalScheme for OneSidedThreadAbft {
         let w0 = w[0].to_f32();
         let w1 = w[1].to_f32();
         for i in 0..mt {
-            let a0 = a_chunk[i * 2];
-            let a1 = a_chunk[i * 2 + 1];
-            self.abft[i] += a0.to_f32() * w0 + a1.to_f32() * w1;
-            self.magnitude[i] += a0.to_f64().abs() * w_abs[0] + a1.to_f64().abs() * w_abs[1];
+            let a0 = step.a_f32[i * 2];
+            let a1 = step.a_f32[i * 2 + 1];
+            self.abft[i] += a0 * w0 + a1 * w1;
+            self.magnitude[i] += (a0 as f64).abs() * w_abs[0] + (a1 as f64).abs() * w_abs[1];
         }
         self.steps += 1;
         self.counters.extra_mmas += (mt as u64) / 2;

@@ -8,7 +8,7 @@
 
 use crate::tolerance::Tolerance;
 use aiga_fp16::F16;
-use aiga_gpu::engine::{SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+use aiga_gpu::engine::{KStep, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
 
 /// Per-thread state of two-sided thread-level ABFT.
 #[derive(Clone, Debug)]
@@ -58,17 +58,19 @@ impl ThreadLocalScheme for TwoSidedThreadAbft {
         self.counters = SchemeCounters::default();
     }
 
-    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
+    fn on_k_step(&mut self, step: &KStep<'_>) {
+        let (mt, nt) = (step.mt, step.nt);
         self.mt = mt;
         self.nt = nt;
-        // Column checksums of At (one per k-lane) in FP16.
+        // Column checksums of At (one per k-lane) in FP16 — models FP16
+        // adds, so reads the raw fragments; the magnitude bounds read
+        // the engine's pre-decoded values instead of re-converting.
         let mut a_sum = [F16::ZERO; 2];
         let mut a_abs = [0.0f64; 2];
         for i in 0..mt {
             for lane in 0..2 {
-                let v = a_chunk[i * 2 + lane];
-                a_sum[lane] = a_sum[lane] + v;
-                a_abs[lane] += v.to_f64().abs();
+                a_sum[lane] = a_sum[lane] + step.a[i * 2 + lane];
+                a_abs[lane] += (step.a_f32[i * 2 + lane] as f64).abs();
             }
         }
         // Row checksums of Bt (one per k-lane) in FP16.
@@ -76,9 +78,8 @@ impl ThreadLocalScheme for TwoSidedThreadAbft {
         let mut b_abs = [0.0f64; 2];
         for lane in 0..2 {
             for j in 0..nt {
-                let v = b_chunk[lane * nt + j];
-                b_sum[lane] = b_sum[lane] + v;
-                b_abs[lane] += v.to_f64().abs();
+                b_sum[lane] = b_sum[lane] + step.b[lane * nt + j];
+                b_abs[lane] += (step.b_f32[lane * nt + j] as f64).abs();
             }
         }
         // The single redundant MMA across the checksums.

@@ -1,0 +1,109 @@
+//! Bit-exactness regression net for the engine's fast paths.
+//!
+//! The FNV-1a hashes below were produced by the *pre-optimization*
+//! engine (per-element F16 → f64 widening inside the K-loop, no
+//! pre-decoded panels, step-ordered walk for every scheme) over a seeded
+//! shape sweep, clean and faulted, for every built-in scheme. The
+//! current engine — decode-table FP16, pre-decoded f32 panels, fused
+//! per-accumulator fast path — must reproduce each output byte for byte:
+//! FP16 products are exact in f32 and accumulator walks preserve their
+//! per-element operation order, so any hash drift is a real numerics
+//! regression, not tolerable noise.
+
+use aiga_core::registry;
+use aiga_core::schemes::Scheme;
+use aiga_gpu::engine::{FaultKind, FaultPlan, Matrix};
+use aiga_gpu::{GemmEngine, GemmShape};
+
+fn fnv1a_of_c(c: &[f32]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in c {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// (m, n, k, seed, clean hash, faulted hash) — one row per shape; every
+/// scheme must hit the same hashes (schemes never change the math).
+const GOLDEN: &[(usize, usize, usize, u64, u64, u64)] = &[
+    (17, 9, 11, 1000, 0x34dcdeb3fb09f1f4, 0x7efd38fedd899f1a),
+    (32, 32, 32, 1017, 0x519f66b5fd97d29d, 0x77b6e58bf0997f1b),
+    (48, 40, 56, 1034, 0x6e1f9cad9f993c99, 0x65228348b7de4d81),
+    (64, 64, 64, 1051, 0x42973cbec7005836, 0x85eecb916cfe6f55),
+    (33, 65, 40, 1068, 0x0f0581712e5ace0b, 0x3443b8e678f72093),
+];
+
+#[test]
+fn every_scheme_reproduces_the_pre_optimization_outputs() {
+    let schemes = [
+        Scheme::Unprotected,
+        Scheme::GlobalAbft,
+        Scheme::ThreadLevelOneSided,
+        Scheme::ThreadLevelTwoSided,
+        Scheme::ReplicationSingleAcc,
+        Scheme::ReplicationTraditional,
+    ];
+    let reg = registry::shared();
+    for &(m, n, k, seed, clean_hash, dirty_hash) in GOLDEN {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+        let engine = GemmEngine::with_default_tiling(GemmShape::new(m as u64, n as u64, k as u64));
+        let fault = FaultPlan {
+            row: (m - 1) / 2,
+            col: (n - 1) / 2,
+            after_step: 3,
+            kind: FaultKind::AddValue(64.0),
+        };
+        for &scheme in &schemes {
+            let bound = reg.resolve(scheme).bind(&b);
+            let clean = bound.run(&engine, &a, &[]);
+            assert_eq!(
+                fnv1a_of_c(&clean.output.c),
+                clean_hash,
+                "{scheme} clean output drifted on {m}x{n}x{k}"
+            );
+            let dirty = bound.run(&engine, &a, &[fault]);
+            assert_eq!(
+                fnv1a_of_c(&dirty.output.c),
+                dirty_hash,
+                "{scheme} faulted output drifted on {m}x{n}x{k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_and_hooked_walks_are_byte_identical() {
+    // The engine takes the fused per-accumulator fast path for schemes
+    // without K-step hooks and the step-ordered walk otherwise; both
+    // must produce identical bytes. Replication's hooked walk shares
+    // loads with the engine, so comparing its output (hooked path)
+    // against the unprotected output (fast path) covers the seam,
+    // including with a mid-kernel fault.
+    for &(m, n, k) in &[(48usize, 40usize, 64usize), (33, 65, 40)] {
+        let a = Matrix::random(m, k, 7);
+        let b = Matrix::random(k, n, 8);
+        let engine = GemmEngine::with_default_tiling(GemmShape::new(m as u64, n as u64, k as u64));
+        let reg = registry::shared();
+        let fast = reg.resolve(Scheme::Unprotected).bind(&b);
+        let hooked = reg.resolve(Scheme::ReplicationTraditional).bind(&b);
+        for faults in [
+            &[][..],
+            &[FaultPlan {
+                row: 1,
+                col: 1,
+                after_step: 5,
+                kind: FaultKind::BitFlip(30),
+            }][..],
+        ] {
+            let f = fast.run(&engine, &a, faults);
+            let h = hooked.run(&engine, &a, faults);
+            let fb: Vec<u32> = f.output.c.iter().map(|v| v.to_bits()).collect();
+            let hb: Vec<u32> = h.output.c.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, hb, "paths diverged on {m}x{n}x{k}");
+        }
+    }
+}

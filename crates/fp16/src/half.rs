@@ -12,6 +12,15 @@
 //! directly whenever the intermediate precision is at least `2p + 2 = 24`
 //! bits (the classical innocuous-double-rounding bound), so `+ - * /`
 //! here are correctly rounded binary16 operations.
+//!
+//! Conversions are the simulator's hottest operations, so both directions
+//! take branch-free fast paths: widening goes through a 65,536-entry
+//! const decode table ([`F16::to_f32`] is a single indexed load) and
+//! narrowing manipulates bits directly ([`f32_to_f16_bits`]). The
+//! original arithmetic formulations survive as the `oracle` module under
+//! `#[cfg(test)]`, and the test suite proves bit-exact equivalence —
+//! exhaustively for decoding (all 2^16 patterns) and with dense plus
+//! edge-case sweeps for encoding.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -24,6 +33,57 @@ pub struct F16(pub u16);
 const EXP_MASK: u16 = 0x7c00;
 const FRAC_MASK: u16 = 0x03ff;
 const SIGN_MASK: u16 = 0x8000;
+
+/// Decodes one binary16 bit pattern to the binary32 bit pattern of the
+/// same value, in pure integer arithmetic (usable in const context).
+///
+/// Every finite binary16 value is exactly representable in binary32, so
+/// this is a lossless re-encoding: normals shift exponent bias and
+/// mantissa position, subnormals are normalized (the smallest f16
+/// subnormal, 2^-24, is far above f32's underflow threshold), and NaNs
+/// canonicalize to the quiet NaN `0x7fc0_0000` — matching what the
+/// original `f64`-widening path produced when cast to `f32`.
+const fn f16_bits_to_f32_bits(bits: u16) -> u32 {
+    let sign = ((bits & SIGN_MASK) as u32) << 16;
+    let exp = ((bits & EXP_MASK) >> 10) as u32;
+    let frac = (bits & FRAC_MASK) as u32;
+    if exp == 31 {
+        // Infinity keeps its sign; NaN canonicalizes (payload and sign
+        // dropped, exactly as `f64::NAN as f32` did in the old path).
+        return if frac == 0 {
+            sign | 0x7f80_0000
+        } else {
+            0x7fc0_0000
+        };
+    }
+    if exp == 0 {
+        if frac == 0 {
+            return sign; // signed zero
+        }
+        // Subnormal: value = frac · 2^-24 with frac in [1, 2^10).
+        // Normalize: with l the index of frac's leading 1 (0..=9), the
+        // value is 2^(l-24) · (frac / 2^l), giving biased f32 exponent
+        // (l - 24) + 127 = l + 103.
+        let l = 31 - frac.leading_zeros();
+        return sign | ((l + 103) << 23) | ((frac ^ (1 << l)) << (23 - l));
+    }
+    // Normal: re-bias the exponent (exp - 15 + 127) and widen the
+    // mantissa from 10 to 23 bits.
+    sign | ((exp + 112) << 23) | (frac << 13)
+}
+
+/// The full `F16 → f32` decode table: one `f32` per 16-bit pattern, so
+/// widening is a single indexed load on the hot path. Built at compile
+/// time (256 KiB of rodata).
+static F16_TO_F32: [f32; 1 << 16] = {
+    let mut table = [0.0f32; 1 << 16];
+    let mut bits = 0usize;
+    while bits < (1 << 16) {
+        table[bits] = f32::from_bits(f16_bits_to_f32_bits(bits as u16));
+        bits += 1;
+    }
+    table
+};
 
 impl F16 {
     /// Positive zero.
@@ -61,11 +121,12 @@ impl F16 {
         self.0
     }
 
-    /// Converts from `f32` with round-to-nearest-even.
+    /// Converts from `f32` with round-to-nearest-even (direct bit
+    /// manipulation; bit-equivalent to rounding through `f64`, which is
+    /// exact on the widening step).
     #[inline]
     pub fn from_f32(x: f32) -> Self {
-        // f32 -> f64 is exact, so this single rounding step is correct.
-        Self::from_f64(x as f64)
+        F16(f32_to_f16_bits(x))
     }
 
     /// Converts from `f64` with round-to-nearest-even.
@@ -73,29 +134,17 @@ impl F16 {
         F16(f64_to_f16_bits(x))
     }
 
-    /// Widens to `f32` (exact).
+    /// Widens to `f32` (exact): a single load from the decode table.
     #[inline]
     pub fn to_f32(self) -> f32 {
-        self.to_f64() as f32
+        F16_TO_F32[self.0 as usize]
     }
 
-    /// Widens to `f64` (exact).
+    /// Widens to `f64` (exact): the table's `f32` widened again, both
+    /// steps lossless.
+    #[inline]
     pub fn to_f64(self) -> f64 {
-        let bits = self.0;
-        let sign = if bits & SIGN_MASK != 0 { -1.0 } else { 1.0 };
-        let exp = ((bits & EXP_MASK) >> 10) as i32;
-        let frac = (bits & FRAC_MASK) as f64;
-        match exp {
-            0 => sign * frac * 2.0_f64.powi(-24),
-            31 => {
-                if frac == 0.0 {
-                    sign * f64::INFINITY
-                } else {
-                    f64::NAN
-                }
-            }
-            _ => sign * (1024.0 + frac) * 2.0_f64.powi(exp - 25),
-        }
+        F16_TO_F32[self.0 as usize] as f64
     }
 
     /// True for either NaN bit pattern class.
@@ -175,6 +224,62 @@ fn rne_shift(sig: u64, shift: u32) -> u64 {
     } else {
         floor
     }
+}
+
+/// Converts an `f32` to binary16 bits with round-to-nearest-even,
+/// operating directly on the binary32 fields (no `f64` round trip).
+///
+/// A single rounding step from 24 to 11 significand bits: bit-equivalent
+/// to the old `f64`-widening path because `f32 → f64` is exact.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) as u16) & SIGN_MASK;
+    let e = ((b >> 23) & 0xff) as i32;
+    let m = b & 0x007f_ffff;
+
+    if e == 0xff {
+        // Infinity or NaN; NaN payloads are canonicalized.
+        return if m == 0 {
+            sign | EXP_MASK
+        } else {
+            sign | 0x7e00
+        };
+    }
+    if e == 0 && m == 0 {
+        return sign; // signed zero
+    }
+
+    // Express |x| = sig * 2^exp with sig in [2^23, 2^24) for normals.
+    // f32 subnormals are below 2^-126, far under the f16 underflow
+    // threshold 2^-25, so they flush to (signed) zero via the same path.
+    let (sig, exp) = if e == 0 {
+        (m, -126 - 23)
+    } else {
+        (m | (1u32 << 23), e - 127 - 23)
+    };
+    // Unbiased magnitude exponent: |x| in [2^emag, 2^(emag+1)).
+    let emag = exp + 23;
+
+    if emag >= 16 {
+        // |x| >= 2^16 = 65536 > 65519.99..., the rounding boundary to MAX.
+        return sign | EXP_MASK;
+    }
+    if emag >= -14 {
+        // Normal f16 candidate: sig's leading bit sits at position 23, so
+        // we drop 13 bits; mantissa overflow carries into the exponent
+        // field, and an exponent of 31 means overflow to infinity.
+        let q = rne_shift(sig as u64, 13); // q in [2^10, 2^11]
+        let bits = (((emag + 14) as u32) << 10) + q as u32;
+        if bits >= 0x7c00 {
+            return sign | EXP_MASK;
+        }
+        return sign | bits as u16;
+    }
+    // Subnormal or underflow-to-zero: quantum is 2^-24.
+    // shift = (quantum exponent) - exp = -24 - exp.
+    let shift = (-24 - exp) as u32;
+    let q = rne_shift(sig as u64, shift); // q in [0, 2^10]; 2^10 is MIN_POSITIVE
+    sign | q as u16
 }
 
 /// Converts an `f64` to binary16 bits with round-to-nearest-even.
@@ -318,9 +423,137 @@ impl std::iter::Sum for F16 {
     }
 }
 
+/// The original arithmetic-formulation conversions, kept as the oracle
+/// the fast paths are proven bit-equivalent against.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::{EXP_MASK, FRAC_MASK, SIGN_MASK};
+
+    /// The pre-table `F16 → f64` widening (sign/exponent/fraction
+    /// arithmetic in `f64`).
+    pub fn to_f64(bits: u16) -> f64 {
+        let sign = if bits & SIGN_MASK != 0 { -1.0 } else { 1.0 };
+        let exp = ((bits & EXP_MASK) >> 10) as i32;
+        let frac = (bits & FRAC_MASK) as f64;
+        match exp {
+            0 => sign * frac * 2.0_f64.powi(-24),
+            31 => {
+                if frac == 0.0 {
+                    sign * f64::INFINITY
+                } else {
+                    f64::NAN
+                }
+            }
+            _ => sign * (1024.0 + frac) * 2.0_f64.powi(exp - 25),
+        }
+    }
+
+    /// The pre-fast-path `f32 → F16` encode: widen exactly to `f64`,
+    /// round once.
+    pub fn from_f32(x: f32) -> u16 {
+        super::f64_to_f16_bits(x as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decode_table_matches_oracle_for_all_65536_patterns() {
+        for bits in 0..=u16::MAX {
+            let fast = F16::from_bits(bits).to_f32();
+            let slow = oracle::to_f64(bits) as f32;
+            if slow.is_nan() {
+                assert!(fast.is_nan(), "bits {bits:#06x}: {fast} vs NaN");
+            } else {
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "bits {bits:#06x}: {fast} vs {slow}"
+                );
+            }
+            // The f64 widening must also agree exactly.
+            let fast64 = F16::from_bits(bits).to_f64();
+            if slow.is_nan() {
+                assert!(fast64.is_nan());
+            } else {
+                assert_eq!(fast64.to_bits(), oracle::to_f64(bits).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn encode_matches_oracle_on_dense_sweep() {
+        // Every 2^16-th f32 bit pattern (both signs, all exponent
+        // regimes, ~65k values) plus the patterns adjacent to each stride
+        // point, against the f64-round-trip oracle.
+        let mut checked = 0u64;
+        for hi in 0..=u16::MAX {
+            for lo in [0u32, 1, 0x7fff, 0x8000, 0xffff] {
+                let x = f32::from_bits(((hi as u32) << 16) | lo);
+                let fast = F16::from_f32(x).to_bits();
+                let slow = oracle::from_f32(x);
+                assert_eq!(fast, slow, "input {x:e} ({:#010x})", x.to_bits());
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 5 * 65536);
+    }
+
+    #[test]
+    fn encode_matches_oracle_on_edge_cases() {
+        // Exact ties, boundary magnitudes, signed zeros, subnormal range,
+        // infinities, and NaN payload canonicalization.
+        let cases: &[f32] = &[
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.0 + 2.0_f32.powi(-11), // tie at 1.0's quantum
+            1.0 + 3.0 * 2.0_f32.powi(-11),
+            65504.0,  // F16::MAX
+            65519.96, // just below the overflow boundary
+            65520.0,  // exact tie -> infinity
+            -65520.0,
+            65536.0,
+            f32::MAX,
+            f32::MIN_POSITIVE,       // flushes to zero
+            f32::MIN_POSITIVE / 4.0, // f32 subnormal
+            -f32::MIN_POSITIVE,
+            2.0_f32.powi(-24), // F16::MIN_SUBNORMAL
+            2.0_f32.powi(-25), // exact half of it: ties to even (zero)
+            2.0_f32.powi(-25) * 1.00001,
+            2.0_f32.powi(-14),                     // F16::MIN_POSITIVE
+            2.0_f32.powi(-14) - 2.0_f32.powi(-25), // largest subnormal tie region
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            -f32::NAN,
+            f32::from_bits(0x7f800001), // signaling-ish NaN payload
+            f32::from_bits(0xffc12345), // negative NaN with payload
+        ];
+        for &x in cases {
+            let fast = F16::from_f32(x).to_bits();
+            let slow = oracle::from_f32(x);
+            assert_eq!(fast, slow, "input {x:e} ({:#010x})", x.to_bits());
+        }
+        // Exhaustive over the entire f16-relevant exponent window: all
+        // f32 values whose exponent field lies in [96, 144) with a dense
+        // mantissa sweep (steps of 257 cover every mantissa byte pair).
+        for e in 96u32..144 {
+            for m in (0..0x0080_0000u32).step_by(257) {
+                for sign in [0u32, 0x8000_0000] {
+                    let x = f32::from_bits(sign | (e << 23) | m);
+                    assert_eq!(
+                        F16::from_f32(x).to_bits(),
+                        oracle::from_f32(x),
+                        "input {x:e}"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn constants_decode_to_expected_values() {

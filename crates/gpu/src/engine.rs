@@ -77,13 +77,50 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// Copies into a larger zero-padded matrix.
+    /// Copies into a larger zero-padded matrix. Already-fitting matrices
+    /// take a no-op fast path (one bulk copy, no per-row loop).
     pub fn padded(&self, rows: usize, cols: usize) -> Matrix {
         assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        if rows == self.rows && cols == self.cols {
+            return self.clone();
+        }
         let mut out = Matrix::zeros(rows, cols);
         for r in 0..self.rows {
             let src = &self.data[r * self.cols..(r + 1) * self.cols];
             out.data[r * cols..r * cols + self.cols].copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Decodes into a zero-padded row-major `f32` buffer of size
+    /// `rows × cols` — the engine's pre-decoded panel form. Decoding is
+    /// exact (every finite F16 is representable in f32), so downstream
+    /// arithmetic is bit-identical to converting on the fly.
+    fn decoded_padded(&self, rows: usize, cols: usize) -> Vec<f32> {
+        assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            let dst = &mut out[r * cols..r * cols + self.cols];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.to_f32();
+            }
+        }
+        out
+    }
+
+    /// Like [`Self::decoded_padded`] but transposed: the result is
+    /// `cols × rows` row-major, so one *column* of `self` is contiguous.
+    /// The engine stores the B panel this way so each thread's K-walk
+    /// streams both operands linearly.
+    fn decoded_padded_transposed(&self, rows: usize, cols: usize) -> Vec<f32> {
+        assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, v) in src.iter().enumerate() {
+                out[c * rows + r] = v.to_f32();
+            }
         }
         out
     }
@@ -145,20 +182,62 @@ impl SchemeCounters {
     }
 }
 
+/// The fragments one simulated thread loaded for one K-step, as handed
+/// to [`ThreadLocalScheme::on_k_step`].
+///
+/// `a`/`b` are the raw FP16 fragments: `a` is `Mt × 2` row-major (rows
+/// ordered as `ctx.rows`), `b` is `2 × Nt` row-major (columns ordered as
+/// `ctx.cols`). `a_f32`/`b_f32` are the same fragments pre-decoded to
+/// `f32` by the engine — decoding FP16 is exact in `f32`, so schemes
+/// that only need the numeric values (replication's shadow MMAs, ABFT's
+/// redundant accumulations, magnitude tracking) should read these
+/// instead of re-converting the raw bits the engine already decoded.
+/// Schemes that model FP16 *arithmetic* (sequential HADD checksum
+/// chains) still need the raw fragments.
+#[derive(Clone, Copy, Debug)]
+pub struct KStep<'a> {
+    /// Raw FP16 `Mt × 2` A-fragment.
+    pub a: &'a [F16],
+    /// Raw FP16 `2 × Nt` B-fragment.
+    pub b: &'a [F16],
+    /// Pre-decoded `a` (same layout, exact values).
+    pub a_f32: &'a [f32],
+    /// Pre-decoded `b` (same layout, exact values).
+    pub b_f32: &'a [f32],
+    /// Rows of the thread's accumulator tile.
+    pub mt: usize,
+    /// Columns of the thread's accumulator tile.
+    pub nt: usize,
+}
+
 /// A redundancy scheme living inside the thread-level inner loop.
 ///
 /// One instance protects one simulated thread; the engine constructs an
 /// instance per thread via the factory passed to [`GemmEngine::run`].
 pub trait ThreadLocalScheme: Send {
+    /// Capability hook: whether this scheme consumes per-K-step
+    /// fragments at all. Epilogue-only schemes (the unprotected
+    /// baseline, kernel-level ABFT run via [`NoScheme`]) return `false`,
+    /// which lets the engine skip fragment gathering *and* the per-step
+    /// virtual call entirely and run its fused dot-product fast path —
+    /// the serving common case. When this returns `false`,
+    /// [`Self::on_k_step`] is never called; `begin`/`finalize` still are.
+    ///
+    /// Must be constant across all instances a factory produces: the
+    /// engine probes one instance per run and stages the raw FP16
+    /// panels (or not) for the whole run based on its answer.
+    fn needs_k_steps(&self) -> bool {
+        true
+    }
+
     /// Called once before the K-walk with the thread's identity.
     fn begin(&mut self, ctx: &ThreadCtx);
 
-    /// Called for every K-step with the fragments the thread just loaded:
-    /// `a_chunk` is `Mt × 2` row-major (rows ordered as `ctx.rows`),
-    /// `b_chunk` is `2 × Nt` row-major (columns ordered as `ctx.cols`).
-    /// Sharing these loads is what keeps thread-level ABFT free of extra
-    /// memory traffic (§5.1).
-    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize);
+    /// Called for every K-step with the fragments the thread just loaded
+    /// (raw FP16 and pre-decoded f32 views — see [`KStep`]). Sharing
+    /// these loads is what keeps thread-level ABFT free of extra memory
+    /// traffic (§5.1). Only called when [`Self::needs_k_steps`] is true.
+    fn on_k_step(&mut self, step: &KStep<'_>);
 
     /// Called once after the K-walk with the thread's final `Mt × Nt`
     /// FP32 accumulators (row-major); performs the thread-local check.
@@ -174,11 +253,14 @@ pub trait ThreadLocalScheme: Send {
 /// scheme kernels (`aiga-core`'s `SchemeKernel` trait objects) can drive
 /// the generic engine without monomorphizing per scheme.
 impl ThreadLocalScheme for Box<dyn ThreadLocalScheme> {
+    fn needs_k_steps(&self) -> bool {
+        (**self).needs_k_steps()
+    }
     fn begin(&mut self, ctx: &ThreadCtx) {
         (**self).begin(ctx)
     }
-    fn on_k_step(&mut self, a_chunk: &[F16], b_chunk: &[F16], mt: usize, nt: usize) {
-        (**self).on_k_step(a_chunk, b_chunk, mt, nt)
+    fn on_k_step(&mut self, step: &KStep<'_>) {
+        (**self).on_k_step(step)
     }
     fn finalize(&mut self, ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
         (**self).finalize(ctx, acc, mt, nt)
@@ -189,12 +271,16 @@ impl ThreadLocalScheme for Box<dyn ThreadLocalScheme> {
 }
 
 /// The unprotected baseline: no redundant work, always-clean verdicts.
+/// Opts out of K-step delivery, enabling the engine's fast path.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoScheme;
 
 impl ThreadLocalScheme for NoScheme {
+    fn needs_k_steps(&self) -> bool {
+        false
+    }
     fn begin(&mut self, _ctx: &ThreadCtx) {}
-    fn on_k_step(&mut self, _a: &[F16], _b: &[F16], _mt: usize, _nt: usize) {}
+    fn on_k_step(&mut self, _step: &KStep<'_>) {}
     fn finalize(
         &mut self,
         _ctx: &ThreadCtx,
@@ -370,8 +456,23 @@ impl GemmEngine {
         let cov_m = (gm * self.tiling.block_m) as usize;
         let cov_n = (gn * self.tiling.block_n) as usize;
         let k = self.shape.k as usize;
-        let ap = a.padded(cov_m, k);
-        let bp = b.padded(k, cov_n);
+
+        // Capability probe: schemes that never consume K-step fragments
+        // (the serving common case) let the engine skip both the raw
+        // FP16 panel staging and the per-step virtual call.
+        let needs_k_steps = make_scheme().needs_k_steps();
+
+        // Pre-decode the panels to f32 once per run. FP16 → f32 is
+        // exact, so every downstream product and accumulation is
+        // bit-identical to decoding inside the K-loop. B is stored
+        // transposed so a thread's K-walk streams both panels linearly.
+        let panels = Panels {
+            a16: needs_k_steps.then(|| a.padded(cov_m, k)),
+            b16: needs_k_steps.then(|| b.padded(k, cov_n)),
+            a_f32: a.decoded_padded(cov_m, k),
+            b_f32_t: b.decoded_padded_transposed(k, cov_n),
+            k,
+        };
 
         let blocks: Vec<(u64, u64)> = (0..gm)
             .flat_map(|br| (0..gn).map(move |bc| (br, bc)))
@@ -392,8 +493,7 @@ impl GemmEngine {
             self.run_block(
                 br,
                 bc,
-                &ap,
-                &bp,
+                &panels,
                 &make_scheme,
                 faults,
                 &mut tile,
@@ -449,8 +549,7 @@ impl GemmEngine {
         &self,
         br: u64,
         bc: u64,
-        ap: &Matrix,
-        bp: &Matrix,
+        panels: &Panels,
         make_scheme: &F,
         faults: &[FaultPlan],
         tile: &mut [f32],
@@ -465,12 +564,29 @@ impl GemmEngine {
         let warps_n = t.block_n / t.warp_n;
         let mt = t.thread_mt() as usize;
         let nt = t.thread_nt() as usize;
+        let k = panels.k;
         let k_steps = t.k_steps(self.shape);
         counters.k_steps = k_steps;
+        let bn = t.block_n as usize;
+        let row0 = (br * t.block_m) as usize;
+        let col0 = (bc * t.block_n) as usize;
 
+        // All loop-carried buffers live at block scope and are reused by
+        // every simulated thread: the thread loop itself allocates
+        // nothing.
         let mut a_chunk = vec![F16::ZERO; mt * 2];
         let mut b_chunk = vec![F16::ZERO; 2 * nt];
+        let mut af_chunk = vec![0.0f32; mt * 2];
+        let mut bf_chunk = vec![0.0f32; 2 * nt];
         let mut acc = vec![0.0f32; mt * nt];
+        let mut fault_targets: Vec<(usize, u64, FaultKind)> = Vec::new();
+        let mut ctx = ThreadCtx {
+            block: (br, bc),
+            warp: 0,
+            lane: 0,
+            rows: Vec::with_capacity(mt),
+            cols: Vec::with_capacity(nt),
+        };
 
         for wr in 0..warps_m {
             for wc in 0..warps_n {
@@ -480,69 +596,91 @@ impl GemmEngine {
                     let quad = lane % 4;
                     // Global rows/cols owned by this lane (PTX m16n8k8
                     // fragment layout tiled across the warp tile).
-                    let mut rows = Vec::with_capacity(mt);
+                    ctx.warp = warp;
+                    ctx.lane = lane;
+                    ctx.rows.clear();
                     for gran in 0..(t.warp_m / 16) {
                         let base = (br * t.block_m + wr * t.warp_m + gran * 16) as usize + group;
-                        rows.push(base);
-                        rows.push(base + 8);
+                        ctx.rows.push(base);
+                        ctx.rows.push(base + 8);
                     }
-                    let mut cols = Vec::with_capacity(nt);
+                    ctx.cols.clear();
                     for gran in 0..(t.warp_n / 8) {
                         let base = (bc * t.block_n + wc * t.warp_n + gran * 8) as usize + 2 * quad;
-                        cols.push(base);
-                        cols.push(base + 1);
+                        ctx.cols.push(base);
+                        ctx.cols.push(base + 1);
                     }
-                    let ctx = ThreadCtx {
-                        block: (br, bc),
-                        warp,
-                        lane,
-                        rows,
-                        cols,
-                    };
 
-                    // Which accumulators (if any) the fault plans target.
-                    let fault_targets: Vec<(usize, u64, FaultKind)> = faults
-                        .iter()
-                        .filter_map(|f| {
+                    // Which accumulators (if any) the fault plans
+                    // target. The whole targeting machinery is skipped
+                    // when no faults are injected — the serving common
+                    // case.
+                    fault_targets.clear();
+                    if !faults.is_empty() {
+                        fault_targets.extend(faults.iter().filter_map(|f| {
                             let ri = ctx.rows.iter().position(|&r| r == f.row)?;
                             let ci = ctx.cols.iter().position(|&c| c == f.col)?;
                             Some((ri * nt + ci, f.after_step, f.kind))
-                        })
-                        .collect();
+                        }));
+                    }
 
                     let mut scheme = make_scheme();
                     scheme.begin(&ctx);
-                    acc.iter_mut().for_each(|v| *v = 0.0);
 
-                    for step in 0..k_steps {
-                        let k0 = (step * STEP_K) as usize;
+                    if scheme.needs_k_steps() {
+                        self.walk_k_with_scheme(
+                            panels,
+                            &ctx,
+                            &mut scheme,
+                            &fault_targets,
+                            &mut a_chunk,
+                            &mut b_chunk,
+                            &mut af_chunk,
+                            &mut bf_chunk,
+                            &mut acc,
+                        );
+                    } else {
+                        // Fast path: per-accumulator fused dot-product
+                        // walk over the pre-decoded panels. Each
+                        // accumulator sees the identical FP32 operation
+                        // sequence as the step-ordered walk (accumulators
+                        // are independent), so outputs stay bit-exact.
                         for (ri, &r) in ctx.rows.iter().enumerate() {
-                            a_chunk[ri * 2] = ap.get(r, k0);
-                            a_chunk[ri * 2 + 1] = ap.get(r, k0 + 1);
-                        }
-                        for (ci, &c) in ctx.cols.iter().enumerate() {
-                            b_chunk[ci] = bp.get(k0, c);
-                            b_chunk[nt + ci] = bp.get(k0 + 1, c);
-                        }
-                        // The MMA math: FP16 products are exact in FP32;
-                        // the two k-lanes of the step are reduced first
-                        // (dot-product unit), then accumulated.
-                        for ri in 0..mt {
-                            let a0 = a_chunk[ri * 2].to_f32();
-                            let a1 = a_chunk[ri * 2 + 1].to_f32();
-                            for ci in 0..nt {
-                                let partial =
-                                    a0 * b_chunk[ci].to_f32() + a1 * b_chunk[nt + ci].to_f32();
-                                acc[ri * nt + ci] += partial;
-                            }
-                        }
-                        scheme.on_k_step(&a_chunk, &b_chunk, mt, nt);
-                        for &(idx, after, kind) in &fault_targets {
-                            if after == step {
-                                acc[idx] = kind.apply(acc[idx]);
+                            let a_row = &panels.a_f32[r * k..r * k + k];
+                            for (ci, &c) in ctx.cols.iter().enumerate() {
+                                let b_col = &panels.b_f32_t[c * k..c * k + k];
+                                let idx = ri * nt + ci;
+                                acc[idx] = if fault_targets.is_empty()
+                                    || !fault_targets.iter().any(|&(i, _, _)| i == idx)
+                                {
+                                    let mut s = 0.0f32;
+                                    for (aa, bb) in a_row.chunks_exact(2).zip(b_col.chunks_exact(2))
+                                    {
+                                        s += aa[0] * bb[0] + aa[1] * bb[1];
+                                    }
+                                    s
+                                } else {
+                                    // Cold variant for the (rare) faulted
+                                    // accumulator: corrupt mid-walk, then
+                                    // keep accumulating.
+                                    let mut s = 0.0f32;
+                                    for (step, (aa, bb)) in
+                                        a_row.chunks_exact(2).zip(b_col.chunks_exact(2)).enumerate()
+                                    {
+                                        s += aa[0] * bb[0] + aa[1] * bb[1];
+                                        for &(i, after, kind) in &fault_targets {
+                                            if i == idx && after == step as u64 {
+                                                s = kind.apply(s);
+                                            }
+                                        }
+                                    }
+                                    s
+                                };
                             }
                         }
                     }
+
+                    // Epilogue-datapath faults strike after the K-walk.
                     for &(idx, after, kind) in &fault_targets {
                         if after == u64::MAX {
                             acc[idx] = kind.apply(acc[idx]);
@@ -563,18 +701,112 @@ impl GemmEngine {
                     counters.baseline_mmas += k_steps * t.mmas_per_thread_step();
                     counters.scheme.merge(scheme.counters());
 
-                    // Write the thread's accumulators into the block tile.
-                    let row0 = (br * t.block_m) as usize;
-                    let col0 = (bc * t.block_n) as usize;
+                    // Write the thread's accumulators into the block
+                    // tile. Columns come in contiguous pairs (the
+                    // fragment layout owns 2 adjacent columns per
+                    // granule), so each pair is one slice copy.
                     for (ri, &r) in ctx.rows.iter().enumerate() {
-                        for (ci, &c) in ctx.cols.iter().enumerate() {
-                            tile[(r - row0) * t.block_n as usize + (c - col0)] = acc[ri * nt + ci];
+                        let trow = (r - row0) * bn;
+                        let acc_row = &acc[ri * nt..ri * nt + nt];
+                        for (pair, chunk) in ctx.cols.chunks_exact(2).zip(acc_row.chunks_exact(2)) {
+                            let c = pair[0] - col0;
+                            tile[trow + c..trow + c + 2].copy_from_slice(chunk);
                         }
                     }
                 }
             }
         }
     }
+
+    /// The step-ordered K-walk for schemes that consume per-step
+    /// fragments: gathers the raw FP16 and pre-decoded f32 chunks into
+    /// the caller's reused buffers, runs the MMA math, invokes the
+    /// scheme hook, and applies mid-kernel faults.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_k_with_scheme<S: ThreadLocalScheme>(
+        &self,
+        panels: &Panels,
+        ctx: &ThreadCtx,
+        scheme: &mut S,
+        fault_targets: &[(usize, u64, FaultKind)],
+        a_chunk: &mut [F16],
+        b_chunk: &mut [F16],
+        af_chunk: &mut [f32],
+        bf_chunk: &mut [f32],
+        acc: &mut [f32],
+    ) {
+        let k = panels.k;
+        let k_steps = self.tiling.k_steps(self.shape);
+        let mt = ctx.rows.len();
+        let nt = ctx.cols.len();
+        let a16 = panels
+            .a16
+            .as_ref()
+            .expect("F16 panels staged when a scheme consumes K-steps");
+        let b16 = panels
+            .b16
+            .as_ref()
+            .expect("F16 panels staged when a scheme consumes K-steps");
+
+        acc.fill(0.0);
+        for step in 0..k_steps {
+            let k0 = (step * STEP_K) as usize;
+            for (ri, &r) in ctx.rows.iter().enumerate() {
+                let base = r * k + k0;
+                a_chunk[ri * 2] = a16.data[base];
+                a_chunk[ri * 2 + 1] = a16.data[base + 1];
+                af_chunk[ri * 2] = panels.a_f32[base];
+                af_chunk[ri * 2 + 1] = panels.a_f32[base + 1];
+            }
+            for (ci, &c) in ctx.cols.iter().enumerate() {
+                b_chunk[ci] = b16.data[k0 * b16.cols + c];
+                b_chunk[nt + ci] = b16.data[(k0 + 1) * b16.cols + c];
+                let base = c * k + k0;
+                bf_chunk[ci] = panels.b_f32_t[base];
+                bf_chunk[nt + ci] = panels.b_f32_t[base + 1];
+            }
+            // The MMA math: FP16 products are exact in FP32; the two
+            // k-lanes of the step are reduced first (dot-product unit),
+            // then accumulated.
+            for ri in 0..mt {
+                let a0 = af_chunk[ri * 2];
+                let a1 = af_chunk[ri * 2 + 1];
+                for ci in 0..nt {
+                    let partial = a0 * bf_chunk[ci] + a1 * bf_chunk[nt + ci];
+                    acc[ri * nt + ci] += partial;
+                }
+            }
+            scheme.on_k_step(&KStep {
+                a: a_chunk,
+                b: b_chunk,
+                a_f32: af_chunk,
+                b_f32: bf_chunk,
+                mt,
+                nt,
+            });
+            for &(idx, after, kind) in fault_targets {
+                if after == step {
+                    acc[idx] = kind.apply(acc[idx]);
+                }
+            }
+        }
+    }
+}
+
+/// Operand panels staged once per [`GemmEngine::run_multi`] call: the
+/// pre-decoded f32 views (B transposed for linear K-walks) plus the raw
+/// padded FP16 panels, staged only when a scheme consumes per-step
+/// fragments.
+struct Panels {
+    a16: Option<Matrix>,
+    b16: Option<Matrix>,
+    /// Padded A decoded to f32, `cov_m × k` row-major.
+    a_f32: Vec<f32>,
+    /// Padded B decoded to f32 and transposed, `cov_n × k` row-major
+    /// (one output column's K-walk is contiguous).
+    b_f32_t: Vec<f32>,
+    /// Shared inner dimension (the engine's padded K).
+    k: usize,
 }
 
 /// Reference GEMM in FP64 (exact for FP16 inputs up to K ≈ 2^40 terms).
@@ -735,6 +967,109 @@ mod tests {
         assert_eq!(flipped.to_bits(), v.to_bits() ^ (1 << 30));
         // Applying twice restores the value.
         assert_eq!(FaultKind::BitFlip(30).apply(flipped), v);
+    }
+
+    #[test]
+    fn output_is_byte_identical_to_an_oracle_conversion_walk() {
+        // Replays every accumulator's exact operation sequence — K-steps
+        // in order, `a0·b0 + a1·b1` then accumulate — but converts the
+        // FP16 operands through the pre-table arithmetic formulation
+        // instead of the decode table / pre-decoded panels. Byte
+        // equality proves panel pre-decoding changed no result bit.
+        fn oracle_f32(h: F16) -> f32 {
+            let bits = h.to_bits();
+            let sign = if bits & 0x8000 != 0 { -1.0f64 } else { 1.0 };
+            let exp = ((bits & 0x7c00) >> 10) as i32;
+            let frac = (bits & 0x03ff) as f64;
+            let wide = match exp {
+                0 => sign * frac * 2.0_f64.powi(-24),
+                31 => {
+                    if frac == 0.0 {
+                        sign * f64::INFINITY
+                    } else {
+                        f64::NAN
+                    }
+                }
+                _ => sign * (1024.0 + frac) * 2.0_f64.powi(exp - 25),
+            };
+            wide as f32
+        }
+        for &(m, n, k, seed) in &[(17usize, 9usize, 11usize, 90u64), (48, 40, 64, 91)] {
+            let a = Matrix::random(m, k, seed);
+            let b = Matrix::random(k, n, seed + 1);
+            let eng = engine_for(m as u64, n as u64, k as u64);
+            let out = eng.run(&a, &b, || NoScheme, None);
+            let kp = eng.shape().k as usize; // padded K (zeros beyond k)
+            let at = |r: usize, c: usize| {
+                if c < k {
+                    oracle_f32(a.get(r, c))
+                } else {
+                    0.0
+                }
+            };
+            let bt = |r: usize, c: usize| {
+                if r < k {
+                    oracle_f32(b.get(r, c))
+                } else {
+                    0.0
+                }
+            };
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for k0 in (0..kp).step_by(2) {
+                        acc += at(i, k0) * bt(k0, j) + at(i, k0 + 1) * bt(k0 + 1, j);
+                    }
+                    assert_eq!(
+                        out.get(i, j).to_bits(),
+                        acc.to_bits(),
+                        "element ({i},{j}) of {m}x{n}x{k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hooked_schemes_see_matching_raw_and_decoded_fragments() {
+        // A probe scheme that verifies the engine hands `on_k_step`
+        // consistent views: decoded fragments must equal the raw FP16
+        // fragments element for element, every step.
+        #[derive(Default)]
+        struct Probe {
+            steps_seen: u64,
+        }
+        impl ThreadLocalScheme for Probe {
+            fn begin(&mut self, _ctx: &ThreadCtx) {}
+            fn on_k_step(&mut self, step: &KStep<'_>) {
+                assert_eq!(step.a.len(), step.mt * 2);
+                assert_eq!(step.b.len(), 2 * step.nt);
+                for (raw, dec) in step.a.iter().zip(step.a_f32) {
+                    assert_eq!(raw.to_f32().to_bits(), dec.to_bits());
+                }
+                for (raw, dec) in step.b.iter().zip(step.b_f32) {
+                    assert_eq!(raw.to_f32().to_bits(), dec.to_bits());
+                }
+                self.steps_seen += 1;
+            }
+            fn finalize(
+                &mut self,
+                _ctx: &ThreadCtx,
+                _acc: &[f32],
+                _mt: usize,
+                _nt: usize,
+            ) -> ThreadVerdict {
+                assert_eq!(self.steps_seen, 32, "one hook call per K-step");
+                ThreadVerdict::clean()
+            }
+        }
+        let a = Matrix::random(32, 64, 14);
+        let b = Matrix::random(64, 32, 15);
+        let eng = engine_for(32, 32, 64);
+        let hooked = eng.run(&a, &b, Probe::default, None);
+        let fast = eng.run(&a, &b, || NoScheme, None);
+        // And the hooked walk must agree with the fast path bit for bit.
+        assert_eq!(hooked.c, fast.c);
     }
 
     #[test]
