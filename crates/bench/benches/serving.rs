@@ -1,0 +1,60 @@
+//! Steady-state serving latency: `Session::serve` through the warm
+//! workspace pool, against a fresh-allocation baseline that builds a
+//! new `Workspace` for every request.
+//!
+//! Results land in `BENCH_serving.json` (median/mean ns, iteration
+//! counts, git rev) so the zero-allocation refactor's effect on serve
+//! latency is tracked as data: the `pooled` rows must stay at or below
+//! their `fresh_workspace` counterparts.
+
+use aiga_bench::harness::Recorder;
+use aiga_core::{Planner, ProtectedPipeline, Session};
+use aiga_gpu::engine::{Matrix, Workspace};
+use aiga_gpu::DeviceSpec;
+use aiga_nn::zoo;
+use std::hint::black_box;
+
+fn main() {
+    let mut rec = Recorder::new("serving");
+
+    // --- Full serving front-end: bucket dispatch + pooled workspace.
+    let session = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([8, 32])
+    .seed(9)
+    .build();
+    let req8 = Matrix::random(8, 13, 1);
+    let req32 = Matrix::random(32, 13, 2);
+    let req80 = Matrix::random(80, 13, 3); // oversized: split into chunks
+    session.serve(&req8).unwrap(); // plan + warm the pool
+    session.serve(&req32).unwrap();
+    rec.bench("serving/serve_b8_pooled", || {
+        black_box(session.serve(&req8).unwrap());
+    });
+    rec.bench("serving/serve_b32_pooled", || {
+        black_box(session.serve(&req32).unwrap());
+    });
+    rec.bench("serving/serve_b80_split", || {
+        black_box(session.serve(&req80).unwrap());
+    });
+
+    // --- The same protected pipeline, pooled vs fresh-allocation
+    // baseline: `infer_into` with a warm workspace against `infer`,
+    // which builds (and drops) a cold workspace per request.
+    let model = zoo::dlrm_mlp_bottom(32);
+    let plan = Planner::new(DeviceSpec::t4()).plan(&model);
+    let pipeline = ProtectedPipeline::new(&model, &plan.chosen_schemes(), 9);
+    let mut ws = Workspace::new();
+    pipeline.infer_into(&req32, None, &mut ws); // warm up
+    rec.bench("serving/infer_b32_reused_workspace", || {
+        black_box(pipeline.infer_into(&req32, None, &mut ws));
+    });
+    rec.bench("serving/infer_b32_fresh_workspace", || {
+        black_box(pipeline.infer(&req32, None));
+    });
+
+    rec.write().expect("write BENCH_serving.json");
+}

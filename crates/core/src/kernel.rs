@@ -24,7 +24,9 @@ use crate::schemes::{
     GlobalAbft, MultiChecksumAbft, OneSidedThreadAbft, ReplicationSingleAcc,
     ReplicationTraditional, Scheme, TwoSidedThreadAbft,
 };
-use aiga_gpu::engine::{FaultPlan, GemmEngine, GemmOutput, Matrix, NoScheme, ThreadLocalScheme};
+use aiga_gpu::engine::{
+    FaultPlan, GemmEngine, GemmOutput, Matrix, NoScheme, ThreadLocalScheme, Workspace,
+};
 use aiga_gpu::timing::{AuxKernel, Calibration, KernelProfile};
 
 /// Tensor-Core FLOPs represented by one per-thread MMA participation.
@@ -89,6 +91,14 @@ pub trait SchemeKernel: Send + Sync {
 }
 
 /// A scheme bound to one layer's weights, ready to serve requests.
+///
+/// The execution contract is workspace-threaded: [`Self::run_into`] is
+/// the required hot-path entry — the caller supplies a [`Workspace`],
+/// the kernel executes into it (output readable via
+/// [`Workspace::output`]) and returns only the verdict, allocating
+/// nothing once the workspace is warm. [`Self::run`] is the allocating
+/// convenience that wraps a throwaway workspace and returns an owned
+/// [`RunReport`].
 pub trait BoundKernel: Send + Sync {
     /// The scheme id.
     fn scheme(&self) -> Scheme;
@@ -97,8 +107,31 @@ pub trait BoundKernel: Send + Sync {
     fn weights(&self) -> &Matrix;
 
     /// Runs `activations · weights` on `engine` under this scheme,
-    /// injecting `faults`, and returns output plus verdict.
-    fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport;
+    /// injecting `faults`, entirely inside `ws`. The (possibly
+    /// corrupted) output — including per-thread detections for
+    /// thread-level schemes — is left in `ws` for the caller to read;
+    /// the returned [`Verdict`] is the scheme's overall judgement.
+    fn run_into(
+        &self,
+        engine: &GemmEngine,
+        activations: &Matrix,
+        faults: &[FaultPlan],
+        ws: &mut Workspace,
+    ) -> Verdict;
+
+    /// Allocating convenience over [`Self::run_into`]: runs in a fresh
+    /// workspace and returns an owned report. The built-in kernels
+    /// override this with the engine's block-parallel path
+    /// (byte-identical output); the default serves custom kernels that
+    /// only implement `run_into`.
+    fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {
+        let mut ws = Workspace::new();
+        let verdict = self.run_into(engine, activations, faults, &mut ws);
+        RunReport {
+            verdict,
+            output: ws.take_output(),
+        }
+    }
 }
 
 /// Table-1 cost application shared by every thread-level scheme.
@@ -188,6 +221,17 @@ impl BoundKernel for UnprotectedBound {
         &self.weights
     }
 
+    fn run_into(
+        &self,
+        engine: &GemmEngine,
+        activations: &Matrix,
+        faults: &[FaultPlan],
+        ws: &mut Workspace,
+    ) -> Verdict {
+        engine.run_multi_into(activations, &self.weights, || NoScheme, faults, ws);
+        Verdict::Clean
+    }
+
     fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {
         let output = engine.run_multi(activations, &self.weights, || NoScheme, faults);
         RunReport {
@@ -235,18 +279,36 @@ impl BoundKernel for GlobalBound {
         &self.weights
     }
 
+    fn run_into(
+        &self,
+        engine: &GemmEngine,
+        activations: &Matrix,
+        faults: &[FaultPlan],
+        ws: &mut Workspace,
+    ) -> Verdict {
+        engine.run_multi_into(activations, &self.weights, || NoScheme, faults, ws);
+        // The deferred reduce-and-compare (§2.5 step 5) runs off the
+        // workspace's checksum scratch — no per-request allocation.
+        let (output, check) = ws.output_and_check();
+        let v = self.abft.verify_with(activations, output, check);
+        verdict_from_global(v)
+    }
+
     fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {
         let output = engine.run_multi(activations, &self.weights, || NoScheme, faults);
-        let v = self.abft.verify(activations, &output);
-        let verdict = if v.fault_detected {
-            Verdict::Detected {
-                residual: v.residual,
-                threshold: v.threshold,
-            }
-        } else {
-            Verdict::Clean
-        };
+        let verdict = verdict_from_global(self.abft.verify(activations, &output));
         RunReport { verdict, output }
+    }
+}
+
+fn verdict_from_global(v: crate::schemes::GlobalVerdict) -> Verdict {
+    if v.fault_detected {
+        Verdict::Detected {
+            residual: v.residual,
+            threshold: v.threshold,
+        }
+    } else {
+        Verdict::Clean
     }
 }
 
@@ -300,6 +362,17 @@ impl<S: ThreadLocalScheme + 'static> BoundKernel for ThreadBound<S> {
 
     fn weights(&self) -> &Matrix {
         &self.weights
+    }
+
+    fn run_into(
+        &self,
+        engine: &GemmEngine,
+        activations: &Matrix,
+        faults: &[FaultPlan],
+        ws: &mut Workspace,
+    ) -> Verdict {
+        let output = engine.run_multi_into(activations, &self.weights, self.make, faults, ws);
+        verdict_from_detections(output)
     }
 
     fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {
@@ -363,6 +436,28 @@ impl BoundKernel for MultiChecksumBound {
 
     fn weights(&self) -> &Matrix {
         &self.weights
+    }
+
+    fn run_into(
+        &self,
+        engine: &GemmEngine,
+        activations: &Matrix,
+        faults: &[FaultPlan],
+        ws: &mut Workspace,
+    ) -> Verdict {
+        let output = engine.run_multi_into(activations, &self.weights, || NoScheme, faults, ws);
+        // Walk the rounds directly (no collected MultiVerdict) so the
+        // hot path honors run_into's zero-allocation contract.
+        for r in 0..self.rounds as usize {
+            let v = self.abft.verify_round(activations, output, r);
+            if v.fault_detected {
+                return Verdict::Detected {
+                    residual: v.residual,
+                    threshold: v.threshold,
+                };
+            }
+        }
+        Verdict::Clean
     }
 
     fn run(&self, engine: &GemmEngine, activations: &Matrix, faults: &[FaultPlan]) -> RunReport {

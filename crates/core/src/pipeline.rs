@@ -22,7 +22,7 @@ use crate::kernel::{BoundKernel, Verdict};
 use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
 use aiga_fp16::F16;
-use aiga_gpu::engine::{FaultPlan, GemmEngine, Matrix};
+use aiga_gpu::engine::{FaultPlan, GemmEngine, Matrix, Workspace};
 use aiga_gpu::GemmShape;
 use aiga_nn::Model;
 
@@ -163,16 +163,47 @@ impl ProtectedPipeline {
         self.layers.iter().map(|l| l.bound.scheme()).collect()
     }
 
-    /// Runs protected inference on `input` (batch × K₀), optionally
-    /// injecting one fault.
+    /// Runs protected inference on `input` (rows ≤ batch, K₀ features),
+    /// optionally injecting one fault. Convenience over
+    /// [`Self::infer_into`] with a throwaway workspace.
     pub fn infer(&self, input: &Matrix, fault: Option<PipelineFault>) -> InferenceReport {
-        assert_eq!(input.rows, self.batch, "batch size mismatch");
+        self.infer_into(input, fault, &mut Workspace::new())
+    }
+
+    /// Runs protected inference entirely inside `ws` — the serving hot
+    /// path. One workspace is reused across all layers of this request,
+    /// and callers that hold it across requests (the `Session` checkout
+    /// pool) reach a steady state where the only per-request allocation
+    /// is the returned report's output vector.
+    ///
+    /// Requests with fewer rows than the pipeline batch are padded up
+    /// with zero rows (batching serving systems dispatch to fixed
+    /// bucket sizes) and the report's output is cropped back to
+    /// `input.rows × output_features`.
+    pub fn infer_into(
+        &self,
+        input: &Matrix,
+        fault: Option<PipelineFault>,
+        ws: &mut Workspace,
+    ) -> InferenceReport {
+        assert!(
+            input.rows <= self.batch,
+            "request batch {} exceeds pipeline batch {}",
+            input.rows,
+            self.batch
+        );
         assert_eq!(
             input.cols,
             self.input_features(),
             "input feature width mismatch"
         );
-        let mut activations = input.clone();
+        let rows = input.rows;
+        // Stage the (padded) input into the workspace's activation
+        // buffer. The buffer is moved out around each engine call so it
+        // can be the engine's input while the engine mutably borrows
+        // the same workspace; the moves shuffle pointers, not data.
+        let mut act = std::mem::take(ws.activations_mut());
+        input.copy_padded_into(self.batch, input.cols, &mut act);
         let mut detections = Vec::new();
         let mut final_output = Vec::new();
 
@@ -181,14 +212,15 @@ impl ProtectedPipeline {
             // slice; no per-layer allocation.
             let layer_fault: Option<FaultPlan> =
                 fault.and_then(|f| (f.layer == idx).then_some(f.fault));
-            let report = layer
+            let verdict = layer
                 .bound
-                .run(&layer.engine, &activations, layer_fault.as_slice());
+                .run_into(&layer.engine, &act, layer_fault.as_slice(), ws);
             let scheme = layer.bound.scheme();
+            let out = ws.output();
 
             // Thread-level detections come out of the kernel itself, with
             // per-thread provenance.
-            for d in &report.output.detections {
+            for d in &out.detections {
                 detections.push(LayerDetection {
                     layer: idx,
                     name: layer.name.clone(),
@@ -199,8 +231,8 @@ impl ProtectedPipeline {
             // Kernel-level verdicts (global ABFT's deferred
             // reduce-and-compare, §2.5 step 5) have no thread provenance;
             // record them once.
-            if report.output.detections.is_empty() {
-                if let Verdict::Detected { residual, .. } = report.verdict {
+            if out.detections.is_empty() {
+                if let Verdict::Detected { residual, .. } = verdict {
                     detections.push(LayerDetection {
                         layer: idx,
                         name: layer.name.clone(),
@@ -210,16 +242,20 @@ impl ProtectedPipeline {
                 }
             }
 
-            let out = report.output;
             if idx + 1 == self.layers.len() {
-                final_output = out.c;
+                final_output = out.c[..rows * out.n].to_vec();
             } else {
-                // ReLU, then down-convert for the next layer's FP16 GEMM.
-                activations =
-                    Matrix::from_fn(out.m, out.n, |r, c| F16::from_f32(out.get(r, c).max(0.0)));
+                // ReLU, then down-convert for the next layer's FP16 GEMM,
+                // written back into the reused activation buffer.
+                act.rows = out.m;
+                act.cols = out.n;
+                act.data.clear();
+                act.data
+                    .extend(out.c.iter().map(|&v| F16::from_f32(v.max(0.0))));
             }
         }
 
+        *ws.activations_mut() = act;
         InferenceReport {
             output: final_output,
             detections,

@@ -8,7 +8,7 @@
 use crate::kernel::BoundKernel;
 use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
-use aiga_gpu::engine::{FaultPlan, GemmEngine, Matrix};
+use aiga_gpu::engine::{FaultPlan, GemmEngine, Matrix, Workspace};
 use aiga_gpu::GemmShape;
 
 pub use crate::kernel::{RunReport, Verdict};
@@ -74,6 +74,15 @@ impl ProtectedGemm {
     /// serve thousands of trials without re-binding.
     pub fn run_with(&self, faults: &[FaultPlan]) -> RunReport {
         self.bound.run(&self.engine, &self.a, faults)
+    }
+
+    /// Like [`Self::run_with`] but executing inside a caller-supplied
+    /// workspace: the output stays in `ws` (read it via
+    /// [`Workspace::output`]) and only the verdict is returned. A warm
+    /// workspace makes repeated trials allocation-free — the
+    /// fault-campaign hot path (one workspace per worker).
+    pub fn run_into(&self, faults: &[FaultPlan], ws: &mut Workspace) -> Verdict {
+        self.bound.run_into(&self.engine, &self.a, faults, ws)
     }
 }
 
@@ -142,6 +151,31 @@ mod tests {
             });
         assert!(g.run().verdict.is_detected());
         assert!(g.run_with(&[]).verdict.is_clean());
+    }
+
+    #[test]
+    fn run_into_matches_run_with_byte_for_byte() {
+        let shape = GemmShape::new(33, 17, 29);
+        let fault = FaultPlan {
+            row: 2,
+            col: 3,
+            after_step: 1,
+            kind: FaultKind::AddValue(1e3),
+        };
+        let mut ws = Workspace::new(); // one workspace across all schemes
+        for scheme in Scheme::all_protected() {
+            let g = ProtectedGemm::random(shape, scheme, 77);
+            for faults in [&[][..], &[fault][..]] {
+                let owned = g.run_with(faults);
+                let verdict = g.run_into(faults, &mut ws);
+                assert_eq!(owned.output.c, ws.output().c, "{scheme}");
+                assert_eq!(
+                    owned.verdict.is_detected(),
+                    verdict.is_detected(),
+                    "{scheme}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! weights never change between inference requests.
 
 use crate::tolerance::Tolerance;
-use aiga_gpu::engine::{GemmOutput, Matrix};
+use aiga_gpu::engine::{CheckScratch, GemmOutput, Matrix};
 
 /// Sums a slice of FP32 values pairwise (tree order), as the fused
 /// epilogue + CUB-style reduce kernel would.
@@ -85,19 +85,31 @@ impl GlobalAbft {
     /// with the per-column absolute sums. In the §2.5 flow this is fused
     /// into the epilogue of the layer that *produced* `a`.
     pub fn activation_checksum(a: &Matrix) -> (Vec<f32>, Vec<f64>) {
-        let mut chk = vec![0.0f32; a.cols];
-        let mut abs = vec![0.0f64; a.cols];
-        let mut col = vec![0.0f32; a.rows];
+        let mut scratch = CheckScratch::default();
+        Self::activation_checksum_into(a, &mut scratch);
+        (scratch.chk, scratch.abs)
+    }
+
+    /// [`Self::activation_checksum`] writing into reusable scratch
+    /// (`scratch.chk` = checksums, `scratch.abs` = absolute sums,
+    /// `scratch.col` = the per-column gather buffer). Steady-state
+    /// verification through a warm [`CheckScratch`] allocates nothing.
+    pub fn activation_checksum_into(a: &Matrix, scratch: &mut CheckScratch) {
+        scratch.chk.clear();
+        scratch.chk.resize(a.cols, 0.0);
+        scratch.abs.clear();
+        scratch.abs.resize(a.cols, 0.0);
+        scratch.col.clear();
+        scratch.col.resize(a.rows, 0.0);
         for k in 0..a.cols {
             #[allow(clippy::needless_range_loop)] // col buffer indexed in lockstep
             for i in 0..a.rows {
                 let v = a.get(i, k);
-                col[i] = v.to_f32();
-                abs[k] += v.to_f64().abs();
+                scratch.col[i] = v.to_f32();
+                scratch.abs[k] += v.to_f64().abs();
             }
-            chk[k] = pairwise_sum_f32(&col);
+            scratch.chk[k] = pairwise_sum_f32(&scratch.col);
         }
-        (chk, abs)
     }
 
     /// The fused output summation `Σ C` over the kernel's FP32
@@ -148,9 +160,21 @@ impl GlobalAbft {
     /// activation checksum over `a`, output summation over `out`, then
     /// the comparison.
     pub fn verify(&self, a: &Matrix, out: &GemmOutput) -> GlobalVerdict {
-        let (chk, abs) = Self::activation_checksum(a);
+        self.verify_with(a, out, &mut CheckScratch::default())
+    }
+
+    /// [`Self::verify`] through caller-owned scratch — the serving hot
+    /// path, fed by the request's `Workspace` so repeated verification
+    /// never allocates.
+    pub fn verify_with(
+        &self,
+        a: &Matrix,
+        out: &GemmOutput,
+        scratch: &mut CheckScratch,
+    ) -> GlobalVerdict {
+        Self::activation_checksum_into(a, scratch);
         let sum = Self::output_summation(out);
-        self.check(&chk, &abs, sum, out.m, out.n)
+        self.check(&scratch.chk, &scratch.abs, sum, out.m, out.n)
     }
 }
 

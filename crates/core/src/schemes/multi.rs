@@ -90,46 +90,52 @@ impl MultiChecksumAbft {
 
     /// Runs all checksum rounds for one layer.
     pub fn verify(&self, a: &Matrix, out: &GemmOutput) -> MultiVerdict {
-        assert_eq!(a.cols, self.weight_checksum.len(), "K mismatch");
         let rounds = (0..self.rounds)
-            .map(|r| {
-                // Weighted activation checksum: u_k = Σ_i w_r(i)·A[i][k].
-                let mut dot = 0.0f64;
-                let mut magnitude = 0.0f64;
-                for k in 0..a.cols {
-                    let mut u = 0.0f64;
-                    let mut u_abs = 0.0f64;
-                    for i in 0..a.rows {
-                        let w = Self::weight(i, r);
-                        let v = a.get(i, k).to_f64();
-                        u += w * v;
-                        u_abs += w * v.abs();
-                    }
-                    dot += u * self.weight_checksum[k];
-                    magnitude += u_abs * self.weight_abs[k];
-                }
-                // Weighted output summation: Σ_ij w_r(i)·C[i][j].
-                let mut c_sum = 0.0f64;
-                for i in 0..out.m {
-                    let w = Self::weight(i, r);
-                    for j in 0..out.n {
-                        c_sum += w * out.get(i, j) as f64;
-                    }
-                }
-                let residual = (dot - c_sum).abs();
-                // C is FP32: each element carries FP32 accumulation error
-                // scaled by its weight; the FP64 checksum arithmetic adds
-                // nothing material.
-                let rounds32 = (a.cols as f64).log2().ceil() + 24.0;
-                let threshold = self.tolerance.threshold(0.0, rounds32, magnitude);
-                GlobalVerdict {
-                    fault_detected: residual > threshold,
-                    residual,
-                    threshold,
-                }
-            })
+            .map(|r| self.verify_round(a, out, r))
             .collect();
         MultiVerdict { rounds }
+    }
+
+    /// Runs checksum round `r` alone. Allocation-free — the serving hot
+    /// path walks rounds with this directly instead of collecting a
+    /// [`MultiVerdict`].
+    pub fn verify_round(&self, a: &Matrix, out: &GemmOutput, r: usize) -> GlobalVerdict {
+        assert_eq!(a.cols, self.weight_checksum.len(), "K mismatch");
+        assert!(r < self.rounds, "round out of range");
+        // Weighted activation checksum: u_k = Σ_i w_r(i)·A[i][k].
+        let mut dot = 0.0f64;
+        let mut magnitude = 0.0f64;
+        for k in 0..a.cols {
+            let mut u = 0.0f64;
+            let mut u_abs = 0.0f64;
+            for i in 0..a.rows {
+                let w = Self::weight(i, r);
+                let v = a.get(i, k).to_f64();
+                u += w * v;
+                u_abs += w * v.abs();
+            }
+            dot += u * self.weight_checksum[k];
+            magnitude += u_abs * self.weight_abs[k];
+        }
+        // Weighted output summation: Σ_ij w_r(i)·C[i][j].
+        let mut c_sum = 0.0f64;
+        for i in 0..out.m {
+            let w = Self::weight(i, r);
+            for j in 0..out.n {
+                c_sum += w * out.get(i, j) as f64;
+            }
+        }
+        let residual = (dot - c_sum).abs();
+        // C is FP32: each element carries FP32 accumulation error
+        // scaled by its weight; the FP64 checksum arithmetic adds
+        // nothing material.
+        let rounds32 = (a.cols as f64).log2().ceil() + 24.0;
+        let threshold = self.tolerance.threshold(0.0, rounds32, magnitude);
+        GlobalVerdict {
+            fault_detected: residual > threshold,
+            residual,
+            threshold,
+        }
     }
 }
 

@@ -15,25 +15,41 @@
 
 use crate::tolerance::Tolerance;
 use aiga_gpu::engine::{KStep, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+use aiga_gpu::tiling::MAX_THREAD_ACC;
 
 /// Traditional thread-level replication: full duplicate accumulators,
 /// exact element-wise comparison.
-#[derive(Clone, Debug, Default)]
+///
+/// The shadow accumulators are a fixed-size array bounded by the
+/// register-file limit on thread tiles ([`MAX_THREAD_ACC`]) — the exact
+/// register doubling that causes the §4 occupancy cliff — so per-thread
+/// construction never allocates.
+#[derive(Clone, Debug)]
 pub struct ReplicationTraditional {
-    shadow: Vec<f32>,
+    shadow: [f32; MAX_THREAD_ACC],
     counters: SchemeCounters,
 }
 
 impl ReplicationTraditional {
     /// Creates a scheme instance.
     pub fn new() -> Self {
-        Self::default()
+        ReplicationTraditional {
+            shadow: [0.0; MAX_THREAD_ACC],
+            counters: SchemeCounters::default(),
+        }
+    }
+}
+
+impl Default for ReplicationTraditional {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl ThreadLocalScheme for ReplicationTraditional {
     fn begin(&mut self, ctx: &ThreadCtx) {
-        self.shadow = vec![0.0; ctx.rows.len() * ctx.cols.len()];
+        debug_assert!(ctx.rows.len() * ctx.cols.len() <= MAX_THREAD_ACC);
+        self.shadow.fill(0.0);
         self.counters = SchemeCounters::default();
     }
 

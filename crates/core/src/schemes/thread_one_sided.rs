@@ -13,15 +13,21 @@
 use crate::tolerance::Tolerance;
 use aiga_fp16::F16;
 use aiga_gpu::engine::{KStep, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+use aiga_gpu::tiling::MAX_THREAD_MT;
 
 /// Per-thread state of one-sided thread-level ABFT.
+///
+/// The running checksums live in fixed-size arrays bounded by the
+/// register-file limit on thread tiles ([`MAX_THREAD_MT`]) — exactly as
+/// the real kernel keeps them in registers — so constructing one
+/// instance per simulated thread never touches the heap.
 #[derive(Clone, Debug)]
 pub struct OneSidedThreadAbft {
     tolerance: Tolerance,
     /// Running ABFT outputs: `abft[i] ≈ Σ_k At[i][k] · (Σ_j Bt[k][j])`.
-    abft: Vec<f32>,
+    abft: [f32; MAX_THREAD_MT],
     /// Running `Σ_k |At[i][k]| · Σ_j |Bt[k][j]|` for the error bound.
-    magnitude: Vec<f64>,
+    magnitude: [f64; MAX_THREAD_MT],
     steps: u64,
     counters: SchemeCounters,
 }
@@ -36,8 +42,8 @@ impl OneSidedThreadAbft {
     pub fn with_tolerance(tolerance: Tolerance) -> Self {
         OneSidedThreadAbft {
             tolerance,
-            abft: Vec::new(),
-            magnitude: Vec::new(),
+            abft: [0.0; MAX_THREAD_MT],
+            magnitude: [0.0; MAX_THREAD_MT],
             steps: 0,
             counters: SchemeCounters::default(),
         }
@@ -52,8 +58,9 @@ impl Default for OneSidedThreadAbft {
 
 impl ThreadLocalScheme for OneSidedThreadAbft {
     fn begin(&mut self, ctx: &ThreadCtx) {
-        self.abft = vec![0.0; ctx.rows.len()];
-        self.magnitude = vec![0.0; ctx.rows.len()];
+        debug_assert!(ctx.rows.len() <= MAX_THREAD_MT);
+        self.abft.fill(0.0);
+        self.magnitude.fill(0.0);
         self.steps = 0;
         self.counters = SchemeCounters::default();
     }

@@ -7,35 +7,40 @@
 //!
 //! 1. dispatches the request to the nearest pre-declared batch bucket
 //!    (padding the batch up with zero rows, as batching serving systems
-//!    do),
-//! 2. lazily builds — and caches, keyed by `(model, device, bucket)` —
-//!    the intensity-guided [`ModelPlan`] and the functional
+//!    do) — requests *larger* than the largest bucket are split into
+//!    largest-bucket chunks, served chunk by chunk, and the cropped
+//!    outputs concatenated;
+//! 2. lazily builds — and caches in a per-bucket slot — the
+//!    intensity-guided [`ModelPlan`] and the functional
 //!    [`ProtectedPipeline`] for that bucket (weights bound once: global
 //!    ABFT's offline checksums are computed on the first request and
-//!    reused forever),
-//! 3. runs protected inference and returns the per-request
-//!    [`InferenceReport`] with the padding cropped away, while
-//!    aggregating serving statistics across requests.
+//!    reused forever);
+//! 3. checks a warm [`Workspace`] out of the session pool, runs
+//!    protected inference inside it, and returns the per-request
+//!    [`InferenceReport`] with the padding cropped away.
+//!
+//! # Hot-path allocation discipline
+//!
+//! After each bucket's first request, `serve` is allocation-free on the
+//! engine hot path: the bucket cache is a lock-free `OnceLock` slot per
+//! declared bucket (no `String` keys, no map rehashing), statistics are
+//! atomic counters (never contending with anything), and every scratch
+//! buffer lives in a pooled [`Workspace`]. The only steady-state
+//! allocation is the returned report's output vector —
+//! `tests/alloc_steadystate.rs` pins this with a counting allocator.
 
 use crate::pipeline::{InferenceReport, PipelineFault, ProtectedPipeline};
 use crate::planner::Planner;
 use crate::schemes::Scheme;
 use crate::selector::ModelPlan;
-use aiga_gpu::engine::Matrix;
+use aiga_gpu::engine::{Matrix, Workspace};
 use aiga_nn::Model;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Why a request could not be served.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SessionError {
-    /// The request batch exceeds the largest declared bucket.
-    BatchTooLarge {
-        /// Observed request rows.
-        observed: usize,
-        /// Largest declared bucket.
-        largest_bucket: u64,
-    },
     /// The request feature width does not match the model family.
     FeatureMismatch {
         /// Observed request columns.
@@ -48,14 +53,6 @@ pub enum SessionError {
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SessionError::BatchTooLarge {
-                observed,
-                largest_bucket,
-            } => write!(
-                f,
-                "request batch {observed} exceeds the largest declared bucket \
-                 {largest_bucket}; declare a larger bucket or split the request"
-            ),
             SessionError::FeatureMismatch { observed, expected } => write!(
                 f,
                 "request has {observed} features but the model family expects {expected}"
@@ -79,17 +76,48 @@ pub struct SessionStats {
     pub faulty_requests: u64,
     /// Total detection events across all requests.
     pub detections: u64,
+    /// Requests larger than the largest bucket, served by splitting.
+    pub split_requests: u64,
+}
+
+/// Lock-free statistics counters; [`Session::stats`] snapshots them
+/// into a plain [`SessionStats`]. Replaces the former stats mutex so
+/// bookkeeping never contends with anything.
+#[derive(Default)]
+struct AtomicStats {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    plan_builds: AtomicU64,
+    faulty_requests: AtomicU64,
+    detections: AtomicU64,
+    split_requests: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            plan_builds: self.plan_builds.load(Ordering::Relaxed),
+            faulty_requests: self.faulty_requests.load(Ordering::Relaxed),
+            detections: self.detections.load(Ordering::Relaxed),
+            split_requests: self.split_requests.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The outcome of serving one request.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
-    /// The bucket the request was dispatched to.
+    /// The bucket the request was dispatched to (for split oversized
+    /// requests: the largest bucket, which every chunk — tail included —
+    /// was served through).
     pub bucket: u64,
     /// Rows of the original request (the report is cropped back to it).
     pub rows: usize,
-    /// Per-layer schemes that protected this request.
-    pub schemes: Vec<Scheme>,
+    /// Per-layer schemes that protected this request. Shared with the
+    /// session's bucket cache — cloning a report never reallocates it.
+    pub schemes: Arc<[Scheme]>,
     /// The inference result (output is `rows × output_features`).
     pub report: InferenceReport,
 }
@@ -97,6 +125,7 @@ pub struct ServeReport {
 struct BucketEntry {
     plan: ModelPlan,
     pipeline: ProtectedPipeline,
+    schemes: Arc<[Scheme]>,
 }
 
 /// Builder for [`Session`]s.
@@ -128,34 +157,44 @@ impl SessionBuilder {
 
     /// Finalizes the session.
     pub fn build(self) -> Session {
+        let entries = self.buckets.iter().map(|_| OnceLock::new()).collect();
         Session {
             planner: self.planner,
             family_name: self.family_name,
             family: self.family,
             buckets: self.buckets,
             seed: self.seed,
-            cache: Mutex::new(HashMap::new()),
-            stats: Mutex::new(SessionStats::default()),
+            entries,
+            pool: Mutex::new(Vec::new()),
+            stats: AtomicStats::default(),
         }
     }
 }
 
 /// A long-lived serving session: plan once per bucket, serve many
-/// requests.
+/// requests, each from a warm pooled workspace.
 pub struct Session {
     planner: Planner,
     family_name: String,
     family: Box<dyn Fn(u64) -> Model + Send + Sync>,
     buckets: Vec<u64>,
     seed: u64,
-    cache: Mutex<HashMap<(String, String, u64), Arc<BucketEntry>>>,
-    stats: Mutex<SessionStats>,
+    /// One lazily-built entry per declared bucket, aligned with
+    /// `buckets`. `OnceLock` gives lock-free reads after the build and
+    /// lets concurrent first requests for *different* buckets plan in
+    /// parallel.
+    entries: Vec<OnceLock<Arc<BucketEntry>>>,
+    /// Warm workspaces checked out per request. Capacity ratchets to
+    /// the peak concurrency; a pop/push pair on the steady state does
+    /// not allocate.
+    pool: Mutex<Vec<Workspace>>,
+    stats: AtomicStats,
 }
 
 impl Session {
-    /// Starts building a session for a model family. `family_name` keys
-    /// the plan cache together with the device and bucket; `family` maps
-    /// a batch-size key to the model served at that size.
+    /// Starts building a session for a model family. `family_name` names
+    /// the session in diagnostics; `family` maps a batch-size key to the
+    /// model served at that size.
     pub fn builder(
         planner: Planner,
         family_name: impl Into<String>,
@@ -170,47 +209,115 @@ impl Session {
         }
     }
 
+    /// The model-family name this session serves.
+    pub fn family_name(&self) -> &str {
+        &self.family_name
+    }
+
     /// The declared batch buckets, ascending.
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
 
     /// The bucket a request with `rows` rows dispatches to: the smallest
-    /// declared bucket that fits it (requests are padded *up*).
-    pub fn bucket_for(&self, rows: usize) -> Result<u64, SessionError> {
+    /// declared bucket that fits it (requests are padded *up*). Requests
+    /// beyond the largest bucket return the largest — `serve` splits
+    /// them into chunks of that size.
+    pub fn bucket_for(&self, rows: usize) -> u64 {
         self.buckets
             .iter()
             .copied()
             .find(|&b| b >= rows as u64)
-            .ok_or(SessionError::BatchTooLarge {
-                observed: rows,
-                largest_bucket: *self.buckets.last().unwrap(),
-            })
+            .unwrap_or(*self.buckets.last().unwrap())
     }
 
-    /// The intensity-guided plan serving a given bucket (builds and
-    /// caches it if needed). Mostly useful for inspection and tests;
+    /// The intensity-guided plan serving a given declared bucket (builds
+    /// and caches it if needed). Mostly useful for inspection and tests;
     /// does not touch the request-oriented [`SessionStats`] counters.
+    /// Panics if `bucket` was not declared.
     pub fn plan_for_bucket(&self, bucket: u64) -> Arc<ModelPlan> {
-        let (entry, _) = self.entry(bucket);
+        let (entry, _) = self.entry(self.bucket_index(bucket));
         Arc::new(entry.plan.clone())
     }
 
-    /// Serves one request (rows ≤ some declared bucket, columns equal to
-    /// the family's input features).
+    /// Serves one request (any number of rows, columns equal to the
+    /// family's input features).
     pub fn serve(&self, input: &Matrix) -> Result<ServeReport, SessionError> {
         self.serve_with_fault(input, None)
     }
 
     /// Serves one request with an optional injected fault (the §2.3
-    /// single-fault model, aimed at one layer of this request).
+    /// single-fault model, aimed at one layer of this request). For
+    /// oversized requests that get split, the fault is injected into the
+    /// first chunk only — the fault plan's coordinates address one
+    /// bucket-shaped kernel launch.
     pub fn serve_with_fault(
         &self,
         input: &Matrix,
         fault: Option<PipelineFault>,
     ) -> Result<ServeReport, SessionError> {
-        let bucket = self.bucket_for(input.rows)?;
-        let (entry, built) = self.entry(bucket);
+        let largest = *self.buckets.last().unwrap();
+        if input.rows <= largest as usize {
+            let (report, built) = self.serve_chunk(input, self.bucket_for(input.rows), fault)?;
+            self.note_request(&report.report, built, false);
+            return Ok(report);
+        }
+
+        // Oversized request: split into largest-bucket chunks and serve
+        // every chunk — the tail included — through the largest-bucket
+        // pipeline, so the whole request runs under ONE model instance
+        // and ONE scheme plan (a model family may vary with the batch
+        // key). The split path allocates for the chunk copies and the
+        // concatenation — in-bucket requests remain the allocation-free
+        // steady state.
+        let mut output = Vec::new();
+        let mut detections = Vec::new();
+        let mut schemes = None;
+        let mut any_built = false;
+        let mut start = 0;
+        while start < input.rows {
+            let rows = (largest as usize).min(input.rows - start);
+            let chunk = input.row_block(start, rows);
+            let chunk_fault = if start == 0 { fault } else { None };
+            let (r, built) = self.serve_chunk(&chunk, largest, chunk_fault)?;
+            any_built |= built;
+            if output.is_empty() {
+                let n_out = r.report.output.len() / rows;
+                output.reserve_exact(input.rows * n_out);
+            }
+            output.extend_from_slice(&r.report.output);
+            detections.extend(r.report.detections);
+            if schemes.is_none() {
+                schemes = Some(r.schemes);
+            }
+            start += rows;
+        }
+        let report = InferenceReport { output, detections };
+        self.note_request(&report, any_built, true);
+        Ok(ServeReport {
+            bucket: largest,
+            rows: input.rows,
+            schemes: schemes.expect("at least one chunk served"),
+            report,
+        })
+    }
+
+    /// A snapshot of the aggregate serving statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats.snapshot()
+    }
+
+    /// Serves one request through an explicit declared bucket (the
+    /// request must fit it); returns the report plus whether this call
+    /// built the bucket entry. Statistics are the caller's concern (the
+    /// split path aggregates over chunks).
+    fn serve_chunk(
+        &self,
+        input: &Matrix,
+        bucket: u64,
+        fault: Option<PipelineFault>,
+    ) -> Result<(ServeReport, bool), SessionError> {
+        let (entry, built) = self.entry(self.bucket_index(bucket));
         let expected = entry.pipeline.input_features();
         if input.cols != expected {
             return Err(SessionError::FeatureMismatch {
@@ -219,57 +326,62 @@ impl Session {
             });
         }
 
-        // Pad the batch up to the bucket with zero rows, run, crop back.
-        let padded = if input.rows == bucket as usize {
-            input.clone()
-        } else {
-            input.padded(bucket as usize, input.cols)
+        // Check a warm workspace out of the pool (or warm a new one up),
+        // run the whole pipeline inside it, and return it.
+        let mut ws = {
+            let mut pool = self.pool.lock().unwrap();
+            pool.pop().unwrap_or_default()
         };
-        let mut report = entry.pipeline.infer(&padded, fault);
-        let n_out = entry.pipeline.output_features();
-        report.output.truncate(input.rows * n_out);
+        let report = entry.pipeline.infer_into(input, fault, &mut ws);
+        self.pool.lock().unwrap().push(ws);
 
-        let mut stats = self.stats.lock().unwrap();
-        stats.requests += 1;
-        if built {
-            stats.plan_builds += 1;
-        } else {
-            stats.cache_hits += 1;
-        }
-        stats.detections += report.detections.len() as u64;
-        if report.fault_detected() {
-            stats.faulty_requests += 1;
-        }
-        drop(stats);
-
-        Ok(ServeReport {
-            bucket,
-            rows: input.rows,
-            schemes: entry.pipeline.schemes(),
-            report,
-        })
+        Ok((
+            ServeReport {
+                bucket,
+                rows: input.rows,
+                schemes: entry.schemes.clone(),
+                report,
+            },
+            built,
+        ))
     }
 
-    /// A snapshot of the aggregate serving statistics.
-    pub fn stats(&self) -> SessionStats {
-        *self.stats.lock().unwrap()
+    fn note_request(&self, report: &InferenceReport, built: bool, split: bool) {
+        let s = &self.stats;
+        s.requests.fetch_add(1, Ordering::Relaxed);
+        if built {
+            s.plan_builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            s.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        s.detections
+            .fetch_add(report.detections.len() as u64, Ordering::Relaxed);
+        if report.fault_detected() {
+            s.faulty_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        if split {
+            s.split_requests.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn bucket_index(&self, bucket: u64) -> usize {
+        self.buckets
+            .iter()
+            .position(|&b| b == bucket)
+            .expect("bucket not declared for this session")
     }
 
     /// Fetches (building if needed) the bucket's plan + pipeline.
     /// Returns `(entry, built)` where `built` is true when this call
-    /// won the build; stats accounting is the caller's concern so that
-    /// inspection paths don't skew request counters.
-    fn entry(&self, bucket: u64) -> (Arc<BucketEntry>, bool) {
-        let key = (
-            self.family_name.clone(),
-            self.planner.device().name.to_string(),
-            bucket,
-        );
-        // Fast path under the lock; build outside it so concurrent
-        // requests for *different* buckets don't serialize on planning.
-        if let Some(entry) = self.cache.lock().unwrap().get(&key) {
+    /// won the build. The steady-state path is one lock-free
+    /// `OnceLock::get`; concurrent first requests may build
+    /// concurrently, with one winner.
+    fn entry(&self, index: usize) -> (Arc<BucketEntry>, bool) {
+        let slot = &self.entries[index];
+        if let Some(entry) = slot.get() {
             return (entry.clone(), false);
         }
+        let bucket = self.buckets[index];
         let model = (self.family)(bucket);
         let plan = self.planner.plan(&model);
         let pipeline = ProtectedPipeline::with_registry(
@@ -278,12 +390,14 @@ impl Session {
             &plan.chosen_schemes(),
             self.seed,
         );
-        let entry = Arc::new(BucketEntry { plan, pipeline });
-        let mut cache = self.cache.lock().unwrap();
-        let winner = cache.entry(key).or_insert_with(|| entry.clone()).clone();
-        drop(cache);
-        let built = Arc::ptr_eq(&winner, &entry);
-        (winner, built)
+        let schemes = plan.chosen_schemes().into();
+        let entry = Arc::new(BucketEntry {
+            plan,
+            pipeline,
+            schemes,
+        });
+        let built = slot.set(entry).is_ok();
+        (slot.get().expect("just initialized").clone(), built)
     }
 }
 
@@ -308,16 +422,13 @@ mod tests {
     #[test]
     fn requests_dispatch_to_the_smallest_fitting_bucket() {
         let s = session();
-        assert_eq!(s.bucket_for(1).unwrap(), 8);
-        assert_eq!(s.bucket_for(8).unwrap(), 8);
-        assert_eq!(s.bucket_for(9).unwrap(), 32);
-        assert_eq!(
-            s.bucket_for(33),
-            Err(SessionError::BatchTooLarge {
-                observed: 33,
-                largest_bucket: 32
-            })
-        );
+        assert_eq!(s.bucket_for(1), 8);
+        assert_eq!(s.bucket_for(8), 8);
+        assert_eq!(s.bucket_for(9), 32);
+        // Oversized requests dispatch to the largest bucket (and are
+        // split across it by `serve`).
+        assert_eq!(s.bucket_for(33), 32);
+        assert_eq!(s.family_name(), "dlrm-mlp-bottom");
     }
 
     #[test]
@@ -339,6 +450,53 @@ mod tests {
     }
 
     #[test]
+    fn oversized_requests_are_split_into_largest_bucket_chunks() {
+        let s = session();
+        // 70 rows over a largest bucket of 32: chunks of 32 + 32 + 6.
+        let big = Matrix::random(70, 13, 500);
+        let r = s.serve(&big).unwrap();
+        assert_eq!(r.bucket, 32);
+        assert_eq!(r.rows, 70);
+        assert_eq!(r.report.output.len(), 70 * 64);
+        // Split outputs must equal serving each chunk independently
+        // (the zoo family shares weights across batch keys, and per-row
+        // results are bit-identical across paddings and tilings).
+        for (start, rows) in [(0usize, 32usize), (32, 32), (64, 6)] {
+            let chunk = big.row_block(start, rows);
+            let rc = s.serve(&chunk).unwrap();
+            assert_eq!(
+                rc.report.output[..],
+                r.report.output[start * 64..(start + rows) * 64],
+                "chunk at {start}"
+            );
+        }
+        let stats = s.stats();
+        assert_eq!(stats.split_requests, 1);
+        // The split request and the three chunk requests above.
+        assert_eq!(stats.requests, 4);
+    }
+
+    #[test]
+    fn split_requests_detect_faults_in_the_first_chunk() {
+        let s = session();
+        let fault = PipelineFault {
+            layer: 1,
+            fault: FaultPlan {
+                row: 2,
+                col: 50,
+                after_step: 4,
+                kind: FaultKind::AddValue(50.0),
+            },
+        };
+        let r = s
+            .serve_with_fault(&Matrix::random(40, 13, 501), Some(fault))
+            .unwrap();
+        assert_eq!(r.rows, 40);
+        assert!(r.report.fault_detected());
+        assert_eq!(s.stats().faulty_requests, 1);
+    }
+
+    #[test]
     fn plans_are_cached_per_bucket() {
         let s = session();
         for _ in 0..3 {
@@ -357,7 +515,7 @@ mod tests {
         let s = session();
         let r = s.serve(&Matrix::random(8, 13, 3)).unwrap();
         let plan = s.plan_for_bucket(8);
-        assert_eq!(r.schemes, plan.chosen_schemes());
+        assert_eq!(r.schemes[..], plan.chosen_schemes()[..]);
     }
 
     #[test]
@@ -407,10 +565,13 @@ mod tests {
                 expected: 13
             }
         );
+        // Oversized requests validate features too (first chunk).
+        let err = s.serve(&Matrix::random(40, 9, 6)).unwrap_err();
+        assert!(matches!(err, SessionError::FeatureMismatch { .. }));
     }
 
     #[test]
-    fn concurrent_requests_share_the_cache() {
+    fn concurrent_requests_share_the_cache_and_pool() {
         let s = std::sync::Arc::new(session());
         std::thread::scope(|scope| {
             for i in 0..4 {
@@ -423,5 +584,22 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.requests, 4);
         assert!(stats.plan_builds >= 1 && stats.plan_builds <= 4);
+        assert_eq!(stats.plan_builds + stats.cache_hits, 4);
+    }
+
+    #[test]
+    fn pooled_and_fresh_serves_are_byte_identical() {
+        // The same request through a cold session and through a warm
+        // one (workspace reused from earlier, different-shape requests)
+        // must produce identical bytes.
+        let warm = session();
+        warm.serve(&Matrix::random(30, 13, 900)).unwrap();
+        warm.serve(&Matrix::random(2, 13, 901)).unwrap();
+        let cold = session();
+        let req = Matrix::random(7, 13, 902);
+        let a = cold.serve(&req).unwrap();
+        let b = warm.serve(&req).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.report.output), bits(&b.report.output));
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::model::FaultModel;
 use aiga_core::{ProtectedGemm, Scheme};
-use aiga_gpu::engine::{FaultPlan, Matrix};
+use aiga_gpu::engine::{FaultPlan, Matrix, Workspace};
 use aiga_gpu::GemmShape;
 
 /// Classification of one injection trial.
@@ -105,18 +105,26 @@ impl Campaign {
         self.shape
     }
 
-    /// Classifies one injected fault.
+    /// Classifies one injected fault (convenience over
+    /// [`Self::classify_with`] with a throwaway workspace).
     pub fn classify(&self, fault: FaultPlan) -> Outcome {
-        let report = self.gemm.run_with(&[fault]);
-        let max_abs_delta = report
-            .output
+        self.classify_with(fault, &mut Workspace::new())
+    }
+
+    /// Classifies one injected fault inside a caller-supplied workspace.
+    /// A warm workspace makes each trial allocation-free — campaign
+    /// loops give every [`aiga_util::par_map_with`] worker its own.
+    pub fn classify_with(&self, fault: FaultPlan, ws: &mut Workspace) -> Outcome {
+        let verdict = self.gemm.run_into(&[fault], ws);
+        let max_abs_delta = ws
+            .output()
             .c
             .iter()
             .zip(&self.clean)
             .map(|(&x, &y)| (x as f64 - y as f64).abs())
             .fold(0.0f64, f64::max);
         let corrupted = max_abs_delta > 0.0;
-        match (report.verdict.is_detected(), corrupted) {
+        match (verdict.is_detected(), corrupted) {
             (true, true) => Outcome::Detected,
             (false, true) => Outcome::SilentDataCorruption { max_abs_delta },
             (false, false) => Outcome::Masked,
@@ -151,9 +159,12 @@ impl Campaign {
             .collect()
     }
 
-    /// Runs an explicit fault list in parallel.
+    /// Runs an explicit fault list in parallel. Each worker thread
+    /// serves all of its trials from one warm [`Workspace`], so after
+    /// its first trial a worker's hot path performs zero heap
+    /// allocations.
     pub fn run_faults(&self, faults: &[FaultPlan]) -> CampaignStats {
-        aiga_util::par_map(faults, |&f| self.classify(f))
+        aiga_util::par_map_with(faults, Workspace::new, |ws, &f| self.classify_with(f, ws))
             .into_iter()
             .fold(CampaignStats::default(), |mut s, o| {
                 s.absorb(o);

@@ -1,0 +1,238 @@
+//! The row-major FP16 matrix the engine (and every layer above it)
+//! traffics in, plus the FP64 reference GEMM used by correctness tests.
+//!
+//! Besides the allocating constructors, the type exposes `*_into`
+//! variants that write into caller-owned buffers. Those are the
+//! building blocks of the zero-allocation execution path: a
+//! [`crate::engine::Workspace`] keeps the destination buffers warm
+//! across runs, so steady-state staging never touches the heap.
+
+use aiga_fp16::F16;
+use aiga_util::rng::Rng64;
+
+/// A row-major FP16 matrix.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` elements.
+    pub data: Vec<F16>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F16::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix element-wise from `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> F16) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Deterministic pseudo-random matrix with entries in `[-2, 2]`
+    /// quantized to FP16 — the magnitude regime of normalized NN
+    /// activations and weights.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed);
+        Self::from_fn(rows, cols, |_, _| F16::from_f32(rng.range_f32(-2.0, 2.0)))
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> F16 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: F16) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Copies into a larger zero-padded matrix. Already-fitting matrices
+    /// take a no-op fast path (one bulk copy, no per-row loop).
+    pub fn padded(&self, rows: usize, cols: usize) -> Matrix {
+        if rows == self.rows && cols == self.cols {
+            return self.clone();
+        }
+        let mut out = Matrix::default();
+        self.copy_padded_into(rows, cols, &mut out);
+        out
+    }
+
+    /// Like [`Self::padded`] but writing into a reusable destination:
+    /// `out` is resized to `rows × cols` (reusing its buffer), zeroed,
+    /// and the source is copied into its top-left corner.
+    pub fn copy_padded_into(&self, rows: usize, cols: usize, out: &mut Matrix) {
+        assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        out.rows = rows;
+        out.cols = cols;
+        out.data.clear();
+        out.data.resize(rows * cols, F16::ZERO);
+        if cols == self.cols {
+            out.data[..self.data.len()].copy_from_slice(&self.data);
+            return;
+        }
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(src);
+        }
+    }
+
+    /// Copies `rows` rows starting at `start` into a new matrix — the
+    /// chunking primitive behind oversized-batch splitting.
+    pub fn row_block(&self, start: usize, rows: usize) -> Matrix {
+        assert!(start + rows <= self.rows, "row block out of range");
+        Matrix {
+            rows,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + rows) * self.cols].to_vec(),
+        }
+    }
+
+    /// Decodes into a zero-padded row-major `f32` buffer of size
+    /// `rows × cols` — the engine's pre-decoded panel form. Decoding is
+    /// exact (every finite F16 is representable in f32), so downstream
+    /// arithmetic is bit-identical to converting on the fly. The
+    /// destination buffer is reused (resized, not reallocated, once its
+    /// capacity covers the shape).
+    pub(crate) fn decode_padded_into(&self, rows: usize, cols: usize, out: &mut Vec<f32>) {
+        assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        out.clear();
+        out.resize(rows * cols, 0.0);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            let dst = &mut out[r * cols..r * cols + self.cols];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.to_f32();
+            }
+        }
+    }
+
+    /// Like [`Self::decode_padded_into`] but transposed: the result is
+    /// `cols × rows` row-major, so one *column* of `self` is contiguous.
+    /// The engine stores the B panel this way so each thread's K-walk
+    /// streams both operands linearly.
+    pub(crate) fn decode_padded_transposed_into(
+        &self,
+        rows: usize,
+        cols: usize,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        out.clear();
+        out.resize(rows * cols, 0.0);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, v) in src.iter().enumerate() {
+                out[c * rows + r] = v.to_f32();
+            }
+        }
+    }
+}
+
+/// Reference GEMM in FP64 (exact for FP16 inputs up to K ≈ 2^40 terms).
+pub fn gemm_reference_f64(a: &Matrix, b: &Matrix) -> Vec<f64> {
+    assert_eq!(a.cols, b.rows);
+    let mut c = vec![0.0f64; a.rows * b.cols];
+    for i in 0..a.rows {
+        for kk in 0..a.cols {
+            let av = a.get(i, kk).to_f64();
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols {
+                c[i * b.cols + j] += av * b.get(kk, j).to_f64();
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_matches_copy_padded_into() {
+        let m = Matrix::random(5, 7, 3);
+        let p = m.padded(8, 10);
+        assert_eq!((p.rows, p.cols), (8, 10));
+        let mut reused = Matrix::zeros(1, 1);
+        m.copy_padded_into(8, 10, &mut reused);
+        assert_eq!(p, reused);
+        // Padding region is zero; source region is intact.
+        for r in 0..8 {
+            for c in 0..10 {
+                let want = if r < 5 && c < 7 {
+                    m.get(r, c)
+                } else {
+                    F16::ZERO
+                };
+                assert_eq!(p.get(r, c), want, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_padded_into_reuses_without_stale_data() {
+        let big = Matrix::random(16, 16, 4);
+        let small = Matrix::random(2, 2, 5);
+        let mut buf = Matrix::default();
+        big.copy_padded_into(16, 16, &mut buf);
+        small.copy_padded_into(4, 4, &mut buf);
+        assert_eq!((buf.rows, buf.cols), (4, 4));
+        assert_eq!(buf.get(0, 0), small.get(0, 0));
+        assert_eq!(buf.get(3, 3), F16::ZERO, "stale data must be zeroed");
+    }
+
+    #[test]
+    fn row_block_extracts_contiguous_rows() {
+        let m = Matrix::random(10, 4, 6);
+        let block = m.row_block(3, 4);
+        assert_eq!((block.rows, block.cols), (4, 4));
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(block.get(r, c), m.get(3 + r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_padded_into_is_exact_and_zero_padded() {
+        let m = Matrix::random(3, 5, 7);
+        let mut buf = vec![f32::NAN; 2]; // must be fully overwritten
+        m.decode_padded_into(4, 8, &mut buf);
+        assert_eq!(buf.len(), 32);
+        for r in 0..4 {
+            for c in 0..8 {
+                let want = if r < 3 && c < 5 {
+                    m.get(r, c).to_f32()
+                } else {
+                    0.0
+                };
+                assert_eq!(buf[r * 8 + c].to_bits(), want.to_bits());
+            }
+        }
+        let mut t = Vec::new();
+        m.decode_padded_transposed_into(4, 8, &mut t);
+        for r in 0..4 {
+            for c in 0..8 {
+                assert_eq!(t[c * 4 + r].to_bits(), buf[r * 8 + c].to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The functional GEMM engine: a software model of a CUTLASS-style FP16
+//! Tensor Core kernel.
+//!
+//! The engine executes `C = A · B` through the full hierarchy of Figure 2:
+//! the grid is split into threadblock tiles, threadblocks into warp tiles,
+//! and warp tiles into per-thread fragments following the `m16n8k8` PTX
+//! layout (each lane owns 2 rows per 16-row MMA granule and 2 columns per
+//! 8-column granule). Each simulated thread walks the K dimension in
+//! steps of 2, loading an `Mt × 2` chunk of `At` and a `2 × Nt` chunk of
+//! `Bt` exactly as Figure 3 describes, accumulating into FP32 registers.
+//!
+//! # Module map
+//!
+//! The engine is decomposed into focused modules:
+//!
+//! - [`matrix`] — the row-major FP16 [`Matrix`] plus the `*_into`
+//!   staging primitives and the FP64 reference GEMM;
+//! - [`scheme`] — the [`ThreadLocalScheme`] seam where redundancy
+//!   schemes plug into the thread-level inner loop, with the
+//!   [`KStep`]/[`ThreadCtx`]/[`ThreadVerdict`] types that cross it;
+//! - [`fault_inject`] — the §2.3 fault model ([`FaultPlan`],
+//!   [`FaultKind`]) and per-thread [`Detection`] provenance;
+//! - [`panels`] — per-run operand staging and the reusable
+//!   [`Workspace`] that owns all scratch (panels, block tile, thread
+//!   buffers, output, activation staging, checksum scratch);
+//! - [`walk`] (private) — the simulated thread loop: the fused
+//!   dot-product fast path and the step-ordered hooked K-walk;
+//! - this module — [`GemmEngine`] itself with the two execution entry
+//!   points and output assembly.
+//!
+//! # Execution contract
+//!
+//! [`GemmEngine::run_multi_into`] is the hot-path entry: the caller
+//! supplies a [`Workspace`] and the engine stages, executes, and leaves
+//! the [`GemmOutput`] inside it — zero heap allocations once the
+//! workspace is warm. [`GemmEngine::run`]/[`GemmEngine::run_multi`] are
+//! the allocating conveniences (block-parallel via `aiga_util::par_map`)
+//! that return an owned output. Both paths produce byte-identical
+//! results; `crates/core/tests/engine_golden.rs` pins them to the
+//! pre-optimization engine's bytes.
+
+pub mod fault_inject;
+pub mod matrix;
+pub mod panels;
+pub mod scheme;
+mod walk;
+
+pub use fault_inject::{Detection, FaultKind, FaultPlan};
+pub use matrix::{gemm_reference_f64, Matrix};
+pub use panels::{CheckScratch, Workspace};
+pub use scheme::{KStep, NoScheme, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+
+use crate::shape::GemmShape;
+use crate::tiling::TilingConfig;
+use panels::{BlockScratch, Panels};
+
+/// Aggregated execution statistics of one engine run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineCounters {
+    /// Simulated threads executed.
+    pub threads: u64,
+    /// K-steps per thread.
+    pub k_steps: u64,
+    /// Baseline MMA participations (Table 1: `Mt·Nt/2` per thread-step).
+    pub baseline_mmas: u64,
+    /// Scheme-reported extras, summed over threads.
+    pub scheme: SchemeCounters,
+}
+
+/// Output of one simulated GEMM kernel.
+#[derive(Clone, Debug, Default)]
+pub struct GemmOutput {
+    /// Row-major FP32 pre-activation output, `m × n` (unpadded).
+    pub c: Vec<f32>,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Threads that flagged a fault.
+    pub detections: Vec<Detection>,
+    /// Execution statistics.
+    pub counters: EngineCounters,
+}
+
+impl GemmOutput {
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.c[r * self.n + c]
+    }
+
+    /// True if any thread flagged a fault.
+    pub fn fault_detected(&self) -> bool {
+        !self.detections.is_empty()
+    }
+
+    /// Re-arms this output for a fresh `m × n` run, reusing its buffers.
+    fn reset(&mut self, m: usize, n: usize) {
+        self.m = m;
+        self.n = n;
+        self.c.clear();
+        self.c.resize(m * n, 0.0);
+        self.detections.clear();
+        self.counters = EngineCounters::default();
+    }
+}
+
+/// The functional GEMM engine for one problem shape and tiling.
+#[derive(Clone, Debug)]
+pub struct GemmEngine {
+    shape: GemmShape,
+    tiling: TilingConfig,
+}
+
+impl GemmEngine {
+    /// Creates an engine with an explicit tiling.
+    pub fn new(shape: GemmShape, tiling: TilingConfig) -> Self {
+        tiling.validate();
+        GemmEngine {
+            shape: shape.padded_to_mma(),
+            tiling,
+        }
+    }
+
+    /// Creates an engine with the default tiling for the shape on a T4.
+    pub fn with_default_tiling(shape: GemmShape) -> Self {
+        let tiling = TilingConfig::select(shape, &crate::device::DeviceSpec::t4());
+        Self::new(shape, tiling)
+    }
+
+    /// The padded shape this engine executes.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+
+    /// The tiling in use.
+    pub fn tiling(&self) -> TilingConfig {
+        self.tiling
+    }
+
+    /// Covered (grid-padded) output extent and the padded K.
+    fn coverage(&self) -> (u64, u64, usize, usize, usize) {
+        let (gm, gn) = self.tiling.grid(self.shape);
+        let cov_m = (gm * self.tiling.block_m) as usize;
+        let cov_n = (gn * self.tiling.block_n) as usize;
+        (gm, gn, cov_m, cov_n, self.shape.k as usize)
+    }
+
+    /// Runs the kernel: multiplies `a` (`m × k`) by `b` (`k × n`),
+    /// executing `make_scheme()` inside every simulated thread and
+    /// applying `fault` if given. Returns the unpadded `m × n` output.
+    pub fn run<S, F>(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        make_scheme: F,
+        fault: Option<FaultPlan>,
+    ) -> GemmOutput
+    where
+        S: ThreadLocalScheme,
+        F: Fn() -> S + Sync,
+    {
+        let faults: Vec<FaultPlan> = fault.into_iter().collect();
+        self.run_multi(a, b, make_scheme, &faults)
+    }
+
+    /// Like [`Self::run`] but injecting any number of simultaneous faults
+    /// — used to exercise the multi-checksum extension of §2.4 (single-
+    /// checksum ABFT only guarantees detection of one fault).
+    ///
+    /// This is the allocating convenience: it stages fresh panels and
+    /// executes blocks in parallel. The serving hot path uses
+    /// [`Self::run_multi_into`] instead.
+    pub fn run_multi<S, F>(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        make_scheme: F,
+        faults: &[FaultPlan],
+    ) -> GemmOutput
+    where
+        S: ThreadLocalScheme,
+        F: Fn() -> S + Sync,
+    {
+        assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+        let (out_m, out_n) = (a.rows, b.cols);
+        let (gm, gn, cov_m, cov_n, k) = self.coverage();
+        let k_steps = self.tiling.k_steps(self.shape);
+
+        // Capability probe: schemes that never consume K-step fragments
+        // (the serving common case) let the engine skip both the raw
+        // FP16 panel staging and the per-step virtual call.
+        let needs16 = make_scheme().needs_k_steps();
+        let mut panels = Panels::default();
+        panels.stage(a, b, needs16, cov_m, cov_n, k);
+
+        let blocks: Vec<(u64, u64)> = (0..gm)
+            .flat_map(|br| (0..gn).map(move |bc| (br, bc)))
+            .collect();
+
+        let results = aiga_util::par_map(&blocks, |&(br, bc)| {
+            let mut scratch = BlockScratch::default();
+            scratch.prepare(&self.tiling);
+            let mut detections = Vec::new();
+            let mut counters = EngineCounters::default();
+            walk::run_block(
+                &self.tiling,
+                k_steps,
+                br,
+                bc,
+                &panels,
+                &make_scheme,
+                faults,
+                &mut scratch,
+                &mut detections,
+                &mut counters,
+            );
+            (br, bc, scratch.tile, detections, counters)
+        });
+
+        let mut out = GemmOutput::default();
+        out.reset(out_m, out_n);
+        for (br, bc, tile, detections, counters) in results {
+            scatter_tile(&tile, &self.tiling, br, bc, out_m, out_n, &mut out.c);
+            out.detections.extend(detections);
+            out.counters.threads += counters.threads;
+            out.counters.baseline_mmas += counters.baseline_mmas;
+            out.counters.scheme.merge(counters.scheme);
+            out.counters.k_steps = counters.k_steps;
+        }
+        out
+    }
+
+    /// The workspace-threaded execution entry: runs the kernel entirely
+    /// inside `ws`, leaving the result in [`Workspace::output`] (also
+    /// returned by reference). After one warm-up run at a given shape,
+    /// subsequent runs perform **zero heap allocations** — panels,
+    /// block scratch, and the output buffer are all resized in place.
+    ///
+    /// Blocks execute sequentially on the calling thread: the intended
+    /// concurrency regime is many concurrent requests each holding a
+    /// warm workspace (the `Session` checkout pool), not intra-GEMM
+    /// fan-out per call. Results are byte-identical to
+    /// [`Self::run_multi`].
+    pub fn run_multi_into<'w, S, F>(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        make_scheme: F,
+        faults: &[FaultPlan],
+        ws: &'w mut Workspace,
+    ) -> &'w GemmOutput
+    where
+        S: ThreadLocalScheme,
+        F: Fn() -> S + Sync,
+    {
+        assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+        let (out_m, out_n) = (a.rows, b.cols);
+        let (gm, gn, cov_m, cov_n, k) = self.coverage();
+        let k_steps = self.tiling.k_steps(self.shape);
+
+        let needs16 = make_scheme().needs_k_steps();
+        ws.panels.stage(a, b, needs16, cov_m, cov_n, k);
+        ws.block.prepare(&self.tiling);
+        ws.out.reset(out_m, out_n);
+
+        for br in 0..gm {
+            for bc in 0..gn {
+                walk::run_block(
+                    &self.tiling,
+                    k_steps,
+                    br,
+                    bc,
+                    &ws.panels,
+                    &make_scheme,
+                    faults,
+                    &mut ws.block,
+                    &mut ws.out.detections,
+                    &mut ws.out.counters,
+                );
+                scatter_tile(
+                    &ws.block.tile,
+                    &self.tiling,
+                    br,
+                    bc,
+                    out_m,
+                    out_n,
+                    &mut ws.out.c,
+                );
+            }
+        }
+        &ws.out
+    }
+}
+
+/// Copies one block tile into the cropped output buffer.
+fn scatter_tile(
+    tile: &[f32],
+    tiling: &TilingConfig,
+    br: u64,
+    bc: u64,
+    out_m: usize,
+    out_n: usize,
+    c: &mut [f32],
+) {
+    let bm = tiling.block_m as usize;
+    let bn = tiling.block_n as usize;
+    let row0 = br as usize * bm;
+    let col0 = bc as usize * bn;
+    for lr in 0..bm {
+        let gr = row0 + lr;
+        if gr >= out_m {
+            break;
+        }
+        let cols = bn.min(out_n.saturating_sub(col0));
+        if cols == 0 {
+            break;
+        }
+        c[gr * out_n + col0..gr * out_n + col0 + cols]
+            .copy_from_slice(&tile[lr * bn..lr * bn + cols]);
+    }
+}
+
+#[cfg(test)]
+mod tests;

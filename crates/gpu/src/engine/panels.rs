@@ -1,0 +1,187 @@
+//! Operand staging and the reusable [`Workspace`].
+//!
+//! [`Panels`] holds the per-run operand form the engine executes from:
+//! pre-decoded f32 panels (B transposed so a thread's K-walk streams
+//! both operands linearly) plus the raw padded FP16 panels, staged only
+//! when a scheme consumes per-step fragments.
+//!
+//! [`Workspace`] owns *all* per-run scratch — panels, the per-block
+//! accumulator tile, per-thread chunk buffers, the output buffer, and
+//! staging space the layers above lend out (pipeline activations,
+//! scheme-check scratch). Callers that hold a workspace across runs get
+//! a steady state in which the whole execution path performs **zero
+//! heap allocations**: every buffer is resized in place and capacities
+//! only ratchet up to the high-water mark of the shapes served.
+
+use super::fault_inject::FaultKind;
+use super::matrix::Matrix;
+use super::scheme::ThreadCtx;
+use super::GemmOutput;
+use crate::tiling::TilingConfig;
+use aiga_fp16::F16;
+
+/// Operand panels staged once per engine run.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Panels {
+    /// Raw padded FP16 A panel (`cov_m × k`), staged only when a scheme
+    /// consumes K-step fragments.
+    pub(crate) a16: Matrix,
+    /// Raw padded FP16 B panel (`k × cov_n`), ditto.
+    pub(crate) b16: Matrix,
+    /// Whether the raw FP16 panels above are staged for this run.
+    pub(crate) staged16: bool,
+    /// Padded A decoded to f32, `cov_m × k` row-major.
+    pub(crate) a_f32: Vec<f32>,
+    /// Padded B decoded to f32 and transposed, `cov_n × k` row-major
+    /// (one output column's K-walk is contiguous).
+    pub(crate) b_f32_t: Vec<f32>,
+    /// Shared inner dimension (the engine's padded K).
+    pub(crate) k: usize,
+}
+
+impl Panels {
+    /// Stages `a`/`b` for one run, reusing this instance's buffers.
+    /// FP16 → f32 is exact, so every downstream product and
+    /// accumulation is bit-identical to decoding inside the K-loop.
+    pub(crate) fn stage(
+        &mut self,
+        a: &Matrix,
+        b: &Matrix,
+        needs16: bool,
+        cov_m: usize,
+        cov_n: usize,
+        k: usize,
+    ) {
+        self.staged16 = needs16;
+        if needs16 {
+            a.copy_padded_into(cov_m, k, &mut self.a16);
+            b.copy_padded_into(k, cov_n, &mut self.b16);
+        }
+        a.decode_padded_into(cov_m, k, &mut self.a_f32);
+        b.decode_padded_transposed_into(k, cov_n, &mut self.b_f32_t);
+        self.k = k;
+    }
+}
+
+/// Per-block execution scratch: the accumulator tile plus every
+/// loop-carried buffer of the simulated thread loop. One instance is
+/// reused by every thread of every block — the thread loop itself
+/// allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BlockScratch {
+    /// `block_m × block_n` FP32 accumulator tile.
+    pub(crate) tile: Vec<f32>,
+    /// Raw FP16 `Mt × 2` A-chunk of the current K-step.
+    pub(crate) a_chunk: Vec<F16>,
+    /// Raw FP16 `2 × Nt` B-chunk of the current K-step.
+    pub(crate) b_chunk: Vec<F16>,
+    /// Pre-decoded `a_chunk`.
+    pub(crate) af_chunk: Vec<f32>,
+    /// Pre-decoded `b_chunk`.
+    pub(crate) bf_chunk: Vec<f32>,
+    /// The thread's `Mt × Nt` FP32 accumulators.
+    pub(crate) acc: Vec<f32>,
+    /// `(accumulator index, after_step, kind)` of faults aimed at the
+    /// current thread.
+    pub(crate) fault_targets: Vec<(usize, u64, FaultKind)>,
+    /// Reused thread identity (rows/cols vectors keep their capacity).
+    pub(crate) ctx: ThreadCtx,
+}
+
+impl BlockScratch {
+    /// Sizes every buffer for one run under `tiling`. Shrinks never
+    /// release capacity, so repeated runs at the same tiling do not
+    /// allocate.
+    pub(crate) fn prepare(&mut self, tiling: &TilingConfig) {
+        let mt = tiling.thread_mt() as usize;
+        let nt = tiling.thread_nt() as usize;
+        let tile_len = (tiling.block_m * tiling.block_n) as usize;
+        self.tile.clear();
+        self.tile.resize(tile_len, 0.0);
+        self.a_chunk.clear();
+        self.a_chunk.resize(mt * 2, F16::ZERO);
+        self.b_chunk.clear();
+        self.b_chunk.resize(2 * nt, F16::ZERO);
+        self.af_chunk.clear();
+        self.af_chunk.resize(mt * 2, 0.0);
+        self.bf_chunk.clear();
+        self.bf_chunk.resize(2 * nt, 0.0);
+        self.acc.clear();
+        self.acc.resize(mt * nt, 0.0);
+        self.fault_targets.clear();
+        self.ctx.rows.clear();
+        self.ctx.rows.reserve(mt);
+        self.ctx.cols.clear();
+        self.ctx.cols.reserve(nt);
+    }
+}
+
+/// Reusable scratch for kernel-level checksum verification (global
+/// ABFT's activation checksum and friends). The engine itself never
+/// touches these; they are owned here so one [`Workspace`] covers the
+/// whole protected-execution path and `aiga-core`'s bound kernels can
+/// verify without allocating.
+#[derive(Clone, Debug, Default)]
+pub struct CheckScratch {
+    /// FP32 checksum accumulator (e.g. per-column activation checksums).
+    pub chk: Vec<f32>,
+    /// FP64 magnitude accumulator for the error bound.
+    pub abs: Vec<f64>,
+    /// FP32 gather buffer (e.g. one column staged for a pairwise sum).
+    pub col: Vec<f32>,
+}
+
+/// All per-run scratch of the protected execution path, owned in one
+/// place and reused across runs.
+///
+/// The execution contract is workspace-threaded at every layer:
+/// [`crate::engine::GemmEngine::run_multi_into`] stages panels and
+/// writes its output here; `aiga-core`'s `BoundKernel::run_into`,
+/// `ProtectedPipeline::infer_into`, and `Session::serve` (via a
+/// checkout pool) all reuse one workspace so the steady-state hot path
+/// performs zero heap allocations. A fresh workspace warms up in one
+/// run; mixed shapes ratchet each buffer to its high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    pub(crate) panels: Panels,
+    pub(crate) block: BlockScratch,
+    pub(crate) out: GemmOutput,
+    /// Activation staging for pipeline layers (padding + ReLU results).
+    pub(crate) act: Matrix,
+    /// Checksum-verification scratch lent to bound kernels.
+    pub(crate) check: CheckScratch,
+}
+
+impl Workspace {
+    /// A fresh (cold) workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The output of the most recent engine run through this workspace.
+    pub fn output(&self) -> &GemmOutput {
+        &self.out
+    }
+
+    /// Moves the most recent output out of the workspace (the buffer is
+    /// replaced by an empty one, so the next run re-warms it). Used by
+    /// the allocating convenience wrappers.
+    pub fn take_output(&mut self) -> GemmOutput {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Split borrow for verification: the engine output together with
+    /// the checksum scratch, so a bound kernel can verify the run it
+    /// just executed without cloning either.
+    pub fn output_and_check(&mut self) -> (&GemmOutput, &mut CheckScratch) {
+        (&self.out, &mut self.check)
+    }
+
+    /// The activation staging matrix lent to pipeline layers. Intended
+    /// use is `std::mem::take` / reassign around an engine call, so the
+    /// staged activations can be the engine's input while the engine
+    /// borrows the workspace mutably.
+    pub fn activations_mut(&mut self) -> &mut Matrix {
+        &mut self.act
+    }
+}

@@ -1,0 +1,181 @@
+//! The thread-level redundancy-scheme seam ([`ThreadLocalScheme`]) and
+//! the per-thread identity/verdict/counter types that cross it.
+//!
+//! This is where the paper modified CUTLASS's thread-level inner loops:
+//! the engine calls the scheme with the very fragments the thread
+//! loaded (sharing loads, never adding memory traffic — the §3.5 design
+//! principle) and hands it the final accumulators for the thread-local
+//! check.
+
+use aiga_fp16::F16;
+
+/// Identity of a simulated thread and the global rows/columns of `C` its
+/// fragments own.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadCtx {
+    /// Threadblock coordinates in the grid.
+    pub block: (u64, u64),
+    /// Warp index within the block.
+    pub warp: u64,
+    /// Lane within the warp, 0..32.
+    pub lane: usize,
+    /// Global row indices of the thread's `Mt` accumulator rows.
+    pub rows: Vec<usize>,
+    /// Global column indices of the thread's `Nt` accumulator columns.
+    pub cols: Vec<usize>,
+}
+
+/// Result of one thread's local redundancy check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThreadVerdict {
+    /// Whether the thread flagged a fault.
+    pub fault_detected: bool,
+    /// Largest check residual observed.
+    pub residual: f64,
+    /// Threshold the residual was compared against.
+    pub threshold: f64,
+}
+
+impl ThreadVerdict {
+    /// A clean (no-fault) verdict.
+    pub fn clean() -> Self {
+        ThreadVerdict {
+            fault_detected: false,
+            residual: 0.0,
+            threshold: 0.0,
+        }
+    }
+}
+
+/// Per-thread cost counters a scheme self-reports, in the units of
+/// Table 1 (per-K-step MMAs and checksum operations are accumulated over
+/// all steps).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchemeCounters {
+    /// Redundant Tensor-Core MMA participations.
+    pub extra_mmas: u64,
+    /// Checksum-generation ALU operations (HADD2-class).
+    pub checksum_ops: u64,
+}
+
+impl SchemeCounters {
+    pub(crate) fn merge(&mut self, other: SchemeCounters) {
+        self.extra_mmas += other.extra_mmas;
+        self.checksum_ops += other.checksum_ops;
+    }
+}
+
+/// The fragments one simulated thread loaded for one K-step, as handed
+/// to [`ThreadLocalScheme::on_k_step`].
+///
+/// `a`/`b` are the raw FP16 fragments: `a` is `Mt × 2` row-major (rows
+/// ordered as `ctx.rows`), `b` is `2 × Nt` row-major (columns ordered as
+/// `ctx.cols`). `a_f32`/`b_f32` are the same fragments pre-decoded to
+/// `f32` by the engine — decoding FP16 is exact in `f32`, so schemes
+/// that only need the numeric values (replication's shadow MMAs, ABFT's
+/// redundant accumulations, magnitude tracking) should read these
+/// instead of re-converting the raw bits the engine already decoded.
+/// Schemes that model FP16 *arithmetic* (sequential HADD checksum
+/// chains) still need the raw fragments.
+#[derive(Clone, Copy, Debug)]
+pub struct KStep<'a> {
+    /// Raw FP16 `Mt × 2` A-fragment.
+    pub a: &'a [F16],
+    /// Raw FP16 `2 × Nt` B-fragment.
+    pub b: &'a [F16],
+    /// Pre-decoded `a` (same layout, exact values).
+    pub a_f32: &'a [f32],
+    /// Pre-decoded `b` (same layout, exact values).
+    pub b_f32: &'a [f32],
+    /// Rows of the thread's accumulator tile.
+    pub mt: usize,
+    /// Columns of the thread's accumulator tile.
+    pub nt: usize,
+}
+
+/// A redundancy scheme living inside the thread-level inner loop.
+///
+/// One instance protects one simulated thread; the engine constructs an
+/// instance per thread via the factory passed to
+/// [`crate::engine::GemmEngine::run`]. Implementations should keep
+/// their per-thread state inline (fixed-size arrays bounded by
+/// [`crate::tiling::MAX_THREAD_MT`]/[`crate::tiling::MAX_THREAD_NT`])
+/// so thread construction never touches the heap — that is what keeps
+/// the serving hot path allocation-free under thread-level schemes.
+pub trait ThreadLocalScheme: Send {
+    /// Capability hook: whether this scheme consumes per-K-step
+    /// fragments at all. Epilogue-only schemes (the unprotected
+    /// baseline, kernel-level ABFT run via [`NoScheme`]) return `false`,
+    /// which lets the engine skip fragment gathering *and* the per-step
+    /// virtual call entirely and run its fused dot-product fast path —
+    /// the serving common case. When this returns `false`,
+    /// [`Self::on_k_step`] is never called; `begin`/`finalize` still are.
+    ///
+    /// Must be constant across all instances a factory produces: the
+    /// engine probes one instance per run and stages the raw FP16
+    /// panels (or not) for the whole run based on its answer.
+    fn needs_k_steps(&self) -> bool {
+        true
+    }
+
+    /// Called once before the K-walk with the thread's identity.
+    fn begin(&mut self, ctx: &ThreadCtx);
+
+    /// Called for every K-step with the fragments the thread just loaded
+    /// (raw FP16 and pre-decoded f32 views — see [`KStep`]). Sharing
+    /// these loads is what keeps thread-level ABFT free of extra memory
+    /// traffic (§5.1). Only called when [`Self::needs_k_steps`] is true.
+    fn on_k_step(&mut self, step: &KStep<'_>);
+
+    /// Called once after the K-walk with the thread's final `Mt × Nt`
+    /// FP32 accumulators (row-major); performs the thread-local check.
+    fn finalize(&mut self, ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict;
+
+    /// Cost counters accumulated by this thread's instance.
+    fn counters(&self) -> SchemeCounters {
+        SchemeCounters::default()
+    }
+}
+
+/// Boxed schemes forward to the inner implementation, so heterogeneous
+/// scheme kernels (`aiga-core`'s `SchemeKernel` trait objects) can drive
+/// the generic engine without monomorphizing per scheme.
+impl ThreadLocalScheme for Box<dyn ThreadLocalScheme> {
+    fn needs_k_steps(&self) -> bool {
+        (**self).needs_k_steps()
+    }
+    fn begin(&mut self, ctx: &ThreadCtx) {
+        (**self).begin(ctx)
+    }
+    fn on_k_step(&mut self, step: &KStep<'_>) {
+        (**self).on_k_step(step)
+    }
+    fn finalize(&mut self, ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
+        (**self).finalize(ctx, acc, mt, nt)
+    }
+    fn counters(&self) -> SchemeCounters {
+        (**self).counters()
+    }
+}
+
+/// The unprotected baseline: no redundant work, always-clean verdicts.
+/// Opts out of K-step delivery, enabling the engine's fast path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoScheme;
+
+impl ThreadLocalScheme for NoScheme {
+    fn needs_k_steps(&self) -> bool {
+        false
+    }
+    fn begin(&mut self, _ctx: &ThreadCtx) {}
+    fn on_k_step(&mut self, _step: &KStep<'_>) {}
+    fn finalize(
+        &mut self,
+        _ctx: &ThreadCtx,
+        _acc: &[f32],
+        _mt: usize,
+        _nt: usize,
+    ) -> ThreadVerdict {
+        ThreadVerdict::clean()
+    }
+}

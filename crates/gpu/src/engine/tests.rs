@@ -1,0 +1,249 @@
+//! Engine-level unit tests: reference agreement, padding/cropping,
+//! counters, fault landing, the oracle conversion walk, and
+//! workspace-path equivalence.
+
+use super::*;
+use aiga_fp16::F16;
+
+fn engine_for(m: u64, n: u64, k: u64) -> GemmEngine {
+    GemmEngine::new(
+        GemmShape::new(m, n, k),
+        TilingConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 16,
+            warp_m: 16,
+            warp_n: 16,
+        },
+    )
+}
+
+#[test]
+fn matches_f64_reference_within_fp32_accumulation_error() {
+    let (m, n, k) = (48, 40, 64);
+    let a = Matrix::random(m, k, 1);
+    let b = Matrix::random(k, n, 2);
+    let out = engine_for(m as u64, n as u64, k as u64).run(&a, &b, || NoScheme, None);
+    let reference = gemm_reference_f64(&a, &b);
+    for (i, (&got, &want)) in out.c.iter().zip(&reference).enumerate() {
+        let err = (got as f64 - want).abs();
+        // K=64 FP32 accumulations of exact products: error well under
+        // K * eps32 * |terms|.
+        assert!(err < 1e-3, "element {i}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn identity_multiplication_is_exact() {
+    let n = 32;
+    let ident = Matrix::from_fn(n, n, |r, c| if r == c { F16::ONE } else { F16::ZERO });
+    let b = Matrix::random(n, n, 3);
+    let out = engine_for(n as u64, n as u64, n as u64).run(&ident, &b, || NoScheme, None);
+    for r in 0..n {
+        for c in 0..n {
+            assert_eq!(out.get(r, c), b.get(r, c).to_f32());
+        }
+    }
+}
+
+#[test]
+fn unaligned_shapes_are_padded_and_cropped() {
+    let (m, n, k) = (17, 9, 11);
+    let a = Matrix::random(m, k, 4);
+    let b = Matrix::random(k, n, 5);
+    let out = engine_for(m as u64, n as u64, k as u64).run(&a, &b, || NoScheme, None);
+    assert_eq!((out.m, out.n), (m, n));
+    let reference = gemm_reference_f64(&a, &b);
+    for (&got, &want) in out.c.iter().zip(&reference) {
+        assert!((got as f64 - want).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn every_output_element_is_written_exactly_once() {
+    // A product of all-ones matrices has every element equal to K —
+    // if fragment ownership double-wrote or missed elements the
+    // block-tile assembly would show it.
+    let (m, n, k) = (64, 64, 32);
+    let ones = Matrix::from_fn(m, k, |_, _| F16::ONE);
+    let ones_b = Matrix::from_fn(k, n, |_, _| F16::ONE);
+    let out = engine_for(m as u64, n as u64, k as u64).run(&ones, &ones_b, || NoScheme, None);
+    assert!(out.c.iter().all(|&v| v == k as f32));
+}
+
+#[test]
+fn counters_match_tiling_formulas() {
+    let eng = engine_for(64, 64, 64);
+    let a = Matrix::random(64, 64, 6);
+    let b = Matrix::random(64, 64, 7);
+    let out = eng.run(&a, &b, || NoScheme, None);
+    let t = eng.tiling();
+    let threads = t.total_blocks(eng.shape()) * t.threads_per_block();
+    assert_eq!(out.counters.threads, threads);
+    assert_eq!(out.counters.k_steps, 32);
+    assert_eq!(
+        out.counters.baseline_mmas,
+        threads * 32 * t.mmas_per_thread_step()
+    );
+}
+
+#[test]
+fn injected_fault_corrupts_exactly_one_element() {
+    let (m, n, k) = (32, 32, 32);
+    let a = Matrix::random(m, k, 8);
+    let b = Matrix::random(k, n, 9);
+    let eng = engine_for(m as u64, n as u64, k as u64);
+    let clean = eng.run(&a, &b, || NoScheme, None);
+    let fault = FaultPlan {
+        row: 5,
+        col: 7,
+        after_step: u64::MAX,
+        kind: FaultKind::AddValue(100.0),
+    };
+    let dirty = eng.run(&a, &b, || NoScheme, Some(fault));
+    let mut diffs = 0;
+    for i in 0..m * n {
+        if clean.c[i] != dirty.c[i] {
+            diffs += 1;
+            assert_eq!(i, 5 * n + 7);
+            assert!((dirty.c[i] - clean.c[i] - 100.0).abs() < 1e-3);
+        }
+    }
+    assert_eq!(diffs, 1);
+    // NoScheme never detects anything.
+    assert!(!dirty.fault_detected());
+}
+
+#[test]
+fn mid_kernel_fault_still_lands() {
+    let (m, n, k) = (16, 16, 64);
+    let a = Matrix::random(m, k, 10);
+    let b = Matrix::random(k, n, 11);
+    let eng = engine_for(m as u64, n as u64, k as u64);
+    let clean = eng.run(&a, &b, || NoScheme, None);
+    let fault = FaultPlan {
+        row: 0,
+        col: 0,
+        after_step: 3,
+        kind: FaultKind::SetValue(1e4),
+    };
+    let dirty = eng.run(&a, &b, || NoScheme, Some(fault));
+    // The corrupted accumulator keeps accumulating afterwards, so the
+    // output differs from clean but is not exactly 1e4.
+    assert_ne!(clean.get(0, 0), dirty.get(0, 0));
+    assert!(dirty.get(0, 0) > 5e3);
+}
+
+#[test]
+fn output_is_byte_identical_to_an_oracle_conversion_walk() {
+    // Replays every accumulator's exact operation sequence — K-steps
+    // in order, `a0·b0 + a1·b1` then accumulate — but converts the
+    // FP16 operands through the pre-table arithmetic formulation
+    // instead of the decode table / pre-decoded panels. Byte
+    // equality proves panel pre-decoding changed no result bit.
+    fn oracle_f32(h: F16) -> f32 {
+        let bits = h.to_bits();
+        let sign = if bits & 0x8000 != 0 { -1.0f64 } else { 1.0 };
+        let exp = ((bits & 0x7c00) >> 10) as i32;
+        let frac = (bits & 0x03ff) as f64;
+        let wide = match exp {
+            0 => sign * frac * 2.0_f64.powi(-24),
+            31 => {
+                if frac == 0.0 {
+                    sign * f64::INFINITY
+                } else {
+                    f64::NAN
+                }
+            }
+            _ => sign * (1024.0 + frac) * 2.0_f64.powi(exp - 25),
+        };
+        wide as f32
+    }
+    for &(m, n, k, seed) in &[(17usize, 9usize, 11usize, 90u64), (48, 40, 64, 91)] {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+        let eng = engine_for(m as u64, n as u64, k as u64);
+        let out = eng.run(&a, &b, || NoScheme, None);
+        let kp = eng.shape().k as usize; // padded K (zeros beyond k)
+        let at = |r: usize, c: usize| {
+            if c < k {
+                oracle_f32(a.get(r, c))
+            } else {
+                0.0
+            }
+        };
+        let bt = |r: usize, c: usize| {
+            if r < k {
+                oracle_f32(b.get(r, c))
+            } else {
+                0.0
+            }
+        };
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k0 in (0..kp).step_by(2) {
+                    acc += at(i, k0) * bt(k0, j) + at(i, k0 + 1) * bt(k0 + 1, j);
+                }
+                assert_eq!(
+                    out.get(i, j).to_bits(),
+                    acc.to_bits(),
+                    "element ({i},{j}) of {m}x{n}x{k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_path_is_byte_identical_to_the_allocating_path() {
+    // One workspace reused across shapes and schemes — the pooled
+    // serving regime — must reproduce `run_multi`'s bytes exactly,
+    // clean and faulted, hooked and fast path.
+    struct Echo; // minimal hooked scheme: forces the step-ordered walk
+    impl ThreadLocalScheme for Echo {
+        fn begin(&mut self, _ctx: &ThreadCtx) {}
+        fn on_k_step(&mut self, _step: &KStep<'_>) {}
+        fn finalize(&mut self, _c: &ThreadCtx, _a: &[f32], _m: usize, _n: usize) -> ThreadVerdict {
+            ThreadVerdict::clean()
+        }
+    }
+    let mut ws = Workspace::new();
+    for &(m, n, k, seed) in &[
+        (17usize, 9usize, 11usize, 40u64),
+        (64, 64, 64, 41),
+        (33, 65, 40, 42),
+    ] {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+        let eng = engine_for(m as u64, n as u64, k as u64);
+        let fault = FaultPlan {
+            row: m / 2,
+            col: n / 2,
+            after_step: 2,
+            kind: FaultKind::AddValue(32.0),
+        };
+        for faults in [&[][..], &[fault][..]] {
+            let alloc_fast = eng.run_multi(&a, &b, || NoScheme, faults);
+            let ws_fast = eng.run_multi_into(&a, &b, || NoScheme, faults, &mut ws);
+            assert_eq!(alloc_fast.c, ws_fast.c);
+            assert_eq!(alloc_fast.counters.threads, ws_fast.counters.threads);
+            let alloc_hooked = eng.run_multi(&a, &b, || Echo, faults);
+            let ws_hooked = eng.run_multi_into(&a, &b, || Echo, faults, &mut ws);
+            assert_eq!(alloc_hooked.c, ws_hooked.c);
+        }
+    }
+}
+
+#[test]
+fn workspace_take_output_leaves_a_reusable_workspace() {
+    let a = Matrix::random(16, 16, 50);
+    let b = Matrix::random(16, 16, 51);
+    let eng = engine_for(16, 16, 16);
+    let mut ws = Workspace::new();
+    eng.run_multi_into(&a, &b, || NoScheme, &[], &mut ws);
+    let first = ws.take_output();
+    assert_eq!((first.m, first.n), (16, 16));
+    let second = eng.run_multi_into(&a, &b, || NoScheme, &[], &mut ws);
+    assert_eq!(first.c, second.c);
+}

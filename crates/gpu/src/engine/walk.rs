@@ -1,0 +1,337 @@
+//! The simulated thread loop: one threadblock's execution through the
+//! warp/lane hierarchy, the fused dot-product fast path for
+//! epilogue-only schemes, and the step-ordered K-walk for schemes that
+//! consume per-step fragments.
+//!
+//! Everything here writes into caller-owned scratch
+//! ([`BlockScratch`][super::panels::BlockScratch]) — the loops allocate
+//! nothing, which is what makes the workspace-threaded execution path
+//! allocation-free after warmup.
+
+use super::fault_inject::{Detection, FaultKind, FaultPlan};
+use super::panels::{BlockScratch, Panels};
+use super::scheme::{KStep, ThreadCtx, ThreadLocalScheme};
+use super::EngineCounters;
+use crate::tiling::{TilingConfig, STEP_K};
+use aiga_fp16::F16;
+
+/// Executes threadblock `(br, bc)`: every warp and lane of the block
+/// walks K, runs its scheme instance, applies targeted faults, and
+/// writes its accumulators into `scratch.tile`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_block<S, F>(
+    tiling: &TilingConfig,
+    k_steps: u64,
+    br: u64,
+    bc: u64,
+    panels: &Panels,
+    make_scheme: &F,
+    faults: &[FaultPlan],
+    scratch: &mut BlockScratch,
+    detections: &mut Vec<Detection>,
+    counters: &mut EngineCounters,
+) where
+    S: ThreadLocalScheme,
+    F: Fn() -> S + Sync,
+{
+    let t = tiling;
+    let warps_m = t.block_m / t.warp_m;
+    let warps_n = t.block_n / t.warp_n;
+    let mt = t.thread_mt() as usize;
+    let nt = t.thread_nt() as usize;
+    let k = panels.k;
+    counters.k_steps = k_steps;
+    let bn = t.block_n as usize;
+    let row0 = (br * t.block_m) as usize;
+    let col0 = (bc * t.block_n) as usize;
+
+    scratch.tile.fill(0.0);
+    scratch.ctx.block = (br, bc);
+
+    for wr in 0..warps_m {
+        for wc in 0..warps_n {
+            let warp = wr * warps_n + wc;
+            for lane in 0..32usize {
+                let group = lane / 4;
+                let quad = lane % 4;
+                // Global rows/cols owned by this lane (PTX m16n8k8
+                // fragment layout tiled across the warp tile).
+                let ctx = &mut scratch.ctx;
+                ctx.warp = warp;
+                ctx.lane = lane;
+                ctx.rows.clear();
+                for gran in 0..(t.warp_m / 16) {
+                    let base = (br * t.block_m + wr * t.warp_m + gran * 16) as usize + group;
+                    ctx.rows.push(base);
+                    ctx.rows.push(base + 8);
+                }
+                ctx.cols.clear();
+                for gran in 0..(t.warp_n / 8) {
+                    let base = (bc * t.block_n + wc * t.warp_n + gran * 8) as usize + 2 * quad;
+                    ctx.cols.push(base);
+                    ctx.cols.push(base + 1);
+                }
+
+                // Which accumulators (if any) the fault plans target.
+                // The whole targeting machinery is skipped when no
+                // faults are injected — the serving common case.
+                scratch.fault_targets.clear();
+                if !faults.is_empty() {
+                    let ctx = &scratch.ctx;
+                    scratch.fault_targets.extend(faults.iter().filter_map(|f| {
+                        let ri = ctx.rows.iter().position(|&r| r == f.row)?;
+                        let ci = ctx.cols.iter().position(|&c| c == f.col)?;
+                        Some((ri * nt + ci, f.after_step, f.kind))
+                    }));
+                }
+
+                let mut scheme = make_scheme();
+                scheme.begin(&scratch.ctx);
+
+                if scheme.needs_k_steps() {
+                    walk_k_with_scheme(
+                        panels,
+                        k_steps,
+                        &scratch.ctx,
+                        &mut scheme,
+                        &scratch.fault_targets,
+                        &mut scratch.a_chunk,
+                        &mut scratch.b_chunk,
+                        &mut scratch.af_chunk,
+                        &mut scratch.bf_chunk,
+                        &mut scratch.acc,
+                    );
+                } else {
+                    // Fast path: per-accumulator fused dot-product walk
+                    // over the pre-decoded panels. Each accumulator sees
+                    // the identical FP32 operation sequence as the
+                    // step-ordered walk (accumulators are independent),
+                    // so outputs stay bit-exact.
+                    let (ctx, acc, fault_targets) =
+                        (&scratch.ctx, &mut scratch.acc, &scratch.fault_targets);
+                    for (ri, &r) in ctx.rows.iter().enumerate() {
+                        let a_row = &panels.a_f32[r * k..r * k + k];
+                        for (ci, &c) in ctx.cols.iter().enumerate() {
+                            let b_col = &panels.b_f32_t[c * k..c * k + k];
+                            let idx = ri * nt + ci;
+                            acc[idx] = if fault_targets.is_empty()
+                                || !fault_targets.iter().any(|&(i, _, _)| i == idx)
+                            {
+                                let mut s = 0.0f32;
+                                for (aa, bb) in a_row.chunks_exact(2).zip(b_col.chunks_exact(2)) {
+                                    s += aa[0] * bb[0] + aa[1] * bb[1];
+                                }
+                                s
+                            } else {
+                                // Cold variant for the (rare) faulted
+                                // accumulator: corrupt mid-walk, then
+                                // keep accumulating.
+                                let mut s = 0.0f32;
+                                for (step, (aa, bb)) in
+                                    a_row.chunks_exact(2).zip(b_col.chunks_exact(2)).enumerate()
+                                {
+                                    s += aa[0] * bb[0] + aa[1] * bb[1];
+                                    for &(i, after, kind) in fault_targets {
+                                        if i == idx && after == step as u64 {
+                                            s = kind.apply(s);
+                                        }
+                                    }
+                                }
+                                s
+                            };
+                        }
+                    }
+                }
+
+                // Epilogue-datapath faults strike after the K-walk.
+                for &(idx, after, kind) in &scratch.fault_targets {
+                    if after == u64::MAX {
+                        scratch.acc[idx] = kind.apply(scratch.acc[idx]);
+                    }
+                }
+
+                let verdict = scheme.finalize(&scratch.ctx, &scratch.acc, mt, nt);
+                if verdict.fault_detected {
+                    detections.push(Detection {
+                        block: (br, bc),
+                        warp,
+                        lane,
+                        residual: verdict.residual,
+                        threshold: verdict.threshold,
+                    });
+                }
+                counters.threads += 1;
+                counters.baseline_mmas += k_steps * t.mmas_per_thread_step();
+                counters.scheme.merge(scheme.counters());
+
+                // Write the thread's accumulators into the block tile.
+                // Columns come in contiguous pairs (the fragment layout
+                // owns 2 adjacent columns per granule), so each pair is
+                // one slice copy.
+                let (ctx, acc, tile) = (&scratch.ctx, &scratch.acc, &mut scratch.tile);
+                for (ri, &r) in ctx.rows.iter().enumerate() {
+                    let trow = (r - row0) * bn;
+                    let acc_row = &acc[ri * nt..ri * nt + nt];
+                    for (pair, chunk) in ctx.cols.chunks_exact(2).zip(acc_row.chunks_exact(2)) {
+                        let c = pair[0] - col0;
+                        tile[trow + c..trow + c + 2].copy_from_slice(chunk);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The step-ordered K-walk for schemes that consume per-step fragments:
+/// gathers the raw FP16 and pre-decoded f32 chunks into the caller's
+/// reused buffers, runs the MMA math, invokes the scheme hook, and
+/// applies mid-kernel faults.
+#[allow(clippy::too_many_arguments)]
+fn walk_k_with_scheme<S: ThreadLocalScheme>(
+    panels: &Panels,
+    k_steps: u64,
+    ctx: &ThreadCtx,
+    scheme: &mut S,
+    fault_targets: &[(usize, u64, FaultKind)],
+    a_chunk: &mut [F16],
+    b_chunk: &mut [F16],
+    af_chunk: &mut [f32],
+    bf_chunk: &mut [f32],
+    acc: &mut [f32],
+) {
+    let k = panels.k;
+    let mt = ctx.rows.len();
+    let nt = ctx.cols.len();
+    assert!(
+        panels.staged16,
+        "F16 panels staged when a scheme consumes K-steps"
+    );
+    let a16 = &panels.a16;
+    let b16 = &panels.b16;
+
+    acc.fill(0.0);
+    for step in 0..k_steps {
+        let k0 = (step * STEP_K) as usize;
+        for (ri, &r) in ctx.rows.iter().enumerate() {
+            let base = r * k + k0;
+            a_chunk[ri * 2] = a16.data[base];
+            a_chunk[ri * 2 + 1] = a16.data[base + 1];
+            af_chunk[ri * 2] = panels.a_f32[base];
+            af_chunk[ri * 2 + 1] = panels.a_f32[base + 1];
+        }
+        for (ci, &c) in ctx.cols.iter().enumerate() {
+            b_chunk[ci] = b16.data[k0 * b16.cols + c];
+            b_chunk[nt + ci] = b16.data[(k0 + 1) * b16.cols + c];
+            let base = c * k + k0;
+            bf_chunk[ci] = panels.b_f32_t[base];
+            bf_chunk[nt + ci] = panels.b_f32_t[base + 1];
+        }
+        // The MMA math: FP16 products are exact in FP32; the two
+        // k-lanes of the step are reduced first (dot-product unit),
+        // then accumulated.
+        for ri in 0..mt {
+            let a0 = af_chunk[ri * 2];
+            let a1 = af_chunk[ri * 2 + 1];
+            for ci in 0..nt {
+                let partial = a0 * bf_chunk[ci] + a1 * bf_chunk[nt + ci];
+                acc[ri * nt + ci] += partial;
+            }
+        }
+        scheme.on_k_step(&KStep {
+            a: a_chunk,
+            b: b_chunk,
+            a_f32: af_chunk,
+            b_f32: bf_chunk,
+            mt,
+            nt,
+        });
+        for &(idx, after, kind) in fault_targets {
+            if after == step {
+                acc[idx] = kind.apply(acc[idx]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{GemmEngine, Matrix, NoScheme, ThreadVerdict};
+    use super::*;
+    use crate::shape::GemmShape;
+
+    fn engine_for(m: u64, n: u64, k: u64) -> GemmEngine {
+        GemmEngine::new(
+            GemmShape::new(m, n, k),
+            TilingConfig {
+                block_m: 32,
+                block_n: 32,
+                block_k: 16,
+                warp_m: 16,
+                warp_n: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn hooked_schemes_see_matching_raw_and_decoded_fragments() {
+        // A probe scheme that verifies the engine hands `on_k_step`
+        // consistent views: decoded fragments must equal the raw FP16
+        // fragments element for element, every step.
+        #[derive(Default)]
+        struct Probe {
+            steps_seen: u64,
+        }
+        impl ThreadLocalScheme for Probe {
+            fn begin(&mut self, _ctx: &ThreadCtx) {}
+            fn on_k_step(&mut self, step: &KStep<'_>) {
+                assert_eq!(step.a.len(), step.mt * 2);
+                assert_eq!(step.b.len(), 2 * step.nt);
+                for (raw, dec) in step.a.iter().zip(step.a_f32) {
+                    assert_eq!(raw.to_f32().to_bits(), dec.to_bits());
+                }
+                for (raw, dec) in step.b.iter().zip(step.b_f32) {
+                    assert_eq!(raw.to_f32().to_bits(), dec.to_bits());
+                }
+                self.steps_seen += 1;
+            }
+            fn finalize(
+                &mut self,
+                _ctx: &ThreadCtx,
+                _acc: &[f32],
+                _mt: usize,
+                _nt: usize,
+            ) -> ThreadVerdict {
+                assert_eq!(self.steps_seen, 32, "one hook call per K-step");
+                ThreadVerdict::clean()
+            }
+        }
+        let a = Matrix::random(32, 64, 14);
+        let b = Matrix::random(64, 32, 15);
+        let eng = engine_for(32, 32, 64);
+        let hooked = eng.run(&a, &b, Probe::default, None);
+        let fast = eng.run(&a, &b, || NoScheme, None);
+        // And the hooked walk must agree with the fast path bit for bit.
+        assert_eq!(hooked.c, fast.c);
+    }
+
+    #[test]
+    fn larger_tiling_produces_identical_results() {
+        let (m, n, k) = (128, 128, 32);
+        let a = Matrix::random(m, k, 12);
+        let b = Matrix::random(k, n, 13);
+        let small = engine_for(m as u64, n as u64, k as u64).run(&a, &b, || NoScheme, None);
+        let big = GemmEngine::new(
+            GemmShape::new(m as u64, n as u64, k as u64),
+            TilingConfig {
+                block_m: 128,
+                block_n: 128,
+                block_k: 32,
+                warp_m: 64,
+                warp_n: 64,
+            },
+        )
+        .run(&a, &b, || NoScheme, None);
+        // Same K-walk order per element => bit-identical FP32 outputs.
+        assert_eq!(small.c, big.c);
+    }
+}

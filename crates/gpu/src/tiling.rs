@@ -17,6 +17,17 @@ use crate::shape::GemmShape;
 /// K-extent of one thread step (Figure 3).
 pub const STEP_K: u64 = 2;
 
+/// Largest per-thread tile rows (`Mt`) any valid tiling can produce:
+/// warp tiles cap at 64 rows (the register file bounds warp tiles in
+/// real CUTLASS configurations too), so `Mt = 2·(64/16) = 8`.
+/// Thread-level schemes size their inline per-thread state from these
+/// bounds, which is what lets them run without heap allocation.
+pub const MAX_THREAD_MT: usize = 8;
+/// Largest per-thread tile columns (`Nt`): `2·(64/8) = 16`.
+pub const MAX_THREAD_NT: usize = 16;
+/// Largest per-thread accumulator count (`Mt·Nt`).
+pub const MAX_THREAD_ACC: usize = MAX_THREAD_MT * MAX_THREAD_NT;
+
 /// One tiling configuration for the hierarchy of Figure 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TilingConfig {
@@ -46,6 +57,11 @@ impl TilingConfig {
         assert!(
             self.block_k.is_multiple_of(8),
             "block K-slice must cover whole MMAs"
+        );
+        assert!(
+            self.thread_mt() as usize <= MAX_THREAD_MT
+                && self.thread_nt() as usize <= MAX_THREAD_NT,
+            "warp tile exceeds the register-file bound (warp_m <= 64, warp_n <= 64)"
         );
     }
 

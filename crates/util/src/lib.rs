@@ -19,5 +19,5 @@ pub mod par;
 pub mod rng;
 
 pub use json::Json;
-pub use par::par_map;
+pub use par::{par_map, par_map_with};
 pub use rng::Rng64;

@@ -24,22 +24,44 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_with(items, || (), |(), item| f(item))
+}
+
+/// Like [`par_map`], but each worker first builds private mutable state
+/// with `init` and threads it through every item of its chunk.
+///
+/// This is the workspace-reuse primitive: a fault campaign passes
+/// `init = Workspace::new` and every worker serves all of its trials
+/// from one warm workspace, so the per-trial hot path stops allocating.
+/// On the sequential fallback a single state instance covers the whole
+/// slice.
+pub fn par_map_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(items.len());
     if workers <= 1 || INSIDE_PAR_MAP.with(|flag| flag.get()) {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let chunk = items.len().div_ceil(workers);
-    let f = &f;
+    let (init, f) = (&init, &f);
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(move || {
                     INSIDE_PAR_MAP.with(|flag| flag.set(true));
-                    part.iter().map(f).collect::<Vec<R>>()
+                    let mut state = init();
+                    part.iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<R>>()
                 })
             })
             .collect();
@@ -59,6 +81,33 @@ mod tests {
         let items: Vec<u64> = (0..1000).collect();
         let out = par_map(&items, |&x| x * x);
         assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_with_reuses_state_within_a_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..256).collect();
+        let out = par_map_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new() // per-worker scratch
+            },
+            |scratch, &x| {
+                scratch.push(x); // state persists across a worker's items
+                x
+            },
+        );
+        assert_eq!(out, items);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(items.len());
+        // One state per worker (or exactly one on the sequential path) —
+        // never one per item.
+        assert!(inits.load(Ordering::Relaxed) <= workers);
+        assert!(inits.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]

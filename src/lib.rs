@@ -92,7 +92,7 @@ pub mod prelude {
     pub use aiga_core::selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
     pub use aiga_core::session::{ServeReport, Session, SessionError, SessionStats};
     pub use aiga_faults::{Campaign, CampaignStats, FaultModel};
-    pub use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme};
+    pub use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme, Workspace};
     pub use aiga_gpu::timing::Calibration;
     pub use aiga_gpu::{Bound, DeviceSpec, GemmShape, Roofline, TilingConfig};
     pub use aiga_nn::{zoo, ConvParams, LinearLayer, Model, Tensor};

@@ -1,0 +1,142 @@
+//! Counting-allocator regression net for the zero-allocation execution
+//! path.
+//!
+//! A custom `#[global_allocator]` counts every `alloc`/`realloc` in the
+//! process. This file holds exactly one `#[test]` so nothing else races
+//! the counter, and every measured section runs single-threaded (the
+//! workspace path executes blocks sequentially on the calling thread).
+//!
+//! Pinned guarantees, after warmup:
+//!
+//! 1. the engine hot path (`BoundKernel::run_into` through a warm
+//!    `Workspace`) performs **exactly zero** heap allocations, for the
+//!    fused fast path, global ABFT's verified path, and the hooked
+//!    thread-level schemes;
+//! 2. steady-state `Session::serve` allocates only the returned
+//!    report's output vector — a small constant, identical from
+//!    request to request, independent of model depth or GEMM size.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn steady_state_hot_paths_do_not_allocate() {
+    use aiga::prelude::*;
+    use aiga_core::registry;
+    use aiga_core::schemes::OneSidedThreadAbft;
+
+    // --- 1. Engine level: every bound kernel's hot path is zero-alloc.
+    let shape = GemmShape::new(48, 40, 56);
+    let a = Matrix::random(48, 56, 11);
+    let b = Matrix::random(56, 40, 12);
+    let engine = GemmEngine::with_default_tiling(shape);
+    let reg = registry::shared();
+    for scheme in [
+        Scheme::Unprotected,            // fused fast path
+        Scheme::GlobalAbft,             // fast path + checksum verification
+        Scheme::ThreadLevelOneSided,    // hooked step-ordered walk
+        Scheme::ReplicationTraditional, // hooked walk, shadow accumulators
+    ] {
+        let bound = reg.resolve(scheme).bind(&b);
+        let mut ws = Workspace::new();
+        bound.run_into(&engine, &a, &[], &mut ws); // warm the workspace
+        let n = allocs_during(|| {
+            bound.run_into(&engine, &a, &[], &mut ws);
+        });
+        assert_eq!(n, 0, "{scheme}: engine hot path allocated {n} times");
+    }
+
+    // The §2.4 multi-checksum extension honors the contract too.
+    let multi = MultiChecksumKernel::new(2).bind(&b);
+    let mut ws = Workspace::new();
+    multi.run_into(&engine, &a, &[], &mut ws);
+    let n = allocs_during(|| {
+        multi.run_into(&engine, &a, &[], &mut ws);
+    });
+    assert_eq!(n, 0, "multi-checksum hot path allocated {n} times");
+
+    // Raw engine entry, hooked scheme, same guarantee.
+    let mut ws = Workspace::new();
+    engine.run_multi_into(&a, &b, OneSidedThreadAbft::new, &[], &mut ws);
+    let n = allocs_during(|| {
+        engine.run_multi_into(&a, &b, OneSidedThreadAbft::new, &[], &mut ws);
+    });
+    assert_eq!(n, 0, "raw hooked engine path allocated {n} times");
+
+    // --- 2. Serving level: steady-state serve allocates only the
+    // returned report (a small constant, stable across requests).
+    let session = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([8])
+    .seed(7)
+    .build();
+    let request = Matrix::random(8, 13, 42);
+    for _ in 0..3 {
+        session.serve(&request).unwrap(); // build plan, warm the pool
+    }
+    let first = allocs_during(|| {
+        std::hint::black_box(session.serve(&request).unwrap());
+    });
+    let second = allocs_during(|| {
+        std::hint::black_box(session.serve(&request).unwrap());
+    });
+    assert_eq!(
+        first, second,
+        "steady-state serve allocation count must be stable"
+    );
+    assert!(
+        first <= 4,
+        "steady-state serve should only allocate the report (saw {first})"
+    );
+
+    // A campaign-style loop over a warm ProtectedGemm is zero-alloc too.
+    let gemm = ProtectedGemm::random(GemmShape::new(32, 32, 32), Scheme::GlobalAbft, 3);
+    let fault = FaultPlan {
+        row: 1,
+        col: 1,
+        after_step: u64::MAX,
+        kind: FaultKind::AddValue(500.0),
+    };
+    let mut ws = Workspace::new();
+    gemm.run_into(&[fault], &mut ws);
+    let n = allocs_during(|| {
+        for _ in 0..5 {
+            std::hint::black_box(gemm.run_into(&[fault], &mut ws));
+        }
+    });
+    assert_eq!(n, 0, "warm campaign trials allocated {n} times");
+}

@@ -50,8 +50,8 @@ fn session_serves_with_the_reloaded_plans_choices() {
             .expect("request fits a declared bucket");
         assert_eq!(reply.bucket, bucket);
         assert_eq!(
-            reply.schemes,
-            reloaded.chosen_schemes(),
+            reply.schemes[..],
+            reloaded.chosen_schemes()[..],
             "served schemes must match the serialized plan for bucket {bucket}"
         );
         assert!(!reply.report.fault_detected());

@@ -108,6 +108,47 @@ fn engine_matches_reference() {
     }
 }
 
+/// Workspace pooling is transparent: a seeded sweep of random shapes
+/// and schemes through ONE reused workspace (the serving pool regime)
+/// produces byte-identical outputs and verdicts to fresh-workspace and
+/// allocating-path execution, clean and faulted.
+#[test]
+fn pooled_workspace_sweep_matches_fresh_execution() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0006);
+    let mut pooled = Workspace::new();
+    for _ in 0..32 {
+        let shape = random_shape(&mut rng);
+        let scheme = random_protected_scheme(&mut rng);
+        let seed = rng.range_u64(0, 500);
+        let g = ProtectedGemm::random(shape, scheme, seed);
+        let faults = if rng.gen_bool(0.5) {
+            vec![FaultPlan {
+                row: rng.range_u64(0, shape.m) as usize,
+                col: rng.range_u64(0, shape.n) as usize,
+                after_step: u64::MAX,
+                kind: FaultKind::AddValue(1.0e3),
+            }]
+        } else {
+            Vec::new()
+        };
+        let owned = g.run_with(&faults);
+        let pooled_verdict = g.run_into(&faults, &mut pooled);
+        let mut fresh = Workspace::new();
+        let fresh_verdict = g.run_into(&faults, &mut fresh);
+        let owned_bits: Vec<u32> = owned.output.c.iter().map(|v| v.to_bits()).collect();
+        let pooled_bits: Vec<u32> = pooled.output().c.iter().map(|v| v.to_bits()).collect();
+        let fresh_bits: Vec<u32> = fresh.output().c.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(owned_bits, pooled_bits, "{scheme} on {shape} (seed {seed})");
+        assert_eq!(owned_bits, fresh_bits, "{scheme} on {shape} (seed {seed})");
+        assert_eq!(
+            owned.verdict.is_detected(),
+            pooled_verdict.is_detected(),
+            "{scheme} on {shape}"
+        );
+        assert_eq!(pooled_verdict.is_detected(), fresh_verdict.is_detected());
+    }
+}
+
 /// Verdict classification is consistent: a detected verdict always
 /// carries residual > threshold.
 #[test]

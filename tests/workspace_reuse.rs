@@ -1,0 +1,79 @@
+//! Workspace-reuse correctness: executing through one long-lived
+//! (dirty) workspace must be byte-identical to executing through fresh
+//! workspaces and to the allocating convenience paths, at every layer
+//! of the stack — engine, pipeline, and serving session.
+
+use aiga::prelude::*;
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn pipeline_reports_are_identical_across_workspace_regimes() {
+    let model = zoo::dlrm_mlp_bottom(16);
+    let input = Matrix::random(16, 13, 4242);
+    let fault = PipelineFault {
+        layer: 1,
+        fault: FaultPlan {
+            row: 3,
+            col: 100,
+            after_step: 2,
+            kind: FaultKind::AddValue(40.0),
+        },
+    };
+    for scheme in [Scheme::GlobalAbft, Scheme::ThreadLevelOneSided] {
+        let p = ProtectedPipeline::uniform(&model, scheme, 2);
+        let mut shared = Workspace::new();
+        for fault in [None, Some(fault)] {
+            // Same request served three ways: allocating convenience,
+            // fresh workspace, and a workspace dirtied by prior runs.
+            let convenience = p.infer(&input, fault);
+            let fresh = p.infer_into(&input, fault, &mut Workspace::new());
+            let reused_once = p.infer_into(&input, fault, &mut shared);
+            let reused_again = p.infer_into(&input, fault, &mut shared);
+            for other in [&fresh, &reused_once, &reused_again] {
+                assert_eq!(
+                    bits(&convenience.output),
+                    bits(&other.output),
+                    "{scheme} output drifted across workspace regimes"
+                );
+                assert_eq!(
+                    convenience.detections.len(),
+                    other.detections.len(),
+                    "{scheme} detections drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn session_serves_identically_from_cold_and_warm_workspaces() {
+    let make_session = || {
+        Session::builder(
+            Planner::new(DeviceSpec::t4()),
+            "dlrm-mlp-bottom",
+            zoo::dlrm_mlp_bottom,
+        )
+        .buckets([8, 32])
+        .seed(7)
+        .build()
+    };
+    let warm = make_session();
+    // Dirty the pooled workspace with requests of several shapes.
+    for (rows, seed) in [(32usize, 1u64), (3, 2), (20, 3), (70, 4)] {
+        warm.serve(&Matrix::random(rows, 13, seed)).unwrap();
+    }
+    for (rows, seed) in [(1usize, 100u64), (8, 101), (9, 102), (32, 103), (50, 104)] {
+        let req = Matrix::random(rows, 13, seed);
+        let from_warm = warm.serve(&req).unwrap();
+        let from_cold = make_session().serve(&req).unwrap();
+        assert_eq!(
+            bits(&from_warm.report.output),
+            bits(&from_cold.report.output),
+            "rows={rows}: warm pool diverged from cold session"
+        );
+        assert_eq!(from_warm.report.output.len(), rows * 64);
+    }
+}
