@@ -1,18 +1,25 @@
 //! Steady-state serving latency: `Session::serve` through the warm
 //! workspace pool, against a fresh-allocation baseline that builds a
-//! new `Workspace` for every request.
+//! new `Workspace` for every request — plus the concurrent `Server`
+//! front-end under 1/4/8 client threads.
 //!
 //! Results land in `BENCH_serving.json` (median/mean ns, iteration
 //! counts, git rev) so the zero-allocation refactor's effect on serve
 //! latency is tracked as data: the `pooled` rows must stay at or below
-//! their `fresh_workspace` counterparts.
+//! their `fresh_workspace` counterparts. The concurrent rows record,
+//! per client count, one timed round (every client submits and awaits
+//! a fixed quantum of requests), a derived throughput row (tagged
+//! `value` + `unit: "req_per_s"`), and the server's own p99 end-to-end
+//! latency (log2-histogram upper bound) — recorded rows with a single
+//! pseudo-iteration.
 
 use aiga_bench::harness::Recorder;
-use aiga_core::{Planner, ProtectedPipeline, Session};
+use aiga_core::{Planner, ProtectedPipeline, Server, Session};
 use aiga_gpu::engine::{Matrix, Workspace};
 use aiga_gpu::DeviceSpec;
 use aiga_nn::zoo;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn main() {
     let mut rec = Recorder::new("serving");
@@ -55,6 +62,70 @@ fn main() {
     rec.bench("serving/infer_b32_fresh_workspace", || {
         black_box(pipeline.infer(&req32, None));
     });
+
+    // --- Concurrent server throughput: C client threads, each
+    // submitting and awaiting REQS_PER_CLIENT small requests per timed
+    // round, against a 2-worker server with a short coalesce window.
+    const REQS_PER_CLIENT: usize = 4;
+    for clients in [1usize, 4, 8] {
+        let session = Session::builder(
+            Planner::new(DeviceSpec::t4()),
+            "dlrm-mlp-bottom",
+            zoo::dlrm_mlp_bottom,
+        )
+        .buckets([8, 32])
+        .seed(9)
+        .build();
+        let server = Server::builder(session)
+            .workers(2)
+            .queue_capacity(64)
+            .coalesce_window(Duration::from_micros(100))
+            .build();
+        let requests: Vec<Matrix> = (0..clients)
+            .map(|c| Matrix::random(4, 13, 100 + c as u64))
+            .collect();
+        // Warm both buckets and the workspace pool.
+        server
+            .client()
+            .submit(&Matrix::random(32, 13, 99))
+            .unwrap()
+            .wait()
+            .unwrap();
+        server
+            .client()
+            .submit(&requests[0])
+            .unwrap()
+            .wait()
+            .unwrap();
+
+        let result = rec.bench(&format!("serving/server_round_{clients}clients"), || {
+            std::thread::scope(|scope| {
+                for request in &requests {
+                    let client = server.client();
+                    scope.spawn(move || {
+                        for _ in 0..REQS_PER_CLIENT {
+                            black_box(client.submit(request).unwrap().wait().unwrap());
+                        }
+                    });
+                }
+            });
+        });
+        let req_per_s = (clients * REQS_PER_CLIENT) as f64 / (result.median_ns / 1e9);
+        println!(
+            "  -> {clients} client(s): {:.1} requests/s over the median round",
+            req_per_s
+        );
+        rec.record_value(
+            &format!("serving/server_req_per_s_{clients}clients"),
+            req_per_s,
+            "req_per_s",
+        );
+        let stats = server.shutdown();
+        rec.record_ns(
+            &format!("serving/server_p99_{clients}clients"),
+            stats.p99_latency_ns as f64,
+        );
+    }
 
     rec.write().expect("write BENCH_serving.json");
 }

@@ -28,6 +28,11 @@ pub struct BenchResult {
     pub median_ns: f64,
     /// Mean per-iteration time, ns.
     pub mean_ns: f64,
+    /// Unit of the recorded numbers. Timed rows are `"ns"` and
+    /// serialize as `median_ns`/`mean_ns`; externally-recorded rows in
+    /// any other unit serialize as a tagged `value` instead, so JSON
+    /// consumers never mistake a throughput for a latency.
+    pub unit: String,
 }
 
 /// Runs `f` repeatedly and prints median/mean per-iteration time.
@@ -66,6 +71,7 @@ pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
         iters,
         median_ns: median * 1e9,
         mean_ns: mean * 1e9,
+        unit: "ns".to_string(),
     }
 }
 
@@ -93,9 +99,34 @@ impl Recorder {
         }
     }
 
-    /// Runs and records one bench.
-    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+    /// Runs and records one bench, returning the measurement (e.g. to
+    /// derive throughput from the median).
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) -> &BenchResult {
         self.results.push(bench(name, f));
+        self.results.last().expect("just pushed")
+    }
+
+    /// Records an externally-measured nanosecond value (e.g. a latency
+    /// percentile read off server statistics) as a row with a single
+    /// pseudo-iteration, so it lands in `BENCH_<suite>.json` alongside
+    /// the timed rows.
+    pub fn record_ns(&mut self, name: &str, ns: f64) {
+        self.record_value(name, ns, "ns");
+    }
+
+    /// Records an externally-measured value in an arbitrary unit (e.g.
+    /// `"req_per_s"` throughput). Non-`"ns"` rows serialize with an
+    /// explicit `value` + `unit` pair instead of `median_ns`, keeping
+    /// the JSON schema honest for latency-diffing tools.
+    pub fn record_value(&mut self, name: &str, value: f64, unit: &str) {
+        println!("{name:<44}     recorded  {value:>14.1} {unit}");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters: 1,
+            median_ns: value,
+            mean_ns: value,
+            unit: unit.to_string(),
+        });
     }
 
     /// Results recorded so far.
@@ -114,12 +145,21 @@ impl Recorder {
                     self.results
                         .iter()
                         .map(|r| {
-                            Json::obj([
-                                ("name", Json::str(r.name.clone())),
-                                ("iters", Json::num(r.iters as f64)),
-                                ("median_ns", Json::num(r.median_ns)),
-                                ("mean_ns", Json::num(r.mean_ns)),
-                            ])
+                            if r.unit == "ns" {
+                                Json::obj([
+                                    ("name", Json::str(r.name.clone())),
+                                    ("iters", Json::num(r.iters as f64)),
+                                    ("median_ns", Json::num(r.median_ns)),
+                                    ("mean_ns", Json::num(r.mean_ns)),
+                                ])
+                            } else {
+                                Json::obj([
+                                    ("name", Json::str(r.name.clone())),
+                                    ("iters", Json::num(r.iters as f64)),
+                                    ("value", Json::num(r.median_ns)),
+                                    ("unit", Json::str(r.unit.clone())),
+                                ])
+                            }
                         })
                         .collect(),
                 ),
@@ -201,12 +241,21 @@ mod tests {
         rec.bench("a", || {
             std::hint::black_box(2 * 2);
         });
+        rec.record_value("b", 123.5, "req_per_s");
         let text = rec.to_json().render();
         let parsed = Json::parse(&text).expect("round-trips");
         assert_eq!(parsed.field("suite").unwrap().as_str().unwrap(), "selftest");
         let results = parsed.field("results").unwrap().as_arr().unwrap();
-        assert_eq!(results.len(), 1);
+        assert_eq!(results.len(), 2);
         assert_eq!(results[0].field("name").unwrap().as_str().unwrap(), "a");
         assert!(results[0].field("median_ns").unwrap().as_f64().unwrap() >= 0.0);
+        // Non-ns rows carry a tagged value instead of median_ns, so
+        // latency-diffing tools never misread a throughput.
+        assert!(results[1].field("median_ns").is_err());
+        assert_eq!(results[1].field("value").unwrap().as_f64().unwrap(), 123.5);
+        assert_eq!(
+            results[1].field("unit").unwrap().as_str().unwrap(),
+            "req_per_s"
+        );
     }
 }

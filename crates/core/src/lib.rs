@@ -35,7 +35,12 @@
 //! plan + pipeline caching keyed by `(model, device, bucket)`, and
 //! aggregated detection statistics. [`protected::ProtectedGemm`] and
 //! [`pipeline::ProtectedPipeline`] are the single-GEMM and single-model
-//! execution layers underneath.
+//! execution layers underneath. `Session` is the single-caller core;
+//! [`serve::Server`] is the concurrent front door on top of it — a
+//! bounded admission queue, worker threads, and a dynamic batcher that
+//! coalesces concurrent requests into the planner's batch buckets
+//! (byte-identically to solo serving) behind [`serve::Client`] /
+//! [`serve::Pending`] request handles.
 
 pub mod cost;
 pub mod kernel;
@@ -46,6 +51,7 @@ pub mod protected;
 pub mod registry;
 pub mod schemes;
 pub mod selector;
+pub mod serve;
 pub mod session;
 pub mod tolerance;
 
@@ -56,4 +62,5 @@ pub use protected::{ProtectedConv, ProtectedGemm};
 pub use registry::SchemeRegistry;
 pub use schemes::Scheme;
 pub use selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
+pub use serve::{Client, Pending, ServeError, Server, ServerBuilder, ServerStats};
 pub use session::{ServeReport, Session, SessionBuilder, SessionError, SessionStats};

@@ -1,0 +1,319 @@
+//! The dynamic batcher: worker loop, coalescing policy, and the
+//! scatter of per-request reports.
+//!
+//! A worker pops the queue head, then *coalesces*: it keeps taking
+//! compatible neighbors (same feature width, no injected fault, total
+//! rows within the largest declared bucket) from the queue front until
+//! the bucket is full, the queue runs dry (plus an optional wait
+//! window), or an incompatible head is reached — FIFO order is never
+//! violated. The stacked rows run ONE `Session::serve` pass, and each
+//! member gets its row slice back as a private [`ServeReport`].
+//!
+//! Correctness leans on an engine invariant the session's split path
+//! already depends on: per-row outputs are bit-identical across batch
+//! paddings and tilings (accumulators are row-independent), so a
+//! coalesced member's bytes equal a direct solo serve of it.
+
+use super::{AtomicServerStats, PendingShared, ServeError, Shared};
+use crate::pipeline::{InferenceReport, PipelineFault};
+use crate::session::ServeReport;
+use aiga_gpu::engine::Matrix;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One queued request: the caller's input copy, the optional injected
+/// fault, the admission timestamp (end-to-end latency starts here), and
+/// the handle slot to fulfill. The slot is `Option`al so [`finish`] can
+/// take it for the real result; a request dropped with the slot still
+/// in place (worker panic mid-pass, or queue leftovers after every
+/// worker died) resolves its handle to [`ServeError::Aborted`] instead
+/// of leaving the waiter hanging.
+pub(crate) struct Request {
+    pub input: Matrix,
+    pub fault: Option<PipelineFault>,
+    pub enqueued: Instant,
+    pub state: Option<Arc<PendingShared>>,
+}
+
+impl Drop for Request {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            state.fulfill(Err(ServeError::Aborted));
+        }
+    }
+}
+
+/// A worker thread's life: pop, coalesce, execute, scatter — until the
+/// queue closes and drains.
+pub(crate) fn worker_loop(shared: &Shared) {
+    // Per-worker reusable buffers: the member list and the stacked
+    // input. Both ratchet to their high-water mark, so the steady state
+    // stacks without heap traffic.
+    let mut members: Vec<Request> = Vec::new();
+    let mut stacked = Matrix::default();
+    while let Some(first) = shared.queue.pop() {
+        collect_batch(shared, first, &mut members);
+        execute_batch(shared, &mut members, &mut stacked);
+    }
+}
+
+/// True when `candidate` may share a pass with a batch of `cols`-wide
+/// requests currently holding `rows` rows.
+fn compatible(candidate: &Request, cols: usize, rows: usize, largest: usize) -> bool {
+    candidate.fault.is_none()
+        && candidate.input.cols == cols
+        && rows + candidate.input.rows <= largest
+}
+
+/// Starting from the popped `first` request, drains compatible
+/// neighbors into `members` (clearing it first).
+fn collect_batch(shared: &Shared, first: Request, members: &mut Vec<Request>) {
+    members.clear();
+    let largest = shared.largest_bucket;
+    let cols = first.input.cols;
+    let mut rows = first.input.rows;
+    // Faulted requests run solo (fault coordinates address one launch);
+    // bucket-filling or oversized requests have no room to share.
+    let solo = first.fault.is_some() || rows >= largest;
+    members.push(first);
+    if solo {
+        return;
+    }
+    let deadline =
+        (shared.coalesce_window > Duration::ZERO).then(|| Instant::now() + shared.coalesce_window);
+    loop {
+        if let Some(next) = shared
+            .queue
+            .try_pop_if(|r| compatible(r, cols, rows, largest))
+        {
+            rows += next.input.rows;
+            members.push(next);
+            if rows >= largest {
+                return;
+            }
+            continue;
+        }
+        // Nothing compatible is queued right now. Optionally wait for
+        // late arrivals — but only while the *current* bucket still has
+        // spare padding rows to fill (growing past it is free: the pass
+        // would pad to that bucket anyway).
+        let Some(deadline) = deadline else { return };
+        if rows >= shared.session.bucket_for(rows) as usize {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        match shared
+            .queue
+            .pop_timeout_if(deadline - now, |r| compatible(r, cols, rows, largest))
+        {
+            Some(next) => {
+                rows += next.input.rows;
+                members.push(next);
+                if rows >= largest {
+                    return;
+                }
+            }
+            // Timeout, close, or an incompatible head arrived.
+            None => return,
+        }
+    }
+}
+
+/// Runs one pipeline pass over the collected members and scatters the
+/// per-request reports. `members` is drained; `stacked` is the reused
+/// row-stacking buffer.
+fn execute_batch(shared: &Shared, members: &mut Vec<Request>, stacked: &mut Matrix) {
+    let stats = &shared.stats;
+    AtomicServerStats::bump(&stats.batches);
+    AtomicServerStats::ratchet(&stats.max_batch_requests, members.len() as u64);
+
+    if members.len() == 1 {
+        let request = members.pop().expect("one member");
+        AtomicServerStats::ratchet(&stats.max_batch_rows, request.input.rows as u64);
+        let result = shared
+            .session
+            .serve_with_fault(&request.input, request.fault)
+            .map_err(ServeError::Session);
+        finish(shared, request, result);
+        return;
+    }
+
+    // Stack member rows into one contiguous request. The buffer is
+    // reused across batches; its capacity ratchets to the largest
+    // bucket's footprint and then stacking is allocation-free.
+    let total_rows: usize = members.iter().map(|r| r.input.rows).sum();
+    stacked.rows = total_rows;
+    stacked.cols = members[0].input.cols;
+    stacked.data.clear();
+    for member in members.iter() {
+        stacked.data.extend_from_slice(&member.input.data);
+    }
+    AtomicServerStats::ratchet(&stats.max_batch_rows, total_rows as u64);
+    AtomicServerStats::add(&stats.coalesced_requests, members.len() as u64);
+
+    match shared.session.serve(stacked) {
+        Ok(batch_report) => {
+            let features_out = batch_report.report.output.len() / total_rows;
+            let mut row = 0;
+            for member in members.drain(..) {
+                let rows = member.input.rows;
+                let output = batch_report.report.output
+                    [row * features_out..(row + rows) * features_out]
+                    .to_vec();
+                row += rows;
+                // Detections are batch-scoped (a detected fault taints
+                // the whole pass), so every member is flagged.
+                let report = ServeReport {
+                    bucket: batch_report.bucket,
+                    rows,
+                    schemes: batch_report.schemes.clone(),
+                    report: InferenceReport {
+                        output,
+                        detections: batch_report.report.detections.clone(),
+                    },
+                };
+                finish(shared, member, Ok(report));
+            }
+        }
+        Err(e) => {
+            // All members share the feature width, so a session error
+            // for the stack is the same error each would get alone.
+            for member in members.drain(..) {
+                finish(shared, member, Err(ServeError::Session(e.clone())));
+            }
+        }
+    }
+}
+
+/// Books one finished request and fulfills its handle.
+fn finish(shared: &Shared, mut request: Request, result: Result<ServeReport, ServeError>) {
+    shared.latency.record(request.enqueued.elapsed());
+    AtomicServerStats::bump(if result.is_ok() {
+        &shared.stats.completed
+    } else {
+        &shared.stats.failed
+    });
+    let state = request.state.take().expect("a request is finished once");
+    state.fulfill(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use crate::serve::Server;
+    use crate::session::Session;
+    use aiga_gpu::DeviceSpec;
+    use aiga_nn::zoo;
+
+    fn session() -> Session {
+        Session::builder(
+            Planner::new(DeviceSpec::t4()),
+            "dlrm-mlp-bottom",
+            zoo::dlrm_mlp_bottom,
+        )
+        .buckets([8, 32])
+        .seed(7)
+        .build()
+    }
+
+    #[test]
+    fn compatibility_respects_cols_rows_and_faults() {
+        let req = |rows: usize, cols: usize| Request {
+            input: Matrix::zeros(rows, cols),
+            fault: None,
+            enqueued: Instant::now(),
+            state: Some(Arc::new(PendingShared::default())),
+        };
+        assert!(compatible(&req(4, 13), 13, 8, 32));
+        assert!(!compatible(&req(4, 9), 13, 8, 32), "feature width differs");
+        assert!(!compatible(&req(25, 13), 13, 8, 32), "overflows the bucket");
+        assert!(compatible(&req(24, 13), 13, 8, 32), "exactly fills");
+        let mut faulted = req(4, 13);
+        faulted.fault = Some(PipelineFault {
+            layer: 0,
+            fault: aiga_gpu::engine::FaultPlan {
+                row: 0,
+                col: 0,
+                after_step: 0,
+                kind: aiga_gpu::engine::FaultKind::AddValue(1.0),
+            },
+        });
+        assert!(
+            !compatible(&faulted, 13, 8, 32),
+            "faulted requests run solo"
+        );
+    }
+
+    #[test]
+    fn single_request_round_trip_through_the_server() {
+        let server = Server::builder(session()).workers(1).build();
+        let client = server.client();
+        let reply = client
+            .submit(&Matrix::random(3, 13, 5))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(reply.rows, 3);
+        assert_eq!(reply.bucket, 8);
+        assert_eq!(reply.report.output.len(), 3 * 64);
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.coalesced_requests, 0);
+        assert_eq!(stats.max_batch_rows, 3);
+        assert!(stats.p50_latency_ns > 0);
+    }
+
+    #[test]
+    fn feature_mismatch_surfaces_through_the_handle() {
+        let server = Server::builder(session()).workers(1).build();
+        let err = server
+            .client()
+            .submit(&Matrix::random(3, 9, 5))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Session(crate::session::SessionError::FeatureMismatch {
+                observed: 9,
+                expected: 13
+            })
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let server = Server::wrap(session());
+        let client = server.client();
+        server.shutdown();
+        let err = client.submit(&Matrix::random(3, 13, 5)).unwrap_err();
+        assert_eq!(err, ServeError::Shutdown);
+        let err = client.try_submit(&Matrix::random(3, 13, 5)).unwrap_err();
+        assert_eq!(err, ServeError::Shutdown);
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_pending_back_until_ready() {
+        let server = Server::builder(session()).workers(1).build();
+        let client = server.client();
+        // A deliberately large request keeps the worker busy long
+        // enough for a zero-timeout wait to miss.
+        let pending = client.submit(&Matrix::random(64, 13, 5)).unwrap();
+        let pending = match pending.wait_timeout(Duration::ZERO) {
+            Err(p) => p,
+            Ok(_) => return, // machine fast enough to finish: nothing to assert
+        };
+        let reply = pending.wait().unwrap();
+        assert_eq!(reply.rows, 64);
+        server.shutdown();
+    }
+}

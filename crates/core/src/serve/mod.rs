@@ -1,0 +1,446 @@
+//! `aiga::serve` — the concurrent serving front-end.
+//!
+//! [`Session`] is the single-caller core: one thread calls
+//! [`Session::serve`], one protected pipeline pass runs. This module is
+//! the front door for *many* callers: a [`Server`] owns a session, a
+//! bounded admission queue, and N worker threads, and turns concurrent
+//! single/small requests into the batch-bucketed pipeline passes the
+//! planner priced (§7.3) via a dynamic batcher:
+//!
+//! ```text
+//! Client::submit ──► SyncQueue (bounded, FIFO) ──► worker: coalesce
+//!      │                                              │  compatible
+//!      ▼                                              ▼  neighbors
+//!   Pending  ◄── scatter per-request reports ◄── one Session::serve
+//! ```
+//!
+//! Coalescing is *transparent*: a batch of stacked requests runs the
+//! same padded bucket pipeline each member would have run alone, and
+//! per-row outputs are bit-identical across paddings (the engine's
+//! accumulators are row-independent), so a coalesced reply is
+//! byte-identical to a direct `Session::serve` of the same request —
+//! `tests/serve_concurrent.rs` asserts this under multi-client stress.
+//!
+//! Backpressure is explicit: the queue is bounded, and the submit
+//! family maps the three admission policies onto it —
+//! [`Client::submit`] blocks for room, [`Client::try_submit`] fails
+//! fast with [`ServeError::QueueFull`], [`Client::submit_timeout`]
+//! bounds the wait with a deadline. [`Server::shutdown`] closes
+//! admission, lets the workers drain every queued request, joins them,
+//! and returns the final [`ServerStats`] (throughput counters,
+//! coalescing high-water marks, and p50/p95/p99 end-to-end latency from
+//! a lock-free log2 histogram).
+//!
+//! After each bucket's warmup the worker hot path inherits the
+//! session's allocation discipline: pooled workspaces, pre-allocated
+//! queue storage, a reused per-worker stacking buffer — the only
+//! steady-state allocations are the per-request handoff constants
+//! (handle, input copy, output vector), pinned by
+//! `tests/alloc_server.rs`.
+
+mod batch;
+mod stats;
+
+pub use stats::ServerStats;
+
+use crate::pipeline::PipelineFault;
+use crate::session::{ServeReport, Session, SessionError};
+use aiga_gpu::engine::Matrix;
+use aiga_util::sync::{PushError, SyncQueue};
+use aiga_util::LatencyHistogram;
+use batch::Request;
+use stats::AtomicServerStats;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a request was not served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The session rejected the request (e.g. feature-width mismatch).
+    Session(SessionError),
+    /// The bounded admission queue was full (fail-fast `try_submit`).
+    QueueFull,
+    /// The admission queue stayed full past the submit deadline.
+    SubmitTimeout,
+    /// The server has been shut down; no new requests are accepted.
+    Shutdown,
+    /// The request was admitted but the server stopped serving it —
+    /// its worker panicked mid-pass, or every worker died before the
+    /// queue drained. The handle resolves instead of hanging.
+    Aborted,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Session(e) => write!(f, "session error: {e}"),
+            ServeError::QueueFull => write!(f, "admission queue is full"),
+            ServeError::SubmitTimeout => write!(f, "admission queue stayed full past the deadline"),
+            ServeError::Shutdown => write!(f, "server has been shut down"),
+            ServeError::Aborted => write!(f, "server stopped before serving this request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for ServeError {
+    fn from(e: SessionError) -> Self {
+        ServeError::Session(e)
+    }
+}
+
+/// The slot a worker fulfills and a [`Pending`] waits on.
+#[derive(Default)]
+pub(crate) struct PendingShared {
+    slot: Mutex<Option<Result<ServeReport, ServeError>>>,
+    ready: Condvar,
+}
+
+impl PendingShared {
+    /// First writer wins: the worker's real result normally, or the
+    /// [`ServeError::Aborted`] safety net from [`batch::Request`]'s
+    /// drop guard when a worker dies mid-pass. Later calls are no-ops,
+    /// so a waiter never sees two results and never hangs.
+    pub(crate) fn fulfill(&self, result: Result<ServeReport, ServeError>) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A typed handle to one in-flight request. Obtained from the
+/// [`Client`] submit family; redeemed with [`Pending::wait`] (blocking)
+/// or [`Pending::wait_timeout`].
+pub struct Pending {
+    shared: Arc<PendingShared>,
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl Pending {
+    /// True once the result is available ([`Pending::wait`] would
+    /// return without blocking).
+    pub fn is_ready(&self) -> bool {
+        self.shared.slot.lock().unwrap().is_some()
+    }
+
+    /// Blocks until the request completes and returns its report.
+    pub fn wait(self) -> Result<ServeReport, ServeError> {
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.shared.ready.wait(slot).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout` for the result. On expiry the handle is
+    /// returned so the caller can keep waiting (or drop it — the
+    /// request still executes; its result is simply discarded).
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<ServeReport, ServeError>, Pending> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            let (next, _) = self
+                .shared
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap();
+            slot = next;
+        }
+    }
+}
+
+/// State shared by the server handle, every client, and every worker.
+pub(crate) struct Shared {
+    pub session: Session,
+    pub queue: SyncQueue<Request>,
+    pub stats: AtomicServerStats,
+    pub latency: LatencyHistogram,
+    /// Largest declared bucket — the coalescing row budget.
+    pub largest_bucket: usize,
+    /// How long a worker holding a partially-filled bucket waits for
+    /// more compatible requests before executing.
+    pub coalesce_window: Duration,
+}
+
+/// A cloneable submission handle to a [`Server`]. Clients stay valid
+/// after the server shuts down (submissions then fail with
+/// [`ServeError::Shutdown`]).
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+enum Admission {
+    Block,
+    Try,
+    Deadline(Duration),
+}
+
+impl Client {
+    /// Submits one request, blocking while the admission queue is full.
+    /// The returned [`Pending`] resolves once a worker has served it.
+    pub fn submit(&self, input: &Matrix) -> Result<Pending, ServeError> {
+        self.enqueue(input, None, Admission::Block)
+    }
+
+    /// Submits without blocking; a full queue is reported as
+    /// [`ServeError::QueueFull`] (the request is *not* admitted).
+    pub fn try_submit(&self, input: &Matrix) -> Result<Pending, ServeError> {
+        self.enqueue(input, None, Admission::Try)
+    }
+
+    /// Submits, blocking up to `timeout` for queue room; expiry is
+    /// reported as [`ServeError::SubmitTimeout`].
+    pub fn submit_timeout(&self, input: &Matrix, timeout: Duration) -> Result<Pending, ServeError> {
+        self.enqueue(input, None, Admission::Deadline(timeout))
+    }
+
+    /// Submits a request with an injected fault (the §2.3 single-fault
+    /// model, aimed at one layer of this request). Faulted requests are
+    /// never coalesced — the fault plan's coordinates address one
+    /// bucket-shaped kernel launch, so the request runs a pass of its
+    /// own. Blocking admission.
+    pub fn submit_with_fault(
+        &self,
+        input: &Matrix,
+        fault: Option<PipelineFault>,
+    ) -> Result<Pending, ServeError> {
+        self.enqueue(input, fault, Admission::Block)
+    }
+
+    fn enqueue(
+        &self,
+        input: &Matrix,
+        fault: Option<PipelineFault>,
+        admission: Admission,
+    ) -> Result<Pending, ServeError> {
+        let shared = &*self.shared;
+        let state = Arc::new(PendingShared::default());
+        let request = Request {
+            input: input.clone(),
+            fault,
+            enqueued: Instant::now(),
+            state: Some(state.clone()),
+        };
+        let outcome =
+            match admission {
+                Admission::Block => shared.queue.push(request).map_err(|_| ServeError::Shutdown),
+                Admission::Try => shared.queue.try_push(request).map_err(|e| match e {
+                    PushError::Full(_) => ServeError::QueueFull,
+                    PushError::Closed(_) => ServeError::Shutdown,
+                }),
+                Admission::Deadline(timeout) => shared
+                    .queue
+                    .push_timeout(request, timeout)
+                    .map_err(|e| match e {
+                        PushError::Full(_) => ServeError::SubmitTimeout,
+                        PushError::Closed(_) => ServeError::Shutdown,
+                    }),
+            };
+        match outcome {
+            Ok(()) => {
+                AtomicServerStats::bump(&shared.stats.submitted);
+                AtomicServerStats::ratchet(
+                    &shared.stats.max_queue_depth,
+                    shared.queue.len() as u64,
+                );
+                Ok(Pending { shared: state })
+            }
+            Err(e) => {
+                AtomicServerStats::bump(&shared.stats.rejected);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Builder for [`Server`]s.
+pub struct ServerBuilder {
+    session: Session,
+    workers: usize,
+    queue_capacity: usize,
+    coalesce_window: Duration,
+}
+
+impl ServerBuilder {
+    /// Number of worker threads executing pipeline passes (default 2;
+    /// must be >= 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "a server needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Admission queue capacity — the backpressure bound (default 64;
+    /// must be >= 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// How long a worker holding a partially-filled batch bucket waits
+    /// for more compatible requests before executing (default 0: batch
+    /// only what is already queued, adding zero latency).
+    pub fn coalesce_window(mut self, window: Duration) -> Self {
+        self.coalesce_window = window;
+        self
+    }
+
+    /// Spawns the workers and opens the doors.
+    pub fn build(self) -> Server {
+        let largest_bucket = *self
+            .session
+            .buckets()
+            .last()
+            .expect("sessions declare at least one bucket") as usize;
+        let shared = Arc::new(Shared {
+            session: self.session,
+            queue: SyncQueue::bounded(self.queue_capacity),
+            stats: AtomicServerStats::default(),
+            latency: LatencyHistogram::new(),
+            largest_bucket,
+            coalesce_window: self.coalesce_window,
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("aiga-serve-{i}"))
+                    .spawn(move || batch::worker_loop(&shared))
+                    .expect("spawn server worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+}
+
+/// A concurrent serving front-end over one [`Session`]: bounded
+/// admission, dynamic batching into the planner's buckets, N worker
+/// threads, graceful drain on shutdown. See the [module docs](self).
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts building a server around a session.
+    pub fn builder(session: Session) -> ServerBuilder {
+        ServerBuilder {
+            session,
+            workers: 2,
+            queue_capacity: 64,
+            coalesce_window: Duration::ZERO,
+        }
+    }
+
+    /// A session with default server settings (2 workers, queue of 64,
+    /// no coalesce window).
+    pub fn wrap(session: Session) -> Server {
+        Self::builder(session).build()
+    }
+
+    /// A new submission handle. Clients are cheap to clone and safe to
+    /// move to other threads.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The wrapped session (e.g. for plan inspection via
+    /// [`Session::plan_for_bucket`]).
+    pub fn session(&self) -> &Session {
+        &self.shared.session
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A statistics snapshot: server counters, live queue depth,
+    /// latency percentiles, and the wrapped session's counters.
+    pub fn stats(&self) -> ServerStats {
+        Self::stats_of(&self.shared)
+    }
+
+    fn stats_of(shared: &Shared) -> ServerStats {
+        let mut stats = shared.stats.snapshot();
+        stats.queue_depth = shared.queue.len() as u64;
+        stats.p50_latency_ns = shared.latency.p50_ns();
+        stats.p95_latency_ns = shared.latency.p95_ns();
+        stats.p99_latency_ns = shared.latency.p99_ns();
+        stats.session = shared.session.stats();
+        stats
+    }
+
+    /// Graceful shutdown: closes admission (further submissions fail
+    /// with [`ServeError::Shutdown`]), lets the workers drain every
+    /// already-admitted request, joins them, and returns the final
+    /// statistics. Every outstanding [`Pending`] resolves.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.halt();
+        Self::stats_of(&self.shared)
+    }
+
+    fn halt(&mut self) {
+        self.shared.queue.close();
+        let mut worker_panic = None;
+        for worker in self.workers.drain(..) {
+            if let Err(payload) = worker.join() {
+                worker_panic = Some(payload);
+            }
+        }
+        // If every worker died, the queue may still hold admitted
+        // requests; dropping them resolves their handles to `Aborted`
+        // (no waiter is left hanging).
+        while self.shared.queue.try_pop().is_some() {}
+        // Surface a worker panic to the shutdown caller — but never
+        // panic inside a Drop that is itself part of an unwind (that
+        // would abort the process).
+        if let Some(payload) = worker_panic {
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Dropping the server without an explicit [`Server::shutdown`]
+    /// still drains and joins — no detached threads, no lost requests.
+    fn drop(&mut self) {
+        self.halt();
+    }
+}

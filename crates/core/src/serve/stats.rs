@@ -1,0 +1,97 @@
+//! Server-level statistics: lock-free counters plus the latency
+//! histogram, snapshotted into a plain [`ServerStats`] on demand.
+
+use crate::session::SessionStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate statistics over a server's lifetime. All latencies come
+/// from the log2 histogram, so the reported percentiles are upper
+/// bounds within 2× of the true end-to-end (enqueue → scatter) latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests completed successfully (result delivered to the handle).
+    pub completed: u64,
+    /// Requests that failed at the session layer (e.g. feature
+    /// mismatch); their handles resolve to `Err`.
+    pub failed: u64,
+    /// Submissions turned away at admission (`QueueFull`, submit
+    /// deadline expiry, or submission after shutdown).
+    pub rejected: u64,
+    /// Serve passes dispatched to the session — one per coalesced
+    /// batch. An oversized request the session internally splits into
+    /// bucket-sized chunks still counts as one dispatch here; the
+    /// per-chunk pipeline passes show up in `session.requests`.
+    pub batches: u64,
+    /// Requests that were served *coalesced* — sharing a pipeline pass
+    /// with at least one other request.
+    pub coalesced_requests: u64,
+    /// Largest number of requests coalesced into one dispatch.
+    pub max_batch_requests: u64,
+    /// Largest total row count handed to one dispatch (an oversized
+    /// solo request counts its full row span, even though the session
+    /// executes it as several bucket-sized chunks).
+    pub max_batch_rows: u64,
+    /// Queue depth at the moment of this snapshot.
+    pub queue_depth: u64,
+    /// High-water mark of the admission queue depth.
+    pub max_queue_depth: u64,
+    /// Median end-to-end request latency, ns (0 until a request
+    /// completes).
+    pub p50_latency_ns: u64,
+    /// 95th-percentile end-to-end request latency, ns.
+    pub p95_latency_ns: u64,
+    /// 99th-percentile end-to-end request latency, ns.
+    pub p99_latency_ns: u64,
+    /// The wrapped session's own counters (note: the session counts
+    /// coalesced passes, not server requests — `session.requests` is
+    /// the number of pipeline-facing serves).
+    pub session: SessionStats,
+}
+
+/// The live counters behind [`ServerStats`]. Plain relaxed atomics:
+/// bookkeeping never contends with request execution.
+#[derive(Default)]
+pub(crate) struct AtomicServerStats {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub batches: AtomicU64,
+    pub coalesced_requests: AtomicU64,
+    pub max_batch_requests: AtomicU64,
+    pub max_batch_rows: AtomicU64,
+    pub max_queue_depth: AtomicU64,
+}
+
+impl AtomicServerStats {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn ratchet(counter: &AtomicU64, observed: u64) {
+        counter.fetch_max(observed, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters alone; the caller fills in queue depth,
+    /// latency percentiles, and the session snapshot.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            max_batch_requests: self.max_batch_requests.load(Ordering::Relaxed),
+            max_batch_rows: self.max_batch_rows.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            ..ServerStats::default()
+        }
+    }
+}

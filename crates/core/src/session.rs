@@ -19,6 +19,12 @@
 //!    protected inference inside it, and returns the per-request
 //!    [`InferenceReport`] with the padding cropped away.
 //!
+//! `Session` is deliberately the *single-caller* core of the serving
+//! stack: one call, one protected pass, caller-threaded. Multi-client
+//! traffic goes through [`crate::serve::Server`], which owns worker
+//! threads and a dynamic batcher that coalesces concurrent requests
+//! into these same buckets before calling [`Session::serve`].
+//!
 //! # Hot-path allocation discipline
 //!
 //! After each bucket's first request, `serve` is allocation-free on the

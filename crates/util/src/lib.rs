@@ -13,11 +13,20 @@
 //! - [`json`]: a minimal JSON value type with a recursive-descent parser
 //!   and a round-trip-safe writer (replaces `serde`/`serde_json` for the
 //!   plan-serialization API).
+//! - [`sync`]: a bounded, closable MPMC queue (replaces
+//!   `crossbeam-channel`/`flume`) — the admission queue of the
+//!   `aiga::serve` front-end.
+//! - [`hist`]: a fixed-bin log2 latency histogram with lock-free
+//!   recording and p50/p95/p99 readout (replaces `hdrhistogram`).
 
+pub mod hist;
 pub mod json;
 pub mod par;
 pub mod rng;
+pub mod sync;
 
+pub use hist::LatencyHistogram;
 pub use json::Json;
 pub use par::{par_map, par_map_with};
 pub use rng::Rng64;
+pub use sync::{PushError, SyncQueue};

@@ -1,0 +1,401 @@
+//! A bounded multi-producer multi-consumer queue (mutex + condvars).
+//!
+//! Replaces the channel crates the serving front-end would normally
+//! lean on (`crossbeam-channel`, `flume`): a `SyncQueue<T>` is the
+//! admission queue between request submitters and worker threads.
+//! Three properties matter for serving and are guaranteed here:
+//!
+//! - **Bounded.** Capacity is fixed at construction; producers get
+//!   explicit backpressure (`try_push` fails fast, `push` blocks,
+//!   `push_timeout` bounds the wait) instead of unbounded buffering.
+//! - **Closable.** `close()` starts a graceful drain: producers are
+//!   turned away immediately, consumers keep popping until the queue
+//!   is empty and then observe `None`.
+//! - **Front-inspectable.** `try_pop_if`/`pop_timeout_if` pop the head
+//!   only when a predicate accepts it, without ever reordering — the
+//!   dynamic batcher uses this to coalesce *compatible* neighbors while
+//!   preserving FIFO admission order.
+//!
+//! The storage is a `VecDeque` pre-allocated to capacity, so
+//! steady-state push/pop handoff performs no heap allocation.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push did not enqueue. The rejected item is handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue was at capacity (and stayed so for the allowed wait).
+    Full(T),
+    /// The queue has been closed; no further items are accepted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the item that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded, closable MPMC queue. All methods take `&self`; share it
+/// behind an `Arc` (or borrow it across scoped threads).
+pub struct SyncQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> SyncQueue<T> {
+    /// Creates a queue holding at most `capacity` items (>= 1). The
+    /// backing storage is allocated up front.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        SyncQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Closes the queue: producers are rejected from now on; consumers
+    /// drain the remaining items and then observe end-of-queue.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Enqueues, blocking while the queue is full. `Err` returns the
+    /// item when the queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Enqueues only if there is room right now.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking up to `timeout` for room. Expired deadlines
+    /// report [`PushError::Full`].
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(PushError::Closed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full(item));
+            }
+            let (next, _) = self.not_full.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+        }
+    }
+
+    /// Dequeues, blocking while the queue is empty. `None` means the
+    /// queue is closed *and* fully drained — the consumer's exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Dequeues only if an item is ready right now.
+    pub fn try_pop(&self) -> Option<T> {
+        self.try_pop_if(|_| true)
+    }
+
+    /// Dequeues the head only if `accept` approves it; an unacceptable
+    /// head is left in place (FIFO order is never violated).
+    pub fn try_pop_if(&self, accept: impl FnOnce(&T) -> bool) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        if !accept(state.items.front()?) {
+            // This caller may have consumed the push's single
+            // `not_empty` notification; hand it on so another consumer
+            // blocked in `pop` takes the declined item instead of the
+            // two of them stranding it (lost wakeup).
+            self.not_empty.notify_one();
+            return None;
+        }
+        let item = state.items.pop_front();
+        self.not_full.notify_one();
+        item
+    }
+
+    /// Waits up to `timeout` for a head item that `accept` approves,
+    /// popping it. Returns `None` on deadline expiry, on close-and-
+    /// empty, or as soon as an *unacceptable* head arrives (so a
+    /// selective consumer never stalls items it will not take).
+    pub fn pop_timeout_if(&self, timeout: Duration, accept: impl Fn(&T) -> bool) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(front) = state.items.front() {
+                if !accept(front) {
+                    // As in `try_pop_if`: this waiter consumed the
+                    // push's notification; re-notify so a plain `pop`
+                    // consumer picks the declined head up.
+                    self.not_empty.notify_one();
+                    return None;
+                }
+                let item = state.items.pop_front();
+                self.not_full.notify_one();
+                return item;
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = self.not_empty.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = SyncQueue::bounded(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn try_push_reports_full_and_closed() {
+        let q = SyncQueue::bounded(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        q.close();
+        let err = q.try_push(4).unwrap_err();
+        assert!(matches!(err, PushError::Closed(4)));
+        assert_eq!(err.into_inner(), 4);
+    }
+
+    #[test]
+    fn close_drains_then_signals_end() {
+        let q = SyncQueue::bounded(4);
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        q.close();
+        assert_eq!(q.push(30), Err(30));
+        // Consumers still drain what was admitted before the close.
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn push_blocks_until_a_pop_makes_room() {
+        let q = Arc::new(SyncQueue::bounded(1));
+        q.push(1).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(2))
+        };
+        // Give the producer a moment to block on the full queue, then
+        // make room; the blocked push must complete.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_blocks_until_an_item_arrives() {
+        let q = Arc::new(SyncQueue::bounded(1));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(SyncQueue::<u32>::bounded(1));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn push_timeout_expires_on_a_full_queue() {
+        let q = SyncQueue::bounded(1);
+        q.push(1).unwrap();
+        let t0 = Instant::now();
+        match q.push_timeout(2, Duration::from_millis(30)) {
+            Err(PushError::Full(2)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn conditional_pop_never_reorders() {
+        let q = SyncQueue::bounded(4);
+        q.push(3).unwrap();
+        q.push(4).unwrap();
+        // Head fails the predicate: nothing is popped, order intact.
+        assert_eq!(q.try_pop_if(|&x| x % 2 == 0), None);
+        assert_eq!(q.len(), 2);
+        // Head passes: popped.
+        assert_eq!(q.try_pop_if(|&x| x == 3), Some(3));
+        assert_eq!(q.try_pop(), Some(4));
+    }
+
+    #[test]
+    fn pop_timeout_if_returns_on_incompatible_head() {
+        let q = SyncQueue::bounded(4);
+        q.push(5).unwrap();
+        let t0 = Instant::now();
+        // The head exists but is rejected: return immediately, do not
+        // burn the timeout.
+        assert_eq!(q.pop_timeout_if(Duration::from_secs(5), |&x| x > 10), None);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(q.len(), 1);
+        // Empty queue: waits out the (short) deadline.
+        q.try_pop().unwrap();
+        assert_eq!(q.pop_timeout_if(Duration::from_millis(20), |_| true), None);
+        // Item arriving during the wait is delivered.
+        let q = Arc::new(SyncQueue::bounded(1));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop_timeout_if(Duration::from_secs(5), |&x: &u32| x == 9))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(9u32).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn mpmc_handoff_delivers_every_item_once() {
+        let q = Arc::new(SyncQueue::bounded(4));
+        let total: u64 = 4 * 200;
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                let mut n = 0u64;
+                while let Some(v) = q.pop() {
+                    sum += v;
+                    n += 1;
+                }
+                (sum, n)
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = q.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    q.push(p * 200 + i).unwrap();
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let (sum, n) = consumers
+            .into_iter()
+            .map(|c| c.join().unwrap())
+            .fold((0, 0), |(s, c), (s2, c2)| (s + s2, c + c2));
+        assert_eq!(n, total);
+        assert_eq!(sum, (0..total).sum::<u64>());
+    }
+}

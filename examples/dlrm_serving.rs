@@ -1,17 +1,21 @@
 //! DLRM recommendation serving under intensity-guided ABFT (§6.4.2 +
-//! §7.3).
+//! §7.3) — now through the concurrent `aiga::serve` front door.
 //!
 //! Plans Facebook-DLRM's MLPs with the builder-style `Planner`, prints
 //! the per-layer choices and the overhead comparison against fixed
-//! global ABFT, then stands up a `Session` — the multi-input-size
-//! serving front-end — and pushes a stream of mixed-batch requests
-//! through it, including one with an injected soft error.
+//! global ABFT, then stands up a `Server` — worker threads, bounded
+//! admission, dynamic batching into the planner's buckets — and hits it
+//! from several concurrent client threads with mixed-size requests,
+//! finishing with an injected soft error and a statistics summary
+//! (throughput counters, coalescing high-water marks, p50/p95/p99
+//! end-to-end latency).
 //!
 //! ```sh
 //! cargo run --release --example dlrm_serving
 //! ```
 
 use aiga::prelude::*;
+use std::time::Duration;
 
 fn main() {
     let planner = Planner::new(DeviceSpec::t4());
@@ -45,35 +49,57 @@ fn main() {
         }
     }
 
-    // Serving: one session, three batch buckets, mixed request sizes.
-    // Plans and bound pipelines (incl. global ABFT's offline weight
-    // checksums) are built lazily on first use of each bucket and cached.
+    // Serving: one session (three batch buckets, lazily planned), one
+    // concurrent server in front of it. The coalesce window lets the
+    // dynamic batcher merge requests that arrive close together into a
+    // single padded bucket pass.
     let session = Session::builder(planner, "dlrm-mlp-bottom", zoo::dlrm_mlp_bottom)
         .buckets([8, 32, 128])
         .seed(99)
         .build();
+    let server = Server::builder(session)
+        .workers(2)
+        .queue_capacity(128)
+        .coalesce_window(Duration::from_micros(300))
+        .build();
 
-    for (i, rows) in [3usize, 8, 20, 32, 100, 7].into_iter().enumerate() {
-        let request = Matrix::random(rows, 13, 2024 + i as u64);
-        let reply = session.serve(&request).expect("within declared buckets");
-        println!(
-            "request {i}: batch {rows:>3} -> bucket {:>3}, schemes [{}], detections {}",
-            reply.bucket,
-            reply
-                .schemes
-                .iter()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>()
-                .join(", "),
-            reply.report.detections.len()
-        );
-        assert!(!reply.report.fault_detected());
-        assert_eq!(reply.report.output.len(), rows * 64);
-    }
+    // Four concurrent clients, each streaming mixed-batch requests.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 6;
+    let sizes = [3usize, 8, 20, 32, 100, 7];
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let client = server.client();
+            scope.spawn(move || {
+                for (i, &rows) in sizes.iter().enumerate().take(PER_CLIENT) {
+                    let request = Matrix::random(rows, 13, 2024 + (c * PER_CLIENT + i) as u64);
+                    let reply = client.submit(&request).expect("server is up");
+                    let reply = reply.wait().expect("within declared buckets");
+                    assert_eq!(reply.report.output.len(), rows * 64);
+                    assert!(!reply.report.fault_detected());
+                    println!(
+                        "client {c} request {i}: batch {rows:>3} -> bucket {:>3}, \
+                         schemes [{}], detections {}",
+                        reply.bucket,
+                        reply
+                            .schemes
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        reply.report.detections.len()
+                    );
+                }
+            });
+        }
+    });
 
-    // A soft error strikes one request; the per-layer plan catches it.
-    let faulty = session
-        .serve_with_fault(
+    // A soft error strikes one request. Faulted requests are never
+    // coalesced (the fault addresses one kernel launch), and the
+    // per-layer plan catches the flip.
+    let faulty = server
+        .client()
+        .submit_with_fault(
             &Matrix::random(32, 13, 7777),
             Some(PipelineFault {
                 layer: 1,
@@ -85,6 +111,8 @@ fn main() {
                 },
             }),
         )
+        .unwrap()
+        .wait()
         .unwrap();
     assert!(faulty.report.fault_detected());
     let d = &faulty.report.detections[0];
@@ -96,10 +124,41 @@ fn main() {
         d.residual
     );
 
-    let stats = session.stats();
+    // Graceful shutdown: drain, join, final statistics.
+    let stats = server.shutdown();
     println!(
-        "session stats: {} requests, {} plan builds, {} cache hits, {} faulty",
-        stats.requests, stats.plan_builds, stats.cache_hits, stats.faulty_requests
+        "\nserver stats: {} submitted, {} completed, {} failed, {} rejected",
+        stats.submitted, stats.completed, stats.failed, stats.rejected
     );
-    assert_eq!(stats.plan_builds, 3); // one per touched bucket
+    println!(
+        "  batching: {} passes for {} requests ({} coalesced; largest pass {} requests / {} rows)",
+        stats.batches,
+        stats.completed,
+        stats.coalesced_requests,
+        stats.max_batch_requests,
+        stats.max_batch_rows
+    );
+    println!(
+        "  queue: depth high-water {} (capacity 128)",
+        stats.max_queue_depth
+    );
+    println!(
+        "  latency: p50 {:.2} ms | p95 {:.2} ms | p99 {:.2} ms (log2-bin upper bounds)",
+        stats.p50_latency_ns as f64 / 1e6,
+        stats.p95_latency_ns as f64 / 1e6,
+        stats.p99_latency_ns as f64 / 1e6
+    );
+    println!(
+        "  session underneath: {} serves, {} plan builds, {} cache hits, {} split, {} faulty",
+        stats.session.requests,
+        stats.session.plan_builds,
+        stats.session.cache_hits,
+        stats.session.split_requests,
+        stats.session.faulty_requests
+    );
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64 + 1);
+    // One build per *touched* bucket: 32 and 128 are always hit, but
+    // whether any pass lands in bucket 8 depends on how the batcher
+    // coalesced the small requests.
+    assert!((2..=3).contains(&stats.session.plan_builds));
 }

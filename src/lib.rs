@@ -22,6 +22,9 @@
 //!    buckets, caches plans and bound pipelines per
 //!    `(model, device, bucket)`, and aggregates detection statistics —
 //!    the §7.3 multi-input-size deployment as a first-class API.
+//!    [`core::Server`] is the concurrent front door above it: worker
+//!    threads, a bounded admission queue, and a dynamic batcher that
+//!    coalesces concurrent clients' requests into those same buckets.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,28 @@
 //! assert!(!reply.report.fault_detected());
 //! ```
 //!
+//! Stand a concurrent `Server` in front of the session for multi-client
+//! traffic — bounded admission, worker threads, and a dynamic batcher
+//! that coalesces concurrent requests into the planner's batch buckets
+//! (byte-identically to solo serving):
+//!
+//! ```
+//! use aiga::prelude::*;
+//!
+//! let session = Session::builder(Planner::new(DeviceSpec::t4()), "dlrm", zoo::dlrm_mlp_bottom)
+//!     .buckets([8, 32])
+//!     .build();
+//! let server = Server::builder(session).workers(2).queue_capacity(64).build();
+//!
+//! let client = server.client(); // Clone one per submitting thread.
+//! let pending = client.submit(&Matrix::random(5, 13, 42)).unwrap();
+//! let reply = pending.wait().unwrap();
+//! assert_eq!(reply.rows, 5);
+//!
+//! let stats = server.shutdown(); // drain, join, final stats
+//! assert_eq!(stats.completed, 1);
+//! ```
+//!
 //! The facade re-exports the workspace sub-crates: [`fp16`] (software
 //! half precision and `m16n8k8` MMA semantics), [`gpu`] (devices,
 //! roofline, tiling, functional engine, timing), [`nn`] (layer lowering
@@ -90,6 +115,7 @@ pub mod prelude {
     pub use aiga_core::registry::SchemeRegistry;
     pub use aiga_core::schemes::Scheme;
     pub use aiga_core::selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
+    pub use aiga_core::serve::{Client, Pending, ServeError, Server, ServerBuilder, ServerStats};
     pub use aiga_core::session::{ServeReport, Session, SessionError, SessionStats};
     pub use aiga_faults::{Campaign, CampaignStats, FaultModel};
     pub use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme, Workspace};

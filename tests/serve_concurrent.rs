@@ -1,0 +1,232 @@
+//! Concurrency tests for the `aiga::serve` front-end.
+//!
+//! The load-bearing guarantee is *coalescing transparency*: whatever
+//! batch a request lands in, its reply bytes equal a direct
+//! single-caller `Session::serve` of the same input. On top of that:
+//! graceful shutdown drains every admitted request, and the bounded
+//! queue delivers explicit backpressure (`QueueFull` fail-fast,
+//! deadline-bounded submit).
+
+use aiga::prelude::*;
+use std::time::{Duration, Instant};
+
+fn session(buckets: impl IntoIterator<Item = u64>) -> Session {
+    Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets(buckets)
+    .seed(7)
+    .build()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Spin until the admission queue is empty (the worker picked the head
+/// up) so subsequent submissions race only against a *busy* worker.
+fn wait_for_empty_queue(server: &Server) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().queue_depth > 0 {
+        assert!(Instant::now() < deadline, "queue never drained");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn coalesced_outputs_are_byte_identical_to_direct_session_serve() {
+    // A small coalesce window plus several clients per worker makes the
+    // batcher actually coalesce; byte-identity must hold regardless of
+    // which batches form.
+    let server = Server::builder(session([8, 32]))
+        .workers(2)
+        .queue_capacity(64)
+        .coalesce_window(Duration::from_micros(300))
+        .build();
+    let reference = session([8, 32]);
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 6;
+    let replies: Vec<(Matrix, ServeReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let client = server.client();
+                scope.spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|i| {
+                            let rows = 1 + (c * PER_CLIENT + i) % 8;
+                            let input =
+                                Matrix::random(rows, 13, 1000 + (c * PER_CLIENT + i) as u64);
+                            let reply = client.submit(&input).unwrap().wait().unwrap();
+                            (input, reply)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    assert_eq!(replies.len(), CLIENTS * PER_CLIENT);
+    for (input, reply) in &replies {
+        assert_eq!(reply.rows, input.rows);
+        let direct = reference.serve(input).unwrap();
+        assert_eq!(
+            bits(&reply.report.output),
+            bits(&direct.report.output),
+            "coalesced reply for a {}-row request diverged from direct serve",
+            input.rows
+        );
+        assert!(!reply.report.fault_detected());
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.failed + stats.rejected, 0);
+    // Every pass is accounted for, coalesced or not.
+    assert!(stats.batches <= stats.submitted);
+    assert!(stats.p99_latency_ns >= stats.p50_latency_ns);
+}
+
+#[test]
+fn queued_requests_coalesce_into_one_pass() {
+    let server = Server::builder(session([8, 32]))
+        .workers(1)
+        .queue_capacity(16)
+        .build();
+    let client = server.client();
+    let reference = session([8, 32]);
+
+    // Occupy the single worker with a deliberately large request (split
+    // into several bucket passes), then queue four small compatible
+    // requests behind it. The worker must take all four in one pass.
+    let giant_input = Matrix::random(256, 13, 1);
+    let giant = client.submit(&giant_input).unwrap();
+    wait_for_empty_queue(&server);
+    let smalls: Vec<Matrix> = (0..4).map(|i| Matrix::random(4, 13, 10 + i)).collect();
+    let pendings: Vec<Pending> = smalls.iter().map(|m| client.submit(m).unwrap()).collect();
+
+    assert_eq!(giant.wait().unwrap().rows, 256);
+    for (input, pending) in smalls.iter().zip(pendings) {
+        let reply = pending.wait().unwrap();
+        assert_eq!(reply.rows, 4);
+        // 4×4 = 16 stacked rows dispatch to bucket 32; the reply bytes
+        // still match a direct bucket-8 serve of the lone request.
+        assert_eq!(reply.bucket, 32);
+        let direct = reference.serve(input).unwrap();
+        assert_eq!(direct.bucket, 8);
+        assert_eq!(bits(&reply.report.output), bits(&direct.report.output));
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.batches, 2, "giant pass + one coalesced pass");
+    assert_eq!(stats.coalesced_requests, 4);
+    assert_eq!(stats.max_batch_requests, 4);
+    assert_eq!(stats.max_batch_rows, 256);
+    assert_eq!(stats.completed, 5);
+}
+
+#[test]
+fn shutdown_drains_every_admitted_request() {
+    let server = Server::builder(session([8]))
+        .workers(1)
+        .queue_capacity(16)
+        .build();
+    let client = server.client();
+    let inputs: Vec<Matrix> = (0..6).map(|i| Matrix::random(5, 13, 100 + i)).collect();
+    let pendings: Vec<Pending> = inputs.iter().map(|m| client.submit(m).unwrap()).collect();
+
+    // Shut down immediately: everything admitted must still be served.
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 6);
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.queue_depth, 0);
+
+    let reference = session([8]);
+    for (input, pending) in inputs.iter().zip(pendings) {
+        let reply = pending.wait().unwrap();
+        let direct = reference.serve(input).unwrap();
+        assert_eq!(bits(&reply.report.output), bits(&direct.report.output));
+    }
+
+    // The door is closed for new traffic.
+    assert_eq!(client.submit(&inputs[0]).unwrap_err(), ServeError::Shutdown);
+}
+
+#[test]
+fn bounded_queue_applies_backpressure() {
+    let server = Server::builder(session([8, 32]))
+        .workers(1)
+        .queue_capacity(2)
+        .build();
+    let client = server.client();
+
+    // Keep the worker busy for a long time (16 bucket passes), then
+    // fill the two queue slots while it grinds.
+    let giant = client.submit(&Matrix::random(512, 13, 1)).unwrap();
+    wait_for_empty_queue(&server);
+    let q1 = client.try_submit(&Matrix::random(4, 13, 2)).unwrap();
+    let q2 = client.try_submit(&Matrix::random(4, 13, 3)).unwrap();
+
+    // Fail-fast policy: an immediate QueueFull, nothing admitted.
+    assert_eq!(
+        client.try_submit(&Matrix::random(4, 13, 4)).unwrap_err(),
+        ServeError::QueueFull
+    );
+    // Deadline policy: bounded blocking, then SubmitTimeout.
+    let t0 = Instant::now();
+    assert_eq!(
+        client
+            .submit_timeout(&Matrix::random(4, 13, 5), Duration::from_millis(20))
+            .unwrap_err(),
+        ServeError::SubmitTimeout
+    );
+    assert!(t0.elapsed() >= Duration::from_millis(20));
+
+    // The admitted requests all complete.
+    assert_eq!(giant.wait().unwrap().rows, 512);
+    assert_eq!(q1.wait().unwrap().rows, 4);
+    assert_eq!(q2.wait().unwrap().rows, 4);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.max_queue_depth, 2);
+}
+
+#[test]
+fn faulted_requests_run_solo_and_detect() {
+    let server = Server::builder(session([8, 32]))
+        .workers(1)
+        .queue_capacity(8)
+        .build();
+    let client = server.client();
+    let fault = PipelineFault {
+        layer: 1,
+        fault: FaultPlan {
+            row: 2,
+            col: 50,
+            after_step: 4,
+            kind: FaultKind::AddValue(50.0),
+        },
+    };
+    let clean = client.submit(&Matrix::random(4, 13, 7)).unwrap();
+    let faulty = client
+        .submit_with_fault(&Matrix::random(8, 13, 8), Some(fault))
+        .unwrap();
+    assert!(!clean.wait().unwrap().report.fault_detected());
+    assert!(faulty.wait().unwrap().report.fault_detected());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 2);
+    // The faulted request never shares a pass.
+    assert_eq!(stats.coalesced_requests, 0);
+    assert_eq!(stats.session.faulty_requests, 1);
+}
