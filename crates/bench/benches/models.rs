@@ -1,0 +1,89 @@
+//! Per-model end-to-end serving latency: compiled zoo networks (conv
+//! layers lowered through workspace-threaded im2col onto the protected
+//! engine) and the DLRM MLP families, each through a warm
+//! `Session::serve`.
+//!
+//! Results land in `BENCH_models.json` (median/mean ns, iteration
+//! counts, git rev) so the cost of whole-network protected inference —
+//! not just isolated GEMMs — is tracked as data across PRs. Compiled
+//! CNNs run at trimmed resolutions: the point is a stable end-to-end
+//! workload per model, not paper-scale inputs.
+
+use aiga_bench::harness::Recorder;
+use aiga_core::{Planner, Session};
+use aiga_gpu::engine::Matrix;
+use aiga_gpu::DeviceSpec;
+use aiga_nn::zoo;
+use std::hint::black_box;
+
+fn bench_session(rec: &mut Recorder, name: &str, session: &Session, request: &Matrix) {
+    session.serve(request).unwrap(); // compile the bucket + warm the pool
+    session.serve(request).unwrap();
+    rec.bench(name, || {
+        black_box(session.serve(request).unwrap());
+    });
+}
+
+fn main() {
+    let mut rec = Recorder::new("models");
+
+    // --- Compiled CNNs: real FP16 weights, conv → im2col → protected
+    // GEMM, pooling/concat/residual epilogues between stages.
+    let squeezenet = Session::builder_network(Planner::new(DeviceSpec::t4()), "squeezenet", |b| {
+        zoo::squeezenet_net(b, 32, 32, 7)
+    })
+    .buckets([4])
+    .build();
+    let sq_features = 3 * 32 * 32;
+    bench_session(
+        &mut rec,
+        "models/squeezenet_32x32_b4",
+        &squeezenet,
+        &Matrix::random(4, sq_features, 1),
+    );
+
+    let block = Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
+        zoo::resnet_block_net(b, 16, 16, 7)
+    })
+    .buckets([4])
+    .build();
+    bench_session(
+        &mut rec,
+        "models/resnet_block_16x16_b4",
+        &block,
+        &Matrix::random(4, 16 * 16 * 16, 2),
+    );
+
+    // --- MLP families (synthesized weights), for the serving baseline.
+    let bottom = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([32])
+    .seed(9)
+    .build();
+    bench_session(
+        &mut rec,
+        "models/dlrm_bottom_b32",
+        &bottom,
+        &Matrix::random(32, 13, 3),
+    );
+
+    let top = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-top",
+        zoo::dlrm_mlp_top,
+    )
+    .buckets([32])
+    .seed(9)
+    .build();
+    bench_session(
+        &mut rec,
+        "models/dlrm_top_b32",
+        &top,
+        &Matrix::random(32, 512, 4),
+    );
+
+    rec.write().expect("write BENCH_models.json");
+}

@@ -10,7 +10,7 @@
 //! per client count, one timed round (every client submits and awaits
 //! a fixed quantum of requests), a derived throughput row (tagged
 //! `value` + `unit: "req_per_s"`), and the server's own p99 end-to-end
-//! latency (log2-histogram upper bound) — recorded rows with a single
+//! latency (log2-histogram, interpolated within bins) — recorded rows with a
 //! pseudo-iteration.
 
 use aiga_bench::harness::Recorder;

@@ -1,0 +1,163 @@
+//! The typed compilation path: `Model → ModelPlan → CompiledModel`.
+//!
+//! A [`CompiledModel`] is one executable, protected instance of a zoo
+//! network: the analytic view ([`aiga_nn::Network::to_model`]) is
+//! planned by a [`Planner`] — per-layer scheme selection now sees the
+//! *real* conv shapes of the zoo, not synthetic ones — and the chosen
+//! schemes are bound layer by layer into a
+//! [`ProtectedPipeline`] stage graph (conv nodes lower through
+//! workspace-threaded im2col; pooling/ReLU/concat/residual epilogues
+//! execute between the protected GEMMs).
+//!
+//! `CompiledModel` is what a [`crate::session::Session`] caches per
+//! batch bucket; it can also be used directly for single-caller
+//! inference:
+//!
+//! ```
+//! use aiga_core::{CompiledModel, Planner};
+//! use aiga_gpu::engine::Matrix;
+//! use aiga_gpu::DeviceSpec;
+//! use aiga_nn::zoo;
+//!
+//! let net = zoo::resnet_block_net(2, 8, 8, 7);
+//! let compiled = Planner::new(DeviceSpec::t4()).compile(&net);
+//! assert_eq!(compiled.plan().layers.len(), 5);
+//! let report = compiled.infer(&Matrix::random(2, 16 * 8 * 8, 1), None);
+//! assert_eq!(report.output.len(), 2 * 10);
+//! ```
+
+use crate::pipeline::{InferenceReport, PipelineFault, ProtectedPipeline};
+use crate::planner::Planner;
+use crate::schemes::Scheme;
+use crate::selector::ModelPlan;
+use aiga_gpu::engine::{Matrix, Workspace};
+use aiga_nn::{Model, Network};
+use std::sync::Arc;
+
+/// An executable network compiled against an intensity-guided plan.
+pub struct CompiledModel {
+    plan: ModelPlan,
+    schemes: Arc<[Scheme]>,
+    pipeline: ProtectedPipeline,
+}
+
+impl CompiledModel {
+    /// Compiles an executable [`Network`]: plans its analytic model with
+    /// `planner`, then binds each conv/fc node's real FP16 weights under
+    /// the plan's chosen scheme.
+    pub fn compile(planner: &Planner, net: &Network) -> Self {
+        let model = net.to_model();
+        let plan = planner.plan(&model);
+        let schemes: Arc<[Scheme]> = plan.chosen_schemes().into();
+        let pipeline =
+            ProtectedPipeline::compile_with_registry(planner.scheme_registry(), net, &schemes);
+        CompiledModel {
+            plan,
+            schemes,
+            pipeline,
+        }
+    }
+
+    /// Compiles an analytic MLP [`Model`] with synthesized weights (the
+    /// chained fully-connected path `Session` serves for model families
+    /// without executable graphs).
+    pub fn compile_mlp(planner: &Planner, model: &Model, seed: u64) -> Self {
+        let plan = planner.plan(model);
+        let schemes: Arc<[Scheme]> = plan.chosen_schemes().into();
+        let pipeline =
+            ProtectedPipeline::with_registry(planner.scheme_registry(), model, &schemes, seed);
+        CompiledModel {
+            plan,
+            schemes,
+            pipeline,
+        }
+    }
+
+    /// The intensity-guided plan this model was compiled against.
+    pub fn plan(&self) -> &ModelPlan {
+        &self.plan
+    }
+
+    /// Per-layer chosen schemes, shared (cloning never reallocates).
+    pub fn schemes(&self) -> &Arc<[Scheme]> {
+        &self.schemes
+    }
+
+    /// The underlying executable stage graph.
+    pub fn pipeline(&self) -> &ProtectedPipeline {
+        &self.pipeline
+    }
+
+    /// Batch size this instance executes at.
+    pub fn batch(&self) -> usize {
+        self.pipeline.batch()
+    }
+
+    /// Flattened input feature width of one request row.
+    pub fn input_features(&self) -> usize {
+        self.pipeline.input_features()
+    }
+
+    /// Flattened output feature width per request row.
+    pub fn output_features(&self) -> usize {
+        self.pipeline.output_features()
+    }
+
+    /// Protected inference in a throwaway workspace.
+    pub fn infer(&self, input: &Matrix, fault: Option<PipelineFault>) -> InferenceReport {
+        self.pipeline.infer(input, fault)
+    }
+
+    /// Protected inference inside a caller-owned workspace — the
+    /// zero-allocation serving hot path.
+    pub fn infer_into(
+        &self,
+        input: &Matrix,
+        fault: Option<PipelineFault>,
+        ws: &mut Workspace,
+    ) -> InferenceReport {
+        self.pipeline.infer_into(input, fault, ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiga_gpu::DeviceSpec;
+    use aiga_nn::zoo;
+
+    #[test]
+    fn compile_plans_on_the_real_zoo_conv_shapes() {
+        let net = zoo::resnet_block_net(2, 16, 16, 3);
+        let compiled = CompiledModel::compile(&Planner::new(DeviceSpec::t4()), &net);
+        let analytic = net.to_model();
+        assert_eq!(compiled.plan().layers.len(), analytic.layers.len());
+        for (pl, al) in compiled.plan().layers.iter().zip(&analytic.layers) {
+            assert_eq!(pl.shape, al.shape.padded_to_mma(), "{}", al.name);
+        }
+        assert_eq!(compiled.schemes().len(), compiled.pipeline().depth());
+        assert_eq!(
+            compiled.pipeline().schemes()[..],
+            compiled.schemes()[..],
+            "bound schemes must match the plan"
+        );
+    }
+
+    #[test]
+    fn compiled_mlp_matches_the_session_legacy_path() {
+        let model = zoo::dlrm_mlp_bottom(8);
+        let planner = Planner::new(DeviceSpec::t4());
+        let compiled = CompiledModel::compile_mlp(&planner, &model, 7);
+        let direct = ProtectedPipeline::with_registry(
+            planner.scheme_registry(),
+            &model,
+            &planner.plan(&model).chosen_schemes(),
+            7,
+        );
+        let input = Matrix::random(8, 13, 5);
+        let a = compiled.infer(&input, None);
+        let b = direct.infer(&input, None);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.output), bits(&b.output));
+    }
+}

@@ -30,10 +30,18 @@
 //! [`Planner::deployment`] for the §7.3 multi-input-size
 //! [`DeploymentPlan`].
 //!
-//! **Serving** — [`Session`] turns a planner plus a model family into a
-//! request-serving front-end: per-request batch-bucket dispatch, lazy
-//! plan + pipeline caching keyed by `(model, device, bucket)`, and
-//! aggregated detection statistics. [`protected::ProtectedGemm`] and
+//! **Compilation** — [`compiled::CompiledModel`] is the typed path
+//! `Model → ModelPlan → CompiledModel`: an executable `aiga_nn::Network`
+//! (real FP16 weights, conv + pooling/ReLU/concat/residual nodes) is
+//! planned on its real zoo shapes and bound layer by layer into a
+//! [`pipeline::ProtectedPipeline`] stage graph, where conv stages lower
+//! through workspace-threaded im2col before their protected GEMM.
+//!
+//! **Serving** — [`Session`] turns a planner plus a model family —
+//! analytic MLPs or executable networks ([`Session::builder_network`])
+//! — into a request-serving front-end: per-request batch-bucket
+//! dispatch, lazy compilation cached per bucket, and aggregated
+//! detection statistics. [`protected::ProtectedGemm`] and
 //! [`pipeline::ProtectedPipeline`] are the single-GEMM and single-model
 //! execution layers underneath. `Session` is the single-caller core;
 //! [`serve::Server`] is the concurrent front door on top of it — a
@@ -42,6 +50,7 @@
 //! (byte-identically to solo serving) behind [`serve::Client`] /
 //! [`serve::Pending`] request handles.
 
+pub mod compiled;
 pub mod cost;
 pub mod kernel;
 pub mod pipeline;
@@ -55,6 +64,7 @@ pub mod serve;
 pub mod session;
 pub mod tolerance;
 
+pub use compiled::CompiledModel;
 pub use kernel::{BoundKernel, RunReport, SchemeKernel, Verdict};
 pub use pipeline::{InferenceReport, PipelineFault, ProtectedPipeline};
 pub use planner::Planner;

@@ -1,22 +1,41 @@
-//! The protected inference pipeline (§2.5 flow).
+//! The protected inference pipeline (§2.5 flow), generalized from MLP
+//! chains to compiled network graphs.
 //!
-//! Runs a chain of fully-connected layers end to end on the functional
-//! engine with a per-layer scheme assignment (from an intensity-guided
-//! plan or fixed). Between layers the §2.5 sequence is followed: matrix
-//! multiply → fused output summation → activation function (ReLU) →
-//! fused next-layer activation checksum → deferred reduce-and-compare.
-//! Thread-level schemes check inside the kernel instead and need none of
-//! the fused epilogues.
+//! A [`ProtectedPipeline`] executes a sequence of *stages* inside one
+//! [`Workspace`]. A stage is either
 //!
-//! Every layer executes through its scheme's [`crate::kernel::BoundKernel`]
-//! (weights bound once at construction — global ABFT's offline checksums
-//! included), so the pipeline contains no per-scheme dispatch and serves
-//! extension schemes like `Scheme::MultiChecksum` unchanged.
+//! - a **protected GEMM** — a fully-connected layer, or a convolution
+//!   that first lowers its input with workspace-threaded
+//!   [`aiga_nn::im2col_into`] (§2.1: convolutions are protected *as*
+//!   matrix multiplications) and then runs the layer's
+//!   [`crate::kernel::BoundKernel`], with an optional fused ReLU on the
+//!   write-back; or
+//! - **epilogue glue** between the GEMMs — max/avg pooling, global
+//!   average pooling, channel concatenation, residual addition — the
+//!   non-GEMM nodes of an executable [`Network`].
 //!
-//! The functional pipeline requires chainable layers (layer `i+1`'s `K`
-//! equals layer `i`'s `N`, as in DLRM's MLPs); convolutional models are
-//! exercised per-layer by the fault-injection campaigns instead, since
-//! im2col data movement is outside the GEMM kernel being protected.
+//! Stages read and write FP16 value slots owned by the workspace
+//! (branch-and-merge topologies like SqueezeNet's Fire modules and
+//! ResNet's residual blocks execute directly), so a warm workspace
+//! serves every request with **zero steady-state heap allocations** on
+//! the engine path.
+//!
+//! Two construction paths exist:
+//!
+//! - [`ProtectedPipeline::new`]/[`ProtectedPipeline::uniform`] build the
+//!   classic chained-MLP pipeline from an analytic [`Model`] with
+//!   synthesized weights (layer `i+1`'s `K` must equal layer `i`'s `N`,
+//!   as in DLRM's MLPs);
+//! - [`ProtectedPipeline::compile`] builds an executable graph from an
+//!   [`aiga_nn::Network`] whose conv/fc nodes carry real FP16 weights —
+//!   the execution half of the `Model → ModelPlan → CompiledModel`
+//!   path (see [`crate::compiled::CompiledModel`]).
+//!
+//! Every GEMM stage executes through its scheme's
+//! [`crate::kernel::BoundKernel`] (weights bound once at construction —
+//! global ABFT's offline checksums included), so the pipeline contains
+//! no per-scheme dispatch and serves extension schemes like
+//! `Scheme::MultiChecksum` unchanged.
 
 use crate::kernel::{BoundKernel, Verdict};
 use crate::registry::{self, SchemeRegistry};
@@ -24,12 +43,19 @@ use crate::schemes::Scheme;
 use aiga_fp16::F16;
 use aiga_gpu::engine::{FaultPlan, GemmEngine, Matrix, Workspace};
 use aiga_gpu::GemmShape;
-use aiga_nn::Model;
+use aiga_nn::conv::filters_to_matrix;
+use aiga_nn::graph::{Network, NodeOp, NodeRef, PoolKind, PoolParams};
+use aiga_nn::{im2col_into, ConvParams, Model, Tensor};
 
-/// A fault targeted at one layer of the pipeline.
+/// A fault targeted at one GEMM layer of the pipeline.
+///
+/// `layer` indexes the conv/fc layers in execution order (the same
+/// order as the analytic model and the plan). For convolutions the
+/// fault's `row`/`col` address the *lowered* GEMM output: row
+/// `(n·Ho + oy)·Wo + ox`, column `c_out`.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineFault {
-    /// Index of the layer to corrupt.
+    /// Index of the GEMM layer to corrupt.
     pub layer: usize,
     /// The fault to inject there.
     pub fault: FaultPlan,
@@ -38,7 +64,7 @@ pub struct PipelineFault {
 /// One detection event during protected inference.
 #[derive(Clone, Debug)]
 pub struct LayerDetection {
-    /// Index of the layer that flagged the fault.
+    /// Index of the GEMM layer that flagged the fault.
     pub layer: usize,
     /// Layer name.
     pub name: String,
@@ -51,8 +77,9 @@ pub struct LayerDetection {
 /// Result of one protected inference pass.
 #[derive(Clone, Debug)]
 pub struct InferenceReport {
-    /// FP32 output of the final layer (post-activation of earlier layers
-    /// applied, final layer pre-activation).
+    /// FP32 output of the final stage, flattened per image (for GEMM
+    /// finals: pre-activation unless the layer fuses a ReLU; for
+    /// pooling finals: the pooled activations).
     pub output: Vec<f32>,
     /// All detections raised along the way.
     pub detections: Vec<LayerDetection>,
@@ -65,24 +92,123 @@ impl InferenceReport {
     }
 }
 
-struct PipelineLayer {
-    name: String,
-    bound: Box<dyn BoundKernel>,
-    engine: GemmEngine,
+/// Where a stage reads a value from.
+#[derive(Clone, Copy, Debug)]
+enum Src {
+    /// The (padded) request staged in the workspace's activation buffer.
+    Input,
+    /// The output slot of an earlier stage.
+    Stage(usize),
 }
 
-/// A protected feed-forward (MLP-style) inference pipeline.
+/// Conv-lowering metadata of a GEMM stage.
+#[derive(Clone, Copy, Debug)]
+struct ConvLowering {
+    params: ConvParams,
+    /// Input tensor dims `(c, h, w)`.
+    in_dims: (usize, usize, usize),
+    /// Output spatial dims `(ho, wo)`.
+    out_hw: (usize, usize),
+}
+
+enum StageOp {
+    /// A protected GEMM: fc directly, or conv via im2col.
+    Gemm {
+        bound: Box<dyn BoundKernel>,
+        engine: GemmEngine,
+        lowering: Option<ConvLowering>,
+        relu: bool,
+    },
+    /// Spatial pooling.
+    Pool {
+        params: PoolParams,
+        in_dims: (usize, usize, usize),
+        out_hw: (usize, usize),
+    },
+    /// Global average pooling to `1 × 1`.
+    GlobalAvgPool { in_dims: (usize, usize, usize) },
+    /// Channel concatenation; `part_features` holds each input's
+    /// flattened per-image width.
+    Concat { part_features: Vec<usize> },
+    /// Element-wise residual addition.
+    Add { relu: bool },
+}
+
+struct Stage {
+    name: String,
+    op: StageOp,
+    srcs: Vec<Src>,
+    /// Flattened per-image output width.
+    out_features: usize,
+    /// Physical workspace slot this stage writes (assigned by
+    /// [`assign_slots`]; slots are reused once every consumer has run).
+    out_slot: usize,
+}
+
+/// Liveness-based slot assignment: stages are built with *logical*
+/// `Src::Stage(stage index)` references; this pass maps each stage's
+/// output to a physical workspace slot that is recycled as soon as the
+/// last consumer has executed, and rewrites the references. A plain
+/// chain degenerates to two ping-pong buffers (the pre-graph memory
+/// footprint) instead of one resident activation per stage; branchy
+/// graphs keep exactly the values that are still live. A stage's
+/// output slot is always allocated *before* its sources are freed, so
+/// a stage never reads and writes the same slot. Returns the number of
+/// physical slots needed.
+fn assign_slots(stages: &mut [Stage]) -> usize {
+    // Last stage that reads each stage's output (0 = never read:
+    // consumers are strictly later than their producers).
+    let mut last_use = vec![0usize; stages.len()];
+    for (si, stage) in stages.iter().enumerate() {
+        for src in &stage.srcs {
+            if let Src::Stage(j) = src {
+                last_use[*j] = si;
+            }
+        }
+    }
+    let mut phys_of = vec![usize::MAX; stages.len()];
+    let mut free: Vec<usize> = Vec::new();
+    let mut count = 0usize;
+    for si in 0..stages.len() {
+        for src in &mut stages[si].srcs {
+            if let Src::Stage(j) = src {
+                *src = Src::Stage(phys_of[*j]);
+            }
+        }
+        let slot = free.pop().unwrap_or_else(|| {
+            count += 1;
+            count - 1
+        });
+        phys_of[si] = slot;
+        stages[si].out_slot = slot;
+        // Free every value whose last consumer was this stage.
+        for j in 0..si {
+            if last_use[j] == si && phys_of[j] != usize::MAX {
+                free.push(phys_of[j]);
+                phys_of[j] = usize::MAX;
+            }
+        }
+    }
+    count
+}
+
+/// A protected inference pipeline over GEMM and epilogue stages.
 pub struct ProtectedPipeline {
     batch: usize,
-    layers: Vec<PipelineLayer>,
+    input_features: usize,
+    output_features: usize,
+    stages: Vec<Stage>,
+    gemm_count: usize,
+    slot_count: usize,
 }
 
 impl ProtectedPipeline {
-    /// Builds a pipeline from a model and a per-layer scheme assignment
-    /// (one scheme per layer), resolving schemes through the shared
-    /// built-in registry. Weights are deterministic pseudo-random, scaled
-    /// like normalized NN weights. Panics if the model's layers do not
-    /// chain (`K[i+1] != N[i]`) or `schemes.len() != layers`.
+    /// Builds a chained-MLP pipeline from a model and a per-layer scheme
+    /// assignment (one scheme per layer), resolving schemes through the
+    /// shared built-in registry. Weights are deterministic
+    /// pseudo-random, scaled like normalized NN weights. Panics if the
+    /// model's layers do not chain (`K[i+1] != N[i]`) or
+    /// `schemes.len() != layers`.
     pub fn new(model: &Model, schemes: &[Scheme], seed: u64) -> Self {
         Self::with_registry(registry::shared(), model, schemes, seed)
     }
@@ -107,7 +233,8 @@ impl ProtectedPipeline {
             );
         }
         let batch = model.layers[0].shape.m as usize;
-        let layers = model
+        let depth = model.layers.len();
+        let mut stages: Vec<Stage> = model
             .layers
             .iter()
             .zip(schemes)
@@ -123,14 +250,33 @@ impl ProtectedPipeline {
                 let engine = GemmEngine::with_default_tiling(GemmShape::new(
                     l.shape.m, l.shape.n, l.shape.k,
                 ));
-                PipelineLayer {
+                Stage {
                     name: l.name.clone(),
-                    bound: registry.resolve(scheme).bind(&weights),
-                    engine,
+                    op: StageOp::Gemm {
+                        bound: registry.resolve(scheme).bind(&weights),
+                        engine,
+                        lowering: None,
+                        relu: i + 1 < depth,
+                    },
+                    srcs: vec![if i == 0 {
+                        Src::Input
+                    } else {
+                        Src::Stage(i - 1)
+                    }],
+                    out_features: n,
+                    out_slot: 0,
                 }
             })
             .collect();
-        ProtectedPipeline { batch, layers }
+        let slot_count = assign_slots(&mut stages);
+        ProtectedPipeline {
+            batch,
+            input_features: model.layers[0].shape.k as usize,
+            output_features: model.layers[depth - 1].shape.n as usize,
+            stages,
+            gemm_count: depth,
+            slot_count,
+        }
     }
 
     /// Builds a pipeline protecting every layer with one fixed scheme.
@@ -138,9 +284,128 @@ impl ProtectedPipeline {
         Self::new(model, &vec![scheme; model.layers.len()], seed)
     }
 
-    /// Number of layers.
+    /// Compiles an executable [`Network`] — real FP16 weights, conv and
+    /// epilogue nodes — against a per-GEMM-layer scheme assignment
+    /// (`schemes[i]` protects the `i`-th conv/fc node in execution
+    /// order, matching [`Network::to_model`]'s layer order). Resolves
+    /// through the shared built-in registry.
+    pub fn compile(net: &Network, schemes: &[Scheme]) -> Self {
+        Self::compile_with_registry(registry::shared(), net, schemes)
+    }
+
+    /// [`Self::compile`] with an explicit scheme registry.
+    pub fn compile_with_registry(
+        registry: &SchemeRegistry,
+        net: &Network,
+        schemes: &[Scheme],
+    ) -> Self {
+        assert_eq!(
+            schemes.len(),
+            net.gemm_count(),
+            "one scheme per conv/fc layer required"
+        );
+        let batch = net.batch;
+        let mut node_src: Vec<Src> = Vec::with_capacity(net.nodes.len());
+        let mut stages: Vec<Stage> = Vec::new();
+        let mut next_scheme = schemes.iter().copied();
+        for node in &net.nodes {
+            let srcs: Vec<Src> = node
+                .inputs
+                .iter()
+                .map(|&r| match r {
+                    NodeRef::Input => Src::Input,
+                    NodeRef::Node(j) => node_src[j],
+                })
+                .collect();
+            let out_features = node.out_dims.0 * node.out_dims.1 * node.out_dims.2;
+            let op = match &node.op {
+                // Flatten is zero-copy: the NCHW slot layout is already
+                // flat per image, so the node aliases its input.
+                NodeOp::Flatten => {
+                    node_src.push(srcs[0]);
+                    continue;
+                }
+                NodeOp::Conv {
+                    params,
+                    weights,
+                    relu,
+                } => {
+                    let in_dims = net.dims_of(node.inputs[0]);
+                    let (ho, wo) = params.out_dims(in_dims.1, in_dims.2);
+                    let wmat = filters_to_matrix(weights);
+                    let shape = GemmShape::new(
+                        (batch * ho * wo) as u64,
+                        params.c_out as u64,
+                        wmat.rows as u64,
+                    );
+                    StageOp::Gemm {
+                        bound: registry
+                            .resolve(next_scheme.next().expect("scheme per layer"))
+                            .bind(&wmat),
+                        engine: GemmEngine::with_default_tiling(shape),
+                        lowering: Some(ConvLowering {
+                            params: *params,
+                            in_dims,
+                            out_hw: (ho, wo),
+                        }),
+                        relu: *relu,
+                    }
+                }
+                NodeOp::Fc { weights, relu } => {
+                    let shape =
+                        GemmShape::new(batch as u64, weights.cols as u64, weights.rows as u64);
+                    StageOp::Gemm {
+                        bound: registry
+                            .resolve(next_scheme.next().expect("scheme per layer"))
+                            .bind(weights),
+                        engine: GemmEngine::with_default_tiling(shape),
+                        lowering: None,
+                        relu: *relu,
+                    }
+                }
+                NodeOp::Pool(p) => StageOp::Pool {
+                    params: *p,
+                    in_dims: net.dims_of(node.inputs[0]),
+                    out_hw: (node.out_dims.1, node.out_dims.2),
+                },
+                NodeOp::GlobalAvgPool => StageOp::GlobalAvgPool {
+                    in_dims: net.dims_of(node.inputs[0]),
+                },
+                NodeOp::Concat => StageOp::Concat {
+                    part_features: node
+                        .inputs
+                        .iter()
+                        .map(|&r| {
+                            let d = net.dims_of(r);
+                            d.0 * d.1 * d.2
+                        })
+                        .collect(),
+                },
+                NodeOp::Add { relu } => StageOp::Add { relu: *relu },
+            };
+            stages.push(Stage {
+                name: node.name.clone(),
+                op,
+                srcs,
+                out_features,
+                out_slot: 0,
+            });
+            node_src.push(Src::Stage(stages.len() - 1));
+        }
+        let slot_count = assign_slots(&mut stages);
+        ProtectedPipeline {
+            batch,
+            input_features: net.input_features(),
+            output_features: net.output_features(),
+            stages,
+            gemm_count: net.gemm_count(),
+            slot_count,
+        }
+    }
+
+    /// Number of GEMM (conv/fc) layers.
     pub fn depth(&self) -> usize {
-        self.layers.len()
+        self.gemm_count
     }
 
     /// Batch size (rows of the input this pipeline expects).
@@ -148,33 +413,42 @@ impl ProtectedPipeline {
         self.batch
     }
 
-    /// Input feature width (`K` of the first layer).
+    /// Input feature width (flattened `C·H·W`, or `K` of the first
+    /// layer for MLP chains).
     pub fn input_features(&self) -> usize {
-        self.layers[0].bound.weights().rows
+        self.input_features
     }
 
-    /// Output feature width (`N` of the final layer).
+    /// Output feature width of the final stage.
     pub fn output_features(&self) -> usize {
-        self.layers[self.layers.len() - 1].bound.weights().cols
+        self.output_features
     }
 
-    /// Per-layer scheme assignment, in execution order.
+    /// Per-GEMM-layer scheme assignment, in execution order.
     pub fn schemes(&self) -> Vec<Scheme> {
-        self.layers.iter().map(|l| l.bound.scheme()).collect()
+        self.stages
+            .iter()
+            .filter_map(|s| match &s.op {
+                StageOp::Gemm { bound, .. } => Some(bound.scheme()),
+                _ => None,
+            })
+            .collect()
     }
 
-    /// Runs protected inference on `input` (rows ≤ batch, K₀ features),
-    /// optionally injecting one fault. Convenience over
-    /// [`Self::infer_into`] with a throwaway workspace.
+    /// Runs protected inference on `input` (rows ≤ batch, flattened
+    /// input features), optionally injecting one fault. Convenience
+    /// over [`Self::infer_into`] with a throwaway workspace.
     pub fn infer(&self, input: &Matrix, fault: Option<PipelineFault>) -> InferenceReport {
         self.infer_into(input, fault, &mut Workspace::new())
     }
 
     /// Runs protected inference entirely inside `ws` — the serving hot
-    /// path. One workspace is reused across all layers of this request,
-    /// and callers that hold it across requests (the `Session` checkout
-    /// pool) reach a steady state where the only per-request allocation
-    /// is the returned report's output vector.
+    /// path. One workspace is reused across all stages of this request:
+    /// GEMM scratch, conv `im2col` lowering, and the per-stage FP16
+    /// value slots all live in `ws`, so callers that hold it across
+    /// requests (the `Session` checkout pool) reach a steady state
+    /// where the only per-request allocation is the returned report's
+    /// output vector.
     ///
     /// Requests with fewer rows than the pipeline batch are padded up
     /// with zero rows (batching serving systems dispatch to fixed
@@ -193,65 +467,205 @@ impl ProtectedPipeline {
             self.batch
         );
         assert_eq!(
-            input.cols,
-            self.input_features(),
+            input.cols, self.input_features,
             "input feature width mismatch"
         );
         let rows = input.rows;
+        let batch = self.batch;
         // Stage the (padded) input into the workspace's activation
         // buffer. The buffer is moved out around each engine call so it
         // can be the engine's input while the engine mutably borrows
         // the same workspace; the moves shuffle pointers, not data.
         let mut act = std::mem::take(ws.activations_mut());
-        input.copy_padded_into(self.batch, input.cols, &mut act);
+        input.copy_padded_into(batch, input.cols, &mut act);
+        ws.ensure_slots(self.slot_count);
         let mut detections = Vec::new();
         let mut final_output = Vec::new();
+        let mut gemm_idx = 0usize;
+        let last = self.stages.len() - 1;
 
-        for (idx, layer) in self.layers.iter().enumerate() {
-            // Borrow the (at most one) fault aimed at this layer as a
-            // slice; no per-layer allocation.
-            let layer_fault: Option<FaultPlan> =
-                fault.and_then(|f| (f.layer == idx).then_some(f.fault));
-            let verdict = layer
-                .bound
-                .run_into(&layer.engine, &act, layer_fault.as_slice(), ws);
-            let scheme = layer.bound.scheme();
-            let out = ws.output();
+        for (si, stage) in self.stages.iter().enumerate() {
+            let is_last = si == last;
+            match &stage.op {
+                StageOp::Gemm {
+                    bound,
+                    engine,
+                    lowering,
+                    relu,
+                } => {
+                    // Borrow the (at most one) fault aimed at this GEMM
+                    // layer as a slice; no per-layer allocation.
+                    let layer_fault: Option<FaultPlan> =
+                        fault.and_then(|f| (f.layer == gemm_idx).then_some(f.fault));
+                    // Move the source value out of the workspace so the
+                    // engine can mutably borrow `ws` while reading it.
+                    let (src_slot, mut src) = match stage.srcs[0] {
+                        Src::Input => (None, std::mem::take(&mut act)),
+                        Src::Stage(j) => (Some(j), ws.take_slot(j)),
+                    };
+                    let verdict = match lowering {
+                        None => bound.run_into(engine, &src, layer_fault.as_slice(), ws),
+                        Some(low) => {
+                            // Workspace-threaded im2col: lower the NCHW
+                            // value into the workspace's staging matrix,
+                            // then run the protected GEMM on it.
+                            let (c, h, w) = low.in_dims;
+                            debug_assert_eq!(src.data.len(), batch * c * h * w);
+                            let t = Tensor {
+                                batch,
+                                channels: c,
+                                height: h,
+                                width: w,
+                                data: std::mem::take(&mut src.data),
+                            };
+                            im2col_into(&t, low.params, ws);
+                            src.data = t.data;
+                            let a = ws.take_lowering();
+                            let v = bound.run_into(engine, &a, layer_fault.as_slice(), ws);
+                            ws.put_lowering(a);
+                            v
+                        }
+                    };
+                    match src_slot {
+                        None => act = src,
+                        Some(j) => ws.put_slot(j, src),
+                    }
 
-            // Thread-level detections come out of the kernel itself, with
-            // per-thread provenance.
-            for d in &out.detections {
-                detections.push(LayerDetection {
-                    layer: idx,
-                    name: layer.name.clone(),
-                    scheme,
-                    residual: d.residual,
-                });
-            }
-            // Kernel-level verdicts (global ABFT's deferred
-            // reduce-and-compare, §2.5 step 5) have no thread provenance;
-            // record them once.
-            if out.detections.is_empty() {
-                if let Verdict::Detected { residual, .. } = verdict {
-                    detections.push(LayerDetection {
-                        layer: idx,
-                        name: layer.name.clone(),
-                        scheme,
-                        residual,
-                    });
+                    let scheme = bound.scheme();
+                    {
+                        let out = ws.output();
+                        // Thread-level detections come out of the kernel
+                        // itself, with per-thread provenance.
+                        for d in &out.detections {
+                            detections.push(LayerDetection {
+                                layer: gemm_idx,
+                                name: stage.name.clone(),
+                                scheme,
+                                residual: d.residual,
+                            });
+                        }
+                        // Kernel-level verdicts (global ABFT's deferred
+                        // reduce-and-compare, §2.5 step 5) have no thread
+                        // provenance; record them once.
+                        if out.detections.is_empty() {
+                            if let Verdict::Detected { residual, .. } = verdict {
+                                detections.push(LayerDetection {
+                                    layer: gemm_idx,
+                                    name: stage.name.clone(),
+                                    scheme,
+                                    residual,
+                                });
+                            }
+                        }
+                    }
+
+                    if is_last {
+                        let out = ws.output();
+                        match lowering {
+                            None => {
+                                // Crop to the request rows; final fc
+                                // output stays raw f32 (ReLU only if the
+                                // layer fuses one).
+                                final_output.reserve_exact(rows * out.n);
+                                for &v in &out.c[..rows * out.n] {
+                                    final_output.push(if *relu { v.max(0.0) } else { v });
+                                }
+                            }
+                            Some(low) => {
+                                final_output
+                                    .reserve_exact(rows * out.n * low.out_hw.0 * low.out_hw.1);
+                                conv_output_nchw(out.c.as_slice(), rows, out.n, low, *relu, |v| {
+                                    final_output.push(v)
+                                });
+                            }
+                        }
+                    } else {
+                        // Write back to this stage's FP16 value slot,
+                        // fusing the ReLU epilogue into the
+                        // down-conversion (full batch: padded images
+                        // stay zero through every op).
+                        let mut dst = ws.take_slot(stage.out_slot);
+                        let out = ws.output();
+                        dst.rows = batch;
+                        dst.cols = stage.out_features;
+                        dst.data.clear();
+                        match lowering {
+                            None => {
+                                dst.data.extend(
+                                    out.c.iter().map(|&v| {
+                                        F16::from_f32(if *relu { v.max(0.0) } else { v })
+                                    }),
+                                );
+                            }
+                            Some(low) => {
+                                conv_output_nchw(out.c.as_slice(), batch, out.n, low, *relu, |v| {
+                                    dst.data.push(F16::from_f32(v))
+                                });
+                            }
+                        }
+                        ws.put_slot(stage.out_slot, dst);
+                    }
+                    gemm_idx += 1;
                 }
-            }
 
-            if idx + 1 == self.layers.len() {
-                final_output = out.c[..rows * out.n].to_vec();
-            } else {
-                // ReLU, then down-convert for the next layer's FP16 GEMM,
-                // written back into the reused activation buffer.
-                act.rows = out.m;
-                act.cols = out.n;
-                act.data.clear();
-                act.data
-                    .extend(out.c.iter().map(|&v| F16::from_f32(v.max(0.0))));
+                // Epilogue stages: pure FP16 slot-to-slot computation.
+                _ => {
+                    let mut dst = ws.take_slot(stage.out_slot);
+                    dst.rows = batch;
+                    dst.cols = stage.out_features;
+                    dst.data.clear();
+                    {
+                        let get = |r: Src| -> &Matrix {
+                            match r {
+                                Src::Input => &act,
+                                Src::Stage(j) => ws.slot(j),
+                            }
+                        };
+                        match &stage.op {
+                            StageOp::Pool {
+                                params,
+                                in_dims,
+                                out_hw,
+                            } => pool_stage(
+                                get(stage.srcs[0]),
+                                batch,
+                                *in_dims,
+                                params,
+                                *out_hw,
+                                &mut dst,
+                            ),
+                            StageOp::GlobalAvgPool { in_dims } => {
+                                global_avg_stage(get(stage.srcs[0]), batch, *in_dims, &mut dst)
+                            }
+                            StageOp::Concat { part_features } => {
+                                for n in 0..batch {
+                                    for (&r, &f) in stage.srcs.iter().zip(part_features) {
+                                        let src = get(r);
+                                        dst.data.extend_from_slice(&src.data[n * f..(n + 1) * f]);
+                                    }
+                                }
+                            }
+                            StageOp::Add { relu } => {
+                                let a = get(stage.srcs[0]);
+                                let b = get(stage.srcs[1]);
+                                dst.data.extend(a.data.iter().zip(&b.data).map(|(x, y)| {
+                                    let v = x.to_f32() + y.to_f32();
+                                    F16::from_f32(if *relu { v.max(0.0) } else { v })
+                                }));
+                            }
+                            StageOp::Gemm { .. } => unreachable!("handled above"),
+                        }
+                    }
+                    if is_last {
+                        final_output.reserve_exact(rows * stage.out_features);
+                        final_output.extend(
+                            dst.data[..rows * stage.out_features]
+                                .iter()
+                                .map(|v| v.to_f32()),
+                        );
+                    }
+                    ws.put_slot(stage.out_slot, dst);
+                }
             }
         }
 
@@ -259,6 +673,103 @@ impl ProtectedPipeline {
         InferenceReport {
             output: final_output,
             detections,
+        }
+    }
+}
+
+/// Walks a lowered-conv GEMM output (rows `(n, oy, ox)`-major, columns
+/// `c_out`) in flattened-NCHW emission order for `images` images,
+/// applying the fused ReLU, and hands each value to `emit` — the one
+/// place the GEMM→NCHW transpose lives, shared by the final-output and
+/// slot write-back paths.
+fn conv_output_nchw(
+    c: &[f32],
+    images: usize,
+    out_n: usize,
+    low: &ConvLowering,
+    relu: bool,
+    mut emit: impl FnMut(f32),
+) {
+    let spatial = low.out_hw.0 * low.out_hw.1;
+    for n in 0..images {
+        for co in 0..out_n {
+            for s in 0..spatial {
+                let v = c[(n * spatial + s) * out_n + co];
+                emit(if relu { v.max(0.0) } else { v });
+            }
+        }
+    }
+}
+
+/// One pooling stage over a flat NCHW FP16 value (max skips
+/// out-of-bounds cells; avg divides by the in-bounds cell count —
+/// mirrored exactly by `Network::reference_f64`).
+fn pool_stage(
+    src: &Matrix,
+    batch: usize,
+    in_dims: (usize, usize, usize),
+    p: &PoolParams,
+    out_hw: (usize, usize),
+    dst: &mut Matrix,
+) {
+    let (c, h, w) = in_dims;
+    let (ho, wo) = out_hw;
+    let in_features = c * h * w;
+    for n in 0..batch {
+        let img = &src.data[n * in_features..(n + 1) * in_features];
+        for ch in 0..c {
+            let plane = &img[ch * h * w..(ch + 1) * h * w];
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut acc = 0.0f32;
+                    let mut cells = 0u32;
+                    for ky in 0..p.kernel {
+                        for kx in 0..p.kernel {
+                            let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                            if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                continue;
+                            }
+                            let v = plane[iy as usize * w + ix as usize].to_f32();
+                            best = best.max(v);
+                            acc += v;
+                            cells += 1;
+                        }
+                    }
+                    let v = match p.kind {
+                        PoolKind::Max => {
+                            if cells == 0 {
+                                0.0
+                            } else {
+                                best
+                            }
+                        }
+                        PoolKind::Avg => {
+                            if cells == 0 {
+                                0.0
+                            } else {
+                                acc / cells as f32
+                            }
+                        }
+                    };
+                    dst.data.push(F16::from_f32(v));
+                }
+            }
+        }
+    }
+}
+
+/// Global average pooling to `1 × 1` per channel.
+fn global_avg_stage(src: &Matrix, batch: usize, in_dims: (usize, usize, usize), dst: &mut Matrix) {
+    let (c, h, w) = in_dims;
+    let in_features = c * h * w;
+    for n in 0..batch {
+        let img = &src.data[n * in_features..(n + 1) * in_features];
+        for ch in 0..c {
+            let plane = &img[ch * h * w..(ch + 1) * h * w];
+            let acc: f32 = plane.iter().map(|v| v.to_f32()).sum();
+            dst.data.push(F16::from_f32(acc / (h * w) as f32));
         }
     }
 }
@@ -379,5 +890,96 @@ mod tests {
             ],
         );
         ProtectedPipeline::uniform(&model, Scheme::GlobalAbft, 0);
+    }
+
+    mod compiled {
+        use super::*;
+        use aiga_nn::graph::NetworkBuilder;
+
+        fn conv_net(batch: usize) -> aiga_nn::Network {
+            let mut b = NetworkBuilder::new("conv-net", batch, 2, 8, 8, 11);
+            b.conv("c1", 4, 3, 1, 1, true);
+            b.max_pool("p1", 2, 2, 0);
+            b.conv("c2", 6, 3, 2, 1, true);
+            b.global_avg_pool("gap");
+            b.fc("fc", 5, false);
+            b.build()
+        }
+
+        #[test]
+        fn compiled_conv_net_matches_its_f64_reference() {
+            let net = conv_net(3);
+            let p = ProtectedPipeline::compile(&net, &[Scheme::GlobalAbft; 3]);
+            assert_eq!(p.depth(), 3);
+            assert_eq!(p.input_features(), 2 * 8 * 8);
+            assert_eq!(p.output_features(), 5);
+            let input = Matrix::random(3, 2 * 8 * 8, 21);
+            let r = p.infer(&input, None);
+            assert!(!r.fault_detected());
+            let want = net.reference_f64(&input);
+            assert_eq!(r.output.len(), want.len());
+            for (i, (&got, &w)) in r.output.iter().zip(&want).enumerate() {
+                assert!((got as f64 - w).abs() < 2e-2, "elem {i}: {got} vs {w}");
+            }
+        }
+
+        #[test]
+        fn compiled_faults_are_detected_at_the_conv_layer() {
+            let net = conv_net(2);
+            let p = ProtectedPipeline::compile(&net, &[Scheme::ThreadLevelOneSided; 3]);
+            let fault = PipelineFault {
+                layer: 1, // the strided conv
+                fault: FaultPlan {
+                    row: 2,
+                    col: 3,
+                    after_step: u64::MAX,
+                    kind: FaultKind::AddValue(200.0),
+                },
+            };
+            let r = p.infer(&Matrix::random(2, 2 * 8 * 8, 22), Some(fault));
+            assert!(r.fault_detected());
+            assert_eq!(r.detections[0].layer, 1);
+            assert_eq!(r.detections[0].name, "c2");
+        }
+
+        #[test]
+        fn slot_assignment_recycles_dead_values() {
+            // A chain ping-pongs two physical slots no matter its depth
+            // (the pre-graph memory footprint).
+            let chain = ProtectedPipeline::uniform(&zoo::dlrm_mlp_bottom(8), Scheme::GlobalAbft, 1);
+            assert_eq!(chain.slot_count, 2);
+            // Branchy graphs keep only the values that are still live:
+            // SqueezeNet's 34 stages need a handful of slots, not 34.
+            let net = zoo::squeezenet_net(1, 32, 32, 3);
+            let p = ProtectedPipeline::compile(&net, &vec![Scheme::GlobalAbft; net.gemm_count()]);
+            assert!(
+                p.slot_count <= 6,
+                "fire modules should recycle dead slots (got {})",
+                p.slot_count
+            );
+            assert!(p.slot_count < p.stages.len());
+            // A stage never reads the physical slot it writes.
+            for s in &p.stages {
+                for src in &s.srcs {
+                    if let Src::Stage(j) = src {
+                        assert_ne!(*j, s.out_slot, "{}", s.name);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn padded_requests_crop_to_the_request_rows() {
+            let net = conv_net(4);
+            let p = ProtectedPipeline::compile(&net, &[Scheme::GlobalAbft; 3]);
+            let full = Matrix::random(4, 2 * 8 * 8, 23);
+            let rf = p.infer(&full, None);
+            let shared = Matrix::from_fn(2, 2 * 8 * 8, |r, c| full.get(r, c));
+            let rs = p.infer(&shared, None);
+            assert_eq!(rs.output.len(), 2 * 5);
+            // Per-image outputs are padding-independent.
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&rs.output), bits(&rf.output[..2 * 5]));
+        }
     }
 }

@@ -159,6 +159,14 @@ impl Planner {
         }
     }
 
+    /// Compiles an executable network end to end: plan its analytic
+    /// model (per-layer selection over the real zoo conv shapes), then
+    /// bind every conv/fc node under its chosen scheme. Convenience
+    /// over [`crate::compiled::CompiledModel::compile`].
+    pub fn compile(&self, net: &aiga_nn::Network) -> crate::compiled::CompiledModel {
+        crate::compiled::CompiledModel::compile(self, net)
+    }
+
     /// Builds the §7.3 multi-input-size deployment: one plan per key,
     /// with `instantiate` producing the model for each key (e.g.
     /// `|b| zoo::dlrm_mlp_bottom(b)`).

@@ -1,20 +1,25 @@
 //! The serving front-end: §7.3's multi-input-size deployment as a
 //! first-class API.
 //!
-//! A [`Session`] wraps a [`Planner`] and a model *family* (a constructor
-//! from input-size key to [`Model`], e.g. `|b| zoo::dlrm_mlp_top(b)`).
-//! Requests arrive as activation matrices of any batch size; the session
+//! A [`Session`] wraps a [`Planner`] and a model *family* — a
+//! constructor from input-size key to an analytic [`Model`]
+//! (`|b| zoo::dlrm_mlp_top(b)`, synthesized weights) or, via
+//! [`Session::builder_network`], to an executable [`Network`]
+//! (`|b| zoo::squeezenet_net(b, 64, 64, 7)`, real FP16 weights, conv
+//! layers lowered to protected GEMMs). Requests arrive as activation
+//! matrices of any batch size (flattened NCHW rows for networks); the
+//! session
 //!
 //! 1. dispatches the request to the nearest pre-declared batch bucket
 //!    (padding the batch up with zero rows, as batching serving systems
 //!    do) — requests *larger* than the largest bucket are split into
 //!    largest-bucket chunks, served chunk by chunk, and the cropped
 //!    outputs concatenated;
-//! 2. lazily builds — and caches in a per-bucket slot — the
-//!    intensity-guided [`ModelPlan`] and the functional
-//!    [`ProtectedPipeline`] for that bucket (weights bound once: global
-//!    ABFT's offline checksums are computed on the first request and
-//!    reused forever);
+//! 2. lazily compiles — and caches in a per-bucket slot — the
+//!    [`CompiledModel`] for that bucket: the intensity-guided
+//!    [`ModelPlan`] plus the bound executable stage graph (weights
+//!    bound once: global ABFT's offline checksums are computed on the
+//!    first request and reused forever);
 //! 3. checks a warm [`Workspace`] out of the session pool, runs
 //!    protected inference inside it, and returns the per-request
 //!    [`InferenceReport`] with the padding cropped away.
@@ -35,12 +40,13 @@
 //! allocation is the returned report's output vector —
 //! `tests/alloc_steadystate.rs` pins this with a counting allocator.
 
-use crate::pipeline::{InferenceReport, PipelineFault, ProtectedPipeline};
+use crate::compiled::CompiledModel;
+use crate::pipeline::{InferenceReport, PipelineFault};
 use crate::planner::Planner;
 use crate::schemes::Scheme;
 use crate::selector::ModelPlan;
 use aiga_gpu::engine::{Matrix, Workspace};
-use aiga_nn::Model;
+use aiga_nn::{Model, Network};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -128,17 +134,20 @@ pub struct ServeReport {
     pub report: InferenceReport,
 }
 
-struct BucketEntry {
-    plan: ModelPlan,
-    pipeline: ProtectedPipeline,
-    schemes: Arc<[Scheme]>,
+/// How a session instantiates the model served at a batch-size key:
+/// an analytic MLP family with synthesized weights, or an executable
+/// network family compiled into protected stage graphs (conv models
+/// from the zoo serve through exactly the same buckets and pool).
+enum Family {
+    Mlp(Box<dyn Fn(u64) -> Model + Send + Sync>),
+    Network(Box<dyn Fn(u64) -> Network + Send + Sync>),
 }
 
 /// Builder for [`Session`]s.
 pub struct SessionBuilder {
     planner: Planner,
     family_name: String,
-    family: Box<dyn Fn(u64) -> Model + Send + Sync>,
+    family: Family,
     buckets: Vec<u64>,
     seed: u64,
 }
@@ -155,8 +164,18 @@ impl SessionBuilder {
         self
     }
 
-    /// Seed for the deterministic pipeline weights.
+    /// Seed for the deterministic *synthesized* pipeline weights of
+    /// analytic MLP families ([`Session::builder`]). Executable network
+    /// families ([`Session::builder_network`]) carry their own weights
+    /// — seed them where the network is built (e.g. the seed argument
+    /// of `zoo::squeezenet_net`); calling this on a network-family
+    /// builder panics rather than silently doing nothing.
     pub fn seed(mut self, seed: u64) -> Self {
+        assert!(
+            matches!(self.family, Family::Mlp(_)),
+            "seed() only applies to MLP families; network families carry \
+             their own weights — seed them where the Network is built"
+        );
         self.seed = seed;
         self
     }
@@ -182,14 +201,14 @@ impl SessionBuilder {
 pub struct Session {
     planner: Planner,
     family_name: String,
-    family: Box<dyn Fn(u64) -> Model + Send + Sync>,
+    family: Family,
     buckets: Vec<u64>,
     seed: u64,
-    /// One lazily-built entry per declared bucket, aligned with
+    /// One lazily-compiled model per declared bucket, aligned with
     /// `buckets`. `OnceLock` gives lock-free reads after the build and
     /// lets concurrent first requests for *different* buckets plan in
     /// parallel.
-    entries: Vec<OnceLock<Arc<BucketEntry>>>,
+    entries: Vec<OnceLock<Arc<CompiledModel>>>,
     /// Warm workspaces checked out per request. Capacity ratchets to
     /// the peak concurrency; a pop/push pair on the steady state does
     /// not allocate.
@@ -209,7 +228,27 @@ impl Session {
         SessionBuilder {
             planner,
             family_name: family_name.into(),
-            family: Box::new(family),
+            family: Family::Mlp(Box::new(family)),
+            buckets: vec![1],
+            seed: 0,
+        }
+    }
+
+    /// [`Self::builder`] for an *executable* network family: `family`
+    /// maps a batch-size key to an [`aiga_nn::Network`] (e.g.
+    /// `|b| zoo::squeezenet_net(b, 64, 64, 7)`), and each bucket is
+    /// compiled — planned on its real conv shapes, real FP16 weights
+    /// bound per layer — on first use. Requests are flattened-NCHW
+    /// rows (`C·H·W` features per image).
+    pub fn builder_network(
+        planner: Planner,
+        family_name: impl Into<String>,
+        family: impl Fn(u64) -> Network + Send + Sync + 'static,
+    ) -> SessionBuilder {
+        SessionBuilder {
+            planner,
+            family_name: family_name.into(),
+            family: Family::Network(Box::new(family)),
             buckets: vec![1],
             seed: 0,
         }
@@ -243,7 +282,13 @@ impl Session {
     /// Panics if `bucket` was not declared.
     pub fn plan_for_bucket(&self, bucket: u64) -> Arc<ModelPlan> {
         let (entry, _) = self.entry(self.bucket_index(bucket));
-        Arc::new(entry.plan.clone())
+        Arc::new(entry.plan().clone())
+    }
+
+    /// The compiled model serving a given declared bucket (builds and
+    /// caches it if needed). Panics if `bucket` was not declared.
+    pub fn compiled_for_bucket(&self, bucket: u64) -> Arc<CompiledModel> {
+        self.entry(self.bucket_index(bucket)).0
     }
 
     /// Serves one request (any number of rows, columns equal to the
@@ -324,7 +369,7 @@ impl Session {
         fault: Option<PipelineFault>,
     ) -> Result<(ServeReport, bool), SessionError> {
         let (entry, built) = self.entry(self.bucket_index(bucket));
-        let expected = entry.pipeline.input_features();
+        let expected = entry.input_features();
         if input.cols != expected {
             return Err(SessionError::FeatureMismatch {
                 observed: input.cols,
@@ -338,14 +383,14 @@ impl Session {
             let mut pool = self.pool.lock().unwrap();
             pool.pop().unwrap_or_default()
         };
-        let report = entry.pipeline.infer_into(input, fault, &mut ws);
+        let report = entry.infer_into(input, fault, &mut ws);
         self.pool.lock().unwrap().push(ws);
 
         Ok((
             ServeReport {
                 bucket,
                 rows: input.rows,
-                schemes: entry.schemes.clone(),
+                schemes: entry.schemes().clone(),
                 report,
             },
             built,
@@ -377,32 +422,22 @@ impl Session {
             .expect("bucket not declared for this session")
     }
 
-    /// Fetches (building if needed) the bucket's plan + pipeline.
-    /// Returns `(entry, built)` where `built` is true when this call
-    /// won the build. The steady-state path is one lock-free
-    /// `OnceLock::get`; concurrent first requests may build
-    /// concurrently, with one winner.
-    fn entry(&self, index: usize) -> (Arc<BucketEntry>, bool) {
+    /// Fetches (compiling if needed) the bucket's model. Returns
+    /// `(entry, built)` where `built` is true when this call won the
+    /// build. The steady-state path is one lock-free `OnceLock::get`;
+    /// concurrent first requests may build concurrently, with one
+    /// winner.
+    fn entry(&self, index: usize) -> (Arc<CompiledModel>, bool) {
         let slot = &self.entries[index];
         if let Some(entry) = slot.get() {
             return (entry.clone(), false);
         }
         let bucket = self.buckets[index];
-        let model = (self.family)(bucket);
-        let plan = self.planner.plan(&model);
-        let pipeline = ProtectedPipeline::with_registry(
-            self.planner.scheme_registry(),
-            &model,
-            &plan.chosen_schemes(),
-            self.seed,
-        );
-        let schemes = plan.chosen_schemes().into();
-        let entry = Arc::new(BucketEntry {
-            plan,
-            pipeline,
-            schemes,
-        });
-        let built = slot.set(entry).is_ok();
+        let compiled = match &self.family {
+            Family::Mlp(f) => CompiledModel::compile_mlp(&self.planner, &f(bucket), self.seed),
+            Family::Network(f) => CompiledModel::compile(&self.planner, &f(bucket)),
+        };
+        let built = slot.set(Arc::new(compiled)).is_ok();
         (slot.get().expect("just initialized").clone(), built)
     }
 }
@@ -591,6 +626,55 @@ mod tests {
         assert_eq!(stats.requests, 4);
         assert!(stats.plan_builds >= 1 && stats.plan_builds <= 4);
         assert_eq!(stats.plan_builds + stats.cache_hits, 4);
+    }
+
+    #[test]
+    fn network_families_compile_and_serve_per_bucket() {
+        let s = Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
+            zoo::resnet_block_net(b, 8, 8, 7)
+        })
+        .buckets([2, 4])
+        .build();
+        let features = 16 * 8 * 8;
+        let r = s.serve(&Matrix::random(1, features, 50)).unwrap();
+        assert_eq!(r.bucket, 2);
+        assert_eq!(r.report.output.len(), 10);
+        assert!(!r.report.fault_detected());
+        // The compiled entry exposes the plan built on real conv shapes.
+        let compiled = s.compiled_for_bucket(2);
+        assert_eq!(compiled.plan().layers.len(), 5);
+        assert_eq!(r.schemes[..], compiled.plan().chosen_schemes()[..]);
+        // A second bucket compiles its own instance.
+        let r4 = s.serve(&Matrix::random(3, features, 51)).unwrap();
+        assert_eq!(r4.bucket, 4);
+        assert_eq!(r4.report.output.len(), 3 * 10);
+        assert_eq!(s.stats().plan_builds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed() only applies to MLP families")]
+    fn seeding_a_network_family_is_rejected() {
+        Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
+            zoo::resnet_block_net(b, 8, 8, 7)
+        })
+        .seed(42);
+    }
+
+    #[test]
+    fn network_feature_mismatch_is_rejected() {
+        let s = Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
+            zoo::resnet_block_net(b, 8, 8, 7)
+        })
+        .buckets([2])
+        .build();
+        let err = s.serve(&Matrix::random(1, 77, 52)).unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::FeatureMismatch {
+                observed: 77,
+                expected: 16 * 8 * 8
+            }
+        );
     }
 
     #[test]

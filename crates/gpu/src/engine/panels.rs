@@ -150,6 +150,13 @@ pub struct Workspace {
     pub(crate) act: Matrix,
     /// Checksum-verification scratch lent to bound kernels.
     pub(crate) check: CheckScratch,
+    /// Staging for convolution lowering (the im2col activation matrix).
+    pub(crate) lowering: Matrix,
+    /// Per-stage value slots lent to graph executors (compiled models
+    /// park every stage's output here). The vector length and each
+    /// slot's capacity only ratchet up, so steady-state graph execution
+    /// allocates nothing.
+    pub(crate) slots: Vec<Matrix>,
 }
 
 impl Workspace {
@@ -183,5 +190,54 @@ impl Workspace {
     /// borrows the workspace mutably.
     pub fn activations_mut(&mut self) -> &mut Matrix {
         &mut self.act
+    }
+
+    /// The convolution-lowering staging matrix (`aiga-nn`'s
+    /// `im2col_into` writes here). Like [`Self::activations_mut`], the
+    /// intended pattern is [`Self::take_lowering`] / [`Self::put_lowering`]
+    /// around the engine call that consumes it.
+    pub fn lowering_mut(&mut self) -> &mut Matrix {
+        &mut self.lowering
+    }
+
+    /// Moves the lowering buffer out (so it can be the engine's input
+    /// while the engine mutably borrows this workspace). Pair with
+    /// [`Self::put_lowering`]; the swap moves pointers, not data.
+    pub fn take_lowering(&mut self) -> Matrix {
+        std::mem::take(&mut self.lowering)
+    }
+
+    /// Returns a lowering buffer taken with [`Self::take_lowering`],
+    /// preserving its capacity for the next conv stage.
+    pub fn put_lowering(&mut self, m: Matrix) {
+        self.lowering = m;
+    }
+
+    /// Grows the slot table to at least `n` entries (a one-time
+    /// allocation; subsequent calls at or below the high-water mark are
+    /// free).
+    pub fn ensure_slots(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, Matrix::default);
+        }
+    }
+
+    /// Reads value slot `i` (in range after [`Self::ensure_slots`]).
+    pub fn slot(&self, i: usize) -> &Matrix {
+        &self.slots[i]
+    }
+
+    /// Moves value slot `i` out of the workspace (growing the table if
+    /// needed). Graph executors take a stage's input and output slots,
+    /// compute, and [`Self::put_slot`] them back — moves, never copies.
+    pub fn take_slot(&mut self, i: usize) -> Matrix {
+        self.ensure_slots(i + 1);
+        std::mem::take(&mut self.slots[i])
+    }
+
+    /// Returns a slot taken with [`Self::take_slot`], preserving its
+    /// buffer capacity for the next request.
+    pub fn put_slot(&mut self, i: usize, m: Matrix) {
+        self.slots[i] = m;
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::layer::conv_out;
 use aiga_fp16::F16;
-use aiga_gpu::engine::Matrix;
+use aiga_gpu::engine::{Matrix, Workspace};
 
 /// A batched FP16 feature map in NCHW layout.
 #[derive(Clone, Debug, PartialEq)]
@@ -120,10 +120,28 @@ impl ConvParams {
 
 /// Unrolls `input` into the implicit-GEMM activation matrix: row
 /// `(n, oy, ox)`, column `(c, ky, kx)` — `M = B·Ho·Wo`, `K = Cin·k²`.
+///
+/// Thin allocating wrapper over [`im2col_into`]; the serving hot path
+/// lowers into a warm [`Workspace`] instead and never allocates.
 pub fn im2col(input: &Tensor, p: ConvParams) -> Matrix {
+    let mut ws = Workspace::new();
+    im2col_into(input, p, &mut ws);
+    ws.take_lowering()
+}
+
+/// [`im2col`] into the workspace's lowering buffer: the destination is
+/// resized in place (capacity only ratchets up), so steady-state conv
+/// lowering performs zero heap allocations. Read the result via
+/// [`Workspace::lowering_mut`] or move it out with
+/// [`Workspace::take_lowering`] for the engine call.
+pub fn im2col_into(input: &Tensor, p: ConvParams, ws: &mut Workspace) {
     let (ho, wo) = p.out_dims(input.height, input.width);
     let k_dim = input.channels * p.kernel * p.kernel;
-    let mut out = Matrix::zeros(input.batch * ho * wo, k_dim);
+    let out = ws.lowering_mut();
+    out.rows = input.batch * ho * wo;
+    out.cols = k_dim;
+    out.data.clear();
+    out.data.resize(out.rows * k_dim, F16::ZERO);
     for n in 0..input.batch {
         for oy in 0..ho {
             for ox in 0..wo {
@@ -148,7 +166,6 @@ pub fn im2col(input: &Tensor, p: ConvParams) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// Reshapes OIHW filters into the `K × N` weight matrix (column per
@@ -299,6 +316,18 @@ mod tests {
             let got = out.get(spatial, co) as f64;
             assert!((got - d).abs() < 2e-2, "elem {i}: {got} vs {d}");
         }
+    }
+
+    #[test]
+    fn im2col_into_reuses_the_buffer_without_stale_data() {
+        let p = params(4, 3, 1, 1);
+        let big = Tensor::random(2, 3, 9, 9, 61);
+        let small = Tensor::random(1, 2, 5, 5, 62);
+        let mut ws = Workspace::new();
+        im2col_into(&big, p, &mut ws);
+        im2col_into(&small, p, &mut ws);
+        // The reused buffer must equal a fresh lowering exactly.
+        assert_eq!(*ws.lowering_mut(), im2col(&small, p));
     }
 
     #[test]

@@ -171,8 +171,16 @@ impl NetBuilder {
     }
 
     /// Pooling with ceil-mode output extent (SqueezeNet's max pools).
+    /// Follows torchvision: a last window starting inside the right
+    /// padding is dropped.
     pub fn pool_ceil(&mut self, kernel: u64, stride: u64, padding: u64) -> &mut Self {
-        let ceil = |input: u64| (input + 2 * padding - kernel).div_ceil(stride) + 1;
+        let ceil = |input: u64| {
+            let mut out = (input + 2 * padding - kernel).div_ceil(stride) + 1;
+            if (out - 1) * stride >= input + padding {
+                out -= 1;
+            }
+            out
+        };
         self.h = ceil(self.h);
         self.w = ceil(self.w);
         self

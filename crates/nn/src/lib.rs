@@ -20,12 +20,20 @@
 //! - four NoScope-style specialized CNNs (Fig. 11), reconstructed from
 //!   the paper's description and tuned to its reported aggregate
 //!   intensities (see `DESIGN.md` §5).
+//!
+//! [`graph`] turns the zoo from description into execution: a
+//! [`graph::Network`] carries real seeded FP16 weights and the non-GEMM
+//! glue (ReLU, pooling, flatten, concat, residual add) as executable
+//! nodes, and `aiga-core` compiles it into a served, protected model
+//! (`Model → ModelPlan → CompiledModel`).
 
 pub mod conv;
+pub mod graph;
 pub mod layer;
 pub mod model;
 pub mod zoo;
 
-pub use conv::{im2col, ConvParams, Tensor};
+pub use conv::{im2col, im2col_into, ConvParams, Tensor};
+pub use graph::{Network, NetworkBuilder, NodeOp, NodeRef, PoolKind, PoolParams};
 pub use layer::{LayerKind, LinearLayer, NetBuilder};
 pub use model::Model;

@@ -9,6 +9,7 @@
 //! is architecturally identical to the wide variant, which is why the
 //! paper reports the same aggregate intensity (220.8) for both.
 
+use crate::graph::{Network, NetworkBuilder};
 use crate::layer::{conv_out, LinearLayer, NetBuilder};
 use crate::model::Model;
 
@@ -72,6 +73,35 @@ pub fn resnext50_nogroup(batch: u64, h: u64, w: u64) -> Model {
 /// Wide-ResNet-50-2.
 pub fn wide_resnet50(batch: u64, h: u64, w: u64) -> Model {
     bottleneck_resnet("Wide-ResNet-50", batch, h, w, 2)
+}
+
+/// A *trimmed, executable* ResNet bottleneck block with real seeded
+/// FP16 weights: the torchvision v1.5 stage-entry shape — 1×1 reduce,
+/// strided 3×3, 1×1 expand, projection shortcut on the block input,
+/// residual add + ReLU — followed by global average pooling and a
+/// 10-way classifier head. Channels are scaled down (16 → 8 → 32) so
+/// end-to-end protected execution stays fast at test resolutions;
+/// the *structure* is exactly `layer2.0` of [`resnet50`].
+pub fn resnet_block_net(batch: u64, h: u64, w: u64, seed: u64) -> Network {
+    let (c_in, inner, c_out) = (16, 8, 32);
+    let mut b = NetworkBuilder::new(
+        "ResNet-block",
+        batch as usize,
+        c_in,
+        h as usize,
+        w as usize,
+        seed,
+    );
+    let block_in = b.cursor();
+    b.conv("block.conv1", inner, 1, 1, 0, true);
+    b.conv("block.conv2", inner, 3, 2, 1, true);
+    let main = b.conv("block.conv3", c_out, 1, 1, 0, false);
+    let short = b.conv_on(block_in, "block.downsample", c_out, 1, 2, 0, false);
+    b.add("block.add", main, short, true);
+    b.global_avg_pool("avgpool");
+    b.flatten("flatten");
+    b.fc("fc", 10, false);
+    b.build()
 }
 
 #[cfg(test)]

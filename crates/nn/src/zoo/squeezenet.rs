@@ -2,6 +2,7 @@
 //! modules, and a 1×1 convolutional classifier. Its max pools use
 //! ceil-mode extents.
 
+use crate::graph::{Network, NetworkBuilder, NodeRef};
 use crate::layer::NetBuilder;
 use crate::model::Model;
 
@@ -33,10 +34,65 @@ pub fn squeezenet(batch: u64, h: u64, w: u64) -> Model {
     b.build("SqueezeNet")
 }
 
+/// One executable Fire module: squeeze 1×1 → (expand 1×1 ∥ expand 3×3)
+/// → channel concat, every conv ReLU'd.
+fn fire_net(b: &mut NetworkBuilder, idx: usize, squeeze: usize, expand: usize) -> NodeRef {
+    let s = b.conv(format!("fire{idx}.squeeze"), squeeze, 1, 1, 0, true);
+    let e1 = b.conv_on(s, format!("fire{idx}.expand1x1"), expand, 1, 1, 0, true);
+    let e3 = b.conv_on(s, format!("fire{idx}.expand3x3"), expand, 3, 1, 1, true);
+    b.concat(format!("fire{idx}.concat"), vec![e1, e3])
+}
+
+/// *Executable* SqueezeNet 1.0 with real seeded FP16 weights: the same
+/// topology as [`squeezenet`] — 7×7 stem, eight Fire modules, 1×1
+/// convolutional classifier — plus the torchvision epilogue (ReLU and
+/// global average pooling) as executable nodes. Compile it with
+/// `aiga-core` to serve it end to end; `h`/`w` scale the input so tests
+/// can run trimmed resolutions.
+pub fn squeezenet_net(batch: u64, h: u64, w: u64, seed: u64) -> Network {
+    let mut b = NetworkBuilder::new(
+        "SqueezeNet",
+        batch as usize,
+        3,
+        h as usize,
+        w as usize,
+        seed,
+    );
+    b.conv("features.0", 96, 7, 2, 0, true);
+    b.max_pool_ceil("features.2", 3, 2, 0);
+    fire_net(&mut b, 2, 16, 64);
+    fire_net(&mut b, 3, 16, 64);
+    fire_net(&mut b, 4, 32, 128);
+    b.max_pool_ceil("features.6", 3, 2, 0);
+    fire_net(&mut b, 5, 32, 128);
+    fire_net(&mut b, 6, 48, 192);
+    fire_net(&mut b, 7, 48, 192);
+    fire_net(&mut b, 8, 64, 256);
+    b.max_pool_ceil("features.11", 3, 2, 0);
+    fire_net(&mut b, 9, 64, 256);
+    b.conv("classifier.1", 1000, 1, 1, 0, true);
+    b.global_avg_pool("classifier.3");
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::zoo::HD;
+
+    #[test]
+    fn executable_squeezenet_matches_the_analytic_lowering() {
+        // The compiled path plans on Network::to_model(); its GEMM
+        // shapes must agree with the analytic zoo entry layer by layer.
+        let net = squeezenet_net(1, 224, 224, 3);
+        let analytic = squeezenet(1, 224, 224);
+        let compiled = net.to_model();
+        assert_eq!(compiled.layers.len(), analytic.layers.len());
+        for (a, b) in compiled.layers.iter().zip(&analytic.layers) {
+            assert_eq!(a.shape, b.shape, "{} vs {}", a.name, b.name);
+            assert_eq!(a.name, b.name);
+        }
+    }
 
     #[test]
     fn has_26_linear_layers() {

@@ -4,10 +4,15 @@
 //! counts samples in `[2^i, 2^(i+1))` (bin 0 also takes 0 ns). Recording
 //! is one atomic increment — lock-free, wait-free, shareable across any
 //! number of threads by reference — and the memory footprint is a flat
-//! 512 bytes regardless of sample count. Quantiles are read from the
-//! bin boundaries, so a reported p99 is an upper bound within 2× of the
-//! true value — the right fidelity for serving dashboards at zero
-//! steady-state cost (no allocation, ever).
+//! 512 bytes regardless of sample count. Quantiles interpolate linearly
+//! *within* the bin holding the quantile sample (by its rank among the
+//! bin's samples), so reported percentiles are meaningful numbers
+//! rather than the raw power-of-two bin edges (a bare log2 histogram
+//! can only ever answer 67.1 ms or 134.2 ms — useless for diffing
+//! `BENCH_serving.json` runs). The estimate stays inside the sample's
+//! bin, so it is never more than 2× the true latency and never below
+//! the bin's lower edge — the right fidelity for serving dashboards at
+//! zero steady-state cost (no allocation, ever).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -75,9 +80,14 @@ impl LatencyHistogram {
         }
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: the upper bound of
-    /// the bin holding the quantile sample (within 2× of the true
-    /// latency). Returns 0 for an empty histogram.
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, linearly
+    /// interpolated within the bin holding the quantile sample: if the
+    /// sample is the `r`-th of `c` samples in `[lo, hi)`, the estimate
+    /// is `lo + (hi - lo) · r/c`. A lone sample in its bin reports the
+    /// bin's upper bound (the pre-interpolation behavior), so the
+    /// estimate is always in `(lo, hi]` — within 2× of the true
+    /// latency, and no longer pinned to power-of-two edges. Returns 0
+    /// for an empty histogram.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let mut counts = [0u64; BINS];
         for (count, bin) in counts.iter_mut().zip(&self.bins) {
@@ -91,25 +101,31 @@ impl LatencyHistogram {
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (bin, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bin_upper(bin);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let lo = if bin == 0 { 0 } else { 1u64 << bin };
+                let hi = bin_upper(bin);
+                let within = (rank - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * within).round() as u64;
+            }
+            seen += c;
         }
         bin_upper(BINS - 1)
     }
 
-    /// Median latency upper bound, ns.
+    /// Median latency estimate, ns.
     pub fn p50_ns(&self) -> u64 {
         self.quantile_ns(0.50)
     }
 
-    /// 95th-percentile latency upper bound, ns.
+    /// 95th-percentile latency estimate, ns.
     pub fn p95_ns(&self) -> u64 {
         self.quantile_ns(0.95)
     }
 
-    /// 99th-percentile latency upper bound, ns.
+    /// 99th-percentile latency estimate, ns.
     pub fn p99_ns(&self) -> u64 {
         self.quantile_ns(0.99)
     }
@@ -170,6 +186,29 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99);
         assert!((500_000..=1_048_576).contains(&p50));
         assert!(p99 >= 990_000);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bin() {
+        // 64 samples spread across one bin, [2^25, 2^26) ≈ 33.6–67.1 ms:
+        // a pure log2 readout could only ever answer 67108864 exactly.
+        let h = LatencyHistogram::new();
+        let lo = 1u64 << 25;
+        for i in 0..64u64 {
+            h.record_ns(lo + i * (lo / 64));
+        }
+        let p50 = h.p50_ns();
+        assert_ne!(p50, 1 << 26, "p50 must not sit on the bin edge");
+        assert!(p50 > lo && p50 <= 1 << 26);
+        // Rank 32 of 64 -> halfway through the bin.
+        assert_eq!(p50, lo + lo / 2);
+        // Higher quantiles move monotonically toward the upper edge.
+        let p95 = h.p95_ns();
+        let p99 = h.p99_ns();
+        assert!(p50 < p95 && p95 < p99 && p99 <= 1 << 26);
+        // The true p99 (sample 64 of 64 at ~lo + 63/64·lo) is within the
+        // interpolated estimate's bin resolution.
+        assert!((p99 as f64 - (lo + 63 * (lo / 64)) as f64).abs() < lo as f64 / 8.0);
     }
 
     #[test]

@@ -143,7 +143,7 @@ fn main() {
         stats.max_queue_depth
     );
     println!(
-        "  latency: p50 {:.2} ms | p95 {:.2} ms | p99 {:.2} ms (log2-bin upper bounds)",
+        "  latency: p50 {:.2} ms | p95 {:.2} ms | p99 {:.2} ms (log2-bin interpolated)",
         stats.p50_latency_ns as f64 / 1e6,
         stats.p95_latency_ns as f64 / 1e6,
         stats.p99_latency_ns as f64 / 1e6

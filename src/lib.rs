@@ -62,6 +62,32 @@
 //! assert!(!reply.report.fault_detected());
 //! ```
 //!
+//! Compile an *executable* zoo network — real FP16 weights, every
+//! convolution lowered through workspace-threaded im2col onto the
+//! protected engine, pooling/ReLU/residual epilogues between stages —
+//! and serve it through the same session front-end
+//! (`Model → ModelPlan → CompiledModel`):
+//!
+//! ```
+//! use aiga::prelude::*;
+//!
+//! // A trimmed executable ResNet bottleneck block from the zoo: the
+//! // planner selects per-layer schemes on its REAL conv shapes.
+//! let session = Session::builder_network(
+//!     Planner::new(DeviceSpec::t4()),
+//!     "resnet-block",
+//!     |b| zoo::resnet_block_net(b, 8, 8, 7),
+//! )
+//! .buckets([2])
+//! .build();
+//!
+//! // Requests are flattened NCHW rows (16 channels × 8 × 8 here).
+//! let reply = session.serve(&Matrix::random(1, 16 * 8 * 8, 42)).unwrap();
+//! assert_eq!(reply.report.output.len(), 10); // 10-way classifier head
+//! assert!(!reply.report.fault_detected());
+//! assert_eq!(reply.schemes.len(), 5); // conv1/conv2/conv3/downsample/fc
+//! ```
+//!
 //! Stand a concurrent `Server` in front of the session for multi-client
 //! traffic — bounded admission, worker threads, and a dynamic batcher
 //! that coalesces concurrent requests into the planner's batch buckets
@@ -103,6 +129,7 @@ pub use aiga_util as util;
 /// use aiga::prelude::*;
 /// ```
 pub mod prelude {
+    pub use aiga_core::compiled::CompiledModel;
     pub use aiga_core::cost::{evaluate_layer, SchemeTiming};
     pub use aiga_core::kernel::{
         BoundKernel, MultiChecksumKernel, RunReport, SchemeKernel, Verdict,
@@ -121,5 +148,7 @@ pub mod prelude {
     pub use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme, Workspace};
     pub use aiga_gpu::timing::Calibration;
     pub use aiga_gpu::{Bound, DeviceSpec, GemmShape, Roofline, TilingConfig};
-    pub use aiga_nn::{zoo, ConvParams, LinearLayer, Model, Tensor};
+    pub use aiga_nn::{
+        im2col, im2col_into, zoo, ConvParams, LinearLayer, Model, Network, NetworkBuilder, Tensor,
+    };
 }

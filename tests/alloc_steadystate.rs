@@ -14,7 +14,13 @@
 //!    thread-level schemes;
 //! 2. steady-state `Session::serve` allocates only the returned
 //!    report's output vector — a small constant, identical from
-//!    request to request, independent of model depth or GEMM size.
+//!    request to request, independent of model depth or GEMM size;
+//!
+//! 3. the *conv* engine path — `im2col_into` lowering into the
+//!    workspace plus the protected GEMM — performs exactly zero heap
+//!    allocations once warm, and steady-state compiled-model serving
+//!    (conv stages, pooling/concat/residual epilogues, value slots)
+//!    stays at the same small report-only constant.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -121,6 +127,62 @@ fn steady_state_hot_paths_do_not_allocate() {
     assert!(
         first <= 4,
         "steady-state serve should only allocate the report (saw {first})"
+    );
+
+    // --- 3. Conv path: im2col lowering + protected GEMM, zero-alloc
+    // once the workspace is warm (the satellite guarantee behind
+    // compiled-model serving).
+    let input = Tensor::random(2, 3, 12, 12, 81);
+    let filters = Tensor::random(8, 3, 3, 3, 82);
+    let params = ConvParams {
+        c_out: 8,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let weights = aiga_nn::conv::filters_to_matrix(&filters);
+    let conv_shape = GemmShape::new(2 * 12 * 12, 8, 27);
+    let conv_engine = GemmEngine::with_default_tiling(conv_shape);
+    for scheme in [Scheme::GlobalAbft, Scheme::ThreadLevelOneSided] {
+        let bound = reg.resolve(scheme).bind(&weights);
+        let mut ws = Workspace::new();
+        let conv_pass = |ws: &mut Workspace| {
+            im2col_into(&input, params, ws);
+            let a = ws.take_lowering();
+            bound.run_into(&conv_engine, &a, &[], ws);
+            ws.put_lowering(a);
+        };
+        conv_pass(&mut ws); // warm the lowering buffer + panels
+        let n = allocs_during(|| conv_pass(&mut ws));
+        assert_eq!(n, 0, "{scheme}: conv engine path allocated {n} times");
+    }
+
+    // Steady-state compiled-model serving (conv stages + pooling +
+    // residual epilogues through the session pool) allocates only the
+    // returned report, exactly like the MLP path.
+    let compiled_session =
+        Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
+            zoo::resnet_block_net(b, 8, 8, 5)
+        })
+        .buckets([2])
+        .build();
+    let conv_request = Matrix::random(2, 16 * 8 * 8, 43);
+    for _ in 0..3 {
+        compiled_session.serve(&conv_request).unwrap(); // compile + warm
+    }
+    let first = allocs_during(|| {
+        std::hint::black_box(compiled_session.serve(&conv_request).unwrap());
+    });
+    let second = allocs_during(|| {
+        std::hint::black_box(compiled_session.serve(&conv_request).unwrap());
+    });
+    assert_eq!(
+        first, second,
+        "steady-state compiled serve allocation count must be stable"
+    );
+    assert!(
+        first <= 4,
+        "steady-state compiled serve should only allocate the report (saw {first})"
     );
 
     // A campaign-style loop over a warm ProtectedGemm is zero-alloc too.

@@ -1,0 +1,256 @@
+//! End-to-end tests for the model-compilation path
+//! (`Model → ModelPlan → CompiledModel`): executable zoo networks with
+//! real FP16 weights, convolutions lowered through workspace-threaded
+//! im2col onto the protected GEMM engine, served through `Session` and
+//! the concurrent `Server`.
+//!
+//! The correctness oracle is `Network::reference_f64`, which mirrors
+//! the executor's FP16 quantization points exactly and differs only in
+//! accumulating GEMMs in f64 instead of the engine's f32 — so "matches
+//! within FP16 tolerance" is a tight assertion, not a hand-wave.
+
+use aiga::prelude::*;
+use aiga_nn::graph::NetworkBuilder;
+use std::time::Duration;
+
+/// |got − want| ≤ atol + rtol·|want|, element-wise.
+fn assert_close(got: &[f32], want: &[f64], atol: f64, rtol: f64, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let err = (g as f64 - w).abs();
+        assert!(
+            err <= atol + rtol * w.abs(),
+            "{what}: elem {i}: got {g}, want {w} (err {err:.3e})"
+        );
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A single-conv network over `c_in × 13 × 11` inputs.
+fn single_conv(
+    batch: usize,
+    c_in: usize,
+    c_out: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Network {
+    let mut b = NetworkBuilder::new(
+        format!("conv-k{kernel}s{stride}p{padding}"),
+        batch,
+        c_in,
+        13,
+        11,
+        90 + kernel as u64,
+    );
+    b.conv("conv", c_out, kernel, stride, padding, false);
+    b.build()
+}
+
+#[test]
+fn compiled_conv_layers_match_the_reference_across_zoo_shapes() {
+    // Kernel/stride/padding shapes drawn from the zoo: SqueezeNet's 7×7
+    // stem, ResNet's strided 3×3, 1×1 squeeze/expand convs, AlexNet's
+    // 11×11 stride-4 stem, and a depthwise-ish single-input-channel
+    // edge case.
+    let cases: [(usize, usize, usize, usize, usize); 6] = [
+        (3, 8, 7, 2, 0),  // SqueezeNet features.0
+        (4, 6, 3, 2, 1),  // ResNet conv2, stage entry
+        (5, 9, 1, 1, 0),  // 1×1 squeeze/expand/projection
+        (3, 4, 11, 4, 2), // AlexNet features.0
+        (1, 5, 3, 1, 1),  // depthwise-ish: one input channel
+        (2, 4, 5, 2, 2),  // generic 5×5
+    ];
+    for (c_in, c_out, kernel, stride, padding) in cases {
+        let net = single_conv(2, c_in, c_out, kernel, stride, padding);
+        let compiled = Planner::new(DeviceSpec::t4()).compile(&net);
+        let input = Matrix::random(2, net.input_features(), 7 * kernel as u64 + stride as u64);
+        let report = compiled.infer(&input, None);
+        assert!(!report.fault_detected(), "{}", net.name);
+        let want = net.reference_f64(&input);
+        assert_close(&report.output, &want, 2e-2, 2e-2, &net.name);
+    }
+}
+
+#[test]
+fn conv_faults_are_detected_under_every_scheme() {
+    // End-to-end fault detection on a conv layer: the fault lands in
+    // the lowered GEMM's output (row = output position, col = channel)
+    // and every protected scheme must flag it; the unprotected baseline
+    // must not.
+    let net = single_conv(2, 3, 8, 3, 1, 1);
+    let fault = PipelineFault {
+        layer: 0,
+        fault: FaultPlan {
+            row: 17,
+            col: 5,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(500.0),
+        },
+    };
+    for scheme in Scheme::all_protected() {
+        let p = aiga_core::ProtectedPipeline::compile(&net, &[scheme]);
+        let clean = p.infer(&Matrix::random(2, net.input_features(), 31), None);
+        assert!(!clean.fault_detected(), "{scheme}: false positive");
+        let dirty = p.infer(&Matrix::random(2, net.input_features(), 31), Some(fault));
+        assert!(dirty.fault_detected(), "{scheme}: missed conv fault");
+        assert_eq!(dirty.detections[0].layer, 0);
+        assert_eq!(dirty.detections[0].scheme, scheme);
+    }
+    let unprot = aiga_core::ProtectedPipeline::compile(&net, &[Scheme::Unprotected]);
+    let dirty = unprot.infer(&Matrix::random(2, net.input_features(), 31), Some(fault));
+    assert!(!dirty.fault_detected(), "unprotected must stay silent");
+}
+
+#[test]
+fn squeezenet_serves_end_to_end_matching_the_reference() {
+    // Full executable SqueezeNet (stem + 8 Fire modules + conv
+    // classifier + GAP) at a trimmed 32×32 resolution, through the
+    // session's bucket/pad/crop path.
+    let session = Session::builder_network(Planner::new(DeviceSpec::t4()), "squeezenet", |b| {
+        zoo::squeezenet_net(b, 32, 32, 7)
+    })
+    .buckets([4])
+    .build();
+    let net = zoo::squeezenet_net(4, 32, 32, 7);
+    assert_eq!(net.gemm_count(), 26);
+
+    // A partial batch: served padded, cropped back to 3 images.
+    let input = Matrix::random(3, net.input_features(), 123);
+    let reply = session.serve(&input).unwrap();
+    assert_eq!(reply.bucket, 4);
+    assert_eq!(reply.rows, 3);
+    assert_eq!(reply.report.output.len(), 3 * 1000);
+    assert!(!reply.report.fault_detected());
+    assert_eq!(reply.schemes.len(), 26);
+
+    let want = net.reference_f64(&input);
+    // 26 layers deep: f32-vs-f64 accumulation and straddled FP16
+    // roundings compound, so the tolerance is wider than single-layer
+    // but still FP16-scale.
+    assert_close(&reply.report.output, &want, 4e-2, 4e-2, "SqueezeNet");
+
+    // The per-layer plan really mixes decisions on real conv shapes.
+    let plan = session.plan_for_bucket(4);
+    assert_eq!(plan.layers.len(), 26);
+    assert_eq!(reply.schemes[..], plan.chosen_schemes()[..]);
+}
+
+#[test]
+fn resnet_block_serves_end_to_end_matching_the_reference() {
+    let session = Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
+        zoo::resnet_block_net(b, 16, 16, 11)
+    })
+    .buckets([2, 4])
+    .build();
+    let net = zoo::resnet_block_net(4, 16, 16, 11);
+    let input = Matrix::random(4, net.input_features(), 321);
+    let reply = session.serve(&input).unwrap();
+    assert_eq!(reply.bucket, 4);
+    assert_eq!(reply.report.output.len(), 4 * 10);
+    let want = net.reference_f64(&input);
+    assert_close(&reply.report.output, &want, 2e-2, 2e-2, "ResNet block");
+
+    // Detection survives the full conv → residual-add → fc graph: aim a
+    // fault at the strided 3×3 (layer index 1 in plan order).
+    let fault = PipelineFault {
+        layer: 1,
+        fault: FaultPlan {
+            row: 9,
+            col: 3,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(300.0),
+        },
+    };
+    let dirty = session.serve_with_fault(&input, Some(fault)).unwrap();
+    assert!(dirty.report.fault_detected());
+    assert_eq!(dirty.report.detections[0].name, "block.conv2");
+    assert_eq!(session.stats().faulty_requests, 1);
+}
+
+#[test]
+fn oversized_compiled_requests_split_like_mlp_ones() {
+    let session = Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
+        zoo::resnet_block_net(b, 8, 8, 5)
+    })
+    .buckets([2])
+    .build();
+    let features = 16 * 8 * 8;
+    let big = Matrix::random(5, features, 77);
+    let r = session.serve(&big).unwrap();
+    assert_eq!(r.rows, 5);
+    assert_eq!(r.report.output.len(), 5 * 10);
+    assert_eq!(session.stats().split_requests, 1);
+    // Each chunk equals serving it alone (per-image independence).
+    for (start, rows) in [(0usize, 2usize), (2, 2), (4, 1)] {
+        let chunk = big.row_block(start, rows);
+        let rc = session.serve(&chunk).unwrap();
+        assert_eq!(
+            bits(&rc.report.output),
+            bits(&r.report.output[start * 10..(start + rows) * 10]),
+            "chunk at {start}"
+        );
+    }
+}
+
+#[test]
+fn coalesced_compiled_serving_is_byte_identical_to_solo() {
+    // Concurrent clients over a compiled ResNet block: whatever batches
+    // the dynamic batcher forms, reply bytes must equal a direct
+    // single-caller serve of the same request.
+    let make_session = || {
+        Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
+            zoo::resnet_block_net(b, 8, 8, 9)
+        })
+        .buckets([4])
+        .build()
+    };
+    let server = Server::builder(make_session())
+        .workers(2)
+        .queue_capacity(32)
+        .coalesce_window(Duration::from_micros(300))
+        .build();
+    let reference = make_session();
+    let features = 16 * 8 * 8;
+
+    const CLIENTS: usize = 3;
+    const PER_CLIENT: usize = 3;
+    let replies: Vec<(Matrix, ServeReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let client = server.client();
+                scope.spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|i| {
+                            let rows = 1 + (c + i) % 2;
+                            let input =
+                                Matrix::random(rows, features, 500 + (c * PER_CLIENT + i) as u64);
+                            let reply = client.submit(&input).unwrap().wait().unwrap();
+                            (input, reply)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    for (input, reply) in &replies {
+        assert_eq!(reply.rows, input.rows);
+        let direct = reference.serve(input).unwrap();
+        assert_eq!(
+            bits(&reply.report.output),
+            bits(&direct.report.output),
+            "coalesced compiled reply diverged from solo serve"
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.failed + stats.rejected, 0);
+}
