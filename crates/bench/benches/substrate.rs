@@ -86,6 +86,43 @@ fn main() {
             black_box(global.run(&eng, &a, &[]));
         });
     }
+
+    // Correction-path overhead: a faulted run through the corrected
+    // entry point (localize + targeted recompute + re-verify) against
+    // the same scheme's detect-only faulted run. The delta prices the
+    // repair itself — one implicated slice recomputed, never the full
+    // kernel — across all three localizer families.
+    {
+        use aiga_core::protected::ProtectedGemm;
+        use aiga_core::schemes::Scheme;
+        use aiga_gpu::engine::Workspace;
+
+        let shape = GemmShape::square(64);
+        let fault = FaultPlan {
+            row: 17,
+            col: 23,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(300.0),
+        };
+        for (name, scheme) in [
+            ("global_abft", Scheme::GlobalAbft),
+            ("one_sided", Scheme::ThreadLevelOneSided),
+            ("replication_traditional", Scheme::ReplicationTraditional),
+            ("multi_checksum_2", Scheme::MultiChecksum(2)),
+        ] {
+            let gemm = ProtectedGemm::random(shape, scheme, 5);
+            let mut ws = Workspace::new();
+            gemm.run_into(&[fault], &mut ws); // warm the workspace
+            rec.bench(&format!("engine/gemm_64_{name}_detect_faulted"), || {
+                black_box(gemm.run_into(&[fault], &mut ws));
+            });
+            let verdict = gemm.run_corrected_into(&[fault], &mut ws);
+            assert!(verdict.is_corrected(), "{scheme}: {verdict:?}");
+            rec.bench(&format!("engine/gemm_64_{name}_corrected"), || {
+                black_box(gemm.run_corrected_into(&[fault], &mut ws));
+            });
+        }
+    }
     rec.write().expect("write BENCH_engine.json");
 
     let dev = DeviceSpec::t4();

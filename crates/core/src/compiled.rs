@@ -73,6 +73,67 @@ impl CompiledModel {
         }
     }
 
+    /// Like [`Self::compile`] but binding an explicit per-layer scheme
+    /// list in place of the plan's choices — the adaptive controller's
+    /// recompile path (the plan is kept, with its `chosen` fields
+    /// overwritten, so cost introspection still works).
+    pub fn compile_overridden(planner: &Planner, net: &Network, schemes: &[Scheme]) -> Self {
+        let model = net.to_model();
+        let mut plan = planner.plan(&model);
+        assert_eq!(
+            plan.layers.len(),
+            schemes.len(),
+            "one override scheme per planned layer"
+        );
+        for (layer, &s) in plan.layers.iter_mut().zip(schemes) {
+            layer.chosen = s;
+        }
+        let schemes: Arc<[Scheme]> = schemes.into();
+        let pipeline =
+            ProtectedPipeline::compile_with_registry(planner.scheme_registry(), net, &schemes);
+        CompiledModel {
+            plan,
+            schemes,
+            pipeline,
+        }
+    }
+
+    /// Like [`Self::compile_mlp`] but binding an explicit per-layer
+    /// scheme list in place of the plan's choices.
+    pub fn compile_mlp_overridden(
+        planner: &Planner,
+        model: &Model,
+        seed: u64,
+        schemes: &[Scheme],
+    ) -> Self {
+        let mut plan = planner.plan(model);
+        assert_eq!(
+            plan.layers.len(),
+            schemes.len(),
+            "one override scheme per planned layer"
+        );
+        for (layer, &s) in plan.layers.iter_mut().zip(schemes) {
+            layer.chosen = s;
+        }
+        let schemes: Arc<[Scheme]> = schemes.into();
+        let pipeline =
+            ProtectedPipeline::with_registry(planner.scheme_registry(), model, &schemes, seed);
+        CompiledModel {
+            plan,
+            schemes,
+            pipeline,
+        }
+    }
+
+    /// Enables (or disables) in-pass correction on the underlying
+    /// pipeline: localized verdicts recompute their implicated slice
+    /// instead of merely flagging (see
+    /// [`ProtectedPipeline::with_recovery`]).
+    pub fn with_recovery(mut self, on: bool) -> Self {
+        self.pipeline = self.pipeline.with_recovery(on);
+        self
+    }
+
     /// The intensity-guided plan this model was compiled against.
     pub fn plan(&self) -> &ModelPlan {
         &self.plan

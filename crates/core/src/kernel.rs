@@ -38,6 +38,36 @@ pub const FLOPS_PER_MMA_PARTICIPATION: u64 = 8;
 /// see EXPERIMENTS.md §Fig. 12).
 pub const FLOPS_PER_CHECKSUM_OP: u64 = 1;
 
+/// Where a localizing scheme pinned a detected fault.
+///
+/// Each checksum scheme localizes at the granularity its redundancy
+/// affords: a thread-level detection names the lane whose `Mt × Nt`
+/// fragment is implicated; global ABFT's per-column residual comparison
+/// names one output column; the multi-checksum round-residual ratio
+/// names one output row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSite {
+    /// A simulated lane flagged; every cell of its fragment is suspect.
+    Lane {
+        /// Threadblock coordinates.
+        block: (u64, u64),
+        /// Warp index within the block.
+        warp: u64,
+        /// Lane within the warp.
+        lane: usize,
+    },
+    /// One output column implicated by the kernel-level checksum.
+    Column {
+        /// Global output column index.
+        col: usize,
+    },
+    /// One output row implicated by the weighted-checksum ratio.
+    Row {
+        /// Global output row index.
+        row: usize,
+    },
+}
+
 /// Outcome of a protected GEMM.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Verdict {
@@ -50,6 +80,19 @@ pub enum Verdict {
         /// Threshold it exceeded.
         threshold: f64,
     },
+    /// A fault was flagged, localized, and repaired in place — the
+    /// output in the workspace is byte-equal to a clean run.
+    Corrected {
+        /// Residual of the original detection.
+        residual: f64,
+        /// Threshold it exceeded.
+        threshold: f64,
+        /// Where the fault was localized.
+        site: FaultSite,
+        /// True when the repair came from a replication majority vote
+        /// rather than a checksum-guided recompute.
+        vote: bool,
+    },
 }
 
 impl Verdict {
@@ -58,8 +101,18 @@ impl Verdict {
         matches!(self, Verdict::Clean)
     }
 
-    /// True if a fault was flagged.
+    /// True if a fault was flagged and **not** repaired.
     pub fn is_detected(self) -> bool {
+        matches!(self, Verdict::Detected { .. })
+    }
+
+    /// True if a fault was flagged and repaired in place.
+    pub fn is_corrected(self) -> bool {
+        matches!(self, Verdict::Corrected { .. })
+    }
+
+    /// True if a fault was flagged at all (detected or corrected).
+    pub fn fault_flagged(self) -> bool {
         !self.is_clean()
     }
 }
@@ -130,6 +183,44 @@ pub trait BoundKernel: Send + Sync {
         RunReport {
             verdict,
             output: ws.take_output(),
+        }
+    }
+
+    /// Attempts to localize and repair the fault behind a `Detected`
+    /// verdict, recomputing only the implicated cells of the output
+    /// still sitting in `ws` (the operand panels from the run are still
+    /// staged there). On success returns [`Verdict::Corrected`] and the
+    /// workspace output is byte-equal to a clean run; schemes that
+    /// cannot localize — and repairs that fail re-verification — return
+    /// the verdict unchanged. Allocation-free once the workspace is
+    /// warm.
+    ///
+    /// Must be called directly after [`Self::run_into`] on the same
+    /// workspace, with the same `activations`.
+    fn correct_into(
+        &self,
+        _engine: &GemmEngine,
+        _activations: &Matrix,
+        _ws: &mut Workspace,
+        verdict: Verdict,
+    ) -> Verdict {
+        verdict
+    }
+
+    /// [`Self::run_into`] followed by [`Self::correct_into`] when the
+    /// run flags a fault — the one-call recovery entry point.
+    fn run_corrected_into(
+        &self,
+        engine: &GemmEngine,
+        activations: &Matrix,
+        faults: &[FaultPlan],
+        ws: &mut Workspace,
+    ) -> Verdict {
+        let verdict = self.run_into(engine, activations, faults, ws);
+        if verdict.is_detected() {
+            self.correct_into(engine, activations, ws, verdict)
+        } else {
+            verdict
         }
     }
 }
@@ -299,6 +390,67 @@ impl BoundKernel for GlobalBound {
         let verdict = verdict_from_global(self.abft.verify(activations, &output));
         RunReport { verdict, output }
     }
+
+    /// Column localization: the weight checksum gives the *expected*
+    /// column sum `Σ_k chk(A)[k]·B[k][j]` for every output column; the
+    /// column whose observed sum deviates most is the faulted one (a
+    /// single corrupted cell perturbs exactly one column sum by δ).
+    /// Recompute that column, then re-verify the whole layer — a
+    /// mislocalized repair rewrites identical bits and fails the
+    /// re-check, so the original verdict survives.
+    fn correct_into(
+        &self,
+        _engine: &GemmEngine,
+        activations: &Matrix,
+        ws: &mut Workspace,
+        verdict: Verdict,
+    ) -> Verdict {
+        let Verdict::Detected {
+            residual,
+            threshold,
+        } = verdict
+        else {
+            return verdict;
+        };
+        let col = {
+            let (output, check) = ws.output_and_check();
+            GlobalAbft::activation_checksum_into(activations, check);
+            let mut best = 0usize;
+            let mut best_diff = f64::NEG_INFINITY;
+            for j in 0..output.n {
+                let mut expected = 0.0f64;
+                for (k, &chk) in check.chk.iter().enumerate() {
+                    expected += chk as f64 * self.weights.get(k, j).to_f64();
+                }
+                let mut observed = 0.0f64;
+                for i in 0..output.m {
+                    observed += output.get(i, j) as f64;
+                }
+                let diff = (expected - observed).abs();
+                if diff > best_diff {
+                    best_diff = diff;
+                    best = j;
+                }
+            }
+            best
+        };
+        ws.recompute_col(col);
+        let (output, check) = ws.output_and_check();
+        if self
+            .abft
+            .verify_with(activations, output, check)
+            .fault_detected
+        {
+            verdict
+        } else {
+            Verdict::Corrected {
+                residual,
+                threshold,
+                site: FaultSite::Column { col },
+                vote: false,
+            }
+        }
+    }
 }
 
 fn verdict_from_global(v: crate::schemes::GlobalVerdict) -> Verdict {
@@ -380,6 +532,58 @@ impl<S: ThreadLocalScheme + 'static> BoundKernel for ThreadBound<S> {
         RunReport {
             verdict: verdict_from_detections(&output),
             output,
+        }
+    }
+
+    /// Lane localization: every per-thread detection names the
+    /// `(block, warp, lane)` whose fragment is implicated, so repair
+    /// recomputes exactly those `Mt × Nt` cells from the staged panels.
+    /// For the replication schemes this is the majority-vote resolution
+    /// — the disagreeing accumulator is simply overwritten with the
+    /// recomputed (clean) value instead of merely flagged.
+    fn correct_into(
+        &self,
+        engine: &GemmEngine,
+        _activations: &Matrix,
+        ws: &mut Workspace,
+        verdict: Verdict,
+    ) -> Verdict {
+        let Verdict::Detected {
+            residual,
+            threshold,
+        } = verdict
+        else {
+            return verdict;
+        };
+        if ws.output().detections.is_empty() {
+            return verdict;
+        }
+        let site = {
+            let d = &ws.output().detections[0];
+            FaultSite::Lane {
+                block: d.block,
+                warp: d.warp,
+                lane: d.lane,
+            }
+        };
+        // Detections live inside the output we are about to repair:
+        // copy each lane's coordinates out before mutating cells.
+        for i in 0..ws.output().detections.len() {
+            let (block, warp, lane) = {
+                let d = &ws.output().detections[i];
+                (d.block, d.warp, d.lane)
+            };
+            engine.recompute_lane_into(block, warp, lane, ws);
+        }
+        ws.output_mut().detections.clear();
+        Verdict::Corrected {
+            residual,
+            threshold,
+            site,
+            vote: matches!(
+                self.scheme,
+                Scheme::ReplicationSingleAcc | Scheme::ReplicationTraditional
+            ),
         }
     }
 }
@@ -471,6 +675,62 @@ impl BoundKernel for MultiChecksumBound {
             None => Verdict::Clean,
         };
         RunReport { verdict, output }
+    }
+
+    /// Row localization via the Vandermonde weights: a single fault `δ`
+    /// in row `ρ` leaves signed residual `w_r(ρ)·δ = (ρ+1)^r·δ` in
+    /// every round, so round 1 over round 0 recovers `ρ+1` exactly.
+    /// Needs two rounds; a non-integral ratio (several faulted rows, or
+    /// a round-0 cancellation) leaves the verdict unrepaired. Repaired
+    /// rows re-verify through every round before the verdict upgrades.
+    fn correct_into(
+        &self,
+        _engine: &GemmEngine,
+        activations: &Matrix,
+        ws: &mut Workspace,
+        verdict: Verdict,
+    ) -> Verdict {
+        let Verdict::Detected {
+            residual,
+            threshold,
+        } = verdict
+        else {
+            return verdict;
+        };
+        if self.rounds < 2 {
+            return verdict;
+        }
+        let row = {
+            let output = ws.output();
+            let res0 = self.abft.round_residual_signed(activations, output, 0);
+            let res1 = self.abft.round_residual_signed(activations, output, 1);
+            let ratio = res1 / res0;
+            if !ratio.is_finite() || !(0.5..output.m as f64 + 0.5).contains(&ratio) {
+                return verdict;
+            }
+            let row = ratio.round();
+            if (ratio - row).abs() > 0.25 {
+                return verdict;
+            }
+            row as usize - 1
+        };
+        ws.recompute_row(row);
+        let output = ws.output();
+        for r in 0..self.rounds as usize {
+            if self
+                .abft
+                .verify_round(activations, output, r)
+                .fault_detected
+            {
+                return verdict;
+            }
+        }
+        Verdict::Corrected {
+            residual,
+            threshold,
+            site: FaultSite::Row { row },
+            vote: false,
+        }
     }
 }
 

@@ -50,6 +50,7 @@
 //! (byte-identically to solo serving) behind [`serve::Client`] /
 //! [`serve::Pending`] request handles.
 
+pub mod adapt;
 pub mod compiled;
 pub mod cost;
 pub mod kernel;
@@ -64,9 +65,10 @@ pub mod serve;
 pub mod session;
 pub mod tolerance;
 
+pub use adapt::{AdaptConfig, AdaptiveController, Adjustment, Observation};
 pub use compiled::CompiledModel;
-pub use kernel::{BoundKernel, RunReport, SchemeKernel, Verdict};
-pub use pipeline::{InferenceReport, PipelineFault, ProtectedPipeline};
+pub use kernel::{BoundKernel, FaultSite, RunReport, SchemeKernel, Verdict};
+pub use pipeline::{InferenceReport, LayerCorrection, PipelineFault, ProtectedPipeline};
 pub use planner::Planner;
 pub use protected::{ProtectedConv, ProtectedGemm};
 pub use registry::SchemeRegistry;

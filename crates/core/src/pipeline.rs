@@ -37,7 +37,7 @@
 //! no per-scheme dispatch and serves extension schemes like
 //! `Scheme::MultiChecksum` unchanged.
 
-use crate::kernel::{BoundKernel, Verdict};
+use crate::kernel::{BoundKernel, FaultSite, Verdict};
 use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
 use aiga_fp16::F16;
@@ -74,6 +74,25 @@ pub struct LayerDetection {
     pub residual: f64,
 }
 
+/// One in-place repair event during protected inference (recovery mode):
+/// the layer's scheme localized the fault and recomputed only the
+/// implicated cells, so the pass continued with a clean stage output.
+#[derive(Clone, Debug)]
+pub struct LayerCorrection {
+    /// Index of the GEMM layer that was repaired.
+    pub layer: usize,
+    /// Layer name.
+    pub name: String,
+    /// Scheme that localized and repaired the fault.
+    pub scheme: Scheme,
+    /// Where the fault was localized.
+    pub site: FaultSite,
+    /// True when the repair was a replication majority-vote resolution.
+    pub vote: bool,
+    /// Residual of the original detection.
+    pub residual: f64,
+}
+
 /// Result of one protected inference pass.
 #[derive(Clone, Debug)]
 pub struct InferenceReport {
@@ -81,14 +100,23 @@ pub struct InferenceReport {
     /// finals: pre-activation unless the layer fuses a ReLU; for
     /// pooling finals: the pooled activations).
     pub output: Vec<f32>,
-    /// All detections raised along the way.
+    /// All detections raised along the way (faults that were *not*
+    /// repaired — in recovery mode a corrected layer records a
+    /// [`LayerCorrection`] instead).
     pub detections: Vec<LayerDetection>,
+    /// All in-place repairs made along the way (recovery mode only).
+    pub corrections: Vec<LayerCorrection>,
 }
 
 impl InferenceReport {
-    /// True if any layer flagged a fault.
+    /// True if any layer flagged a fault that was **not** repaired.
     pub fn fault_detected(&self) -> bool {
         !self.detections.is_empty()
+    }
+
+    /// True if any layer localized and repaired a fault in place.
+    pub fn fault_corrected(&self) -> bool {
+        !self.corrections.is_empty()
     }
 }
 
@@ -200,6 +228,11 @@ pub struct ProtectedPipeline {
     stages: Vec<Stage>,
     gemm_count: usize,
     slot_count: usize,
+    /// When set, a detected fault triggers localization + targeted
+    /// recompute *at the flagging stage* (the pass never re-runs), and
+    /// resolved faults surface as [`LayerCorrection`]s. Off by default:
+    /// detect-only is the paper's behavior.
+    recovery: bool,
 }
 
 impl ProtectedPipeline {
@@ -276,6 +309,7 @@ impl ProtectedPipeline {
             stages,
             gemm_count: depth,
             slot_count,
+            recovery: false,
         }
     }
 
@@ -400,7 +434,22 @@ impl ProtectedPipeline {
             stages,
             gemm_count: net.gemm_count(),
             slot_count,
+            recovery: false,
         }
+    }
+
+    /// Enables (or disables) recovery mode: a detected fault is
+    /// localized and repaired at the flagging stage by targeted
+    /// recompute — one stage's implicated cells, never the whole pass —
+    /// and surfaces as a [`LayerCorrection`] instead of a detection.
+    pub fn with_recovery(mut self, on: bool) -> Self {
+        self.recovery = on;
+        self
+    }
+
+    /// Whether recovery mode is enabled.
+    pub fn recovery(&self) -> bool {
+        self.recovery
     }
 
     /// Number of GEMM (conv/fc) layers.
@@ -480,6 +529,7 @@ impl ProtectedPipeline {
         input.copy_padded_into(batch, input.cols, &mut act);
         ws.ensure_slots(self.slot_count);
         let mut detections = Vec::new();
+        let mut corrections = Vec::new();
         let mut final_output = Vec::new();
         let mut gemm_idx = 0usize;
         let last = self.stages.len() - 1;
@@ -504,7 +554,13 @@ impl ProtectedPipeline {
                         Src::Stage(j) => (Some(j), ws.take_slot(j)),
                     };
                     let verdict = match lowering {
-                        None => bound.run_into(engine, &src, layer_fault.as_slice(), ws),
+                        None => {
+                            let mut v = bound.run_into(engine, &src, layer_fault.as_slice(), ws);
+                            if self.recovery && v.is_detected() {
+                                v = bound.correct_into(engine, &src, ws, v);
+                            }
+                            v
+                        }
                         Some(low) => {
                             // Workspace-threaded im2col: lower the NCHW
                             // value into the workspace's staging matrix,
@@ -521,7 +577,13 @@ impl ProtectedPipeline {
                             im2col_into(&t, low.params, ws);
                             src.data = t.data;
                             let a = ws.take_lowering();
-                            let v = bound.run_into(engine, &a, layer_fault.as_slice(), ws);
+                            let mut v = bound.run_into(engine, &a, layer_fault.as_slice(), ws);
+                            if self.recovery && v.is_detected() {
+                                // Correct while the lowered activations
+                                // are still out of the workspace — the
+                                // checksum localizers re-read them.
+                                v = bound.correct_into(engine, &a, ws, v);
+                            }
                             ws.put_lowering(a);
                             v
                         }
@@ -556,6 +618,25 @@ impl ProtectedPipeline {
                                     residual,
                                 });
                             }
+                        }
+                        // A repaired layer records the correction (its
+                        // per-thread detections, if any, were cleared by
+                        // the repair, so none were pushed above).
+                        if let Verdict::Corrected {
+                            residual,
+                            site,
+                            vote,
+                            ..
+                        } = verdict
+                        {
+                            corrections.push(LayerCorrection {
+                                layer: gemm_idx,
+                                name: stage.name.clone(),
+                                scheme,
+                                site,
+                                vote,
+                                residual,
+                            });
                         }
                     }
 
@@ -673,6 +754,7 @@ impl ProtectedPipeline {
         InferenceReport {
             output: final_output,
             detections,
+            corrections,
         }
     }
 }

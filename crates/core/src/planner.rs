@@ -18,6 +18,7 @@
 //! assert_eq!(plan.layers.len(), 3);
 //! ```
 
+use crate::adapt::AdaptConfig;
 use crate::cost::evaluate_layer_with;
 use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
@@ -35,6 +36,7 @@ pub struct Planner {
     candidates: Vec<Scheme>,
     mode: SelectionMode,
     registry: Arc<SchemeRegistry>,
+    adapt: Option<AdaptConfig>,
 }
 
 impl Planner {
@@ -49,6 +51,7 @@ impl Planner {
             candidates: Scheme::intensity_guided_candidates().to_vec(),
             mode: SelectionMode::Profiled,
             registry: registry::shared().clone(),
+            adapt: None,
         }
     }
 
@@ -78,6 +81,22 @@ impl Planner {
     pub fn registry(mut self, registry: Arc<SchemeRegistry>) -> Self {
         self.registry = registry;
         self
+    }
+
+    /// Requests adaptive protection control: sessions built from this
+    /// planner run an online [`crate::adapt::AdaptiveController`] per
+    /// batch bucket, escalating or relaxing each layer's scheme around
+    /// the static plan as the observed fault rate moves (a
+    /// [`crate::session::SessionBuilder::adaptive`] call overrides
+    /// this default).
+    pub fn adaptive(mut self, config: AdaptConfig) -> Self {
+        self.adapt = Some(config);
+        self
+    }
+
+    /// The adaptive-control configuration, if one was requested.
+    pub fn adaptive_config(&self) -> Option<AdaptConfig> {
+        self.adapt
     }
 
     /// The device this planner targets.

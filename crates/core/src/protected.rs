@@ -84,6 +84,17 @@ impl ProtectedGemm {
     pub fn run_into(&self, faults: &[FaultPlan], ws: &mut Workspace) -> Verdict {
         self.bound.run_into(&self.engine, &self.a, faults, ws)
     }
+
+    /// Like [`Self::run_into`] but attempting localization + targeted
+    /// recompute when the run flags a fault (see
+    /// [`BoundKernel::run_corrected_into`]). On
+    /// [`Verdict::Corrected`] the workspace output is byte-equal to a
+    /// clean run; schemes that cannot localize return the plain
+    /// `Detected` verdict with the output untouched.
+    pub fn run_corrected_into(&self, faults: &[FaultPlan], ws: &mut Workspace) -> Verdict {
+        self.bound
+            .run_corrected_into(&self.engine, &self.a, faults, ws)
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,36 @@ impl MultiChecksumAbft {
             threshold,
         }
     }
+
+    /// The **signed** residual of round `r`: `Σ_ij w_r(i)·C[i][j] −
+    /// (Σ_i w_r(i)·A[i,:])·(B·1)` (observed minus expected).
+    ///
+    /// For a single fault `δ` confined to row `ρ` every round sees
+    /// exactly `w_r(ρ)·δ`, so the ratio of round 1's signed residual to
+    /// round 0's recovers the faulted row: `res₁/res₀ = ρ+1`. This is
+    /// the localization primitive behind the correction path — the
+    /// signs must survive, which is why [`Self::verify_round`]'s
+    /// absolute residual cannot serve.
+    pub fn round_residual_signed(&self, a: &Matrix, out: &GemmOutput, r: usize) -> f64 {
+        assert_eq!(a.cols, self.weight_checksum.len(), "K mismatch");
+        assert!(r < self.rounds, "round out of range");
+        let mut dot = 0.0f64;
+        for k in 0..a.cols {
+            let mut u = 0.0f64;
+            for i in 0..a.rows {
+                u += Self::weight(i, r) * a.get(i, k).to_f64();
+            }
+            dot += u * self.weight_checksum[k];
+        }
+        let mut c_sum = 0.0f64;
+        for i in 0..out.m {
+            let w = Self::weight(i, r);
+            for j in 0..out.n {
+                c_sum += w * out.get(i, j) as f64;
+            }
+        }
+        c_sum - dot
+    }
 }
 
 #[cfg(test)]

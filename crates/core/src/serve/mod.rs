@@ -185,11 +185,17 @@ pub(crate) struct Shared {
     pub queue: SyncQueue<Request>,
     pub stats: AtomicServerStats,
     pub latency: LatencyHistogram,
+    /// Latency of retry re-executions alone (end-to-end latency of a
+    /// retried request still lands in `latency`).
+    pub retry_latency: LatencyHistogram,
     /// Largest declared bucket — the coalescing row budget.
     pub largest_bucket: usize,
     /// How long a worker holding a partially-filled bucket waits for
     /// more compatible requests before executing.
     pub coalesce_window: Duration,
+    /// Transparently re-run a request whose pass resolved with an
+    /// unrepaired fault verdict before fulfilling its handle.
+    pub retry_on_verdict: bool,
 }
 
 /// A cloneable submission handle to a [`Server`]. Clients stay valid
@@ -290,6 +296,7 @@ pub struct ServerBuilder {
     workers: usize,
     queue_capacity: usize,
     coalesce_window: Duration,
+    retry_on_verdict: bool,
 }
 
 impl ServerBuilder {
@@ -317,6 +324,18 @@ impl ServerBuilder {
         self
     }
 
+    /// Enables transparent retry-on-verdict: a request whose pass
+    /// resolves with an *unrepaired* fault verdict (detected, and not
+    /// corrected in place) is re-executed solo on a fresh pass before
+    /// its handle resolves — under the §2.3 transient single-fault
+    /// model the re-execution is clean. Retries are counted in
+    /// [`ServerStats::retries`] with their own latency percentiles.
+    /// Off by default.
+    pub fn retry_on_verdict(mut self, on: bool) -> Self {
+        self.retry_on_verdict = on;
+        self
+    }
+
     /// Spawns the workers and opens the doors.
     pub fn build(self) -> Server {
         let largest_bucket = *self
@@ -329,8 +348,10 @@ impl ServerBuilder {
             queue: SyncQueue::bounded(self.queue_capacity),
             stats: AtomicServerStats::default(),
             latency: LatencyHistogram::new(),
+            retry_latency: LatencyHistogram::new(),
             largest_bucket,
             coalesce_window: self.coalesce_window,
+            retry_on_verdict: self.retry_on_verdict,
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -361,6 +382,7 @@ impl Server {
             workers: 2,
             queue_capacity: 64,
             coalesce_window: Duration::ZERO,
+            retry_on_verdict: false,
         }
     }
 
@@ -401,6 +423,9 @@ impl Server {
         stats.p50_latency_ns = shared.latency.p50_ns();
         stats.p95_latency_ns = shared.latency.p95_ns();
         stats.p99_latency_ns = shared.latency.p99_ns();
+        stats.retry_p50_latency_ns = shared.retry_latency.p50_ns();
+        stats.retry_p95_latency_ns = shared.retry_latency.p95_ns();
+        stats.retry_p99_latency_ns = shared.retry_latency.p99_ns();
         stats.session = shared.session.stats();
         stats
     }

@@ -44,6 +44,17 @@ pub struct ServerStats {
     pub p95_latency_ns: u64,
     /// 99th-percentile end-to-end request latency, ns.
     pub p99_latency_ns: u64,
+    /// Requests transparently re-executed because their first pass
+    /// resolved with an unrepaired fault verdict
+    /// ([`crate::serve::ServerBuilder::retry_on_verdict`]).
+    pub retries: u64,
+    /// Median latency of the retry re-execution alone, ns (0 until a
+    /// retry happens).
+    pub retry_p50_latency_ns: u64,
+    /// 95th-percentile retry re-execution latency, ns.
+    pub retry_p95_latency_ns: u64,
+    /// 99th-percentile retry re-execution latency, ns.
+    pub retry_p99_latency_ns: u64,
     /// The wrapped session's own counters (note: the session counts
     /// coalesced passes, not server requests — `session.requests` is
     /// the number of pipeline-facing serves).
@@ -63,6 +74,7 @@ pub(crate) struct AtomicServerStats {
     pub max_batch_requests: AtomicU64,
     pub max_batch_rows: AtomicU64,
     pub max_queue_depth: AtomicU64,
+    pub retries: AtomicU64,
 }
 
 impl AtomicServerStats {
@@ -91,6 +103,7 @@ impl AtomicServerStats {
             max_batch_requests: self.max_batch_requests.load(Ordering::Relaxed),
             max_batch_rows: self.max_batch_rows.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
             ..ServerStats::default()
         }
     }

@@ -40,6 +40,7 @@
 //! allocation is the returned report's output vector —
 //! `tests/alloc_steadystate.rs` pins this with a counting allocator.
 
+use crate::adapt::{AdaptConfig, AdaptiveController};
 use crate::compiled::CompiledModel;
 use crate::pipeline::{InferenceReport, PipelineFault};
 use crate::planner::Planner;
@@ -48,7 +49,7 @@ use crate::selector::ModelPlan;
 use aiga_gpu::engine::{Matrix, Workspace};
 use aiga_nn::{Model, Network};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Why a request could not be served.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +91,16 @@ pub struct SessionStats {
     pub detections: u64,
     /// Requests larger than the largest bucket, served by splitting.
     pub split_requests: u64,
+    /// In-place corrections applied across all requests: a localized
+    /// verdict whose implicated slice was recomputed mid-pass
+    /// (recovery sessions only).
+    pub corrections: u64,
+    /// The subset of corrections resolved by replication majority vote
+    /// rather than a checksum localizer.
+    pub vote_resolutions: u64,
+    /// Scheme switches (escalations + relaxations) committed by the
+    /// adaptive controller (adaptive sessions only).
+    pub adaptations: u64,
 }
 
 /// Lock-free statistics counters; [`Session::stats`] snapshots them
@@ -103,6 +114,9 @@ struct AtomicStats {
     faulty_requests: AtomicU64,
     detections: AtomicU64,
     split_requests: AtomicU64,
+    corrections: AtomicU64,
+    vote_resolutions: AtomicU64,
+    adaptations: AtomicU64,
 }
 
 impl AtomicStats {
@@ -114,6 +128,9 @@ impl AtomicStats {
             faulty_requests: self.faulty_requests.load(Ordering::Relaxed),
             detections: self.detections.load(Ordering::Relaxed),
             split_requests: self.split_requests.load(Ordering::Relaxed),
+            corrections: self.corrections.load(Ordering::Relaxed),
+            vote_resolutions: self.vote_resolutions.load(Ordering::Relaxed),
+            adaptations: self.adaptations.load(Ordering::Relaxed),
         }
     }
 }
@@ -143,6 +160,16 @@ enum Family {
     Network(Box<dyn Fn(u64) -> Network + Send + Sync>),
 }
 
+/// Adaptive-control state: one controller and one model overlay per
+/// declared bucket. A controller spins up lazily against its bucket's
+/// static plan on first serve; an overlay, when present, supersedes the
+/// static entry until the controller relaxes back to baseline.
+struct AdaptState {
+    config: AdaptConfig,
+    controllers: Vec<OnceLock<Mutex<AdaptiveController>>>,
+    overlays: Vec<RwLock<Option<Arc<CompiledModel>>>>,
+}
+
 /// Builder for [`Session`]s.
 pub struct SessionBuilder {
     planner: Planner,
@@ -150,6 +177,8 @@ pub struct SessionBuilder {
     family: Family,
     buckets: Vec<u64>,
     seed: u64,
+    recovery: bool,
+    adaptive: Option<AdaptConfig>,
 }
 
 impl SessionBuilder {
@@ -180,15 +209,44 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables fault *correction*: schemes that can localize a detected
+    /// fault recompute only the implicated slice mid-pass, so the
+    /// request completes with clean output and a
+    /// [`crate::pipeline::LayerCorrection`] record instead of an
+    /// unrepaired detection. Off by default (detect-only).
+    pub fn recovery(mut self, on: bool) -> Self {
+        self.recovery = on;
+        self
+    }
+
+    /// Enables the online adaptive protection controller: per bucket
+    /// and per layer, the observed fault rate over a sliding window
+    /// escalates or relaxes the scheme around the static plan (see
+    /// [`crate::adapt`]). Overrides any [`Planner::adaptive`] default.
+    pub fn adaptive(mut self, config: AdaptConfig) -> Self {
+        self.adaptive = Some(config);
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
         let entries = self.buckets.iter().map(|_| OnceLock::new()).collect();
+        let adapt = self
+            .adaptive
+            .or(self.planner.adaptive_config())
+            .map(|config| AdaptState {
+                config,
+                controllers: self.buckets.iter().map(|_| OnceLock::new()).collect(),
+                overlays: self.buckets.iter().map(|_| RwLock::new(None)).collect(),
+            });
         Session {
             planner: self.planner,
             family_name: self.family_name,
             family: self.family,
             buckets: self.buckets,
             seed: self.seed,
+            recovery: self.recovery,
+            adapt,
             entries,
             pool: Mutex::new(Vec::new()),
             stats: AtomicStats::default(),
@@ -204,6 +262,10 @@ pub struct Session {
     family: Family,
     buckets: Vec<u64>,
     seed: u64,
+    recovery: bool,
+    /// Adaptive-control state, present when the builder (or planner)
+    /// requested it.
+    adapt: Option<AdaptState>,
     /// One lazily-compiled model per declared bucket, aligned with
     /// `buckets`. `OnceLock` gives lock-free reads after the build and
     /// lets concurrent first requests for *different* buckets plan in
@@ -231,6 +293,8 @@ impl Session {
             family: Family::Mlp(Box::new(family)),
             buckets: vec![1],
             seed: 0,
+            recovery: false,
+            adaptive: None,
         }
     }
 
@@ -251,6 +315,8 @@ impl Session {
             family: Family::Network(Box::new(family)),
             buckets: vec![1],
             seed: 0,
+            recovery: false,
+            adaptive: None,
         }
     }
 
@@ -323,6 +389,7 @@ impl Session {
         // steady state.
         let mut output = Vec::new();
         let mut detections = Vec::new();
+        let mut corrections = Vec::new();
         let mut schemes = None;
         let mut any_built = false;
         let mut start = 0;
@@ -338,12 +405,17 @@ impl Session {
             }
             output.extend_from_slice(&r.report.output);
             detections.extend(r.report.detections);
+            corrections.extend(r.report.corrections);
             if schemes.is_none() {
                 schemes = Some(r.schemes);
             }
             start += rows;
         }
-        let report = InferenceReport { output, detections };
+        let report = InferenceReport {
+            output,
+            detections,
+            corrections,
+        };
         self.note_request(&report, any_built, true);
         Ok(ServeReport {
             bucket: largest,
@@ -368,7 +440,18 @@ impl Session {
         bucket: u64,
         fault: Option<PipelineFault>,
     ) -> Result<(ServeReport, bool), SessionError> {
-        let (entry, built) = self.entry(self.bucket_index(bucket));
+        let index = self.bucket_index(bucket);
+        let (base, built) = self.entry(index);
+        // An adaptive overlay (escalated or relaxed recompile) supersedes
+        // the static entry while present.
+        let entry = match &self.adapt {
+            Some(adapt) => adapt.overlays[index]
+                .read()
+                .unwrap()
+                .clone()
+                .unwrap_or_else(|| base.clone()),
+            None => base.clone(),
+        };
         let expected = entry.input_features();
         if input.cols != expected {
             return Err(SessionError::FeatureMismatch {
@@ -386,6 +469,10 @@ impl Session {
         let report = entry.infer_into(input, fault, &mut ws);
         self.pool.lock().unwrap().push(ws);
 
+        if let Some(adapt) = &self.adapt {
+            self.adapt_observe(adapt, index, &base, &report);
+        }
+
         Ok((
             ServeReport {
                 bucket,
@@ -395,6 +482,62 @@ impl Session {
             },
             built,
         ))
+    }
+
+    /// Feeds one served report into a bucket's adaptive controller and,
+    /// when it commits scheme switches, swaps the bucket's overlay model
+    /// — recompiled under the controller's current schemes, or back to
+    /// the static entry when fully relaxed. Overlay recompiles are
+    /// controller actions, not request cache misses: they count as
+    /// `adaptations`, never `plan_builds`.
+    fn adapt_observe(
+        &self,
+        adapt: &AdaptState,
+        index: usize,
+        base: &Arc<CompiledModel>,
+        report: &InferenceReport,
+    ) {
+        let ctrl = adapt.controllers[index].get_or_init(|| {
+            Mutex::new(AdaptiveController::new(
+                adapt.config,
+                base.schemes().to_vec(),
+            ))
+        });
+        let mut ctrl = ctrl.lock().unwrap();
+        let mut switches = 0u64;
+        for layer in 0..ctrl.layers() {
+            let faulty = report.detections.iter().any(|d| d.layer == layer)
+                || report.corrections.iter().any(|c| c.layer == layer);
+            if ctrl.observe(layer, faulty).is_some() {
+                switches += 1;
+            }
+        }
+        if switches == 0 {
+            return;
+        }
+        let overlay = if ctrl.current() == ctrl.baseline() {
+            None // fully relaxed: the static entry serves again
+        } else {
+            let schemes = ctrl.current().to_vec();
+            let bucket = self.buckets[index];
+            let compiled = match &self.family {
+                Family::Mlp(f) => CompiledModel::compile_mlp_overridden(
+                    &self.planner,
+                    &f(bucket),
+                    self.seed,
+                    &schemes,
+                ),
+                Family::Network(f) => {
+                    CompiledModel::compile_overridden(&self.planner, &f(bucket), &schemes)
+                }
+            };
+            Some(Arc::new(compiled.with_recovery(self.recovery)))
+        };
+        drop(ctrl);
+        *adapt.overlays[index].write().unwrap() = overlay;
+        self.stats
+            .adaptations
+            .fetch_add(switches, Ordering::Relaxed);
     }
 
     fn note_request(&self, report: &InferenceReport, built: bool, split: bool) {
@@ -409,6 +552,14 @@ impl Session {
             .fetch_add(report.detections.len() as u64, Ordering::Relaxed);
         if report.fault_detected() {
             s.faulty_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        if !report.corrections.is_empty() {
+            s.corrections
+                .fetch_add(report.corrections.len() as u64, Ordering::Relaxed);
+            let votes = report.corrections.iter().filter(|c| c.vote).count() as u64;
+            if votes > 0 {
+                s.vote_resolutions.fetch_add(votes, Ordering::Relaxed);
+            }
         }
         if split {
             s.split_requests.fetch_add(1, Ordering::Relaxed);
@@ -436,7 +587,8 @@ impl Session {
         let compiled = match &self.family {
             Family::Mlp(f) => CompiledModel::compile_mlp(&self.planner, &f(bucket), self.seed),
             Family::Network(f) => CompiledModel::compile(&self.planner, &f(bucket)),
-        };
+        }
+        .with_recovery(self.recovery);
         let built = slot.set(Arc::new(compiled)).is_ok();
         (slot.get().expect("just initialized").clone(), built)
     }

@@ -1,6 +1,8 @@
-//! Injection campaigns: grade a scheme's detection coverage.
+//! Injection campaigns: grade a scheme's detection — and, in
+//! correction mode, *repair* — coverage.
 
 use crate::model::FaultModel;
+use aiga_core::adapt::Observation;
 use aiga_core::{ProtectedGemm, Scheme};
 use aiga_gpu::engine::{FaultPlan, Matrix, Workspace};
 use aiga_gpu::GemmShape;
@@ -10,6 +12,10 @@ use aiga_gpu::GemmShape;
 pub enum Outcome {
     /// The scheme flagged the fault and the output was indeed corrupted.
     Detected,
+    /// Correction mode only: the scheme localized the fault, recomputed
+    /// the implicated slice, and the final output is *byte-equal* to
+    /// the clean run — the end-to-end recovery oracle.
+    Corrected,
     /// The output was corrupted but no flag was raised.
     SilentDataCorruption {
         /// Largest absolute output deviation from the clean run.
@@ -29,6 +35,9 @@ pub struct CampaignStats {
     pub trials: usize,
     /// Trials classified [`Outcome::Detected`].
     pub detected: usize,
+    /// Trials classified [`Outcome::Corrected`] — flagged, localized,
+    /// and repaired to byte-equality (correction mode only).
+    pub corrected: usize,
     /// Trials classified [`Outcome::SilentDataCorruption`].
     pub sdc: usize,
     /// Trials classified [`Outcome::Masked`].
@@ -41,13 +50,25 @@ pub struct CampaignStats {
 
 impl CampaignStats {
     /// Detection rate over *corrupting* trials (masked trials have
-    /// nothing to detect).
+    /// nothing to detect). Corrected trials were corrupting and caught
+    /// — they count on both sides.
     pub fn detection_rate(&self) -> f64 {
-        let corrupting = self.detected + self.sdc;
+        let corrupting = self.detected + self.corrected + self.sdc;
         if corrupting == 0 {
             1.0
         } else {
-            self.detected as f64 / corrupting as f64
+            (self.detected + self.corrected) as f64 / corrupting as f64
+        }
+    }
+
+    /// Correction rate over *caught* trials: of the faults the scheme
+    /// flagged, the fraction it also repaired to byte-equality.
+    pub fn correction_rate(&self) -> f64 {
+        let caught = self.detected + self.corrected;
+        if caught == 0 {
+            0.0
+        } else {
+            self.corrected as f64 / caught as f64
         }
     }
 
@@ -60,6 +81,7 @@ impl CampaignStats {
         self.trials += 1;
         match o {
             Outcome::Detected => self.detected += 1,
+            Outcome::Corrected => self.corrected += 1,
             Outcome::SilentDataCorruption { max_abs_delta } => {
                 self.sdc += 1;
                 self.worst_sdc = self.worst_sdc.max(max_abs_delta);
@@ -70,6 +92,21 @@ impl CampaignStats {
     }
 }
 
+/// One trial's full record: the injected fault, the scheme's verdict
+/// (as the [`Observation`] the adaptive controller consumes), and the
+/// graded outcome. [`Campaign::run_faults_detailed`] returns these so
+/// campaign data can drive [`aiga_core::adapt::AdaptiveController`]
+/// replay directly.
+#[derive(Clone, Copy, Debug)]
+pub struct Trial {
+    /// The injected fault.
+    pub fault: FaultPlan,
+    /// Scheme + verdict, in the controller's shared observation type.
+    pub observation: Observation,
+    /// The graded outcome.
+    pub outcome: Outcome,
+}
+
 /// A fault-injection campaign against one scheme on one GEMM shape.
 pub struct Campaign {
     shape: GemmShape,
@@ -77,6 +114,7 @@ pub struct Campaign {
     gemm: ProtectedGemm,
     clean: Vec<f32>,
     model: FaultModel,
+    correction: bool,
 }
 
 impl Campaign {
@@ -92,7 +130,18 @@ impl Campaign {
             gemm,
             clean,
             model: FaultModel::new(shape),
+            correction: false,
         }
+    }
+
+    /// Switches the campaign into *correction* mode: trials run through
+    /// [`ProtectedGemm::run_corrected_into`], and a localized repair
+    /// counts as [`Outcome::Corrected`] only when the repaired output is
+    /// byte-equal to the clean run (anything less is graded as the SDC
+    /// it would be in production).
+    pub fn with_correction(mut self, on: bool) -> Self {
+        self.correction = on;
+        self
     }
 
     /// The scheme under test.
@@ -115,20 +164,53 @@ impl Campaign {
     /// A warm workspace makes each trial allocation-free — campaign
     /// loops give every [`aiga_util::par_map_with`] worker its own.
     pub fn classify_with(&self, fault: FaultPlan, ws: &mut Workspace) -> Outcome {
-        let verdict = self.gemm.run_into(&[fault], ws);
-        let max_abs_delta = ws
-            .output()
-            .c
+        self.classify_detailed_with(fault, ws).outcome
+    }
+
+    /// Like [`Self::classify_with`], but returning the full [`Trial`]
+    /// record (fault + scheme verdict + outcome).
+    pub fn classify_detailed_with(&self, fault: FaultPlan, ws: &mut Workspace) -> Trial {
+        let verdict = if self.correction {
+            self.gemm.run_corrected_into(&[fault], ws)
+        } else {
+            self.gemm.run_into(&[fault], ws)
+        };
+        let out = &ws.output().c;
+        let max_abs_delta = out
             .iter()
             .zip(&self.clean)
             .map(|(&x, &y)| (x as f64 - y as f64).abs())
             .fold(0.0f64, f64::max);
-        let corrupted = max_abs_delta > 0.0;
-        match (verdict.is_detected(), corrupted) {
-            (true, true) => Outcome::Detected,
-            (false, true) => Outcome::SilentDataCorruption { max_abs_delta },
-            (false, false) => Outcome::Masked,
-            (true, false) => Outcome::FalsePositive,
+        let outcome = if verdict.is_corrected() {
+            // The repair oracle is bitwise, not tolerance-based: a
+            // "corrected" output that differs in any bit from the clean
+            // run is corruption the caller would silently consume.
+            let byte_equal = out.len() == self.clean.len()
+                && out
+                    .iter()
+                    .zip(&self.clean)
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+            if byte_equal {
+                Outcome::Corrected
+            } else {
+                Outcome::SilentDataCorruption { max_abs_delta }
+            }
+        } else {
+            let corrupted = max_abs_delta > 0.0;
+            match (verdict.is_detected(), corrupted) {
+                (true, true) => Outcome::Detected,
+                (false, true) => Outcome::SilentDataCorruption { max_abs_delta },
+                (false, false) => Outcome::Masked,
+                (true, false) => Outcome::FalsePositive,
+            }
+        };
+        Trial {
+            fault,
+            observation: Observation {
+                scheme: self.scheme,
+                verdict,
+            },
+            outcome,
         }
     }
 
@@ -170,6 +252,14 @@ impl Campaign {
                 s.absorb(o);
                 s
             })
+    }
+
+    /// Like [`Self::run_faults`], but keeping every trial's full record
+    /// (fault, verdict observation, outcome) in input order.
+    pub fn run_faults_detailed(&self, faults: &[FaultPlan]) -> Vec<Trial> {
+        aiga_util::par_map_with(faults, Workspace::new, |ws, &f| {
+            self.classify_detailed_with(f, ws)
+        })
     }
 }
 

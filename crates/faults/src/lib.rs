@@ -19,5 +19,5 @@
 pub mod campaign;
 pub mod model;
 
-pub use campaign::{Campaign, CampaignStats, Outcome};
+pub use campaign::{Campaign, CampaignStats, Outcome, Trial};
 pub use model::FaultModel;

@@ -291,6 +291,46 @@ impl GemmEngine {
         }
         &ws.out
     }
+
+    /// Recomputes every output cell owned by one simulated lane,
+    /// reading the operand panels still staged in `ws` from the most
+    /// recent run. This is the targeted-recompute primitive behind
+    /// thread-level fault correction: a `Detection` names the
+    /// `(block, warp, lane)` that flagged, and the `m16n8k8` fragment
+    /// layout determines exactly which `Mt × Nt` cells that lane owns.
+    ///
+    /// Returns the number of cells rewritten (cells falling in the
+    /// cropped-away padding are skipped). Allocation-free.
+    pub fn recompute_lane_into(
+        &self,
+        block: (u64, u64),
+        warp: u64,
+        lane: usize,
+        ws: &mut Workspace,
+    ) -> u32 {
+        let t = &self.tiling;
+        let (br, bc) = block;
+        let warps_n = t.block_n / t.warp_n;
+        let wr = warp / warps_n;
+        let wc = warp % warps_n;
+        let group = lane / 4;
+        let quad = lane % 4;
+        let mut repaired = 0u32;
+        for rgran in 0..(t.warp_m / 16) {
+            let rbase = (br * t.block_m + wr * t.warp_m + rgran * 16) as usize + group;
+            for &r in &[rbase, rbase + 8] {
+                for cgran in 0..(t.warp_n / 8) {
+                    let cbase = (bc * t.block_n + wc * t.warp_n + cgran * 8) as usize + 2 * quad;
+                    for &c in &[cbase, cbase + 1] {
+                        if ws.recompute_cell(r, c) {
+                            repaired += 1;
+                        }
+                    }
+                }
+            }
+        }
+        repaired
+    }
 }
 
 /// Copies one block tile into the cropped output buffer.

@@ -170,6 +170,13 @@ impl Workspace {
         &self.out
     }
 
+    /// Mutable access to the most recent output. The correction path
+    /// uses this to clear detections it has resolved by targeted
+    /// recompute (the buffer keeps its capacity — no allocation).
+    pub fn output_mut(&mut self) -> &mut GemmOutput {
+        &mut self.out
+    }
+
     /// Moves the most recent output out of the workspace (the buffer is
     /// replaced by an empty one, so the next run re-warms it). Used by
     /// the allocating convenience wrappers.
@@ -239,5 +246,58 @@ impl Workspace {
     /// buffer capacity for the next request.
     pub fn put_slot(&mut self, i: usize, m: Matrix) {
         self.slots[i] = m;
+    }
+
+    /// Recomputes output cell `(r, c)` from the staged operand panels
+    /// of the most recent run, overwriting `out.c[r][c]` in place.
+    ///
+    /// The fused walk here replays the *identical* FP32 operation
+    /// sequence as the engine's fast path (and the step-ordered hooked
+    /// walk — accumulators are independent), so a recomputed cell is
+    /// bit-exact with a clean run. Faults are never re-applied: the
+    /// panels hold only operands. Returns `false` (no write) when the
+    /// cell lies outside the cropped output — padded rows/columns have
+    /// no output cell to repair.
+    ///
+    /// Allocation-free: reads the staged panels, writes one f32.
+    pub fn recompute_cell(&mut self, r: usize, c: usize) -> bool {
+        if r >= self.out.m || c >= self.out.n {
+            return false;
+        }
+        let k = self.panels.k;
+        let a_row = &self.panels.a_f32[r * k..r * k + k];
+        let b_col = &self.panels.b_f32_t[c * k..c * k + k];
+        let mut s = 0.0f32;
+        for (aa, bb) in a_row.chunks_exact(2).zip(b_col.chunks_exact(2)) {
+            s += aa[0] * bb[0] + aa[1] * bb[1];
+        }
+        self.out.c[r * self.out.n + c] = s;
+        true
+    }
+
+    /// Recomputes every cell of output row `r` (see
+    /// [`Self::recompute_cell`]). Returns `false` if the row is out of
+    /// range.
+    pub fn recompute_row(&mut self, r: usize) -> bool {
+        if r >= self.out.m {
+            return false;
+        }
+        for c in 0..self.out.n {
+            self.recompute_cell(r, c);
+        }
+        true
+    }
+
+    /// Recomputes every cell of output column `c` (see
+    /// [`Self::recompute_cell`]). Returns `false` if the column is out
+    /// of range.
+    pub fn recompute_col(&mut self, c: usize) -> bool {
+        if c >= self.out.n {
+            return false;
+        }
+        for r in 0..self.out.m {
+            self.recompute_cell(r, c);
+        }
+        true
     }
 }

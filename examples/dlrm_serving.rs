@@ -156,9 +156,91 @@ fn main() {
         stats.session.split_requests,
         stats.session.faulty_requests
     );
+    println!(
+        "  recovery: {} retries, {} corrections ({} by vote), {} adaptations",
+        stats.retries,
+        stats.session.corrections,
+        stats.session.vote_resolutions,
+        stats.session.adaptations
+    );
     assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64 + 1);
     // One build per *touched* bucket: 32 and 128 are always hit, but
     // whether any pass lands in bucket 8 depends on how the batcher
     // coalesced the small requests.
     assert!((2..=3).contains(&stats.session.plan_builds));
+    assert_eq!(stats.retries, 0, "retry was not enabled on this server");
+
+    // Transparent retry: the same soft error against a server built
+    // with `retry_on_verdict(true)`. The first pass flags the fault,
+    // the worker re-runs the request solo (transients don't recur),
+    // and the handle resolves with the clean re-execution — the caller
+    // never sees the tainted output.
+    let fault = PipelineFault {
+        layer: 1,
+        fault: FaultPlan {
+            row: 5,
+            col: 77,
+            after_step: 10,
+            kind: FaultKind::AddValue(12.0),
+        },
+    };
+    let retrying = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([32])
+    .seed(99)
+    .build();
+    let server = Server::builder(retrying)
+        .workers(1)
+        .retry_on_verdict(true)
+        .build();
+    let request = Matrix::random(32, 13, 7777);
+    let reply = server
+        .client()
+        .submit_with_fault(&request, Some(fault))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(!reply.report.fault_detected(), "retry hid the fault");
+    let stats = server.shutdown();
+    assert_eq!(stats.retries, 1);
+    println!(
+        "\nretry server: {} retry (retry p50 {:.2} ms) -> clean reply",
+        stats.retries,
+        stats.retry_p50_latency_ns as f64 / 1e6
+    );
+
+    // In-place correction: a *recovery* session goes one step further —
+    // the scheme localizes the fault (lane / column / row), recomputes
+    // only the implicated slice mid-pass, and re-verifies. No retry
+    // pass needed; the output is byte-equal to a clean run.
+    let recovering = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([32])
+    .seed(99)
+    .recovery(true)
+    .build();
+    let repaired = recovering.serve_with_fault(&request, Some(fault)).unwrap();
+    assert!(!repaired.report.fault_detected());
+    assert!(repaired.report.fault_corrected());
+    let clean = recovering.serve(&request).unwrap();
+    assert_eq!(
+        repaired.report.output, clean.report.output,
+        "repair must be byte-equal"
+    );
+    let sstats = recovering.stats();
+    let c = &repaired.report.corrections[0];
+    println!(
+        "recovery session: {} corrected in place at layer {} ({:?}) — {} corrections, {} by vote",
+        c.scheme.label(),
+        c.layer,
+        c.site,
+        sstats.corrections,
+        sstats.vote_resolutions
+    );
 }

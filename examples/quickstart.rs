@@ -46,6 +46,9 @@ fn main() {
         } => println!(
             "injected bit flip detected: residual {residual:.3} > threshold {threshold:.3}"
         ),
+        Verdict::Corrected { site, .. } => {
+            unreachable!("plain run() detects only; correction localized {site:?}")
+        }
         Verdict::Clean => unreachable!("the fault must be detected"),
     }
 
@@ -57,4 +60,21 @@ fn main() {
         .run();
     println!("global ABFT verdict: {:?}", global.verdict);
     assert!(global.verdict.is_detected());
+
+    // 4. Detection is only half the story: the corrected run localizes
+    //    the fault (here: the column the kernel-level checksum
+    //    implicates), recomputes just that slice, and re-verifies —
+    //    the output is byte-equal to the clean run.
+    let mut ws = Workspace::new();
+    let gemm = ProtectedGemm::random(shape, Scheme::GlobalAbft, 7);
+    let verdict = gemm.run_corrected_into(&[fault], &mut ws);
+    match verdict {
+        Verdict::Corrected { site, .. } => {
+            println!("corrected in place: localized to {site:?}");
+        }
+        other => unreachable!("global ABFT localizes columns: {other:?}"),
+    }
+    let clean_global = gemm.run_with(&[]);
+    assert_eq!(ws.output().c, clean_global.output.c, "byte-equal repair");
+    println!("repaired output is byte-equal to the clean run");
 }

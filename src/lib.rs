@@ -110,6 +110,30 @@
 //! assert_eq!(stats.completed, 1);
 //! ```
 //!
+//! Go from detection to *correction*: a recovery session localizes a
+//! flagged fault (column / row / lane, per scheme), recomputes only the
+//! implicated slice mid-pass, and re-verifies; a server can
+//! transparently retry any verdict that survives; and an adaptive
+//! controller escalates or relaxes per-layer schemes online as the
+//! observed fault rate moves:
+//!
+//! ```
+//! use aiga::prelude::*;
+//!
+//! let session = Session::builder(Planner::new(DeviceSpec::t4()), "dlrm", zoo::dlrm_mlp_bottom)
+//!     .buckets([8])
+//!     .recovery(true)                   // localize + recompute in place
+//!     .adaptive(AdaptConfig::default()) // escalate/relax schemes online
+//!     .build();
+//! let server = Server::builder(session).retry_on_verdict(true).build();
+//! let reply = server.client().submit(&Matrix::random(4, 13, 42)).unwrap().wait().unwrap();
+//! assert!(!reply.report.fault_detected());
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.retries, 0); // clean traffic: nothing to retry
+//! assert_eq!(stats.session.corrections, 0);
+//! ```
+//!
 //! The facade re-exports the workspace sub-crates: [`fp16`] (software
 //! half precision and `m16n8k8` MMA semantics), [`gpu`] (devices,
 //! roofline, tiling, functional engine, timing), [`nn`] (layer lowering
@@ -129,13 +153,14 @@ pub use aiga_util as util;
 /// use aiga::prelude::*;
 /// ```
 pub mod prelude {
+    pub use aiga_core::adapt::{AdaptConfig, AdaptiveController, Adjustment, Observation};
     pub use aiga_core::compiled::CompiledModel;
     pub use aiga_core::cost::{evaluate_layer, SchemeTiming};
     pub use aiga_core::kernel::{
-        BoundKernel, MultiChecksumKernel, RunReport, SchemeKernel, Verdict,
+        BoundKernel, FaultSite, MultiChecksumKernel, RunReport, SchemeKernel, Verdict,
     };
     pub use aiga_core::pipeline::{
-        InferenceReport, LayerDetection, PipelineFault, ProtectedPipeline,
+        InferenceReport, LayerCorrection, LayerDetection, PipelineFault, ProtectedPipeline,
     };
     pub use aiga_core::planner::Planner;
     pub use aiga_core::protected::{ProtectedConv, ProtectedGemm};
@@ -144,7 +169,7 @@ pub mod prelude {
     pub use aiga_core::selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
     pub use aiga_core::serve::{Client, Pending, ServeError, Server, ServerBuilder, ServerStats};
     pub use aiga_core::session::{ServeReport, Session, SessionError, SessionStats};
-    pub use aiga_faults::{Campaign, CampaignStats, FaultModel};
+    pub use aiga_faults::{Campaign, CampaignStats, FaultModel, Outcome, Trial};
     pub use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme, Workspace};
     pub use aiga_gpu::timing::Calibration;
     pub use aiga_gpu::{Bound, DeviceSpec, GemmShape, Roofline, TilingConfig};

@@ -201,4 +201,31 @@ fn steady_state_hot_paths_do_not_allocate() {
         }
     });
     assert_eq!(n, 0, "warm campaign trials allocated {n} times");
+
+    // --- 4. Correction path: localize + targeted recompute + re-verify
+    // (`run_corrected_into`) stays zero-alloc once warm, across all
+    // three localizer families (column, lane, and row).
+    for scheme in [
+        Scheme::GlobalAbft,             // column localizer
+        Scheme::ThreadLevelOneSided,    // lane localizer
+        Scheme::ReplicationTraditional, // lane localizer, majority vote
+        Scheme::MultiChecksum(2),       // row localizer (weighted ratio)
+    ] {
+        let gemm = ProtectedGemm::random(GemmShape::new(48, 40, 56), scheme, 11);
+        let fault = FaultPlan {
+            row: 3,
+            col: 5,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(300.0),
+        };
+        let mut ws = Workspace::new();
+        let verdict = gemm.run_corrected_into(&[fault], &mut ws); // warm
+        assert!(verdict.is_corrected(), "{scheme}: {verdict:?}");
+        let n = allocs_during(|| {
+            for _ in 0..5 {
+                std::hint::black_box(gemm.run_corrected_into(&[fault], &mut ws));
+            }
+        });
+        assert_eq!(n, 0, "{scheme}: warm correction path allocated {n} times");
+    }
 }

@@ -1,0 +1,515 @@
+//! End-to-end recovery: localization, targeted recompute, transparent
+//! retry, and adaptive protection control.
+//!
+//! The oracle throughout is *byte-equality*: a corrected run must
+//! produce exactly the bits of a clean run — not "close enough", the
+//! identical FP32 words — because the targeted recompute replays the
+//! engine's own fused inner loop over the staged operand panels.
+
+use aiga::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every scheme that can localize, across all three localizer families
+/// (column for global ABFT, lane for thread-level + replication, row
+/// for the weighted multi-checksum).
+fn localizing_schemes() -> [Scheme; 6] {
+    [
+        Scheme::GlobalAbft,
+        Scheme::ThreadLevelOneSided,
+        Scheme::ThreadLevelTwoSided,
+        Scheme::ReplicationSingleAcc,
+        Scheme::ReplicationTraditional,
+        Scheme::MultiChecksum(2),
+    ]
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+// --- Scheme level -------------------------------------------------------
+
+#[test]
+fn every_localizing_scheme_repairs_to_byte_equality() {
+    let shape = GemmShape::new(48, 40, 56);
+    // Epilogue faults and mid-K accumulator faults, several positions
+    // (incl. the cropped fringe of the last full tile).
+    let faults = [
+        (3usize, 5usize, u64::MAX),
+        (0, 0, u64::MAX),
+        (47, 39, u64::MAX),
+        (17, 22, 1u64),
+        (40, 8, 2u64),
+    ];
+    for scheme in localizing_schemes() {
+        let gemm = ProtectedGemm::random(shape, scheme, 11);
+        let clean = gemm.run_with(&[]);
+        let mut ws = Workspace::new();
+        for &(row, col, after_step) in &faults {
+            let fault = FaultPlan {
+                row,
+                col,
+                after_step,
+                kind: FaultKind::AddValue(300.0),
+            };
+            let verdict = gemm.run_corrected_into(&[fault], &mut ws);
+            assert!(
+                verdict.is_corrected(),
+                "{scheme} at ({row},{col},{after_step}): {verdict:?}"
+            );
+            assert_eq!(
+                bits(&ws.output().c),
+                bits(&clean.output.c),
+                "{scheme} at ({row},{col},{after_step}): repair not byte-equal"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrected_verdicts_carry_the_right_site_family() {
+    let shape = GemmShape::new(48, 40, 56);
+    let fault = FaultPlan {
+        row: 3,
+        col: 5,
+        after_step: u64::MAX,
+        kind: FaultKind::AddValue(300.0),
+    };
+    let mut ws = Workspace::new();
+    let mut site_of = |scheme: Scheme| {
+        let gemm = ProtectedGemm::random(shape, scheme, 11);
+        match gemm.run_corrected_into(&[fault], &mut ws) {
+            Verdict::Corrected { site, vote, .. } => (site, vote),
+            other => panic!("{scheme}: {other:?}"),
+        }
+    };
+    // The column localizer pins the exact faulted column.
+    let (site, vote) = site_of(Scheme::GlobalAbft);
+    assert_eq!(site, FaultSite::Column { col: 5 });
+    assert!(!vote);
+    // The row localizer recovers the faulted row from the residual ratio.
+    let (site, vote) = site_of(Scheme::MultiChecksum(2));
+    assert_eq!(site, FaultSite::Row { row: 3 });
+    assert!(!vote);
+    // Lane localizers name the flagged lane; replication resolves by vote.
+    assert!(matches!(
+        site_of(Scheme::ThreadLevelOneSided),
+        (FaultSite::Lane { .. }, false)
+    ));
+    assert!(matches!(
+        site_of(Scheme::ReplicationTraditional),
+        (FaultSite::Lane { .. }, true)
+    ));
+    assert!(matches!(
+        site_of(Scheme::ReplicationSingleAcc),
+        (FaultSite::Lane { .. }, true)
+    ));
+}
+
+#[test]
+fn unlocalizable_verdicts_pass_through_unrepaired() {
+    // `Unprotected` never flags; a plain detect-only run through the
+    // corrected entry point must stay `Clean`/`Detected`, never invent
+    // a repair.
+    let shape = GemmShape::new(32, 32, 32);
+    let fault = FaultPlan {
+        row: 1,
+        col: 1,
+        after_step: u64::MAX,
+        kind: FaultKind::AddValue(500.0),
+    };
+    let mut ws = Workspace::new();
+    let g = ProtectedGemm::random(shape, Scheme::Unprotected, 7);
+    assert!(g.run_corrected_into(&[fault], &mut ws).is_clean());
+    // A clean run through the corrected path is a no-op.
+    let g = ProtectedGemm::random(shape, Scheme::GlobalAbft, 7);
+    assert!(g.run_corrected_into(&[], &mut ws).is_clean());
+}
+
+// --- Pipeline level -----------------------------------------------------
+
+#[test]
+fn mid_pipeline_fault_recomputes_one_stage_only() {
+    let planner = Planner::new(DeviceSpec::t4());
+    let session = |recovery: bool| {
+        Session::builder(planner.clone(), "dlrm-mlp-bottom", zoo::dlrm_mlp_bottom)
+            .buckets([8])
+            .seed(7)
+            .recovery(recovery)
+            .build()
+    };
+    let request = Matrix::random(8, 13, 42);
+    let fault = PipelineFault {
+        layer: 1,
+        fault: FaultPlan {
+            row: 2,
+            col: 50,
+            after_step: 4,
+            kind: FaultKind::AddValue(50.0),
+        },
+    };
+
+    let clean = session(false).serve(&request).unwrap();
+
+    // Detect-only: the fault propagates; output differs from clean.
+    let detecting = session(false);
+    let tainted = detecting.serve_with_fault(&request, Some(fault)).unwrap();
+    assert!(tainted.report.fault_detected());
+    assert_ne!(bits(&tainted.report.output), bits(&clean.report.output));
+
+    // Recovery: the implicated slice is recomputed mid-pass — exactly
+    // one correction record, zero unrepaired detections, and the final
+    // output is byte-equal to the clean pass.
+    let recovering = session(true);
+    let repaired = recovering.serve_with_fault(&request, Some(fault)).unwrap();
+    assert!(!repaired.report.fault_detected());
+    assert!(repaired.report.fault_corrected());
+    assert_eq!(repaired.report.corrections.len(), 1);
+    let c = &repaired.report.corrections[0];
+    assert_eq!(c.layer, 1);
+    assert!(matches!(
+        c.site,
+        FaultSite::Lane { .. } | FaultSite::Column { .. }
+    ));
+    assert_eq!(bits(&repaired.report.output), bits(&clean.report.output));
+
+    let stats = recovering.stats();
+    assert_eq!(stats.corrections, 1);
+    assert_eq!(stats.faulty_requests, 0, "corrected ≠ faulty");
+}
+
+#[test]
+fn recovery_pipeline_is_inert_on_clean_traffic() {
+    let planner = Planner::new(DeviceSpec::t4());
+    let mk = |recovery: bool| {
+        Session::builder(planner.clone(), "dlrm-mlp-bottom", zoo::dlrm_mlp_bottom)
+            .buckets([8])
+            .seed(7)
+            .recovery(recovery)
+            .build()
+    };
+    let request = Matrix::random(8, 13, 43);
+    let a = mk(false).serve(&request).unwrap();
+    let b = mk(true).serve(&request).unwrap();
+    assert_eq!(bits(&a.report.output), bits(&b.report.output));
+    assert!(b.report.corrections.is_empty());
+}
+
+// --- Server level -------------------------------------------------------
+
+#[test]
+fn server_retry_hides_verdicts_under_concurrent_load() {
+    let session = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([8, 32])
+    .seed(7)
+    .build();
+    let reference = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([8, 32])
+    .seed(7)
+    .build();
+    let server = Server::builder(session)
+        .workers(2)
+        .retry_on_verdict(true)
+        .build();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 3;
+    let fault = PipelineFault {
+        layer: 1,
+        fault: FaultPlan {
+            row: 2,
+            col: 50,
+            after_step: 4,
+            kind: FaultKind::AddValue(50.0),
+        },
+    };
+    let mismatches = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let client = server.client();
+            let reference = &reference;
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let rows = 3 + (c + i) % 6;
+                    let request = Matrix::random(rows, 13, 900 + (c * PER_CLIENT + i) as u64);
+                    // Every request carries the transient fault; the
+                    // retry must make each reply indistinguishable from
+                    // a clean solo serve.
+                    let reply = client
+                        .submit_with_fault(&request, Some(fault))
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                    assert!(!reply.report.fault_detected(), "client {c} req {i}");
+                    let solo = reference.serve(&request).unwrap();
+                    if bits(&reply.report.output) != bits(&solo.report.output) {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(mismatches.load(Ordering::Relaxed), 0);
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.retries, (CLIENTS * PER_CLIENT) as u64);
+    assert!(stats.retry_p50_latency_ns > 0);
+}
+
+#[test]
+fn recovery_through_the_server_is_byte_equal_under_concurrent_load() {
+    let session = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([8])
+    .seed(7)
+    .recovery(true)
+    .build();
+    let reference = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([8])
+    .seed(7)
+    .build();
+    let server = Server::builder(session).workers(2).build();
+
+    const CLIENTS: usize = 4;
+    let fault = PipelineFault {
+        layer: 0,
+        fault: FaultPlan {
+            row: 1,
+            col: 100,
+            after_step: 2,
+            kind: FaultKind::AddValue(80.0),
+        },
+    };
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let client = server.client();
+            let reference = &reference;
+            scope.spawn(move || {
+                for i in 0..3 {
+                    let request = Matrix::random(5, 13, 700 + (c * 3 + i) as u64);
+                    let reply = client
+                        .submit_with_fault(&request, Some(fault))
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                    assert!(reply.report.fault_corrected(), "client {c} req {i}");
+                    assert!(!reply.report.fault_detected());
+                    let solo = reference.serve(&request).unwrap();
+                    assert_eq!(
+                        bits(&reply.report.output),
+                        bits(&solo.report.output),
+                        "client {c} req {i}: corrected reply must be byte-equal"
+                    );
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.session.corrections, (CLIENTS * 3) as u64);
+    assert_eq!(stats.session.faulty_requests, 0);
+    assert_eq!(stats.retries, 0, "retry was not enabled");
+}
+
+// --- Adaptive controller ------------------------------------------------
+
+#[test]
+fn controller_escalates_and_relaxes_with_hysteresis() {
+    let cfg = AdaptConfig {
+        window: 4,
+        escalate_threshold: 0.5,
+        relax_threshold: 0.01,
+        min_dwell: 4,
+    };
+    let mut ctrl = AdaptiveController::new(cfg, vec![Scheme::GlobalAbft]);
+
+    // A burst of faults escalates one rung once the window fills.
+    let mut adjustment = None;
+    for _ in 0..4 {
+        adjustment = ctrl.observe(0, true).or(adjustment);
+    }
+    let up = adjustment.expect("escalation");
+    assert!(up.escalated);
+    assert_eq!(up.from, Scheme::GlobalAbft);
+    assert_eq!(up.to, Scheme::MultiChecksum(2));
+
+    // Hysteresis: the switch cleared the window and started a dwell, so
+    // clean traffic inside it cannot flap the scheme back.
+    for i in 0..3 {
+        assert_eq!(ctrl.observe(0, false), None, "flapped at {i}");
+    }
+    // Once the window refills past the dwell, full relaxation follows.
+    let down = ctrl.observe(0, false).expect("relaxation");
+    assert!(!down.escalated);
+    assert_eq!(down.to, Scheme::GlobalAbft);
+    assert_eq!(ctrl.current()[0], Scheme::GlobalAbft);
+}
+
+#[test]
+fn adaptive_session_escalates_under_faults_and_relaxes_when_clean() {
+    let cfg = AdaptConfig {
+        window: 2,
+        escalate_threshold: 0.5,
+        relax_threshold: 0.01,
+        min_dwell: 2,
+    };
+    let session = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([8])
+    .seed(7)
+    .adaptive(cfg)
+    .build();
+    let request = Matrix::random(8, 13, 42);
+    let fault = PipelineFault {
+        layer: 1,
+        fault: FaultPlan {
+            row: 2,
+            col: 50,
+            after_step: 4,
+            kind: FaultKind::AddValue(50.0),
+        },
+    };
+    let baseline = session.serve(&request).unwrap().schemes.clone();
+
+    // Hammer layer 1 with faults until the controller escalates it.
+    let mut escalated = None;
+    for i in 0..8 {
+        session.serve_with_fault(&request, Some(fault)).unwrap();
+        let r = session.serve_with_fault(&request, Some(fault)).unwrap();
+        if r.schemes[1] != baseline[1] {
+            escalated = Some((i, r.schemes.clone()));
+            break;
+        }
+    }
+    let (_, schemes) = escalated.expect("layer 1 must escalate");
+    assert_eq!(schemes[..1], baseline[..1], "other layers stay put");
+    assert!(session.stats().adaptations >= 1);
+
+    // Clean traffic relaxes it back to the static plan.
+    let mut relaxed = false;
+    for _ in 0..16 {
+        let r = session.serve(&request).unwrap();
+        if r.schemes[..] == baseline[..] {
+            relaxed = true;
+            break;
+        }
+    }
+    assert!(relaxed, "layer 1 must relax back to baseline");
+    assert!(session.stats().adaptations >= 2);
+    // Back at baseline the escalated overlay is gone: outputs are
+    // byte-equal to the static plan's.
+    let r = session.serve(&request).unwrap();
+    let s = Session::builder(
+        Planner::new(DeviceSpec::t4()),
+        "dlrm-mlp-bottom",
+        zoo::dlrm_mlp_bottom,
+    )
+    .buckets([8])
+    .seed(7)
+    .build();
+    assert_eq!(
+        bits(&r.report.output),
+        bits(&s.serve(&request).unwrap().report.output)
+    );
+}
+
+// --- Campaign oracle ----------------------------------------------------
+
+#[test]
+fn correction_campaign_oracle_holds_for_every_localizing_scheme() {
+    let shape = GemmShape::new(32, 32, 32);
+    // Deterministic sweep of large epilogue faults across the output.
+    let faults: Vec<FaultPlan> = (0..48)
+        .map(|i| FaultPlan {
+            row: (i * 7) % 32,
+            col: (i * 11) % 32,
+            after_step: if i % 3 == 0 { u64::MAX } else { (i % 8) as u64 },
+            kind: FaultKind::AddValue(200.0 + i as f32),
+        })
+        .collect();
+    for scheme in localizing_schemes() {
+        let campaign = Campaign::new(shape, scheme, 21).with_correction(true);
+        let stats = campaign.run_faults(&faults);
+        assert_eq!(stats.trials, faults.len());
+        assert_eq!(
+            stats.corrected,
+            faults.len(),
+            "{scheme}: every large fault must be repaired to byte-equality ({stats:?})"
+        );
+        assert_eq!(stats.sdc, 0, "{scheme}");
+        assert_eq!(
+            stats.detected, 0,
+            "{scheme}: nothing should survive unrepaired"
+        );
+        assert!((stats.correction_rate() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn replication_correction_eliminates_sdc_on_random_bit_flips() {
+    // Exact-compare replication catches every corrupting flip; with
+    // correction on, the lane recompute repairs them all — zero SDC,
+    // zero unrepaired detections, over the full random-flip model.
+    let shape = GemmShape::new(32, 32, 32);
+    let campaign = Campaign::new(shape, Scheme::ReplicationTraditional, 13).with_correction(true);
+    let stats = campaign.run_bit_flips(120, 14);
+    assert_eq!(stats.sdc, 0, "{stats:?}");
+    assert_eq!(stats.detected, 0, "{stats:?}");
+    assert!(stats.corrected > 0);
+    assert_eq!(stats.false_positives, 0);
+}
+
+#[test]
+fn detailed_trials_feed_the_adaptive_controller() {
+    // The campaign's per-trial records and the controller share one
+    // observation type: replaying a campaign against a controller
+    // escalates it exactly as live traffic would.
+    let shape = GemmShape::new(32, 32, 32);
+    let campaign = Campaign::new(shape, Scheme::GlobalAbft, 17).with_correction(true);
+    let faults: Vec<FaultPlan> = (0..8)
+        .map(|i| FaultPlan {
+            row: i,
+            col: (3 * i) % 32,
+            after_step: u64::MAX,
+            kind: FaultKind::AddValue(300.0),
+        })
+        .collect();
+    let trials = campaign.run_faults_detailed(&faults);
+    assert_eq!(trials.len(), faults.len());
+    for t in &trials {
+        assert_eq!(t.observation.scheme, Scheme::GlobalAbft);
+        assert!(t.observation.fault_flagged());
+        assert_eq!(t.outcome, Outcome::Corrected);
+    }
+    let cfg = AdaptConfig {
+        window: 4,
+        escalate_threshold: 0.5,
+        relax_threshold: 0.01,
+        min_dwell: 1,
+    };
+    let mut ctrl = AdaptiveController::new(cfg, vec![Scheme::GlobalAbft]);
+    let mut adjusted = None;
+    for t in &trials {
+        adjusted = ctrl.observe_trial(0, &t.observation).or(adjusted);
+    }
+    let adj = adjusted.expect("replayed faults must escalate");
+    assert!(adj.escalated);
+}
