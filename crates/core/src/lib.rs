@@ -65,7 +65,7 @@ pub mod serve;
 pub mod session;
 pub mod tolerance;
 
-pub use adapt::{AdaptConfig, AdaptiveController, Adjustment, Observation};
+pub use adapt::{degrade_step, weaker, AdaptConfig, AdaptiveController, Adjustment, Observation};
 pub use compiled::CompiledModel;
 pub use kernel::{BoundKernel, FaultSite, RunReport, SchemeKernel, Verdict};
 pub use pipeline::{InferenceReport, LayerCorrection, PipelineFault, ProtectedPipeline};
@@ -74,5 +74,5 @@ pub use protected::{ProtectedConv, ProtectedGemm};
 pub use registry::SchemeRegistry;
 pub use schemes::Scheme;
 pub use selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
-pub use serve::{Client, Pending, ServeError, Server, ServerBuilder, ServerStats};
-pub use session::{ServeReport, Session, SessionBuilder, SessionError, SessionStats};
+pub use serve::{Client, Pending, Priority, ServeError, Server, ServerBuilder, ServerStats, Slo};
+pub use session::{PlanCache, ServeReport, Session, SessionBuilder, SessionError, SessionStats};

@@ -14,10 +14,11 @@
 //! paddings and tilings (accumulators are row-independent), so a
 //! coalesced member's bytes equal a direct solo serve of it.
 
-use super::{AtomicServerStats, PendingShared, ServeError, Shared};
+use super::{AtomicServerStats, PendingShared, Priority, ServeError, Shared, Slo};
 use crate::pipeline::{InferenceReport, PipelineFault};
-use crate::session::ServeReport;
+use crate::session::{ServeReport, Session};
 use aiga_gpu::engine::Matrix;
+use aiga_util::Rng64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,8 +32,18 @@ use std::time::{Duration, Instant};
 pub(crate) struct Request {
     pub input: Matrix,
     pub fault: Option<PipelineFault>,
+    pub slo: Slo,
+    /// Chaos hook: a worker *panics* on this request instead of serving
+    /// it (see `Client::inject_worker_panic`).
+    pub poison: bool,
     pub enqueued: Instant,
     pub state: Option<Arc<PendingShared>>,
+}
+
+impl Request {
+    fn is_cancelled(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.is_cancelled())
+    }
 }
 
 impl Drop for Request {
@@ -43,31 +54,113 @@ impl Drop for Request {
     }
 }
 
-/// A worker thread's life: pop, coalesce, execute, scatter — until the
-/// queue closes and drains.
-pub(crate) fn worker_loop(shared: &Shared) {
+/// A worker thread's life: pop, triage, coalesce, execute, scatter —
+/// until the queue closes and drains. Each worker serves through its
+/// own [`Session::shard`]: the compiled plans are shared (built once),
+/// the workspace pool is private, so concurrent passes never contend
+/// on one pool mutex.
+pub(crate) fn worker_loop(shared: &Shared, worker_id: u64) {
+    let session = shared.session.shard();
+    // Per-worker jitter source for retry backoff (decorrelates retry
+    // storms across workers).
+    let mut rng = Rng64::seed_from_u64(0xa16a_5e17e ^ worker_id);
     // Per-worker reusable buffers: the member list and the stacked
     // input. Both ratchet to their high-water mark, so the steady state
     // stacks without heap traffic.
     let mut members: Vec<Request> = Vec::new();
     let mut stacked = Matrix::default();
     while let Some(first) = shared.queue.pop() {
-        collect_batch(shared, first, &mut members);
-        execute_batch(shared, &mut members, &mut stacked);
+        let Some(first) = triage(shared, first) else {
+            continue;
+        };
+        let degraded = should_degrade(shared, &first);
+        collect_batch(shared, &session, first, &mut members, degraded);
+        execute_batch(
+            shared,
+            &session,
+            &mut members,
+            &mut stacked,
+            degraded,
+            &mut rng,
+        );
     }
 }
 
+/// The popped queue head meets the overload policy: cancelled requests
+/// resolve to [`ServeError::Cancelled`] without a pass, requests that
+/// aged past their own SLO deadline — or past the server's `shed_after`
+/// (non-`High` only) — resolve to [`ServeError::Overloaded`]. Returns
+/// the request only if it should still be served. Poison requests
+/// panic here, exercising the supervisor's self-healing path (the drop
+/// guard resolves the handle to `Aborted` during unwind).
+fn triage(shared: &Shared, mut request: Request) -> Option<Request> {
+    if request.poison {
+        panic!("injected worker panic (chaos hook)");
+    }
+    if request.is_cancelled() {
+        AtomicServerStats::bump(&shared.stats.cancelled);
+        let state = request.state.take().expect("unresolved request");
+        state.fulfill(Err(ServeError::Cancelled));
+        return None;
+    }
+    let age = request.enqueued.elapsed();
+    let past_own_deadline = request.slo.deadline.is_some_and(|d| age >= d);
+    let shed_threshold = match request.slo.priority {
+        Priority::High => None,
+        // Low-priority work is shed one threshold earlier: the load it
+        // releases is headroom for everyone else.
+        Priority::Low => shared.degrade_after.or(shared.shed_after),
+        Priority::Normal => shared.shed_after,
+    };
+    if past_own_deadline || shed_threshold.is_some_and(|t| age >= t) {
+        AtomicServerStats::bump(&shared.stats.shed);
+        let state = request.state.take().expect("unresolved request");
+        state.fulfill(Err(ServeError::Overloaded { queue_age: age }));
+        return None;
+    }
+    Some(request)
+}
+
+/// Whether this batch should run under the degraded (one-rung-cheaper)
+/// scheme assignment: the head request aged past `degrade_after`, is
+/// not `High` priority, and carries no injected fault (fault passes
+/// must keep their planned detection coverage).
+fn should_degrade(shared: &Shared, first: &Request) -> bool {
+    first.fault.is_none()
+        && first.slo.priority != Priority::High
+        && shared
+            .degrade_after
+            .is_some_and(|d| first.enqueued.elapsed() >= d)
+}
+
 /// True when `candidate` may share a pass with a batch of `cols`-wide
-/// requests currently holding `rows` rows.
-fn compatible(candidate: &Request, cols: usize, rows: usize, largest: usize) -> bool {
-    candidate.fault.is_none()
-        && candidate.input.cols == cols
-        && rows + candidate.input.rows <= largest
+/// requests currently holding `rows` rows. Cancelled and poison
+/// requests never coalesce (the worker triages them solo), and a
+/// *degraded* batch never absorbs a `High`-priority request (those are
+/// exempt from degradation).
+fn compatible(
+    candidate: &Request,
+    cols: usize,
+    rows: usize,
+    largest: usize,
+    degraded: bool,
+) -> bool {
+    let runs_solo = candidate.fault.is_some()
+        || candidate.poison
+        || candidate.is_cancelled()
+        || (degraded && candidate.slo.priority == Priority::High);
+    !runs_solo && candidate.input.cols == cols && rows + candidate.input.rows <= largest
 }
 
 /// Starting from the popped `first` request, drains compatible
 /// neighbors into `members` (clearing it first).
-fn collect_batch(shared: &Shared, first: Request, members: &mut Vec<Request>) {
+fn collect_batch(
+    shared: &Shared,
+    session: &Session,
+    first: Request,
+    members: &mut Vec<Request>,
+    degraded: bool,
+) {
     members.clear();
     let largest = shared.largest_bucket;
     let cols = first.input.cols;
@@ -84,7 +177,7 @@ fn collect_batch(shared: &Shared, first: Request, members: &mut Vec<Request>) {
     loop {
         if let Some(next) = shared
             .queue
-            .try_pop_if(|r| compatible(r, cols, rows, largest))
+            .try_pop_if(|r| compatible(r, cols, rows, largest, degraded))
         {
             rows += next.input.rows;
             members.push(next);
@@ -98,17 +191,16 @@ fn collect_batch(shared: &Shared, first: Request, members: &mut Vec<Request>) {
         // spare padding rows to fill (growing past it is free: the pass
         // would pad to that bucket anyway).
         let Some(deadline) = deadline else { return };
-        if rows >= shared.session.bucket_for(rows) as usize {
+        if rows >= session.bucket_for(rows) as usize {
             return;
         }
         let now = Instant::now();
         if now >= deadline {
             return;
         }
-        match shared
-            .queue
-            .pop_timeout_if(deadline - now, |r| compatible(r, cols, rows, largest))
-        {
+        match shared.queue.pop_timeout_if(deadline - now, |r| {
+            compatible(r, cols, rows, largest, degraded)
+        }) {
             Some(next) => {
                 rows += next.input.rows;
                 members.push(next);
@@ -122,10 +214,18 @@ fn collect_batch(shared: &Shared, first: Request, members: &mut Vec<Request>) {
     }
 }
 
-/// Runs one pipeline pass over the collected members and scatters the
-/// per-request reports. `members` is drained; `stacked` is the reused
-/// row-stacking buffer.
-fn execute_batch(shared: &Shared, members: &mut Vec<Request>, stacked: &mut Matrix) {
+/// Runs one pipeline pass over the collected members — degraded (one
+/// scheme rung cheaper, identical output bytes) when the batch head
+/// aged past `degrade_after` — and scatters the per-request reports.
+/// `members` is drained; `stacked` is the reused row-stacking buffer.
+fn execute_batch(
+    shared: &Shared,
+    session: &Session,
+    members: &mut Vec<Request>,
+    stacked: &mut Matrix,
+    degraded: bool,
+    rng: &mut Rng64,
+) {
     let stats = &shared.stats;
     AtomicServerStats::bump(&stats.batches);
     AtomicServerStats::ratchet(&stats.max_batch_requests, members.len() as u64);
@@ -133,11 +233,16 @@ fn execute_batch(shared: &Shared, members: &mut Vec<Request>, stacked: &mut Matr
     if members.len() == 1 {
         let request = members.pop().expect("one member");
         AtomicServerStats::ratchet(&stats.max_batch_rows, request.input.rows as u64);
-        let result = shared
-            .session
-            .serve_with_fault(&request.input, request.fault)
-            .map_err(ServeError::Session);
-        finish(shared, request, result);
+        let result = if degraded {
+            session.serve_degraded(&request.input)
+        } else {
+            session.serve_with_fault(&request.input, request.fault)
+        }
+        .map_err(ServeError::Session);
+        if degraded && result.is_ok() {
+            AtomicServerStats::bump(&stats.degraded);
+        }
+        finish(shared, session, request, result, rng);
         return;
     }
 
@@ -154,8 +259,16 @@ fn execute_batch(shared: &Shared, members: &mut Vec<Request>, stacked: &mut Matr
     AtomicServerStats::ratchet(&stats.max_batch_rows, total_rows as u64);
     AtomicServerStats::add(&stats.coalesced_requests, members.len() as u64);
 
-    match shared.session.serve(stacked) {
+    let batch_result = if degraded {
+        session.serve_degraded(stacked)
+    } else {
+        session.serve(stacked)
+    };
+    match batch_result {
         Ok(batch_report) => {
+            if degraded {
+                AtomicServerStats::add(&stats.degraded, members.len() as u64);
+            }
             let features_out = batch_report.report.output.len() / total_rows;
             let mut row = 0;
             for member in members.drain(..) {
@@ -177,37 +290,43 @@ fn execute_batch(shared: &Shared, members: &mut Vec<Request>, stacked: &mut Matr
                         corrections: batch_report.report.corrections.clone(),
                     },
                 };
-                finish(shared, member, Ok(report));
+                finish(shared, session, member, Ok(report), rng);
             }
         }
         Err(e) => {
             // All members share the feature width, so a session error
             // for the stack is the same error each would get alone.
             for member in members.drain(..) {
-                finish(shared, member, Err(ServeError::Session(e.clone())));
+                finish(
+                    shared,
+                    session,
+                    member,
+                    Err(ServeError::Session(e.clone())),
+                    rng,
+                );
             }
         }
     }
 }
 
 /// Books one finished request and fulfills its handle — after the
-/// transparent retry, when enabled: a pass that resolved with an
-/// *unrepaired* fault verdict (detected but not corrected in place)
-/// re-executes the request solo on a fresh pass, and the handle gets
-/// the re-execution's result. Under the §2.3 transient single-fault
-/// model the retry is clean (injected faults address the original
-/// launch only), so the caller never observes the tainted output.
-fn finish(shared: &Shared, mut request: Request, result: Result<ServeReport, ServeError>) {
+/// transparent bounded retry, when enabled: a pass that resolved with
+/// an *unrepaired* fault verdict (detected but not corrected in place)
+/// re-executes the request solo, up to `max_attempts` times with
+/// jittered exponential backoff, and the handle gets the last
+/// re-execution's result. Under the §2.3 transient single-fault model
+/// the first retry is already clean (injected faults address the
+/// original launch only), so the caller never observes tainted output.
+fn finish(
+    shared: &Shared,
+    session: &Session,
+    mut request: Request,
+    result: Result<ServeReport, ServeError>,
+    rng: &mut Rng64,
+) {
     let result = match result {
-        Ok(report) if shared.retry_on_verdict && report.report.fault_detected() => {
-            AtomicServerStats::bump(&shared.stats.retries);
-            let started = Instant::now();
-            let retried = shared
-                .session
-                .serve(&request.input)
-                .map_err(ServeError::Session);
-            shared.retry_latency.record(started.elapsed());
-            retried
+        Ok(report) if shared.retry.is_some() && report.report.fault_detected() => {
+            retry(shared, session, &request, report, rng)
         }
         other => other,
     };
@@ -219,6 +338,41 @@ fn finish(shared: &Shared, mut request: Request, result: Result<ServeReport, Ser
     });
     let state = request.state.take().expect("a request is finished once");
     state.fulfill(result);
+}
+
+/// The bounded retry loop behind [`finish`]. Each attempt is counted
+/// globally (`retries`) and per bucket (`retry_attempts_by_bucket`);
+/// the delay before attempt *k* is `base_delay · 2^(k-1)`, jittered to
+/// 50–150% so synchronized verdicts across workers do not retry in
+/// lockstep.
+fn retry(
+    shared: &Shared,
+    session: &Session,
+    request: &Request,
+    first: ServeReport,
+    rng: &mut Rng64,
+) -> Result<ServeReport, ServeError> {
+    let policy = shared.retry.expect("retry policy enabled");
+    let bucket_slot = session.buckets().iter().position(|&b| b == first.bucket);
+    let mut last = Ok(first);
+    for attempt in 0..policy.max_attempts {
+        match &last {
+            Ok(report) if report.report.fault_detected() => {}
+            _ => break, // clean (or a session error retries cannot fix)
+        }
+        AtomicServerStats::bump(&shared.stats.retries);
+        if let Some(i) = bucket_slot {
+            AtomicServerStats::bump(&shared.retry_by_bucket[i]);
+        }
+        if !policy.base_delay.is_zero() {
+            let backoff = policy.base_delay * (1u32 << attempt.min(16));
+            std::thread::sleep(backoff.mul_f64(0.5 + rng.gen_f64()));
+        }
+        let started = Instant::now();
+        last = session.serve(&request.input).map_err(ServeError::Session);
+        shared.retry_latency.record(started.elapsed());
+    }
+    last
 }
 
 #[cfg(test)]
@@ -246,13 +400,42 @@ mod tests {
         let req = |rows: usize, cols: usize| Request {
             input: Matrix::zeros(rows, cols),
             fault: None,
+            slo: Slo::default(),
+            poison: false,
             enqueued: Instant::now(),
             state: Some(Arc::new(PendingShared::default())),
         };
-        assert!(compatible(&req(4, 13), 13, 8, 32));
-        assert!(!compatible(&req(4, 9), 13, 8, 32), "feature width differs");
-        assert!(!compatible(&req(25, 13), 13, 8, 32), "overflows the bucket");
-        assert!(compatible(&req(24, 13), 13, 8, 32), "exactly fills");
+        assert!(compatible(&req(4, 13), 13, 8, 32, false));
+        assert!(
+            !compatible(&req(4, 9), 13, 8, 32, false),
+            "feature width differs"
+        );
+        assert!(
+            !compatible(&req(25, 13), 13, 8, 32, false),
+            "overflows the bucket"
+        );
+        assert!(compatible(&req(24, 13), 13, 8, 32, false), "exactly fills");
+        let mut high = req(4, 13);
+        high.slo.priority = Priority::High;
+        assert!(compatible(&high, 13, 8, 32, false));
+        assert!(
+            !compatible(&high, 13, 8, 32, true),
+            "high priority never joins a degraded batch"
+        );
+        let cancelled = req(4, 13);
+        cancelled
+            .state
+            .as_ref()
+            .unwrap()
+            .cancelled
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            !compatible(&cancelled, 13, 8, 32, false),
+            "cancelled requests never coalesce"
+        );
+        let mut poison = req(1, 13);
+        poison.poison = true;
+        assert!(!compatible(&poison, 13, 8, 32, false), "poison runs solo");
         let mut faulted = req(4, 13);
         faulted.fault = Some(PipelineFault {
             layer: 0,
@@ -264,7 +447,7 @@ mod tests {
             },
         });
         assert!(
-            !compatible(&faulted, 13, 8, 32),
+            !compatible(&faulted, 13, 8, 32, false),
             "faulted requests run solo"
         );
     }

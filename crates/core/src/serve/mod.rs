@@ -50,8 +50,12 @@ use aiga_util::sync::{PushError, SyncQueue};
 use aiga_util::LatencyHistogram;
 use batch::Request;
 use stats::AtomicServerStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// How often the supervisor thread scans for dead workers.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(2);
 
 /// Why a request was not served.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,6 +72,19 @@ pub enum ServeError {
     /// its worker panicked mid-pass, or every worker died before the
     /// queue drained. The handle resolves instead of hanging.
     Aborted,
+    /// Shed under overload: the queue had aged past the server's
+    /// `shed_after` threshold (or past this request's own SLO
+    /// deadline), so the server turned the request away explicitly
+    /// instead of letting tail latency run away. `queue_age` is how old
+    /// the unserved head (admission-time shed) or this request
+    /// (in-queue shed) was at the decision.
+    Overloaded {
+        /// Queue age observed at the shed decision.
+        queue_age: Duration,
+    },
+    /// The caller cancelled via [`Pending::cancel`] before a worker
+    /// started the request; its batch slot was reclaimed.
+    Cancelled,
 }
 
 impl std::fmt::Display for ServeError {
@@ -78,6 +95,10 @@ impl std::fmt::Display for ServeError {
             ServeError::SubmitTimeout => write!(f, "admission queue stayed full past the deadline"),
             ServeError::Shutdown => write!(f, "server has been shut down"),
             ServeError::Aborted => write!(f, "server stopped before serving this request"),
+            ServeError::Overloaded { queue_age } => {
+                write!(f, "shed under overload (queue age {queue_age:?})")
+            }
+            ServeError::Cancelled => write!(f, "request was cancelled by the caller"),
         }
     }
 }
@@ -97,11 +118,52 @@ impl From<SessionError> for ServeError {
     }
 }
 
+/// Request priority under overload. Priorities do not reorder the FIFO
+/// queue — they decide who absorbs the overload response: `High`
+/// requests are never age-shed and never degraded, `Low` requests are
+/// the first to go.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Exempt from age-based shedding and degradation (a request's own
+    /// [`Slo::deadline`] still applies).
+    High,
+    /// Standard treatment.
+    #[default]
+    Normal,
+    /// Shed as soon as the queue ages past `degrade_after` (not just
+    /// `shed_after`) — load shed from `Low` is headroom for the rest.
+    Low,
+}
+
+/// Per-request service-level objective, attached at submission via
+/// [`Client::submit_with_slo`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Slo {
+    /// Give up on this request once it has waited this long in the
+    /// queue — a worker that finds it expired resolves the handle with
+    /// [`ServeError::Overloaded`] instead of serving stale work.
+    pub deadline: Option<Duration>,
+    /// Who absorbs the overload response; see [`Priority`].
+    pub priority: Priority,
+}
+
+/// Bounded-retry configuration (see
+/// [`ServerBuilder::retry_policy`]): up to `max_attempts` re-runs with
+/// exponential backoff from `base_delay`, jittered ±50%.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RetryPolicy {
+    pub max_attempts: u32,
+    pub base_delay: Duration,
+}
+
 /// The slot a worker fulfills and a [`Pending`] waits on.
 #[derive(Default)]
 pub(crate) struct PendingShared {
     slot: Mutex<Option<Result<ServeReport, ServeError>>>,
     ready: Condvar,
+    /// Set by [`Pending::cancel`]; a worker that sees it resolves the
+    /// request with [`ServeError::Cancelled`] instead of serving it.
+    cancelled: AtomicBool,
 }
 
 impl PendingShared {
@@ -115,6 +177,10 @@ impl PendingShared {
             *slot = Some(result);
             self.ready.notify_all();
         }
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
     }
 }
 
@@ -138,6 +204,18 @@ impl Pending {
     /// return without blocking).
     pub fn is_ready(&self) -> bool {
         self.shared.slot.lock().unwrap().is_some()
+    }
+
+    /// Cancels the request so a timed-out caller stops wasting a batch
+    /// slot: a worker that reaches it in the queue resolves the handle
+    /// with [`ServeError::Cancelled`] without running a pass, and the
+    /// batcher refuses to coalesce it. Cancellation is best-effort —
+    /// if a worker had already started (or finished) the pass, the
+    /// handle resolves with that result instead. Returns `true` when
+    /// the cancel was registered before any result was available.
+    pub fn cancel(&self) -> bool {
+        self.shared.cancelled.store(true, Ordering::Relaxed);
+        !self.is_ready()
     }
 
     /// Blocks until the request completes and returns its report.
@@ -194,8 +272,26 @@ pub(crate) struct Shared {
     /// more compatible requests before executing.
     pub coalesce_window: Duration,
     /// Transparently re-run a request whose pass resolved with an
-    /// unrepaired fault verdict before fulfilling its handle.
-    pub retry_on_verdict: bool,
+    /// unrepaired fault verdict — up to `max_attempts` times with
+    /// jittered exponential backoff. `None` disables retry.
+    pub retry: Option<RetryPolicy>,
+    /// Retry attempts per declared bucket, aligned with
+    /// `session.buckets()`.
+    pub retry_by_bucket: Box<[AtomicU64]>,
+    /// Queue age past which pending work is served *degraded* (one
+    /// scheme rung cheaper; see [`crate::session::Session::serve_degraded`]).
+    pub degrade_after: Option<Duration>,
+    /// Queue age past which non-`High` requests are shed with
+    /// [`ServeError::Overloaded`].
+    pub shed_after: Option<Duration>,
+    /// The worker-pool roster, owned by the supervisor (workers are
+    /// reaped and respawned through this).
+    pub workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Monotonic worker id source: names threads and seeds each
+    /// worker's jitter RNG.
+    pub worker_seq: AtomicU64,
+    /// Target worker-pool size.
+    pub worker_target: usize,
 }
 
 /// A cloneable submission handle to a [`Server`]. Clients stay valid
@@ -216,19 +312,55 @@ impl Client {
     /// Submits one request, blocking while the admission queue is full.
     /// The returned [`Pending`] resolves once a worker has served it.
     pub fn submit(&self, input: &Matrix) -> Result<Pending, ServeError> {
-        self.enqueue(input, None, Admission::Block)
+        self.enqueue(input, None, Slo::default(), Admission::Block)
     }
 
     /// Submits without blocking; a full queue is reported as
     /// [`ServeError::QueueFull`] (the request is *not* admitted).
     pub fn try_submit(&self, input: &Matrix) -> Result<Pending, ServeError> {
-        self.enqueue(input, None, Admission::Try)
+        self.enqueue(input, None, Slo::default(), Admission::Try)
     }
 
     /// Submits, blocking up to `timeout` for queue room; expiry is
     /// reported as [`ServeError::SubmitTimeout`].
     pub fn submit_timeout(&self, input: &Matrix, timeout: Duration) -> Result<Pending, ServeError> {
-        self.enqueue(input, None, Admission::Deadline(timeout))
+        self.enqueue(input, None, Slo::default(), Admission::Deadline(timeout))
+    }
+
+    /// Submits one request with an explicit service-level objective:
+    /// an optional per-request queue deadline and an overload
+    /// [`Priority`]. Blocking admission. On a server configured with
+    /// [`ServerBuilder::shed_after`], an already-overaged queue sheds
+    /// at submission with [`ServeError::Overloaded`] — immediately,
+    /// before the request ever occupies a slot.
+    pub fn submit_with_slo(&self, input: &Matrix, slo: Slo) -> Result<Pending, ServeError> {
+        self.enqueue(input, None, slo, Admission::Block)
+    }
+
+    /// Chaos hook: enqueues a poison request whose worker *panics*
+    /// instead of serving it — exercising the supervisor's self-healing
+    /// path (the panicked worker's in-flight handles resolve to
+    /// [`ServeError::Aborted`]; the supervisor respawns it and bumps
+    /// [`ServerStats::worker_restarts`]). The returned handle resolves
+    /// to `Aborted`.
+    pub fn inject_worker_panic(&self) -> Result<Pending, ServeError> {
+        let shared = &*self.shared;
+        let state = Arc::new(PendingShared::default());
+        let request = Request {
+            input: Matrix::zeros(1, 1),
+            fault: None,
+            slo: Slo::default(),
+            poison: true,
+            enqueued: Instant::now(),
+            state: Some(state.clone()),
+        };
+        match shared.queue.push(request) {
+            Ok(()) => {
+                AtomicServerStats::bump(&shared.stats.submitted);
+                Ok(Pending { shared: state })
+            }
+            Err(_) => Err(ServeError::Shutdown),
+        }
     }
 
     /// Submits a request with an injected fault (the §2.3 single-fault
@@ -241,20 +373,38 @@ impl Client {
         input: &Matrix,
         fault: Option<PipelineFault>,
     ) -> Result<Pending, ServeError> {
-        self.enqueue(input, fault, Admission::Block)
+        self.enqueue(input, fault, Slo::default(), Admission::Block)
     }
 
     fn enqueue(
         &self,
         input: &Matrix,
         fault: Option<PipelineFault>,
+        slo: Slo,
         admission: Admission,
     ) -> Result<Pending, ServeError> {
         let shared = &*self.shared;
+        // Admission-time shedding: when the head of the queue has
+        // already aged past the shed threshold, adding more load only
+        // deepens the overload — turn the request away *now* (an
+        // explicit, promptly-resolved `Overloaded`) rather than after
+        // it too has gone stale. `High` priority is exempt.
+        if let Some(shed_after) = shared.shed_after {
+            if slo.priority != Priority::High {
+                if let Some(age) = shared.queue.head_age() {
+                    if age >= shed_after {
+                        AtomicServerStats::bump(&shared.stats.shed);
+                        return Err(ServeError::Overloaded { queue_age: age });
+                    }
+                }
+            }
+        }
         let state = Arc::new(PendingShared::default());
         let request = Request {
             input: input.clone(),
             fault,
+            slo,
+            poison: false,
             enqueued: Instant::now(),
             state: Some(state.clone()),
         };
@@ -296,7 +446,9 @@ pub struct ServerBuilder {
     workers: usize,
     queue_capacity: usize,
     coalesce_window: Duration,
-    retry_on_verdict: bool,
+    retry: Option<RetryPolicy>,
+    degrade_after: Option<Duration>,
+    shed_after: Option<Duration>,
 }
 
 impl ServerBuilder {
@@ -330,19 +482,67 @@ impl ServerBuilder {
     /// its handle resolves — under the §2.3 transient single-fault
     /// model the re-execution is clean. Retries are counted in
     /// [`ServerStats::retries`] with their own latency percentiles.
-    /// Off by default.
+    /// Off by default. Shorthand for `retry_policy(1, Duration::ZERO)`.
     pub fn retry_on_verdict(mut self, on: bool) -> Self {
-        self.retry_on_verdict = on;
+        self.retry = on.then_some(RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+        });
         self
     }
 
-    /// Spawns the workers and opens the doors.
+    /// Bounded retry-on-verdict: up to `max_attempts` re-executions,
+    /// backing off exponentially from `base_delay` (delay before
+    /// attempt *k* is `base_delay · 2^(k-1)`, jittered ±50% from the
+    /// worker's [`aiga_util::Rng64`] so synchronized retry storms
+    /// decorrelate). `Duration::ZERO` retries immediately. Attempts are
+    /// counted in [`ServerStats::retries`] and per bucket in
+    /// [`ServerStats::retry_attempts_by_bucket`].
+    pub fn retry_policy(mut self, max_attempts: u32, base_delay: Duration) -> Self {
+        assert!(max_attempts >= 1, "retry_policy needs at least one attempt");
+        self.retry = Some(RetryPolicy {
+            max_attempts,
+            base_delay,
+        });
+        self
+    }
+
+    /// Queue age past which pending work is served *degraded*: every
+    /// layer one rung down the [`crate::adapt::ladder`] from the static
+    /// plan (see [`Session::serve_degraded`]). Output bytes are
+    /// unchanged — schemes compute checksums beside the GEMM, never in
+    /// it — so degradation trades detection coverage, not answer
+    /// quality, for execution time. `High`-priority and fault-injected
+    /// requests are never degraded. Off by default.
+    pub fn degrade_after(mut self, age: Duration) -> Self {
+        self.degrade_after = Some(age);
+        self
+    }
+
+    /// Queue age past which load is *shed*: submissions are turned
+    /// away and queued non-`High` requests resolve with
+    /// [`ServeError::Overloaded`] instead of aging without bound.
+    /// Typically set above [`ServerBuilder::degrade_after`] so the
+    /// server degrades first and sheds only when that is not enough.
+    /// Off by default.
+    pub fn shed_after(mut self, age: Duration) -> Self {
+        self.shed_after = Some(age);
+        self
+    }
+
+    /// Spawns the workers (and their supervisor) and opens the doors.
     pub fn build(self) -> Server {
         let largest_bucket = *self
             .session
             .buckets()
             .last()
             .expect("sessions declare at least one bucket") as usize;
+        let retry_by_bucket = self
+            .session
+            .buckets()
+            .iter()
+            .map(|_| AtomicU64::new(0))
+            .collect();
         let shared = Arc::new(Shared {
             session: self.session,
             queue: SyncQueue::bounded(self.queue_capacity),
@@ -351,18 +551,75 @@ impl ServerBuilder {
             retry_latency: LatencyHistogram::new(),
             largest_bucket,
             coalesce_window: self.coalesce_window,
-            retry_on_verdict: self.retry_on_verdict,
+            retry: self.retry,
+            retry_by_bucket,
+            degrade_after: self.degrade_after,
+            shed_after: self.shed_after,
+            workers: Mutex::new(Vec::with_capacity(self.workers)),
+            worker_seq: AtomicU64::new(0),
+            worker_target: self.workers,
         });
-        let workers = (0..self.workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("aiga-serve-{i}"))
-                    .spawn(move || batch::worker_loop(&shared))
-                    .expect("spawn server worker")
-            })
-            .collect();
-        Server { shared, workers }
+        {
+            let mut workers = shared.workers.lock().unwrap();
+            for _ in 0..self.workers {
+                workers.push(spawn_worker(&shared));
+            }
+        }
+        let supervisor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("aiga-serve-supervisor".into())
+                .spawn(move || supervise(&shared))
+                .expect("spawn server supervisor")
+        };
+        Server {
+            shared,
+            supervisor: Some(supervisor),
+        }
+    }
+}
+
+/// Spawns one worker thread over its own [`Session::shard`] (shared
+/// plan cache, private workspace pool).
+fn spawn_worker(shared: &Arc<Shared>) -> std::thread::JoinHandle<()> {
+    let id = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+    let shared = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("aiga-serve-{id}"))
+        .spawn(move || batch::worker_loop(&shared, id))
+        .expect("spawn server worker")
+}
+
+/// The supervisor loop: reap finished workers, respawn the ones that
+/// *panicked* (a worker that returns cleanly is draining a closed
+/// queue), and exit once the queue is closed and every worker is
+/// joined. Self-healing is bookkept in
+/// [`ServerStats::worker_restarts`].
+fn supervise(shared: &Arc<Shared>) {
+    loop {
+        {
+            let mut workers = shared.workers.lock().unwrap();
+            let mut i = 0;
+            while i < workers.len() {
+                if workers[i].is_finished() {
+                    let worker = workers.swap_remove(i);
+                    if worker.join().is_err() {
+                        // Panicked mid-pass: its in-flight handles have
+                        // already resolved to `Aborted` via the request
+                        // drop guard. Replace it with a fresh worker on
+                        // a fresh session shard.
+                        AtomicServerStats::bump(&shared.stats.worker_restarts);
+                        workers.push(spawn_worker(shared));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if shared.queue.is_closed() && workers.is_empty() {
+                return;
+            }
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
     }
 }
 
@@ -371,7 +628,7 @@ impl ServerBuilder {
 /// threads, graceful drain on shutdown. See the [module docs](self).
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -382,7 +639,9 @@ impl Server {
             workers: 2,
             queue_capacity: 64,
             coalesce_window: Duration::ZERO,
-            retry_on_verdict: false,
+            retry: None,
+            degrade_after: None,
+            shed_after: None,
         }
     }
 
@@ -406,9 +665,10 @@ impl Server {
         &self.shared.session
     }
 
-    /// Number of worker threads.
+    /// Target number of worker threads (the supervisor keeps the live
+    /// pool at this size, respawning panicked workers).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.shared.worker_target
     }
 
     /// A statistics snapshot: server counters, live queue depth,
@@ -426,6 +686,15 @@ impl Server {
         stats.retry_p50_latency_ns = shared.retry_latency.p50_ns();
         stats.retry_p95_latency_ns = shared.retry_latency.p95_ns();
         stats.retry_p99_latency_ns = shared.retry_latency.p99_ns();
+        stats.retry_attempts_by_bucket = shared
+            .retry_by_bucket
+            .iter()
+            .zip(shared.session.buckets())
+            .filter_map(|(attempts, &bucket)| {
+                let n = attempts.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket, n))
+            })
+            .collect();
         stats.session = shared.session.stats();
         stats
     }
@@ -441,23 +710,21 @@ impl Server {
 
     fn halt(&mut self) {
         self.shared.queue.close();
-        let mut worker_panic = None;
-        for worker in self.workers.drain(..) {
-            if let Err(payload) = worker.join() {
-                worker_panic = Some(payload);
-            }
-        }
-        // If every worker died, the queue may still hold admitted
-        // requests; dropping them resolves their handles to `Aborted`
-        // (no waiter is left hanging).
+        // The supervisor owns the worker roster: it respawns panicked
+        // workers (even mid-drain, so closed-queue leftovers still get
+        // served), joins the rest as they drain out, and exits once the
+        // pool is empty. Worker panics are a *handled* fault — counted
+        // in `worker_restarts`, never propagated.
+        let supervisor_panic = self
+            .supervisor
+            .take()
+            .map(|s| s.join().is_err())
+            .unwrap_or(false);
+        // Belt and suspenders: any request still queued (e.g. pushed in
+        // the close race) resolves its handle to `Aborted` on drop.
         while self.shared.queue.try_pop().is_some() {}
-        // Surface a worker panic to the shutdown caller — but never
-        // panic inside a Drop that is itself part of an unwind (that
-        // would abort the process).
-        if let Some(payload) = worker_panic {
-            if !std::thread::panicking() {
-                std::panic::resume_unwind(payload);
-            }
+        if supervisor_panic && !std::thread::panicking() {
+            panic!("server supervisor panicked");
         }
     }
 }

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Aggregate statistics over a server's lifetime. All latencies come
 /// from the log2 histogram, so the reported percentiles are upper
 /// bounds within 2× of the true end-to-end (enqueue → scatter) latency.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests admitted into the queue.
     pub submitted: u64,
@@ -55,6 +55,26 @@ pub struct ServerStats {
     pub retry_p95_latency_ns: u64,
     /// 99th-percentile retry re-execution latency, ns.
     pub retry_p99_latency_ns: u64,
+    /// Retry attempts per declared bucket, as `(bucket, attempts)`
+    /// pairs aligned with the session's buckets (only buckets that
+    /// retried appear). The sum over all buckets equals `retries`.
+    pub retry_attempts_by_bucket: Vec<(u64, u64)>,
+    /// Requests served under a *degraded* (one-rung-cheaper) scheme
+    /// assignment because queue age crossed the server's
+    /// `degrade_after` threshold. Output bytes are unaffected — only
+    /// protection coverage is traded for execution time.
+    pub degraded: u64,
+    /// Requests shed under overload with
+    /// [`crate::serve::ServeError::Overloaded`]: turned away at
+    /// admission or expired in the queue past `shed_after` (or their
+    /// own SLO deadline).
+    pub shed: u64,
+    /// Requests resolved with [`crate::serve::ServeError::Cancelled`]
+    /// after [`crate::serve::Pending::cancel`] — their batch slot was
+    /// reclaimed without running a pass.
+    pub cancelled: u64,
+    /// Worker threads the supervisor respawned after a panic.
+    pub worker_restarts: u64,
     /// The wrapped session's own counters (note: the session counts
     /// coalesced passes, not server requests — `session.requests` is
     /// the number of pipeline-facing serves).
@@ -75,6 +95,10 @@ pub(crate) struct AtomicServerStats {
     pub max_batch_rows: AtomicU64,
     pub max_queue_depth: AtomicU64,
     pub retries: AtomicU64,
+    pub degraded: AtomicU64,
+    pub shed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub worker_restarts: AtomicU64,
 }
 
 impl AtomicServerStats {
@@ -104,6 +128,10 @@ impl AtomicServerStats {
             max_batch_rows: self.max_batch_rows.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             ..ServerStats::default()
         }
     }

@@ -40,7 +40,7 @@
 //! allocation is the returned report's output vector —
 //! `tests/alloc_steadystate.rs` pins this with a counting allocator.
 
-use crate::adapt::{AdaptConfig, AdaptiveController};
+use crate::adapt::{degrade_step, AdaptConfig, AdaptiveController};
 use crate::compiled::CompiledModel;
 use crate::pipeline::{InferenceReport, PipelineFault};
 use crate::planner::Planner;
@@ -101,6 +101,12 @@ pub struct SessionStats {
     /// Scheme switches (escalations + relaxations) committed by the
     /// adaptive controller (adaptive sessions only).
     pub adaptations: u64,
+    /// Requests served under a *degraded* scheme assignment — every
+    /// layer one rung down the [`crate::adapt::ladder`] from the static
+    /// plan's choice (an overloaded [`crate::serve::Server`] trades
+    /// protection strength for execution time; output bytes are
+    /// unaffected).
+    pub degraded_requests: u64,
 }
 
 /// Lock-free statistics counters; [`Session::stats`] snapshots them
@@ -117,6 +123,7 @@ struct AtomicStats {
     corrections: AtomicU64,
     vote_resolutions: AtomicU64,
     adaptations: AtomicU64,
+    degraded_requests: AtomicU64,
 }
 
 impl AtomicStats {
@@ -131,6 +138,7 @@ impl AtomicStats {
             corrections: self.corrections.load(Ordering::Relaxed),
             vote_resolutions: self.vote_resolutions.load(Ordering::Relaxed),
             adaptations: self.adaptations.load(Ordering::Relaxed),
+            degraded_requests: self.degraded_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -231,6 +239,7 @@ impl SessionBuilder {
     /// Finalizes the session.
     pub fn build(self) -> Session {
         let entries = self.buckets.iter().map(|_| OnceLock::new()).collect();
+        let degraded = self.buckets.iter().map(|_| OnceLock::new()).collect();
         let adapt = self
             .adaptive
             .or(self.planner.adaptive_config())
@@ -240,23 +249,33 @@ impl SessionBuilder {
                 overlays: self.buckets.iter().map(|_| RwLock::new(None)).collect(),
             });
         Session {
-            planner: self.planner,
-            family_name: self.family_name,
-            family: self.family,
-            buckets: self.buckets,
-            seed: self.seed,
-            recovery: self.recovery,
-            adapt,
-            entries,
+            cache: Arc::new(PlanCache {
+                planner: self.planner,
+                family_name: self.family_name,
+                family: self.family,
+                buckets: self.buckets,
+                seed: self.seed,
+                recovery: self.recovery,
+                adapt,
+                entries,
+                degraded,
+                stats: AtomicStats::default(),
+            }),
             pool: Mutex::new(Vec::new()),
-            stats: AtomicStats::default(),
         }
     }
 }
 
-/// A long-lived serving session: plan once per bucket, serve many
-/// requests, each from a warm pooled workspace.
-pub struct Session {
+/// The shared, immutable planning state behind one or more [`Session`]
+/// shards: the planner, the model family, the declared buckets, the
+/// per-bucket compiled-model slots (base + degraded), the adaptive
+/// overlays, and the aggregate statistics. Compilation happens exactly
+/// once per bucket no matter how many shards serve from the cache.
+///
+/// `PlanCache` is deliberately opaque — it is reached through
+/// [`Session::shard`], which hands each serving thread its own
+/// workspace pool over the same `Arc<PlanCache>`.
+pub struct PlanCache {
     planner: Planner,
     family_name: String,
     family: Family,
@@ -271,217 +290,89 @@ pub struct Session {
     /// lets concurrent first requests for *different* buckets plan in
     /// parallel.
     entries: Vec<OnceLock<Arc<CompiledModel>>>,
-    /// Warm workspaces checked out per request. Capacity ratchets to
-    /// the peak concurrency; a pop/push pair on the steady state does
-    /// not allocate.
-    pool: Mutex<Vec<Workspace>>,
+    /// The *degraded* sibling of each bucket entry: the same model
+    /// compiled with every layer one rung down the
+    /// [`crate::adapt::ladder`] from the static plan's choice (floored
+    /// at `Unprotected`). Built lazily on the first degraded pass; an
+    /// overloaded [`crate::serve::Server`] serves through these to
+    /// shed protection overhead — never output quality (all schemes
+    /// compute byte-identical GEMM results).
+    degraded: Vec<OnceLock<Arc<CompiledModel>>>,
     stats: AtomicStats,
 }
 
-impl Session {
-    /// Starts building a session for a model family. `family_name` names
-    /// the session in diagnostics; `family` maps a batch-size key to the
-    /// model served at that size.
-    pub fn builder(
-        planner: Planner,
-        family_name: impl Into<String>,
-        family: impl Fn(u64) -> Model + Send + Sync + 'static,
-    ) -> SessionBuilder {
-        SessionBuilder {
-            planner,
-            family_name: family_name.into(),
-            family: Family::Mlp(Box::new(family)),
-            buckets: vec![1],
-            seed: 0,
-            recovery: false,
-            adaptive: None,
-        }
-    }
+/// A long-lived serving session: plan once per bucket, serve many
+/// requests, each from a warm pooled workspace.
+///
+/// A session is a *shard view* over an [`Arc<PlanCache>`]: the compiled
+/// plans, adaptive state, and statistics are shared (and built once),
+/// while the workspace pool is private to the shard. [`Session::shard`]
+/// creates another view — [`crate::serve::Server`] gives each worker
+/// thread its own shard so steady-state serving never contends on one
+/// pool mutex.
+pub struct Session {
+    cache: Arc<PlanCache>,
+    /// Warm workspaces checked out per request. Capacity ratchets to
+    /// the peak concurrency of *this shard*; a pop/push pair on the
+    /// steady state does not allocate.
+    pool: Mutex<Vec<Workspace>>,
+}
 
-    /// [`Self::builder`] for an *executable* network family: `family`
-    /// maps a batch-size key to an [`aiga_nn::Network`] (e.g.
-    /// `|b| zoo::squeezenet_net(b, 64, 64, 7)`), and each bucket is
-    /// compiled — planned on its real conv shapes, real FP16 weights
-    /// bound per layer — on first use. Requests are flattened-NCHW
-    /// rows (`C·H·W` features per image).
-    pub fn builder_network(
-        planner: Planner,
-        family_name: impl Into<String>,
-        family: impl Fn(u64) -> Network + Send + Sync + 'static,
-    ) -> SessionBuilder {
-        SessionBuilder {
-            planner,
-            family_name: family_name.into(),
-            family: Family::Network(Box::new(family)),
-            buckets: vec![1],
-            seed: 0,
-            recovery: false,
-            adaptive: None,
-        }
-    }
-
-    /// The model-family name this session serves.
-    pub fn family_name(&self) -> &str {
-        &self.family_name
-    }
-
-    /// The declared batch buckets, ascending.
-    pub fn buckets(&self) -> &[u64] {
-        &self.buckets
-    }
-
-    /// The bucket a request with `rows` rows dispatches to: the smallest
-    /// declared bucket that fits it (requests are padded *up*). Requests
-    /// beyond the largest bucket return the largest — `serve` splits
-    /// them into chunks of that size.
-    pub fn bucket_for(&self, rows: usize) -> u64 {
+impl PlanCache {
+    fn bucket_index(&self, bucket: u64) -> usize {
         self.buckets
             .iter()
-            .copied()
-            .find(|&b| b >= rows as u64)
-            .unwrap_or(*self.buckets.last().unwrap())
+            .position(|&b| b == bucket)
+            .expect("bucket not declared for this session")
     }
 
-    /// The intensity-guided plan serving a given declared bucket (builds
-    /// and caches it if needed). Mostly useful for inspection and tests;
-    /// does not touch the request-oriented [`SessionStats`] counters.
-    /// Panics if `bucket` was not declared.
-    pub fn plan_for_bucket(&self, bucket: u64) -> Arc<ModelPlan> {
-        let (entry, _) = self.entry(self.bucket_index(bucket));
-        Arc::new(entry.plan().clone())
-    }
-
-    /// The compiled model serving a given declared bucket (builds and
-    /// caches it if needed). Panics if `bucket` was not declared.
-    pub fn compiled_for_bucket(&self, bucket: u64) -> Arc<CompiledModel> {
-        self.entry(self.bucket_index(bucket)).0
-    }
-
-    /// Serves one request (any number of rows, columns equal to the
-    /// family's input features).
-    pub fn serve(&self, input: &Matrix) -> Result<ServeReport, SessionError> {
-        self.serve_with_fault(input, None)
-    }
-
-    /// Serves one request with an optional injected fault (the §2.3
-    /// single-fault model, aimed at one layer of this request). For
-    /// oversized requests that get split, the fault is injected into the
-    /// first chunk only — the fault plan's coordinates address one
-    /// bucket-shaped kernel launch.
-    pub fn serve_with_fault(
-        &self,
-        input: &Matrix,
-        fault: Option<PipelineFault>,
-    ) -> Result<ServeReport, SessionError> {
-        let largest = *self.buckets.last().unwrap();
-        if input.rows <= largest as usize {
-            let (report, built) = self.serve_chunk(input, self.bucket_for(input.rows), fault)?;
-            self.note_request(&report.report, built, false);
-            return Ok(report);
+    /// Fetches (compiling if needed) the bucket's model. Returns
+    /// `(entry, built)` where `built` is true when this call won the
+    /// build. The steady-state path is one lock-free `OnceLock::get`;
+    /// concurrent first requests may build concurrently, with one
+    /// winner.
+    fn entry(&self, index: usize) -> (Arc<CompiledModel>, bool) {
+        let slot = &self.entries[index];
+        if let Some(entry) = slot.get() {
+            return (entry.clone(), false);
         }
-
-        // Oversized request: split into largest-bucket chunks and serve
-        // every chunk — the tail included — through the largest-bucket
-        // pipeline, so the whole request runs under ONE model instance
-        // and ONE scheme plan (a model family may vary with the batch
-        // key). The split path allocates for the chunk copies and the
-        // concatenation — in-bucket requests remain the allocation-free
-        // steady state.
-        let mut output = Vec::new();
-        let mut detections = Vec::new();
-        let mut corrections = Vec::new();
-        let mut schemes = None;
-        let mut any_built = false;
-        let mut start = 0;
-        while start < input.rows {
-            let rows = (largest as usize).min(input.rows - start);
-            let chunk = input.row_block(start, rows);
-            let chunk_fault = if start == 0 { fault } else { None };
-            let (r, built) = self.serve_chunk(&chunk, largest, chunk_fault)?;
-            any_built |= built;
-            if output.is_empty() {
-                let n_out = r.report.output.len() / rows;
-                output.reserve_exact(input.rows * n_out);
-            }
-            output.extend_from_slice(&r.report.output);
-            detections.extend(r.report.detections);
-            corrections.extend(r.report.corrections);
-            if schemes.is_none() {
-                schemes = Some(r.schemes);
-            }
-            start += rows;
+        let bucket = self.buckets[index];
+        let compiled = match &self.family {
+            Family::Mlp(f) => CompiledModel::compile_mlp(&self.planner, &f(bucket), self.seed),
+            Family::Network(f) => CompiledModel::compile(&self.planner, &f(bucket)),
         }
-        let report = InferenceReport {
-            output,
-            detections,
-            corrections,
-        };
-        self.note_request(&report, any_built, true);
-        Ok(ServeReport {
-            bucket: largest,
-            rows: input.rows,
-            schemes: schemes.expect("at least one chunk served"),
-            report,
-        })
+        .with_recovery(self.recovery);
+        let built = slot.set(Arc::new(compiled)).is_ok();
+        (slot.get().expect("just initialized").clone(), built)
     }
 
-    /// A snapshot of the aggregate serving statistics.
-    pub fn stats(&self) -> SessionStats {
-        self.stats.snapshot()
-    }
-
-    /// Serves one request through an explicit declared bucket (the
-    /// request must fit it); returns the report plus whether this call
-    /// built the bucket entry. Statistics are the caller's concern (the
-    /// split path aggregates over chunks).
-    fn serve_chunk(
-        &self,
-        input: &Matrix,
-        bucket: u64,
-        fault: Option<PipelineFault>,
-    ) -> Result<(ServeReport, bool), SessionError> {
-        let index = self.bucket_index(bucket);
-        let (base, built) = self.entry(index);
-        // An adaptive overlay (escalated or relaxed recompile) supersedes
-        // the static entry while present.
-        let entry = match &self.adapt {
-            Some(adapt) => adapt.overlays[index]
-                .read()
-                .unwrap()
-                .clone()
-                .unwrap_or_else(|| base.clone()),
-            None => base.clone(),
-        };
-        let expected = entry.input_features();
-        if input.cols != expected {
-            return Err(SessionError::FeatureMismatch {
-                observed: input.cols,
-                expected,
-            });
-        }
-
-        // Check a warm workspace out of the pool (or warm a new one up),
-        // run the whole pipeline inside it, and return it.
-        let mut ws = {
-            let mut pool = self.pool.lock().unwrap();
-            pool.pop().unwrap_or_default()
-        };
-        let report = entry.infer_into(input, fault, &mut ws);
-        self.pool.lock().unwrap().push(ws);
-
-        if let Some(adapt) = &self.adapt {
-            self.adapt_observe(adapt, index, &base, &report);
-        }
-
-        Ok((
-            ServeReport {
-                bucket,
-                rows: input.rows,
-                schemes: entry.schemes().clone(),
-                report,
-            },
-            built,
-        ))
+    /// The degraded sibling of a bucket entry: recompiled with every
+    /// layer one [`crate::adapt::weaker`] rung down from the base
+    /// plan's scheme. When the base plan is already fully unprotected
+    /// there is nothing cheaper — the base entry is reused as-is.
+    /// Degraded compiles are overload actions, not request cache
+    /// misses: they never count as `plan_builds`.
+    fn degraded_entry(&self, index: usize, base: &Arc<CompiledModel>) -> Arc<CompiledModel> {
+        self.degraded[index]
+            .get_or_init(|| match degrade_step(base.schemes()) {
+                None => base.clone(),
+                Some(schemes) => {
+                    let bucket = self.buckets[index];
+                    let compiled = match &self.family {
+                        Family::Mlp(f) => CompiledModel::compile_mlp_overridden(
+                            &self.planner,
+                            &f(bucket),
+                            self.seed,
+                            &schemes,
+                        ),
+                        Family::Network(f) => {
+                            CompiledModel::compile_overridden(&self.planner, &f(bucket), &schemes)
+                        }
+                    };
+                    Arc::new(compiled.with_recovery(self.recovery))
+                }
+            })
+            .clone()
     }
 
     /// Feeds one served report into a bucket's adaptive controller and,
@@ -540,7 +431,7 @@ impl Session {
             .fetch_add(switches, Ordering::Relaxed);
     }
 
-    fn note_request(&self, report: &InferenceReport, built: bool, split: bool) {
+    fn note_request(&self, report: &InferenceReport, built: bool, split: bool, degraded: bool) {
         let s = &self.stats;
         s.requests.fetch_add(1, Ordering::Relaxed);
         if built {
@@ -564,33 +455,265 @@ impl Session {
         if split {
             s.split_requests.fetch_add(1, Ordering::Relaxed);
         }
+        if degraded {
+            s.degraded_requests.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Session {
+    /// Starts building a session for a model family. `family_name` names
+    /// the session in diagnostics; `family` maps a batch-size key to the
+    /// model served at that size.
+    pub fn builder(
+        planner: Planner,
+        family_name: impl Into<String>,
+        family: impl Fn(u64) -> Model + Send + Sync + 'static,
+    ) -> SessionBuilder {
+        SessionBuilder {
+            planner,
+            family_name: family_name.into(),
+            family: Family::Mlp(Box::new(family)),
+            buckets: vec![1],
+            seed: 0,
+            recovery: false,
+            adaptive: None,
+        }
     }
 
-    fn bucket_index(&self, bucket: u64) -> usize {
-        self.buckets
+    /// [`Self::builder`] for an *executable* network family: `family`
+    /// maps a batch-size key to an [`aiga_nn::Network`] (e.g.
+    /// `|b| zoo::squeezenet_net(b, 64, 64, 7)`), and each bucket is
+    /// compiled — planned on its real conv shapes, real FP16 weights
+    /// bound per layer — on first use. Requests are flattened-NCHW
+    /// rows (`C·H·W` features per image).
+    pub fn builder_network(
+        planner: Planner,
+        family_name: impl Into<String>,
+        family: impl Fn(u64) -> Network + Send + Sync + 'static,
+    ) -> SessionBuilder {
+        SessionBuilder {
+            planner,
+            family_name: family_name.into(),
+            family: Family::Network(Box::new(family)),
+            buckets: vec![1],
+            seed: 0,
+            recovery: false,
+            adaptive: None,
+        }
+    }
+
+    /// Another shard over the same [`PlanCache`]: shared compiled
+    /// plans, shared adaptive state, shared statistics — but a private
+    /// workspace pool, so two shards never contend on a pool mutex.
+    /// Plan compilation still happens once across all shards.
+    /// [`crate::serve::Server`] hands each worker thread its own shard.
+    pub fn shard(&self) -> Session {
+        Session {
+            cache: Arc::clone(&self.cache),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The model-family name this session serves.
+    pub fn family_name(&self) -> &str {
+        &self.cache.family_name
+    }
+
+    /// The declared batch buckets, ascending.
+    pub fn buckets(&self) -> &[u64] {
+        &self.cache.buckets
+    }
+
+    /// The bucket a request with `rows` rows dispatches to: the smallest
+    /// declared bucket that fits it (requests are padded *up*). Requests
+    /// beyond the largest bucket return the largest — `serve` splits
+    /// them into chunks of that size.
+    pub fn bucket_for(&self, rows: usize) -> u64 {
+        self.cache
+            .buckets
             .iter()
-            .position(|&b| b == bucket)
-            .expect("bucket not declared for this session")
+            .copied()
+            .find(|&b| b >= rows as u64)
+            .unwrap_or(*self.cache.buckets.last().unwrap())
     }
 
-    /// Fetches (compiling if needed) the bucket's model. Returns
-    /// `(entry, built)` where `built` is true when this call won the
-    /// build. The steady-state path is one lock-free `OnceLock::get`;
-    /// concurrent first requests may build concurrently, with one
-    /// winner.
-    fn entry(&self, index: usize) -> (Arc<CompiledModel>, bool) {
-        let slot = &self.entries[index];
-        if let Some(entry) = slot.get() {
-            return (entry.clone(), false);
+    /// The intensity-guided plan serving a given declared bucket (builds
+    /// and caches it if needed). Mostly useful for inspection and tests;
+    /// does not touch the request-oriented [`SessionStats`] counters.
+    /// Panics if `bucket` was not declared.
+    pub fn plan_for_bucket(&self, bucket: u64) -> Arc<ModelPlan> {
+        let (entry, _) = self.cache.entry(self.cache.bucket_index(bucket));
+        Arc::new(entry.plan().clone())
+    }
+
+    /// The compiled model serving a given declared bucket (builds and
+    /// caches it if needed). Panics if `bucket` was not declared.
+    pub fn compiled_for_bucket(&self, bucket: u64) -> Arc<CompiledModel> {
+        self.cache.entry(self.cache.bucket_index(bucket)).0
+    }
+
+    /// Serves one request (any number of rows, columns equal to the
+    /// family's input features).
+    pub fn serve(&self, input: &Matrix) -> Result<ServeReport, SessionError> {
+        self.serve_inner(input, None, false)
+    }
+
+    /// Serves one request with an optional injected fault (the §2.3
+    /// single-fault model, aimed at one layer of this request). For
+    /// oversized requests that get split, the fault is injected into the
+    /// first chunk only — the fault plan's coordinates address one
+    /// bucket-shaped kernel launch.
+    pub fn serve_with_fault(
+        &self,
+        input: &Matrix,
+        fault: Option<PipelineFault>,
+    ) -> Result<ServeReport, SessionError> {
+        self.serve_inner(input, fault, false)
+    }
+
+    /// Serves one request under the *degraded* scheme assignment: every
+    /// layer one rung down the [`crate::adapt::ladder`] from the static
+    /// plan (floored at `Unprotected`). Output bytes are identical to
+    /// [`Session::serve`] — every scheme computes the same GEMM result,
+    /// checksums ride in separate accumulators — only detection
+    /// coverage is reduced in exchange for a cheaper pass. An
+    /// overloaded [`crate::serve::Server`] uses this to keep queue age
+    /// bounded before it starts shedding.
+    pub fn serve_degraded(&self, input: &Matrix) -> Result<ServeReport, SessionError> {
+        self.serve_inner(input, None, true)
+    }
+
+    /// A snapshot of the aggregate serving statistics (shared across
+    /// all shards of the same plan cache).
+    pub fn stats(&self) -> SessionStats {
+        self.cache.stats.snapshot()
+    }
+
+    fn serve_inner(
+        &self,
+        input: &Matrix,
+        fault: Option<PipelineFault>,
+        degraded: bool,
+    ) -> Result<ServeReport, SessionError> {
+        let largest = *self.cache.buckets.last().unwrap();
+        if input.rows <= largest as usize {
+            let (report, built) =
+                self.serve_chunk(input, self.bucket_for(input.rows), fault, degraded)?;
+            self.cache
+                .note_request(&report.report, built, false, degraded);
+            return Ok(report);
         }
-        let bucket = self.buckets[index];
-        let compiled = match &self.family {
-            Family::Mlp(f) => CompiledModel::compile_mlp(&self.planner, &f(bucket), self.seed),
-            Family::Network(f) => CompiledModel::compile(&self.planner, &f(bucket)),
+
+        // Oversized request: split into largest-bucket chunks and serve
+        // every chunk — the tail included — through the largest-bucket
+        // pipeline, so the whole request runs under ONE model instance
+        // and ONE scheme plan (a model family may vary with the batch
+        // key). The split path allocates for the chunk copies and the
+        // concatenation — in-bucket requests remain the allocation-free
+        // steady state.
+        let mut output = Vec::new();
+        let mut detections = Vec::new();
+        let mut corrections = Vec::new();
+        let mut schemes = None;
+        let mut any_built = false;
+        let mut start = 0;
+        while start < input.rows {
+            let rows = (largest as usize).min(input.rows - start);
+            let chunk = input.row_block(start, rows);
+            let chunk_fault = if start == 0 { fault } else { None };
+            let (r, built) = self.serve_chunk(&chunk, largest, chunk_fault, degraded)?;
+            any_built |= built;
+            if output.is_empty() {
+                let n_out = r.report.output.len() / rows;
+                output.reserve_exact(input.rows * n_out);
+            }
+            output.extend_from_slice(&r.report.output);
+            detections.extend(r.report.detections);
+            corrections.extend(r.report.corrections);
+            if schemes.is_none() {
+                schemes = Some(r.schemes);
+            }
+            start += rows;
         }
-        .with_recovery(self.recovery);
-        let built = slot.set(Arc::new(compiled)).is_ok();
-        (slot.get().expect("just initialized").clone(), built)
+        let report = InferenceReport {
+            output,
+            detections,
+            corrections,
+        };
+        self.cache.note_request(&report, any_built, true, degraded);
+        Ok(ServeReport {
+            bucket: largest,
+            rows: input.rows,
+            schemes: schemes.expect("at least one chunk served"),
+            report,
+        })
+    }
+
+    /// Serves one request through an explicit declared bucket (the
+    /// request must fit it); returns the report plus whether this call
+    /// built the bucket entry. Statistics are the caller's concern (the
+    /// split path aggregates over chunks).
+    fn serve_chunk(
+        &self,
+        input: &Matrix,
+        bucket: u64,
+        fault: Option<PipelineFault>,
+        degraded: bool,
+    ) -> Result<(ServeReport, bool), SessionError> {
+        let cache = &*self.cache;
+        let index = cache.bucket_index(bucket);
+        let (base, built) = cache.entry(index);
+        // A degraded pass serves the cheaper sibling entry; otherwise an
+        // adaptive overlay (escalated or relaxed recompile) supersedes
+        // the static entry while present.
+        let entry = if degraded {
+            cache.degraded_entry(index, &base)
+        } else {
+            match &cache.adapt {
+                Some(adapt) => adapt.overlays[index]
+                    .read()
+                    .unwrap()
+                    .clone()
+                    .unwrap_or_else(|| base.clone()),
+                None => base.clone(),
+            }
+        };
+        let expected = entry.input_features();
+        if input.cols != expected {
+            return Err(SessionError::FeatureMismatch {
+                observed: input.cols,
+                expected,
+            });
+        }
+
+        // Check a warm workspace out of the pool (or warm a new one up),
+        // run the whole pipeline inside it, and return it.
+        let mut ws = {
+            let mut pool = self.pool.lock().unwrap();
+            pool.pop().unwrap_or_default()
+        };
+        let report = entry.infer_into(input, fault, &mut ws);
+        self.pool.lock().unwrap().push(ws);
+
+        // Degraded passes run *below* the plan's coverage by design —
+        // feeding them to the adaptive controller would make overload
+        // look like a fault-rate signal, so only regular passes observe.
+        if !degraded {
+            if let Some(adapt) = &cache.adapt {
+                cache.adapt_observe(adapt, index, &base, &report);
+            }
+        }
+
+        Ok((
+            ServeReport {
+                bucket,
+                rows: input.rows,
+                schemes: entry.schemes().clone(),
+                report,
+            },
+            built,
+        ))
     }
 }
 
@@ -827,6 +950,58 @@ mod tests {
                 expected: 16 * 8 * 8
             }
         );
+    }
+
+    #[test]
+    fn shards_share_the_plan_cache_but_not_the_pool() {
+        let s = session();
+        let shard = s.shard();
+        s.serve(&Matrix::random(6, 13, 40)).unwrap();
+        let req = Matrix::random(6, 13, 41);
+        let a = s.serve(&req).unwrap();
+        let b = shard.serve(&req).unwrap();
+        assert_eq!(a.report.output, b.report.output);
+        // One build total across both shards: stats are shared, and the
+        // shard answered from the cache the parent built.
+        let stats = s.stats();
+        assert_eq!(stats, shard.stats());
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.plan_builds, 1);
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn degraded_serves_weaken_every_layer_but_keep_the_bytes() {
+        let s = session();
+        let req = Matrix::random(8, 13, 60);
+        let full = s.serve(&req).unwrap();
+        let cheap = s.serve_degraded(&req).unwrap();
+        // Byte-identical output: schemes change the checksums computed
+        // alongside the GEMM, never the GEMM itself.
+        assert_eq!(full.report.output, cheap.report.output);
+        // Every layer sits one rung below the static plan (or on the
+        // floor with it).
+        use crate::adapt::weaker;
+        for (f, c) in full.schemes.iter().zip(cheap.schemes.iter()) {
+            assert_eq!(*c, weaker(*f).unwrap_or(*f), "{f:?} -> {c:?}");
+        }
+        assert!(full.schemes[..] != cheap.schemes[..]);
+        let stats = s.stats();
+        assert_eq!(stats.degraded_requests, 1);
+        assert_eq!(stats.requests, 2);
+        // The degraded compile is an overload action, not a cache miss.
+        assert_eq!(stats.plan_builds, 1);
+    }
+
+    #[test]
+    fn degraded_split_requests_stay_byte_identical_too() {
+        let s = session();
+        let big = Matrix::random(40, 13, 61);
+        let full = s.serve(&big).unwrap();
+        let cheap = s.serve_degraded(&big).unwrap();
+        assert_eq!(full.report.output, cheap.report.output);
+        assert_eq!(s.stats().degraded_requests, 1);
+        assert_eq!(s.stats().split_requests, 2);
     }
 
     #[test]

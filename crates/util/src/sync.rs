@@ -15,6 +15,12 @@
 //!   only when a predicate accepts it, without ever reordering — the
 //!   dynamic batcher uses this to coalesce *compatible* neighbors while
 //!   preserving FIFO admission order.
+//! - **Age-tracked.** Every entry is timestamped at push and
+//!   [`SyncQueue::head_age`] reports how long the current head has been
+//!   waiting. Because the queue is FIFO, the head is always the oldest
+//!   entry, so `head_age` *is* the queue age — the load signal an
+//!   SLO-aware admission layer needs to decide when to degrade or shed
+//!   instead of letting latency run away.
 //!
 //! The storage is a `VecDeque` pre-allocated to capacity, so
 //! steady-state push/pop handoff performs no heap allocation.
@@ -22,6 +28,12 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// One queued item plus its admission timestamp.
+struct Entry<T> {
+    at: Instant,
+    item: T,
+}
 
 /// Why a push did not enqueue. The rejected item is handed back.
 #[derive(Debug)]
@@ -42,7 +54,7 @@ impl<T> PushError<T> {
 }
 
 struct State<T> {
-    items: VecDeque<T>,
+    items: VecDeque<Entry<T>>,
     closed: bool,
 }
 
@@ -91,6 +103,15 @@ impl<T> SyncQueue<T> {
         self.state.lock().unwrap().closed
     }
 
+    /// How long the current head (the oldest entry — the queue is FIFO)
+    /// has been waiting, or `None` when the queue is empty. This is the
+    /// queue-age signal for SLO-aware admission: it grows while
+    /// consumers fall behind and collapses the moment they catch up.
+    pub fn head_age(&self) -> Option<Duration> {
+        let state = self.state.lock().unwrap();
+        state.items.front().map(|e| e.at.elapsed())
+    }
+
     /// Closes the queue: producers are rejected from now on; consumers
     /// drain the remaining items and then observe end-of-queue.
     pub fn close(&self) {
@@ -108,7 +129,10 @@ impl<T> SyncQueue<T> {
                 return Err(item);
             }
             if state.items.len() < self.capacity {
-                state.items.push_back(item);
+                state.items.push_back(Entry {
+                    at: Instant::now(),
+                    item,
+                });
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -125,7 +149,10 @@ impl<T> SyncQueue<T> {
         if state.items.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        state.items.push_back(item);
+        state.items.push_back(Entry {
+            at: Instant::now(),
+            item,
+        });
         self.not_empty.notify_one();
         Ok(())
     }
@@ -140,7 +167,10 @@ impl<T> SyncQueue<T> {
                 return Err(PushError::Closed(item));
             }
             if state.items.len() < self.capacity {
-                state.items.push_back(item);
+                state.items.push_back(Entry {
+                    at: Instant::now(),
+                    item,
+                });
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -158,9 +188,9 @@ impl<T> SyncQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().unwrap();
         loop {
-            if let Some(item) = state.items.pop_front() {
+            if let Some(entry) = state.items.pop_front() {
                 self.not_full.notify_one();
-                return Some(item);
+                return Some(entry.item);
             }
             if state.closed {
                 return None;
@@ -178,7 +208,7 @@ impl<T> SyncQueue<T> {
     /// head is left in place (FIFO order is never violated).
     pub fn try_pop_if(&self, accept: impl FnOnce(&T) -> bool) -> Option<T> {
         let mut state = self.state.lock().unwrap();
-        if !accept(state.items.front()?) {
+        if !accept(&state.items.front()?.item) {
             // This caller may have consumed the push's single
             // `not_empty` notification; hand it on so another consumer
             // blocked in `pop` takes the declined item instead of the
@@ -186,7 +216,7 @@ impl<T> SyncQueue<T> {
             self.not_empty.notify_one();
             return None;
         }
-        let item = state.items.pop_front();
+        let item = state.items.pop_front().map(|e| e.item);
         self.not_full.notify_one();
         item
     }
@@ -200,14 +230,14 @@ impl<T> SyncQueue<T> {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(front) = state.items.front() {
-                if !accept(front) {
+                if !accept(&front.item) {
                     // As in `try_pop_if`: this waiter consumed the
                     // push's notification; re-notify so a plain `pop`
                     // consumer picks the declined head up.
                     self.not_empty.notify_one();
                     return None;
                 }
-                let item = state.items.pop_front();
+                let item = state.items.pop_front().map(|e| e.item);
                 self.not_full.notify_one();
                 return item;
             }
@@ -359,6 +389,24 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.push(9u32).unwrap();
         assert_eq!(consumer.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn head_age_tracks_the_oldest_entry() {
+        let q = SyncQueue::bounded(4);
+        assert_eq!(q.head_age(), None, "empty queue has no age");
+        q.push(1).unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+        q.push(2).unwrap();
+        // The head is the first (oldest) push, so its age reflects the
+        // full wait, not the most recent push.
+        let age = q.head_age().expect("non-empty");
+        assert!(age >= Duration::from_millis(15), "{age:?}");
+        q.pop().unwrap();
+        let age = q.head_age().expect("one entry left");
+        assert!(age < Duration::from_millis(15), "{age:?}");
+        q.pop().unwrap();
+        assert_eq!(q.head_age(), None, "drained queue has no age");
     }
 
     #[test]

@@ -163,6 +163,10 @@ fn main() {
         stats.session.vote_resolutions,
         stats.session.adaptations
     );
+    println!(
+        "  overload: {} degraded, {} shed, {} cancelled, {} worker restarts",
+        stats.degraded, stats.shed, stats.cancelled, stats.worker_restarts
+    );
     assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64 + 1);
     // One build per *touched* bucket: 32 and 128 are always hit, but
     // whether any pass lands in bucket 8 depends on how the batcher

@@ -110,6 +110,48 @@
 //! assert_eq!(stats.completed, 1);
 //! ```
 //!
+//! Serve under *overload* without letting latency run away: requests
+//! carry an optional SLO (deadline + priority), the queue is
+//! age-tracked, and past configurable thresholds the server first
+//! *degrades* pending work one rung down the `core::adapt` strength
+//! ladder (cheaper protection, byte-identical output), then *sheds*
+//! with an explicit `ServeError::Overloaded`. A supervisor respawns
+//! any worker that panics, so one bad pass never takes the server
+//! down:
+//!
+//! ```
+//! use aiga::prelude::*;
+//! use std::time::Duration;
+//!
+//! let session = Session::builder(Planner::new(DeviceSpec::t4()), "dlrm", zoo::dlrm_mlp_bottom)
+//!     .buckets([8, 32])
+//!     .build();
+//! let server = Server::builder(session)
+//!     .workers(2)                                   // one session shard per worker
+//!     .degrade_after(Duration::from_millis(50))     // then: one scheme rung cheaper
+//!     .shed_after(Duration::from_millis(200))       // then: explicit Overloaded
+//!     .retry_policy(3, Duration::from_micros(200))  // bounded, jittered backoff
+//!     .build();
+//!
+//! let client = server.client();
+//! let slo = Slo { deadline: Some(Duration::from_millis(100)), priority: Priority::High };
+//! let reply = client.submit_with_slo(&Matrix::random(5, 13, 42), slo).unwrap();
+//! match reply.wait() {
+//!     Ok(report) => assert_eq!(report.rows, 5),
+//!     Err(ServeError::Overloaded { queue_age }) => {
+//!         // Shed explicitly — resolve promptly, degrade gracefully.
+//!         assert!(queue_age >= Duration::from_millis(100));
+//!     }
+//!     Err(e) => panic!("unexpected: {e}"),
+//! }
+//!
+//! let stats = server.shutdown();
+//! // Overload response is observable: degraded/shed/cancelled passes
+//! // and supervisor worker restarts are all counted.
+//! assert_eq!(stats.degraded + stats.shed + stats.completed, 1);
+//! assert_eq!(stats.worker_restarts, 0);
+//! ```
+//!
 //! Go from detection to *correction*: a recovery session localizes a
 //! flagged fault (column / row / lane, per scheme), recomputes only the
 //! implicated slice mid-pass, and re-verifies; a server can
@@ -167,8 +209,10 @@ pub mod prelude {
     pub use aiga_core::registry::SchemeRegistry;
     pub use aiga_core::schemes::Scheme;
     pub use aiga_core::selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
-    pub use aiga_core::serve::{Client, Pending, ServeError, Server, ServerBuilder, ServerStats};
-    pub use aiga_core::session::{ServeReport, Session, SessionError, SessionStats};
+    pub use aiga_core::serve::{
+        Client, Pending, Priority, ServeError, Server, ServerBuilder, ServerStats, Slo,
+    };
+    pub use aiga_core::session::{PlanCache, ServeReport, Session, SessionError, SessionStats};
     pub use aiga_faults::{Campaign, CampaignStats, FaultModel, Outcome, Trial};
     pub use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme, Workspace};
     pub use aiga_gpu::timing::Calibration;
