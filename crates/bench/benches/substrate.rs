@@ -41,14 +41,71 @@ fn main() {
     // The engine-throughput suite: the numbers that gate every figure
     // reproduction, fault campaign, and serving benchmark.
     let mut rec = Recorder::new("engine");
+
+    // Dispatch visibility: record which microkernel path this runner
+    // selected, and fail loudly if AVX2+FMA was detected but the
+    // dispatcher still fell back — a silent fallback would make every
+    // number below quietly 5-10× worse.
+    {
+        use aiga_gpu::engine::simd;
+        let active = simd::active_path();
+        println!(
+            "engine/gemm_path                             {}",
+            active.as_str()
+        );
+        if simd::detect_path().is_simd() && std::env::var_os("AIGA_FORCE_SCALAR").is_none() {
+            assert!(
+                active.is_simd(),
+                "AVX2+FMA detected but the dispatcher selected the scalar path"
+            );
+        } else if !active.is_simd() {
+            println!("engine/gemm_path: scalar fallback (no AVX2+FMA, or AIGA_FORCE_SCALAR set)");
+        }
+        rec.record_value(
+            "engine/gemm_path_simd",
+            if active.is_simd() { 1.0 } else { 0.0 },
+            "bool",
+        );
+    }
+
+    let gflops_of = |size: usize, median_ns: f64| 2.0 * (size as f64).powi(3) / median_ns;
     for size in [64usize, 128] {
         let shape = GemmShape::square(size as u64);
         let a = Matrix::random(size, size, 1);
         let b = Matrix::random(size, size, 2);
         let eng = GemmEngine::with_default_tiling(shape);
-        rec.bench(&format!("engine/functional_gemm_{size}"), || {
-            black_box(eng.run(&a, &b, || NoScheme, None));
-        });
+        let med = rec
+            .bench(&format!("engine/functional_gemm_{size}"), || {
+                black_box(eng.run(&a, &b, || NoScheme, None));
+            })
+            .median_ns;
+        rec.record_value(
+            &format!("engine/functional_gemm_{size}_gflops"),
+            gflops_of(size, med),
+            "gflop/s",
+        );
+    }
+    // Larger shapes through the zero-alloc workspace entry — the
+    // serving hot path — with derived arithmetic throughput. 256³ sits
+    // exactly at the block-parallel threshold; 512³ is beyond it.
+    for size in [256usize, 512] {
+        use aiga_gpu::engine::Workspace;
+        let shape = GemmShape::square(size as u64);
+        let a = Matrix::random(size, size, 1);
+        let b = Matrix::random(size, size, 2);
+        let eng = GemmEngine::with_default_tiling(shape);
+        let mut ws = Workspace::new();
+        eng.run_multi_into(&a, &b, || NoScheme, &[], &mut ws); // warm
+        let med = rec
+            .bench(&format!("engine/functional_gemm_{size}"), || {
+                black_box(eng.run_multi_into(&a, &b, || NoScheme, &[], &mut ws));
+            })
+            .median_ns;
+        rec.record_value(
+            &format!("engine/functional_gemm_{size}_gflops"),
+            gflops_of(size, med),
+            "gflop/s",
+        );
     }
     {
         let size = 64usize;

@@ -17,7 +17,7 @@
 use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
 use aiga_gpu::timing::{self, Calibration, KernelProfile, TimeEstimate};
-use aiga_gpu::{DeviceSpec, GemmShape};
+use aiga_gpu::{DeviceSpec, GemmPath, GemmShape};
 
 pub use crate::kernel::{FLOPS_PER_CHECKSUM_OP, FLOPS_PER_MMA_PARTICIPATION};
 
@@ -48,6 +48,38 @@ pub fn apply_scheme_with(
     calib: &Calibration,
 ) {
     registry.resolve(scheme).apply_cost(p, calib);
+}
+
+/// Coarse wall-clock estimate, in seconds, of executing `shape` once on
+/// the **host** functional substrate via `path`.
+///
+/// Everything else in this module prices schemes on the *simulated*
+/// device; this prices the simulation itself. Campaign planners and
+/// serving shard sizing use it to budget sweeps without running them,
+/// and it is keyed off the engine's [`GemmPath`] dispatch so the budget
+/// tracks whichever microkernel the runner actually selects (including
+/// under `AIGA_FORCE_SCALAR`).
+///
+/// The throughput constants are effective rates, not peaks: the SIMD
+/// figure is the ballpark a warm 256³ run of the AVX2+FMA microkernel
+/// reaches on one ~2 GHz reference core; the scalar figure reflects the
+/// one-FMA-chain-per-element oracle walk. The staging term charges the
+/// FP16 decode + pack passes over both operands. Deliberately coarse —
+/// relative ordering and order-of-magnitude are what callers rely on.
+pub fn host_substrate_estimate(shape: GemmShape, path: GemmPath) -> f64 {
+    const SIMD_FLOPS_PER_S: f64 = 20.0e9;
+    const SCALAR_FLOPS_PER_S: f64 = 2.0e9;
+    const STAGE_BYTES_PER_S: f64 = 4.0e9;
+    let flops = 2.0 * shape.m as f64 * shape.n as f64 * shape.k as f64;
+    // Each operand is read as FP16 (2 B) and written decoded/packed as
+    // f32 (4 B) during staging.
+    let staged_bytes = 6.0 * (shape.m * shape.k + shape.k * shape.n) as f64;
+    let rate = if path.is_simd() {
+        SIMD_FLOPS_PER_S
+    } else {
+        SCALAR_FLOPS_PER_S
+    };
+    flops / rate + staged_bytes / STAGE_BYTES_PER_S
 }
 
 /// Timing of one scheme on one layer, with its overhead over the
@@ -214,6 +246,22 @@ mod tests {
         );
         assert_eq!(ts[0].estimate.total_s, base.total_s);
         assert_eq!(ts[0].overhead_pct, 0.0);
+    }
+
+    #[test]
+    fn host_substrate_estimate_orders_paths_and_sizes() {
+        for s in [64u64, 256, 1024] {
+            let shape = GemmShape::square(s);
+            let simd = host_substrate_estimate(shape, GemmPath::Avx2Fma);
+            let scalar = host_substrate_estimate(shape, GemmPath::Scalar);
+            assert!(simd > 0.0 && simd < scalar, "size {s}: {simd} !< {scalar}");
+        }
+        // Monotone in problem size on either path.
+        for path in [GemmPath::Avx2Fma, GemmPath::Scalar] {
+            let small = host_substrate_estimate(GemmShape::square(128), path);
+            let large = host_substrate_estimate(GemmShape::square(512), path);
+            assert!(small < large);
+        }
     }
 
     #[test]

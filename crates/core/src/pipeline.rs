@@ -137,6 +137,10 @@ struct ConvLowering {
     in_dims: (usize, usize, usize),
     /// Output spatial dims `(ho, wo)`.
     out_hw: (usize, usize),
+    /// 1×1 stride-1 unpadded conv: skip im2col and run the GEMM on a
+    /// zero-copy [`aiga_gpu::MatrixLayout::NchwLowered`] view of the
+    /// activation buffer (decided once at compile time).
+    pointwise: bool,
 }
 
 enum StageOp {
@@ -381,6 +385,7 @@ impl ProtectedPipeline {
                             params: *params,
                             in_dims,
                             out_hw: (ho, wo),
+                            pointwise: params.is_pointwise(),
                         }),
                         relu: *relu,
                     }
@@ -559,6 +564,26 @@ impl ProtectedPipeline {
                             if self.recovery && v.is_detected() {
                                 v = bound.correct_into(engine, &src, ws, v);
                             }
+                            v
+                        }
+                        Some(low) if low.pointwise => {
+                            // 1×1 stride-1 unpadded conv: the lowered
+                            // activation matrix is a pure relabeling of
+                            // the NCHW buffer, so run the protected GEMM
+                            // on a zero-copy view of it — no im2col.
+                            let (c, h, w) = low.in_dims;
+                            debug_assert_eq!(src.data.len(), batch * c * h * w);
+                            let a = Matrix::nchw_lowered(
+                                batch,
+                                c,
+                                h * w,
+                                std::mem::take(&mut src.data),
+                            );
+                            let mut v = bound.run_into(engine, &a, layer_fault.as_slice(), ws);
+                            if self.recovery && v.is_detected() {
+                                v = bound.correct_into(engine, &a, ws, v);
+                            }
+                            src.data = a.data;
                             v
                         }
                         Some(low) => {

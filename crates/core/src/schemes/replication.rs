@@ -55,15 +55,16 @@ impl ThreadLocalScheme for ReplicationTraditional {
 
     fn on_k_step(&mut self, step: &KStep<'_>) {
         let (mt, nt) = (step.mt, step.nt);
-        // Replays the engine's accumulation bit-for-bit, straight off
-        // the pre-decoded fragments (decoding is exact, so the shadow
-        // sequence is unchanged).
+        // Replays the engine's canonical accumulation order bit-for-bit,
+        // straight off the pre-decoded fragments: one correctly-rounded
+        // FMA per K element, in K order (decoding is exact, so the
+        // shadow sequence matches the microkernel's exactly).
         for i in 0..mt {
             let a0 = step.a_f32[i * 2];
             let a1 = step.a_f32[i * 2 + 1];
             for j in 0..nt {
-                let partial = a0 * step.b_f32[j] + a1 * step.b_f32[nt + j];
-                self.shadow[i * nt + j] += partial;
+                let s = a0.mul_add(step.b_f32[j], self.shadow[i * nt + j]);
+                self.shadow[i * nt + j] = a1.mul_add(step.b_f32[nt + j], s);
             }
         }
         self.counters.extra_mmas += (mt * nt / 2) as u64;

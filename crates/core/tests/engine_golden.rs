@@ -1,19 +1,21 @@
-//! Bit-exactness regression net for the engine's fast paths.
+//! Bit-exactness regression net for the engine's execution paths.
 //!
-//! The FNV-1a hashes below were produced by the *pre-optimization*
-//! engine (per-element F16 → f64 widening inside the K-loop, no
-//! pre-decoded panels, step-ordered walk for every scheme) over a seeded
-//! shape sweep, clean and faulted, for every built-in scheme. The
-//! current engine — decode-table FP16, pre-decoded f32 panels, fused
-//! per-accumulator fast path — must reproduce each output byte for byte:
-//! FP16 products are exact in f32 and accumulator walks preserve their
-//! per-element operation order, so any hash drift is a real numerics
-//! regression, not tolerable noise.
+//! The FNV-1a hashes below pin the engine's **canonical accumulation
+//! order**: per output element, one FP32 accumulator updated by one
+//! correctly-rounded FMA per K element, in K order
+//! (`acc = a[kk].mul_add(b[kk], acc)`). Every execution path — the
+//! AVX2+FMA microkernel, the scalar oracle, the hooked step-ordered
+//! replay, sequential and block-parallel workspace runs — is required to
+//! produce exactly this sequence per element, so any hash drift is a
+//! real numerics regression, not tolerable noise. The hashes were
+//! produced by the scalar reference walk; the SIMD sweep below proves
+//! the microkernel reproduces them byte for byte.
 
 use aiga_core::registry;
 use aiga_core::schemes::Scheme;
+use aiga_gpu::engine::simd;
 use aiga_gpu::engine::{FaultKind, FaultPlan, Matrix};
-use aiga_gpu::{GemmEngine, GemmShape};
+use aiga_gpu::{GemmEngine, GemmPath, GemmShape};
 
 fn fnv1a_of_c(c: &[f32]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
@@ -26,38 +28,43 @@ fn fnv1a_of_c(c: &[f32]) -> u64 {
     h
 }
 
+const ALL_SCHEMES: [Scheme; 6] = [
+    Scheme::Unprotected,
+    Scheme::GlobalAbft,
+    Scheme::ThreadLevelOneSided,
+    Scheme::ThreadLevelTwoSided,
+    Scheme::ReplicationSingleAcc,
+    Scheme::ReplicationTraditional,
+];
+
 /// (m, n, k, seed, clean hash, faulted hash) — one row per shape; every
 /// scheme must hit the same hashes (schemes never change the math).
 const GOLDEN: &[(usize, usize, usize, u64, u64, u64)] = &[
-    (17, 9, 11, 1000, 0x34dcdeb3fb09f1f4, 0x7efd38fedd899f1a),
-    (32, 32, 32, 1017, 0x519f66b5fd97d29d, 0x77b6e58bf0997f1b),
-    (48, 40, 56, 1034, 0x6e1f9cad9f993c99, 0x65228348b7de4d81),
-    (64, 64, 64, 1051, 0x42973cbec7005836, 0x85eecb916cfe6f55),
-    (33, 65, 40, 1068, 0x0f0581712e5ace0b, 0x3443b8e678f72093),
+    (17, 9, 11, 1000, 0x8a50a5e47da48ca4, 0x86f3cef29ba2967d),
+    (32, 32, 32, 1017, 0xc0ff88eed11fa61c, 0x582af8c42132cba5),
+    (48, 40, 56, 1034, 0x059aff3647451f98, 0x92431c5d8a600cfe),
+    (64, 64, 64, 1051, 0x26301469fa43be22, 0x9e6bd37730ee8074),
+    (33, 65, 40, 1068, 0xda55a6ff30a49f7f, 0xe973d276aa8e6bc3),
 ];
 
+fn mid_fault(m: usize, n: usize) -> FaultPlan {
+    FaultPlan {
+        row: (m - 1) / 2,
+        col: (n - 1) / 2,
+        after_step: 3,
+        kind: FaultKind::AddValue(64.0),
+    }
+}
+
 #[test]
-fn every_scheme_reproduces_the_pre_optimization_outputs() {
-    let schemes = [
-        Scheme::Unprotected,
-        Scheme::GlobalAbft,
-        Scheme::ThreadLevelOneSided,
-        Scheme::ThreadLevelTwoSided,
-        Scheme::ReplicationSingleAcc,
-        Scheme::ReplicationTraditional,
-    ];
+fn every_scheme_reproduces_the_canonical_outputs() {
     let reg = registry::shared();
     for &(m, n, k, seed, clean_hash, dirty_hash) in GOLDEN {
         let a = Matrix::random(m, k, seed);
         let b = Matrix::random(k, n, seed + 1);
         let engine = GemmEngine::with_default_tiling(GemmShape::new(m as u64, n as u64, k as u64));
-        let fault = FaultPlan {
-            row: (m - 1) / 2,
-            col: (n - 1) / 2,
-            after_step: 3,
-            kind: FaultKind::AddValue(64.0),
-        };
-        for &scheme in &schemes {
+        let fault = mid_fault(m, n);
+        for &scheme in &ALL_SCHEMES {
             let bound = reg.resolve(scheme).bind(&b);
             let clean = bound.run(&engine, &a, &[]);
             assert_eq!(
@@ -76,9 +83,49 @@ fn every_scheme_reproduces_the_pre_optimization_outputs() {
 }
 
 #[test]
+fn simd_and_scalar_paths_agree_byte_for_byte_across_all_schemes() {
+    // The dispatcher's two paths must be indistinguishable: for every
+    // scheme, every golden shape (odd/padded shapes included), clean and
+    // mid-kernel-faulted, the AVX2+FMA microkernel must reproduce the
+    // scalar oracle's bytes — outputs AND detection verdicts. All path
+    // flipping happens inside this one test body so concurrent tests
+    // (path-independent by this very guarantee) never observe a torn
+    // override.
+    if !simd::detect_path().is_simd() {
+        eprintln!("host has no AVX2+FMA; scalar-only — sweep is vacuous here");
+        return;
+    }
+    let reg = registry::shared();
+    for &(m, n, k, seed, _, _) in GOLDEN {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+        let engine = GemmEngine::with_default_tiling(GemmShape::new(m as u64, n as u64, k as u64));
+        let fault = mid_fault(m, n);
+        for &scheme in &ALL_SCHEMES {
+            let bound = reg.resolve(scheme).bind(&b);
+            for faults in [&[][..], &[fault][..]] {
+                simd::force_path(Some(GemmPath::Scalar));
+                let s = bound.run(&engine, &a, faults);
+                simd::force_path(Some(GemmPath::Avx2Fma));
+                let v = bound.run(&engine, &a, faults);
+                simd::force_path(None);
+                let sb: Vec<u32> = s.output.c.iter().map(|x| x.to_bits()).collect();
+                let vb: Vec<u32> = v.output.c.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(sb, vb, "{scheme} paths diverged on {m}x{n}x{k}");
+                assert_eq!(
+                    s.output.detections.len(),
+                    v.output.detections.len(),
+                    "{scheme} detection count diverged on {m}x{n}x{k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn fast_and_hooked_walks_are_byte_identical() {
     // The engine takes the fused per-accumulator fast path for schemes
-    // without K-step hooks and the step-ordered walk otherwise; both
+    // without K-step hooks and the step-ordered replay otherwise; both
     // must produce identical bytes. Replication's hooked walk shares
     // loads with the engine, so comparing its output (hooked path)
     // against the unprotected output (fast path) covers the seam,

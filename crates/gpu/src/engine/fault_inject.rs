@@ -41,7 +41,7 @@ pub struct FaultPlan {
 }
 
 /// One thread's positive detection, with provenance.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Detection {
     /// Threadblock coordinates.
     pub block: (u64, u64),

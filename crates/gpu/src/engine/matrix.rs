@@ -10,15 +10,43 @@
 use aiga_fp16::F16;
 use aiga_util::rng::Rng64;
 
-/// A row-major FP16 matrix.
+/// Logical-to-physical element layout of a [`Matrix`].
+///
+/// Almost every matrix in the system is [`MatrixLayout::RowMajor`]. The
+/// one exception is the zero-copy view a 1×1 convolution's GEMM takes
+/// of an NCHW activation tensor: tagging the tensor's own buffer with
+/// [`MatrixLayout::NchwLowered`] makes it *logically* identical to the
+/// im2col-lowered matrix (same `(row, col) → value` mapping, so
+/// checksums, reference oracles, and outputs are byte-identical)
+/// without materializing the copy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatrixLayout {
+    /// `data[r * cols + c]` — the default.
+    #[default]
+    RowMajor,
+    /// An NCHW tensor viewed as the `(images·spatial) × channels`
+    /// activation matrix of a 1×1 stride-1 unpadded convolution: row
+    /// `r` is image `r / spatial`, pixel `r % spatial`; column `c` is a
+    /// channel; element `(r, c)` lives at
+    /// `((r / spatial)·cols + c)·spatial + (r % spatial)`.
+    NchwLowered {
+        /// Pixels per image plane (`height × width`).
+        spatial: usize,
+    },
+}
+
+/// A row-major FP16 matrix (see [`MatrixLayout`] for the one
+/// alternative storage layout).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Matrix {
     /// Number of rows.
     pub rows: usize,
     /// Number of columns.
     pub cols: usize,
-    /// Row-major storage, `rows * cols` elements.
+    /// Element storage, `rows * cols` elements, addressed per `layout`.
     pub data: Vec<F16>,
+    /// How `(row, col)` maps into `data`.
+    pub layout: MatrixLayout,
 }
 
 impl Matrix {
@@ -28,6 +56,7 @@ impl Matrix {
             rows,
             cols,
             data: vec![F16::ZERO; rows * cols],
+            layout: MatrixLayout::RowMajor,
         }
     }
 
@@ -39,7 +68,37 @@ impl Matrix {
                 data.push(f(r, c));
             }
         }
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data,
+            layout: MatrixLayout::RowMajor,
+        }
+    }
+
+    /// Wraps an NCHW tensor buffer as the activation matrix of a 1×1
+    /// stride-1 unpadded convolution — `images·spatial` rows (one per
+    /// output pixel), `channels` columns — without copying. The caller
+    /// gets the buffer back via `.data` when done.
+    pub fn nchw_lowered(images: usize, channels: usize, spatial: usize, data: Vec<F16>) -> Self {
+        assert_eq!(data.len(), images * channels * spatial, "NCHW extent");
+        Matrix {
+            rows: images * spatial,
+            cols: channels,
+            data,
+            layout: MatrixLayout::NchwLowered { spatial },
+        }
+    }
+
+    /// Physical index of logical element `(r, c)`.
+    #[inline]
+    fn index(&self, r: usize, c: usize) -> usize {
+        match self.layout {
+            MatrixLayout::RowMajor => r * self.cols + c,
+            MatrixLayout::NchwLowered { spatial } => {
+                ((r / spatial) * self.cols + c) * spatial + (r % spatial)
+            }
+        }
     }
 
     /// Deterministic pseudo-random matrix with entries in `[-2, 2]`
@@ -50,16 +109,17 @@ impl Matrix {
         Self::from_fn(rows, cols, |_, _| F16::from_f32(rng.range_f32(-2.0, 2.0)))
     }
 
-    /// Element accessor.
+    /// Element accessor (layout-aware).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> F16 {
-        self.data[r * self.cols + c]
+        self.data[self.index(r, c)]
     }
 
-    /// Element mutator.
+    /// Element mutator (layout-aware).
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: F16) {
-        self.data[r * self.cols + c] = v;
+        let i = self.index(r, c);
+        self.data[i] = v;
     }
 
     /// Copies into a larger zero-padded matrix. Already-fitting matrices
@@ -80,8 +140,19 @@ impl Matrix {
         assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
         out.rows = rows;
         out.cols = cols;
+        out.layout = MatrixLayout::RowMajor;
         out.data.clear();
         out.data.resize(rows * cols, F16::ZERO);
+        if let MatrixLayout::NchwLowered { .. } = self.layout {
+            // General gather for the non-row-major view (cold: only
+            // hooked schemes stage raw panels from a lowered view).
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    out.data[r * cols + c] = self.get(r, c);
+                }
+            }
+            return;
+        }
         if cols == self.cols {
             out.data[..self.data.len()].copy_from_slice(&self.data);
             return;
@@ -96,10 +167,16 @@ impl Matrix {
     /// chunking primitive behind oversized-batch splitting.
     pub fn row_block(&self, start: usize, rows: usize) -> Matrix {
         assert!(start + rows <= self.rows, "row block out of range");
+        assert_eq!(
+            self.layout,
+            MatrixLayout::RowMajor,
+            "row_block requires a row-major matrix"
+        );
         Matrix {
             rows,
             cols: self.cols,
             data: self.data[start * self.cols..(start + rows) * self.cols].to_vec(),
+            layout: MatrixLayout::RowMajor,
         }
     }
 
@@ -113,6 +190,20 @@ impl Matrix {
         assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
         out.clear();
         out.resize(rows * cols, 0.0);
+        if let MatrixLayout::NchwLowered { spatial } = self.layout {
+            // Gather the lowered view channel-plane by channel-plane:
+            // for a fixed (image, channel) the spatial run is contiguous
+            // in the source and strided by `cols` in the destination.
+            for n in 0..self.rows / spatial {
+                for c in 0..self.cols {
+                    let src = &self.data[(n * self.cols + c) * spatial..][..spatial];
+                    for (s, v) in src.iter().enumerate() {
+                        out[(n * spatial + s) * cols + c] = v.to_f32();
+                    }
+                }
+            }
+            return;
+        }
         for r in 0..self.rows {
             let src = &self.data[r * self.cols..(r + 1) * self.cols];
             let dst = &mut out[r * cols..r * cols + self.cols];
@@ -133,6 +224,11 @@ impl Matrix {
         out: &mut Vec<f32>,
     ) {
         assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        debug_assert_eq!(
+            self.layout,
+            MatrixLayout::RowMajor,
+            "only the B operand (always row-major) is staged transposed"
+        );
         out.clear();
         out.resize(rows * cols, 0.0);
         for r in 0..self.rows {

@@ -20,11 +20,16 @@
 //!   [`KStep`]/[`ThreadCtx`]/[`ThreadVerdict`] types that cross it;
 //! - [`fault_inject`] — the §2.3 fault model ([`FaultPlan`],
 //!   [`FaultKind`]) and per-thread [`Detection`] provenance;
-//! - [`panels`] — per-run operand staging and the reusable
-//!   [`Workspace`] that owns all scratch (panels, block tile, thread
-//!   buffers, output, activation staging, checksum scratch);
-//! - [`walk`] (private) — the simulated thread loop: the fused
-//!   dot-product fast path and the step-ordered hooked K-walk;
+//! - [`panels`] — per-run operand staging (decoded + microkernel-packed
+//!   panels) and the reusable [`Workspace`] that owns all scratch
+//!   (panels, block tile, thread buffers, output, activation staging,
+//!   checksum scratch, the block-parallel stripe pool);
+//! - [`simd`] — the register-tiled AVX2+FMA microkernel, the scalar
+//!   oracle, the canonical accumulation-order contract, and the runtime
+//!   dispatch between them ([`GemmPath`], `AIGA_FORCE_SCALAR`);
+//! - [`walk`] (private) — block execution: microkernel tile fill, then
+//!   the per-lane epilogue (scheme hooks, fault targeting, verdicts)
+//!   with a step-ordered fragment replay for hooked schemes;
 //! - this module — [`GemmEngine`] itself with the two execution entry
 //!   points and output assembly.
 //!
@@ -33,26 +38,47 @@
 //! [`GemmEngine::run_multi_into`] is the hot-path entry: the caller
 //! supplies a [`Workspace`] and the engine stages, executes, and leaves
 //! the [`GemmOutput`] inside it — zero heap allocations once the
-//! workspace is warm. [`GemmEngine::run`]/[`GemmEngine::run_multi`] are
-//! the allocating conveniences (block-parallel via `aiga_util::par_map`)
-//! that return an owned output. Both paths produce byte-identical
-//! results; `crates/core/tests/engine_golden.rs` pins them to the
-//! pre-optimization engine's bytes.
+//! workspace is warm. Large multi-stripe problems fan out across
+//! block-row stripes onto scoped worker threads, each driving private
+//! [`Workspace`] stripe scratch; small problems (the serving common
+//! case, where concurrency comes from many requests each holding a warm
+//! workspace) stay sequential and allocation-free.
+//! [`GemmEngine::run`]/[`GemmEngine::run_multi`] are the allocating
+//! conveniences (block-parallel via `aiga_util::par_map`) that return an
+//! owned output. All paths produce byte-identical results;
+//! `crates/core/tests/engine_golden.rs` pins them to the canonical
+//! accumulation order's bytes on both [`GemmPath`]s.
 
 pub mod fault_inject;
 pub mod matrix;
 pub mod panels;
 pub mod scheme;
+pub mod simd;
 mod walk;
 
 pub use fault_inject::{Detection, FaultKind, FaultPlan};
-pub use matrix::{gemm_reference_f64, Matrix};
+pub use matrix::{gemm_reference_f64, Matrix, MatrixLayout};
 pub use panels::{CheckScratch, Workspace};
 pub use scheme::{KStep, NoScheme, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+pub use simd::GemmPath;
 
 use crate::shape::GemmShape;
 use crate::tiling::TilingConfig;
 use panels::{BlockScratch, Panels};
+
+/// Minimum covered FLOP count (`2·cov_m·cov_n·k`) before
+/// [`GemmEngine::run_multi_into`] fans block-row stripes out across
+/// worker threads. Below this, spawn overhead dwarfs the win and the
+/// sequential regime keeps its zero-allocation guarantee; 2·256³ (a
+/// 256³ GEMM) sits exactly at the threshold.
+pub const BLOCK_PAR_MIN_FLOPS: u128 = 32 * 1024 * 1024;
+
+/// Test seam: forces the stripe-parallel worker count (0 = off) so the
+/// block-parallel arm can be exercised on single-core runners, where
+/// `effective_workers` would otherwise always serialize. Only consulted
+/// when a problem already qualifies for the parallel regime.
+#[cfg(test)]
+static FORCE_WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
 /// Aggregated execution statistics of one engine run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -191,8 +217,9 @@ impl GemmEngine {
         // (the serving common case) let the engine skip both the raw
         // FP16 panel staging and the per-step virtual call.
         let needs16 = make_scheme().needs_k_steps();
+        let path = simd::active_path();
         let mut panels = Panels::default();
-        panels.stage(a, b, needs16, cov_m, cov_n, k);
+        panels.stage(a, b, needs16, path.is_simd(), cov_m, cov_n, k);
 
         let blocks: Vec<(u64, u64)> = (0..gm)
             .flat_map(|br| (0..gn).map(move |bc| (br, bc)))
@@ -208,6 +235,7 @@ impl GemmEngine {
                 k_steps,
                 br,
                 bc,
+                path,
                 &panels,
                 &make_scheme,
                 faults,
@@ -221,7 +249,7 @@ impl GemmEngine {
         let mut out = GemmOutput::default();
         out.reset(out_m, out_n);
         for (br, bc, tile, detections, counters) in results {
-            scatter_tile(&tile, &self.tiling, br, bc, out_m, out_n, &mut out.c);
+            scatter_tile(&tile, &self.tiling, br, bc, 0, out_m, out_n, &mut out.c);
             out.detections.extend(detections);
             out.counters.threads += counters.threads;
             out.counters.baseline_mmas += counters.baseline_mmas;
@@ -237,11 +265,20 @@ impl GemmEngine {
     /// subsequent runs perform **zero heap allocations** — panels,
     /// block scratch, and the output buffer are all resized in place.
     ///
-    /// Blocks execute sequentially on the calling thread: the intended
-    /// concurrency regime is many concurrent requests each holding a
-    /// warm workspace (the `Session` checkout pool), not intra-GEMM
-    /// fan-out per call. Results are byte-identical to
-    /// [`Self::run_multi`].
+    /// Small problems execute their blocks sequentially on the calling
+    /// thread: the intended serving concurrency regime is many
+    /// concurrent requests each holding a warm workspace (the `Session`
+    /// checkout pool), not intra-GEMM fan-out per call, and the
+    /// sequential regime is the one the allocation tests pin at zero.
+    /// Problems spanning several block-row stripes with at least
+    /// [`BLOCK_PAR_MIN_FLOPS`] of work fan the stripes out across scoped
+    /// worker threads, each executing from private stripe scratch in
+    /// `ws` (output rows are disjoint per stripe, so workers share only
+    /// the read-only panels); the stripe pool ratchets like every other
+    /// workspace buffer, though thread spawning itself is not
+    /// allocation-free. Results are byte-identical to
+    /// [`Self::run_multi`] in either regime, detections in the same
+    /// block-major order.
     pub fn run_multi_into<'w, S, F>(
         &self,
         a: &Matrix,
@@ -260,35 +297,126 @@ impl GemmEngine {
         let k_steps = self.tiling.k_steps(self.shape);
 
         let needs16 = make_scheme().needs_k_steps();
-        ws.panels.stage(a, b, needs16, cov_m, cov_n, k);
-        ws.block.prepare(&self.tiling);
+        let path = simd::active_path();
+        ws.panels
+            .stage(a, b, needs16, path.is_simd(), cov_m, cov_n, k);
         ws.out.reset(out_m, out_n);
 
-        for br in 0..gm {
-            for bc in 0..gn {
-                walk::run_block(
-                    &self.tiling,
-                    k_steps,
-                    br,
-                    bc,
-                    &ws.panels,
-                    &make_scheme,
-                    faults,
-                    &mut ws.block,
-                    &mut ws.out.detections,
-                    &mut ws.out.counters,
-                );
-                scatter_tile(
-                    &ws.block.tile,
-                    &self.tiling,
-                    br,
-                    bc,
-                    out_m,
-                    out_n,
-                    &mut ws.out.c,
-                );
+        let stripes = gm as usize;
+        let flops = 2 * cov_m as u128 * cov_n as u128 * k as u128;
+        let workers = if stripes >= 2 && flops >= BLOCK_PAR_MIN_FLOPS {
+            aiga_util::effective_workers(stripes)
+        } else {
+            1
+        };
+        #[cfg(test)]
+        let workers = match FORCE_WORKERS.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => workers,
+            f if stripes >= 2 && flops >= BLOCK_PAR_MIN_FLOPS => f.min(stripes),
+            _ => workers,
+        };
+
+        if workers <= 1 {
+            ws.block.prepare(&self.tiling);
+            for br in 0..gm {
+                for bc in 0..gn {
+                    walk::run_block(
+                        &self.tiling,
+                        k_steps,
+                        br,
+                        bc,
+                        path,
+                        &ws.panels,
+                        &make_scheme,
+                        faults,
+                        &mut ws.block,
+                        &mut ws.out.detections,
+                        &mut ws.out.counters,
+                    );
+                    scatter_tile(
+                        &ws.block.tile,
+                        &self.tiling,
+                        br,
+                        bc,
+                        0,
+                        out_m,
+                        out_n,
+                        &mut ws.out.c,
+                    );
+                }
             }
+            return &ws.out;
         }
+
+        // Block-parallel regime: contiguous block-row stripe ranges per
+        // worker. Stripe s owns output rows [s·block_m, (s+1)·block_m),
+        // so each worker scatters into a disjoint row slice of the
+        // output carved off with split_at_mut.
+        ws.ensure_stripe_pool(workers, &self.tiling);
+        let bm = self.tiling.block_m as usize;
+        let per = stripes.div_ceil(workers);
+        let tiling = &self.tiling;
+        let panels = &ws.panels;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f32] = &mut ws.out.c;
+            let mut row_base = 0usize;
+            for (w, scr) in ws.stripe_pool[..workers].iter_mut().enumerate() {
+                let s0 = w * per;
+                let s1 = ((w + 1) * per).min(stripes);
+                if s0 >= s1 {
+                    break;
+                }
+                let rows = (s1 * bm).min(out_m) - row_base;
+                let (mine, rem) = std::mem::take(&mut rest).split_at_mut(rows * out_n);
+                rest = rem;
+                let base = row_base;
+                row_base += rows;
+                let make_scheme = &make_scheme;
+                scope.spawn(move || {
+                    // Workers obey the no-nested-fan-out discipline of
+                    // `par_map` (a scheme or campaign above us may
+                    // already be parallel).
+                    aiga_util::as_worker(|| {
+                        for br in s0 as u64..s1 as u64 {
+                            for bc in 0..gn {
+                                walk::run_block(
+                                    tiling,
+                                    k_steps,
+                                    br,
+                                    bc,
+                                    path,
+                                    panels,
+                                    make_scheme,
+                                    faults,
+                                    &mut scr.block,
+                                    &mut scr.detections,
+                                    &mut scr.counters,
+                                );
+                                scatter_tile(
+                                    &scr.block.tile,
+                                    tiling,
+                                    br,
+                                    bc,
+                                    base,
+                                    out_m,
+                                    out_n,
+                                    mine,
+                                );
+                            }
+                        }
+                    });
+                });
+            }
+        });
+        // Merge in worker (= stripe) order so detections keep the same
+        // block-major order the sequential walk produces.
+        for scr in &mut ws.stripe_pool[..workers] {
+            ws.out.detections.append(&mut scr.detections);
+            ws.out.counters.threads += scr.counters.threads;
+            ws.out.counters.baseline_mmas += scr.counters.baseline_mmas;
+            ws.out.counters.scheme.merge(scr.counters.scheme);
+        }
+        ws.out.counters.k_steps = k_steps;
         &ws.out
     }
 
@@ -333,12 +461,17 @@ impl GemmEngine {
     }
 }
 
-/// Copies one block tile into the cropped output buffer.
+/// Copies one block tile into the cropped output buffer. `c` holds
+/// output rows starting at `row_base` (the whole output for the
+/// sequential path, one worker's disjoint row slice for the
+/// block-parallel path).
+#[allow(clippy::too_many_arguments)]
 fn scatter_tile(
     tile: &[f32],
     tiling: &TilingConfig,
     br: u64,
     bc: u64,
+    row_base: usize,
     out_m: usize,
     out_n: usize,
     c: &mut [f32],
@@ -347,6 +480,7 @@ fn scatter_tile(
     let bn = tiling.block_n as usize;
     let row0 = br as usize * bm;
     let col0 = bc as usize * bn;
+    debug_assert!(row0 >= row_base, "tile precedes the caller's row slice");
     for lr in 0..bm {
         let gr = row0 + lr;
         if gr >= out_m {
@@ -356,8 +490,8 @@ fn scatter_tile(
         if cols == 0 {
             break;
         }
-        c[gr * out_n + col0..gr * out_n + col0 + cols]
-            .copy_from_slice(&tile[lr * bn..lr * bn + cols]);
+        let lrow = (gr - row_base) * out_n;
+        c[lrow + col0..lrow + col0 + cols].copy_from_slice(&tile[lr * bn..lr * bn + cols]);
     }
 }
 

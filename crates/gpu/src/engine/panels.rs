@@ -13,10 +13,10 @@
 //! heap allocations**: every buffer is resized in place and capacities
 //! only ratchet up to the high-water mark of the shapes served.
 
-use super::fault_inject::FaultKind;
+use super::fault_inject::{Detection, FaultKind};
 use super::matrix::Matrix;
 use super::scheme::ThreadCtx;
-use super::GemmOutput;
+use super::{simd, EngineCounters, GemmOutput};
 use crate::tiling::TilingConfig;
 use aiga_fp16::F16;
 
@@ -35,6 +35,12 @@ pub(crate) struct Panels {
     /// Padded B decoded to f32 and transposed, `cov_n × k` row-major
     /// (one output column's K-walk is contiguous).
     pub(crate) b_f32_t: Vec<f32>,
+    /// A re-packed into `MICRO_MR`-row strips for the SIMD microkernel
+    /// (see [`simd::pack_a`]); empty when the scalar path is active.
+    pub(crate) a_pack: Vec<f32>,
+    /// B re-packed into `MICRO_PANEL`-wide K-major panels
+    /// (see [`simd::pack_b`]); empty when the scalar path is active.
+    pub(crate) b_pack: Vec<f32>,
     /// Shared inner dimension (the engine's padded K).
     pub(crate) k: usize,
 }
@@ -43,11 +49,15 @@ impl Panels {
     /// Stages `a`/`b` for one run, reusing this instance's buffers.
     /// FP16 → f32 is exact, so every downstream product and
     /// accumulation is bit-identical to decoding inside the K-loop.
+    /// `pack` additionally stages the microkernel pack layouts (skipped
+    /// on the scalar path, which reads the decoded panels directly).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn stage(
         &mut self,
         a: &Matrix,
         b: &Matrix,
         needs16: bool,
+        pack: bool,
         cov_m: usize,
         cov_n: usize,
         k: usize,
@@ -59,6 +69,10 @@ impl Panels {
         }
         a.decode_padded_into(cov_m, k, &mut self.a_f32);
         b.decode_padded_transposed_into(k, cov_n, &mut self.b_f32_t);
+        if pack {
+            simd::pack_a(&self.a_f32, cov_m, k, &mut self.a_pack);
+            simd::pack_b(&self.b_f32_t, cov_n, k, &mut self.b_pack);
+        }
         self.k = k;
     }
 }
@@ -116,6 +130,23 @@ impl BlockScratch {
     }
 }
 
+/// Per-stripe scratch for the block-parallel workspace path: one worker
+/// thread executes a contiguous range of block-row stripes from its own
+/// instance, so workers share nothing but the read-only panels. The
+/// pool these live in ([`Workspace::stripe_pool`]) ratchets like every
+/// other workspace buffer.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct StripeScratch {
+    /// The worker's private block-execution scratch.
+    pub(crate) block: BlockScratch,
+    /// Detections flagged by this worker's stripes, in stripe order
+    /// (drained into the output after the join, preserving the global
+    /// `(block, warp, lane)` order).
+    pub(crate) detections: Vec<Detection>,
+    /// This worker's counter contribution.
+    pub(crate) counters: EngineCounters,
+}
+
 /// Reusable scratch for kernel-level checksum verification (global
 /// ABFT's activation checksum and friends). The engine itself never
 /// touches these; they are owned here so one [`Workspace`] covers the
@@ -157,6 +188,10 @@ pub struct Workspace {
     /// slot's capacity only ratchet up, so steady-state graph execution
     /// allocates nothing.
     pub(crate) slots: Vec<Matrix>,
+    /// Per-worker scratch for the block-parallel engine path (empty
+    /// until a run actually fans out; ratchets to the worker high-water
+    /// mark afterwards).
+    pub(crate) stripe_pool: Vec<StripeScratch>,
 }
 
 impl Workspace {
@@ -248,16 +283,30 @@ impl Workspace {
         self.slots[i] = m;
     }
 
+    /// Arms the block-parallel scratch pool for `n` workers under
+    /// `tiling`: grows the pool if this is a new high-water mark, then
+    /// re-prepares each worker's scratch in place.
+    pub(crate) fn ensure_stripe_pool(&mut self, n: usize, tiling: &TilingConfig) {
+        if self.stripe_pool.len() < n {
+            self.stripe_pool.resize_with(n, StripeScratch::default);
+        }
+        for s in &mut self.stripe_pool[..n] {
+            s.block.prepare(tiling);
+            s.detections.clear();
+            s.counters = EngineCounters::default();
+        }
+    }
+
     /// Recomputes output cell `(r, c)` from the staged operand panels
     /// of the most recent run, overwriting `out.c[r][c]` in place.
     ///
-    /// The fused walk here replays the *identical* FP32 operation
-    /// sequence as the engine's fast path (and the step-ordered hooked
-    /// walk — accumulators are independent), so a recomputed cell is
-    /// bit-exact with a clean run. Faults are never re-applied: the
-    /// panels hold only operands. Returns `false` (no write) when the
-    /// cell lies outside the cropped output — padded rows/columns have
-    /// no output cell to repair.
+    /// The recompute replays the canonical accumulation order (one FMA
+    /// per K element, in order — see [`super::simd`]) that the SIMD
+    /// microkernel, the scalar oracle, and the hooked walk all share, so
+    /// a recomputed cell is bit-exact with a clean run. Faults are never
+    /// re-applied: the panels hold only operands. Returns `false` (no
+    /// write) when the cell lies outside the cropped output — padded
+    /// rows/columns have no output cell to repair.
     ///
     /// Allocation-free: reads the staged panels, writes one f32.
     pub fn recompute_cell(&mut self, r: usize, c: usize) -> bool {
@@ -267,11 +316,7 @@ impl Workspace {
         let k = self.panels.k;
         let a_row = &self.panels.a_f32[r * k..r * k + k];
         let b_col = &self.panels.b_f32_t[c * k..c * k + k];
-        let mut s = 0.0f32;
-        for (aa, bb) in a_row.chunks_exact(2).zip(b_col.chunks_exact(2)) {
-            s += aa[0] * bb[0] + aa[1] * bb[1];
-        }
-        self.out.c[r * self.out.n + c] = s;
+        self.out.c[r * self.out.n + c] = simd::dot(a_row, b_col);
         true
     }
 

@@ -136,11 +136,12 @@ fn mid_kernel_fault_still_lands() {
 
 #[test]
 fn output_is_byte_identical_to_an_oracle_conversion_walk() {
-    // Replays every accumulator's exact operation sequence — K-steps
-    // in order, `a0·b0 + a1·b1` then accumulate — but converts the
-    // FP16 operands through the pre-table arithmetic formulation
-    // instead of the decode table / pre-decoded panels. Byte
-    // equality proves panel pre-decoding changed no result bit.
+    // Replays every accumulator's exact operation sequence — the
+    // canonical order: one correctly-rounded FMA per K element, in K
+    // order — but converts the FP16 operands through the pre-table
+    // arithmetic formulation instead of the decode table /
+    // pre-decoded panels. Byte equality proves panel pre-decoding
+    // changed no result bit.
     fn oracle_f32(h: F16) -> f32 {
         let bits = h.to_bits();
         let sign = if bits & 0x8000 != 0 { -1.0f64 } else { 1.0 };
@@ -182,8 +183,8 @@ fn output_is_byte_identical_to_an_oracle_conversion_walk() {
         for i in 0..m {
             for j in 0..n {
                 let mut acc = 0.0f32;
-                for k0 in (0..kp).step_by(2) {
-                    acc += at(i, k0) * bt(k0, j) + at(i, k0 + 1) * bt(k0 + 1, j);
+                for k0 in 0..kp {
+                    acc = at(i, k0).mul_add(bt(k0, j), acc);
                 }
                 assert_eq!(
                     out.get(i, j).to_bits(),
@@ -233,6 +234,61 @@ fn workspace_path_is_byte_identical_to_the_allocating_path() {
             assert_eq!(alloc_hooked.c, ws_hooked.c);
         }
     }
+}
+
+#[test]
+fn block_parallel_stripes_are_byte_identical_to_sequential() {
+    // 256³ sits exactly at BLOCK_PAR_MIN_FLOPS; a single-core runner
+    // would still serialize via `effective_workers`, so force a worker
+    // count (3 over 8 stripes — deliberately uneven) to exercise the
+    // stripe-parallel arm deterministically. Hooked scheme + detections
+    // cover the replay epilogue and the merge ordering; the faulted
+    // NoScheme run covers the cold recompute path.
+    struct FlagAll; // hooked (default needs_k_steps) and flags every thread
+    impl ThreadLocalScheme for FlagAll {
+        fn begin(&mut self, _ctx: &ThreadCtx) {}
+        fn on_k_step(&mut self, _step: &KStep<'_>) {}
+        fn finalize(
+            &mut self,
+            ctx: &ThreadCtx,
+            acc: &[f32],
+            mt: usize,
+            nt: usize,
+        ) -> ThreadVerdict {
+            ThreadVerdict {
+                fault_detected: true,
+                residual: acc[..mt * nt].iter().map(|&v| v.abs() as f64).sum(),
+                threshold: ctx.lane as f64,
+            }
+        }
+    }
+    let (m, n, k) = (256usize, 256, 256);
+    let a = Matrix::random(m, k, 70);
+    let b = Matrix::random(k, n, 71);
+    let eng = engine_for(m as u64, n as u64, k as u64);
+    let faults = [FaultPlan {
+        row: 200,
+        col: 17,
+        after_step: 5,
+        kind: FaultKind::AddValue(96.0),
+    }];
+    let seq_clean = eng.run_multi(&a, &b, || FlagAll, &[]);
+    let seq_fault = eng.run_multi(&a, &b, || NoScheme, &faults);
+    let mut ws = Workspace::new();
+    super::FORCE_WORKERS.store(3, std::sync::atomic::Ordering::Relaxed);
+    {
+        let par = eng.run_multi_into(&a, &b, || FlagAll, &[], &mut ws);
+        assert_eq!(seq_clean.c, par.c);
+        assert_eq!(seq_clean.detections, par.detections);
+        assert_eq!(seq_clean.counters.threads, par.counters.threads);
+        assert_eq!(seq_clean.counters.k_steps, par.counters.k_steps);
+        assert_eq!(seq_clean.counters.baseline_mmas, par.counters.baseline_mmas);
+    }
+    {
+        let par = eng.run_multi_into(&a, &b, || NoScheme, &faults, &mut ws);
+        assert_eq!(seq_fault.c, par.c);
+    }
+    super::FORCE_WORKERS.store(0, std::sync::atomic::Ordering::Relaxed);
 }
 
 #[test]

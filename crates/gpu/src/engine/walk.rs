@@ -1,7 +1,16 @@
-//! The simulated thread loop: one threadblock's execution through the
-//! warp/lane hierarchy, the fused dot-product fast path for
-//! epilogue-only schemes, and the step-ordered K-walk for schemes that
-//! consume per-step fragments.
+//! The simulated threadblock execution: the SIMD/scalar microkernel
+//! fills the block tile first (see [`super::simd`]), then every warp
+//! and lane of the block runs its *epilogue* — scheme hooks, targeted
+//! fault injection, and per-thread verdicts — against the tile.
+//!
+//! Schemes that consume per-step fragments get a step-ordered replay of
+//! the K-walk ([`replay_k_steps`]) that gathers exactly the fragments
+//! the old fused walk fed them, without redoing the accumulator math:
+//! accumulators are read back from the tile, which already holds the
+//! canonical-order values. Faulted accumulators are the one exception —
+//! they are recomputed by the scalar cold walk with the corruption
+//! applied mid-walk (accumulators are independent, so this reproduces
+//! the faulted value bit-exactly).
 //!
 //! Everything here writes into caller-owned scratch
 //! ([`BlockScratch`][super::panels::BlockScratch]) — the loops allocate
@@ -11,19 +20,21 @@
 use super::fault_inject::{Detection, FaultKind, FaultPlan};
 use super::panels::{BlockScratch, Panels};
 use super::scheme::{KStep, ThreadCtx, ThreadLocalScheme};
+use super::simd::{self, GemmPath};
 use super::EngineCounters;
 use crate::tiling::{TilingConfig, STEP_K};
 use aiga_fp16::F16;
 
-/// Executes threadblock `(br, bc)`: every warp and lane of the block
-/// walks K, runs its scheme instance, applies targeted faults, and
-/// writes its accumulators into `scratch.tile`.
+/// Executes threadblock `(br, bc)`: the microkernel computes the block
+/// tile, then every warp and lane runs its scheme instance and applies
+/// targeted faults against `scratch.tile`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_block<S, F>(
     tiling: &TilingConfig,
     k_steps: u64,
     br: u64,
     bc: u64,
+    path: GemmPath,
     panels: &Panels,
     make_scheme: &F,
     faults: &[FaultPlan],
@@ -41,11 +52,16 @@ pub(crate) fn run_block<S, F>(
     let nt = t.thread_nt() as usize;
     let k = panels.k;
     counters.k_steps = k_steps;
+    let bm = t.block_m as usize;
     let bn = t.block_n as usize;
     let row0 = (br * t.block_m) as usize;
     let col0 = (bc * t.block_n) as usize;
 
-    scratch.tile.fill(0.0);
+    // The substrate: one microkernel pass computes the whole block tile
+    // in the canonical accumulation order (padded rows/columns are zero
+    // in the panels, so computing them is harmless and branch-free).
+    simd::fill_block_tile(path, panels, row0, col0, bm, bn, &mut scratch.tile);
+
     scratch.ctx.block = (br, bc);
 
     for wr in 0..warps_m {
@@ -89,64 +105,81 @@ pub(crate) fn run_block<S, F>(
                 scheme.begin(&scratch.ctx);
 
                 if scheme.needs_k_steps() {
-                    walk_k_with_scheme(
+                    // Fragment replay for hooked schemes: the scheme
+                    // sees the same step-ordered raw + decoded chunks
+                    // the fused walk used to feed it; the accumulator
+                    // math itself already happened in the microkernel.
+                    replay_k_steps(
                         panels,
                         k_steps,
                         &scratch.ctx,
                         &mut scheme,
-                        &scratch.fault_targets,
                         &mut scratch.a_chunk,
                         &mut scratch.b_chunk,
                         &mut scratch.af_chunk,
                         &mut scratch.bf_chunk,
-                        &mut scratch.acc,
                     );
-                } else {
-                    // Fast path: per-accumulator fused dot-product walk
-                    // over the pre-decoded panels. Each accumulator sees
-                    // the identical FP32 operation sequence as the
-                    // step-ordered walk (accumulators are independent),
-                    // so outputs stay bit-exact.
-                    let (ctx, acc, fault_targets) =
-                        (&scratch.ctx, &mut scratch.acc, &scratch.fault_targets);
+                }
+
+                // Gather the lane's accumulators from the tile. Columns
+                // come in contiguous pairs (the fragment layout owns 2
+                // adjacent columns per granule), so each pair is one
+                // slice copy.
+                {
+                    let (ctx, acc, tile) = (&scratch.ctx, &mut scratch.acc, &scratch.tile);
                     for (ri, &r) in ctx.rows.iter().enumerate() {
-                        let a_row = &panels.a_f32[r * k..r * k + k];
-                        for (ci, &c) in ctx.cols.iter().enumerate() {
-                            let b_col = &panels.b_f32_t[c * k..c * k + k];
-                            let idx = ri * nt + ci;
-                            acc[idx] = if fault_targets.is_empty()
-                                || !fault_targets.iter().any(|&(i, _, _)| i == idx)
-                            {
-                                let mut s = 0.0f32;
-                                for (aa, bb) in a_row.chunks_exact(2).zip(b_col.chunks_exact(2)) {
-                                    s += aa[0] * bb[0] + aa[1] * bb[1];
-                                }
-                                s
-                            } else {
-                                // Cold variant for the (rare) faulted
-                                // accumulator: corrupt mid-walk, then
-                                // keep accumulating.
-                                let mut s = 0.0f32;
-                                for (step, (aa, bb)) in
-                                    a_row.chunks_exact(2).zip(b_col.chunks_exact(2)).enumerate()
-                                {
-                                    s += aa[0] * bb[0] + aa[1] * bb[1];
-                                    for &(i, after, kind) in fault_targets {
-                                        if i == idx && after == step as u64 {
-                                            s = kind.apply(s);
-                                        }
-                                    }
-                                }
-                                s
-                            };
+                        let trow = (r - row0) * bn;
+                        let acc_row = &mut acc[ri * nt..ri * nt + nt];
+                        for (pair, chunk) in
+                            ctx.cols.chunks_exact(2).zip(acc_row.chunks_exact_mut(2))
+                        {
+                            let c = pair[0] - col0;
+                            chunk.copy_from_slice(&tile[trow + c..trow + c + 2]);
                         }
                     }
                 }
 
-                // Epilogue-datapath faults strike after the K-walk.
-                for &(idx, after, kind) in &scratch.fault_targets {
-                    if after == u64::MAX {
-                        scratch.acc[idx] = kind.apply(scratch.acc[idx]);
+                if !scratch.fault_targets.is_empty() {
+                    let BlockScratch {
+                        ctx,
+                        acc,
+                        fault_targets,
+                        tile,
+                        ..
+                    } = scratch;
+                    // Mid-kernel faults: recompute each targeted
+                    // accumulator with the cold walk, corrupting it at
+                    // the targeted K-step exactly as the in-loop
+                    // injection used to.
+                    for i in 0..fault_targets.len() {
+                        let (idx, after, _) = fault_targets[i];
+                        if after != u64::MAX {
+                            let (ri, ci) = (idx / nt, idx % nt);
+                            let r = ctx.rows[ri];
+                            let c = ctx.cols[ci];
+                            acc[idx] = faulted_dot(
+                                &panels.a_f32[r * k..r * k + k],
+                                &panels.b_f32_t[c * k..c * k + k],
+                                idx,
+                                fault_targets,
+                            );
+                        }
+                    }
+                    // Epilogue-datapath faults strike after the K-walk.
+                    for &(idx, after, kind) in fault_targets.iter() {
+                        if after == u64::MAX {
+                            acc[idx] = kind.apply(acc[idx]);
+                        }
+                    }
+                    // Write the corrupted accumulators back so the
+                    // scattered output carries the fault.
+                    for (ri, &r) in ctx.rows.iter().enumerate() {
+                        let trow = (r - row0) * bn;
+                        let acc_row = &acc[ri * nt..ri * nt + nt];
+                        for (pair, chunk) in ctx.cols.chunks_exact(2).zip(acc_row.chunks_exact(2)) {
+                            let c = pair[0] - col0;
+                            tile[trow + c..trow + c + 2].copy_from_slice(chunk);
+                        }
                     }
                 }
 
@@ -163,41 +196,53 @@ pub(crate) fn run_block<S, F>(
                 counters.threads += 1;
                 counters.baseline_mmas += k_steps * t.mmas_per_thread_step();
                 counters.scheme.merge(scheme.counters());
-
-                // Write the thread's accumulators into the block tile.
-                // Columns come in contiguous pairs (the fragment layout
-                // owns 2 adjacent columns per granule), so each pair is
-                // one slice copy.
-                let (ctx, acc, tile) = (&scratch.ctx, &scratch.acc, &mut scratch.tile);
-                for (ri, &r) in ctx.rows.iter().enumerate() {
-                    let trow = (r - row0) * bn;
-                    let acc_row = &acc[ri * nt..ri * nt + nt];
-                    for (pair, chunk) in ctx.cols.chunks_exact(2).zip(acc_row.chunks_exact(2)) {
-                        let c = pair[0] - col0;
-                        tile[trow + c..trow + c + 2].copy_from_slice(chunk);
-                    }
-                }
             }
         }
     }
 }
 
-/// The step-ordered K-walk for schemes that consume per-step fragments:
-/// gathers the raw FP16 and pre-decoded f32 chunks into the caller's
-/// reused buffers, runs the MMA math, invokes the scheme hook, and
-/// applies mid-kernel faults.
+/// The cold walk for a faulted accumulator: the canonical FMA chain
+/// with the corruption applied at the targeted simulated K-step (one
+/// step consumes [`STEP_K`] = 2 elements, as in Figure 3).
+fn faulted_dot(
+    a_row: &[f32],
+    b_col: &[f32],
+    idx: usize,
+    fault_targets: &[(usize, u64, FaultKind)],
+) -> f32 {
+    let mut s = 0.0f32;
+    for (step, (aa, bb)) in a_row
+        .chunks_exact(STEP_K as usize)
+        .zip(b_col.chunks_exact(STEP_K as usize))
+        .enumerate()
+    {
+        s = aa[0].mul_add(bb[0], s);
+        s = aa[1].mul_add(bb[1], s);
+        for &(i, after, kind) in fault_targets {
+            if i == idx && after == step as u64 {
+                s = kind.apply(s);
+            }
+        }
+    }
+    s
+}
+
+/// The step-ordered fragment replay for schemes that consume per-step
+/// fragments: gathers the raw FP16 and pre-decoded f32 chunks into the
+/// caller's reused buffers and invokes the scheme hook once per K-step,
+/// in step order. The accumulator math is *not* redone here — the
+/// microkernel already produced the canonical-order tile the epilogue
+/// gathers from.
 #[allow(clippy::too_many_arguments)]
-fn walk_k_with_scheme<S: ThreadLocalScheme>(
+fn replay_k_steps<S: ThreadLocalScheme>(
     panels: &Panels,
     k_steps: u64,
     ctx: &ThreadCtx,
     scheme: &mut S,
-    fault_targets: &[(usize, u64, FaultKind)],
     a_chunk: &mut [F16],
     b_chunk: &mut [F16],
     af_chunk: &mut [f32],
     bf_chunk: &mut [f32],
-    acc: &mut [f32],
 ) {
     let k = panels.k;
     let mt = ctx.rows.len();
@@ -209,7 +254,6 @@ fn walk_k_with_scheme<S: ThreadLocalScheme>(
     let a16 = &panels.a16;
     let b16 = &panels.b16;
 
-    acc.fill(0.0);
     for step in 0..k_steps {
         let k0 = (step * STEP_K) as usize;
         for (ri, &r) in ctx.rows.iter().enumerate() {
@@ -226,17 +270,6 @@ fn walk_k_with_scheme<S: ThreadLocalScheme>(
             bf_chunk[ci] = panels.b_f32_t[base];
             bf_chunk[nt + ci] = panels.b_f32_t[base + 1];
         }
-        // The MMA math: FP16 products are exact in FP32; the two
-        // k-lanes of the step are reduced first (dot-product unit),
-        // then accumulated.
-        for ri in 0..mt {
-            let a0 = af_chunk[ri * 2];
-            let a1 = af_chunk[ri * 2 + 1];
-            for ci in 0..nt {
-                let partial = a0 * bf_chunk[ci] + a1 * bf_chunk[nt + ci];
-                acc[ri * nt + ci] += partial;
-            }
-        }
         scheme.on_k_step(&KStep {
             a: a_chunk,
             b: b_chunk,
@@ -245,11 +278,6 @@ fn walk_k_with_scheme<S: ThreadLocalScheme>(
             mt,
             nt,
         });
-        for &(idx, after, kind) in fault_targets {
-            if after == step {
-                acc[idx] = kind.apply(acc[idx]);
-            }
-        }
     }
 }
 

@@ -38,7 +38,10 @@ pub mod timing;
 pub mod traffic;
 
 pub use device::DeviceSpec;
-pub use engine::{GemmEngine, GemmOutput, Matrix, ThreadLocalScheme, ThreadVerdict, Workspace};
+pub use engine::{
+    GemmEngine, GemmOutput, GemmPath, Matrix, MatrixLayout, ThreadLocalScheme, ThreadVerdict,
+    Workspace,
+};
 pub use roofline::{Bound, Roofline};
 pub use shape::GemmShape;
 pub use tiling::TilingConfig;

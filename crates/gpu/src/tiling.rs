@@ -28,6 +28,20 @@ pub const MAX_THREAD_NT: usize = 16;
 /// Largest per-thread accumulator count (`Mt·Nt`).
 pub const MAX_THREAD_ACC: usize = MAX_THREAD_MT * MAX_THREAD_NT;
 
+/// Host-microkernel register-tile rows: the SIMD fast path computes the
+/// block tile in `MICRO_MR × MICRO_NR` register tiles (4 broadcast rows
+/// of A against two 8-lane B vectors — 8 independent FMA chains, enough
+/// to hide the FMA latency on two issue ports). Every valid
+/// [`TilingConfig`] block is a whole number of microkernel tiles:
+/// `block_m` is a multiple of 16 and `block_n` a multiple of 8 (see
+/// [`TilingConfig::validate`]), so the packed-panel layouts in
+/// `engine::panels` never need edge handling.
+pub const MICRO_MR: usize = 4;
+/// Host-microkernel register-tile columns (two 8-wide SIMD lanes).
+pub const MICRO_NR: usize = 16;
+/// Width of one packed B panel (one SIMD vector of f32).
+pub const MICRO_PANEL: usize = 8;
+
 /// One tiling configuration for the hierarchy of Figure 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TilingConfig {

@@ -10,7 +10,7 @@
 
 use crate::layer::conv_out;
 use aiga_fp16::F16;
-use aiga_gpu::engine::{Matrix, Workspace};
+use aiga_gpu::engine::{Matrix, MatrixLayout, Workspace};
 
 /// A batched FP16 feature map in NCHW layout.
 #[derive(Clone, Debug, PartialEq)]
@@ -116,6 +116,15 @@ impl ConvParams {
             ) as usize,
         )
     }
+
+    /// True for 1×1 stride-1 unpadded convolutions. Their im2col
+    /// lowering is a pure relabeling of the NCHW buffer (`K = Cin`, one
+    /// row per pixel), so the GEMM can take a zero-copy
+    /// [`aiga_gpu::MatrixLayout::NchwLowered`] view of the activation
+    /// tensor instead of materializing the lowered matrix.
+    pub fn is_pointwise(&self) -> bool {
+        self.kernel == 1 && self.stride == 1 && self.padding == 0
+    }
 }
 
 /// Unrolls `input` into the implicit-GEMM activation matrix: row
@@ -140,6 +149,7 @@ pub fn im2col_into(input: &Tensor, p: ConvParams, ws: &mut Workspace) {
     let out = ws.lowering_mut();
     out.rows = input.batch * ho * wo;
     out.cols = k_dim;
+    out.layout = MatrixLayout::RowMajor;
     out.data.clear();
     out.data.resize(out.rows * k_dim, F16::ZERO);
     for n in 0..input.batch {
@@ -269,6 +279,40 @@ mod tests {
                 assert!((d - g).abs() < 1e-9, "({row},{col}): {g} vs {d}");
             }
         }
+    }
+
+    #[test]
+    fn pointwise_lowered_view_equals_the_im2col_matrix() {
+        // For a 1×1 stride-1 unpadded conv, the zero-copy NchwLowered
+        // view of the activation tensor must be logically identical to
+        // the materialized im2col matrix — element for element — so
+        // everything downstream (checksums, engine staging, oracles)
+        // sees the same FP16 bits.
+        let input = Tensor::random(3, 5, 7, 4, 9);
+        let p = params(6, 1, 1, 0);
+        assert!(p.is_pointwise());
+        assert!(!params(6, 3, 1, 1).is_pointwise());
+        assert!(!params(6, 1, 2, 0).is_pointwise());
+        assert!(!params(6, 1, 1, 1).is_pointwise());
+        let copied = im2col(&input, p);
+        let view = Matrix::nchw_lowered(3, 5, 7 * 4, input.data.clone());
+        assert_eq!((view.rows, view.cols), (copied.rows, copied.cols));
+        for r in 0..view.rows {
+            for c in 0..view.cols {
+                assert_eq!(view.get(r, c), copied.get(r, c), "({r},{c})");
+            }
+        }
+        // And the engine produces byte-identical outputs from either.
+        let filters = Tensor::random(6, 5, 1, 1, 10);
+        let b = filters_to_matrix(&filters);
+        let eng = GemmEngine::with_default_tiling(GemmShape::new(
+            view.rows as u64,
+            b.cols as u64,
+            b.rows as u64,
+        ));
+        let from_copy = eng.run(&copied, &b, || NoScheme, None);
+        let from_view = eng.run(&view, &b, || NoScheme, None);
+        assert_eq!(from_copy.c, from_view.c);
     }
 
     #[test]

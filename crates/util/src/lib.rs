@@ -27,6 +27,6 @@ pub mod sync;
 
 pub use hist::LatencyHistogram;
 pub use json::Json;
-pub use par::{par_map, par_map_with};
+pub use par::{as_worker, effective_workers, par_map, par_map_with};
 pub use rng::Rng64;
 pub use sync::{PushError, SyncQueue};

@@ -13,6 +13,43 @@ std::thread_local! {
     static INSIDE_PAR_MAP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// Cached `available_parallelism`: the stdlib call re-reads cgroup/proc
+/// state (and allocates) on every invocation, which would put heap
+/// traffic on zero-allocation hot paths that merely *ask* about
+/// parallelism before staying sequential.
+fn hardware_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// How many workers a parallel region over `items` units of work would
+/// fan out to *from the current thread*: the hardware parallelism capped
+/// by the item count, or 1 when the caller is itself a parallel worker
+/// (nested regions stay sequential). Callers that manage their own
+/// scoped threads (e.g. the block-parallel GEMM engine) use this to make
+/// the same sequential-fallback decision as [`par_map`].
+pub fn effective_workers(items: usize) -> usize {
+    if INSIDE_PAR_MAP.with(|flag| flag.get()) {
+        return 1;
+    }
+    hardware_parallelism().min(items)
+}
+
+/// Runs `f` with the current thread marked as a parallel worker, so any
+/// nested [`par_map`]/[`effective_workers`] call inside it stays
+/// sequential. For callers that spawn their own scoped threads but want
+/// them to obey the same no-nested-fan-out discipline.
+pub fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    INSIDE_PAR_MAP.with(|flag| flag.set(true));
+    let out = f();
+    INSIDE_PAR_MAP.with(|flag| flag.set(false));
+    out
+}
+
 /// Maps `f` over `items` in parallel, preserving order.
 ///
 /// Falls back to a sequential map when the slice is small, only one
@@ -42,10 +79,7 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+    let workers = hardware_parallelism().min(items.len());
     if workers <= 1 || INSIDE_PAR_MAP.with(|flag| flag.get()) {
         let mut state = init();
         return items.iter().map(|item| f(&mut state, item)).collect();
@@ -108,6 +142,20 @@ mod tests {
         // never one per item.
         assert!(inits.load(Ordering::Relaxed) <= workers);
         assert!(inits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn effective_workers_caps_by_items_and_nesting() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(effective_workers(1), 1);
+        assert_eq!(effective_workers(1024), cores.min(1024));
+        // Inside a worker context the answer is always 1.
+        let nested = as_worker(|| effective_workers(1024));
+        assert_eq!(nested, 1);
+        // The marker is scoped to the closure.
+        assert_eq!(effective_workers(1024), cores.min(1024));
     }
 
     #[test]
