@@ -180,6 +180,91 @@ fn main() {
             });
         }
     }
+    // The precision-substrate suite: clean GEMM throughput with
+    // operands stored in each dtype (format decode rides in panel
+    // staging, so these rows price it directly), then per-dtype fault
+    // campaigns — detection coverage and protected-vs-clean overhead
+    // under each family's strongest scheme, the cross-precision
+    // comparison the paper never measured.
+    {
+        use aiga_core::schemes::Scheme;
+        use aiga_faults::Campaign;
+        use aiga_gpu::engine::{Dtype, Workspace};
+
+        let size = 128usize;
+        let shape = GemmShape::square(size as u64);
+        for dtype in Dtype::ALL {
+            let a = Matrix::random_dtype(size, size, 1, dtype);
+            let b = Matrix::random_dtype(size, size, 2, dtype);
+            let eng = GemmEngine::with_default_tiling(shape);
+            let mut ws = Workspace::new();
+            eng.run_multi_into(&a, &b, || NoScheme, &[], &mut ws); // warm
+            let med = rec
+                .bench(&format!("engine/gemm_{size}_clean_{dtype}"), || {
+                    black_box(eng.run_multi_into(&a, &b, || NoScheme, &[], &mut ws));
+                })
+                .median_ns;
+            rec.record_value(
+                &format!("engine/gemm_{size}_clean_{dtype}_gflops"),
+                gflops_of(size, med),
+                "gflop/s",
+            );
+        }
+
+        let campaign_shape = GemmShape::square(48);
+        let trials = 200;
+        for dtype in [Dtype::F16, Dtype::Bf16, Dtype::Fp8E4M3] {
+            for (name, scheme) in [
+                ("one_sided", Scheme::ThreadLevelOneSided),
+                ("two_sided", Scheme::ThreadLevelTwoSided),
+                ("replication_traditional", Scheme::ReplicationTraditional),
+                ("global_abft", Scheme::GlobalAbft),
+            ] {
+                let c = Campaign::new_dtype(campaign_shape, scheme, 9, dtype);
+                let stats = c.run_bit_flips(trials, 10);
+                rec.record_value(
+                    &format!("campaign/{dtype}_{name}_detection_rate"),
+                    stats.detection_rate(),
+                    "fraction",
+                );
+                rec.record_value(
+                    &format!("campaign/{dtype}_{name}_sdc_rate"),
+                    stats.sdc_rate(),
+                    "fraction",
+                );
+                // Overhead: protected pass vs the unprotected engine on
+                // the same operands (both through warm workspaces).
+                let protected = aiga_core::protected::ProtectedGemm::new(
+                    Matrix::random_dtype(48, 48, 9, dtype),
+                    Matrix::random_dtype(48, 48, 10, dtype),
+                    scheme,
+                );
+                let baseline = aiga_core::protected::ProtectedGemm::new(
+                    Matrix::random_dtype(48, 48, 9, dtype),
+                    Matrix::random_dtype(48, 48, 10, dtype),
+                    Scheme::Unprotected,
+                );
+                let mut ws = Workspace::new();
+                protected.run_into(&[], &mut ws); // warm
+                let prot_ns = rec
+                    .bench(&format!("campaign/{dtype}_{name}_protected_pass"), || {
+                        black_box(protected.run_into(&[], &mut ws));
+                    })
+                    .median_ns;
+                baseline.run_into(&[], &mut ws); // warm
+                let base_ns = rec
+                    .bench(&format!("campaign/{dtype}_{name}_unprotected_pass"), || {
+                        black_box(baseline.run_into(&[], &mut ws));
+                    })
+                    .median_ns;
+                rec.record_value(
+                    &format!("campaign/{dtype}_{name}_overhead"),
+                    prot_ns / base_ns,
+                    "x",
+                );
+            }
+        }
+    }
     rec.write().expect("write BENCH_engine.json");
 
     let dev = DeviceSpec::t4();

@@ -47,7 +47,10 @@ impl CompiledModel {
     /// the plan's chosen scheme.
     pub fn compile(planner: &Planner, net: &Network) -> Self {
         let model = net.to_model();
-        let plan = planner.plan(&model);
+        // Plan at the network's storage dtype: a bf16/fp8 network's
+        // layers sit at different arithmetic intensities than fp16's,
+        // so scheme selection must see the dtype the executor runs.
+        let plan = planner.clone().dtype(net.dtype).plan(&model);
         let schemes: Arc<[Scheme]> = plan.chosen_schemes().into();
         let pipeline =
             ProtectedPipeline::compile_with_registry(planner.scheme_registry(), net, &schemes);
@@ -79,7 +82,7 @@ impl CompiledModel {
     /// overwritten, so cost introspection still works).
     pub fn compile_overridden(planner: &Planner, net: &Network, schemes: &[Scheme]) -> Self {
         let model = net.to_model();
-        let mut plan = planner.plan(&model);
+        let mut plan = planner.clone().dtype(net.dtype).plan(&model);
         assert_eq!(
             plan.layers.len(),
             schemes.len(),

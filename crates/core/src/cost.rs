@@ -16,6 +16,7 @@
 
 use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
+use aiga_dtype::Dtype;
 use aiga_gpu::timing::{self, Calibration, KernelProfile, TimeEstimate};
 use aiga_gpu::{DeviceSpec, GemmPath, GemmShape};
 
@@ -67,13 +68,25 @@ pub fn apply_scheme_with(
 /// FP16 decode + pack passes over both operands. Deliberately coarse —
 /// relative ordering and order-of-magnitude are what callers rely on.
 pub fn host_substrate_estimate(shape: GemmShape, path: GemmPath) -> f64 {
+    host_substrate_estimate_dtype(shape, path, Dtype::F16)
+}
+
+/// [`host_substrate_estimate`] for an explicit storage dtype. The GEMM
+/// flops are dtype-independent (the panels are decoded f32 either way),
+/// but the staging term scales with the storage width — `dtype.bytes()`
+/// read per element plus the 4 B f32 panel write — and each GEMM touches
+/// the dtype's decode table once, charged as a cache-warm pass over
+/// [`Dtype::decode_table_bytes`].
+pub fn host_substrate_estimate_dtype(shape: GemmShape, path: GemmPath, dtype: Dtype) -> f64 {
     const SIMD_FLOPS_PER_S: f64 = 20.0e9;
     const SCALAR_FLOPS_PER_S: f64 = 2.0e9;
     const STAGE_BYTES_PER_S: f64 = 4.0e9;
     let flops = 2.0 * shape.m as f64 * shape.n as f64 * shape.k as f64;
-    // Each operand is read as FP16 (2 B) and written decoded/packed as
-    // f32 (4 B) during staging.
-    let staged_bytes = 6.0 * (shape.m * shape.k + shape.k * shape.n) as f64;
+    // Each operand element is read at its storage width and written
+    // decoded/packed as f32 (4 B) during staging.
+    let per_elem = (dtype.bytes() + 4) as f64;
+    let staged_bytes = per_elem * (shape.m * shape.k + shape.k * shape.n) as f64
+        + dtype.decode_table_bytes() as f64;
     let rate = if path.is_simd() {
         SIMD_FLOPS_PER_S
     } else {
@@ -114,7 +127,24 @@ pub fn evaluate_layer_with(
     device: &DeviceSpec,
     calib: &Calibration,
 ) -> (TimeEstimate, Vec<SchemeTiming>) {
-    let baseline_profile = KernelProfile::baseline(shape, device, calib);
+    evaluate_layer_dtype_with(registry, shape, schemes, device, calib, Dtype::F16)
+}
+
+/// [`evaluate_layer_with`] for an explicit storage dtype: the baseline
+/// profile prices operand and output traffic at `dtype.bytes()` per
+/// element, which moves the layer's position on the roofline — narrower
+/// storage raises arithmetic intensity, so layers near the crossover can
+/// flip from thread-level to global ABFT (the intensity-guided selection
+/// is dtype-dependent).
+pub fn evaluate_layer_dtype_with(
+    registry: &SchemeRegistry,
+    shape: GemmShape,
+    schemes: &[Scheme],
+    device: &DeviceSpec,
+    calib: &Calibration,
+    dtype: Dtype,
+) -> (TimeEstimate, Vec<SchemeTiming>) {
+    let baseline_profile = KernelProfile::baseline_dtype(shape, device, calib, dtype.bytes());
     let baseline = timing::estimate(&baseline_profile, device, calib);
     let timings = schemes
         .iter()
@@ -262,6 +292,48 @@ mod tests {
             let large = host_substrate_estimate(GemmShape::square(512), path);
             assert!(small < large);
         }
+    }
+
+    #[test]
+    fn host_substrate_estimate_prices_storage_width_and_tables() {
+        let shape = GemmShape::square(512);
+        // Narrower storage stages fewer bytes: fp8 < fp16 on the same path.
+        let fp16 = host_substrate_estimate_dtype(shape, GemmPath::Avx2Fma, Dtype::F16);
+        let fp8 = host_substrate_estimate_dtype(shape, GemmPath::Avx2Fma, Dtype::Fp8E4M3);
+        assert!(fp8 < fp16, "fp8 {fp8} !< fp16 {fp16}");
+        // The f16 variant is the delegating default.
+        assert_eq!(fp16, host_substrate_estimate(shape, GemmPath::Avx2Fma));
+        // On a tiny GEMM the 256 KiB decode table dominates the staging
+        // term, so the tableless int8 estimate undercuts bf16.
+        let tiny = GemmShape::square(16);
+        let bf16 = host_substrate_estimate_dtype(tiny, GemmPath::Avx2Fma, Dtype::Bf16);
+        let int8 = host_substrate_estimate_dtype(tiny, GemmPath::Avx2Fma, Dtype::Int8);
+        assert!(int8 < bf16, "int8 {int8} !< bf16 {bf16}");
+    }
+
+    #[test]
+    fn dtype_changes_the_baseline_estimate_on_bandwidth_bound_layers() {
+        let calib = Calibration::default();
+        let shape = GemmShape::square(256);
+        let (base16, _) = evaluate_layer_dtype_with(
+            registry::shared(),
+            shape,
+            &[Scheme::Unprotected],
+            &t4(),
+            &calib,
+            Dtype::F16,
+        );
+        let (base8, _) = evaluate_layer_dtype_with(
+            registry::shared(),
+            shape,
+            &[Scheme::Unprotected],
+            &t4(),
+            &calib,
+            Dtype::Fp8E4M3,
+        );
+        // 256³ is bandwidth-bound on a T4, so halving bytes/element
+        // must shorten the estimated kernel time.
+        assert!(base8.total_s < base16.total_s);
     }
 
     #[test]

@@ -420,7 +420,7 @@ impl BoundKernel for GlobalBound {
             for j in 0..output.n {
                 let mut expected = 0.0f64;
                 for (k, &chk) in check.chk.iter().enumerate() {
-                    expected += chk as f64 * self.weights.get(k, j).to_f64();
+                    expected += chk as f64 * self.weights.get_f64(k, j);
                 }
                 let mut observed = 0.0f64;
                 for i in 0..output.m {

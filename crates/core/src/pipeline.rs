@@ -40,6 +40,7 @@
 use crate::kernel::{BoundKernel, FaultSite, Verdict};
 use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
+use aiga_dtype::Dtype;
 use aiga_fp16::F16;
 use aiga_gpu::engine::{FaultPlan, GemmEngine, Matrix, Workspace};
 use aiga_gpu::GemmShape;
@@ -232,6 +233,11 @@ pub struct ProtectedPipeline {
     stages: Vec<Stage>,
     gemm_count: usize,
     slot_count: usize,
+    /// Storage dtype of activations and weights: slot write-backs
+    /// encode into this format's codes and epilogue stages decode
+    /// through it. Set from the compiled [`Network::dtype`]; MLP-chain
+    /// pipelines are fp16.
+    dtype: Dtype,
     /// When set, a detected fault triggers localization + targeted
     /// recompute *at the flagging stage* (the pass never re-runs), and
     /// resolved faults surface as [`LayerCorrection`]s. Off by default:
@@ -313,6 +319,7 @@ impl ProtectedPipeline {
             stages,
             gemm_count: depth,
             slot_count,
+            dtype: Dtype::F16,
             recovery: false,
         }
     }
@@ -343,6 +350,19 @@ impl ProtectedPipeline {
             "one scheme per conv/fc layer required"
         );
         let batch = net.batch;
+        let dtype = net.dtype;
+        // Weight values sit on the dtype's grid already (Network::
+        // with_dtype snapped them), so re-encoding into raw dtype codes
+        // is lossless; fp16 networks keep their matrices untouched.
+        let encode_weights = |m: Matrix| -> Matrix {
+            if dtype == Dtype::F16 {
+                return m;
+            }
+            let coded = Matrix::from_fn(m.rows, m.cols, |r, c| {
+                F16::from_bits(dtype.encode(m.get(r, c).to_f32()))
+            });
+            coded.with_dtype(dtype)
+        };
         let mut node_src: Vec<Src> = Vec::with_capacity(net.nodes.len());
         let mut stages: Vec<Stage> = Vec::new();
         let mut next_scheme = schemes.iter().copied();
@@ -370,7 +390,7 @@ impl ProtectedPipeline {
                 } => {
                     let in_dims = net.dims_of(node.inputs[0]);
                     let (ho, wo) = params.out_dims(in_dims.1, in_dims.2);
-                    let wmat = filters_to_matrix(weights);
+                    let wmat = encode_weights(filters_to_matrix(weights));
                     let shape = GemmShape::new(
                         (batch * ho * wo) as u64,
                         params.c_out as u64,
@@ -393,10 +413,11 @@ impl ProtectedPipeline {
                 NodeOp::Fc { weights, relu } => {
                     let shape =
                         GemmShape::new(batch as u64, weights.cols as u64, weights.rows as u64);
+                    let wmat = encode_weights(weights.clone());
                     StageOp::Gemm {
                         bound: registry
                             .resolve(next_scheme.next().expect("scheme per layer"))
-                            .bind(weights),
+                            .bind(&wmat),
                         engine: GemmEngine::with_default_tiling(shape),
                         lowering: None,
                         relu: *relu,
@@ -439,6 +460,7 @@ impl ProtectedPipeline {
             stages,
             gemm_count: net.gemm_count(),
             slot_count,
+            dtype,
             recovery: false,
         }
     }
@@ -455,6 +477,11 @@ impl ProtectedPipeline {
     /// Whether recovery mode is enabled.
     pub fn recovery(&self) -> bool {
         self.recovery
+    }
+
+    /// The storage dtype this pipeline executes in.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
     }
 
     /// Number of GEMM (conv/fc) layers.
@@ -524,6 +551,11 @@ impl ProtectedPipeline {
             input.cols, self.input_features,
             "input feature width mismatch"
         );
+        assert_eq!(
+            input.dtype, self.dtype,
+            "request dtype must match the pipeline's storage dtype"
+        );
+        let dt = self.dtype;
         let rows = input.rows;
         let batch = self.batch;
         // Stage the (padded) input into the workspace's activation
@@ -578,7 +610,8 @@ impl ProtectedPipeline {
                                 c,
                                 h * w,
                                 std::mem::take(&mut src.data),
-                            );
+                            )
+                            .with_dtype(dt);
                             let mut v = bound.run_into(engine, &a, layer_fault.as_slice(), ws);
                             if self.recovery && v.is_detected() {
                                 v = bound.correct_into(engine, &a, ws, v);
@@ -601,7 +634,11 @@ impl ProtectedPipeline {
                             };
                             im2col_into(&t, low.params, ws);
                             src.data = t.data;
-                            let a = ws.take_lowering();
+                            // The lowering copies raw storage codes (and
+                            // zero padding, which is the zero code in
+                            // every dtype), so it carries the tag over.
+                            let mut a = ws.take_lowering();
+                            a.dtype = dt;
                             let mut v = bound.run_into(engine, &a, layer_fault.as_slice(), ws);
                             if self.recovery && v.is_detected() {
                                 // Correct while the lowered activations
@@ -694,18 +731,18 @@ impl ProtectedPipeline {
                         let out = ws.output();
                         dst.rows = batch;
                         dst.cols = stage.out_features;
+                        dst.dtype = dt;
                         dst.data.clear();
                         match lowering {
                             None => {
-                                dst.data.extend(
-                                    out.c.iter().map(|&v| {
-                                        F16::from_f32(if *relu { v.max(0.0) } else { v })
-                                    }),
-                                );
+                                dst.data.extend(out.c.iter().map(|&v| {
+                                    let v = if *relu { v.max(0.0) } else { v };
+                                    F16::from_bits(dt.encode(v))
+                                }));
                             }
                             Some(low) => {
                                 conv_output_nchw(out.c.as_slice(), batch, out.n, low, *relu, |v| {
-                                    dst.data.push(F16::from_f32(v))
+                                    dst.data.push(F16::from_bits(dt.encode(v)))
                                 });
                             }
                         }
@@ -719,6 +756,7 @@ impl ProtectedPipeline {
                     let mut dst = ws.take_slot(stage.out_slot);
                     dst.rows = batch;
                     dst.cols = stage.out_features;
+                    dst.dtype = dt;
                     dst.data.clear();
                     {
                         let get = |r: Src| -> &Matrix {
@@ -738,10 +776,11 @@ impl ProtectedPipeline {
                                 *in_dims,
                                 params,
                                 *out_hw,
+                                dt,
                                 &mut dst,
                             ),
                             StageOp::GlobalAvgPool { in_dims } => {
-                                global_avg_stage(get(stage.srcs[0]), batch, *in_dims, &mut dst)
+                                global_avg_stage(get(stage.srcs[0]), batch, *in_dims, dt, &mut dst)
                             }
                             StageOp::Concat { part_features } => {
                                 for n in 0..batch {
@@ -755,8 +794,8 @@ impl ProtectedPipeline {
                                 let a = get(stage.srcs[0]);
                                 let b = get(stage.srcs[1]);
                                 dst.data.extend(a.data.iter().zip(&b.data).map(|(x, y)| {
-                                    let v = x.to_f32() + y.to_f32();
-                                    F16::from_f32(if *relu { v.max(0.0) } else { v })
+                                    let v = dt.decode(x.to_bits()) + dt.decode(y.to_bits());
+                                    F16::from_bits(dt.encode(if *relu { v.max(0.0) } else { v }))
                                 }));
                             }
                             StageOp::Gemm { .. } => unreachable!("handled above"),
@@ -767,7 +806,7 @@ impl ProtectedPipeline {
                         final_output.extend(
                             dst.data[..rows * stage.out_features]
                                 .iter()
-                                .map(|v| v.to_f32()),
+                                .map(|v| dt.decode(v.to_bits())),
                         );
                     }
                     ws.put_slot(stage.out_slot, dst);
@@ -817,6 +856,7 @@ fn pool_stage(
     in_dims: (usize, usize, usize),
     p: &PoolParams,
     out_hw: (usize, usize),
+    dt: Dtype,
     dst: &mut Matrix,
 ) {
     let (c, h, w) = in_dims;
@@ -838,7 +878,7 @@ fn pool_stage(
                             if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
                                 continue;
                             }
-                            let v = plane[iy as usize * w + ix as usize].to_f32();
+                            let v = dt.decode(plane[iy as usize * w + ix as usize].to_bits());
                             best = best.max(v);
                             acc += v;
                             cells += 1;
@@ -860,7 +900,7 @@ fn pool_stage(
                             }
                         }
                     };
-                    dst.data.push(F16::from_f32(v));
+                    dst.data.push(F16::from_bits(dt.encode(v)));
                 }
             }
         }
@@ -868,15 +908,22 @@ fn pool_stage(
 }
 
 /// Global average pooling to `1 × 1` per channel.
-fn global_avg_stage(src: &Matrix, batch: usize, in_dims: (usize, usize, usize), dst: &mut Matrix) {
+fn global_avg_stage(
+    src: &Matrix,
+    batch: usize,
+    in_dims: (usize, usize, usize),
+    dt: Dtype,
+    dst: &mut Matrix,
+) {
     let (c, h, w) = in_dims;
     let in_features = c * h * w;
     for n in 0..batch {
         let img = &src.data[n * in_features..(n + 1) * in_features];
         for ch in 0..c {
             let plane = &img[ch * h * w..(ch + 1) * h * w];
-            let acc: f32 = plane.iter().map(|v| v.to_f32()).sum();
-            dst.data.push(F16::from_f32(acc / (h * w) as f32));
+            let acc: f32 = plane.iter().map(|v| dt.decode(v.to_bits())).sum();
+            dst.data
+                .push(F16::from_bits(dt.encode(acc / (h * w) as f32)));
         }
     }
 }
@@ -1073,6 +1120,80 @@ mod tests {
                     }
                 }
             }
+        }
+
+        #[test]
+        fn every_dtype_serves_the_conv_net_within_reference_tolerance() {
+            // The same graph compiled at each storage dtype must track
+            // its dtype-aware f64 reference: the executor and reference
+            // share every quantization point, differing only in f32 vs
+            // f64 GEMM accumulation.
+            for dtype in Dtype::ALL {
+                let net = conv_net(3).with_dtype(dtype);
+                let p = ProtectedPipeline::compile(&net, &[Scheme::GlobalAbft; 3]);
+                assert_eq!(p.dtype(), dtype);
+                let input = Matrix::random_dtype(3, 2 * 8 * 8, 21, dtype);
+                let r = p.infer(&input, None);
+                assert!(!r.fault_detected(), "{dtype}: {:?}", r.detections.first());
+                let want = net.reference_f64(&input);
+                assert_eq!(r.output.len(), want.len());
+                // fp8 carries ~2^-4 relative steps through three layers;
+                // activations are O(1), so an absolute envelope works
+                // for every format.
+                let tol = match dtype {
+                    Dtype::F16 | Dtype::Bf16 => 2e-2,
+                    Dtype::Fp8E4M3 | Dtype::Int8 => 2e-1,
+                };
+                for (i, (&got, &w)) in r.output.iter().zip(&want).enumerate() {
+                    assert!(
+                        (got as f64 - w).abs() < tol,
+                        "{dtype} elem {i}: {got} vs {w}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn bf16_inference_is_byte_deterministic() {
+            let net = conv_net(2).with_dtype(Dtype::Bf16);
+            let p = ProtectedPipeline::compile(&net, &[Scheme::ThreadLevelOneSided; 3]);
+            let input = Matrix::random_dtype(2, 2 * 8 * 8, 31, Dtype::Bf16);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            let first = p.infer(&input, None);
+            for _ in 0..2 {
+                let again = p.infer(&input, None);
+                assert_eq!(bits(&first.output), bits(&again.output));
+            }
+        }
+
+        #[test]
+        fn dtype_mismatched_requests_are_rejected() {
+            let net = conv_net(2).with_dtype(Dtype::Bf16);
+            let p = ProtectedPipeline::compile(&net, &[Scheme::GlobalAbft; 3]);
+            let fp16_input = Matrix::random(2, 2 * 8 * 8, 31);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.infer(&fp16_input, None)
+            }));
+            assert!(r.is_err(), "fp16 request into a bf16 pipeline must panic");
+        }
+
+        #[test]
+        fn faults_in_a_bf16_conv_are_still_detected() {
+            let net = conv_net(2).with_dtype(Dtype::Bf16);
+            let p = ProtectedPipeline::compile(&net, &[Scheme::ThreadLevelOneSided; 3]);
+            let fault = PipelineFault {
+                layer: 1,
+                fault: FaultPlan {
+                    row: 2,
+                    col: 3,
+                    after_step: u64::MAX,
+                    kind: FaultKind::AddValue(200.0),
+                },
+            };
+            let input = Matrix::random_dtype(2, 2 * 8 * 8, 22, Dtype::Bf16);
+            let r = p.infer(&input, Some(fault));
+            assert!(r.fault_detected());
+            assert_eq!(r.detections[0].layer, 1);
         }
 
         #[test]

@@ -19,10 +19,11 @@
 //! ```
 
 use crate::adapt::AdaptConfig;
-use crate::cost::evaluate_layer_with;
+use crate::cost::evaluate_layer_dtype_with;
 use crate::registry::{self, SchemeRegistry};
 use crate::schemes::Scheme;
 use crate::selector::{DeploymentPlan, LayerPlan, ModelPlan, SelectionMode};
+use aiga_dtype::Dtype;
 use aiga_gpu::timing::Calibration;
 use aiga_gpu::{Bound, DeviceSpec, Roofline};
 use aiga_nn::Model;
@@ -37,6 +38,7 @@ pub struct Planner {
     mode: SelectionMode,
     registry: Arc<SchemeRegistry>,
     adapt: Option<AdaptConfig>,
+    dtype: Dtype,
 }
 
 impl Planner {
@@ -52,6 +54,7 @@ impl Planner {
             mode: SelectionMode::Profiled,
             registry: registry::shared().clone(),
             adapt: None,
+            dtype: Dtype::F16,
         }
     }
 
@@ -74,6 +77,16 @@ impl Planner {
     /// Replaces the selection mode (profiled vs. §7.2 analytical).
     pub fn mode(mut self, mode: SelectionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Sets the storage dtype the model will execute in. Narrower
+    /// storage halves (fp8/int8) or keeps (bf16) the bytes moved per
+    /// element, which raises each layer's arithmetic intensity and can
+    /// flip layers near the roofline crossover from thread-level to
+    /// global ABFT — scheme selection is dtype-aware in both modes.
+    pub fn dtype(mut self, dtype: Dtype) -> Self {
+        self.dtype = dtype;
         self
     }
 
@@ -114,6 +127,11 @@ impl Planner {
         &self.candidates
     }
 
+    /// The storage dtype plans are priced for.
+    pub fn storage_dtype(&self) -> Dtype {
+        self.dtype
+    }
+
     /// The scheme registry in use.
     pub fn scheme_registry(&self) -> &Arc<SchemeRegistry> {
         &self.registry
@@ -132,14 +150,15 @@ impl Planner {
             .iter()
             .map(|layer| {
                 let shape = layer.shape.padded_to_mma();
-                let (baseline, timings) = evaluate_layer_with(
+                let (baseline, timings) = evaluate_layer_dtype_with(
                     &self.registry,
                     shape,
                     &self.candidates,
                     &self.device,
                     &self.calib,
+                    self.dtype,
                 );
-                let intensity = layer.arithmetic_intensity();
+                let intensity = shape.arithmetic_intensity(self.dtype.bytes());
                 let chosen = match self.mode {
                     SelectionMode::Profiled => {
                         timings
@@ -295,6 +314,36 @@ mod tests {
             assert!(
                 layer.time_under(Scheme::MultiChecksum(2))
                     >= layer.time_under(Scheme::GlobalAbft) - 1e-15
+            );
+        }
+    }
+
+    #[test]
+    fn fp8_storage_flips_scheme_choice_on_a_crossover_layer() {
+        // A 512³ MLP-Top layer sits below the T4 crossover (CMR ≈ 203)
+        // in fp16 (AI ≈ 171 → thread-level ABFT) but above it in fp8
+        // (AI ≈ 341 → global ABFT): halving the storage width doubles
+        // the arithmetic intensity, so the intensity-guided selector
+        // must flip its choice with the dtype.
+        use aiga_dtype::Dtype;
+        let model = zoo::dlrm_mlp_top(512);
+        for mode in [SelectionMode::Analytical, SelectionMode::Profiled] {
+            let fp16 = Planner::new(DeviceSpec::t4()).mode(mode).plan(&model);
+            let fp8 = Planner::new(DeviceSpec::t4())
+                .mode(mode)
+                .dtype(Dtype::Fp8E4M3)
+                .plan(&model);
+            let flipped = fp16
+                .layers
+                .iter()
+                .zip(&fp8.layers)
+                .any(|(a, b)| a.chosen != b.chosen);
+            assert!(flipped, "{mode:?}: no layer changed scheme under fp8");
+            assert!(
+                fp8.layers.iter().zip(&fp16.layers).all(|(l8, l16)| {
+                    l8.intensity > l16.intensity * 1.9 && l8.intensity < l16.intensity * 2.1
+                }),
+                "fp8 should about double every layer's arithmetic intensity"
             );
         }
     }

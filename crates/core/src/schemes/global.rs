@@ -68,9 +68,9 @@ impl GlobalAbft {
         for k in 0..b.rows {
             #[allow(clippy::needless_range_loop)] // row/abs are indexed in lockstep
             for j in 0..b.cols {
-                let v = b.get(k, j);
-                row[j] = v.to_f32();
-                weight_abs[k] += v.to_f64().abs();
+                let v = b.get_f32(k, j);
+                row[j] = v;
+                weight_abs[k] += (v as f64).abs();
             }
             weight_checksum[k] = pairwise_sum_f32(&row);
         }
@@ -104,9 +104,9 @@ impl GlobalAbft {
         for k in 0..a.cols {
             #[allow(clippy::needless_range_loop)] // col buffer indexed in lockstep
             for i in 0..a.rows {
-                let v = a.get(i, k);
-                scratch.col[i] = v.to_f32();
-                scratch.abs[k] += v.to_f64().abs();
+                let v = a.get_f32(i, k);
+                scratch.col[i] = v;
+                scratch.abs[k] += (v as f64).abs();
             }
             scratch.chk[k] = pairwise_sum_f32(&scratch.col);
         }

@@ -63,7 +63,7 @@ impl MultiChecksumAbft {
         let mut weight_abs = vec![0.0f64; b.rows];
         for k in 0..b.rows {
             for j in 0..b.cols {
-                let v = b.get(k, j).to_f64();
+                let v = b.get_f64(k, j);
                 weight_checksum[k] += v;
                 weight_abs[k] += v.abs();
             }
@@ -110,7 +110,7 @@ impl MultiChecksumAbft {
             let mut u_abs = 0.0f64;
             for i in 0..a.rows {
                 let w = Self::weight(i, r);
-                let v = a.get(i, k).to_f64();
+                let v = a.get_f64(i, k);
                 u += w * v;
                 u_abs += w * v.abs();
             }
@@ -154,7 +154,7 @@ impl MultiChecksumAbft {
         for k in 0..a.cols {
             let mut u = 0.0f64;
             for i in 0..a.rows {
-                u += Self::weight(i, r) * a.get(i, k).to_f64();
+                u += Self::weight(i, r) * a.get_f64(i, k);
             }
             dot += u * self.weight_checksum[k];
         }

@@ -11,7 +11,7 @@
 //! traffic (the §3.5 design principle).
 
 use crate::tolerance::Tolerance;
-use aiga_fp16::F16;
+use aiga_dtype::Dtype;
 use aiga_gpu::engine::{KStep, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
 use aiga_gpu::tiling::MAX_THREAD_MT;
 
@@ -29,6 +29,10 @@ pub struct OneSidedThreadAbft {
     /// Running `Σ_k |At[i][k]| · Σ_j |Bt[k][j]|` for the error bound.
     magnitude: [f64; MAX_THREAD_MT],
     steps: u64,
+    /// Storage dtype of the GEMM being verified, captured per K-step —
+    /// selects the checksum chain's arithmetic ([`Dtype::chain_add`]) and
+    /// its unit roundoff in the detection threshold.
+    dtype: Dtype,
     counters: SchemeCounters,
 }
 
@@ -45,6 +49,7 @@ impl OneSidedThreadAbft {
             abft: [0.0; MAX_THREAD_MT],
             magnitude: [0.0; MAX_THREAD_MT],
             steps: 0,
+            dtype: Dtype::F16,
             counters: SchemeCounters::default(),
         }
     }
@@ -67,28 +72,28 @@ impl ThreadLocalScheme for OneSidedThreadAbft {
 
     fn on_k_step(&mut self, step: &KStep<'_>) {
         let (mt, nt) = (step.mt, step.nt);
+        self.dtype = step.dtype;
         // Row checksums of the Bt chunk, one per k-lane, generated with
-        // FP16 sequential adds (the HADD2 path) — this models FP16
-        // arithmetic, so it consumes the raw fragments; the magnitude
-        // bound reads the engine's pre-decoded values.
-        let mut w = [F16::ZERO; 2];
+        // sequential adds in the dtype's checksum-chain format (the HADD2
+        // path for fp16) — [`Dtype::chain_add`] rounds each partial sum
+        // exactly as the hardware chain would; the magnitude bound reads
+        // the engine's pre-decoded values.
+        let mut w = [0.0f32; 2];
         let mut w_abs = [0.0f64; 2];
         for lane in 0..2 {
-            let row = &step.b[lane * nt..(lane + 1) * nt];
             let row_f32 = &step.b_f32[lane * nt..(lane + 1) * nt];
-            let mut sum = F16::ZERO;
-            for &v in row {
-                sum = sum + v;
-            }
+            let mut sum = 0.0f32;
             for &v in row_f32 {
+                sum = self.dtype.chain_add(sum, v);
                 w_abs[lane] += (v as f64).abs();
             }
             w[lane] = sum;
         }
         // The redundant MMAs: multiply the whole At chunk by the checksum
-        // (FP16 products, FP32 accumulation — same datapath as the MMA).
-        let w0 = w[0].to_f32();
-        let w1 = w[1].to_f32();
+        // (low-precision products, FP32 accumulation — same datapath as
+        // the MMA).
+        let w0 = w[0];
+        let w1 = w[1];
         for i in 0..mt {
             let a0 = step.a_f32[i * 2];
             let a1 = step.a_f32[i * 2 + 1];
@@ -105,13 +110,17 @@ impl ThreadLocalScheme for OneSidedThreadAbft {
         for i in 0..mt {
             let row_sum: f64 = acc[i * nt..(i + 1) * nt].iter().map(|&v| v as f64).sum();
             let residual = (row_sum - self.abft[i] as f64).abs();
-            // FP16 rounds: Nt-term B-checksum per step; FP32 rounds: the
-            // two running accumulations plus the final row sum.
-            let rounds16 = nt as f64;
+            // Low-precision rounds: Nt-term B-checksum per step at the
+            // chain's unit roundoff; FP32 rounds: the two running
+            // accumulations plus the final row sum.
+            let rounds_lp = nt as f64;
             let rounds32 = (2 * self.steps) as f64 + nt as f64;
-            let threshold = self
-                .tolerance
-                .threshold(rounds16, rounds32, self.magnitude[i]);
+            let threshold = self.tolerance.threshold_lp(
+                rounds_lp,
+                self.dtype.chain_unit(),
+                rounds32,
+                self.magnitude[i],
+            );
             if residual > threshold && residual > worst.residual {
                 worst = ThreadVerdict {
                     fault_detected: true,

@@ -7,7 +7,7 @@
 //! what makes it lose to one-sided ABFT in practice (§6.5).
 
 use crate::tolerance::Tolerance;
-use aiga_fp16::F16;
+use aiga_dtype::Dtype;
 use aiga_gpu::engine::{KStep, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
 
 /// Per-thread state of two-sided thread-level ABFT.
@@ -21,6 +21,8 @@ pub struct TwoSidedThreadAbft {
     steps: u64,
     mt: usize,
     nt: usize,
+    /// Storage dtype of the GEMM being verified, captured per K-step.
+    dtype: Dtype,
     counters: SchemeCounters,
 }
 
@@ -39,6 +41,7 @@ impl TwoSidedThreadAbft {
             steps: 0,
             mt: 0,
             nt: 0,
+            dtype: Dtype::F16,
             counters: SchemeCounters::default(),
         }
     }
@@ -62,28 +65,32 @@ impl ThreadLocalScheme for TwoSidedThreadAbft {
         let (mt, nt) = (step.mt, step.nt);
         self.mt = mt;
         self.nt = nt;
-        // Column checksums of At (one per k-lane) in FP16 — models FP16
-        // adds, so reads the raw fragments; the magnitude bounds read
-        // the engine's pre-decoded values instead of re-converting.
-        let mut a_sum = [F16::ZERO; 2];
+        self.dtype = step.dtype;
+        // Column checksums of At (one per k-lane) in the dtype's
+        // checksum-chain format — [`Dtype::chain_add`] rounds each
+        // partial sum exactly as the hardware add chain would; the
+        // magnitude bounds read the engine's pre-decoded values.
+        let mut a_sum = [0.0f32; 2];
         let mut a_abs = [0.0f64; 2];
         for i in 0..mt {
             for lane in 0..2 {
-                a_sum[lane] = a_sum[lane] + step.a[i * 2 + lane];
-                a_abs[lane] += (step.a_f32[i * 2 + lane] as f64).abs();
+                let v = step.a_f32[i * 2 + lane];
+                a_sum[lane] = self.dtype.chain_add(a_sum[lane], v);
+                a_abs[lane] += (v as f64).abs();
             }
         }
-        // Row checksums of Bt (one per k-lane) in FP16.
-        let mut b_sum = [F16::ZERO; 2];
+        // Row checksums of Bt (one per k-lane) in the same chain format.
+        let mut b_sum = [0.0f32; 2];
         let mut b_abs = [0.0f64; 2];
         for lane in 0..2 {
             for j in 0..nt {
-                b_sum[lane] = b_sum[lane] + step.b[lane * nt + j];
-                b_abs[lane] += (step.b_f32[lane * nt + j] as f64).abs();
+                let v = step.b_f32[lane * nt + j];
+                b_sum[lane] = self.dtype.chain_add(b_sum[lane], v);
+                b_abs[lane] += (v as f64).abs();
             }
         }
         // The single redundant MMA across the checksums.
-        self.abft += a_sum[0].to_f32() * b_sum[0].to_f32() + a_sum[1].to_f32() * b_sum[1].to_f32();
+        self.abft += a_sum[0] * b_sum[0] + a_sum[1] * b_sum[1];
         self.magnitude += a_abs[0] * b_abs[0] + a_abs[1] * b_abs[1];
         self.steps += 1;
         self.counters.extra_mmas += 1;
@@ -93,12 +100,17 @@ impl ThreadLocalScheme for TwoSidedThreadAbft {
     fn finalize(&mut self, _ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
         let total: f64 = acc[..mt * nt].iter().map(|&v| v as f64).sum();
         let residual = (total - self.abft as f64).abs();
-        // FP16 rounds: both checksum chains (Mt + Nt terms per step);
-        // FP32 rounds: the running ABFT accumulation plus the MtNt-term
-        // output summation.
-        let rounds16 = (mt + nt) as f64;
+        // Low-precision rounds: both checksum chains (Mt + Nt terms per
+        // step) at the chain's unit roundoff; FP32 rounds: the running
+        // ABFT accumulation plus the MtNt-term output summation.
+        let rounds_lp = (mt + nt) as f64;
         let rounds32 = (2 * self.steps) as f64 + (mt * nt) as f64;
-        let threshold = self.tolerance.threshold(rounds16, rounds32, self.magnitude);
+        let threshold = self.tolerance.threshold_lp(
+            rounds_lp,
+            self.dtype.chain_unit(),
+            rounds32,
+            self.magnitude,
+        );
         ThreadVerdict {
             fault_detected: residual > threshold,
             residual,

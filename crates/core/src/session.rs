@@ -736,6 +736,43 @@ mod tests {
     }
 
     #[test]
+    fn bf16_squeezenet_serves_byte_deterministically_within_tolerance() {
+        use aiga_gpu::engine::Dtype;
+        // Quantized serving end to end: a bf16-compiled SqueezeNet
+        // behind the session's bucket/pad/pool machinery must be
+        // byte-deterministic across repeat requests and track the
+        // network's dtype-aware f64 reference.
+        let s = Session::builder_network(Planner::new(DeviceSpec::t4()), "squeezenet-bf16", |b| {
+            zoo::squeezenet_net(b, 32, 32, 7).with_dtype(Dtype::Bf16)
+        })
+        .buckets([2])
+        .build();
+        let input = Matrix::random_dtype(1, 3 * 32 * 32, 42, Dtype::Bf16);
+        let r1 = s.serve(&input).unwrap();
+        assert_eq!(r1.bucket, 2);
+        assert_eq!(r1.rows, 1);
+        assert!(!r1.report.fault_detected(), "{:?}", r1.report.detections);
+        let r2 = s.serve(&input).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&r1.report.output),
+            bits(&r2.report.output),
+            "bf16 serving must be byte-deterministic"
+        );
+        // Zoo families share weights across batch keys, so the batch-1
+        // network's reference covers the padded bucket-2 serve.
+        let net = zoo::squeezenet_net(1, 32, 32, 7).with_dtype(Dtype::Bf16);
+        let want = net.reference_f64(&input);
+        assert_eq!(r1.report.output.len(), want.len());
+        for (i, (&got, &w)) in r1.report.output.iter().zip(&want).enumerate() {
+            assert!(
+                (got as f64 - w).abs() < 5e-2,
+                "elem {i}: served {got} vs reference {w}"
+            );
+        }
+    }
+
+    #[test]
     fn requests_dispatch_to_the_smallest_fitting_bucket() {
         let s = session();
         assert_eq!(s.bucket_for(1), 8);

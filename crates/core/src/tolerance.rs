@@ -44,8 +44,17 @@ impl Tolerance {
     /// FP16-rounded operations and `rounds32` FP32-rounded operations
     /// over data of total absolute magnitude `magnitude`.
     pub fn threshold(self, rounds16: f64, rounds32: f64, magnitude: f64) -> f64 {
+        self.threshold_lp(rounds16, U16, rounds32, magnitude)
+    }
+
+    /// Generalized threshold: `rounds_lp` low-precision rounding steps at
+    /// unit roundoff `u_lp` (the checksum chain's format — see
+    /// `aiga_dtype::Dtype::chain_unit`) plus `rounds32` FP32 steps over
+    /// magnitude `magnitude`. [`Self::threshold`] is the `u_lp = `[`U16`]
+    /// case; an exact chain passes `u_lp = 0`.
+    pub fn threshold_lp(self, rounds_lp: f64, u_lp: f64, rounds32: f64, magnitude: f64) -> f64 {
         match self {
-            Tolerance::Analytical => (rounds16 * U16 + rounds32 * U32) * magnitude + ABS_FLOOR,
+            Tolerance::Analytical => (rounds_lp * u_lp + rounds32 * U32) * magnitude + ABS_FLOOR,
             Tolerance::Relative(rel) => rel * magnitude + ABS_FLOOR,
             Tolerance::Exact => 0.0,
         }
@@ -54,6 +63,18 @@ impl Tolerance {
     /// Compares a residual against the bound; `true` means "fault".
     pub fn flags(self, residual: f64, rounds16: f64, rounds32: f64, magnitude: f64) -> bool {
         residual > self.threshold(rounds16, rounds32, magnitude)
+    }
+
+    /// [`Self::flags`] at an explicit low-precision unit roundoff.
+    pub fn flags_lp(
+        self,
+        residual: f64,
+        rounds_lp: f64,
+        u_lp: f64,
+        rounds32: f64,
+        magnitude: f64,
+    ) -> bool {
+        residual > self.threshold_lp(rounds_lp, u_lp, rounds32, magnitude)
     }
 }
 

@@ -154,3 +154,62 @@ fn fast_and_hooked_walks_are_byte_identical() {
         }
     }
 }
+
+/// (dtype, m, n, k, seed, clean hash, faulted hash) — the non-fp16
+/// precision pins: one bf16 and one fp8 shape, hashed by the scalar
+/// reference walk over dtype-decoded operands. One scheme per family
+/// (thread-level, replication, global) must reproduce them, proving
+/// the decoded-f32 panel currency keeps every family's math identical
+/// across storage formats.
+const GOLDEN_DTYPE: &[(aiga_gpu::engine::Dtype, usize, usize, usize, u64, u64, u64)] = &[
+    (
+        aiga_gpu::engine::Dtype::Bf16,
+        48,
+        40,
+        56,
+        1034,
+        0xbfeb79d3dbe6b11a,
+        0xe16798225d9fdb0e,
+    ),
+    (
+        aiga_gpu::engine::Dtype::Fp8E4M3,
+        32,
+        32,
+        32,
+        1017,
+        0x2da8c99718dfffac,
+        0x29ac2c01261e00a5,
+    ),
+];
+
+#[test]
+fn every_scheme_family_reproduces_the_canonical_outputs_per_dtype() {
+    const FAMILY_REPS: [Scheme; 4] = [
+        Scheme::Unprotected,
+        Scheme::ThreadLevelTwoSided,
+        Scheme::ReplicationTraditional,
+        Scheme::GlobalAbft,
+    ];
+    let reg = registry::shared();
+    for &(dtype, m, n, k, seed, clean_hash, dirty_hash) in GOLDEN_DTYPE {
+        let a = Matrix::random_dtype(m, k, seed, dtype);
+        let b = Matrix::random_dtype(k, n, seed + 1, dtype);
+        let engine = GemmEngine::with_default_tiling(GemmShape::new(m as u64, n as u64, k as u64));
+        let fault = mid_fault(m, n);
+        for &scheme in &FAMILY_REPS {
+            let bound = reg.resolve(scheme).bind(&b);
+            let clean = bound.run(&engine, &a, &[]);
+            assert_eq!(
+                fnv1a_of_c(&clean.output.c),
+                clean_hash,
+                "{scheme} clean {dtype} output drifted on {m}x{n}x{k}"
+            );
+            let dirty = bound.run(&engine, &a, &[fault]);
+            assert_eq!(
+                fnv1a_of_c(&dirty.output.c),
+                dirty_hash,
+                "{scheme} faulted {dtype} output drifted on {m}x{n}x{k}"
+            );
+        }
+    }
+}

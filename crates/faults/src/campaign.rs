@@ -4,7 +4,7 @@
 use crate::model::FaultModel;
 use aiga_core::adapt::Observation;
 use aiga_core::{ProtectedGemm, Scheme};
-use aiga_gpu::engine::{FaultPlan, Matrix, Workspace};
+use aiga_gpu::engine::{Dtype, FaultPlan, Matrix, Workspace};
 use aiga_gpu::GemmShape;
 
 /// Classification of one injection trial.
@@ -111,6 +111,7 @@ pub struct Trial {
 pub struct Campaign {
     shape: GemmShape,
     scheme: Scheme,
+    dtype: Dtype,
     gemm: ProtectedGemm,
     clean: Vec<f32>,
     model: FaultModel,
@@ -118,15 +119,26 @@ pub struct Campaign {
 }
 
 impl Campaign {
-    /// Prepares a campaign on a deterministic random problem.
+    /// Prepares a campaign on a deterministic random problem stored in
+    /// fp16 (equivalent to [`Self::new_dtype`] with [`Dtype::F16`]).
     pub fn new(shape: GemmShape, scheme: Scheme, seed: u64) -> Self {
-        let a = Matrix::random(shape.m as usize, shape.k as usize, seed);
-        let b = Matrix::random(shape.k as usize, shape.n as usize, seed + 1);
+        Self::new_dtype(shape, scheme, seed, Dtype::F16)
+    }
+
+    /// Prepares a campaign whose operands are quantized to `dtype` —
+    /// the per-precision coverage sweep. The pseudo-random sample
+    /// stream is shared across dtypes (and byte-identical to
+    /// [`Self::new`] for [`Dtype::F16`]), so coverage differences
+    /// between precisions reflect the format, not the problem.
+    pub fn new_dtype(shape: GemmShape, scheme: Scheme, seed: u64, dtype: Dtype) -> Self {
+        let a = Matrix::random_dtype(shape.m as usize, shape.k as usize, seed, dtype);
+        let b = Matrix::random_dtype(shape.k as usize, shape.n as usize, seed + 1, dtype);
         let gemm = ProtectedGemm::new(a, b, scheme);
         let clean = gemm.run().output.c.clone();
         Campaign {
             shape,
             scheme,
+            dtype,
             gemm,
             clean,
             model: FaultModel::new(shape),
@@ -152,6 +164,11 @@ impl Campaign {
     /// The GEMM shape under test.
     pub fn shape(&self) -> GemmShape {
         self.shape
+    }
+
+    /// The storage dtype the operands are quantized to.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
     }
 
     /// Classifies one injected fault (convenience over
@@ -329,6 +346,55 @@ mod tests {
         // High exponent bits, by contrast, are caught whenever they land.
         let (_, stats30) = sweep[30];
         assert_eq!(stats30.sdc, 0, "{stats30:?}");
+    }
+
+    #[test]
+    fn strongest_schemes_have_zero_sdc_in_every_dtype() {
+        // The per-precision acceptance sweep: under each scheme
+        // family's strongest member, no injected fault may corrupt the
+        // output silently — in fp16, bf16, or fp8. Replication compares
+        // exactly, so it faces unrestricted random flips; the
+        // tolerance-based ABFT families face additive faults well above
+        // every dtype's detection floor (a miss would be a real SDC,
+        // not sub-threshold rounding noise — bf16's coarser grid raises
+        // its floor ~4x over fp16's, so a fixed large magnitude keeps
+        // the oracle meaningful across precisions).
+        let strongest = [
+            Scheme::ReplicationTraditional, // replication family
+            Scheme::ThreadLevelTwoSided,    // thread-level ABFT family
+            Scheme::MultiChecksum(3),       // global ABFT family
+        ];
+        for dtype in [Dtype::F16, Dtype::Bf16, Dtype::Fp8E4M3] {
+            for scheme in strongest {
+                let c = Campaign::new_dtype(shape(), scheme, 31, dtype);
+                assert_eq!(c.dtype(), dtype);
+                let stats = if scheme == Scheme::ReplicationTraditional {
+                    c.run_bit_flips(60, 32)
+                } else {
+                    let m = FaultModel::new(shape());
+                    let mut rng = FaultModel::rng(33);
+                    let faults: Vec<_> = (0..40).map(|_| m.additive(64.0, &mut rng)).collect();
+                    c.run_faults(&faults)
+                };
+                assert_eq!(stats.sdc, 0, "{dtype} {scheme:?}: {stats:?}");
+                assert_eq!(stats.false_positives, 0, "{dtype} {scheme:?}: {stats:?}");
+                assert!(stats.detected > 0, "{dtype} {scheme:?}: {stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_dtype_campaign_matches_the_legacy_constructor() {
+        // `new_dtype(.., F16)` must grade every trial exactly as `new`
+        // does: same operand bytes, same verdicts, same outcomes.
+        let a = Campaign::new(shape(), Scheme::ThreadLevelOneSided, 21);
+        let b = Campaign::new_dtype(shape(), Scheme::ThreadLevelOneSided, 21, Dtype::F16);
+        let m = FaultModel::new(shape());
+        let mut rng = FaultModel::rng(22);
+        for _ in 0..30 {
+            let f = m.random_bit_flip(&mut rng);
+            assert_eq!(a.classify(f), b.classify(f), "{f:?}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`crate::engine::Workspace`] keeps the destination buffers warm
 //! across runs, so steady-state staging never touches the heap.
 
+use aiga_dtype::Dtype;
 use aiga_fp16::F16;
 use aiga_util::rng::Rng64;
 
@@ -44,9 +45,16 @@ pub struct Matrix {
     /// Number of columns.
     pub cols: usize,
     /// Element storage, `rows * cols` elements, addressed per `layout`.
+    ///
+    /// Elements are opaque 16-bit *storage codes* interpreted per
+    /// `dtype`; 8-bit formats (fp8, int8) occupy the low byte. For the
+    /// default [`Dtype::F16`] the codes are literal `F16` values, so the
+    /// pre-dtype engine is byte-for-byte this type with `dtype = F16`.
     pub data: Vec<F16>,
     /// How `(row, col)` maps into `data`.
     pub layout: MatrixLayout,
+    /// The storage format `data`'s codes decode through.
+    pub dtype: Dtype,
 }
 
 impl Matrix {
@@ -57,7 +65,16 @@ impl Matrix {
             cols,
             data: vec![F16::ZERO; rows * cols],
             layout: MatrixLayout::RowMajor,
+            dtype: Dtype::F16,
         }
+    }
+
+    /// Re-tags the storage format (every format encodes zero as `0x0000`
+    /// and existing codes are reinterpreted, so this is only meaningful
+    /// on fresh/zeroed matrices or codes already produced by `dtype`).
+    pub fn with_dtype(mut self, dtype: Dtype) -> Self {
+        self.dtype = dtype;
+        self
     }
 
     /// Builds a matrix element-wise from `f(row, col)`.
@@ -73,6 +90,7 @@ impl Matrix {
             cols,
             data,
             layout: MatrixLayout::RowMajor,
+            dtype: Dtype::F16,
         }
     }
 
@@ -87,6 +105,7 @@ impl Matrix {
             cols: channels,
             data,
             layout: MatrixLayout::NchwLowered { spatial },
+            dtype: Dtype::F16,
         }
     }
 
@@ -109,10 +128,37 @@ impl Matrix {
         Self::from_fn(rows, cols, |_, _| F16::from_f32(rng.range_f32(-2.0, 2.0)))
     }
 
-    /// Element accessor (layout-aware).
+    /// Like [`Self::random`], but quantizing the same pseudo-random
+    /// sample stream into `dtype`'s codes — for `Dtype::F16` this is
+    /// byte-identical to [`Self::random`], so cross-dtype campaigns and
+    /// golden tests compare runs over the same underlying values.
+    pub fn random_dtype(rows: usize, cols: usize, seed: u64, dtype: Dtype) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut m = Self::from_fn(rows, cols, |_, _| {
+            F16(dtype.encode(rng.range_f32(-2.0, 2.0)))
+        });
+        m.dtype = dtype;
+        m
+    }
+
+    /// Element accessor (layout-aware). For non-F16 dtypes the returned
+    /// value is the raw storage *code* in an `F16` wrapper — use
+    /// [`Self::get_f32`]/[`Self::get_f64`] for the decoded value.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> F16 {
         self.data[self.index(r, c)]
+    }
+
+    /// Decoded element value (layout- and dtype-aware).
+    #[inline]
+    pub fn get_f32(&self, r: usize, c: usize) -> f32 {
+        self.dtype.decode(self.data[self.index(r, c)].to_bits())
+    }
+
+    /// Decoded element value in f64 (exact widening of [`Self::get_f32`]).
+    #[inline]
+    pub fn get_f64(&self, r: usize, c: usize) -> f64 {
+        self.get_f32(r, c) as f64
     }
 
     /// Element mutator (layout-aware).
@@ -141,6 +187,7 @@ impl Matrix {
         out.rows = rows;
         out.cols = cols;
         out.layout = MatrixLayout::RowMajor;
+        out.dtype = self.dtype;
         out.data.clear();
         out.data.resize(rows * cols, F16::ZERO);
         if let MatrixLayout::NchwLowered { .. } = self.layout {
@@ -177,6 +224,7 @@ impl Matrix {
             cols: self.cols,
             data: self.data[start * self.cols..(start + rows) * self.cols].to_vec(),
             layout: MatrixLayout::RowMajor,
+            dtype: self.dtype,
         }
     }
 
@@ -194,21 +242,46 @@ impl Matrix {
             // Gather the lowered view channel-plane by channel-plane:
             // for a fixed (image, channel) the spatial run is contiguous
             // in the source and strided by `cols` in the destination.
-            for n in 0..self.rows / spatial {
-                for c in 0..self.cols {
-                    let src = &self.data[(n * self.cols + c) * spatial..][..spatial];
-                    for (s, v) in src.iter().enumerate() {
-                        out[(n * spatial + s) * cols + c] = v.to_f32();
+            if self.dtype == Dtype::F16 {
+                for n in 0..self.rows / spatial {
+                    for c in 0..self.cols {
+                        let src = &self.data[(n * self.cols + c) * spatial..][..spatial];
+                        for (s, v) in src.iter().enumerate() {
+                            out[(n * spatial + s) * cols + c] = v.to_f32();
+                        }
+                    }
+                }
+            } else {
+                let d = self.dtype;
+                for n in 0..self.rows / spatial {
+                    for c in 0..self.cols {
+                        let src = &self.data[(n * self.cols + c) * spatial..][..spatial];
+                        for (s, v) in src.iter().enumerate() {
+                            out[(n * spatial + s) * cols + c] = d.decode(v.to_bits());
+                        }
                     }
                 }
             }
             return;
         }
-        for r in 0..self.rows {
-            let src = &self.data[r * self.cols..(r + 1) * self.cols];
-            let dst = &mut out[r * cols..r * cols + self.cols];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d = s.to_f32();
+        // The dtype branch stays outside the element loops; F16 keeps
+        // its original table-load loop untouched.
+        if self.dtype == Dtype::F16 {
+            for r in 0..self.rows {
+                let src = &self.data[r * self.cols..(r + 1) * self.cols];
+                let dst = &mut out[r * cols..r * cols + self.cols];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = s.to_f32();
+                }
+            }
+        } else {
+            let dt = self.dtype;
+            for r in 0..self.rows {
+                let src = &self.data[r * self.cols..(r + 1) * self.cols];
+                let dst = &mut out[r * cols..r * cols + self.cols];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = dt.decode(s.to_bits());
+                }
             }
         }
     }
@@ -231,27 +304,38 @@ impl Matrix {
         );
         out.clear();
         out.resize(rows * cols, 0.0);
-        for r in 0..self.rows {
-            let src = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (c, v) in src.iter().enumerate() {
-                out[c * rows + r] = v.to_f32();
+        if self.dtype == Dtype::F16 {
+            for r in 0..self.rows {
+                let src = &self.data[r * self.cols..(r + 1) * self.cols];
+                for (c, v) in src.iter().enumerate() {
+                    out[c * rows + r] = v.to_f32();
+                }
+            }
+        } else {
+            let dt = self.dtype;
+            for r in 0..self.rows {
+                let src = &self.data[r * self.cols..(r + 1) * self.cols];
+                for (c, v) in src.iter().enumerate() {
+                    out[c * rows + r] = dt.decode(v.to_bits());
+                }
             }
         }
     }
 }
 
-/// Reference GEMM in FP64 (exact for FP16 inputs up to K ≈ 2^40 terms).
+/// Reference GEMM in FP64, decoding each operand through its dtype
+/// (exact for 16-bit-or-narrower inputs up to K ≈ 2^40 terms).
 pub fn gemm_reference_f64(a: &Matrix, b: &Matrix) -> Vec<f64> {
     assert_eq!(a.cols, b.rows);
     let mut c = vec![0.0f64; a.rows * b.cols];
     for i in 0..a.rows {
         for kk in 0..a.cols {
-            let av = a.get(i, kk).to_f64();
+            let av = a.get_f64(i, kk);
             if av == 0.0 {
                 continue;
             }
             for j in 0..b.cols {
-                c[i * b.cols + j] += av * b.get(kk, j).to_f64();
+                c[i * b.cols + j] += av * b.get_f64(kk, j);
             }
         }
     }

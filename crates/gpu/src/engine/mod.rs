@@ -56,6 +56,7 @@ pub mod scheme;
 pub mod simd;
 mod walk;
 
+pub use aiga_dtype::Dtype;
 pub use fault_inject::{Detection, FaultKind, FaultPlan};
 pub use matrix::{gemm_reference_f64, Matrix, MatrixLayout};
 pub use panels::{CheckScratch, Workspace};

@@ -18,6 +18,7 @@ use super::matrix::Matrix;
 use super::scheme::ThreadCtx;
 use super::{simd, EngineCounters, GemmOutput};
 use crate::tiling::TilingConfig;
+use aiga_dtype::Dtype;
 use aiga_fp16::F16;
 
 /// Operand panels staged once per engine run.
@@ -43,6 +44,9 @@ pub(crate) struct Panels {
     pub(crate) b_pack: Vec<f32>,
     /// Shared inner dimension (the engine's padded K).
     pub(crate) k: usize,
+    /// Storage format of the staged operands (both must agree); K-step
+    /// fragments replayed to schemes carry this tag.
+    pub(crate) dtype: Dtype,
 }
 
 impl Panels {
@@ -62,6 +66,8 @@ impl Panels {
         cov_n: usize,
         k: usize,
     ) {
+        assert_eq!(a.dtype, b.dtype, "GEMM operands must share one dtype");
+        self.dtype = a.dtype;
         self.staged16 = needs16;
         if needs16 {
             a.copy_padded_into(cov_m, k, &mut self.a16);

@@ -7,6 +7,7 @@
 //! principle) and hands it the final accumulators for the thread-local
 //! check.
 
+use aiga_dtype::Dtype;
 use aiga_fp16::F16;
 
 /// Identity of a simulated thread and the global rows/columns of `C` its
@@ -68,20 +69,22 @@ impl SchemeCounters {
 /// The fragments one simulated thread loaded for one K-step, as handed
 /// to [`ThreadLocalScheme::on_k_step`].
 ///
-/// `a`/`b` are the raw FP16 fragments: `a` is `Mt × 2` row-major (rows
+/// `a`/`b` are the raw storage-code fragments (16-bit lanes; see
+/// [`crate::engine::Matrix::data`]): `a` is `Mt × 2` row-major (rows
 /// ordered as `ctx.rows`), `b` is `2 × Nt` row-major (columns ordered as
 /// `ctx.cols`). `a_f32`/`b_f32` are the same fragments pre-decoded to
-/// `f32` by the engine — decoding FP16 is exact in `f32`, so schemes
-/// that only need the numeric values (replication's shadow MMAs, ABFT's
-/// redundant accumulations, magnitude tracking) should read these
-/// instead of re-converting the raw bits the engine already decoded.
-/// Schemes that model FP16 *arithmetic* (sequential HADD checksum
-/// chains) still need the raw fragments.
+/// `f32` by the engine — decoding is exact for every storage format, so
+/// schemes that only need the numeric values (replication's shadow MMAs,
+/// ABFT's redundant accumulations, magnitude tracking) should read these
+/// instead of re-decoding the codes the engine already decoded. Schemes
+/// that model low-precision checksum *arithmetic* round through
+/// [`Dtype::chain_add`] on the decoded views, using `dtype` to pick the
+/// chain's hardware precision.
 #[derive(Clone, Copy, Debug)]
 pub struct KStep<'a> {
-    /// Raw FP16 `Mt × 2` A-fragment.
+    /// Raw `Mt × 2` A-fragment storage codes.
     pub a: &'a [F16],
-    /// Raw FP16 `2 × Nt` B-fragment.
+    /// Raw `2 × Nt` B-fragment storage codes.
     pub b: &'a [F16],
     /// Pre-decoded `a` (same layout, exact values).
     pub a_f32: &'a [f32],
@@ -91,6 +94,8 @@ pub struct KStep<'a> {
     pub mt: usize,
     /// Columns of the thread's accumulator tile.
     pub nt: usize,
+    /// Storage format of the staged operands.
+    pub dtype: Dtype,
 }
 
 /// A redundancy scheme living inside the thread-level inner loop.

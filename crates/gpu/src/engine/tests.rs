@@ -292,6 +292,44 @@ fn block_parallel_stripes_are_byte_identical_to_sequential() {
 }
 
 #[test]
+fn random_dtype_f16_is_byte_identical_to_random() {
+    let plain = Matrix::random(9, 13, 123);
+    let tagged = Matrix::random_dtype(9, 13, 123, Dtype::F16);
+    assert_eq!(plain.data, tagged.data);
+    assert_eq!(tagged.dtype, Dtype::F16);
+}
+
+#[test]
+fn every_dtype_runs_the_engine_against_its_f64_reference() {
+    // Decoded-f32 panels are the common currency: each storage format's
+    // GEMM must match the dtype-aware f64 reference to FP32-accumulation
+    // error, on both an aligned and a padded shape.
+    for dtype in Dtype::ALL {
+        for &(m, n, k, seed) in &[(32usize, 32usize, 32usize, 60u64), (17, 9, 11, 61)] {
+            let a = Matrix::random_dtype(m, k, seed, dtype);
+            let b = Matrix::random_dtype(k, n, seed + 1, dtype);
+            let out = engine_for(m as u64, n as u64, k as u64).run(&a, &b, || NoScheme, None);
+            let reference = gemm_reference_f64(&a, &b);
+            for (i, (&got, &want)) in out.c.iter().zip(&reference).enumerate() {
+                assert!(
+                    (got as f64 - want).abs() < 1e-3,
+                    "{dtype} element {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_dtype_operands_are_rejected() {
+    let a = Matrix::random_dtype(16, 16, 1, Dtype::Bf16);
+    let b = Matrix::random_dtype(16, 16, 2, Dtype::Fp8E4M3);
+    let eng = engine_for(16, 16, 16);
+    let res = std::panic::catch_unwind(|| eng.run(&a, &b, || NoScheme, None));
+    assert!(res.is_err(), "mismatched operand dtypes must panic");
+}
+
+#[test]
 fn workspace_take_output_leaves_a_reusable_workspace() {
     let a = Matrix::random(16, 16, 50);
     let b = Matrix::random(16, 16, 51);

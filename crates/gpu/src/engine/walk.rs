@@ -277,6 +277,7 @@ fn replay_k_steps<S: ThreadLocalScheme>(
             b_f32: bf_chunk,
             mt,
             nt,
+            dtype: panels.dtype,
         });
     }
 }

@@ -58,18 +58,35 @@ impl GemmShape {
         2 * self.m * self.n * self.k
     }
 
-    /// Minimum data transferred to/from memory in FP16: read `A` and `B`
-    /// once, write `C` once — the numerator the paper uses when reporting
-    /// arithmetic intensities.
+    /// Minimum data transferred to/from memory at `elem_bytes` bytes per
+    /// element: read `A` and `B` once, write `C` once. Storage dtypes
+    /// narrower than fp16 halve the operand terms, which is what moves
+    /// the intensity frontier (the `C` write-back stays at the storage
+    /// width too: quantized serving writes quantized activations).
+    pub fn min_bytes(self, elem_bytes: u64) -> u64 {
+        elem_bytes * (self.m * self.k + self.k * self.n + self.m * self.n)
+    }
+
+    /// Minimum data transferred to/from memory in FP16 — the numerator
+    /// the paper uses when reporting arithmetic intensities.
     pub fn min_bytes_fp16(self) -> u64 {
-        FP16_BYTES * (self.m * self.k + self.k * self.n + self.m * self.n)
+        self.min_bytes(FP16_BYTES)
+    }
+
+    /// Arithmetic intensity (FLOPs per byte) at `elem_bytes` bytes per
+    /// element, computed on the padded shape as the paper reports it.
+    /// Halving the storage width doubles a layer's intensity, shifting
+    /// where it crosses a device's compute/memory ratio — and therefore
+    /// which ABFT scheme the intensity-guided selector picks.
+    pub fn arithmetic_intensity(self, elem_bytes: u64) -> f64 {
+        let p = self.padded_to_mma();
+        p.flops() as f64 / p.min_bytes(elem_bytes) as f64
     }
 
     /// FP16 arithmetic intensity (FLOPs per byte), the left-hand side of
-    /// Eq. 1, computed on the padded shape exactly as the paper reports it.
+    /// Eq. 1.
     pub fn arithmetic_intensity_fp16(self) -> f64 {
-        let p = self.padded_to_mma();
-        p.flops() as f64 / p.min_bytes_fp16() as f64
+        self.arithmetic_intensity(FP16_BYTES)
     }
 
     /// Number of `m16n8k8` MMA instructions a kernel issues for this

@@ -117,6 +117,20 @@ impl KernelProfile {
         Self::baseline_with_tiling(shape, tiling, device, calib)
     }
 
+    /// [`Self::baseline`] with operands stored at `elem_bytes` bytes per
+    /// element: same compute, scaled DRAM traffic. This is how narrower
+    /// storage dtypes (fp8/int8 at 1 B) shift a layer toward the
+    /// compute-bound side of the roofline.
+    pub fn baseline_dtype(
+        shape: GemmShape,
+        device: &DeviceSpec,
+        calib: &Calibration,
+        elem_bytes: u64,
+    ) -> Self {
+        let tiling = TilingConfig::select(shape, device);
+        Self::baseline_with_tiling_dtype(shape, tiling, device, calib, elem_bytes)
+    }
+
     /// Baseline profile with an explicit tiling (used by sweeps that hold
     /// tiling fixed across schemes).
     pub fn baseline_with_tiling(
@@ -124,6 +138,17 @@ impl KernelProfile {
         tiling: TilingConfig,
         device: &DeviceSpec,
         calib: &Calibration,
+    ) -> Self {
+        Self::baseline_with_tiling_dtype(shape, tiling, device, calib, crate::shape::FP16_BYTES)
+    }
+
+    /// [`Self::baseline_with_tiling`] at an explicit storage width.
+    pub fn baseline_with_tiling_dtype(
+        shape: GemmShape,
+        tiling: TilingConfig,
+        device: &DeviceSpec,
+        calib: &Calibration,
+        elem_bytes: u64,
     ) -> Self {
         let p = shape.padded_to_mma();
         // Tensor cores execute the padded/tiled problem: count whole MMA
@@ -139,7 +164,7 @@ impl KernelProfile {
             tiling,
             tc_flops,
             alu_ops,
-            dram_bytes: traffic::gemm_dram_bytes(p, &tiling, device),
+            dram_bytes: traffic::gemm_dram_bytes_dtype(p, &tiling, device, elem_bytes),
             extra_regs_per_thread: 0,
             tail_s: 0.0,
             aux_kernels: Vec::new(),

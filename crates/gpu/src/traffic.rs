@@ -16,11 +16,24 @@ use crate::tiling::TilingConfig;
 /// Estimated DRAM bytes moved by one FP16 GEMM kernel (reads + the FP16
 /// store of `C`).
 pub fn gemm_dram_bytes(shape: GemmShape, tiling: &TilingConfig, device: &DeviceSpec) -> f64 {
+    gemm_dram_bytes_dtype(shape, tiling, device, FP16_BYTES)
+}
+
+/// Estimated DRAM bytes moved by one GEMM kernel whose operands (and
+/// `C` store) are `elem_bytes` wide — the storage-dtype-aware traffic
+/// model. Narrower storage shrinks the operand working set, which also
+/// relieves the L2-pressure reread term.
+pub fn gemm_dram_bytes_dtype(
+    shape: GemmShape,
+    tiling: &TilingConfig,
+    device: &DeviceSpec,
+    elem_bytes: u64,
+) -> f64 {
     let p = shape.padded_to_mma();
     let (gm, gn) = tiling.grid(p);
-    let a_bytes = (p.m * p.k * FP16_BYTES) as f64;
-    let b_bytes = (p.k * p.n * FP16_BYTES) as f64;
-    let c_bytes = (p.m * p.n * FP16_BYTES) as f64;
+    let a_bytes = (p.m * p.k * elem_bytes) as f64;
+    let b_bytes = (p.k * p.n * elem_bytes) as f64;
+    let c_bytes = (p.m * p.n * elem_bytes) as f64;
 
     // How many times the operand working set overflows L2 determines how
     // much re-reading the cache fails to absorb. CUTLASS's block swizzle

@@ -25,6 +25,7 @@
 use crate::conv::{conv_reference_f64, ConvParams, Tensor};
 use crate::layer::{conv_out, LinearLayer};
 use crate::model::Model;
+use aiga_dtype::Dtype;
 use aiga_fp16::F16;
 use aiga_gpu::engine::Matrix;
 
@@ -144,6 +145,11 @@ pub struct Network {
     /// Nodes in execution order; the last node's output is the
     /// network's output.
     pub nodes: Vec<Node>,
+    /// Storage dtype the network executes in: weights are quantized to
+    /// this format's value grid and the compiled executor stores
+    /// inter-node activations as its codes. Builders produce fp16
+    /// networks; convert with [`Network::with_dtype`].
+    pub dtype: Dtype,
 }
 
 fn features(dims: (usize, usize, usize)) -> usize {
@@ -151,6 +157,48 @@ fn features(dims: (usize, usize, usize)) -> usize {
 }
 
 impl Network {
+    /// Re-targets the network to a storage dtype: every conv/fc weight
+    /// is snapped to the dtype's value grid (encode → decode, kept in
+    /// the FP16 weight containers — every fp8/int8 value and every
+    /// normal-range bf16 value is exactly representable in fp16, so the
+    /// snap is lossless re-quantization, not double rounding). The
+    /// compiled executor re-encodes the snapped values into raw dtype
+    /// codes, and [`Network::reference_f64`] quantizes activations on
+    /// the same grid, so the two stay within low-precision tolerance of
+    /// each other for every dtype.
+    pub fn with_dtype(mut self, dtype: Dtype) -> Self {
+        if self.dtype == dtype {
+            return self;
+        }
+        let snap = |v: F16| F16::from_f32(dtype.decode(dtype.encode(v.to_f32())));
+        for node in &mut self.nodes {
+            match &mut node.op {
+                NodeOp::Conv { weights, .. } => {
+                    for v in &mut weights.data {
+                        *v = snap(*v);
+                    }
+                }
+                NodeOp::Fc { weights, .. } => {
+                    for v in &mut weights.data {
+                        *v = snap(*v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.dtype = dtype;
+        self
+    }
+
+    /// Quantizes one activation value onto the network dtype's grid,
+    /// through f32 exactly as the executor's write-back path rounds.
+    fn quantize(&self, v: f64) -> F16 {
+        match self.dtype {
+            Dtype::F16 => F16::from_f32(v as f32),
+            d => F16::from_f32(d.decode(d.encode(v as f32))),
+        }
+    }
+
     /// Flattened input feature count (`C·H·W` — one request row).
     pub fn input_features(&self) -> usize {
         features(self.input_dims)
@@ -224,12 +272,24 @@ impl Network {
         assert_eq!(input.cols, self.input_features(), "input feature width");
         let batch = input.rows;
         let (ic, ih, iw) = self.input_dims;
+        // Dtype-coded inputs (e.g. a bf16 request matrix) are decoded
+        // into the f16 value domain the reference tensors use; fp16
+        // inputs pass through untouched.
+        let input_data = if input.dtype == Dtype::F16 {
+            input.data.clone()
+        } else {
+            input
+                .data
+                .iter()
+                .map(|v| F16::from_f32(input.dtype.decode(v.to_bits())))
+                .collect()
+        };
         let input_t = Tensor {
             batch,
             channels: ic,
             height: ih,
             width: iw,
-            data: input.data.clone(),
+            data: input_data,
         };
         let mut vals: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
         let last = self.nodes.len() - 1;
@@ -348,10 +408,7 @@ impl Network {
                 if keep_raw {
                     return raw;
                 }
-                return raw
-                    .iter()
-                    .map(|&v| F16::from_f32(v as f32).to_f64())
-                    .collect();
+                return raw.iter().map(|&v| self.quantize(v).to_f64()).collect();
             }
             // Quantize through f32 exactly as the executor writes back.
             vals.push(Tensor {
@@ -359,7 +416,7 @@ impl Network {
                 channels: oc,
                 height: oh,
                 width: ow,
-                data: raw.iter().map(|&v| F16::from_f32(v as f32)).collect(),
+                data: raw.iter().map(|&v| self.quantize(v)).collect(),
             });
         }
         unreachable!("network has at least one node");
@@ -645,6 +702,7 @@ impl NetworkBuilder {
             batch: self.batch,
             input_dims: self.input_dims,
             nodes: self.nodes,
+            dtype: Dtype::F16,
         };
         assert!(
             net.gemm_count() >= 1,

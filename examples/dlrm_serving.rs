@@ -49,6 +49,42 @@ fn main() {
         }
     }
 
+    // The storage dtype is a planner axis too: fewer bytes per element
+    // raise every layer's arithmetic intensity, so the same model can
+    // cross the compute-bound threshold and flip layers from
+    // thread-level schemes to global ABFT. Print the scheme table the
+    // planner chooses at each precision.
+    {
+        let model = zoo::dlrm_mlp_top(512);
+        let dtypes = [Dtype::F16, Dtype::Bf16, Dtype::Fp8E4M3, Dtype::Int8];
+        let plans: Vec<_> = dtypes
+            .iter()
+            .map(|&d| Planner::new(DeviceSpec::t4()).dtype(d).plan(&model))
+            .collect();
+        println!(
+            "{} @batch 512, scheme choice per storage dtype:",
+            model.name
+        );
+        print!("  {:8} {:>16}", "layer", "shape");
+        for d in &dtypes {
+            print!("  {:>22}", d.to_string());
+        }
+        println!();
+        for i in 0..plans[0].layers.len() {
+            print!(
+                "  {:8} {:>16}",
+                plans[0].layers[i].name,
+                plans[0].layers[i].shape.to_string()
+            );
+            for plan in &plans {
+                let l = &plan.layers[i];
+                print!("  {:>13} (AI {:>5.0})", l.chosen.label(), l.intensity);
+            }
+            println!();
+        }
+        println!();
+    }
+
     // Serving: one session (three batch buckets, lazily planned), one
     // concurrent server in front of it. The coalesce window lets the
     // dynamic batcher merge requests that arrive close together into a

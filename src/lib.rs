@@ -152,6 +152,34 @@
 //! assert_eq!(stats.worker_restarts, 0);
 //! ```
 //!
+//! Serve a *quantized* model: convert any zoo network to a storage
+//! dtype (bf16 here; fp8-e4m3 and int8 work the same way) and the
+//! whole stack follows — the planner prices the narrower format's
+//! higher arithmetic intensity (which can flip layers between
+//! thread-level and global ABFT), the executor carries the format's
+//! codes with decoded-f32 panels feeding the same protected kernels,
+//! and serving stays byte-deterministic:
+//!
+//! ```
+//! use aiga::prelude::*;
+//!
+//! let session = Session::builder_network(
+//!     Planner::new(DeviceSpec::t4()),
+//!     "resnet-block-bf16",
+//!     |b| zoo::resnet_block_net(b, 8, 8, 7).with_dtype(Dtype::Bf16),
+//! )
+//! .buckets([2])
+//! .build();
+//!
+//! // Requests must arrive in the pipeline's storage dtype.
+//! let input = Matrix::random_dtype(1, 16 * 8 * 8, 42, Dtype::Bf16);
+//! let a = session.serve(&input).unwrap();
+//! let b = session.serve(&input).unwrap();
+//! assert!(!a.report.fault_detected());
+//! let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+//! assert_eq!(bits(&a.report.output), bits(&b.report.output)); // byte-deterministic
+//! ```
+//!
 //! Go from detection to *correction*: a recovery session localizes a
 //! flagged fault (column / row / lane, per scheme), recomputes only the
 //! implicated slice mid-pass, and re-verifies; a server can
@@ -177,12 +205,14 @@
 //! ```
 //!
 //! The facade re-exports the workspace sub-crates: [`fp16`] (software
-//! half precision and `m16n8k8` MMA semantics), [`gpu`] (devices,
-//! roofline, tiling, functional engine, timing), [`nn`] (layer lowering
-//! and the model zoo), [`core`] (the paper's contribution), [`faults`]
+//! half precision and `m16n8k8` MMA semantics), [`dtype`] (the
+//! f16/bf16/fp8/int8 storage formats), [`gpu`] (devices, roofline,
+//! tiling, functional engine, timing), [`nn`] (layer lowering and the
+//! model zoo), [`core`] (the paper's contribution), [`faults`]
 //! (injection campaigns), and [`util`] (RNG/JSON/parallel helpers).
 
 pub use aiga_core as core;
+pub use aiga_dtype as dtype;
 pub use aiga_faults as faults;
 pub use aiga_fp16 as fp16;
 pub use aiga_gpu as gpu;
@@ -214,7 +244,9 @@ pub mod prelude {
     };
     pub use aiga_core::session::{PlanCache, ServeReport, Session, SessionError, SessionStats};
     pub use aiga_faults::{Campaign, CampaignStats, FaultModel, Outcome, Trial};
-    pub use aiga_gpu::engine::{FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme, Workspace};
+    pub use aiga_gpu::engine::{
+        Dtype, FaultKind, FaultPlan, GemmEngine, Matrix, NoScheme, Workspace,
+    };
     pub use aiga_gpu::timing::Calibration;
     pub use aiga_gpu::{Bound, DeviceSpec, GemmShape, Roofline, TilingConfig};
     pub use aiga_nn::{
