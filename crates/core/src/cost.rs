@@ -78,14 +78,42 @@ pub fn host_substrate_estimate(shape: GemmShape, path: GemmPath) -> f64 {
 /// the dtype's decode table once, charged as a cache-warm pass over
 /// [`Dtype::decode_table_bytes`].
 pub fn host_substrate_estimate_dtype(shape: GemmShape, path: GemmPath, dtype: Dtype) -> f64 {
+    // A dense GEMM stages every A element from storage: the activation
+    // footprint equals m·k.
+    host_substrate_estimate_conv_dtype(shape, path, dtype, shape.m * shape.k)
+}
+
+/// [`host_substrate_estimate`] for a convolution on the fused
+/// im2col→panel-pack path: the lowered `m × k` matrix never exists, so
+/// its storage-width bytes drop out of the traffic model. `a_src_elems`
+/// is the activation-tensor footprint actually read
+/// (`batch · C_in · H · W`); window overlap re-reads the same elements
+/// through the zero-copy view, but those hits are cache-resident and
+/// not charged. The f32 panel write still covers the full `m · k`
+/// decoded panel volume. For a 3×3 stride-1 conv this cuts the staged
+/// A-read bytes ~9×, which is exactly the bandwidth tax the fused path
+/// removes.
+pub fn host_substrate_estimate_conv(shape: GemmShape, path: GemmPath, a_src_elems: u64) -> f64 {
+    host_substrate_estimate_conv_dtype(shape, path, Dtype::F16, a_src_elems)
+}
+
+/// [`host_substrate_estimate_conv`] for an explicit storage dtype.
+pub fn host_substrate_estimate_conv_dtype(
+    shape: GemmShape,
+    path: GemmPath,
+    dtype: Dtype,
+    a_src_elems: u64,
+) -> f64 {
     const SIMD_FLOPS_PER_S: f64 = 20.0e9;
     const SCALAR_FLOPS_PER_S: f64 = 2.0e9;
     const STAGE_BYTES_PER_S: f64 = 4.0e9;
     let flops = 2.0 * shape.m as f64 * shape.n as f64 * shape.k as f64;
-    // Each operand element is read at its storage width and written
-    // decoded/packed as f32 (4 B) during staging.
-    let per_elem = (dtype.bytes() + 4) as f64;
-    let staged_bytes = per_elem * (shape.m * shape.k + shape.k * shape.n) as f64
+    // A: read once from its source at the storage width, written
+    // decoded/packed as f32 (4 B) over the full panel volume. B: each
+    // element read at storage width and written as f32.
+    let staged_bytes = dtype.bytes() as f64 * a_src_elems as f64
+        + 4.0 * (shape.m * shape.k) as f64
+        + (dtype.bytes() + 4) as f64 * (shape.k * shape.n) as f64
         + dtype.decode_table_bytes() as f64;
     let rate = if path.is_simd() {
         SIMD_FLOPS_PER_S
@@ -93,6 +121,22 @@ pub fn host_substrate_estimate_dtype(shape: GemmShape, path: GemmPath, dtype: Dt
         SCALAR_FLOPS_PER_S
     };
     flops / rate + staged_bytes / STAGE_BYTES_PER_S
+}
+
+/// Arithmetic intensity of a conv layer on the fused implicit-GEMM
+/// path: `A` traffic is the activation footprint (`a_src_elems`, i.e.
+/// `batch · C_in · H · W`) instead of the lowered `m · k` matrix, while
+/// `B` and `C` keep their padded-shape volumes. High-overlap kernels
+/// (3×3 stride 1) shed up to ~9× of their `A` bytes, which can lift a
+/// layer from below the device's compute-to-memory ratio to above it —
+/// flipping the intensity-guided scheme selection from thread-level to
+/// global ABFT. The device-side planner keeps the paper's materialized
+/// traffic model (its figures are validated against it); this is the
+/// host-substrate view of the same layer.
+pub fn fused_conv_intensity(shape: GemmShape, a_src_elems: u64, dtype: Dtype) -> f64 {
+    let p = shape.padded_to_mma();
+    let bytes = dtype.bytes() * (a_src_elems + p.k * p.n + p.m * p.n);
+    p.flops() as f64 / bytes as f64
 }
 
 /// Timing of one scheme on one layer, with its overhead over the
@@ -309,6 +353,58 @@ mod tests {
         let bf16 = host_substrate_estimate_dtype(tiny, GemmPath::Avx2Fma, Dtype::Bf16);
         let int8 = host_substrate_estimate_dtype(tiny, GemmPath::Avx2Fma, Dtype::Int8);
         assert!(int8 < bf16, "int8 {int8} !< bf16 {bf16}");
+    }
+
+    #[test]
+    fn fused_conv_repricing_drops_the_lowered_matrix_bytes() {
+        // A 3×3 stride-1 conv over 64 × 56 × 56 activations: the fused
+        // path reads 200,704 activation elements where the materialized
+        // lowering staged m·k ≈ 1.8M — the estimate must shrink on both
+        // dispatch paths, and never below the pure-flops floor.
+        let shape = GemmShape::new(56 * 56, 64, 64 * 9);
+        let a_src = 64 * 56 * 56;
+        for path in [GemmPath::Avx2Fma, GemmPath::Scalar] {
+            let dense = host_substrate_estimate(shape, path);
+            let fused = host_substrate_estimate_conv(shape, path, a_src);
+            assert!(fused < dense, "{path:?}: {fused} !< {dense}");
+        }
+        // An fc-shaped layer (activation footprint == m·k) prices
+        // identically through either entry point.
+        let fc = GemmShape::new(32, 512, 512);
+        assert_eq!(
+            host_substrate_estimate(fc, GemmPath::Avx2Fma),
+            host_substrate_estimate_conv(fc, GemmPath::Avx2Fma, fc.m * fc.k),
+        );
+        // Narrower storage still stages fewer bytes on the fused path.
+        let fp8 =
+            host_substrate_estimate_conv_dtype(shape, GemmPath::Avx2Fma, Dtype::Fp8E4M3, a_src);
+        let fp16 = host_substrate_estimate_conv_dtype(shape, GemmPath::Avx2Fma, Dtype::F16, a_src);
+        assert!(fp8 < fp16);
+    }
+
+    #[test]
+    fn fused_conv_intensity_flips_the_intensity_guided_selector() {
+        use aiga_gpu::{Bound, Roofline};
+        // A 128-channel 3×3 stride-1 conv at 56×56: on the materialized
+        // traffic model its intensity sits below the T4's
+        // compute-to-memory ratio (bandwidth bound → thread-level ABFT);
+        // dropping the lowered-matrix bytes lifts it above (compute
+        // bound → global ABFT). Pin both classifications and the scheme
+        // picks they imply. At small spatial extents (e.g. 32×32 zoo
+        // test shapes) the shift is too small to flip anything — the
+        // overlap factor only dominates once m is large.
+        let shape = GemmShape::new(56 * 56, 128, 128 * 9);
+        let a_src = 128 * 56 * 56;
+        let lowered = shape.arithmetic_intensity_fp16();
+        let fused = fused_conv_intensity(shape, a_src, Dtype::F16);
+        assert!(fused > 4.0 * lowered, "{fused} vs {lowered}");
+        let roofline = Roofline::new(t4());
+        let pick = |i: f64| match roofline.classify_intensity(i) {
+            Bound::MemoryBandwidth => Scheme::ThreadLevelOneSided,
+            Bound::Compute => Scheme::GlobalAbft,
+        };
+        assert_eq!(pick(lowered), Scheme::ThreadLevelOneSided);
+        assert_eq!(pick(fused), Scheme::GlobalAbft);
     }
 
     #[test]

@@ -369,9 +369,12 @@ impl Dtype {
     /// rounded to the precision a real device's checksum accumulator
     /// would hold.
     ///
-    /// - fp16 sums in fp16 (tensor-core-era half ALUs) — via the same
-    ///   f64-widened correctly-rounded add `aiga-fp16` uses, so the
-    ///   fp16 chain is byte-identical to the pre-dtype `F16 + F16` path.
+    /// - fp16 sums in fp16 (tensor-core-era half ALUs). Both summands
+    ///   are always exact fp16 values, so the f32 add rounds the exact
+    ///   sum to 24 bits and 24 ≥ 2·11+2: rounding its result to fp16
+    ///   equals rounding the exact sum (innocuous double rounding) —
+    ///   byte-identical to the f64-widened add `aiga-fp16` uses, one
+    ///   rounding step cheaper.
     /// - bf16 sums in bf16 (bf16 ALUs exist on Ampere+). The f32 add is
     ///   correctly rounded to 24 bits and 24 ≥ 2·9+2, so rounding its
     ///   result to bf16 equals rounding the exact sum (innocuous double
@@ -384,7 +387,7 @@ impl Dtype {
     #[inline]
     pub fn chain_add(self, acc: f32, v: f32) -> f32 {
         match self {
-            Dtype::F16 | Dtype::Fp8E4M3 => Half::from_f64(acc as f64 + v as f64).to_f32(),
+            Dtype::F16 | Dtype::Fp8E4M3 => Half::from_f32(acc + v).to_f32(),
             Dtype::Bf16 => Bf16::decode(Bf16::encode(acc + v)),
             Dtype::Int8 => acc + v,
         }
@@ -497,6 +500,52 @@ mod tests {
                 assert_eq!(back, 0x7e00, "NaN canonicalization at {bits:#06x}");
             } else {
                 assert_eq!(back, bits, "f16 round trip at {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_chain_add_single_rounding_matches_the_widened_reference() {
+        // The fp16 chain arm adds in f32 and rounds once to fp16. The
+        // reference is the f64-widened correctly-rounded add (53 ≥ 24
+        // makes the f64 sum of two fp16 values exact, so its rounding
+        // IS the exact-sum rounding). Both summands are always exact
+        // fp16 values in a chain, so 24 ≥ 2·11+2 (innocuous double
+        // rounding) says the two must agree bit for bit — sweep every
+        // fp16 code for `v` against accumulators covering ties at
+        // quantum boundaries, the 65504 overflow edge, subnormals,
+        // zeros, and infinities.
+        let acc_codes: Vec<u16> = [
+            0x0000, 0x8000, // ±0
+            0x0001, 0x0002, 0x03ff, 0x8001, 0x83ff, // subnormals
+            0x0400, 0x0401, 0x8400, // smallest normals
+            0x3c00, 0x3c01, 0xbc00, // ±1 and 1+ulp
+            0x4248, 0xc248, // ±3.14…
+            0x57ff, 0x5800, 0xd7ff, // 127.9375 / 128 (quantum step)
+            0x7bff, 0xfbff, // ±65504 (overflow edge)
+            0x7800, 0xf800, // ±32768
+            0x7c00, 0xfc00, // ±inf
+        ]
+        .into_iter()
+        .chain((0..256).map(|i| i * 257)) // stratified sweep
+        .collect();
+        for &ac in &acc_codes {
+            let acc = Half::from_bits(ac).to_f32();
+            if acc.is_nan() {
+                continue;
+            }
+            for vb in 0..=u16::MAX {
+                let v = Half::from_bits(vb).to_f32();
+                if v.is_nan() {
+                    continue;
+                }
+                let got = Dtype::F16.chain_add(acc, v);
+                let want = Half::from_f64(acc as f64 + v as f64).to_f32();
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "fp16 chain drift: acc={ac:#06x} v={vb:#06x}"
+                );
             }
         }
     }

@@ -130,6 +130,7 @@ impl F16 {
     }
 
     /// Converts from `f64` with round-to-nearest-even.
+    #[inline]
     pub fn from_f64(x: f64) -> Self {
         F16(f64_to_f16_bits(x))
     }

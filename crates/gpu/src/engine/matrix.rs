@@ -14,12 +14,13 @@ use aiga_util::rng::Rng64;
 /// Logical-to-physical element layout of a [`Matrix`].
 ///
 /// Almost every matrix in the system is [`MatrixLayout::RowMajor`]. The
-/// one exception is the zero-copy view a 1×1 convolution's GEMM takes
-/// of an NCHW activation tensor: tagging the tensor's own buffer with
-/// [`MatrixLayout::NchwLowered`] makes it *logically* identical to the
-/// im2col-lowered matrix (same `(row, col) → value` mapping, so
-/// checksums, reference oracles, and outputs are byte-identical)
-/// without materializing the copy.
+/// exceptions are the zero-copy views a convolution's GEMM takes of an
+/// NCHW activation tensor: tagging the tensor's own buffer with
+/// [`MatrixLayout::NchwLowered`] (1×1 stride-1 unpadded convs) or
+/// [`MatrixLayout::Im2col`] (every other conv geometry) makes it
+/// *logically* identical to the im2col-lowered matrix (same
+/// `(row, col) → value` mapping, so checksums, reference oracles, and
+/// outputs are byte-identical) without materializing the copy.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum MatrixLayout {
     /// `data[r * cols + c]` — the default.
@@ -34,6 +35,102 @@ pub enum MatrixLayout {
         /// Pixels per image plane (`height × width`).
         spatial: usize,
     },
+    /// An NCHW tensor viewed as the im2col-lowered activation matrix of
+    /// an arbitrary convolution geometry — the implicit-GEMM view. Row
+    /// `r` is output pixel `(n, oy, ox)`, column `c` is filter tap
+    /// `(channel, ky, kx)`; taps that fall into the zero padding have no
+    /// physical element and read as zero.
+    Im2col(Im2colView),
+}
+
+/// Geometry of an implicit-GEMM (fused im2col) activation view: enough
+/// convolution parameters to map a lowered-matrix element `(row, col)`
+/// onto the underlying NCHW tensor, or onto the zero padding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Im2colView {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square filter extent.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Im2colView {
+    /// Physical NCHW index of lowered element `(r, c)`, or `None` when
+    /// the tap lands in the zero padding.
+    #[inline]
+    fn tap(&self, r: usize, c: usize) -> Option<usize> {
+        let spatial = self.out_h * self.out_w;
+        let (n, p) = (r / spatial, r % spatial);
+        let (oy, ox) = (p / self.out_w, p % self.out_w);
+        let kk = self.kernel * self.kernel;
+        let (ch, rem) = (c / kk, c % kk);
+        let (ky, kx) = (rem / self.kernel, rem % self.kernel);
+        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+        let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+        if iy < 0 || ix < 0 || iy as usize >= self.height || ix as usize >= self.width {
+            return None;
+        }
+        Some(((n * self.channels + ch) * self.height + iy as usize) * self.width + ix as usize)
+    }
+
+    /// Rows of the lowered matrix for `images` images.
+    pub fn rows(&self, images: usize) -> usize {
+        images * self.out_h * self.out_w
+    }
+
+    /// Columns of the lowered matrix (`channels · kernel²`).
+    pub fn cols(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+}
+
+/// Walks the in-bounds taps of an im2col view in lowered row-major
+/// order as maximal contiguous runs: for each (row, channel, ky) whose
+/// input row is in bounds, `run(row, col0, src0, len)` describes `len`
+/// consecutive lowered columns starting at `col0` backed by `len`
+/// consecutive NCHW elements starting at `src0`. Both the staging
+/// decode and the raw-panel copy gather through this one walk, so the
+/// fused path produces panels byte-identical to a materialized
+/// lowering.
+#[inline]
+fn im2col_runs(v: &Im2colView, images: usize, mut run: impl FnMut(usize, usize, usize, usize)) {
+    let kk = v.kernel * v.kernel;
+    for n in 0..images {
+        for oy in 0..v.out_h {
+            for ox in 0..v.out_w {
+                let r = (n * v.out_h + oy) * v.out_w + ox;
+                let base_ix = (ox * v.stride) as isize - v.padding as isize;
+                let kx0 = (-base_ix).max(0) as usize;
+                let kx1 = (v.width as isize - base_ix).clamp(0, v.kernel as isize) as usize;
+                if kx0 >= kx1 {
+                    continue;
+                }
+                let ix0 = (base_ix + kx0 as isize) as usize;
+                for ch in 0..v.channels {
+                    for ky in 0..v.kernel {
+                        let iy = (oy * v.stride + ky) as isize - v.padding as isize;
+                        if iy < 0 || iy as usize >= v.height {
+                            continue;
+                        }
+                        let src0 = ((n * v.channels + ch) * v.height + iy as usize) * v.width + ix0;
+                        run(r, ch * kk + ky * v.kernel + kx0, src0, kx1 - kx0);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A row-major FP16 matrix (see [`MatrixLayout`] for the one
@@ -109,14 +206,36 @@ impl Matrix {
         }
     }
 
-    /// Physical index of logical element `(r, c)`.
+    /// Wraps an NCHW tensor buffer as the im2col-lowered activation
+    /// matrix of an arbitrary convolution geometry — `images·out_h·out_w`
+    /// rows (one per output pixel), `channels·kernel²` columns — without
+    /// copying. Taps in the zero padding read as zero. The caller gets
+    /// the buffer back via `.data` when done.
+    pub fn im2col_lowered(images: usize, view: Im2colView, data: Vec<F16>) -> Self {
+        assert_eq!(
+            data.len(),
+            images * view.channels * view.height * view.width,
+            "NCHW extent"
+        );
+        Matrix {
+            rows: view.rows(images),
+            cols: view.cols(),
+            data,
+            layout: MatrixLayout::Im2col(view),
+            dtype: Dtype::F16,
+        }
+    }
+
+    /// Physical index of logical element `(r, c)`, or `None` when the
+    /// element is a zero-padding tap of an im2col view (no storage).
     #[inline]
-    fn index(&self, r: usize, c: usize) -> usize {
+    fn index(&self, r: usize, c: usize) -> Option<usize> {
         match self.layout {
-            MatrixLayout::RowMajor => r * self.cols + c,
+            MatrixLayout::RowMajor => Some(r * self.cols + c),
             MatrixLayout::NchwLowered { spatial } => {
-                ((r / spatial) * self.cols + c) * spatial + (r % spatial)
+                Some(((r / spatial) * self.cols + c) * spatial + (r % spatial))
             }
+            MatrixLayout::Im2col(v) => v.tap(r, c),
         }
     }
 
@@ -146,13 +265,18 @@ impl Matrix {
     /// [`Self::get_f32`]/[`Self::get_f64`] for the decoded value.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> F16 {
-        self.data[self.index(r, c)]
+        // Zero-padding taps read as the zero code, which every dtype
+        // decodes to 0.0 — exactly what a materialized lowering stores.
+        match self.index(r, c) {
+            Some(i) => self.data[i],
+            None => F16::ZERO,
+        }
     }
 
     /// Decoded element value (layout- and dtype-aware).
     #[inline]
     pub fn get_f32(&self, r: usize, c: usize) -> f32 {
-        self.dtype.decode(self.data[self.index(r, c)].to_bits())
+        self.dtype.decode(self.get(r, c).to_bits())
     }
 
     /// Decoded element value in f64 (exact widening of [`Self::get_f32`]).
@@ -161,10 +285,13 @@ impl Matrix {
         self.get_f32(r, c) as f64
     }
 
-    /// Element mutator (layout-aware).
+    /// Element mutator (layout-aware). Panics on a zero-padding tap of
+    /// an im2col view — those elements have no storage.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: F16) {
-        let i = self.index(r, c);
+        let i = self
+            .index(r, c)
+            .expect("cannot write through a zero-padding tap of an im2col view");
         self.data[i] = v;
     }
 
@@ -190,15 +317,26 @@ impl Matrix {
         out.dtype = self.dtype;
         out.data.clear();
         out.data.resize(rows * cols, F16::ZERO);
-        if let MatrixLayout::NchwLowered { .. } = self.layout {
-            // General gather for the non-row-major view (cold: only
-            // hooked schemes stage raw panels from a lowered view).
-            for r in 0..self.rows {
-                for c in 0..self.cols {
-                    out.data[r * cols + c] = self.get(r, c);
+        match self.layout {
+            MatrixLayout::NchwLowered { .. } => {
+                // General gather for the non-row-major view (cold: only
+                // hooked schemes stage raw panels from a lowered view).
+                for r in 0..self.rows {
+                    for c in 0..self.cols {
+                        out.data[r * cols + c] = self.get(r, c);
+                    }
                 }
+                return;
             }
-            return;
+            MatrixLayout::Im2col(v) => {
+                let images = self.rows / (v.out_h * v.out_w);
+                im2col_runs(&v, images, |r, c0, s0, len| {
+                    out.data[r * cols + c0..r * cols + c0 + len]
+                        .copy_from_slice(&self.data[s0..s0 + len]);
+                });
+                return;
+            }
+            MatrixLayout::RowMajor => {}
         }
         if cols == self.cols {
             out.data[..self.data.len()].copy_from_slice(&self.data);
@@ -238,31 +376,57 @@ impl Matrix {
         assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
         out.clear();
         out.resize(rows * cols, 0.0);
-        if let MatrixLayout::NchwLowered { spatial } = self.layout {
-            // Gather the lowered view channel-plane by channel-plane:
-            // for a fixed (image, channel) the spatial run is contiguous
-            // in the source and strided by `cols` in the destination.
-            if self.dtype == Dtype::F16 {
-                for n in 0..self.rows / spatial {
-                    for c in 0..self.cols {
-                        let src = &self.data[(n * self.cols + c) * spatial..][..spatial];
-                        for (s, v) in src.iter().enumerate() {
-                            out[(n * spatial + s) * cols + c] = v.to_f32();
+        match self.layout {
+            MatrixLayout::NchwLowered { spatial } => {
+                // Gather the lowered view channel-plane by channel-plane:
+                // for a fixed (image, channel) the spatial run is contiguous
+                // in the source and strided by `cols` in the destination.
+                if self.dtype == Dtype::F16 {
+                    for n in 0..self.rows / spatial {
+                        for c in 0..self.cols {
+                            let src = &self.data[(n * self.cols + c) * spatial..][..spatial];
+                            for (s, v) in src.iter().enumerate() {
+                                out[(n * spatial + s) * cols + c] = v.to_f32();
+                            }
+                        }
+                    }
+                } else {
+                    let d = self.dtype;
+                    for n in 0..self.rows / spatial {
+                        for c in 0..self.cols {
+                            let src = &self.data[(n * self.cols + c) * spatial..][..spatial];
+                            for (s, v) in src.iter().enumerate() {
+                                out[(n * spatial + s) * cols + c] = d.decode(v.to_bits());
+                            }
                         }
                     }
                 }
-            } else {
-                let d = self.dtype;
-                for n in 0..self.rows / spatial {
-                    for c in 0..self.cols {
-                        let src = &self.data[(n * self.cols + c) * spatial..][..spatial];
-                        for (s, v) in src.iter().enumerate() {
-                            out[(n * spatial + s) * cols + c] = d.decode(v.to_bits());
-                        }
-                    }
-                }
+                return;
             }
-            return;
+            MatrixLayout::Im2col(v) => {
+                // Implicit-GEMM gather: each in-bounds filter-tap run is
+                // contiguous in both the NCHW source and the lowered
+                // destination row; padding taps stay at the zero fill.
+                let images = self.rows / (v.out_h * v.out_w);
+                if self.dtype == Dtype::F16 {
+                    im2col_runs(&v, images, |r, c0, s0, len| {
+                        let dst = &mut out[r * cols + c0..r * cols + c0 + len];
+                        for (d, s) in dst.iter_mut().zip(&self.data[s0..s0 + len]) {
+                            *d = s.to_f32();
+                        }
+                    });
+                } else {
+                    let dt = self.dtype;
+                    im2col_runs(&v, images, |r, c0, s0, len| {
+                        let dst = &mut out[r * cols + c0..r * cols + c0 + len];
+                        for (d, s) in dst.iter_mut().zip(&self.data[s0..s0 + len]) {
+                            *d = dt.decode(s.to_bits());
+                        }
+                    });
+                }
+                return;
+            }
+            MatrixLayout::RowMajor => {}
         }
         // The dtype branch stays outside the element loops; F16 keeps
         // its original table-load loop untouched.
@@ -318,6 +482,33 @@ impl Matrix {
                 for (c, v) in src.iter().enumerate() {
                     out[c * rows + r] = dt.decode(v.to_bits());
                 }
+            }
+        }
+    }
+
+    /// Raw-code sibling of [`Self::decode_padded_transposed_into`]: the
+    /// zero-padded `rows × cols` panel stored transposed (`cols × rows`
+    /// row-major) without decoding. Hooked schemes replay per-thread
+    /// K-walks against this panel, and the walk strides along a fixed
+    /// column — storing it transposed makes that replay stream linearly
+    /// instead of hopping a full row width per K-step.
+    pub(crate) fn copy_padded_transposed_into(&self, rows: usize, cols: usize, out: &mut Matrix) {
+        assert!(rows >= self.rows && cols >= self.cols, "padding must grow");
+        debug_assert_eq!(
+            self.layout,
+            MatrixLayout::RowMajor,
+            "only the B operand (always row-major) is staged transposed"
+        );
+        out.rows = cols;
+        out.cols = rows;
+        out.layout = MatrixLayout::RowMajor;
+        out.dtype = self.dtype;
+        out.data.clear();
+        out.data.resize(rows * cols, F16::ZERO);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, v) in src.iter().enumerate() {
+                out.data[c * rows + r] = *v;
             }
         }
     }
@@ -413,6 +604,76 @@ mod tests {
             for c in 0..8 {
                 assert_eq!(t[c * 4 + r].to_bits(), buf[r * 8 + c].to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn copy_padded_transposed_matches_decoded_transpose() {
+        let m = Matrix::random(5, 7, 11);
+        let mut raw = Matrix::default();
+        m.copy_padded_transposed_into(8, 8, &mut raw);
+        assert_eq!((raw.rows, raw.cols), (8, 8));
+        let mut dec = Vec::new();
+        m.decode_padded_transposed_into(8, 8, &mut dec);
+        for (i, v) in raw.data.iter().enumerate() {
+            assert_eq!(v.to_f32().to_bits(), dec[i].to_bits(), "elem {i}");
+        }
+    }
+
+    /// Materializes an im2col view element-by-element through `get` —
+    /// the oracle the run-based gathers must match bit-for-bit.
+    fn materialize(view: &Matrix) -> Matrix {
+        Matrix::from_fn(view.rows, view.cols, |r, c| view.get(r, c)).with_dtype(view.dtype)
+    }
+
+    fn sample_view(kernel: usize, stride: usize, padding: usize) -> Matrix {
+        let (channels, height, width, images) = (3, 9, 9, 2);
+        let out_h = (height + 2 * padding - kernel) / stride + 1;
+        let out_w = (width + 2 * padding - kernel) / stride + 1;
+        let v = Im2colView {
+            channels,
+            height,
+            width,
+            kernel,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        };
+        let t = Matrix::random(1, images * channels * height * width, 17);
+        Matrix::im2col_lowered(images, v, t.data)
+    }
+
+    #[test]
+    fn im2col_view_gathers_match_elementwise_materialization() {
+        for (kernel, stride, padding) in [(3, 1, 1), (3, 2, 1), (5, 2, 2), (1, 1, 0), (7, 2, 3)] {
+            let view = sample_view(kernel, stride, padding);
+            let dense = materialize(&view);
+            let (pr, pc) = (view.rows + 3, view.cols + 5);
+
+            let mut from_view = Vec::new();
+            let mut from_dense = Vec::new();
+            view.decode_padded_into(pr, pc, &mut from_view);
+            dense.decode_padded_into(pr, pc, &mut from_dense);
+            assert_eq!(from_view, from_dense, "decode k{kernel}s{stride}p{padding}");
+
+            let mut raw_view = Matrix::default();
+            let mut raw_dense = Matrix::default();
+            view.copy_padded_into(pr, pc, &mut raw_view);
+            dense.copy_padded_into(pr, pc, &mut raw_dense);
+            assert_eq!(raw_view, raw_dense, "raw copy k{kernel}s{stride}p{padding}");
+        }
+    }
+
+    #[test]
+    fn im2col_view_padding_taps_read_zero_in_every_dtype() {
+        for dtype in Dtype::ALL {
+            let mut view = sample_view(3, 1, 1).with_dtype(dtype);
+            // Row 0 is output pixel (0,0): tap (ch=0, ky=0, kx=0) lands at
+            // input (-1,-1), firmly in the padding.
+            assert_eq!(view.get(0, 0), F16::ZERO);
+            assert_eq!(view.get_f32(0, 0).to_bits(), 0.0f32.to_bits(), "{dtype:?}");
+            view.dtype = Dtype::F16;
         }
     }
 }

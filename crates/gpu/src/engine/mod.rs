@@ -58,9 +58,11 @@ mod walk;
 
 pub use aiga_dtype::Dtype;
 pub use fault_inject::{Detection, FaultKind, FaultPlan};
-pub use matrix::{gemm_reference_f64, Matrix, MatrixLayout};
+pub use matrix::{gemm_reference_f64, Im2colView, Matrix, MatrixLayout};
 pub use panels::{CheckScratch, Workspace};
-pub use scheme::{KStep, NoScheme, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict};
+pub use scheme::{
+    KStep, LaneWalk, NoScheme, SchemeCounters, ThreadCtx, ThreadLocalScheme, ThreadVerdict,
+};
 pub use simd::GemmPath;
 
 use crate::shape::GemmShape;
@@ -216,8 +218,11 @@ impl GemmEngine {
 
         // Capability probe: schemes that never consume K-step fragments
         // (the serving common case) let the engine skip both the raw
-        // FP16 panel staging and the per-step virtual call.
-        let needs16 = make_scheme().needs_k_steps();
+        // FP16 panel staging and the per-step virtual call; fragment
+        // consumers that only read the decoded views skip the raw
+        // staging too.
+        let probe = make_scheme();
+        let needs16 = probe.needs_k_steps() && probe.uses_raw_fragments();
         let path = simd::active_path();
         let mut panels = Panels::default();
         panels.stage(a, b, needs16, path.is_simd(), cov_m, cov_n, k);
@@ -297,7 +302,8 @@ impl GemmEngine {
         let (gm, gn, cov_m, cov_n, k) = self.coverage();
         let k_steps = self.tiling.k_steps(self.shape);
 
-        let needs16 = make_scheme().needs_k_steps();
+        let probe = make_scheme();
+        let needs16 = probe.needs_k_steps() && probe.uses_raw_fragments();
         let path = simd::active_path();
         ws.panels
             .stage(a, b, needs16, path.is_simd(), cov_m, cov_n, k);

@@ -19,7 +19,6 @@ use super::scheme::ThreadCtx;
 use super::{simd, EngineCounters, GemmOutput};
 use crate::tiling::TilingConfig;
 use aiga_dtype::Dtype;
-use aiga_fp16::F16;
 
 /// Operand panels staged once per engine run.
 #[derive(Clone, Debug, Default)]
@@ -27,8 +26,10 @@ pub(crate) struct Panels {
     /// Raw padded FP16 A panel (`cov_m × k`), staged only when a scheme
     /// consumes K-step fragments.
     pub(crate) a16: Matrix,
-    /// Raw padded FP16 B panel (`k × cov_n`), ditto.
-    pub(crate) b16: Matrix,
+    /// Raw padded FP16 B panel, ditto — stored transposed (`cov_n × k`
+    /// row-major, like `b_f32_t`) so each thread's K-step replay streams
+    /// it linearly instead of striding a full row width per step.
+    pub(crate) b16_t: Matrix,
     /// Whether the raw FP16 panels above are staged for this run.
     pub(crate) staged16: bool,
     /// Padded A decoded to f32, `cov_m × k` row-major.
@@ -71,7 +72,7 @@ impl Panels {
         self.staged16 = needs16;
         if needs16 {
             a.copy_padded_into(cov_m, k, &mut self.a16);
-            b.copy_padded_into(k, cov_n, &mut self.b16);
+            b.copy_padded_transposed_into(k, cov_n, &mut self.b16_t);
         }
         a.decode_padded_into(cov_m, k, &mut self.a_f32);
         b.decode_padded_transposed_into(k, cov_n, &mut self.b_f32_t);
@@ -91,14 +92,6 @@ impl Panels {
 pub(crate) struct BlockScratch {
     /// `block_m × block_n` FP32 accumulator tile.
     pub(crate) tile: Vec<f32>,
-    /// Raw FP16 `Mt × 2` A-chunk of the current K-step.
-    pub(crate) a_chunk: Vec<F16>,
-    /// Raw FP16 `2 × Nt` B-chunk of the current K-step.
-    pub(crate) b_chunk: Vec<F16>,
-    /// Pre-decoded `a_chunk`.
-    pub(crate) af_chunk: Vec<f32>,
-    /// Pre-decoded `b_chunk`.
-    pub(crate) bf_chunk: Vec<f32>,
     /// The thread's `Mt × Nt` FP32 accumulators.
     pub(crate) acc: Vec<f32>,
     /// `(accumulator index, after_step, kind)` of faults aimed at the
@@ -118,14 +111,6 @@ impl BlockScratch {
         let tile_len = (tiling.block_m * tiling.block_n) as usize;
         self.tile.clear();
         self.tile.resize(tile_len, 0.0);
-        self.a_chunk.clear();
-        self.a_chunk.resize(mt * 2, F16::ZERO);
-        self.b_chunk.clear();
-        self.b_chunk.resize(2 * nt, F16::ZERO);
-        self.af_chunk.clear();
-        self.af_chunk.resize(mt * 2, 0.0);
-        self.bf_chunk.clear();
-        self.bf_chunk.resize(2 * nt, 0.0);
         self.acc.clear();
         self.acc.resize(mt * nt, 0.0);
         self.fault_targets.clear();
@@ -198,6 +183,12 @@ pub struct Workspace {
     /// until a run actually fans out; ratchets to the worker high-water
     /// mark afterwards).
     pub(crate) stripe_pool: Vec<StripeScratch>,
+    /// Per-branch child workspaces for branch-parallel graph execution:
+    /// a pipeline level whose stages run concurrently gives each branch
+    /// its own engine scratch here while every branch reads the shared
+    /// value [`Self::slots`]. Empty until a request actually fans out;
+    /// ratchets to the branch high-water mark afterwards.
+    branch_pool: Vec<Workspace>,
 }
 
 impl Workspace {
@@ -287,6 +278,20 @@ impl Workspace {
     /// buffer capacity for the next request.
     pub fn put_slot(&mut self, i: usize, m: Matrix) {
         self.slots[i] = m;
+    }
+
+    /// Split borrow for branch-parallel graph execution: the shared
+    /// value slots (read-only, so concurrent branches can gather from a
+    /// common producer) together with `n` mutable child workspaces, one
+    /// per branch, each giving its branch a private engine scratch and
+    /// output. The pool only ratchets up, so steady-state fan-out does
+    /// not allocate here; call again after the branches join to read
+    /// each child's [`Self::output`] back on the merging thread.
+    pub fn branch_split(&mut self, n: usize) -> (&[Matrix], &mut [Workspace]) {
+        if self.branch_pool.len() < n {
+            self.branch_pool.resize_with(n, Workspace::default);
+        }
+        (&self.slots, &mut self.branch_pool[..n])
     }
 
     /// Arms the block-parallel scratch pool for `n` workers under

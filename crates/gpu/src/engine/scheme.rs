@@ -98,6 +98,36 @@ pub struct KStep<'a> {
     pub dtype: Dtype,
 }
 
+/// One thread's entire K-walk, handed to
+/// [`ThreadLocalScheme::walk_lane`] in a single call: panel-level slices
+/// plus the lane's global row/column indices. Row `r`'s walk is
+/// `a_f32[r*k..][..k]`; column `c`'s walk is `b_f32_t[c*k..][..k]` (the
+/// B panels are stored transposed so a K-walk streams them linearly).
+/// The raw storage-code panels mirror the decoded layouts and are empty
+/// when the scheme opted out via
+/// [`ThreadLocalScheme::uses_raw_fragments`].
+#[derive(Clone, Copy, Debug)]
+pub struct LaneWalk<'a> {
+    /// Decoded A panel, `cov_m × k` row-major.
+    pub a_f32: &'a [f32],
+    /// Decoded B panel stored transposed, `cov_n × k` row-major.
+    pub b_f32_t: &'a [f32],
+    /// Raw storage-code A panel (layout of `a_f32`), possibly empty.
+    pub a16: &'a [F16],
+    /// Raw storage-code B panel (layout of `b_f32_t`), possibly empty.
+    pub b16_t: &'a [F16],
+    /// Panel K extent — the row stride of every panel slice above.
+    pub k: usize,
+    /// Global row indices of the lane's `Mt` accumulator rows.
+    pub rows: &'a [usize],
+    /// Global column indices of the lane's `Nt` accumulator columns.
+    pub cols: &'a [usize],
+    /// Steps in the walk (each consumes `STEP_K` = 2 elements of K).
+    pub k_steps: u64,
+    /// Storage format of the staged operands.
+    pub dtype: Dtype,
+}
+
 /// A redundancy scheme living inside the thread-level inner loop.
 ///
 /// One instance protects one simulated thread; the engine constructs an
@@ -126,11 +156,70 @@ pub trait ThreadLocalScheme: Send {
     /// Called once before the K-walk with the thread's identity.
     fn begin(&mut self, ctx: &ThreadCtx);
 
+    /// Capability hook: whether the scheme reads the *raw* storage-code
+    /// fragments ([`KStep::a`]/[`KStep::b`], or [`LaneWalk::a16`]/
+    /// [`LaneWalk::b16_t`]). Schemes that only consume the pre-decoded
+    /// f32 views return `false`, letting the engine skip staging the raw
+    /// FP16 panels for the run. Must be constant per factory, like
+    /// [`Self::needs_k_steps`].
+    fn uses_raw_fragments(&self) -> bool {
+        true
+    }
+
     /// Called for every K-step with the fragments the thread just loaded
     /// (raw FP16 and pre-decoded f32 views — see [`KStep`]). Sharing
     /// these loads is what keeps thread-level ABFT free of extra memory
     /// traffic (§5.1). Only called when [`Self::needs_k_steps`] is true.
     fn on_k_step(&mut self, step: &KStep<'_>);
+
+    /// Consumes the lane's whole K-walk in one call. The default
+    /// implementation replays it as step-ordered [`KStep`] fragments
+    /// through [`Self::on_k_step`], so a scheme normally implements only
+    /// the per-step hook. Hot schemes may override this with a fused
+    /// walk that streams the panel slices directly; an override MUST
+    /// perform arithmetic identical — operation for operation, in the
+    /// same order — to `Self::on_k_step` over the replayed fragments, so
+    /// verdicts, residuals, and counters stay bit-identical across the
+    /// two paths. Only called when [`Self::needs_k_steps`] is true.
+    fn walk_lane(&mut self, walk: &LaneWalk<'_>) {
+        use crate::tiling::{MAX_THREAD_MT, MAX_THREAD_NT, STEP_K};
+        let (mt, nt, k) = (walk.rows.len(), walk.cols.len(), walk.k);
+        assert_eq!(
+            walk.a16.len(),
+            walk.a_f32.len(),
+            "raw FP16 panels must be staged when a scheme consumes raw fragments"
+        );
+        let mut a_chunk = [F16::ZERO; MAX_THREAD_MT * 2];
+        let mut b_chunk = [F16::ZERO; 2 * MAX_THREAD_NT];
+        let mut af_chunk = [0.0f32; MAX_THREAD_MT * 2];
+        let mut bf_chunk = [0.0f32; 2 * MAX_THREAD_NT];
+        for step in 0..walk.k_steps {
+            let k0 = (step * STEP_K) as usize;
+            for (ri, &r) in walk.rows.iter().enumerate() {
+                let base = r * k + k0;
+                a_chunk[ri * 2] = walk.a16[base];
+                a_chunk[ri * 2 + 1] = walk.a16[base + 1];
+                af_chunk[ri * 2] = walk.a_f32[base];
+                af_chunk[ri * 2 + 1] = walk.a_f32[base + 1];
+            }
+            for (ci, &c) in walk.cols.iter().enumerate() {
+                let base = c * k + k0;
+                b_chunk[ci] = walk.b16_t[base];
+                b_chunk[nt + ci] = walk.b16_t[base + 1];
+                bf_chunk[ci] = walk.b_f32_t[base];
+                bf_chunk[nt + ci] = walk.b_f32_t[base + 1];
+            }
+            self.on_k_step(&KStep {
+                a: &a_chunk[..mt * 2],
+                b: &b_chunk[..2 * nt],
+                a_f32: &af_chunk[..mt * 2],
+                b_f32: &bf_chunk[..2 * nt],
+                mt,
+                nt,
+                dtype: walk.dtype,
+            });
+        }
+    }
 
     /// Called once after the K-walk with the thread's final `Mt × Nt`
     /// FP32 accumulators (row-major); performs the thread-local check.
@@ -149,11 +238,17 @@ impl ThreadLocalScheme for Box<dyn ThreadLocalScheme> {
     fn needs_k_steps(&self) -> bool {
         (**self).needs_k_steps()
     }
+    fn uses_raw_fragments(&self) -> bool {
+        (**self).uses_raw_fragments()
+    }
     fn begin(&mut self, ctx: &ThreadCtx) {
         (**self).begin(ctx)
     }
     fn on_k_step(&mut self, step: &KStep<'_>) {
         (**self).on_k_step(step)
+    }
+    fn walk_lane(&mut self, walk: &LaneWalk<'_>) {
+        (**self).walk_lane(walk)
     }
     fn finalize(&mut self, ctx: &ThreadCtx, acc: &[f32], mt: usize, nt: usize) -> ThreadVerdict {
         (**self).finalize(ctx, acc, mt, nt)

@@ -3,14 +3,15 @@
 //! and lane of the block runs its *epilogue* — scheme hooks, targeted
 //! fault injection, and per-thread verdicts — against the tile.
 //!
-//! Schemes that consume per-step fragments get a step-ordered replay of
-//! the K-walk ([`replay_k_steps`]) that gathers exactly the fragments
-//! the old fused walk fed them, without redoing the accumulator math:
-//! accumulators are read back from the tile, which already holds the
-//! canonical-order values. Faulted accumulators are the one exception —
-//! they are recomputed by the scalar cold walk with the corruption
-//! applied mid-walk (accumulators are independent, so this reproduces
-//! the faulted value bit-exactly).
+//! Schemes that consume per-step fragments get the whole K-walk in one
+//! [`ThreadLocalScheme::walk_lane`] call (whose default implementation
+//! replays it step by step through `on_k_step`, feeding exactly the
+//! fragments the old fused walk fed), without redoing the accumulator
+//! math: accumulators are read back from the tile, which already holds
+//! the canonical-order values. Faulted accumulators are the one
+//! exception — they are recomputed by the scalar cold walk with the
+//! corruption applied mid-walk (accumulators are independent, so this
+//! reproduces the faulted value bit-exactly).
 //!
 //! Everything here writes into caller-owned scratch
 //! ([`BlockScratch`][super::panels::BlockScratch]) — the loops allocate
@@ -19,7 +20,7 @@
 
 use super::fault_inject::{Detection, FaultKind, FaultPlan};
 use super::panels::{BlockScratch, Panels};
-use super::scheme::{KStep, ThreadCtx, ThreadLocalScheme};
+use super::scheme::{LaneWalk, ThreadLocalScheme};
 use super::simd::{self, GemmPath};
 use super::EngineCounters;
 use crate::tiling::{TilingConfig, STEP_K};
@@ -105,20 +106,29 @@ pub(crate) fn run_block<S, F>(
                 scheme.begin(&scratch.ctx);
 
                 if scheme.needs_k_steps() {
-                    // Fragment replay for hooked schemes: the scheme
-                    // sees the same step-ordered raw + decoded chunks
-                    // the fused walk used to feed it; the accumulator
-                    // math itself already happened in the microkernel.
-                    replay_k_steps(
-                        panels,
+                    // Whole-lane walk for hooked schemes: the scheme
+                    // sees the same step-ordered fragments the fused
+                    // walk used to feed it (via the default per-step
+                    // replay, or a scheme's own fused walk over the
+                    // panel slices); the accumulator math itself
+                    // already happened in the microkernel. Raw panels
+                    // are staged only when the scheme consumes them.
+                    let (a16, b16_t): (&[F16], &[F16]) = if panels.staged16 {
+                        (&panels.a16.data, &panels.b16_t.data)
+                    } else {
+                        (&[], &[])
+                    };
+                    scheme.walk_lane(&LaneWalk {
+                        a_f32: &panels.a_f32,
+                        b_f32_t: &panels.b_f32_t,
+                        a16,
+                        b16_t,
+                        k,
+                        rows: &scratch.ctx.rows,
+                        cols: &scratch.ctx.cols,
                         k_steps,
-                        &scratch.ctx,
-                        &mut scheme,
-                        &mut scratch.a_chunk,
-                        &mut scratch.b_chunk,
-                        &mut scratch.af_chunk,
-                        &mut scratch.bf_chunk,
-                    );
+                        dtype: panels.dtype,
+                    });
                 }
 
                 // Gather the lane's accumulators from the tile. Columns
@@ -227,63 +237,9 @@ fn faulted_dot(
     s
 }
 
-/// The step-ordered fragment replay for schemes that consume per-step
-/// fragments: gathers the raw FP16 and pre-decoded f32 chunks into the
-/// caller's reused buffers and invokes the scheme hook once per K-step,
-/// in step order. The accumulator math is *not* redone here — the
-/// microkernel already produced the canonical-order tile the epilogue
-/// gathers from.
-#[allow(clippy::too_many_arguments)]
-fn replay_k_steps<S: ThreadLocalScheme>(
-    panels: &Panels,
-    k_steps: u64,
-    ctx: &ThreadCtx,
-    scheme: &mut S,
-    a_chunk: &mut [F16],
-    b_chunk: &mut [F16],
-    af_chunk: &mut [f32],
-    bf_chunk: &mut [f32],
-) {
-    let k = panels.k;
-    let mt = ctx.rows.len();
-    let nt = ctx.cols.len();
-    assert!(
-        panels.staged16,
-        "F16 panels staged when a scheme consumes K-steps"
-    );
-    let a16 = &panels.a16;
-    let b16 = &panels.b16;
-
-    for step in 0..k_steps {
-        let k0 = (step * STEP_K) as usize;
-        for (ri, &r) in ctx.rows.iter().enumerate() {
-            let base = r * k + k0;
-            a_chunk[ri * 2] = a16.data[base];
-            a_chunk[ri * 2 + 1] = a16.data[base + 1];
-            af_chunk[ri * 2] = panels.a_f32[base];
-            af_chunk[ri * 2 + 1] = panels.a_f32[base + 1];
-        }
-        for (ci, &c) in ctx.cols.iter().enumerate() {
-            b_chunk[ci] = b16.data[k0 * b16.cols + c];
-            b_chunk[nt + ci] = b16.data[(k0 + 1) * b16.cols + c];
-            let base = c * k + k0;
-            bf_chunk[ci] = panels.b_f32_t[base];
-            bf_chunk[nt + ci] = panels.b_f32_t[base + 1];
-        }
-        scheme.on_k_step(&KStep {
-            a: a_chunk,
-            b: b_chunk,
-            a_f32: af_chunk,
-            b_f32: bf_chunk,
-            mt,
-            nt,
-            dtype: panels.dtype,
-        });
-    }
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::scheme::{KStep, ThreadCtx};
     use super::super::{GemmEngine, Matrix, NoScheme, ThreadVerdict};
     use super::*;
     use crate::shape::GemmShape;

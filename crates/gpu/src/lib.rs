@@ -39,8 +39,8 @@ pub mod traffic;
 
 pub use device::DeviceSpec;
 pub use engine::{
-    GemmEngine, GemmOutput, GemmPath, Matrix, MatrixLayout, ThreadLocalScheme, ThreadVerdict,
-    Workspace,
+    GemmEngine, GemmOutput, GemmPath, Im2colView, Matrix, MatrixLayout, ThreadLocalScheme,
+    ThreadVerdict, Workspace,
 };
 pub use roofline::{Bound, Roofline};
 pub use shape::GemmShape;

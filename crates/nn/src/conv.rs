@@ -10,7 +10,7 @@
 
 use crate::layer::conv_out;
 use aiga_fp16::F16;
-use aiga_gpu::engine::{Matrix, MatrixLayout, Workspace};
+use aiga_gpu::engine::{Im2colView, Matrix, MatrixLayout, Workspace};
 
 /// A batched FP16 feature map in NCHW layout.
 #[derive(Clone, Debug, PartialEq)]
@@ -124,6 +124,24 @@ impl ConvParams {
     /// tensor instead of materializing the lowered matrix.
     pub fn is_pointwise(&self) -> bool {
         self.kernel == 1 && self.stride == 1 && self.padding == 0
+    }
+
+    /// The implicit-GEMM view of these parameters over a
+    /// `channels × height × width` input: the geometry the engine's
+    /// panel staging gathers through directly, so k>1 convolutions never
+    /// materialize the [`im2col`] matrix on the fast path.
+    pub fn im2col_view(&self, channels: usize, height: usize, width: usize) -> Im2colView {
+        let (out_h, out_w) = self.out_dims(height, width);
+        Im2colView {
+            channels,
+            height,
+            width,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            out_h,
+            out_w,
+        }
     }
 }
 
@@ -313,6 +331,45 @@ mod tests {
         let from_copy = eng.run(&copied, &b, || NoScheme, None);
         let from_view = eng.run(&view, &b, || NoScheme, None);
         assert_eq!(from_copy.c, from_view.c);
+    }
+
+    #[test]
+    fn im2col_view_equals_the_materialized_lowering() {
+        // The implicit-GEMM view must be logically identical to the
+        // materialized im2col matrix — element for element, including
+        // zero-padding taps — across every zoo kernel geometry, so
+        // checksums, engine staging, and oracles see the same FP16 bits.
+        for (kernel, stride, padding) in [(3, 1, 1), (3, 2, 1), (7, 2, 3), (5, 2, 2), (11, 4, 2)] {
+            let input = Tensor::random(2, 3, 15, 13, 70 + kernel as u64);
+            let p = params(4, kernel, stride, padding);
+            let copied = im2col(&input, p);
+            let view = Matrix::im2col_lowered(
+                input.batch,
+                p.im2col_view(input.channels, input.height, input.width),
+                input.data.clone(),
+            );
+            assert_eq!((view.rows, view.cols), (copied.rows, copied.cols));
+            for r in 0..view.rows {
+                for c in 0..view.cols {
+                    assert_eq!(
+                        view.get(r, c),
+                        copied.get(r, c),
+                        "k{kernel}s{stride}p{padding} ({r},{c})"
+                    );
+                }
+            }
+            // And the engine produces byte-identical outputs from either.
+            let filters = Tensor::random(4, 3, kernel, kernel, 80 + stride as u64);
+            let b = filters_to_matrix(&filters);
+            let eng = GemmEngine::with_default_tiling(GemmShape::new(
+                view.rows as u64,
+                b.cols as u64,
+                b.rows as u64,
+            ));
+            let from_copy = eng.run(&copied, &b, || NoScheme, None);
+            let from_view = eng.run(&view, &b, || NoScheme, None);
+            assert_eq!(from_copy.c, from_view.c, "k{kernel}s{stride}p{padding}");
+        }
     }
 
     #[test]

@@ -117,6 +117,38 @@ pub enum NodeOp {
         /// Fused ReLU epilogue.
         relu: bool,
     },
+    /// Feature-range slice of a flattened value: copies the features
+    /// `[offset, offset + len)` of each image, where `len` is the
+    /// node's output feature count. DLRM uses it to split the request
+    /// row into its dense features and its categorical indices.
+    Slice {
+        /// First feature of the slice.
+        offset: usize,
+    },
+    /// Embedding-bag lookups: feature `t` of the input value is a
+    /// categorical index into `tables[t]` (mapped through
+    /// [`embedding_index`]), and the op emits the looked-up rows
+    /// concatenated — single-index bags, as in the DLRM benchmark
+    /// configuration, where a bag with one index is a table-row
+    /// gather.
+    EmbeddingBag {
+        /// One `rows × dim` embedding table per categorical feature.
+        tables: Vec<Matrix>,
+    },
+    /// DLRM pairwise dot-product feature interaction: the inputs'
+    /// features concatenate into `m` vectors of dimension `d` (the
+    /// first input's feature count), and the op emits the first vector
+    /// followed by the `m·(m−1)/2` pairwise dot products `⟨vᵢ, vⱼ⟩`
+    /// for `i < j`, in `i`-major order.
+    Interact,
+}
+
+/// Maps a categorical feature value to a valid embedding-table row:
+/// rounds to the nearest integer and clamps into `[0, rows)`. Shared by
+/// [`Network::reference_f64`] and the compiled executor so both resolve
+/// out-of-range indices identically.
+pub fn embedding_index(v: f32, rows: usize) -> usize {
+    (v.max(0.0).round() as usize).min(rows - 1)
 }
 
 /// One node of an executable network.
@@ -181,6 +213,13 @@ impl Network {
                 NodeOp::Fc { weights, .. } => {
                     for v in &mut weights.data {
                         *v = snap(*v);
+                    }
+                }
+                NodeOp::EmbeddingBag { tables } => {
+                    for t in tables {
+                        for v in &mut t.data {
+                            *v = snap(*v);
+                        }
                     }
                 }
                 _ => {}
@@ -401,6 +440,63 @@ impl Network {
                             }
                         })
                         .collect()
+                }
+                NodeOp::Slice { offset } => {
+                    let src = get(node.inputs[0]);
+                    let f = features(self.dims_of(node.inputs[0]));
+                    let len = oc * oh * ow;
+                    let mut out = Vec::with_capacity(batch * len);
+                    for n in 0..batch {
+                        out.extend(
+                            src.data[n * f + offset..n * f + offset + len]
+                                .iter()
+                                .map(|v| v.to_f64()),
+                        );
+                    }
+                    out
+                }
+                NodeOp::EmbeddingBag { tables } => {
+                    let src = get(node.inputs[0]);
+                    let t_count = tables.len();
+                    let dim = tables[0].cols;
+                    let mut out = Vec::with_capacity(batch * t_count * dim);
+                    for n in 0..batch {
+                        for (t, table) in tables.iter().enumerate() {
+                            let idx =
+                                embedding_index(src.data[n * t_count + t].to_f32(), table.rows);
+                            for j in 0..dim {
+                                out.push(table.get(idx, j).to_f64());
+                            }
+                        }
+                    }
+                    out
+                }
+                NodeOp::Interact => {
+                    let d = features(self.dims_of(node.inputs[0]));
+                    let total: usize = node.inputs.iter().map(|&r| features(self.dims_of(r))).sum();
+                    let m = total / d;
+                    let mut out = Vec::with_capacity(batch * (d + m * (m - 1) / 2));
+                    let mut flat = vec![0.0f64; total];
+                    for n in 0..batch {
+                        let mut at = 0;
+                        for &r in &node.inputs {
+                            let src = get(r);
+                            let f = features(self.dims_of(r));
+                            for v in &src.data[n * f..(n + 1) * f] {
+                                flat[at] = v.to_f64();
+                                at += 1;
+                            }
+                        }
+                        out.extend_from_slice(&flat[..d]);
+                        for vi in 0..m {
+                            for vj in vi + 1..m {
+                                let dot: f64 =
+                                    (0..d).map(|x| flat[vi * d + x] * flat[vj * d + x]).sum();
+                                out.push(dot);
+                            }
+                        }
+                    }
+                    out
                 }
             };
             if i == last {
@@ -684,6 +780,70 @@ impl NetworkBuilder {
             c += ci;
         }
         self.push(name, NodeOp::Concat, inputs, (c, h, w))
+    }
+
+    /// Appends a feature-range slice of a value: features
+    /// `[offset, offset + len)` of each image.
+    pub fn slice(
+        &mut self,
+        name: impl Into<String>,
+        src: NodeRef,
+        offset: usize,
+        len: usize,
+    ) -> NodeRef {
+        let f = features(self.dims_of(src));
+        assert!(len >= 1, "slice must keep at least one feature");
+        assert!(
+            offset + len <= f,
+            "slice [{offset}, {}) exceeds {f} features",
+            offset + len
+        );
+        self.push(name, NodeOp::Slice { offset }, vec![src], (len, 1, 1))
+    }
+
+    /// Appends embedding-bag lookups: one seeded `rows × dim` table per
+    /// feature of `src` (scaled `1/√dim` like the GEMM weights), each
+    /// feature used as a categorical index into its table.
+    pub fn embedding_bag(
+        &mut self,
+        name: impl Into<String>,
+        src: NodeRef,
+        rows: usize,
+        dim: usize,
+    ) -> NodeRef {
+        let t_count = features(self.dims_of(src));
+        assert!(rows >= 1 && dim >= 1 && t_count >= 1);
+        let scale = F16::from_f64(1.0 / (dim as f64).sqrt());
+        let mut tables = Vec::with_capacity(t_count);
+        for _ in 0..t_count {
+            let seed = self.next_weight_seed();
+            let raw = Matrix::random(rows, dim, seed);
+            tables.push(Matrix::from_fn(rows, dim, |r, c| raw.get(r, c) * scale));
+        }
+        self.push(
+            name,
+            NodeOp::EmbeddingBag { tables },
+            vec![src],
+            (t_count * dim, 1, 1),
+        )
+    }
+
+    /// Appends a DLRM pairwise-interaction node: the inputs concatenate
+    /// into `m` vectors of the first input's dimension `d`, and the
+    /// output is the first vector followed by the `m·(m−1)/2` pairwise
+    /// dot products.
+    pub fn interact(&mut self, name: impl Into<String>, inputs: Vec<NodeRef>) -> NodeRef {
+        assert!(!inputs.is_empty(), "interact needs inputs");
+        let d = features(self.dims_of(inputs[0]));
+        let total: usize = inputs.iter().map(|&r| features(self.dims_of(r))).sum();
+        assert_eq!(
+            total % d,
+            0,
+            "interact inputs must concatenate into {d}-dim vectors"
+        );
+        let m = total / d;
+        assert!(m >= 2, "interact needs at least two vectors");
+        self.push(name, NodeOp::Interact, inputs, (d + m * (m - 1) / 2, 1, 1))
     }
 
     /// Element-wise residual addition of two equal-shaped values.

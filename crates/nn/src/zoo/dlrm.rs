@@ -7,6 +7,7 @@
 //! reported aggregate intensities exactly (7.7 at batch 1, 175.8 at batch
 //! 2048 — see tests), so that is what we use (documented in DESIGN.md).
 
+use crate::graph::{Network, NetworkBuilder};
 use crate::layer::LinearLayer;
 use crate::model::Model;
 
@@ -34,9 +35,53 @@ pub fn dlrm_mlp_top(batch: u64) -> Model {
     )
 }
 
+/// *Executable* end-to-end DLRM: each request row carries 13 dense
+/// features followed by `tables` categorical indices (exact integers in
+/// fp16, valid up to 2048). The dense half runs through MLP-Bottom
+/// (13 → 512 → 256 → `dim`), the indices gather one `dim`-wide row from
+/// each embedding table, and the pairwise dot-product interaction of
+/// the bottom output with the embeddings feeds MLP-Top (hidden widths
+/// 512 → 256 → 1). MLP-Top's first weight matrix sizes to the actual
+/// interaction width `dim + (tables+1)·tables/2`, so any table count
+/// works; `dim = 64` matches the §6.4.2 MLP-Bottom output.
+pub fn dlrm_net(
+    batch: u64,
+    tables: usize,
+    rows_per_table: usize,
+    dim: usize,
+    seed: u64,
+) -> Network {
+    let mut b = NetworkBuilder::new("DLRM", batch as usize, 13 + tables, 1, 1, seed);
+    let input = b.cursor();
+    b.slice("dense", input, 0, 13);
+    b.fc("bot.0", 512, true);
+    b.fc("bot.1", 256, true);
+    let bot = b.fc("bot.2", dim, true);
+    let idx = b.slice("sparse", input, 13, tables);
+    let emb = b.embedding_bag("emb", idx, rows_per_table, dim);
+    b.interact("interact", vec![bot, emb]);
+    b.fc("top.0", 512, true);
+    b.fc("top.1", 256, true);
+    b.fc("top.2", 1, false);
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dlrm_net_wires_the_interaction_width_into_mlp_top() {
+        let net = dlrm_net(4, 7, 100, 64, 11);
+        assert_eq!(net.gemm_count(), 6);
+        assert_eq!(net.input_features(), 13 + 7);
+        assert_eq!(net.output_features(), 1);
+        // 8 vectors of 64 (bottom + 7 embeddings): 64 + 8·7/2 = 92.
+        let model = net.to_model();
+        let top0 = model.layers.iter().find(|l| l.name == "top.0").unwrap();
+        assert_eq!(top0.shape.k, 92);
+        assert_eq!(top0.shape.n, 512);
+    }
 
     #[test]
     fn batch_1_intensities_match_figure_8() {

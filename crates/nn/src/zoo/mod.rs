@@ -17,12 +17,12 @@ mod vgg;
 
 pub use alexnet::alexnet;
 pub use densenet::densenet161;
-pub use dlrm::{dlrm_mlp_bottom, dlrm_mlp_top};
+pub use dlrm::{dlrm_mlp_bottom, dlrm_mlp_top, dlrm_net};
 pub use noscope::{amsterdam, coral, roundabout, taipei};
 pub use resnet::{resnet50, resnet_block_net, resnext50_nogroup, wide_resnet50};
 pub use shufflenet::shufflenet_v2;
-pub use squeezenet::{squeezenet, squeezenet_net};
-pub use vgg::vgg16;
+pub use squeezenet::{squeezenet, squeezenet_net, squeezenet_v11_net};
+pub use vgg::{vgg11_net, vgg16};
 
 use crate::model::Model;
 

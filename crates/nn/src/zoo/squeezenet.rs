@@ -75,6 +75,39 @@ pub fn squeezenet_net(batch: u64, h: u64, w: u64, seed: u64) -> Network {
     b.build()
 }
 
+/// *Executable* SqueezeNet 1.1 (torchvision `squeezenet1_1`): the 2.4×
+/// cheaper revision — a 64-channel 3×3 stride-2 stem replaces the 96-
+/// channel 7×7, and the pools move earlier (after the stem, fire3, and
+/// fire5) so the wide fires run at smaller spatial extents. Fire widths
+/// follow torchvision: (16,64)×2, (32,128)×2, (48,192)×2, (64,256)×2.
+/// At 224×224 the stem emits 111×111, and the pools take the map to
+/// 55 → 27 → 13 before the 1×1 classifier.
+pub fn squeezenet_v11_net(batch: u64, h: u64, w: u64, seed: u64) -> Network {
+    let mut b = NetworkBuilder::new(
+        "SqueezeNet-1.1",
+        batch as usize,
+        3,
+        h as usize,
+        w as usize,
+        seed,
+    );
+    b.conv("features.0", 64, 3, 2, 0, true);
+    b.max_pool_ceil("features.2", 3, 2, 0);
+    fire_net(&mut b, 2, 16, 64);
+    fire_net(&mut b, 3, 16, 64);
+    b.max_pool_ceil("features.5", 3, 2, 0);
+    fire_net(&mut b, 4, 32, 128);
+    fire_net(&mut b, 5, 32, 128);
+    b.max_pool_ceil("features.8", 3, 2, 0);
+    fire_net(&mut b, 6, 48, 192);
+    fire_net(&mut b, 7, 48, 192);
+    fire_net(&mut b, 8, 64, 256);
+    fire_net(&mut b, 9, 64, 256);
+    b.conv("classifier.1", 1000, 1, 1, 0, true);
+    b.global_avg_pool("classifier.3");
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +125,29 @@ mod tests {
             assert_eq!(a.shape, b.shape, "{} vs {}", a.name, b.name);
             assert_eq!(a.name, b.name);
         }
+    }
+
+    #[test]
+    fn squeezenet_v11_shrinks_the_feature_maps_early() {
+        let net = squeezenet_v11_net(1, 224, 224, 3);
+        // 1 stem + 8 fires × 3 + 1 classifier conv, same as 1.0.
+        assert_eq!(net.gemm_count(), 26);
+        // Stem: (224 − 3)/2 + 1 = 111; pools (ceil): 55 → 27 → 13.
+        assert_eq!(net.nodes[0].out_dims, (64, 111, 111));
+        assert_eq!(net.nodes[1].out_dims, (64, 55, 55));
+        let pool5 = net.nodes.iter().find(|n| n.name == "features.5").unwrap();
+        assert_eq!(pool5.out_dims, (128, 27, 27));
+        let pool8 = net.nodes.iter().find(|n| n.name == "features.8").unwrap();
+        assert_eq!(pool8.out_dims, (256, 13, 13));
+        assert_eq!(net.output_features(), 1000);
+        // 1.1's whole point: far fewer FLOPs than 1.0 at the same input.
+        let flops_11: u64 = net.to_model().layers.iter().map(|l| l.shape.flops()).sum();
+        let flops_10: u64 = squeezenet(1, 224, 224)
+            .layers
+            .iter()
+            .map(|l| l.shape.flops())
+            .sum();
+        assert!(flops_11 * 2 < flops_10, "1.1 {flops_11} vs 1.0 {flops_10}");
     }
 
     #[test]

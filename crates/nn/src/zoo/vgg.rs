@@ -1,6 +1,10 @@
 //! VGG-16 (torchvision `vgg16`): thirteen 3×3 convolutions in five
 //! blocks, adaptive-pooled to 7×7, then a three-layer classifier.
+//! [`vgg11_net`] is the executable VGG-11 sibling — the shallowest VGG
+//! configuration, whose huge fc layers make it the zoo's best stress of
+//! the chain (non-branching) compiled path.
 
+use crate::graph::{Network, NetworkBuilder};
 use crate::layer::NetBuilder;
 use crate::model::Model;
 
@@ -27,6 +31,36 @@ pub fn vgg16(batch: u64, h: u64, w: u64) -> Model {
     b.build("VGG-16")
 }
 
+/// *Executable* VGG-11 (torchvision `vgg11`, configuration "A") with
+/// real seeded FP16 weights: eight 3×3 stride-1 pad-1 convolutions with
+/// a max pool after each of the five blocks, then the three-layer
+/// 4096/4096/1000 classifier. torchvision's adaptive average pool to
+/// 7×7 is the identity at 224×224 input (the fifth pool already emits
+/// 7×7), so it is omitted; at other resolutions the flatten feeds the
+/// classifier whatever the last pool produced, which keeps the network
+/// executable at the trimmed test resolutions.
+pub fn vgg11_net(batch: u64, h: u64, w: u64, seed: u64) -> Network {
+    let mut b = NetworkBuilder::new("VGG-11", batch as usize, 3, h as usize, w as usize, seed);
+    b.conv("features.0", 64, 3, 1, 1, true);
+    b.max_pool("features.2", 2, 2, 0);
+    b.conv("features.3", 128, 3, 1, 1, true);
+    b.max_pool("features.5", 2, 2, 0);
+    b.conv("features.6", 256, 3, 1, 1, true);
+    b.conv("features.8", 256, 3, 1, 1, true);
+    b.max_pool("features.10", 2, 2, 0);
+    b.conv("features.11", 512, 3, 1, 1, true);
+    b.conv("features.13", 512, 3, 1, 1, true);
+    b.max_pool("features.15", 2, 2, 0);
+    b.conv("features.16", 512, 3, 1, 1, true);
+    b.conv("features.18", 512, 3, 1, 1, true);
+    b.max_pool("features.20", 2, 2, 0);
+    b.flatten("flatten");
+    b.fc("classifier.0", 4096, true);
+    b.fc("classifier.3", 4096, true);
+    b.fc("classifier.6", 1000, false);
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,6 +72,24 @@ mod tests {
         assert_eq!(m.layers.len(), 16);
         assert_eq!(m.layers[13].shape.k, 512 * 49);
         assert_eq!(m.layers[13].shape.n, 4096);
+    }
+
+    #[test]
+    fn vgg11_matches_the_torchvision_configuration() {
+        // Construct at a trimmed resolution — the chain is identical,
+        // only spatial extents shrink (224 would allocate the full 123M
+        // weight elements, prohibitive for a unit test).
+        let net = vgg11_net(1, 32, 32, 7);
+        assert_eq!(net.gemm_count(), 11); // 8 convs + 3 fcs
+        assert_eq!(net.output_features(), 1000);
+        // Five pools halve 32 down to 1: classifier.0 reads 512 · 1 · 1.
+        let model = net.to_model();
+        assert_eq!(model.layers[8].name, "classifier.0");
+        assert_eq!(model.layers[8].shape.k, 512);
+        assert_eq!(model.layers[8].shape.n, 4096);
+        // Channel progression of configuration "A".
+        let widths: Vec<u64> = model.layers[..8].iter().map(|l| l.shape.n).collect();
+        assert_eq!(widths, [64, 128, 256, 256, 512, 512, 512, 512]);
     }
 
     #[test]

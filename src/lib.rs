@@ -63,9 +63,13 @@
 //! ```
 //!
 //! Compile an *executable* zoo network — real FP16 weights, every
-//! convolution lowered through workspace-threaded im2col onto the
-//! protected engine, pooling/ReLU/residual epilogues between stages —
-//! and serve it through the same session front-end
+//! convolution executed as an implicit GEMM (the engine's panel packer
+//! reads activations through an `Im2colView`/NCHW view of the producing
+//! stage's buffer, so the lowered matrix never materializes),
+//! pooling/ReLU/residual epilogues between stages, and independent
+//! branch levels (Fire expands, residual/shortcut convs) running on
+//! scoped worker threads with a byte-identical stage-order join — all
+//! served through the same session front-end
 //! (`Model → ModelPlan → CompiledModel`):
 //!
 //! ```

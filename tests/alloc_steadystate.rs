@@ -30,7 +30,21 @@
 //!    where `effective_workers` keeps even large shapes sequential).
 //!    Every shape in sections 1–3 sits below the threshold, so the
 //!    exact-zero pins above are in the sequential regime by
-//!    construction, on any runner.
+//!    construction, on any runner;
+//!
+//! 5. the *fused* k>1 conv path — the GEMM reading an
+//!    `MatrixLayout::Im2col` view of the NCHW activation buffer, no
+//!    lowered matrix anywhere — performs exactly zero heap allocations
+//!    once warm;
+//!
+//! 6. the branch-parallel pipeline regime has a *stable* per-run count
+//!    once warm (thread spawning is not allocation-free, but the
+//!    per-branch workspace pool ratchets exactly once), and forcing the
+//!    same pipeline sequential (`with_branch_workers(1)`) pins the
+//!    usual report-only constant;
+//!
+//! 7. the correction path (`run_corrected_into`) stays zero-alloc once
+//!    warm across the localizer families.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -256,7 +270,84 @@ fn steady_state_hot_paths_do_not_allocate() {
         }
     }
 
-    // --- 5. Correction path: localize + targeted recompute + re-verify
+    // --- 5. Fused k>1 conv path: the engine reads activations through
+    // an `Im2col` view of the NCHW buffer — the lowered matrix never
+    // exists, and a warm pass is exactly zero-alloc (the view wraps and
+    // returns the same buffer).
+    {
+        let input = Tensor::random(2, 3, 12, 12, 83);
+        let params = ConvParams {
+            c_out: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let filters = Tensor::random(8, 3, 3, 3, 84);
+        let weights = aiga_nn::conv::filters_to_matrix(&filters);
+        let conv_shape = GemmShape::new(2 * 12 * 12, 8, 27);
+        let conv_engine = GemmEngine::with_default_tiling(conv_shape);
+        let view = params.im2col_view(3, 12, 12);
+        for scheme in [Scheme::GlobalAbft, Scheme::ThreadLevelOneSided] {
+            let bound = reg.resolve(scheme).bind(&weights);
+            let mut ws = Workspace::new();
+            let mut data = Some(input.data.clone());
+            let fused_pass = |ws: &mut Workspace, data: &mut Option<Vec<_>>| {
+                let a = Matrix::im2col_lowered(2, view, data.take().unwrap());
+                bound.run_into(&conv_engine, &a, &[], ws);
+                *data = Some(a.data);
+            };
+            fused_pass(&mut ws, &mut data); // warm the panels
+            let n = allocs_during(|| fused_pass(&mut ws, &mut data));
+            assert_eq!(n, 0, "{scheme}: fused conv path allocated {n} times");
+        }
+    }
+
+    // --- 6. Branch-parallel pipeline regime: SqueezeNet's fire expand
+    // levels spawn scoped workers when branch_workers ≥ 2. Spawning is
+    // not allocation-free, so the pin is stability once the per-branch
+    // workspace pool has ratcheted; the same pipeline forced sequential
+    // pins the report-only constant.
+    {
+        let net = zoo::squeezenet_net(1, 32, 32, 3);
+        let schemes = vec![Scheme::ThreadLevelOneSided; net.gemm_count()];
+        let request = Matrix::random(1, net.input_features(), 44);
+
+        let sequential =
+            aiga_core::ProtectedPipeline::compile(&net, &schemes).with_branch_workers(1);
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            sequential.infer_into(&request, None, &mut ws);
+        }
+        let first = allocs_during(|| {
+            std::hint::black_box(sequential.infer_into(&request, None, &mut ws));
+        });
+        let second = allocs_during(|| {
+            std::hint::black_box(sequential.infer_into(&request, None, &mut ws));
+        });
+        assert_eq!(first, second, "sequential compiled infer must be stable");
+        assert!(
+            first <= 4,
+            "serialized branch levels should only allocate the report (saw {first})"
+        );
+
+        let parallel = aiga_core::ProtectedPipeline::compile(&net, &schemes).with_branch_workers(2);
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            parallel.infer_into(&request, None, &mut ws);
+        }
+        let first = allocs_during(|| {
+            std::hint::black_box(parallel.infer_into(&request, None, &mut ws));
+        });
+        let second = allocs_during(|| {
+            std::hint::black_box(parallel.infer_into(&request, None, &mut ws));
+        });
+        assert_eq!(
+            first, second,
+            "branch-parallel steady state must not ratchet ({first} vs {second})"
+        );
+    }
+
+    // --- 7. Correction path: localize + targeted recompute + re-verify
     // (`run_corrected_into`) stays zero-alloc once warm, across all
     // three localizer families (column, lane, and row).
     for scheme in [

@@ -139,6 +139,146 @@ fn squeezenet_serves_end_to_end_matching_the_reference() {
     assert_eq!(reply.schemes[..], plan.chosen_schemes()[..]);
 }
 
+/// A DLRM request matrix: 13 random dense features followed by exact
+/// integer categorical indices (representable losslessly in fp16).
+fn dlrm_input(batch: usize, tables: usize, rows_per_table: usize, seed: u64) -> Matrix {
+    let base = Matrix::random(batch, 13 + tables, seed);
+    Matrix::from_fn(batch, 13 + tables, |r, c| {
+        if c < 13 {
+            base.get(r, c)
+        } else {
+            aiga_fp16::F16::from_f32(((r * 31 + c * 17) % rows_per_table) as f32)
+        }
+    })
+}
+
+#[test]
+fn dlrm_net_matches_the_reference_end_to_end() {
+    // The full DLRM graph: slice → MLP-Bottom, slice → embedding bags,
+    // pairwise interaction, MLP-Top. The non-GEMM ops (slice, gather,
+    // interaction) run as epilogue stages and must track the f64
+    // reference through both MLPs.
+    let net = zoo::dlrm_net(3, 4, 50, 16, 11);
+    let p = aiga_core::ProtectedPipeline::compile(&net, &[Scheme::GlobalAbft; 6]);
+    let input = dlrm_input(3, 4, 50, 201);
+    let r = p.infer(&input, None);
+    assert!(!r.fault_detected());
+    assert_eq!(r.output.len(), 3);
+    let want = net.reference_f64(&input);
+    assert_close(&r.output, &want, 2e-2, 2e-2, "DLRM");
+}
+
+#[test]
+fn dlrm_faults_are_detected_at_every_layer_under_every_scheme() {
+    // Detection coverage through the branch-and-merge DLRM graph: a
+    // fault aimed at each of the six GEMMs (both MLPs) must surface at
+    // that layer under every protected scheme, even with the slice /
+    // embedding / interaction epilogues between them.
+    let net = zoo::dlrm_net(2, 4, 50, 16, 13);
+    let input = dlrm_input(2, 4, 50, 77);
+    for scheme in Scheme::all_protected() {
+        let p = aiga_core::ProtectedPipeline::compile(&net, &[scheme; 6]);
+        for layer in 0..6 {
+            let fault = PipelineFault {
+                layer,
+                fault: FaultPlan {
+                    row: 0,
+                    col: 0,
+                    after_step: u64::MAX,
+                    kind: FaultKind::AddValue(500.0),
+                },
+            };
+            let dirty = p.infer(&input, Some(fault));
+            assert!(dirty.fault_detected(), "{scheme}: missed fault at {layer}");
+            assert_eq!(dirty.detections[0].layer, layer, "{scheme}");
+        }
+    }
+}
+
+#[test]
+fn squeezenet_v11_matches_the_reference_end_to_end() {
+    // SqueezeNet 1.1's early-pool topology at a trimmed 48×48: the
+    // stem's 3×3 stride-2 conv and all three ceil-mode pools land at
+    // distinct spatial extents (23 → 11 → 5 → 2).
+    let net = zoo::squeezenet_v11_net(2, 48, 48, 9);
+    assert_eq!(net.gemm_count(), 26);
+    let p = aiga_core::ProtectedPipeline::compile(&net, &[Scheme::ThreadLevelOneSided; 26]);
+    let input = Matrix::random(2, net.input_features(), 55);
+    let r = p.infer(&input, None);
+    assert!(!r.fault_detected());
+    let want = net.reference_f64(&input);
+    assert_close(&r.output, &want, 4e-2, 4e-2, "SqueezeNet-1.1");
+}
+
+#[test]
+fn squeezenet_v11_faults_are_detected_per_scheme_family() {
+    // One scheme per family, faults aimed at the stem, a mid-net fire
+    // expand (inside a branch-parallel-eligible level), and the
+    // classifier conv.
+    let net = zoo::squeezenet_v11_net(1, 48, 48, 9);
+    let input = Matrix::random(1, net.input_features(), 56);
+    for scheme in [
+        Scheme::GlobalAbft,
+        Scheme::ThreadLevelOneSided,
+        Scheme::ThreadLevelTwoSided,
+        Scheme::MultiChecksum(2),
+    ] {
+        let p = aiga_core::ProtectedPipeline::compile(&net, &[scheme; 26]);
+        for layer in [0usize, 13, 25] {
+            let fault = PipelineFault {
+                layer,
+                fault: FaultPlan {
+                    row: 0,
+                    col: 0,
+                    after_step: u64::MAX,
+                    kind: FaultKind::AddValue(400.0),
+                },
+            };
+            let dirty = p.infer(&input, Some(fault));
+            assert!(dirty.fault_detected(), "{scheme}: missed fault at {layer}");
+            assert_eq!(dirty.detections[0].layer, layer, "{scheme}");
+        }
+    }
+}
+
+#[test]
+fn vgg11_matches_the_reference_end_to_end() {
+    // VGG-11 at 32×32: eight convs pool down to 1×1 before the
+    // 4096-wide classifier chain — the deepest fc stack in the zoo.
+    let net = zoo::vgg11_net(1, 32, 32, 21);
+    assert_eq!(net.gemm_count(), 11);
+    let p = aiga_core::ProtectedPipeline::compile(&net, &[Scheme::GlobalAbft; 11]);
+    let input = Matrix::random(1, net.input_features(), 99);
+    let r = p.infer(&input, None);
+    assert!(!r.fault_detected());
+    let want = net.reference_f64(&input);
+    assert_close(&r.output, &want, 4e-2, 4e-2, "VGG-11");
+}
+
+#[test]
+fn vgg11_faults_are_detected_in_conv_and_fc_layers() {
+    let net = zoo::vgg11_net(1, 32, 32, 21);
+    let input = Matrix::random(1, net.input_features(), 98);
+    for scheme in [Scheme::ThreadLevelOneSided, Scheme::MultiChecksum(2)] {
+        let p = aiga_core::ProtectedPipeline::compile(&net, &[scheme; 11]);
+        for layer in [3usize, 9] {
+            // a mid conv and a 4096-wide fc
+            let fault = PipelineFault {
+                layer,
+                fault: FaultPlan {
+                    row: 0,
+                    col: 1,
+                    after_step: u64::MAX,
+                    kind: FaultKind::AddValue(400.0),
+                },
+            };
+            let dirty = p.infer(&input, Some(fault));
+            assert!(dirty.fault_detected(), "{scheme}: missed fault at {layer}");
+            assert_eq!(dirty.detections[0].layer, layer, "{scheme}");
+        }
+    }
+}
+
 #[test]
 fn resnet_block_serves_end_to_end_matching_the_reference() {
     let session = Session::builder_network(Planner::new(DeviceSpec::t4()), "resnet-block", |b| {
